@@ -1,0 +1,69 @@
+// Ablation: decomposition strategy.  The paper contrasts HARVEY's load
+// bisection balancer with the proxy's simplistic scheme (Section 10).
+// This bench quantifies why on both geometries: per-rank balance and the
+// worst-rank halo volume under slab versus bisection partitioning.
+// Slabs stay perfectly balanced on the cylinder but their cross-section
+// halos do not shrink with rank count; bisection trades a hair of
+// balance for compact, surface-law halos.
+
+#include "bench_common.hpp"
+#include "geom/aorta.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"Geometry", "Scheme", "Ranks", "Imbalance",
+               "Max rank halo (values)", "Halo/points ratio"});
+
+  struct Case {
+    const char* name;
+    sim::DecompositionKind kind;
+  };
+  const Case cases[] = {{"slab", sim::DecompositionKind::kSlab},
+                        {"bisection", sim::DecompositionKind::kBisection}};
+
+  for (const Case& c : cases) {
+    sim::Workload w = sim::Workload::cylinder(c.kind);
+    for (const int ranks : {4, 16, 64, 256, 1024}) {
+      const sim::RankStats& stats = w.stats(ranks);
+      std::vector<double> halo(static_cast<std::size_t>(ranks), 0.0);
+      for (const auto& m : stats.halos) {
+        halo[static_cast<std::size_t>(m.src)] += m.values;
+        halo[static_cast<std::size_t>(m.dst)] += m.values;
+      }
+      double max_halo = 0.0;
+      for (const double v : halo) max_halo = std::max(max_halo, v);
+      const double max_points = static_cast<double>(
+          *std::max_element(stats.points.begin(), stats.points.end()));
+      table.add_row({"cylinder", c.name, std::to_string(ranks),
+                     Table::num(stats.imbalance, 4),
+                     Table::num(max_halo, 0),
+                     Table::num(max_halo / max_points, 3)});
+    }
+  }
+
+  // The aorta only makes sense under bisection (the paper's point), but
+  // showing the slab numbers demonstrates why.
+  for (const Case& c : cases) {
+    geom::AortaSpec spec;  // default measurement instance
+    auto lattice = geom::make_aorta_lattice(spec);
+    for (const int ranks : {16, 128}) {
+      const decomp::Partition p =
+          c.kind == sim::DecompositionKind::kSlab
+              ? decomp::slab_partition(*lattice, ranks)
+              : decomp::bisection_partition(*lattice, ranks);
+      const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, p);
+      const double max_halo =
+          static_cast<double>(plan.max_rank_send_values(ranks)) * 2.0;
+      const double ratio = static_cast<double>(plan.total_values()) /
+                           static_cast<double>(lattice->size());
+      table.add_row({std::string("aorta"), std::string(c.name),
+                     std::to_string(ranks), Table::num(p.imbalance(), 4),
+                     Table::num(max_halo, 0), Table::num(ratio, 3)});
+    }
+  }
+
+  bench::emit("Ablation: slab vs load-bisection decomposition", table);
+  return 0;
+}

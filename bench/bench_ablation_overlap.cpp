@@ -1,0 +1,83 @@
+// Ablation: communication overlap and host-staged MPI.  Two sensitivity
+// studies on simulator modeling choices that map to real code behaviour:
+//
+//  (a) GPU-aware versus host-staged MPI for HIP on Summit — the paper had
+//      to disable GPU-aware message passing (Section 7.2.2); this bench
+//      shows what that costs across the schedule.
+//  (b) Communication-efficiency sensitivity for native HIP on Crusher:
+//      the four-NIC Slingshot is the reason HIP becomes competitive at
+//      scale; degrading comm_efficiency erases the crossover.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  // (a) Summit HIP: staged vs GPU-aware.
+  Table staging({"Devices", "Staged MFLUPS", "GPU-aware MFLUPS",
+                 "Penalty %"});
+  {
+    const sim::BackendProfile staged =
+        sim::profile_for(sys::SystemId::kSummit, hal::Model::kHip);
+    sim::BackendProfile aware = staged;
+    aware.host_staged_mpi = false;
+    const sim::ClusterSimulator cs_staged(sys::SystemId::kSummit,
+                                          hal::Model::kHip,
+                                          sim::App::kHarvey, staged);
+    const sim::ClusterSimulator cs_aware(sys::SystemId::kSummit,
+                                         hal::Model::kHip,
+                                         sim::App::kHarvey, aware);
+    for (const auto& sp : sys::piecewise_schedule(1024)) {
+      const double a =
+          cs_staged
+              .simulate(bench::aorta_workload(), sp.devices,
+                        sp.size_multiplier)
+              .mflups;
+      const double b = cs_aware
+                           .simulate(bench::aorta_workload(), sp.devices,
+                                     sp.size_multiplier)
+                           .mflups;
+      staging.add_row({bench::device_label(sp), Table::num(a, 0),
+                       Table::num(b, 0),
+                       Table::num(100.0 * (b - a) / b, 1)});
+    }
+  }
+  bench::emit("Ablation (a): host-staged vs GPU-aware MPI, Summit HIP "
+              "HARVEY aorta",
+              staging);
+
+  // (b) Crusher HIP comm-efficiency sweep: where does the crossover vs
+  // Polaris CUDA move?
+  Table sweep({"comm_efficiency", "First win vs Polaris (devices)",
+               "MFLUPS at 512"});
+  const auto polaris = bench::run_series(sys::SystemId::kPolaris,
+                                         hal::Model::kCuda,
+                                         sim::App::kHarvey,
+                                         bench::aorta_workload());
+  for (const double eff : {1.0, 0.75, 0.5, 0.25}) {
+    sim::BackendProfile profile =
+        sim::profile_for(sys::SystemId::kCrusher, hal::Model::kHip);
+    profile.comm_efficiency = eff;
+    const sim::ClusterSimulator cs(sys::SystemId::kCrusher, hal::Model::kHip,
+                                   sim::App::kHarvey, profile);
+    int first_win = 0;
+    double at512 = 0.0;
+    std::size_t k = 0;
+    for (const auto& sp : sys::piecewise_schedule(1024)) {
+      const sim::SimPoint p =
+          cs.simulate(bench::aorta_workload(), sp.devices,
+                      sp.size_multiplier);
+      if (first_win == 0 && p.mflups > polaris[k].sim.mflups)
+        first_win = sp.devices;
+      if (sp.devices == 512) at512 = p.mflups;
+      ++k;
+    }
+    sweep.add_row({Table::num(eff, 2),
+                   first_win == 0 ? "never" : std::to_string(first_win),
+                   Table::num(at512, 0)});
+  }
+  bench::emit("Ablation (b): Crusher HIP comm-efficiency sweep (aorta)",
+              sweep);
+  return 0;
+}

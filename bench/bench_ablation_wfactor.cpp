@@ -1,0 +1,60 @@
+// Ablation: the performance model's face-count correction (Eq. 4,
+// w = 2 min(log2 n, 6)).  Compares three surface estimates per device
+// count against the surface actually measured from the bisection
+// decomposition of the cylinder:
+//
+//   none       all twelve face-directions charged at every count
+//   eq4        the paper's correction
+//   measured   crossing links counted from the real halo plan
+//
+// The correction matters exactly where the paper applies it: at low
+// device counts, where the idealized cube does not use all of its faces.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  sim::Workload& workload = bench::cylinder_workload();
+  const sys::SystemSpec& spec = sys::system_spec(sys::SystemId::kPolaris);
+  const perf::PerformanceModel model(spec);
+
+  Table table({"Devices", "w (Eq. 4)", "SA none", "SA eq4",
+               "SA measured", "eq4 / measured"});
+
+  for (const int devices : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double per_device =
+        workload.target_points(1) / static_cast<double>(devices);
+    const double w = model.face_correction(devices);
+    const double sa_none = 12.0 * std::pow(per_device, 2.0 / 3.0);
+    const double sa_eq4 = model.communication_surface(per_device, devices);
+
+    // Measured: the largest per-rank crossing-link count from the real
+    // decomposition, extrapolated to the target resolution.
+    const sim::RankStats& stats = workload.stats(devices);
+    std::vector<double> per_rank(static_cast<std::size_t>(devices), 0.0);
+    for (const auto& m : stats.halos) {
+      per_rank[static_cast<std::size_t>(m.src)] += m.values;
+      per_rank[static_cast<std::size_t>(m.dst)] += m.values;
+    }
+    double max_measured = 0.0;
+    for (const double v : per_rank)
+      max_measured = std::max(max_measured, v * workload.halo_scale(1));
+    // The model counts surface points; the plan counts crossing values
+    // (~5 distributions per surface point in D3Q19).
+    const double sa_measured = max_measured / 5.0;
+
+    table.add_row({std::to_string(devices), Table::num(w, 0),
+                   Table::num(sa_none, 0), Table::num(sa_eq4, 0),
+                   Table::num(sa_measured, 0),
+                   Table::num(sa_eq4 / sa_measured, 2)});
+  }
+
+  bench::emit("Ablation: Eq. 4 face correction vs measured halo surfaces "
+              "(cylinder, base size)",
+              table);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// BabelStream substrate: the bandwidth measurement feeding Eq. 1 of the
+// performance model.  Reports the simulated device bandwidth over a sweep
+// of array sizes for each system, plus a *real* host triad measurement of
+// this machine (the substrate the HAL dialects actually execute on).
+
+#include <chrono>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Real host STREAM-triad: a(i) = b(i) + s * c(i), best of `reps`.
+double host_triad_gbs(std::size_t doubles, int reps) {
+  std::vector<double> a(doubles, 0.0), b(doubles, 1.0), c(doubles, 2.0);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < doubles; ++i) a[i] = b[i] + 0.4 * c[i];
+    const auto stop = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(stop - start).count();
+    const double gbs = 3.0 * doubles * sizeof(double) / s / 1e9;
+    if (gbs > best) best = gbs;
+  }
+  // Defeat dead-code elimination.
+  if (a[doubles / 2] < -1.0) std::abort();
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"System", "Array (MiB)", "Bandwidth (TB/s)"});
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    for (const std::int64_t mib : {1, 4, 16, 64, 256, 1024}) {
+      table.add_row({spec.name, std::to_string(mib),
+                     Table::num(sys::babelstream_bandwidth_tbs(
+                                    spec, mib * 1024 * 1024),
+                                3)});
+    }
+  }
+  bench::emit("BabelStream (simulated devices): bandwidth vs array size",
+              table);
+
+  Table host({"Substrate", "Array (MiB)", "Triad (GB/s)"});
+  for (const std::size_t mib : {8, 32, 64}) {
+    host.add_row({"host engine", std::to_string(mib),
+                  Table::num(host_triad_gbs(mib * 1024 * 1024 / 8, 3), 2)});
+  }
+  bench::emit("BabelStream (real host triad)", host);
+  return 0;
+}

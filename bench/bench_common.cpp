@@ -1,0 +1,105 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemo::bench {
+
+sim::Workload& cylinder_workload() {
+  static sim::Workload w =
+      sim::Workload::cylinder(sim::DecompositionKind::kBisection);
+  return w;
+}
+
+sim::Workload& aorta_workload() {
+  static sim::Workload w = sim::Workload::aorta();
+  return w;
+}
+
+std::vector<SeriesPoint> run_series(sys::SystemId system, hal::Model model,
+                                    sim::App app, sim::Workload& workload) {
+  const sim::ClusterSimulator cs(system, model, app);
+  std::vector<SeriesPoint> series;
+  for (const sys::SchedulePoint& sp :
+       sys::piecewise_schedule(sys::system_spec(system).max_devices)) {
+    SeriesPoint point;
+    point.schedule = sp;
+    point.sim = cs.simulate(workload, sp.devices, sp.size_multiplier);
+    point.prediction = cs.predict(workload, sp.devices, sp.size_multiplier);
+    series.push_back(point);
+  }
+  return series;
+}
+
+std::string device_label(const sys::SchedulePoint& sp) {
+  std::string label = std::to_string(sp.devices);
+  // Mark the second occurrence of the boundary counts (16, 128): the
+  // weak-scaling jump points of the piecewise schedule.
+  if ((sp.devices == 16 && sp.size_multiplier == 2) ||
+      (sp.devices == 128 && sp.size_multiplier == 4))
+    label += "*";
+  return label;
+}
+
+void emit(const std::string& title, const Table& table) {
+  std::cout << "== " << title << " ==\n";
+  table.print_aligned(std::cout);
+  std::cout << "-- csv --\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+}
+
+void emit_ascii_plot(const std::string& title,
+                     const std::vector<std::string>& x_labels,
+                     const std::vector<PlotSeries>& series, int height) {
+  if (series.empty() || x_labels.empty() || height < 4) return;
+
+  double lo = 1e300, hi = -1e300;
+  for (const PlotSeries& s : series)
+    for (const double v : s.values) {
+      if (v <= 0.0) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  if (hi <= lo) hi = lo * 10.0;
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+
+  // Column layout: each x position gets a fixed-width slot.
+  const int slot = 6;
+  const int width = static_cast<int>(x_labels.size()) * slot;
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+
+  for (const PlotSeries& s : series) {
+    for (std::size_t k = 0; k < s.values.size() && k < x_labels.size(); ++k) {
+      const double v = s.values[k];
+      if (v <= 0.0) continue;
+      const double t = (std::log10(v) - log_lo) / (log_hi - log_lo);
+      int row = height - 1 -
+                static_cast<int>(std::lround(t * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      const int col = static_cast<int>(k) * slot + slot / 2;
+      char& cell = canvas[static_cast<std::size_t>(row)]
+                         [static_cast<std::size_t>(col)];
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '#';  // overlap
+    }
+  }
+
+  std::cout << ".. " << title << " (log y: " << Table::num(lo, 0) << " .. "
+            << Table::num(hi, 0) << ") ..\n";
+  for (const std::string& line : canvas) std::cout << "|" << line << "\n";
+  std::cout << "+" << std::string(static_cast<std::size_t>(width), '-')
+            << "\n ";
+  for (const std::string& label : x_labels) {
+    std::string cell = label.substr(0, static_cast<std::size_t>(slot - 1));
+    cell.resize(static_cast<std::size_t>(slot), ' ');
+    std::cout << cell;
+  }
+  std::cout << "\n legend:";
+  for (const PlotSeries& s : series)
+    std::cout << "  " << s.glyph << " = " << s.name;
+  std::cout << "  # = overlap\n\n";
+}
+
+}  // namespace hemo::bench

@@ -1,0 +1,50 @@
+#pragma once
+// Shared plumbing for the table/figure benchmark binaries: workload
+// construction, schedule series, and consistent text/CSV output.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/table.hpp"
+#include "sim/simulator.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::bench {
+
+/// Lazily constructed, shared across one binary's sections.
+sim::Workload& cylinder_workload();
+sim::Workload& aorta_workload();
+
+struct SeriesPoint {
+  sys::SchedulePoint schedule;
+  sim::SimPoint sim;
+  perf::Prediction prediction;
+};
+
+/// Simulates the full piecewise schedule for one (system, model, app).
+std::vector<SeriesPoint> run_series(sys::SystemId system, hal::Model model,
+                                    sim::App app, sim::Workload& workload);
+
+/// Device-count label ("2", "4", ... with the size multiplier suffixed at
+/// the weak-scaling duplicates, e.g. "16*").
+std::string device_label(const sys::SchedulePoint& sp);
+
+/// Prints a titled table as aligned text followed by CSV, the format all
+/// bench binaries share so results can be both read and parsed.
+void emit(const std::string& title, const Table& table);
+
+/// One curve of an ASCII plot.
+struct PlotSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> values;  // one per x position
+};
+
+/// Renders a log-y ASCII chart (the shape of the paper's figures) with
+/// one column group per x label and one glyph per series.
+void emit_ascii_plot(const std::string& title,
+                     const std::vector<std::string>& x_labels,
+                     const std::vector<PlotSeries>& series, int height = 18);
+
+}  // namespace hemo::bench

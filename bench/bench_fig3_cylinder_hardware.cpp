@@ -1,0 +1,60 @@
+// Fig. 3 reproduction: hardware comparison on the idealized cylinder.
+// Piecewise strong scaling of each system's *native* programming model —
+// HARVEY, the LBM proxy app, and the ideal performance-model prediction —
+// in raw MFLUPS over 2..1024 devices (256 on Sunspot).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"System (native model)", "Series", "Devices", "Size",
+               "MFLUPS"});
+
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    const std::string label =
+        spec.name + " (" + std::string(hal::name_of(spec.native_model)) + ")";
+
+    const auto harvey = bench::run_series(id, spec.native_model,
+                                          sim::App::kHarvey,
+                                          bench::cylinder_workload());
+    const auto proxy = bench::run_series(id, spec.native_model,
+                                         sim::App::kProxy,
+                                         bench::cylinder_workload());
+
+    for (const auto& p : harvey)
+      table.add_row({label, "HARVEY", bench::device_label(p.schedule),
+                     std::to_string(12 * p.schedule.size_multiplier),
+                     Table::num(p.sim.mflups, 0)});
+    for (const auto& p : proxy)
+      table.add_row({label, "LBM-Proxy-App", bench::device_label(p.schedule),
+                     std::to_string(12 * p.schedule.size_multiplier),
+                     Table::num(p.sim.mflups, 0)});
+    for (const auto& p : harvey)
+      table.add_row({label, "Ideal Prediction",
+                     bench::device_label(p.schedule),
+                     std::to_string(12 * p.schedule.size_multiplier),
+                     Table::num(p.prediction.mflups, 0)});
+
+    std::vector<std::string> x_labels;
+    bench::PlotSeries h{"HARVEY", 'H', {}};
+    bench::PlotSeries x{"LBM-Proxy-App", 'P', {}};
+    bench::PlotSeries i{"Ideal Prediction", '.', {}};
+    for (std::size_t k = 0; k < harvey.size(); ++k) {
+      x_labels.push_back(bench::device_label(harvey[k].schedule));
+      h.values.push_back(harvey[k].sim.mflups);
+      x.values.push_back(proxy[k].sim.mflups);
+      i.values.push_back(harvey[k].prediction.mflups);
+    }
+    bench::emit_ascii_plot("Fig. 3 panel: " + label + ", MFLUPS vs devices",
+                           x_labels, {h, x, i});
+  }
+
+  bench::emit(
+      "Fig. 3: cylinder hardware comparison, native models "
+      "(proxy sizes 12/24/48 at 2-16/16-128/128-1024 devices)",
+      table);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 4 reproduction: hardware comparison on the patient-derived aorta
+// (synthetic substitute): HARVEY piecewise scaling in each system's
+// native model versus the ideal performance-model prediction.  Grid
+// spacings follow the paper: 110 / 55 / 27.5 micron at the three
+// piecewise segments.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"System (native model)", "Series", "Devices",
+               "Spacing (um)", "MFLUPS"});
+
+  auto spacing_label = [](int multiplier) {
+    // Base 110 um; each doubling of the linear size halves the spacing.
+    return Table::num(110.0 / multiplier, multiplier == 4 ? 1 : 0);
+  };
+
+  std::vector<std::string> x_labels;
+  std::vector<bench::PlotSeries> curves;
+  const char glyphs[] = {'S', 'P', 'C', 'U'};
+  int glyph_index = 0;
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    const std::string label =
+        spec.name + " (" + std::string(hal::name_of(spec.native_model)) + ")";
+
+    const auto harvey = bench::run_series(
+        id, spec.native_model, sim::App::kHarvey, bench::aorta_workload());
+
+    bench::PlotSeries curve{spec.name, glyphs[glyph_index++], {}};
+    for (const auto& p : harvey) {
+      curve.values.push_back(p.sim.mflups);
+      if (x_labels.size() < harvey.size())
+        x_labels.push_back(bench::device_label(p.schedule));
+      table.add_row({label, "HARVEY", bench::device_label(p.schedule),
+                     spacing_label(p.schedule.size_multiplier),
+                     Table::num(p.sim.mflups, 0)});
+    }
+    curves.push_back(std::move(curve));
+    for (const auto& p : harvey)
+      table.add_row({label, "Predicted", bench::device_label(p.schedule),
+                     spacing_label(p.schedule.size_multiplier),
+                     Table::num(p.prediction.mflups, 0)});
+  }
+  bench::emit_ascii_plot(
+      "Fig. 4: HARVEY aorta MFLUPS vs devices, native models", x_labels,
+      curves);
+
+  bench::emit(
+      "Fig. 4: aorta hardware comparison, native models "
+      "(grid spacings 110/55/27.5 um at 2-16/16-128/128-1024 devices)",
+      table);
+  return 0;
+}

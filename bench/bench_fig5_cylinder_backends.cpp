@@ -1,0 +1,63 @@
+// Fig. 5 reproduction: software backend comparison on the cylinder.
+// For each system, every available programming model runs both HARVEY and
+// the proxy app over the piecewise schedule; the first block reports
+// application efficiency (vs the best observed model at each count), the
+// second architectural efficiency (vs the performance-model prediction).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hemo;
+namespace bench = hemo::bench;
+
+void backend_block(sys::SystemId id, sim::App app, Table& app_eff_table,
+                   Table& arch_eff_table) {
+  const sys::SystemSpec& spec = sys::system_spec(id);
+  const char* app_name = app == sim::App::kHarvey ? "HARVEY" : "ProxyApp";
+
+  std::vector<hal::Model> models = spec.harvey_models;
+  std::vector<std::vector<bench::SeriesPoint>> all;
+  for (const hal::Model m : models)
+    all.push_back(
+        bench::run_series(id, m, app, bench::cylinder_workload()));
+
+  const std::size_t n_points = all.front().size();
+  for (std::size_t k = 0; k < n_points; ++k) {
+    double best = 0.0;
+    for (const auto& series : all)
+      best = std::max(best, series[k].sim.mflups);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto& p = all[m][k];
+      app_eff_table.add_row(
+          {spec.name, app_name, std::string(hal::name_of(models[m])),
+           bench::device_label(p.schedule),
+           Table::num(p.sim.mflups / best, 3)});
+      arch_eff_table.add_row(
+          {spec.name, app_name, std::string(hal::name_of(models[m])),
+           bench::device_label(p.schedule),
+           Table::num(p.sim.mflups / p.prediction.mflups, 3)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Table app_eff({"System", "App", "Model", "Devices", "App efficiency"});
+  Table arch_eff({"System", "App", "Model", "Devices", "Arch efficiency"});
+
+  for (const sys::SystemId id : sys::kAllSystems) {
+    backend_block(id, sim::App::kHarvey, app_eff, arch_eff);
+    backend_block(id, sim::App::kProxy, app_eff, arch_eff);
+  }
+
+  bench::emit(
+      "Fig. 5 (top row): cylinder application efficiencies, all backends",
+      app_eff);
+  bench::emit(
+      "Fig. 5 (bottom row): cylinder architectural efficiencies, all "
+      "backends",
+      arch_eff);
+  return 0;
+}

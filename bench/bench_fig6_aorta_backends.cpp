@@ -1,0 +1,48 @@
+// Fig. 6 reproduction: software backend comparison on the aorta.  HARVEY
+// only (the proxy was not designed for this load balancing, Section 8.1):
+// application and architectural efficiencies for every backend on every
+// system.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table app_eff({"System", "Model", "Devices", "App efficiency"});
+  Table arch_eff({"System", "Model", "Devices", "Arch efficiency"});
+
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+
+    std::vector<std::vector<bench::SeriesPoint>> all;
+    for (const hal::Model m : spec.harvey_models)
+      all.push_back(bench::run_series(id, m, sim::App::kHarvey,
+                                      bench::aorta_workload()));
+
+    const std::size_t n_points = all.front().size();
+    for (std::size_t k = 0; k < n_points; ++k) {
+      double best = 0.0;
+      for (const auto& series : all)
+        best = std::max(best, series[k].sim.mflups);
+      for (std::size_t m = 0; m < spec.harvey_models.size(); ++m) {
+        const auto& p = all[m][k];
+        app_eff.add_row({spec.name,
+                         std::string(hal::name_of(spec.harvey_models[m])),
+                         bench::device_label(p.schedule),
+                         Table::num(p.sim.mflups / best, 3)});
+        arch_eff.add_row({spec.name,
+                          std::string(hal::name_of(spec.harvey_models[m])),
+                          bench::device_label(p.schedule),
+                          Table::num(p.sim.mflups / p.prediction.mflups, 3)});
+      }
+    }
+  }
+
+  bench::emit("Fig. 6 (top row): aorta HARVEY application efficiencies",
+              app_eff);
+  bench::emit(
+      "Fig. 6 (bottom row): aorta HARVEY architectural efficiencies",
+      arch_eff);
+  return 0;
+}

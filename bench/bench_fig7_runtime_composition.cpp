@@ -1,0 +1,38 @@
+// Fig. 7 reproduction: composition of the slowest rank's runtime for the
+// aorta piecewise scaling on Polaris, Crusher and Sunspot — stream-collide
+// (memory accesses), communication events, and the CPU<->GPU staging
+// memcopies, as percentages of the iteration.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"System", "Devices", "Streamcollide %", "Communication %",
+               "CPU-to-GPU %", "GPU-to-CPU %"});
+
+  const sys::SystemId systems[] = {sys::SystemId::kPolaris,
+                                   sys::SystemId::kCrusher,
+                                   sys::SystemId::kSunspot};
+  for (const sys::SystemId id : systems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    const auto series = bench::run_series(
+        id, spec.native_model, sim::App::kHarvey, bench::aorta_workload());
+    for (const auto& p : series) {
+      const sim::Composition& c = p.sim.worst_rank;
+      const double total = c.total_s();
+      table.add_row({spec.name, bench::device_label(p.schedule),
+                     Table::num(100.0 * c.streamcollide_s / total, 1),
+                     Table::num(100.0 * c.comm_s / total, 1),
+                     Table::num(100.0 * c.h2d_s / total, 1),
+                     Table::num(100.0 * c.d2h_s / total, 1)});
+    }
+  }
+
+  bench::emit(
+      "Fig. 7: runtime composition of the slowest rank, HARVEY aorta "
+      "piecewise scaling",
+      table);
+  return 0;
+}

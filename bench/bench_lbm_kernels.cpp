@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the LBM kernels on the host engine:
+// the fused stream-collide versus the two-pass pipeline (ablation), the
+// SoA versus AoS storage layout (ablation), and the boundary-condition
+// cost on inlet/outlet-capped geometry.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "geom/cylinder.hpp"
+#include "lbm/kernels.hpp"
+#include "lbm/solver.hpp"
+
+namespace {
+
+using namespace hemo;
+
+struct KernelFixture {
+  std::shared_ptr<lbm::SparseLattice> lattice;
+  std::vector<double> f_in, f_out;
+  std::vector<std::uint8_t> types;
+  lbm::KernelArgs args;
+
+  explicit KernelFixture(geom::CylinderEnds ends, double radius = 8.0,
+                         double length = 24.0) {
+    geom::CylinderSpec spec;
+    spec.scale = 1.0;
+    spec.radius_per_scale = radius;
+    spec.axial_per_scale = length;
+    lattice = geom::make_cylinder_lattice(spec, ends);
+    const auto n = static_cast<std::size_t>(lattice->size());
+    f_in.resize(static_cast<std::size_t>(lbm::kQ) * n);
+    f_out.resize(f_in.size());
+    types.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      types[i] = static_cast<std::uint8_t>(
+          lattice->node_type(static_cast<PointIndex>(i)));
+    for (int q = 0; q < lbm::kQ; ++q)
+      std::fill_n(f_in.begin() + static_cast<std::ptrdiff_t>(q) *
+                                     static_cast<std::ptrdiff_t>(n),
+                  n, lbm::equilibrium(q, 1.0, 0.0, 0.0, 0.01));
+
+    args.f_in = f_in.data();
+    args.f_out = f_out.data();
+    args.adjacency = lattice->adjacency().data();
+    args.node_type = types.data();
+    args.n = lattice->size();
+    args.omega = 1.1;
+    args.force_z = 1e-6;
+    args.inlet_velocity = 0.01;
+    args.outlet_density = 1.0;
+  }
+};
+
+void BM_StreamCollideFused(benchmark::State& state) {
+  KernelFixture fx(geom::CylinderEnds::kPeriodic);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point(fx.args, i);
+    benchmark::DoNotOptimize(fx.f_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.args.n);
+  state.SetBytesProcessed(state.iterations() * fx.args.n * 2 * 19 * 8);
+}
+BENCHMARK(BM_StreamCollideFused);
+
+void BM_StreamThenCollideTwoPass(benchmark::State& state) {
+  KernelFixture fx(geom::CylinderEnds::kPeriodic);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_point(fx.args, i);
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::collide_point(fx.args, i);
+    benchmark::DoNotOptimize(fx.f_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.args.n);
+}
+BENCHMARK(BM_StreamThenCollideTwoPass);
+
+void BM_StreamCollideSoA(benchmark::State& state) {
+  KernelFixture fx(geom::CylinderEnds::kPeriodic);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point(fx.args, i);
+    benchmark::DoNotOptimize(fx.f_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.args.n);
+}
+BENCHMARK(BM_StreamCollideSoA);
+
+void BM_StreamCollideAoS(benchmark::State& state) {
+  KernelFixture fx(geom::CylinderEnds::kPeriodic);
+  // Re-pack the initial state into AoS order.
+  const auto n = static_cast<std::size_t>(fx.args.n);
+  std::vector<double> aos_in(fx.f_in.size()), aos_out(fx.f_out.size());
+  for (std::size_t i = 0; i < n; ++i)
+    for (int q = 0; q < lbm::kQ; ++q)
+      aos_in[i * lbm::kQ + static_cast<std::size_t>(q)] =
+          fx.f_in[static_cast<std::size_t>(q) * n + i];
+  fx.args.f_in = aos_in.data();
+  fx.args.f_out = aos_out.data();
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point_aos(fx.args, i);
+    benchmark::DoNotOptimize(aos_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.args.n);
+}
+BENCHMARK(BM_StreamCollideAoS);
+
+void BM_StreamCollideWithZouHeCaps(benchmark::State& state) {
+  KernelFixture fx(geom::CylinderEnds::kInletOutlet);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point(fx.args, i);
+    benchmark::DoNotOptimize(fx.f_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.args.n);
+}
+BENCHMARK(BM_StreamCollideWithZouHeCaps);
+
+void BM_FullSolverStep(benchmark::State& state) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 6.0;
+  spec.axial_per_scale = 24.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.inlet_velocity = 0.01;
+  lbm::Solver solver(lattice, options);
+  for (auto _ : state) solver.step();
+  state.SetItemsProcessed(state.iterations() * solver.size());
+}
+BENCHMARK(BM_FullSolverStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

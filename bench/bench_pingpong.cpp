@@ -1,0 +1,34 @@
+// PingPong substrate: the link-timing measurement feeding Eq. 2 of the
+// performance model (the paper adapted the Intel MPI PingPong benchmark).
+// One-way message times over a size sweep for every system and link kind.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  Table table({"System", "Link", "Bytes", "Time (us)",
+               "Effective GB/s"});
+
+  const std::pair<sys::LinkKind, const char*> links[] = {
+      {sys::LinkKind::kIntranode, "intranode"},
+      {sys::LinkKind::kInternode, "internode"},
+      {sys::LinkKind::kCpuGpu, "cpu-gpu"},
+  };
+
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    for (const auto& [kind, name] : links) {
+      for (std::int64_t bytes = 8; bytes <= (8 << 20); bytes *= 16) {
+        const double t = sys::pingpong_time_s(spec, kind, bytes);
+        table.add_row({spec.name, name, std::to_string(bytes),
+                       Table::num(t * 1e6, 3),
+                       Table::num(bytes / t / 1e9, 3)});
+      }
+    }
+  }
+
+  bench::emit("PingPong (simulated links): one-way message time", table);
+  return 0;
+}

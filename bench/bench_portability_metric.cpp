@@ -1,0 +1,59 @@
+// Beyond the paper's figures: the quantitative version of its central
+// trade-off.  Pennycook's performance-portability metric PP (harmonic
+// mean of per-platform efficiencies; zero for applications that do not
+// run everywhere) computed for every programming model, both workloads,
+// and both efficiency definitions of Section 8.1.  Kokkos is the only
+// model that can score against the full platform set — the paper's
+// "greatest portability, but not necessarily the best performance",
+// in one number.
+
+#include "bench_common.hpp"
+#include "sim/portability.hpp"
+
+namespace {
+
+using namespace hemo;
+namespace bench = hemo::bench;
+
+void emit_block(sim::App app, sim::Workload& workload, const char* name) {
+  Table table({"Model", "Platforms", "Summit", "Polaris", "Crusher",
+               "Sunspot", "PP (supported)", "PP (all systems)"});
+
+  for (const sim::EfficiencyKind kind :
+       {sim::EfficiencyKind::kApplication,
+        sim::EfficiencyKind::kArchitectural}) {
+    const auto rows =
+        sim::portability_table(app, workload, /*device_count=*/64,
+                               /*size_multiplier=*/2, kind);
+    const char* kind_name = kind == sim::EfficiencyKind::kApplication
+                                ? " [app eff]"
+                                : " [arch eff]";
+    for (const sim::PortabilityRow& row : rows) {
+      auto cell = [&](sys::SystemId id) -> std::string {
+        auto it = row.efficiency.find(id);
+        return it == row.efficiency.end() ? "-" : Table::num(it->second, 3);
+      };
+      table.add_row({std::string(hal::name_of(row.model)) + kind_name,
+                     std::to_string(row.platforms),
+                     cell(sys::SystemId::kSummit),
+                     cell(sys::SystemId::kPolaris),
+                     cell(sys::SystemId::kCrusher),
+                     cell(sys::SystemId::kSunspot),
+                     Table::num(row.pp_supported, 3),
+                     row.pp_all == 0.0 ? "0 (not portable)"
+                                       : Table::num(row.pp_all, 3)});
+    }
+  }
+  bench::emit(std::string("Performance portability (PP), ") + name +
+                  ", 64 devices",
+              table);
+}
+
+}  // namespace
+
+int main() {
+  emit_block(sim::App::kHarvey, bench::cylinder_workload(),
+             "HARVEY cylinder");
+  emit_block(sim::App::kHarvey, bench::aorta_workload(), "HARVEY aorta");
+  return 0;
+}

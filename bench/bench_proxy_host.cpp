@@ -1,0 +1,40 @@
+// Real host execution of the proxy app through every programming-model
+// dialect: the functional-portability demonstration.  MFLUPS here are
+// *host* numbers (the substrate is the CPU engine); the cross-model
+// spread shows dialect overheads, not device performance.
+
+#include "bench_common.hpp"
+#include "proxy/proxy_app.hpp"
+
+int main() {
+  using namespace hemo;
+  namespace bench = hemo::bench;
+
+  proxy::ProxyConfig config;
+  config.scale = 0.75;  // length 63, radius 6
+  const int steps = 40;
+
+  Table table({"Model", "Fluid points", "Steps", "Host MFLUPS"});
+  for (const hal::Model m : hal::kAllModels) {
+    proxy::ProxyApp app(config);
+    const proxy::ProxyMeasurement r = app.run_on_model(m, steps);
+    table.add_row({std::string(hal::name_of(m)),
+                   std::to_string(r.fluid_points), std::to_string(r.steps),
+                   Table::num(r.mflups, 2)});
+  }
+
+  // The message-passing path: slab-decomposed multi-rank runs.
+  Table ranks({"Ranks", "Fluid points", "Steps", "Host MFLUPS"});
+  for (const int r : {1, 2, 4, 8}) {
+    proxy::ProxyConfig c = config;
+    c.ranks = r;
+    proxy::ProxyApp app(c);
+    const proxy::ProxyMeasurement m = app.run(steps);
+    ranks.add_row({std::to_string(r), std::to_string(m.fluid_points),
+                   std::to_string(m.steps), Table::num(m.mflups, 2)});
+  }
+
+  bench::emit("Proxy app on the host engine, all dialects", table);
+  bench::emit("Proxy app on the host engine, slab-decomposed ranks", ranks);
+  return 0;
+}

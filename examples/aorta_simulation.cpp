@@ -1,0 +1,89 @@
+// Aorta simulation: the real-world workload.  Builds the synthetic
+// patient aorta, decomposes it with the load-bisection balancer across
+// several ranks, runs pulsatile-ish flow through the distributed solver,
+// and reports per-outlet flow splits and decomposition statistics.
+//
+//   build/examples/aorta_simulation
+
+#include <cstdio>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "geom/aorta.hpp"
+#include "harvey/distributed_solver.hpp"
+#include "lbm/hemodynamics.hpp"
+
+int main() {
+  using namespace hemo;
+
+  geom::AortaSpec spec;
+  spec.spacing_mm = 1.4;  // coarse but fully resolved topology
+  auto lattice = geom::make_aorta_lattice(spec);
+  const Box box = lattice->bounding_box();
+  std::printf("synthetic aorta: %lld fluid points in a %lld x %lld x %lld "
+              "box (%.1f%% fill)\n",
+              static_cast<long long>(lattice->size()),
+              static_cast<long long>(box.extent(0)),
+              static_cast<long long>(box.extent(1)),
+              static_cast<long long>(box.extent(2)),
+              100.0 * static_cast<double>(lattice->size()) /
+                  static_cast<double>(box.volume()));
+
+  const int ranks = 8;
+  const decomp::Partition partition =
+      decomp::bisection_partition(*lattice, ranks);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, partition);
+  std::printf("bisection decomposition over %d ranks: imbalance %.4f, "
+              "%zu halo messages, %lld values/step\n",
+              ranks, partition.imbalance(), plan.messages.size(),
+              static_cast<long long>(plan.total_values()));
+
+  lbm::SolverOptions options;
+  options.tau = 0.85;
+  options.inlet_velocity = 0.015;
+  options.outlet_density = 1.0;
+
+  harvey::DistributedSolver solver(lattice, partition, options);
+
+  // Pulsatile inflow: one synthetic cardiac cycle of 300 steps, peak
+  // systolic inlet velocity 0.02, diastolic baseline 25% of peak.
+  const lbm::CardiacWaveform wave(300, 0.02, 0.25);
+  std::printf("running %d ranks over two cardiac cycles (period %d, "
+              "mean inlet velocity %.4f)...\n",
+              ranks, wave.period(), wave.mean());
+  for (int step = 0; step < 600; ++step) {
+    solver.set_inlet_velocity(wave.at(step));
+    solver.step();
+  }
+
+  // Flow split across the outlets: descending aorta (domain bottom)
+  // versus the three arch branches (domain top).
+  double descending = 0.0, branches = 0.0, inflow = 0.0;
+  for (PointIndex i = 0; i < lattice->size(); ++i) {
+    const lbm::Moments m = solver.global_moments(i);
+    switch (lattice->node_type(i)) {
+      case lbm::NodeType::kVelocityInlet:
+        inflow += m.rho * m.uz;
+        break;
+      case lbm::NodeType::kPressureOutletLow:
+        descending += -m.rho * m.uz;  // outflow points down
+        break;
+      case lbm::NodeType::kPressureOutlet:
+        branches += m.rho * m.uz;
+        break;
+      default:
+        break;
+    }
+  }
+  std::printf("mass flux after %lld steps:\n",
+              static_cast<long long>(solver.step_count()));
+  std::printf("  inflow (ascending root):    %+.5f\n", inflow);
+  std::printf("  outflow (descending aorta): %+.5f (%.0f%%)\n", descending,
+              100.0 * descending / (descending + branches));
+  std::printf("  outflow (arch branches):    %+.5f (%.0f%%)\n", branches,
+              100.0 * branches / (descending + branches));
+  std::printf("communication ledger: %lld messages, %lld bytes total\n",
+              solver.network().message_count(),
+              solver.network().total_bytes());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: simulate pressure-driven flow through a small cylindrical
+// vessel, check the physics, and time the kernel — the five-minute tour
+// of the HemoFlow API.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "geom/cylinder.hpp"
+#include "lbm/solver.hpp"
+#include "proxy/proxy_app.hpp"
+
+int main() {
+  using namespace hemo;
+
+  // 1. A geometry: the proxy cylinder at scale x = 0.5 (length 42,
+  //    radius 4), with a Zou-He velocity inlet and pressure outlet.
+  geom::CylinderSpec spec;
+  spec.scale = 0.5;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  std::printf("geometry: %lld fluid points\n",
+              static_cast<long long>(lattice->size()));
+
+  // 2. A solver: BGK with tau = 0.9 (kinematic viscosity %.3f in lattice
+  //    units), driven by a 1%% inlet velocity.
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.inlet_velocity = 0.01;
+  options.outlet_density = 1.0;
+  lbm::Solver solver(lattice, options);
+  std::printf("viscosity: %.4f (lattice units)\n",
+              lbm::viscosity_of_tau(options.tau));
+
+  // 3. Run and watch the flow develop.
+  for (int block = 0; block < 5; ++block) {
+    solver.run(200);
+    double flux = 0.0;
+    int count = 0;
+    for (PointIndex i = 0; i < solver.size(); ++i) {
+      if (lattice->coord(i).z != 21) continue;
+      flux += solver.moments(i).uz;
+      ++count;
+    }
+    std::printf("step %4lld: mean axial velocity at mid-channel = %.5f\n",
+                static_cast<long long>(solver.step_count()),
+                flux / count);
+  }
+  // An open channel exchanges mass through its ends; the mean density
+  // settles slightly above the outlet value because of the driving
+  // pressure gradient.
+  std::printf("mean density after %lld steps: %.6f\n",
+              static_cast<long long>(solver.step_count()),
+              solver.total_mass() / static_cast<double>(solver.size()));
+
+  // 4. The same workload through the proxy application wrapper, with
+  //    MFLUPS accounting.
+  proxy::ProxyConfig config;
+  config.scale = 0.5;
+  proxy::ProxyApp app(config);
+  const proxy::ProxyMeasurement m = app.run(100);
+  std::printf("proxy app: %.2f MFLUPS on the host engine (%lld points, "
+              "%d steps)\n",
+              m.mflups, static_cast<long long>(m.fluid_points), m.steps);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Scaling study: interrogate the calibrated cluster simulator for one
+// (system, model, workload) combination and print the piecewise scaling
+// series with the performance-model prediction and both efficiency
+// metrics — the analysis loop of Section 8 as a command-line tool.
+//
+//   build/examples/scaling_study [summit|polaris|crusher|sunspot] [model]
+//
+// where model is one of: cuda hip sycl kokkos-cuda kokkos-hip kokkos-sycl
+// kokkos-openacc (must be available on the chosen system).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hemo;
+
+sys::SystemId parse_system(const char* name) {
+  if (std::strcmp(name, "summit") == 0) return sys::SystemId::kSummit;
+  if (std::strcmp(name, "polaris") == 0) return sys::SystemId::kPolaris;
+  if (std::strcmp(name, "crusher") == 0) return sys::SystemId::kCrusher;
+  if (std::strcmp(name, "sunspot") == 0) return sys::SystemId::kSunspot;
+  std::fprintf(stderr, "unknown system '%s'\n", name);
+  std::exit(1);
+}
+
+hal::Model parse_model(const char* name) {
+  for (const hal::Model m : hal::kAllModels) {
+    std::string spelled{hal::name_of(m)};
+    for (char& c : spelled) c = static_cast<char>(std::tolower(c));
+    if (spelled == name) return m;
+  }
+  std::fprintf(stderr, "unknown model '%s'\n", name);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sys::SystemId system =
+      parse_system(argc > 1 ? argv[1] : "crusher");
+  const hal::Model model = parse_model(argc > 2 ? argv[2] : "hip");
+
+  if (!sim::model_available(system, model)) {
+    std::fprintf(stderr, "%s was not evaluated on %s in the study\n",
+                 std::string(hal::name_of(model)).c_str(),
+                 sys::system_spec(system).name.c_str());
+    return 1;
+  }
+
+  sim::Workload cylinder =
+      sim::Workload::cylinder(sim::DecompositionKind::kBisection);
+  sim::Workload aorta = sim::Workload::aorta();
+
+  const sim::ClusterSimulator harvey(system, model, sim::App::kHarvey);
+  const sim::ClusterSimulator proxy(system, model, sim::App::kProxy);
+
+  std::printf("%s / %s — HARVEY piecewise scaling\n",
+              sys::system_spec(system).name.c_str(),
+              std::string(hal::name_of(model)).c_str());
+  std::printf("%8s %6s | %12s %12s %9s | %12s %9s\n", "devices", "size",
+              "cyl MFLUPS", "pred", "arch-eff", "aorta MFLUPS", "comm %");
+
+  for (const auto& sp :
+       sys::piecewise_schedule(sys::system_spec(system).max_devices)) {
+    const sim::SimPoint c =
+        harvey.simulate(cylinder, sp.devices, sp.size_multiplier);
+    const auto pred =
+        harvey.predict(cylinder, sp.devices, sp.size_multiplier);
+    const sim::SimPoint a =
+        harvey.simulate(aorta, sp.devices, sp.size_multiplier);
+    std::printf("%8d %5dx | %12.0f %12.0f %8.2f%% | %12.0f %8.1f%%\n",
+                sp.devices, sp.size_multiplier, c.mflups, pred.mflups,
+                100.0 * c.mflups / pred.mflups, a.mflups,
+                100.0 * a.worst_rank.comm_s / a.worst_rank.total_s());
+  }
+
+  std::printf("\nproxy app, cylinder:\n");
+  for (const auto& sp :
+       sys::piecewise_schedule(sys::system_spec(system).max_devices)) {
+    const sim::SimPoint p =
+        proxy.simulate(cylinder, sp.devices, sp.size_multiplier);
+    std::printf("%8d %5dx | %12.0f MFLUPS\n", sp.devices,
+                sp.size_multiplier, p.mflups);
+  }
+  return 0;
+}

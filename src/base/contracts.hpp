@@ -1,0 +1,29 @@
+#pragma once
+// Lightweight precondition/postcondition checks in the spirit of the
+// C++ Core Guidelines (I.5/I.7, Expects/Ensures).  Violations indicate
+// programmer error, so they abort rather than throw.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hemo {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace hemo
+
+#define HEMO_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::hemo::contract_failure("Precondition", #cond, __FILE__, __LINE__))
+
+#define HEMO_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::hemo::contract_failure("Postcondition", #cond, __FILE__, __LINE__))
+
+#define HEMO_ASSERT(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::hemo::contract_failure("Assertion", #cond, __FILE__, __LINE__))

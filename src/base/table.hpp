@@ -1,0 +1,37 @@
+#pragma once
+// Minimal aligned-text and CSV table writer used by every benchmark binary
+// to print the rows/series of the paper's tables and figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hemo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Column-aligned plain text, suitable for terminal output.
+  void print_aligned(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with the given precision, trimming trailing zeros.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hemo

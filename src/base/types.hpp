@@ -1,0 +1,87 @@
+#pragma once
+// Fundamental index and geometry types shared across all HemoFlow modules.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+namespace hemo {
+
+/// Index of a fluid lattice point within a rank-local or global point list.
+using PointIndex = std::int64_t;
+
+/// MPI-style rank identifier in the communication substrate.
+using Rank = int;
+
+/// Sentinel for "no neighbor" / solid wall in adjacency lists.
+inline constexpr PointIndex kSolidNeighbor = -1;
+
+/// Integer lattice coordinate (lattice units, one cell per unit).
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+
+  Coord operator+(const Coord& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Coord operator-(const Coord& o) const { return {x - o.x, y - o.y, z - o.z}; }
+};
+
+/// Double-precision 3-vector for velocities, forces and positions.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+};
+
+/// Axis-aligned integer bounding box, inclusive of lo, exclusive of hi.
+struct Box {
+  Coord lo;
+  Coord hi;
+
+  std::int64_t extent(int axis) const {
+    switch (axis) {
+      case 0: return hi.x - lo.x;
+      case 1: return hi.y - lo.y;
+      default: return hi.z - lo.z;
+    }
+  }
+  std::int64_t volume() const { return extent(0) * extent(1) * extent(2); }
+  bool contains(const Coord& c) const {
+    return c.x >= lo.x && c.x < hi.x && c.y >= lo.y && c.y < hi.y &&
+           c.z >= lo.z && c.z < hi.z;
+  }
+  /// Longest axis (0=x, 1=y, 2=z); ties broken toward the lower axis.
+  int longest_axis() const {
+    int axis = 0;
+    std::int64_t best = extent(0);
+    for (int a = 1; a < 3; ++a) {
+      if (extent(a) > best) {
+        best = extent(a);
+        axis = a;
+      }
+    }
+    return axis;
+  }
+};
+
+struct CoordHash {
+  std::size_t operator()(const Coord& c) const noexcept {
+    // 3D -> 1D mix; coordinates in this project are well under 2^21.
+    std::uint64_t h = static_cast<std::uint32_t>(c.x);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(c.y);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(c.z);
+    return std::hash<std::uint64_t>{}(h);
+  }
+};
+
+}  // namespace hemo

@@ -1,0 +1,38 @@
+#include "comm/network.hpp"
+
+#include "base/contracts.hpp"
+
+namespace hemo::comm {
+
+Network::Network(int n_ranks) : n_ranks_(n_ranks) {
+  HEMO_EXPECTS(n_ranks >= 1);
+}
+
+void Network::send(Rank src, Rank dst, std::vector<double> payload) {
+  HEMO_EXPECTS(src >= 0 && src < n_ranks_);
+  HEMO_EXPECTS(dst >= 0 && dst < n_ranks_);
+  HEMO_EXPECTS(src != dst);
+  ledger_.push_back(MessageRecord{
+      src, dst,
+      static_cast<std::int64_t>(payload.size() * sizeof(double))});
+  in_flight_[{src, dst}].push_back(std::move(payload));
+}
+
+std::vector<double> Network::receive(Rank dst, Rank src) {
+  auto it = in_flight_.find({src, dst});
+  HEMO_EXPECTS(it != in_flight_.end() && !it->second.empty());
+  std::vector<double> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) in_flight_.erase(it);
+  return payload;
+}
+
+bool Network::drained() const { return in_flight_.empty(); }
+
+std::int64_t Network::total_bytes() const {
+  std::int64_t total = 0;
+  for (const MessageRecord& m : ledger_) total += m.bytes;
+  return total;
+}
+
+}  // namespace hemo::comm

@@ -1,0 +1,73 @@
+#pragma once
+// Domain decomposition interfaces.  A Partition assigns every fluid point
+// of a lattice to one rank (one GPU / GCD / tile in the paper's terms).
+//
+// Two strategies mirror the paper (Section 10): the proxy app's simple
+// slab decomposition, which is perfectly balanced for the cylinder it was
+// designed for, and HARVEY's recursive load-bisection balancer for complex
+// geometries.
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace hemo::decomp {
+
+struct Partition {
+  int n_ranks = 0;
+  std::vector<Rank> owner;  // rank of each point, indexed by PointIndex
+
+  /// Number of points owned by each rank.
+  std::vector<std::int64_t> rank_counts() const;
+
+  /// max(count) / mean(count); 1.0 means perfect balance.
+  double imbalance() const;
+
+  /// Owned point indices of one rank, in ascending order.
+  std::vector<PointIndex> points_of(Rank r) const;
+};
+
+/// Slab decomposition: points are ordered (z, y, x) and cut into n_ranks
+/// contiguous chunks of near-equal size.  This is the proxy application's
+/// scheme; for a z-aligned cylinder the cuts are flat axial slabs and the
+/// balance is perfect up to +/-1 point.
+Partition slab_partition(const lbm::SparseLattice& lattice, int n_ranks);
+
+/// Recursive load bisection: the point set is split along the longest axis
+/// of its bounding box at the weighted median, recursing until each leaf
+/// holds one rank's points.  Handles non-power-of-two rank counts by
+/// splitting ranks (and target point shares) proportionally.
+Partition bisection_partition(const lbm::SparseLattice& lattice, int n_ranks);
+
+/// One direction of a halo exchange: how many distribution values rank
+/// `src` must send to rank `dst` each iteration.
+struct HaloMessage {
+  Rank src = 0;
+  Rank dst = 0;
+  std::int64_t values = 0;  // number of crossing (point, direction) links
+
+  std::int64_t bytes() const {
+    return values * static_cast<std::int64_t>(sizeof(double));
+  }
+};
+
+/// The complete communication pattern implied by a partition: one message
+/// per ordered rank pair with at least one crossing lattice link.
+struct HaloPlan {
+  std::vector<HaloMessage> messages;  // sorted by (src, dst)
+
+  std::int64_t total_values() const;
+  /// Messages sent by one rank.
+  std::vector<HaloMessage> sends_of(Rank r) const;
+  /// Largest per-rank total send volume, in values.
+  std::int64_t max_rank_send_values(int n_ranks) const;
+};
+
+/// Builds the halo plan by walking every lattice link that crosses a rank
+/// boundary (pull scheme: dst owns point i, src owns its upstream neighbor).
+HaloPlan build_halo_plan(const lbm::SparseLattice& lattice,
+                         const Partition& partition);
+
+}  // namespace hemo::decomp

@@ -1,0 +1,177 @@
+#include "geom/aorta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "base/contracts.hpp"
+
+namespace hemo::geom {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Smooth deterministic pseudo-noise in [-1, 1]; two incommensurate
+/// harmonics so the wall irregularity does not repeat visibly.
+double wall_noise(double s) {
+  return 0.6 * std::sin(0.13 * s) + 0.4 * std::sin(0.071 * s + 1.3);
+}
+
+void sample_segment(std::vector<CenterlineSample>& out, const Vec3& a,
+                    const Vec3& b, double r0, double r1, double step_mm,
+                    double noise_amplitude, double noise_phase) {
+  const Vec3 d = b - a;
+  const double len = std::sqrt(d.norm2());
+  const int steps = std::max(2, static_cast<int>(len / step_mm));
+  for (int k = 0; k <= steps; ++k) {
+    const double t = static_cast<double>(k) / steps;
+    const double radius = r0 + (r1 - r0) * t;
+    const double wobble =
+        1.0 + noise_amplitude * wall_noise(noise_phase + t * len);
+    out.push_back({a + d * t, radius * wobble});
+  }
+}
+
+void sample_arch(std::vector<CenterlineSample>& out, const AortaSpec& spec,
+                 double step_mm) {
+  // Semicircle in the x-z plane, centered above the ascending aorta.
+  const Vec3 center{spec.arch_radius, 0.0, spec.ascending_length};
+  const double arc_len = kPi * spec.arch_radius;
+  const int steps = std::max(8, static_cast<int>(arc_len / step_mm));
+  for (int k = 0; k <= steps; ++k) {
+    const double t = static_cast<double>(k) / steps;
+    const double angle = kPi * (1.0 - t);  // 180 deg (ascending) -> 0 (descending)
+    const Vec3 p{center.x + spec.arch_radius * std::cos(angle), 0.0,
+                 center.z + spec.arch_radius * std::sin(angle)};
+    const double radius = spec.ascending_radius +
+                          (spec.descending_radius_top - spec.ascending_radius) * t;
+    const double wobble =
+        1.0 + spec.irregularity * wall_noise(300.0 + t * arc_len);
+    out.push_back({p, radius * wobble});
+  }
+}
+
+}  // namespace
+
+std::vector<CenterlineSample> aorta_centerline(const AortaSpec& spec) {
+  HEMO_EXPECTS(spec.spacing_mm > 0.0);
+  const double step = std::max(spec.spacing_mm * 0.5, 0.05);
+  std::vector<CenterlineSample> samples;
+
+  // Ascending aorta: straight up from the root at the origin.
+  sample_segment(samples, Vec3{0.0, 0.0, 0.0},
+                 Vec3{0.0, 0.0, spec.ascending_length}, spec.ascending_radius,
+                 spec.ascending_radius, step, spec.irregularity, 0.0);
+
+  sample_arch(samples, spec, step);
+
+  // Descending aorta: straight down past the root level, tapering.
+  const Vec3 desc_top{2.0 * spec.arch_radius, 0.0, spec.ascending_length};
+  const Vec3 desc_bottom{2.0 * spec.arch_radius, 0.0,
+                         -spec.descending_length};
+  sample_segment(samples, desc_top, desc_bottom, spec.descending_radius_top,
+                 spec.descending_radius_bottom, step, spec.irregularity,
+                 700.0);
+
+  // Arch branches: vertical vessels whose tips all reach the same height
+  // so the branch outlets form a single z-max plane.
+  const double tip_z = spec.ascending_length + spec.arch_radius + 35.0;
+  for (int b = 0; b < 3; ++b) {
+    const double angle = spec.branch_angles_deg[b] * kPi / 180.0;
+    const Vec3 base{spec.arch_radius + spec.arch_radius * std::cos(angle), 0.0,
+                    spec.ascending_length + spec.arch_radius * std::sin(angle)};
+    const Vec3 tip{base.x, 0.0, tip_z};
+    sample_segment(samples, base, tip, spec.branch_radius[b],
+                   spec.branch_radius[b] * 0.9, step, spec.irregularity,
+                   1200.0 + 400.0 * b);
+  }
+  return samples;
+}
+
+std::vector<Coord> aorta_points(const AortaSpec& spec) {
+  const std::vector<CenterlineSample> line = aorta_centerline(spec);
+  const double h = spec.spacing_mm;
+
+  // Global z offset so all lattice coordinates are non-negative: the
+  // descending outlet plane lands on z = 0.
+  const double z_offset = spec.descending_length;
+  const double x_offset = spec.ascending_radius * 1.5;
+  const double y_offset = spec.ascending_radius * 1.5;
+
+  std::unordered_set<Coord, CoordHash> voxels;
+  for (const CenterlineSample& s : line) {
+    const double cx = (s.position.x + x_offset) / h;
+    const double cy = (s.position.y + y_offset) / h;
+    const double cz = (s.position.z + z_offset) / h;
+    const double r = s.radius / h;
+    const auto x0 = static_cast<std::int32_t>(std::floor(cx - r));
+    const auto x1 = static_cast<std::int32_t>(std::ceil(cx + r));
+    const auto y0 = static_cast<std::int32_t>(std::floor(cy - r));
+    const auto y1 = static_cast<std::int32_t>(std::ceil(cy + r));
+    const auto z0 = static_cast<std::int32_t>(std::floor(cz - r));
+    const auto z1 = static_cast<std::int32_t>(std::ceil(cz + r));
+    const double r2 = r * r;
+    for (std::int32_t z = std::max(0, z0); z <= z1; ++z)
+      for (std::int32_t y = std::max(0, y0); y <= y1; ++y)
+        for (std::int32_t x = std::max(0, x0); x <= x1; ++x) {
+          const double dx = x - cx, dy = y - cy, dz = z - cz;
+          if (dx * dx + dy * dy + dz * dz < r2)
+            voxels.insert(Coord{x, y, z});
+        }
+  }
+
+  // Clip above the branch-tip plane and below the ascending root so the
+  // inlet/outlet caps are flat planes (the descending outlet is already
+  // flattened by the z >= 0 clip during stamping).
+  const auto tip_plane = static_cast<std::int32_t>(
+      (spec.ascending_length + spec.arch_radius + 35.0 + z_offset) / h - 1.0);
+  const auto inlet_plane =
+      static_cast<std::int32_t>(std::round(spec.descending_length / h));
+  const auto x_mid =
+      static_cast<std::int32_t>((spec.arch_radius + x_offset) / h);
+
+  std::vector<Coord> points;
+  points.reserve(voxels.size());
+  for (const Coord& c : voxels) {
+    if (c.z > tip_plane) continue;
+    if (c.z < inlet_plane && c.x < x_mid) continue;  // below the root cap
+    points.push_back(c);
+  }
+
+  std::sort(points.begin(), points.end(), [](const Coord& a, const Coord& b) {
+    if (a.z != b.z) return a.z < b.z;
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  HEMO_ENSURES(!points.empty());
+  return points;
+}
+
+std::shared_ptr<lbm::SparseLattice> make_aorta_lattice(const AortaSpec& spec) {
+  auto lattice =
+      std::make_shared<lbm::SparseLattice>(aorta_points(spec), lbm::Periodicity{});
+
+  const Box box = lattice->bounding_box();
+  const double h = spec.spacing_mm;
+  // Plane of the ascending-aorta root (inlet): z = descending_length in mm.
+  const auto inlet_plane =
+      static_cast<std::int32_t>(std::round(spec.descending_length / h));
+  // The descending aorta also crosses the inlet plane but sits at larger x
+  // (~2*arch_radius); the arch midpoint separates the two.
+  const auto x_mid = static_cast<std::int32_t>(
+      (spec.arch_radius + spec.ascending_radius * 1.5) / h);
+
+  for (PointIndex i = 0; i < lattice->size(); ++i) {
+    const Coord& c = lattice->coord(i);
+    if (c.z == box.lo.z) {
+      lattice->set_node_type(i, lbm::NodeType::kPressureOutletLow);
+    } else if (c.z == box.hi.z - 1) {
+      lattice->set_node_type(i, lbm::NodeType::kPressureOutlet);
+    } else if (c.z == inlet_plane && c.x < x_mid) {
+      lattice->set_node_type(i, lbm::NodeType::kVelocityInlet);
+    }
+  }
+  return lattice;
+}
+
+}  // namespace hemo::geom

@@ -1,0 +1,67 @@
+#include "geom/cylinder.hpp"
+
+#include <cmath>
+
+#include "base/contracts.hpp"
+
+namespace hemo::geom {
+
+std::vector<Coord> cylinder_points(const CylinderSpec& spec) {
+  HEMO_EXPECTS(spec.scale > 0.0);
+  const std::int64_t length = spec.length();
+  const double radius = spec.radius();
+  HEMO_EXPECTS(length >= 1 && radius >= 1.0);
+
+  // Center the axis on a half-integer so the cross-section is symmetric.
+  const auto r_cells = static_cast<std::int32_t>(std::ceil(radius));
+  const double cx = r_cells - 0.5;
+  const double cy = r_cells - 0.5;
+  const double r2 = radius * radius;
+
+  std::vector<Coord> points;
+  points.reserve(static_cast<std::size_t>(cylinder_point_estimate(spec) * 1.1));
+  for (std::int32_t z = 0; z < length; ++z) {
+    for (std::int32_t y = 0; y < 2 * r_cells; ++y) {
+      for (std::int32_t x = 0; x < 2 * r_cells; ++x) {
+        const double dx = x - cx;
+        const double dy = y - cy;
+        if (dx * dx + dy * dy < r2) points.push_back(Coord{x, y, z});
+      }
+    }
+  }
+  HEMO_ENSURES(!points.empty());
+  return points;
+}
+
+double cylinder_point_estimate(const CylinderSpec& spec) {
+  const double r = spec.radius();
+  return 3.14159265358979323846 * r * r *
+         static_cast<double>(spec.length());
+}
+
+std::shared_ptr<lbm::SparseLattice> make_cylinder_lattice(
+    const CylinderSpec& spec, CylinderEnds ends) {
+  std::vector<Coord> points = cylinder_points(spec);
+  const auto length = static_cast<std::int32_t>(spec.length());
+
+  lbm::Periodicity periodic;
+  if (ends == CylinderEnds::kPeriodic) {
+    periodic.axis[2] = true;
+    periodic.period[2] = length;
+  }
+  auto lattice =
+      std::make_shared<lbm::SparseLattice>(std::move(points), periodic);
+
+  if (ends == CylinderEnds::kInletOutlet) {
+    for (PointIndex i = 0; i < lattice->size(); ++i) {
+      const Coord& c = lattice->coord(i);
+      if (c.z == 0)
+        lattice->set_node_type(i, lbm::NodeType::kVelocityInlet);
+      else if (c.z == length - 1)
+        lattice->set_node_type(i, lbm::NodeType::kPressureOutlet);
+    }
+  }
+  return lattice;
+}
+
+}  // namespace hemo::geom

@@ -1,0 +1,171 @@
+#include "hal/cudax.hpp"
+
+#include <atomic>
+
+#include "hal/device.hpp"
+
+namespace {
+
+std::atomic<cudaxError_t> g_last_error{cudaxSuccess};
+std::atomic<std::uint64_t> g_next_stream{1};
+
+hemo::hal::DeviceEngine& eng() {
+  return hemo::hal::DeviceEngine::instance();
+}
+
+cudaxError_t fail(cudaxError_t err) {
+  g_last_error.store(err);
+  return err;
+}
+
+}  // namespace
+
+namespace hemo::hal::cudax_detail {
+
+cudaxError_t validate_launch(dim3x grid, dim3x block) {
+  if (grid.x == 0 || block.x == 0 || grid.y != 1 || grid.z != 1 ||
+      block.y != 1 || block.z != 1) {
+    // This dialect only models 1D launch geometry; HARVEY's kernels are
+    // flattened to 1D over the sparse fluid-point list anyway.
+    return cudaxErrorInvalidConfiguration;
+  }
+  if (block.x > 1024) return cudaxErrorInvalidConfiguration;
+  return cudaxSuccess;
+}
+
+DeviceEngine& engine() { return eng(); }
+
+void set_last_error(cudaxError_t err) { g_last_error.store(err); }
+
+}  // namespace hemo::hal::cudax_detail
+
+const char* cudaxGetErrorString(cudaxError_t err) {
+  switch (err) {
+    case cudaxSuccess: return "no error";
+    case cudaxErrorInvalidValue: return "invalid argument";
+    case cudaxErrorMemoryAllocation: return "out of memory";
+    case cudaxErrorInvalidDevicePointer: return "invalid device pointer";
+    case cudaxErrorInvalidConfiguration: return "invalid configuration";
+  }
+  return "unknown error";
+}
+
+cudaxError_t cudaxMalloc(void** ptr, std::size_t bytes) {
+  if (ptr == nullptr) return fail(cudaxErrorInvalidValue);
+  void* p = eng().allocate(bytes);
+  if (p == nullptr) return fail(cudaxErrorMemoryAllocation);
+  *ptr = p;
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxMallocManaged(void** ptr, std::size_t bytes) {
+  // Managed memory behaves identically on the host engine; the distinction
+  // matters to the porting tools and the performance profiles, not to
+  // functional behaviour.
+  return cudaxMalloc(ptr, bytes);
+}
+
+cudaxError_t cudaxFree(void* ptr) {
+  if (ptr == nullptr) return cudaxSuccess;  // CUDA allows freeing nullptr
+  if (!eng().deallocate(ptr)) return fail(cudaxErrorInvalidDevicePointer);
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxMemcpy(void* dst, const void* src, std::size_t bytes,
+                         cudaxMemcpyKind kind) {
+  if (dst == nullptr || src == nullptr) return fail(cudaxErrorInvalidValue);
+  switch (kind) {
+    case cudaxMemcpyHostToDevice:
+      if (!eng().owns(dst)) return fail(cudaxErrorInvalidDevicePointer);
+      eng().copy_h2d(dst, src, bytes);
+      return cudaxSuccess;
+    case cudaxMemcpyDeviceToHost:
+      if (!eng().owns(const_cast<void*>(src)))
+        return fail(cudaxErrorInvalidDevicePointer);
+      eng().copy_d2h(dst, src, bytes);
+      return cudaxSuccess;
+    case cudaxMemcpyDeviceToDevice:
+      if (!eng().owns(dst) || !eng().owns(const_cast<void*>(src)))
+        return fail(cudaxErrorInvalidDevicePointer);
+      eng().copy_d2d(dst, src, bytes);
+      return cudaxSuccess;
+  }
+  return fail(cudaxErrorInvalidValue);
+}
+
+cudaxError_t cudaxMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                              cudaxMemcpyKind kind, cudaxStream_t /*stream*/) {
+  // The engine is synchronous; async degenerates to a blocking copy.
+  return cudaxMemcpy(dst, src, bytes, kind);
+}
+
+cudaxError_t cudaxMemset(void* dst, int value, std::size_t bytes) {
+  if (dst == nullptr) return fail(cudaxErrorInvalidValue);
+  if (!eng().owns(dst)) return fail(cudaxErrorInvalidDevicePointer);
+  auto* p = static_cast<unsigned char*>(dst);
+  for (std::size_t i = 0; i < bytes; ++i)
+    p[i] = static_cast<unsigned char>(value);
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxMemcpyToSymbol(void* symbol, const void* src,
+                                 std::size_t bytes) {
+  return cudaxMemcpy(symbol, src, bytes, cudaxMemcpyHostToDevice);
+}
+
+cudaxError_t cudaxMemPrefetchAsync(const void* ptr, std::size_t /*bytes*/,
+                                   int /*device*/, cudaxStream_t /*stream*/) {
+  if (ptr == nullptr) return fail(cudaxErrorInvalidValue);
+  return cudaxSuccess;  // a hint; nothing to do on the host engine
+}
+
+cudaxError_t cudaxFuncSetCacheConfig(const void* func,
+                                     cudaxFuncCache /*config*/) {
+  if (func == nullptr) return fail(cudaxErrorInvalidValue);
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxDeviceSetLimit(cudaxLimit /*limit*/, std::size_t /*value*/) {
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxStreamAttachMemAsync(cudaxStream_t /*stream*/, void* ptr,
+                                       std::size_t /*bytes*/) {
+  if (ptr == nullptr) return fail(cudaxErrorInvalidValue);
+  return cudaxSuccess;
+}
+
+double sincospi(double x, double* cos_out) {
+  // Emulates the fused CUDA intrinsic: exact at half-integer multiples,
+  // where sin(pi*x)/cos(pi*x) computed via the standard library are not.
+  constexpr double kPi = 3.14159265358979323846;
+  const double r = x - static_cast<long long>(x);
+  if (r == 0.0) {
+    const bool even = static_cast<long long>(x) % 2 == 0;
+    *cos_out = even ? 1.0 : -1.0;
+    return 0.0;
+  }
+  *cos_out = __builtin_cos(kPi * x);
+  return __builtin_sin(kPi * x);
+}
+
+cudaxError_t cudaxStreamCreate(cudaxStream_t* stream) {
+  if (stream == nullptr) return fail(cudaxErrorInvalidValue);
+  *stream = g_next_stream.fetch_add(1);
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxStreamDestroy(cudaxStream_t stream) {
+  if (stream == 0) return fail(cudaxErrorInvalidValue);
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxStreamSynchronize(cudaxStream_t /*stream*/) {
+  return cudaxSuccess;
+}
+
+cudaxError_t cudaxDeviceSynchronize() { return cudaxSuccess; }
+
+cudaxError_t cudaxGetLastError() {
+  return g_last_error.exchange(cudaxSuccess);
+}

@@ -1,0 +1,76 @@
+#include "hal/hipx.hpp"
+
+namespace {
+
+hipxError_t wrap(cudaxError_t err) { return static_cast<hipxError_t>(err); }
+
+}  // namespace
+
+const char* hipxGetErrorString(hipxError_t err) {
+  return cudaxGetErrorString(static_cast<cudaxError_t>(err));
+}
+
+hipxError_t hipxMalloc(void** ptr, std::size_t bytes) {
+  return wrap(cudaxMalloc(ptr, bytes));
+}
+
+hipxError_t hipxMallocManaged(void** ptr, std::size_t bytes) {
+  return wrap(cudaxMallocManaged(ptr, bytes));
+}
+
+hipxError_t hipxFree(void* ptr) { return wrap(cudaxFree(ptr)); }
+
+hipxError_t hipxMemcpy(void* dst, const void* src, std::size_t bytes,
+                       hipxMemcpyKind kind) {
+  return wrap(cudaxMemcpy(dst, src, bytes, static_cast<cudaxMemcpyKind>(kind)));
+}
+
+hipxError_t hipxMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                            hipxMemcpyKind kind, hipxStream_t stream) {
+  return wrap(cudaxMemcpyAsync(dst, src, bytes,
+                               static_cast<cudaxMemcpyKind>(kind), stream));
+}
+
+hipxError_t hipxMemset(void* dst, int value, std::size_t bytes) {
+  return wrap(cudaxMemset(dst, value, bytes));
+}
+
+hipxError_t hipxMemcpyToSymbol(void* symbol, const void* src,
+                               std::size_t bytes) {
+  return wrap(cudaxMemcpyToSymbol(symbol, src, bytes));
+}
+
+hipxError_t hipxMemPrefetchAsync(const void* ptr, std::size_t bytes,
+                                 int device, hipxStream_t stream) {
+  return wrap(cudaxMemPrefetchAsync(ptr, bytes, device, stream));
+}
+
+hipxError_t hipxFuncSetCacheConfig(const void* func, hipxFuncCache config) {
+  return wrap(
+      cudaxFuncSetCacheConfig(func, static_cast<cudaxFuncCache>(config)));
+}
+
+hipxError_t hipxDeviceSetLimit(hipxLimit limit, std::size_t value) {
+  return wrap(cudaxDeviceSetLimit(static_cast<cudaxLimit>(limit), value));
+}
+
+hipxError_t hipxStreamAttachMemAsync(hipxStream_t stream, void* ptr,
+                                     std::size_t bytes) {
+  return wrap(cudaxStreamAttachMemAsync(stream, ptr, bytes));
+}
+
+hipxError_t hipxStreamCreate(hipxStream_t* stream) {
+  return wrap(cudaxStreamCreate(stream));
+}
+
+hipxError_t hipxStreamDestroy(hipxStream_t stream) {
+  return wrap(cudaxStreamDestroy(stream));
+}
+
+hipxError_t hipxStreamSynchronize(hipxStream_t stream) {
+  return wrap(cudaxStreamSynchronize(stream));
+}
+
+hipxError_t hipxDeviceSynchronize() { return wrap(cudaxDeviceSynchronize()); }
+
+hipxError_t hipxGetLastError() { return wrap(cudaxGetLastError()); }

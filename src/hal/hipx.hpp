@@ -1,0 +1,62 @@
+#pragma once
+// hipx: the mini-HIP dialect.  Exactly mirrors the cudax API surface with
+// hipx-prefixed names — the property the paper highlights as what makes
+// HIPify-perl's regex conversion possible (Section 7.2: cudaMallocManaged
+// versus hipMallocManaged).  The implementation delegates to the same
+// DeviceEngine; the *performance* distinction between the models is the
+// business of hemo::sim, not of functional behaviour.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hal/cudax.hpp"  // shared dim3x and the underlying engine hooks
+
+enum hipxError_t {
+  hipxSuccess = 0,
+  hipxErrorInvalidValue = 1,
+  hipxErrorMemoryAllocation = 2,
+  hipxErrorInvalidDevicePointer = 3,
+  hipxErrorInvalidConfiguration = 4,
+};
+
+enum hipxMemcpyKind {
+  hipxMemcpyHostToDevice = 0,
+  hipxMemcpyDeviceToHost = 1,
+  hipxMemcpyDeviceToDevice = 2,
+};
+
+using hipxStream_t = std::uint64_t;
+
+const char* hipxGetErrorString(hipxError_t err);
+
+hipxError_t hipxMalloc(void** ptr, std::size_t bytes);
+hipxError_t hipxMallocManaged(void** ptr, std::size_t bytes);
+hipxError_t hipxFree(void* ptr);
+hipxError_t hipxMemcpy(void* dst, const void* src, std::size_t bytes,
+                       hipxMemcpyKind kind);
+hipxError_t hipxMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                            hipxMemcpyKind kind, hipxStream_t stream);
+hipxError_t hipxMemset(void* dst, int value, std::size_t bytes);
+hipxError_t hipxMemcpyToSymbol(void* symbol, const void* src,
+                               std::size_t bytes);
+hipxError_t hipxMemPrefetchAsync(const void* ptr, std::size_t bytes,
+                                 int device, hipxStream_t stream);
+enum hipxFuncCache { hipxFuncCachePreferNone = 0, hipxFuncCachePreferL1 = 1 };
+enum hipxLimit { hipxLimitMallocHeapSize = 0, hipxLimitStackSize = 1 };
+hipxError_t hipxFuncSetCacheConfig(const void* func, hipxFuncCache config);
+hipxError_t hipxDeviceSetLimit(hipxLimit limit, std::size_t value);
+hipxError_t hipxStreamAttachMemAsync(hipxStream_t stream, void* ptr,
+                                     std::size_t bytes);
+
+hipxError_t hipxStreamCreate(hipxStream_t* stream);
+hipxError_t hipxStreamDestroy(hipxStream_t stream);
+hipxError_t hipxStreamSynchronize(hipxStream_t stream);
+hipxError_t hipxDeviceSynchronize();
+hipxError_t hipxGetLastError();
+
+/// Launches `kernel(i)` over grid.x blocks of block.x threads, like
+/// cudaxLaunchKernel.
+template <typename Kernel>
+hipxError_t hipxLaunchKernel(dim3x grid, dim3x block, Kernel kernel) {
+  return static_cast<hipxError_t>(cudaxLaunchKernel(grid, block, kernel));
+}

@@ -1,0 +1,50 @@
+#include "hal/kokkosx.hpp"
+
+namespace hemo::hal::kokkosx {
+
+namespace {
+bool g_initialized = false;
+Backend g_backend = Backend::kCuda;
+}  // namespace
+
+void initialize(Backend backend) {
+  HEMO_EXPECTS(!g_initialized);
+  g_initialized = true;
+  g_backend = backend;
+}
+
+void finalize() {
+  HEMO_EXPECTS(g_initialized);
+  g_initialized = false;
+}
+
+bool is_initialized() { return g_initialized; }
+
+Backend current_backend() {
+  HEMO_EXPECTS(g_initialized);
+  return g_backend;
+}
+
+namespace detail {
+
+Allocation::Allocation(std::size_t bytes_in, bool device_in)
+    : bytes(bytes_in), device(device_in) {
+  if (device) {
+    data = DeviceEngine::instance().allocate(bytes);
+    HEMO_ENSURES(data != nullptr);
+  } else {
+    data = ::operator new(bytes == 0 ? 1 : bytes);
+  }
+}
+
+Allocation::~Allocation() {
+  if (device) {
+    DeviceEngine::instance().deallocate(data);
+  } else {
+    ::operator delete(data);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace hemo::hal::kokkosx

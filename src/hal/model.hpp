@@ -1,0 +1,64 @@
+#pragma once
+// Taxonomy of the programming models evaluated in the paper (Section 5):
+// the three single-model implementations (CUDA, HIP, SYCL) and Kokkos with
+// its CUDA / HIP / SYCL / OpenACC backends.
+
+#include <string_view>
+
+namespace hemo::hal {
+
+enum class Model {
+  kCuda,
+  kHip,
+  kSycl,
+  kKokkosCuda,
+  kKokkosHip,
+  kKokkosSycl,
+  kKokkosOpenAcc,
+};
+
+/// The compiler/runtime backend a model ultimately executes through.
+enum class Backend { kCuda, kHip, kSycl, kOpenAcc };
+
+constexpr bool is_kokkos(Model m) {
+  return m == Model::kKokkosCuda || m == Model::kKokkosHip ||
+         m == Model::kKokkosSycl || m == Model::kKokkosOpenAcc;
+}
+
+constexpr Backend backend_of(Model m) {
+  switch (m) {
+    case Model::kCuda:
+    case Model::kKokkosCuda:
+      return Backend::kCuda;
+    case Model::kHip:
+    case Model::kKokkosHip:
+      return Backend::kHip;
+    case Model::kSycl:
+    case Model::kKokkosSycl:
+      return Backend::kSycl;
+    case Model::kKokkosOpenAcc:
+      return Backend::kOpenAcc;
+  }
+  return Backend::kCuda;  // unreachable
+}
+
+constexpr std::string_view name_of(Model m) {
+  switch (m) {
+    case Model::kCuda: return "CUDA";
+    case Model::kHip: return "HIP";
+    case Model::kSycl: return "SYCL";
+    case Model::kKokkosCuda: return "Kokkos-CUDA";
+    case Model::kKokkosHip: return "Kokkos-HIP";
+    case Model::kKokkosSycl: return "Kokkos-SYCL";
+    case Model::kKokkosOpenAcc: return "Kokkos-OpenACC";
+  }
+  return "?";
+}
+
+inline constexpr Model kAllModels[] = {
+    Model::kCuda,       Model::kHip,        Model::kSycl,
+    Model::kKokkosCuda, Model::kKokkosHip,  Model::kKokkosSycl,
+    Model::kKokkosOpenAcc,
+};
+
+}  // namespace hemo::hal

@@ -1,0 +1,37 @@
+#include "hal/syclx.hpp"
+
+namespace hemo::hal::syclx {
+
+queue& queue::memcpy(void* dst, const void* src, std::size_t bytes) {
+  if (dst == nullptr || src == nullptr)
+    throw exception("syclx: memcpy with null pointer");
+  const bool dst_dev = engine_->owns(dst);
+  const bool src_dev = engine_->owns(const_cast<void*>(src));
+  if (dst_dev && src_dev) {
+    engine_->copy_d2d(dst, src, bytes);
+  } else if (dst_dev) {
+    engine_->copy_h2d(dst, src, bytes);
+  } else if (src_dev) {
+    engine_->copy_d2h(dst, src, bytes);
+  } else {
+    throw exception("syclx: memcpy with no USM pointer involved");
+  }
+  return *this;
+}
+
+queue& queue::memset(void* dst, int value, std::size_t bytes) {
+  if (dst == nullptr || !engine_->owns(dst))
+    throw exception("syclx: memset on non-USM pointer");
+  auto* p = static_cast<unsigned char*>(dst);
+  for (std::size_t i = 0; i < bytes; ++i)
+    p[i] = static_cast<unsigned char>(value);
+  return *this;
+}
+
+void free(void* ptr, queue& q) {
+  if (ptr == nullptr) return;
+  if (!q.engine().deallocate(ptr))
+    throw exception("syclx: free of unknown USM pointer");
+}
+
+}  // namespace hemo::hal::syclx

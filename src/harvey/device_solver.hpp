@@ -1,0 +1,57 @@
+#pragma once
+// DeviceSolver: the production-code path.  Runs the fused stream-collide
+// kernel on "device" memory through one of the programming-model dialects
+// (mini-CUDA, mini-HIP, mini-SYCL, or mini-Kokkos with any backend),
+// mirroring how HARVEY's CUDA kernels were ported to each model in the
+// paper.  All dialects produce bit-identical physics; they differ in API
+// mechanics and, on real hardware, in performance (modeled by hemo::sim).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hal/model.hpp"
+#include "lbm/kernels.hpp"
+#include "lbm/solver.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace hemo::harvey {
+
+class DeviceSolver {
+ public:
+  DeviceSolver(std::shared_ptr<const lbm::SparseLattice> lattice,
+               lbm::SolverOptions options, hal::Model model);
+  ~DeviceSolver();
+
+  DeviceSolver(const DeviceSolver&) = delete;
+  DeviceSolver& operator=(const DeviceSolver&) = delete;
+
+  void step();
+  void run(int steps);
+
+  hal::Model model() const { return model_; }
+  PointIndex size() const { return lattice_->size(); }
+  std::int64_t step_count() const { return steps_done_; }
+  const lbm::SparseLattice& lattice() const { return *lattice_; }
+
+  /// Copies the current post-collision distributions back to the host
+  /// (q-major SoA), through the dialect's transfer mechanism.
+  std::vector<double> distributions() const;
+
+  lbm::Moments moments(PointIndex i) const;
+  double total_mass() const;
+
+  /// Dialect-specific backend state; public only so the per-dialect
+  /// implementations in the .cpp can derive from it.
+  struct Impl;
+
+ private:
+  std::shared_ptr<const lbm::SparseLattice> lattice_;
+  lbm::SolverOptions options_;
+  hal::Model model_;
+  std::unique_ptr<Impl> impl_;
+  std::int64_t steps_done_ = 0;
+  bool owns_kokkos_runtime_ = false;
+};
+
+}  // namespace hemo::harvey

@@ -1,0 +1,314 @@
+#include "harvey/distributed_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "base/contracts.hpp"
+#include "hal/cudax.hpp"
+#include "hal/hipx.hpp"
+#include "hal/kokkosx.hpp"
+#include "hal/syclx.hpp"
+
+namespace hemo::harvey {
+
+DistributedSolver::~DistributedSolver() {
+  if (owns_kokkos_runtime_) hal::kokkosx::finalize();
+}
+
+DistributedSolver::DistributedSolver(
+    std::shared_ptr<const lbm::SparseLattice> global,
+    decomp::Partition partition, lbm::SolverOptions options)
+    : global_(std::move(global)),
+      partition_(std::move(partition)),
+      options_(options),
+      network_(partition_.n_ranks) {
+  HEMO_EXPECTS(global_ != nullptr);
+  HEMO_EXPECTS(partition_.owner.size() ==
+               static_cast<std::size_t>(global_->size()));
+  HEMO_EXPECTS(options_.tau > 0.5);
+
+  const int R = partition_.n_ranks;
+  ranks_.resize(static_cast<std::size_t>(R));
+
+  // Local index maps: global point -> (rank-local index) per rank.
+  std::vector<std::unordered_map<PointIndex, std::int64_t>> local_of(
+      static_cast<std::size_t>(R));
+
+  for (Rank r = 0; r < R; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    rs.owned_global = partition_.points_of(r);
+    HEMO_EXPECTS(!rs.owned_global.empty());
+    rs.owned = static_cast<std::int64_t>(rs.owned_global.size());
+    auto& map = local_of[static_cast<std::size_t>(r)];
+    map.reserve(rs.owned_global.size() * 2);
+    for (std::int64_t li = 0; li < rs.owned; ++li)
+      map.emplace(rs.owned_global[static_cast<std::size_t>(li)], li);
+  }
+
+  // Discover ghosts: fluid neighbors of owned points living on other ranks.
+  for (Rank r = 0; r < R; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    auto& map = local_of[static_cast<std::size_t>(r)];
+    std::vector<PointIndex> ghosts;
+    for (PointIndex gi : rs.owned_global) {
+      for (int q = 1; q < lbm::kQ; ++q) {
+        const PointIndex up = global_->neighbor(q, gi);
+        if (up == kSolidNeighbor) continue;
+        if (partition_.owner[static_cast<std::size_t>(up)] == r) continue;
+        if (map.contains(up)) continue;
+        map.emplace(up, 0);  // placeholder; fixed after sorting
+        ghosts.push_back(up);
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    for (std::size_t k = 0; k < ghosts.size(); ++k)
+      map[ghosts[k]] = rs.owned + static_cast<std::int64_t>(k);
+    rs.local = rs.owned + static_cast<std::int64_t>(ghosts.size());
+
+    // Local adjacency and node types; ghost rows are never executed, so
+    // their adjacency stays kSolidNeighbor and their type kBulk.
+    rs.adjacency.assign(static_cast<std::size_t>(lbm::kQ) *
+                            static_cast<std::size_t>(rs.local),
+                        kSolidNeighbor);
+    rs.node_type.assign(static_cast<std::size_t>(rs.local),
+                        static_cast<std::uint8_t>(lbm::NodeType::kBulk));
+    for (std::int64_t li = 0; li < rs.owned; ++li) {
+      const PointIndex gi = rs.owned_global[static_cast<std::size_t>(li)];
+      rs.node_type[static_cast<std::size_t>(li)] =
+          static_cast<std::uint8_t>(global_->node_type(gi));
+      for (int q = 0; q < lbm::kQ; ++q) {
+        const PointIndex up = global_->neighbor(q, gi);
+        if (up == kSolidNeighbor) continue;
+        rs.adjacency[static_cast<std::size_t>(q) *
+                         static_cast<std::size_t>(rs.local) +
+                     static_cast<std::size_t>(li)] = map.at(up);
+      }
+    }
+
+    // Distributions: everything (ghosts included) starts at equilibrium;
+    // the first exchange overwrites ghosts with the owners' identical
+    // values, so initialization matches the single-domain solver exactly.
+    rs.f_a.resize(static_cast<std::size_t>(lbm::kQ) *
+                  static_cast<std::size_t>(rs.local));
+    rs.f_b.resize(rs.f_a.size());
+    const Vec3& u0 = options_.initial_velocity;
+    for (int q = 0; q < lbm::kQ; ++q) {
+      const double feq =
+          lbm::equilibrium(q, options_.initial_density, u0.x, u0.y, u0.z);
+      std::fill_n(rs.f_a.begin() + static_cast<std::ptrdiff_t>(q) * rs.local,
+                  rs.local, feq);
+    }
+    rs.current = rs.f_a.data();
+    rs.next = rs.f_b.data();
+  }
+
+  // Exchange lists, built centrally in deterministic (dst, local, q) order.
+  std::map<std::pair<Rank, Rank>, Exchange> pairs;
+  for (Rank d = 0; d < R; ++d) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(d)];
+    for (std::int64_t li = 0; li < rs.owned; ++li) {
+      const PointIndex gi = rs.owned_global[static_cast<std::size_t>(li)];
+      for (int q = 1; q < lbm::kQ; ++q) {
+        const PointIndex up = global_->neighbor(q, gi);
+        if (up == kSolidNeighbor) continue;
+        const Rank s = partition_.owner[static_cast<std::size_t>(up)];
+        if (s == d) continue;
+        Exchange& e = pairs[{s, d}];
+        e.src = s;
+        e.dst = d;
+        e.q.push_back(q);
+        e.src_local.push_back(local_of[static_cast<std::size_t>(s)].at(up));
+        e.dst_local.push_back(local_of[static_cast<std::size_t>(d)].at(up));
+      }
+    }
+  }
+  exchanges_.reserve(pairs.size());
+  for (auto& [key, e] : pairs) exchanges_.push_back(std::move(e));
+}
+
+lbm::KernelArgs DistributedSolver::rank_args(RankState& rs) const {
+  lbm::KernelArgs a;
+  a.f_in = rs.current;
+  a.f_out = rs.next;
+  a.adjacency = rs.adjacency.data();
+  a.node_type = rs.node_type.data();
+  a.n = rs.local;  // SoA stride spans owned + ghost slots
+  a.omega = 1.0 / options_.tau;
+  a.force_x = options_.body_force.x;
+  a.force_y = options_.body_force.y;
+  a.force_z = options_.body_force.z;
+  a.inlet_velocity = options_.inlet_velocity;
+  a.outlet_density = options_.outlet_density;
+  return a;
+}
+
+void DistributedSolver::exchange_halos() {
+  // Post every send, then drain every receive: the classic halo-exchange
+  // schedule (non-blocking sends + receives in MPI terms).
+  for (const Exchange& e : exchanges_) {
+    const RankState& src = ranks_[static_cast<std::size_t>(e.src)];
+    std::vector<double> payload(e.q.size());
+    for (std::size_t k = 0; k < e.q.size(); ++k)
+      payload[k] = src.current[static_cast<std::size_t>(e.q[k]) *
+                                   static_cast<std::size_t>(src.local) +
+                               static_cast<std::size_t>(e.src_local[k])];
+    network_.send(e.src, e.dst, std::move(payload));
+  }
+  for (const Exchange& e : exchanges_) {
+    RankState& dst = ranks_[static_cast<std::size_t>(e.dst)];
+    const std::vector<double> payload = network_.receive(e.dst, e.src);
+    HEMO_ASSERT(payload.size() == e.q.size());
+    for (std::size_t k = 0; k < e.q.size(); ++k)
+      dst.current[static_cast<std::size_t>(e.q[k]) *
+                      static_cast<std::size_t>(dst.local) +
+                  static_cast<std::size_t>(e.dst_local[k])] = payload[k];
+  }
+  HEMO_ASSERT(network_.drained());
+}
+
+void DistributedSolver::set_execution_model(hal::Model model) {
+  namespace kx = hal::kokkosx;
+  if (hal::is_kokkos(model)) {
+    const hal::Backend backend = hal::backend_of(model);
+    if (!kx::is_initialized()) {
+      kx::initialize(backend);
+      owns_kokkos_runtime_ = true;
+    } else {
+      HEMO_EXPECTS(kx::current_backend() == backend);
+    }
+  }
+  model_ = model;
+}
+
+void DistributedSolver::execute_rank_kernel(RankState& rs) {
+  const lbm::KernelArgs a = rank_args(rs);
+  const std::int64_t owned = rs.owned;
+  auto body = [a, owned](std::int64_t i) {
+    if (i >= owned) return;  // dialect grids round up to block multiples
+    lbm::stream_collide_point(a, i);
+  };
+
+  if (!model_.has_value()) {
+    for (std::int64_t i = 0; i < owned; ++i) lbm::stream_collide_point(a, i);
+    return;
+  }
+  switch (hal::backend_of(*model_)) {
+    case hal::Backend::kCuda:
+    case hal::Backend::kOpenAcc: {
+      if (hal::is_kokkos(*model_)) {
+        hal::kokkosx::parallel_for("stream_collide",
+                                   hal::kokkosx::RangePolicy(0, owned),
+                                   body);
+      } else {
+        const unsigned block = 256;
+        const auto grid = static_cast<unsigned>(
+            (owned + block - 1) / static_cast<std::int64_t>(block));
+        HEMO_ENSURES(cudaxLaunchKernel(dim3x(grid), dim3x(block), body) ==
+                     cudaxSuccess);
+      }
+      break;
+    }
+    case hal::Backend::kHip: {
+      if (hal::is_kokkos(*model_)) {
+        hal::kokkosx::parallel_for("stream_collide",
+                                   hal::kokkosx::RangePolicy(0, owned),
+                                   body);
+      } else {
+        const unsigned block = 256;
+        const auto grid = static_cast<unsigned>(
+            (owned + block - 1) / static_cast<std::int64_t>(block));
+        HEMO_ENSURES(hipxLaunchKernel(dim3x(grid), dim3x(block), body) ==
+                     hipxSuccess);
+      }
+      break;
+    }
+    case hal::Backend::kSycl: {
+      if (hal::is_kokkos(*model_)) {
+        hal::kokkosx::parallel_for("stream_collide",
+                                   hal::kokkosx::RangePolicy(0, owned),
+                                   body);
+      } else {
+        hal::syclx::queue queue;
+        queue.parallel_for(
+            hal::syclx::range<1>(static_cast<std::size_t>(owned)),
+            [body](hal::syclx::id<1> i) {
+              body(static_cast<std::int64_t>(i));
+            });
+      }
+      break;
+    }
+  }
+}
+
+void DistributedSolver::step() {
+  exchange_halos();
+  for (RankState& rs : ranks_) {
+    execute_rank_kernel(rs);
+    std::swap(rs.current, rs.next);
+  }
+  ++steps_done_;
+}
+
+void DistributedSolver::run(int steps) {
+  HEMO_EXPECTS(steps >= 0);
+  for (int s = 0; s < steps; ++s) step();
+}
+
+void DistributedSolver::set_inlet_velocity(double velocity) {
+  HEMO_EXPECTS(std::abs(velocity) < 1.0);
+  options_.inlet_velocity = velocity;
+}
+
+std::vector<double> DistributedSolver::global_distributions() const {
+  const auto n = static_cast<std::size_t>(global_->size());
+  std::vector<double> out(static_cast<std::size_t>(lbm::kQ) * n);
+  for (const RankState& rs : ranks_) {
+    for (std::int64_t li = 0; li < rs.owned; ++li) {
+      const auto gi =
+          static_cast<std::size_t>(rs.owned_global[static_cast<std::size_t>(li)]);
+      for (int q = 0; q < lbm::kQ; ++q)
+        out[static_cast<std::size_t>(q) * n + gi] =
+            rs.current[static_cast<std::size_t>(q) *
+                           static_cast<std::size_t>(rs.local) +
+                       static_cast<std::size_t>(li)];
+    }
+  }
+  return out;
+}
+
+lbm::Moments DistributedSolver::global_moments(PointIndex global_index) const {
+  HEMO_EXPECTS(global_index >= 0 && global_index < global_->size());
+  const Rank r = partition_.owner[static_cast<std::size_t>(global_index)];
+  const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+  const auto it = std::lower_bound(rs.owned_global.begin(),
+                                   rs.owned_global.end(), global_index);
+  HEMO_ASSERT(it != rs.owned_global.end() && *it == global_index);
+  const auto li = static_cast<std::size_t>(it - rs.owned_global.begin());
+  double f[lbm::kQ];
+  for (int q = 0; q < lbm::kQ; ++q)
+    f[q] = rs.current[static_cast<std::size_t>(q) *
+                          static_cast<std::size_t>(rs.local) +
+                      li];
+  return lbm::moments_of(f, options_.body_force.x, options_.body_force.y,
+                         options_.body_force.z);
+}
+
+double DistributedSolver::total_mass() const {
+  double mass = 0.0;
+  for (const RankState& rs : ranks_)
+    for (std::int64_t li = 0; li < rs.owned; ++li)
+      for (int q = 0; q < lbm::kQ; ++q)
+        mass += rs.current[static_cast<std::size_t>(q) *
+                               static_cast<std::size_t>(rs.local) +
+                           static_cast<std::size_t>(li)];
+  return mass;
+}
+
+std::int64_t DistributedSolver::owned_count(Rank r) const {
+  HEMO_EXPECTS(r >= 0 && r < partition_.n_ranks);
+  return ranks_[static_cast<std::size_t>(r)].owned;
+}
+
+}  // namespace hemo::harvey

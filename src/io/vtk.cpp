@@ -1,0 +1,61 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/contracts.hpp"
+#include "lbm/hemodynamics.hpp"
+
+namespace hemo::io {
+
+std::int64_t write_vtk(const std::string& path, const lbm::Solver& solver,
+                       const VtkFields& fields) {
+  std::ofstream out(path);
+  HEMO_EXPECTS(out.good());
+
+  const lbm::SparseLattice& lattice = solver.lattice();
+  const std::int64_t n = lattice.size();
+
+  out << "# vtk DataFile Version 3.0\n";
+  out << "HemoFlow LBM state, step " << solver.step_count() << "\n";
+  out << "ASCII\n";
+  out << "DATASET UNSTRUCTURED_GRID\n";
+
+  out << "POINTS " << n << " float\n";
+  for (PointIndex i = 0; i < n; ++i) {
+    const Coord& c = lattice.coord(i);
+    out << c.x << " " << c.y << " " << c.z << "\n";
+  }
+
+  // One vertex cell per fluid point.
+  out << "CELLS " << n << " " << 2 * n << "\n";
+  for (PointIndex i = 0; i < n; ++i) out << "1 " << i << "\n";
+  out << "CELL_TYPES " << n << "\n";
+  for (PointIndex i = 0; i < n; ++i) out << "1\n";  // VTK_VERTEX
+
+  out << "POINT_DATA " << n << "\n";
+  if (fields.density) {
+    out << "SCALARS density float 1\nLOOKUP_TABLE default\n";
+    for (PointIndex i = 0; i < n; ++i)
+      out << static_cast<float>(solver.moments(i).rho) << "\n";
+  }
+  if (fields.velocity) {
+    out << "VECTORS velocity float\n";
+    for (PointIndex i = 0; i < n; ++i) {
+      const lbm::Moments m = solver.moments(i);
+      out << static_cast<float>(m.ux) << " " << static_cast<float>(m.uy)
+          << " " << static_cast<float>(m.uz) << "\n";
+    }
+  }
+  if (fields.shear) {
+    out << "SCALARS shear float 1\nLOOKUP_TABLE default\n";
+    for (PointIndex i = 0; i < n; ++i)
+      out << static_cast<float>(lbm::shear_magnitude(solver.stress(i)))
+          << "\n";
+  }
+
+  HEMO_ENSURES(out.good());
+  return n;
+}
+
+}  // namespace hemo::io

@@ -1,0 +1,27 @@
+#pragma once
+// Legacy-VTK output of sparse lattice fields: the visualization hand-off
+// the paper's workflow ends in (Fig. 2a renders HARVEY output shaded by
+// pressure with streamlines).  Writes an ASCII unstructured grid of
+// vertex cells carrying density, velocity and shear-magnitude point data,
+// loadable by ParaView/VisIt.
+
+#include <string>
+
+#include "lbm/solver.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace hemo::io {
+
+struct VtkFields {
+  bool density = true;
+  bool velocity = true;
+  bool shear = false;  // deviatoric shear magnitude (costlier)
+};
+
+/// Writes the solver's current state; returns the number of points
+/// written.  Aborts on I/O failure (disk-full style errors are fatal to a
+/// simulation campaign and must not pass silently).
+std::int64_t write_vtk(const std::string& path, const lbm::Solver& solver,
+                       const VtkFields& fields = {});
+
+}  // namespace hemo::io

@@ -1,0 +1,150 @@
+#include "lbm/solver.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <cmath>
+
+#include "base/contracts.hpp"
+#include "lbm/hemodynamics.hpp"
+
+namespace hemo::lbm {
+
+Solver::Solver(std::shared_ptr<const SparseLattice> lattice,
+               SolverOptions options)
+    : lattice_(std::move(lattice)), options_(options) {
+  HEMO_EXPECTS(lattice_ != nullptr);
+  HEMO_EXPECTS(options_.tau > 0.5);  // positive viscosity / linear stability
+  HEMO_EXPECTS(options_.outlet_density > 0.0);
+  HEMO_EXPECTS(std::abs(options_.inlet_velocity) < 1.0);
+
+  const auto n = static_cast<std::size_t>(lattice_->size());
+  node_type_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    node_type_[i] = static_cast<std::uint8_t>(
+        lattice_->node_type(static_cast<PointIndex>(i)));
+
+  buf_a_.resize(static_cast<std::size_t>(kQ) * n);
+  buf_b_.resize(static_cast<std::size_t>(kQ) * n);
+  const auto& u0 = options_.initial_velocity;
+  for (int q = 0; q < kQ; ++q) {
+    const double feq =
+        equilibrium(q, options_.initial_density, u0.x, u0.y, u0.z);
+    std::fill_n(buf_a_.begin() + static_cast<std::ptrdiff_t>(q) *
+                                     static_cast<std::ptrdiff_t>(n),
+                n, feq);
+  }
+  current_ = &buf_a_;
+  next_ = &buf_b_;
+}
+
+KernelArgs Solver::args(const std::vector<double>& in,
+                        std::vector<double>& out) const {
+  KernelArgs a;
+  a.f_in = in.data();
+  a.f_out = out.data();
+  a.adjacency = lattice_->adjacency().data();
+  a.node_type = node_type_.data();
+  a.n = lattice_->size();
+  a.omega = 1.0 / options_.tau;
+  a.force_x = options_.body_force.x;
+  a.force_y = options_.body_force.y;
+  a.force_z = options_.body_force.z;
+  a.inlet_velocity = options_.inlet_velocity;
+  a.outlet_density = options_.outlet_density;
+  return a;
+}
+
+void Solver::step() {
+  const KernelArgs a = args(*current_, *next_);
+  for (std::int64_t i = 0; i < a.n; ++i) stream_collide_point(a, i);
+  std::swap(current_, next_);
+  ++steps_done_;
+}
+
+void Solver::run(int steps) {
+  HEMO_EXPECTS(steps >= 0);
+  for (int s = 0; s < steps; ++s) step();
+}
+
+Moments Solver::moments(PointIndex i) const {
+  HEMO_EXPECTS(i >= 0 && i < lattice_->size());
+  const auto n = static_cast<std::size_t>(lattice_->size());
+  double f[kQ];
+  for (int q = 0; q < kQ; ++q)
+    f[q] = (*current_)[static_cast<std::size_t>(q) * n +
+                       static_cast<std::size_t>(i)];
+  return moments_of(f, options_.body_force.x, options_.body_force.y,
+                    options_.body_force.z);
+}
+
+double Solver::total_mass() const {
+  double mass = 0.0;
+  for (double v : *current_) mass += v;
+  return mass;
+}
+
+void Solver::set_inlet_velocity(double velocity) {
+  HEMO_EXPECTS(std::abs(velocity) < 1.0);
+  options_.inlet_velocity = velocity;
+}
+
+std::array<double, 6> Solver::stress(PointIndex i) const {
+  HEMO_EXPECTS(i >= 0 && i < lattice_->size());
+  // The stress lives in the non-equilibrium part of the *pre-collision*
+  // distributions (collision relaxes it away — entirely so at tau = 1),
+  // so re-gather the incoming populations of the next step.
+  const KernelArgs a =
+      args(*current_, *const_cast<std::vector<double>*>(next_));
+  double f[kQ];
+  gather_pre_collision(a, i, f);
+  return deviatoric_stress(f, 1.0 / options_.tau, options_.body_force.x,
+                           options_.body_force.y, options_.body_force.z);
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x48454D4F464C4F57ull;  // "HEMOFLOW"
+}  // namespace
+
+void Solver::save_checkpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  HEMO_EXPECTS(out.good());
+  const std::uint64_t magic = kCheckpointMagic;
+  const std::int64_t n = lattice_->size();
+  const std::int64_t q = kQ;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&q), sizeof q);
+  out.write(reinterpret_cast<const char*>(&steps_done_), sizeof steps_done_);
+  out.write(reinterpret_cast<const char*>(current_->data()),
+            static_cast<std::streamsize>(current_->size() * sizeof(double)));
+  HEMO_ENSURES(out.good());
+}
+
+void Solver::restore_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HEMO_EXPECTS(in.good());
+  std::uint64_t magic = 0;
+  std::int64_t n = 0, q = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&q), sizeof q);
+  HEMO_EXPECTS(magic == kCheckpointMagic);
+  HEMO_EXPECTS(n == lattice_->size());  // checkpoint matches this lattice
+  HEMO_EXPECTS(q == kQ);
+  in.read(reinterpret_cast<char*>(&steps_done_), sizeof steps_done_);
+  in.read(reinterpret_cast<char*>(current_->data()),
+          static_cast<std::streamsize>(current_->size() * sizeof(double)));
+  HEMO_ENSURES(in.good());
+}
+
+double Solver::max_speed() const {
+  double best = 0.0;
+  for (PointIndex i = 0; i < lattice_->size(); ++i) {
+    const Moments m = moments(i);
+    best = std::max(best,
+                    std::sqrt(m.ux * m.ux + m.uy * m.uy + m.uz * m.uz));
+  }
+  return best;
+}
+
+}  // namespace hemo::lbm

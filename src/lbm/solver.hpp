@@ -1,0 +1,76 @@
+#pragma once
+// Single-domain reference solver: drives the fused stream-collide kernel on
+// the host over a SparseLattice.  This is the physics ground truth that the
+// hal-dialect solvers (hemo::harvey) and the proxy app are verified against.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "lbm/kernels.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace hemo::lbm {
+
+struct SolverOptions {
+  double tau = 1.0;               // BGK relaxation time (omega = 1/tau)
+  Vec3 body_force{};              // uniform Guo body force
+  double inlet_velocity = 0.0;    // u_z at kVelocityInlet points
+  double outlet_density = 1.0;    // rho at kPressureOutlet points
+  double initial_density = 1.0;
+  Vec3 initial_velocity{};
+};
+
+/// Kinematic viscosity implied by a BGK relaxation time.
+constexpr double viscosity_of_tau(double tau) { return kCs2 * (tau - 0.5); }
+
+class Solver {
+ public:
+  Solver(std::shared_ptr<const SparseLattice> lattice, SolverOptions options);
+
+  void step();
+  void run(int steps);
+
+  std::int64_t step_count() const { return steps_done_; }
+  PointIndex size() const { return lattice_->size(); }
+  const SparseLattice& lattice() const { return *lattice_; }
+  const SolverOptions& options() const { return options_; }
+
+  /// Post-collision distributions of the current step (q-major SoA).
+  const std::vector<double>& distributions() const { return *current_; }
+  std::vector<double>& mutable_distributions() { return *current_; }
+
+  Moments moments(PointIndex i) const;
+  double total_mass() const;
+
+  /// Maximum |u| over all points; used for stability checks.
+  double max_speed() const;
+
+  /// Updates the prescribed inlet velocity for subsequent steps; drives
+  /// pulsatile inflow when called per step with a waveform value.
+  void set_inlet_velocity(double velocity);
+
+  /// Deviatoric stress tensor at one point (see lbm/hemodynamics.hpp).
+  std::array<double, 6> stress(PointIndex i) const;
+
+  /// Binary checkpoint of the full state (distributions + step counter);
+  /// restore is bit-exact, so a restarted campaign continues identically.
+  void save_checkpoint(const std::string& path) const;
+  void restore_checkpoint(const std::string& path);
+
+ private:
+  KernelArgs args(const std::vector<double>& in, std::vector<double>& out) const;
+
+  std::shared_ptr<const SparseLattice> lattice_;
+  SolverOptions options_;
+  std::vector<std::uint8_t> node_type_;
+  std::vector<double> buf_a_, buf_b_;
+  std::vector<double>* current_;
+  std::vector<double>* next_;
+  std::int64_t steps_done_ = 0;
+};
+
+}  // namespace hemo::lbm

@@ -1,0 +1,59 @@
+#include "port/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/contracts.hpp"
+
+#ifndef HEMO_REPO_DIR
+#error "HEMO_REPO_DIR must be defined by the build system"
+#endif
+
+namespace hemo::port {
+
+namespace {
+
+const char* dialect_dir(CorpusDialect d) {
+  switch (d) {
+    case CorpusDialect::kCudax: return "cudax";
+    case CorpusDialect::kHipx: return "hipx";
+    case CorpusDialect::kSyclx: return "syclx";
+    case CorpusDialect::kKokkosx: return "kokkosx";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string corpus_directory(CorpusDialect dialect) {
+  return std::string(HEMO_REPO_DIR) + "/src/port/corpus/" +
+         dialect_dir(dialect);
+}
+
+std::vector<std::string> corpus_files() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  const fs::path dir = corpus_directory(CorpusDialect::kCudax);
+  HEMO_EXPECTS(fs::is_directory(dir));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".cpp") || name.ends_with(".h"))
+      names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string read_corpus_file(CorpusDialect dialect, const std::string& name) {
+  const std::string path = corpus_directory(dialect) + "/" + name;
+  std::ifstream in(path);
+  HEMO_EXPECTS(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace hemo::port

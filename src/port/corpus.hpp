@@ -1,0 +1,31 @@
+#pragma once
+// Access to the mini-CUDA source corpus: the 28 cudax source files under
+// src/port/corpus/ that stand in for the HARVEY CUDA codebase in the
+// porting study, together with the checked-in ports:
+//
+//   corpus/cudax/    the "legacy" code (compiled as hemo_corpus_cudax)
+//   corpus/hipx/     exactly the mini-HIPify output (zero manual lines)
+//   corpus/syclx/    mini-DPCT output plus the manual dim3/range fixes
+//   corpus/kokkosx/  the fully manual Kokkos port
+//
+// Paths resolve against the repository root baked in at configure time.
+
+#include <string>
+#include <vector>
+
+namespace hemo::port {
+
+enum class CorpusDialect { kCudax, kHipx, kSyclx, kKokkosx };
+
+/// Repository-absolute directory of one corpus dialect.
+std::string corpus_directory(CorpusDialect dialect);
+
+/// Sorted file names (e.g. "stream_collide.cpp") of the cudax corpus;
+/// the other dialects mirror the same names.
+std::vector<std::string> corpus_files();
+
+/// Reads one corpus file; aborts if missing (the corpus ships with the
+/// repository).
+std::string read_corpus_file(CorpusDialect dialect, const std::string& name);
+
+}  // namespace hemo::port

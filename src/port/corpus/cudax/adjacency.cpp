@@ -1,0 +1,45 @@
+// HARVEY mini-corpus: pull-scheme adjacency for a fully periodic box,
+// built on the host and uploaded to the device.
+
+#include <vector>
+
+#include "common.h"
+#include "lbm/d3q19.hpp"
+
+namespace harveyx {
+
+void upload_periodic_box_adjacency(DeviceState* state, int nx, int ny,
+                                   int nz) {
+  const std::int64_t n = static_cast<std::int64_t>(nx) * ny * nz;
+  std::vector<std::int64_t> adjacency(static_cast<std::size_t>(kQ) * n);
+
+  auto index_of = [&](int x, int y, int z) {
+    return (static_cast<std::int64_t>(z) * ny + y) * nx + x;
+  };
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) {
+        const std::int64_t i = index_of(x, y, z);
+        for (int q = 0; q < kQ; ++q) {
+          // Pull: direction q streams from the site at r - c_q.
+          const int ux = (x - hemo::lbm::c(q, 0) + nx) % nx;
+          const int uy = (y - hemo::lbm::c(q, 1) + ny) % ny;
+          const int uz = (z - hemo::lbm::c(q, 2) + nz) % nz;
+          adjacency[static_cast<std::size_t>(q) * n + i] =
+              index_of(ux, uy, uz);
+        }
+      }
+
+  CUDAX_CHECK(cudaxMemcpy(state->adjacency, adjacency.data(),
+                          adjacency.size() * sizeof(std::int64_t),
+                          cudaxMemcpyHostToDevice));
+  CUDAX_CHECK(cudaxMemset(state->node_type, 0,
+                          static_cast<std::size_t>(n)));
+  // Touch both distribution buffers so first-use faults are not timed.
+  CUDAX_CHECK(cudaxMemset(state->f_old, 0,
+                          static_cast<std::size_t>(kQ) * n * sizeof(double)));
+  CUDAX_CHECK(cudaxMemset(state->f_new, 0,
+                          static_cast<std::size_t>(kQ) * n * sizeof(double)));
+}
+
+}  // namespace harveyx

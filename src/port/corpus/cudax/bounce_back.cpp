@@ -1,0 +1,44 @@
+// HARVEY mini-corpus: explicit bounce-back sweep.  In the fused kernel
+// the wall reflection is folded into the gather; this standalone pass is
+// kept for the two-pass pipeline and for regression comparisons.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+// Re-gathers wall-adjacent points only (node type is irrelevant here: a
+// wall is a missing upstream neighbor).
+struct BounceBackKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    if (i >= args.n) return;
+    for (int q = 0; q < kQ; ++q) {
+      if (args.adjacency[static_cast<std::int64_t>(q) * args.n + i] >= 0)
+        continue;
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          args.f_in[static_cast<std::int64_t>(hemo::lbm::opposite(q)) *
+                        args.n +
+                    i];
+    }
+  }
+};
+
+}  // namespace
+
+void apply_bounce_back(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  BounceBackKernel kernel{kernel_args(*state)};
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  CUDAX_CHECK(cudaxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,26 @@
+// HARVEY mini-corpus: checkpoint save/restore of the distribution state.
+
+#include "common.h"
+
+namespace harveyx {
+
+void write_checkpoint(DeviceState* state, double* host_scratch) {
+  const std::size_t bytes = static_cast<std::size_t>(kQ) *
+                            static_cast<std::size_t>(state->n_points) *
+                            sizeof(double);
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  CUDAX_CHECK(cudaxMemcpy(host_scratch, state->f_old, bytes,
+                          cudaxMemcpyDeviceToHost));
+}
+
+void read_checkpoint(DeviceState* state, const double* host_data) {
+  const std::size_t bytes = static_cast<std::size_t>(kQ) *
+                            static_cast<std::size_t>(state->n_points) *
+                            sizeof(double);
+  CUDAX_CHECK(cudaxMemcpy(state->f_old, host_data, bytes,
+                          cudaxMemcpyHostToDevice));
+  CUDAX_CHECK(cudaxMemcpy(state->f_new, host_data, bytes,
+                          cudaxMemcpyHostToDevice));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,22 @@
+// HARVEY mini-corpus: standalone BGK collision pass (two-pass pipeline).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_collision_only(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 128;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 127) / 128);
+
+  CollideOnlyKernel kernel{kernel_args(*state)};
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  // Collision operates in place on f_new; mark completion for profiling.
+  CUDAX_CHECK(cudaxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

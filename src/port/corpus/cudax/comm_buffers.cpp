@@ -1,0 +1,40 @@
+// HARVEY mini-corpus: communication staging buffers (pinned in the
+// production code; plain device allocations here).
+
+#include "common.h"
+
+namespace harveyx {
+
+void allocate_comm_buffers(DeviceState* state, std::int64_t halo_values) {
+  state->halo_values = halo_values;
+  if (halo_values == 0) {
+    state->send_buffer = nullptr;
+    state->recv_buffer = nullptr;
+    return;
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(halo_values) * sizeof(double);
+  CUDAX_CHECK(cudaxMalloc(reinterpret_cast<void**>(&state->send_buffer),
+                          bytes));
+  CUDAX_CHECK(cudaxMalloc(reinterpret_cast<void**>(&state->recv_buffer),
+                          bytes));
+  CUDAX_CHECK(cudaxMemset(state->send_buffer, 0, bytes));
+  CUDAX_CHECK(cudaxMemset(state->recv_buffer, 0, bytes));
+}
+
+void release_comm_buffers(DeviceState* state) {
+  if (state->send_buffer != nullptr) {
+    CUDAX_CHECK(cudaxFree(state->send_buffer));
+    // recv buffer shares the lifetime of send; a failure here indicates
+    // heap corruption, so abort via the same path.
+    if (cudaxFree(state->recv_buffer) != cudaxSuccess) {
+      std::fprintf(stderr, "recv buffer teardown failed\n");
+      std::abort();
+    }
+  }
+  state->send_buffer = nullptr;
+  state->recv_buffer = nullptr;
+  state->halo_values = 0;
+}
+
+}  // namespace harveyx

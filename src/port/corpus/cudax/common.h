@@ -1,0 +1,115 @@
+#pragma once
+// HARVEY mini-corpus, CUDA dialect: shared device state and the error
+// check macro used throughout the legacy code base.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "hal/cudax.hpp"
+
+#define CUDAX_CHECK(expr)                                          \
+  do {                                                             \
+    cudaxError_t err_ = (expr);                                    \
+    if (err_ != cudaxSuccess) {                                    \
+      std::fprintf(stderr, "CUDA error %s at %s:%d\n",             \
+                   cudaxGetErrorString(err_), __FILE__, __LINE__); \
+      std::abort();                                                \
+    }                                                              \
+  } while (0)
+
+namespace harveyx {
+
+constexpr int kQ = 19;
+
+// All device allocations of one simulation rank.
+struct DeviceState {
+  double* f_old = nullptr;
+  double* f_new = nullptr;
+  std::int64_t* adjacency = nullptr;
+  std::uint8_t* node_type = nullptr;
+  std::int64_t n_points = 0;
+
+  double omega = 1.0;
+  double force_z = 0.0;
+  double inlet_velocity = 0.0;
+  double outlet_density = 1.0;
+
+  double* send_buffer = nullptr;
+  double* recv_buffer = nullptr;
+  std::int64_t halo_values = 0;
+
+  double* reduce_scratch = nullptr;
+};
+
+struct RunConfig {
+  int nx = 8;
+  int ny = 8;
+  int nz = 8;
+  int steps = 10;
+  double tau = 1.0;
+  double force_z = 1e-6;
+};
+
+// memory.cpp
+void allocate_state(DeviceState* state, std::int64_t n_points,
+                    std::int64_t halo_values);
+void free_state(DeviceState* state);
+
+// adjacency.cpp
+void upload_periodic_box_adjacency(DeviceState* state, int nx, int ny, int nz);
+
+// distribution_init.cpp
+void initialize_distributions(DeviceState* state, double rho0);
+
+// stream_collide.cpp
+void run_stream_collide(DeviceState* state);
+void swap_distributions(DeviceState* state);
+
+// collision.cpp / streaming.cpp / bounce_back.cpp
+void run_collision_only(DeviceState* state);
+void run_streaming_only(DeviceState* state);
+void apply_bounce_back(DeviceState* state);
+
+// inlet.cpp / outlet.cpp
+void apply_inlet_profile(DeviceState* state, double velocity);
+void apply_outlet_pressure(DeviceState* state, double density);
+
+// macroscopic.cpp / forcing.cpp
+void compute_macroscopic(DeviceState* state, double* rho_out, double* ux_out);
+void apply_body_force(DeviceState* state, double gz);
+
+// halo_pack.cpp / halo_unpack.cpp / comm_buffers.cpp
+void pack_halo(DeviceState* state, const std::int64_t* indices_device);
+void unpack_halo(DeviceState* state, const std::int64_t* indices_device);
+void allocate_comm_buffers(DeviceState* state, std::int64_t halo_values);
+void release_comm_buffers(DeviceState* state);
+
+// reduce_mass.cpp / reduce_momentum.cpp
+double total_mass(DeviceState* state);
+double total_momentum_z(DeviceState* state);
+
+// wall_shear.cpp
+double pulsatile_scale(double phase);
+void accumulate_wall_shear(DeviceState* state, double phase, double* shear_out);
+
+// geometry_io.cpp / constants.cpp / checkpoint.cpp / vtk_output.cpp
+void upload_node_types(DeviceState* state, const std::uint8_t* host_types);
+void upload_lattice_constants();
+void write_checkpoint(DeviceState* state, double* host_scratch);
+void read_checkpoint(DeviceState* state, const double* host_data);
+void export_density_slice(DeviceState* state, double* host_slice,
+                          std::int64_t slice_points);
+
+// timers.cpp / device_query.cpp / managed.cpp / streams.cpp
+void synchronize_for_timing();
+void configure_device();
+double* allocate_managed_field(std::int64_t n_points);
+void release_managed_field(double* field);
+void setup_streams(cudaxStream_t* compute, cudaxStream_t* copy);
+void teardown_streams(cudaxStream_t compute, cudaxStream_t copy);
+
+// main.cpp
+double run_simulation(const RunConfig& config);
+
+}  // namespace harveyx

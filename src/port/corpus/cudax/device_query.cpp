@@ -1,0 +1,18 @@
+// HARVEY mini-corpus: device configuration at startup.  The heap-limit
+// call is CUDA-specific (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void configure_device() {
+  // Sparse geometries allocate adjacency lists from the device heap.
+  cudaxDeviceSetLimit(cudaxLimitMallocHeapSize, 1ull << 30);
+
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  void* probe = nullptr;
+  CUDAX_CHECK(cudaxMalloc(&probe, 256));
+  CUDAX_CHECK(cudaxFree(probe));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: initialize distributions to the rest equilibrium
+// and clear the reduction scratch field.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void initialize_distributions(DeviceState* state, double rho0) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  InitEquilibriumKernel init{state->f_old, state->n_points, rho0};
+  cudaxLaunchKernel(grid_dim, block_dim, init);
+  CUDAX_CHECK(cudaxGetLastError());
+
+  ZeroFieldKernel zero{state->reduce_scratch, state->n_points};
+  cudaxLaunchKernel(grid_dim, block_dim, zero);
+  CUDAX_CHECK(cudaxGetLastError());
+
+  // Both buffers start from the same state so the first pull step reads
+  // valid upstream values.
+  CUDAX_CHECK(cudaxMemcpy(state->f_new, state->f_old,
+                          static_cast<std::size_t>(kQ) * state->n_points *
+                              sizeof(double),
+                          cudaxMemcpyDeviceToDevice));
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+}
+
+}  // namespace harveyx

@@ -1,0 +1,46 @@
+// HARVEY mini-corpus: velocity-inlet sweep (Zou-He completion happens in
+// the fused kernel; this pass updates the prescribed velocity field).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct InletStampKernel {
+  hemo::lbm::KernelArgs args;
+  double velocity;
+  void operator()(std::int64_t i) const {
+    if (i >= args.n) return;
+    if (args.node_type[i] !=
+        static_cast<std::uint8_t>(hemo::lbm::NodeType::kVelocityInlet))
+      return;
+    for (int q = 0; q < kQ; ++q)
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          hemo::lbm::equilibrium(q, 1.0, 0.0, 0.0, velocity);
+  }
+};
+
+}  // namespace
+
+void apply_inlet_profile(DeviceState* state, double velocity) {
+  state->inlet_velocity = velocity;
+
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  InletStampKernel kernel{kernel_args(*state), velocity};
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  // Inlets feed the waveform monitor; make sure its staging area exists.
+  CUDAX_CHECK(cudaxMemset(state->reduce_scratch, 0,
+                          static_cast<std::size_t>(state->n_points) *
+                              sizeof(double)));
+  CUDAX_CHECK(cudaxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

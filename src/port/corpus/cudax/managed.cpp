@@ -1,0 +1,25 @@
+// HARVEY mini-corpus: managed (unified) memory for the monitor fields,
+// with prefetch hints (DPCT: performance-improvement suggestions).
+
+#include "common.h"
+
+namespace harveyx {
+
+double* allocate_managed_field(std::int64_t n_points) {
+  void* field = nullptr;
+  const std::size_t bytes =
+      static_cast<std::size_t>(n_points) * sizeof(double);
+  CUDAX_CHECK(cudaxMallocManaged(&field, bytes));
+  CUDAX_CHECK(cudaxMemset(field, 0, bytes));
+  cudaxMemPrefetchAsync(field, bytes, 0, 0);
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  return static_cast<double*>(field);
+}
+
+void release_managed_field(double* field) {
+  if (field == nullptr) return;
+  cudaxMemPrefetchAsync(field, 0, -1, 0);  // migrate back before the free
+  CUDAX_CHECK(cudaxFree(field));
+}
+
+}  // namespace harveyx

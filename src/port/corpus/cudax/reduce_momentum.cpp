@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: axial-momentum reduction (flow-rate monitor).
+
+#include <vector>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double total_momentum_z(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  PointMomentumZKernel kernel{state->f_old, state->reduce_scratch,
+                              state->n_points};
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+
+  std::vector<double> host(static_cast<std::size_t>(state->n_points));
+  CUDAX_CHECK(cudaxMemcpy(host.data(), state->reduce_scratch,
+                          host.size() * sizeof(double),
+                          cudaxMemcpyDeviceToHost));
+  double momentum = 0.0;
+  for (double m : host) momentum += m;
+  CUDAX_CHECK(cudaxStreamSynchronize(0));
+  return momentum;
+}
+
+}  // namespace harveyx

@@ -1,0 +1,42 @@
+// HARVEY mini-corpus: the fused stream-collide update, split over three
+// launches (bulk, then two halves of the boundary layer) as the
+// production scheduler does to overlap communication.
+
+#include <utility>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_stream_collide(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+
+  StreamCollideKernel kernel{kernel_args(*state)};
+
+  // Bulk pass over the full range.
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+
+  // Touch-up passes: re-run the head slab after the halo has arrived,
+  // by shrinking the launch geometry only (the kernel still carries the
+  // full SoA stride).  Idempotent because the pull gather reads f_old.
+  const std::int64_t slab = (state->n_points + 7) / 8;
+  grid_dim.x = static_cast<unsigned int>((slab + 255) / 256);
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  cudaxLaunchKernel(grid_dim, block_dim, kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+}
+
+void swap_distributions(DeviceState* state) {
+  std::swap(state->f_old, state->f_new);
+  CUDAX_CHECK(cudaxGetLastError());
+}
+
+}  // namespace harveyx

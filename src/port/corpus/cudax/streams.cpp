@@ -1,0 +1,21 @@
+// HARVEY mini-corpus: stream management for compute/copy overlap.  The
+// stream-attach call is a CUDA managed-memory knob with no DPC++
+// equivalent (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void setup_streams(cudaxStream_t* compute, cudaxStream_t* copy) {
+  CUDAX_CHECK(cudaxStreamCreate(compute));
+  CUDAX_CHECK(cudaxStreamCreate(copy));
+  cudaxStreamAttachMemAsync(*copy, compute, sizeof *compute);
+  CUDAX_CHECK(cudaxStreamSynchronize(*compute));
+}
+
+void teardown_streams(cudaxStream_t compute, cudaxStream_t copy) {
+  CUDAX_CHECK(cudaxStreamDestroy(compute));
+  CUDAX_CHECK(cudaxStreamDestroy(copy));
+}
+
+}  // namespace harveyx

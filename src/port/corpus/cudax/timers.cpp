@@ -1,0 +1,12 @@
+// HARVEY mini-corpus: synchronization points bracketing timed regions.
+
+#include "common.h"
+
+namespace harveyx {
+
+void synchronize_for_timing() {
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+  CUDAX_CHECK(cudaxGetLastError());
+}
+
+}  // namespace harveyx

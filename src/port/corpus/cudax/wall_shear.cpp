@@ -1,0 +1,41 @@
+// HARVEY mini-corpus: wall-shear-stress accumulation under a pulsatile
+// inflow waveform.  The waveform factor uses the CUDA math-library
+// sincospi intrinsic, the call DPCT can only replace with a functional
+// (not bit-identical) equivalent.
+
+#include <vector>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double pulsatile_scale(double phase) {
+  double cos_part = 0.0;
+  const double sin_part = sincospi(phase, &cos_part);
+  // Systolic-weighted waveform: positive lobe plus a diastolic offset.
+  return 0.75 + 0.5 * sin_part + 0.1 * cos_part;
+}
+
+void accumulate_wall_shear(DeviceState* state, double phase,
+                           double* shear_out) {
+  dim3x launch_dim;
+  launch_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  WallShearKernel kernel{kernel_args(*state), pulsatile_scale(phase),
+                         state->reduce_scratch};
+  cudaxLaunchKernel(launch_dim, dim3x(256), kernel);
+  CUDAX_CHECK(cudaxGetLastError());
+  CUDAX_CHECK(cudaxDeviceSynchronize());
+
+  std::vector<double> host(static_cast<std::size_t>(state->n_points));
+  CUDAX_CHECK(cudaxMemcpy(host.data(), state->reduce_scratch,
+                          host.size() * sizeof(double),
+                          cudaxMemcpyDeviceToHost));
+  double shear = 0.0;
+  for (double s : host) shear += s;
+  *shear_out = shear;
+  CUDAX_CHECK(cudaxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,42 @@
+// HARVEY mini-corpus: lattice constants uploaded to device-resident
+// symbol storage, plus the L1-preference hint for the gather-heavy
+// kernels (a CUDA-only knob: DPCT classifies it as unsupported).
+
+#include <array>
+
+#include "common.h"
+#include "lbm/d3q19.hpp"
+
+namespace harveyx {
+
+namespace {
+
+void* g_weights_symbol = nullptr;
+void* g_velocities_symbol = nullptr;
+
+}  // namespace
+
+void upload_lattice_constants() {
+  if (g_weights_symbol == nullptr) {
+    HIPX_CHECK(hipxMalloc(&g_weights_symbol, kQ * sizeof(double)));
+    HIPX_CHECK(hipxMalloc(&g_velocities_symbol, kQ * 3 * sizeof(int)));
+  }
+
+  std::array<double, kQ> weights{};
+  std::array<int, kQ * 3> velocities{};
+  for (int q = 0; q < kQ; ++q) {
+    weights[static_cast<std::size_t>(q)] = hemo::lbm::kWeights[q];
+    for (int a = 0; a < 3; ++a)
+      velocities[static_cast<std::size_t>(q * 3 + a)] = hemo::lbm::c(q, a);
+  }
+
+  HIPX_CHECK(hipxMemcpyToSymbol(g_weights_symbol, weights.data(),
+                                  weights.size() * sizeof(double)));
+  HIPX_CHECK(hipxMemcpyToSymbol(g_velocities_symbol, velocities.data(),
+                                  velocities.size() * sizeof(int)));
+
+  // The stream-collide gather is bandwidth-bound; prefer L1 over shared.
+  hipxFuncSetCacheConfig(g_weights_symbol, hipxFuncCachePreferL1);
+}
+
+}  // namespace harveyx

@@ -1,0 +1,18 @@
+// HARVEY mini-corpus: device configuration at startup.  The heap-limit
+// call is CUDA-specific (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void configure_device() {
+  // Sparse geometries allocate adjacency lists from the device heap.
+  hipxDeviceSetLimit(hipxLimitMallocHeapSize, 1ull << 30);
+
+  HIPX_CHECK(hipxDeviceSynchronize());
+  void* probe = nullptr;
+  HIPX_CHECK(hipxMalloc(&probe, 256));
+  HIPX_CHECK(hipxFree(probe));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: initialize distributions to the rest equilibrium
+// and clear the reduction scratch field.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void initialize_distributions(DeviceState* state, double rho0) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  InitEquilibriumKernel init{state->f_old, state->n_points, rho0};
+  hipxLaunchKernel(grid_dim, block_dim, init);
+  HIPX_CHECK(hipxGetLastError());
+
+  ZeroFieldKernel zero{state->reduce_scratch, state->n_points};
+  hipxLaunchKernel(grid_dim, block_dim, zero);
+  HIPX_CHECK(hipxGetLastError());
+
+  // Both buffers start from the same state so the first pull step reads
+  // valid upstream values.
+  HIPX_CHECK(hipxMemcpy(state->f_new, state->f_old,
+                          static_cast<std::size_t>(kQ) * state->n_points *
+                              sizeof(double),
+                          hipxMemcpyDeviceToDevice));
+  HIPX_CHECK(hipxDeviceSynchronize());
+}
+
+}  // namespace harveyx

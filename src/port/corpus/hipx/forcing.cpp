@@ -1,0 +1,26 @@
+// HARVEY mini-corpus: body-force configuration (Guo forcing is applied
+// inside the collision kernel; this module stages the force field).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void apply_body_force(DeviceState* state, double gz) {
+  state->force_z = gz;
+
+  // Warm the kernel pipeline once so the new force constant reaches every
+  // cached launch configuration.
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 64;
+  grid_dim.x = 1;
+
+  ZeroFieldKernel probe{state->reduce_scratch, 1};
+  hipxLaunchKernel(grid_dim, block_dim, probe);
+  HIPX_CHECK(hipxGetLastError());
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,47 @@
+// HARVEY mini-corpus: halo packing.  Three launches per exchange: the
+// face values, then the edge and corner remainders (separate passes keep
+// the index lists sorted for coalesced reads).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void pack_halo(DeviceState* state, const std::int64_t* indices_device) {
+  if (state->halo_values == 0) return;
+
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+
+  const std::int64_t faces = (state->halo_values * 3) / 4;
+  const std::int64_t edges = (state->halo_values - faces) / 2;
+  const std::int64_t corners = state->halo_values - faces - edges;
+
+  PackHaloKernel face{state->f_old, indices_device, state->send_buffer,
+                      faces};
+  grid_dim.x = static_cast<unsigned int>((faces + 255) / 256);
+  hipxLaunchKernel(grid_dim, block_dim, face);
+  HIPX_CHECK(hipxGetLastError());
+
+  PackHaloKernel edge{state->f_old, indices_device + faces,
+                      state->send_buffer + faces, edges};
+  grid_dim.x = static_cast<unsigned int>((edges + 255) / 256);
+  if (edges > 0) {
+    hipxLaunchKernel(grid_dim, block_dim, edge);
+    HIPX_CHECK(hipxGetLastError());
+  }
+
+  PackHaloKernel corner{state->f_old, indices_device + faces + edges,
+                        state->send_buffer + faces + edges, corners};
+  grid_dim.x = static_cast<unsigned int>((corners + 255) / 256);
+  if (corners > 0) {
+    hipxLaunchKernel(grid_dim, block_dim, corner);
+    HIPX_CHECK(hipxGetLastError());
+  }
+
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,41 @@
+// HARVEY mini-corpus: device memory management.
+
+#include "common.h"
+
+namespace harveyx {
+
+void allocate_state(DeviceState* state, std::int64_t n_points,
+                    std::int64_t halo_values) {
+  state->n_points = n_points;
+  const std::size_t f_bytes =
+      static_cast<std::size_t>(kQ) * n_points * sizeof(double);
+  HIPX_CHECK(hipxMalloc(reinterpret_cast<void**>(&state->f_old), f_bytes));
+  HIPX_CHECK(hipxMalloc(reinterpret_cast<void**>(&state->f_new), f_bytes));
+  HIPX_CHECK(hipxMalloc(reinterpret_cast<void**>(&state->adjacency),
+                          static_cast<std::size_t>(kQ) * n_points *
+                              sizeof(std::int64_t)));
+  HIPX_CHECK(hipxMalloc(reinterpret_cast<void**>(&state->node_type),
+                          static_cast<std::size_t>(n_points)));
+  HIPX_CHECK(hipxMalloc(reinterpret_cast<void**>(&state->reduce_scratch),
+                          n_points * sizeof(double)));
+  HIPX_CHECK(hipxMemset(state->node_type, 0,
+                          static_cast<std::size_t>(n_points)));
+  allocate_comm_buffers(state, halo_values);
+}
+
+void free_state(DeviceState* state) {
+  HIPX_CHECK(hipxFree(state->f_old));
+  HIPX_CHECK(hipxFree(state->f_new));
+  // Adjacency, node types and scratch share one cleanup path; any error
+  // here is fatal to the run.
+  if (hipxFree(state->adjacency) != hipxSuccess ||
+      hipxFree(state->node_type) != hipxSuccess ||
+      hipxFree(state->reduce_scratch) != hipxSuccess) {
+    std::fprintf(stderr, "teardown failed\n");
+    std::abort();
+  }
+  release_comm_buffers(state);
+  *state = DeviceState{};
+}
+
+}  // namespace harveyx

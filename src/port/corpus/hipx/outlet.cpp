@@ -1,0 +1,47 @@
+// HARVEY mini-corpus: pressure-outlet sweep.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct OutletStampKernel {
+  hemo::lbm::KernelArgs args;
+  double density;
+  void operator()(std::int64_t i) const {
+    if (i >= args.n) return;
+    const auto type = args.node_type[i];
+    if (type != static_cast<std::uint8_t>(
+                    hemo::lbm::NodeType::kPressureOutlet) &&
+        type != static_cast<std::uint8_t>(
+                    hemo::lbm::NodeType::kPressureOutletLow))
+      return;
+    for (int q = 0; q < kQ; ++q)
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          hemo::lbm::equilibrium(q, density, 0.0, 0.0, 0.0);
+  }
+};
+
+}  // namespace
+
+void apply_outlet_pressure(DeviceState* state, double density) {
+  state->outlet_density = density;
+
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  OutletStampKernel kernel{kernel_args(*state), density};
+  hipxLaunchKernel(grid_dim, block_dim, kernel);
+  HIPX_CHECK(hipxGetLastError());
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxMemset(state->reduce_scratch, 0,
+                          static_cast<std::size_t>(state->n_points) *
+                              sizeof(double)));
+  HIPX_CHECK(hipxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: axial-momentum reduction (flow-rate monitor).
+
+#include <vector>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double total_momentum_z(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  PointMomentumZKernel kernel{state->f_old, state->reduce_scratch,
+                              state->n_points};
+  hipxLaunchKernel(grid_dim, block_dim, kernel);
+  HIPX_CHECK(hipxGetLastError());
+  HIPX_CHECK(hipxDeviceSynchronize());
+
+  std::vector<double> host(static_cast<std::size_t>(state->n_points));
+  HIPX_CHECK(hipxMemcpy(host.data(), state->reduce_scratch,
+                          host.size() * sizeof(double),
+                          hipxMemcpyDeviceToHost));
+  double momentum = 0.0;
+  for (double m : host) momentum += m;
+  HIPX_CHECK(hipxStreamSynchronize(0));
+  return momentum;
+}
+
+}  // namespace harveyx

@@ -1,0 +1,21 @@
+// HARVEY mini-corpus: standalone streaming (gather) pass.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_streaming_only(DeviceState* state) {
+  dim3x grid_dim;
+  dim3x block_dim;
+  block_dim.x = 128;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 127) / 128);
+
+  StreamOnlyKernel kernel{kernel_args(*state)};
+  hipxLaunchKernel(grid_dim, block_dim, kernel);
+  HIPX_CHECK(hipxGetLastError());
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxStreamSynchronize(0));
+}
+
+}  // namespace harveyx

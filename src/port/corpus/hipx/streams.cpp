@@ -1,0 +1,21 @@
+// HARVEY mini-corpus: stream management for compute/copy overlap.  The
+// stream-attach call is a CUDA managed-memory knob with no DPC++
+// equivalent (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void setup_streams(hipxStream_t* compute, hipxStream_t* copy) {
+  HIPX_CHECK(hipxStreamCreate(compute));
+  HIPX_CHECK(hipxStreamCreate(copy));
+  hipxStreamAttachMemAsync(*copy, compute, sizeof *compute);
+  HIPX_CHECK(hipxStreamSynchronize(*compute));
+}
+
+void teardown_streams(hipxStream_t compute, hipxStream_t copy) {
+  HIPX_CHECK(hipxStreamDestroy(compute));
+  HIPX_CHECK(hipxStreamDestroy(copy));
+}
+
+}  // namespace harveyx

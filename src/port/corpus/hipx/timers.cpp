@@ -1,0 +1,12 @@
+// HARVEY mini-corpus: synchronization points bracketing timed regions.
+
+#include "common.h"
+
+namespace harveyx {
+
+void synchronize_for_timing() {
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxGetLastError());
+}
+
+}  // namespace harveyx

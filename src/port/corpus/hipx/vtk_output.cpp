@@ -1,0 +1,23 @@
+// HARVEY mini-corpus: staging a density slice for visualization output.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void export_density_slice(DeviceState* state, double* host_slice,
+                          std::int64_t slice_points) {
+  if (slice_points > state->n_points) slice_points = state->n_points;
+
+  // Densities were staged into the scratch field by the last macroscopic
+  // pass; pull the leading slice asynchronously and wait.
+  HIPX_CHECK(hipxMemcpyAsync(host_slice, state->reduce_scratch,
+                               static_cast<std::size_t>(slice_points) *
+                                   sizeof(double),
+                               hipxMemcpyDeviceToHost, 0));
+  HIPX_CHECK(hipxStreamSynchronize(0));
+  HIPX_CHECK(hipxDeviceSynchronize());
+  HIPX_CHECK(hipxGetLastError());
+}
+
+}  // namespace harveyx

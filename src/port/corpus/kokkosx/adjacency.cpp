@@ -1,0 +1,41 @@
+// HARVEY mini-corpus, Kokkos dialect: adjacency built into a host mirror
+// and staged to the device with deep_copy.
+
+#include "common.h"
+#include "kernels.h"
+#include "lbm/d3q19.hpp"
+
+namespace harveyx {
+
+void upload_periodic_box_adjacency(DeviceState* state, int nx, int ny,
+                                   int nz) {
+  const std::int64_t n = static_cast<std::int64_t>(nx) * ny * nz;
+  auto mirror = kx::create_mirror_view(state->adjacency);
+
+  auto index_of = [&](int x, int y, int z) {
+    return (static_cast<std::int64_t>(z) * ny + y) * nx + x;
+  };
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) {
+        const std::int64_t i = index_of(x, y, z);
+        for (int q = 0; q < kQ; ++q) {
+          // Pull: direction q streams from the site at r - c_q.
+          const int ux = (x - hemo::lbm::c(q, 0) + nx) % nx;
+          const int uy = (y - hemo::lbm::c(q, 1) + ny) % ny;
+          const int uz = (z - hemo::lbm::c(q, 2) + nz) % nz;
+          mirror(static_cast<std::size_t>(q) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(i)) = index_of(ux, uy, uz);
+        }
+      }
+  kx::deep_copy(state->adjacency, mirror);
+
+  // Zero both distribution buffers (first-touch).
+  kx::parallel_for("zero_f_old", kx::RangePolicy(0, kQ * n),
+                   ZeroFieldKernel{state->f_old.data()});
+  kx::parallel_for("zero_f_new", kx::RangePolicy(0, kQ * n),
+                   ZeroFieldKernel{state->f_new.data()});
+  kx::fence();
+}
+
+}  // namespace harveyx

@@ -1,0 +1,32 @@
+// HARVEY mini-corpus, Kokkos dialect: explicit bounce-back sweep.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct BounceBackKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    for (int q = 0; q < kQ; ++q) {
+      if (args.adjacency[static_cast<std::int64_t>(q) * args.n + i] >= 0)
+        continue;
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          args.f_in[static_cast<std::int64_t>(hemo::lbm::opposite(q)) *
+                        args.n +
+                    i];
+    }
+  }
+};
+
+}  // namespace
+
+void apply_bounce_back(DeviceState* state) {
+  kx::parallel_for("bounce_back", kx::RangePolicy(0, state->n_points),
+                   BounceBackKernel{kernel_args(*state)});
+  kx::fence();
+}
+
+}  // namespace harveyx

@@ -1,0 +1,24 @@
+// HARVEY mini-corpus, Kokkos dialect: checkpoint save/restore through
+// host mirrors.
+
+#include <cstring>
+
+#include "common.h"
+
+namespace harveyx {
+
+void write_checkpoint(DeviceState* state, double* host_scratch) {
+  auto mirror = kx::create_mirror_view(state->f_old);
+  kx::deep_copy(mirror, state->f_old);
+  std::memcpy(host_scratch, mirror.data(),
+              mirror.extent(0) * sizeof(double));
+}
+
+void read_checkpoint(DeviceState* state, const double* host_data) {
+  auto mirror = kx::create_mirror_view(state->f_old);
+  std::memcpy(mirror.data(), host_data, mirror.extent(0) * sizeof(double));
+  kx::deep_copy(state->f_old, mirror);
+  kx::deep_copy(state->f_new, mirror);
+}
+
+}  // namespace harveyx

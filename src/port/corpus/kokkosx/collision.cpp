@@ -1,0 +1,14 @@
+// HARVEY mini-corpus, Kokkos dialect: standalone BGK collision pass.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_collision_only(DeviceState* state) {
+  kx::parallel_for("collide_only", kx::RangePolicy(0, state->n_points),
+                   CollideOnlyKernel{kernel_args(*state)});
+  kx::fence();
+}
+
+}  // namespace harveyx

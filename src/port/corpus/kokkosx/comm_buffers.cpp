@@ -1,0 +1,25 @@
+// HARVEY mini-corpus, Kokkos dialect: communication staging buffers.
+
+#include "common.h"
+
+namespace harveyx {
+
+void allocate_comm_buffers(DeviceState* state, std::int64_t halo_values) {
+  state->halo_values = halo_values;
+  if (halo_values == 0) {
+    state->send_buffer = kx::View<double*>();
+    state->recv_buffer = kx::View<double*>();
+    return;
+  }
+  const auto n = static_cast<std::size_t>(halo_values);
+  state->send_buffer = kx::View<double*>("send_buffer", n);
+  state->recv_buffer = kx::View<double*>("recv_buffer", n);
+}
+
+void release_comm_buffers(DeviceState* state) {
+  state->send_buffer = kx::View<double*>();
+  state->recv_buffer = kx::View<double*>();
+  state->halo_values = 0;
+}
+
+}  // namespace harveyx

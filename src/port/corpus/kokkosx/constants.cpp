@@ -1,0 +1,39 @@
+// HARVEY mini-corpus, Kokkos dialect: lattice constants as global const
+// Views.  deep_copy cannot write a const view, so the data is staged
+// through a non-const view and the const view aliases it — the exact
+// initialization workaround of Section 7.3.
+
+#include "common.h"
+#include "lbm/d3q19.hpp"
+
+namespace harveyx {
+
+namespace {
+
+kx::View<const double*> g_weights;
+kx::View<const int*> g_velocities;
+
+}  // namespace
+
+void upload_lattice_constants() {
+  if (g_weights.is_allocated()) return;
+
+  kx::View<double*> weights_staging("weights_staging", kQ);
+  kx::View<int*> velocities_staging("velocities_staging", kQ * 3);
+
+  auto host_w = kx::create_mirror_view(weights_staging);
+  auto host_c = kx::create_mirror_view(velocities_staging);
+  for (int q = 0; q < kQ; ++q) {
+    host_w(static_cast<std::size_t>(q)) = hemo::lbm::kWeights[q];
+    for (int a = 0; a < 3; ++a)
+      host_c(static_cast<std::size_t>(q * 3 + a)) = hemo::lbm::c(q, a);
+  }
+  kx::deep_copy(weights_staging, host_w);
+  kx::deep_copy(velocities_staging, host_c);
+
+  // Const views alias the staged data; no further copies.
+  g_weights = weights_staging;
+  g_velocities = velocities_staging;
+}
+
+}  // namespace harveyx

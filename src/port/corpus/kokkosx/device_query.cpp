@@ -1,0 +1,17 @@
+// HARVEY mini-corpus, Kokkos dialect: device configuration is owned by
+// the Kokkos runtime; only a liveness probe remains.
+
+#include "common.h"
+
+namespace harveyx {
+
+void configure_device() {
+  if (!kx::is_initialized()) {
+    std::fprintf(stderr, "Kokkos runtime not initialized\n");
+    std::abort();
+  }
+  kx::View<double*> probe("probe", 32);
+  kx::deep_copy(probe, 0.0);
+}
+
+}  // namespace harveyx

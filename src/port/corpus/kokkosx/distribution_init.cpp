@@ -1,0 +1,21 @@
+// HARVEY mini-corpus, Kokkos dialect: equilibrium initialization.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void initialize_distributions(DeviceState* state, double rho0) {
+  kx::parallel_for("init_equilibrium",
+                   kx::RangePolicy(0, state->n_points),
+                   InitEquilibriumKernel{state->f_old.data(),
+                                         state->n_points, rho0});
+  kx::parallel_for("zero_scratch", kx::RangePolicy(0, state->n_points),
+                   ZeroFieldKernel{state->reduce_scratch.data()});
+  // Both buffers start from the same state so the first pull step reads
+  // valid upstream values.
+  kx::deep_copy(state->f_new, state->f_old);
+  kx::fence();
+}
+
+}  // namespace harveyx

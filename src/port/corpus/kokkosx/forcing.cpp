@@ -1,0 +1,16 @@
+// HARVEY mini-corpus, Kokkos dialect: body-force configuration.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void apply_body_force(DeviceState* state, double gz) {
+  state->force_z = gz;
+  // Warm one launch so the new constant reaches every cached policy.
+  kx::parallel_for("force_probe", kx::RangePolicy(0, 1),
+                   ZeroFieldKernel{state->reduce_scratch.data()});
+  kx::fence();
+}
+
+}  // namespace harveyx

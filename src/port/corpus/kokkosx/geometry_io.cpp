@@ -1,0 +1,26 @@
+// HARVEY mini-corpus, Kokkos dialect: node-type upload through a host
+// mirror, with the same round-trip verification as the CUDA version.
+
+#include <cstring>
+
+#include "common.h"
+
+namespace harveyx {
+
+void upload_node_types(DeviceState* state, const std::uint8_t* host_types) {
+  auto mirror = kx::create_mirror_view(state->node_type);
+  std::memcpy(mirror.data(), host_types,
+              static_cast<std::size_t>(state->n_points));
+  kx::deep_copy(state->node_type, mirror);
+
+  auto verify = kx::create_mirror_view(state->node_type);
+  kx::deep_copy(verify, state->node_type);
+  for (std::size_t i = 0; i < verify.extent(0); ++i) {
+    if (verify(i) != host_types[i]) {
+      std::fprintf(stderr, "node type upload mismatch at %zu\n", i);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace harveyx

@@ -1,0 +1,32 @@
+// HARVEY mini-corpus, Kokkos dialect: halo packing with the same
+// face/edge/corner schedule as the CUDA original.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void pack_halo(DeviceState* state, const std::int64_t* indices_device) {
+  if (state->halo_values == 0) return;
+
+  const std::int64_t faces = (state->halo_values * 3) / 4;
+  const std::int64_t edges = (state->halo_values - faces) / 2;
+  const std::int64_t corners = state->halo_values - faces - edges;
+
+  double* send = state->send_buffer.data();
+  const double* f = state->f_old.data();
+
+  kx::parallel_for("pack_faces", kx::RangePolicy(0, faces),
+                   PackHaloKernel{f, indices_device, send});
+  if (edges > 0)
+    kx::parallel_for("pack_edges", kx::RangePolicy(0, edges),
+                     PackHaloKernel{f, indices_device + faces, send + faces});
+  if (corners > 0)
+    kx::parallel_for(
+        "pack_corners", kx::RangePolicy(0, corners),
+        PackHaloKernel{f, indices_device + faces + edges,
+                       send + faces + edges});
+  kx::fence();
+}
+
+}  // namespace harveyx

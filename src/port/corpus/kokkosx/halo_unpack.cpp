@@ -1,0 +1,25 @@
+// HARVEY mini-corpus, Kokkos dialect: halo unpacking.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void unpack_halo(DeviceState* state, const std::int64_t* indices_device) {
+  if (state->halo_values == 0) return;
+
+  const std::int64_t bulk = (state->halo_values * 3) / 4;
+  const std::int64_t tail = state->halo_values - bulk;
+
+  double* f = state->f_old.data();
+  const double* recv = state->recv_buffer.data();
+
+  kx::parallel_for("unpack_bulk", kx::RangePolicy(0, bulk),
+                   UnpackHaloKernel{f, indices_device, recv});
+  if (tail > 0)
+    kx::parallel_for("unpack_tail", kx::RangePolicy(0, tail),
+                     UnpackHaloKernel{f, indices_device + bulk, recv + bulk});
+  kx::fence();
+}
+
+}  // namespace harveyx

@@ -1,0 +1,34 @@
+// HARVEY mini-corpus, Kokkos dialect: velocity-inlet sweep.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct InletStampKernel {
+  hemo::lbm::KernelArgs args;
+  double velocity;
+  void operator()(std::int64_t i) const {
+    if (args.node_type[i] !=
+        static_cast<std::uint8_t>(hemo::lbm::NodeType::kVelocityInlet))
+      return;
+    for (int q = 0; q < kQ; ++q)
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          hemo::lbm::equilibrium(q, 1.0, 0.0, 0.0, velocity);
+  }
+};
+
+}  // namespace
+
+void apply_inlet_profile(DeviceState* state, double velocity) {
+  state->inlet_velocity = velocity;
+  kx::parallel_for("inlet_stamp", kx::RangePolicy(0, state->n_points),
+                   InletStampKernel{kernel_args(*state), velocity});
+  kx::parallel_for("zero_monitor", kx::RangePolicy(0, state->n_points),
+                   ZeroFieldKernel{state->reduce_scratch.data()});
+  kx::fence();
+}
+
+}  // namespace harveyx

@@ -1,0 +1,111 @@
+#pragma once
+// HARVEY mini-corpus, Kokkos dialect: kernel functors.  The numerical
+// bodies are inherited from the CUDA version by passing raw pointers
+// (view.data()) through the launch interface — the mechanism Section 7.3
+// adopted so existing kernel bodies survive the port.  RangePolicies are
+// exact, so the CUDA-style tail guards are gone.
+
+#include <cstdint>
+
+#include "common.h"
+#include "lbm/kernels.hpp"
+
+namespace harveyx {
+
+inline hemo::lbm::KernelArgs kernel_args(const DeviceState& s) {
+  hemo::lbm::KernelArgs a;
+  a.f_in = s.f_old.data();
+  a.f_out = s.f_new.data();
+  a.adjacency = s.adjacency.data();
+  a.node_type = s.node_type.data();
+  a.n = s.n_points;
+  a.omega = s.omega;
+  a.force_z = s.force_z;
+  a.inlet_velocity = s.inlet_velocity;
+  a.outlet_density = s.outlet_density;
+  return a;
+}
+
+struct InitEquilibriumKernel {
+  double* f;
+  std::int64_t n;
+  double rho0;
+  void operator()(std::int64_t i) const {
+    for (int q = 0; q < kQ; ++q)
+      f[static_cast<std::int64_t>(q) * n + i] =
+          hemo::lbm::equilibrium(q, rho0, 0.0, 0.0, 0.0);
+  }
+};
+
+struct ZeroFieldKernel {
+  double* field;
+  void operator()(std::int64_t i) const { field[i] = 0.0; }
+};
+
+struct StreamCollideKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    hemo::lbm::stream_collide_point(args, i);
+  }
+};
+
+struct StreamOnlyKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    hemo::lbm::stream_point(args, i);
+  }
+};
+
+struct CollideOnlyKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    hemo::lbm::collide_point(args, i);
+  }
+};
+
+struct PackHaloKernel {
+  const double* f;
+  const std::int64_t* indices;
+  double* send;
+  void operator()(std::int64_t i) const { send[i] = f[indices[i]]; }
+};
+
+struct UnpackHaloKernel {
+  double* f;
+  const std::int64_t* indices;
+  const double* recv;
+  void operator()(std::int64_t i) const { f[indices[i]] = recv[i]; }
+};
+
+struct PointMassKernel {
+  const double* f;
+  std::int64_t n;
+  void operator()(std::int64_t i, double& sum) const {
+    for (int q = 0; q < kQ; ++q)
+      sum += f[static_cast<std::int64_t>(q) * n + i];
+  }
+};
+
+struct PointMomentumZKernel {
+  const double* f;
+  std::int64_t n;
+  void operator()(std::int64_t i, double& sum) const {
+    for (int q = 0; q < kQ; ++q)
+      sum += f[static_cast<std::int64_t>(q) * n + i] * hemo::lbm::c(q, 2);
+  }
+};
+
+struct WallShearKernel {
+  hemo::lbm::KernelArgs args;
+  double waveform;
+  void operator()(std::int64_t i, double& sum) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q)
+      f[q] = args.f_in[static_cast<std::int64_t>(q) * args.n + i];
+    const hemo::lbm::Moments m =
+        hemo::lbm::moments_of(f, 0.0, 0.0, args.force_z);
+    sum += waveform * (m.ux * m.ux + m.uy * m.uy);
+  }
+};
+
+}  // namespace harveyx

@@ -1,0 +1,33 @@
+// HARVEY mini-corpus, Kokkos dialect: macroscopic monitoring.  The
+// scratch-plus-copy pattern of the CUDA version becomes a single
+// parallel_reduce.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct MeanDensityKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i, double& sum) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q)
+      f[q] = args.f_in[static_cast<std::int64_t>(q) * args.n + i];
+    sum += hemo::lbm::moments_of(f, 0.0, 0.0, args.force_z).rho;
+  }
+};
+
+}  // namespace
+
+void compute_macroscopic(DeviceState* state, double* rho_out,
+                         double* ux_out) {
+  double rho_sum = 0.0;
+  kx::parallel_reduce("mean_density", kx::RangePolicy(0, state->n_points),
+                      MeanDensityKernel{kernel_args(*state)}, rho_sum);
+  *rho_out = rho_sum / static_cast<double>(state->n_points);
+  *ux_out = 0.0;  // transverse mean vanishes for the channel workloads
+}
+
+}  // namespace harveyx

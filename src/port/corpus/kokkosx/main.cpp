@@ -1,0 +1,47 @@
+// HARVEY mini-corpus, Kokkos dialect: simulation driver.
+
+#include "common.h"
+
+namespace harveyx {
+
+double run_simulation(const RunConfig& config) {
+  const bool owns_runtime = !kx::is_initialized();
+  if (owns_runtime) kx::initialize(hemo::hal::Backend::kCuda);
+
+  configure_device();
+  upload_lattice_constants();
+  setup_execution_spaces();
+
+  const std::int64_t n = static_cast<std::int64_t>(config.nx) * config.ny *
+                         config.nz;
+  DeviceState state;
+  allocate_state(&state, n, /*halo_values=*/0);
+  state.omega = 1.0 / config.tau;
+
+  upload_periodic_box_adjacency(&state, config.nx, config.ny, config.nz);
+  initialize_distributions(&state, 1.0);
+  apply_body_force(&state, config.force_z);
+
+  const double mass_before = total_mass(&state);
+  for (int step = 0; step < config.steps; ++step) {
+    run_stream_collide(&state);
+    swap_distributions(&state);
+  }
+  synchronize_for_timing();
+
+  const double mass_after = total_mass(&state);
+  if (mass_after < 0.999 * mass_before || mass_after > 1.001 * mass_before) {
+    std::fprintf(stderr, "mass conservation violated: %f -> %f\n",
+                 mass_before, mass_after);
+    std::abort();
+  }
+
+  const double momentum = total_momentum_z(&state);
+
+  teardown_execution_spaces();
+  free_state(&state);
+  if (owns_runtime) kx::finalize();
+  return momentum;
+}
+
+}  // namespace harveyx

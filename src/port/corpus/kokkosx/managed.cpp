@@ -1,0 +1,20 @@
+// HARVEY mini-corpus, Kokkos dialect: the managed-memory monitor field
+// becomes an ordinary View (Views manage residency; the prefetch hints
+// of the CUDA version have no Kokkos counterpart and were dropped).
+
+#include "common.h"
+
+namespace harveyx {
+
+kx::View<double*> allocate_monitor_field(std::int64_t n_points) {
+  kx::View<double*> field("monitor_field",
+                          static_cast<std::size_t>(n_points));
+  kx::deep_copy(field, 0.0);
+  return field;
+}
+
+void release_monitor_field(kx::View<double*>* field) {
+  *field = kx::View<double*>();
+}
+
+}  // namespace harveyx

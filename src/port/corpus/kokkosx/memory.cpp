@@ -1,0 +1,33 @@
+// HARVEY mini-corpus, Kokkos dialect: Views replace malloc/free; the
+// explicit teardown shrinks to dropping references.
+
+#include "common.h"
+
+namespace harveyx {
+
+void allocate_state(DeviceState* state, std::int64_t n_points,
+                    std::int64_t halo_values) {
+  state->n_points = n_points;
+  const auto n = static_cast<std::size_t>(n_points);
+  state->f_old = kx::View<double*>("f_old", static_cast<std::size_t>(kQ) * n);
+  state->f_new = kx::View<double*>("f_new", static_cast<std::size_t>(kQ) * n);
+  state->adjacency = kx::View<std::int64_t*>(
+      "adjacency", static_cast<std::size_t>(kQ) * n);
+  state->node_type = kx::View<std::uint8_t*>("node_type", n);
+  state->reduce_scratch = kx::View<double*>("reduce_scratch", n);
+
+  // Views start uninitialized on the device engine; zero the type field
+  // explicitly (the CUDA version used cudaMemset).
+  auto host_types = kx::create_mirror_view(state->node_type);
+  kx::deep_copy(host_types, static_cast<std::uint8_t>(0));
+  kx::deep_copy(state->node_type, host_types);
+
+  allocate_comm_buffers(state, halo_values);
+}
+
+void free_state(DeviceState* state) {
+  // Reference-counted Views release their allocations on reassignment.
+  *state = DeviceState{};
+}
+
+}  // namespace harveyx

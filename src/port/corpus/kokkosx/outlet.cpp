@@ -1,0 +1,37 @@
+// HARVEY mini-corpus, Kokkos dialect: pressure-outlet sweep.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+namespace {
+
+struct OutletStampKernel {
+  hemo::lbm::KernelArgs args;
+  double density;
+  void operator()(std::int64_t i) const {
+    const auto type = args.node_type[i];
+    if (type != static_cast<std::uint8_t>(
+                    hemo::lbm::NodeType::kPressureOutlet) &&
+        type != static_cast<std::uint8_t>(
+                    hemo::lbm::NodeType::kPressureOutletLow))
+      return;
+    for (int q = 0; q < kQ; ++q)
+      args.f_out[static_cast<std::int64_t>(q) * args.n + i] =
+          hemo::lbm::equilibrium(q, density, 0.0, 0.0, 0.0);
+  }
+};
+
+}  // namespace
+
+void apply_outlet_pressure(DeviceState* state, double density) {
+  state->outlet_density = density;
+  kx::parallel_for("outlet_stamp", kx::RangePolicy(0, state->n_points),
+                   OutletStampKernel{kernel_args(*state), density});
+  kx::parallel_for("zero_monitor", kx::RangePolicy(0, state->n_points),
+                   ZeroFieldKernel{state->reduce_scratch.data()});
+  kx::fence();
+}
+
+}  // namespace harveyx

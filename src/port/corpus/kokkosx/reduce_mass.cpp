@@ -1,0 +1,17 @@
+// HARVEY mini-corpus, Kokkos dialect: total mass via parallel_reduce
+// (the CUDA scratch-field staging disappears).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double total_mass(DeviceState* state) {
+  double mass = 0.0;
+  kx::parallel_reduce("total_mass", kx::RangePolicy(0, state->n_points),
+                      PointMassKernel{state->f_old.data(), state->n_points},
+                      mass);
+  return mass;
+}
+
+}  // namespace harveyx

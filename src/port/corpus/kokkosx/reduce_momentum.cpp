@@ -1,0 +1,16 @@
+// HARVEY mini-corpus, Kokkos dialect: axial momentum via parallel_reduce.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double total_momentum_z(DeviceState* state) {
+  double momentum = 0.0;
+  kx::parallel_reduce(
+      "total_momentum_z", kx::RangePolicy(0, state->n_points),
+      PointMomentumZKernel{state->f_old.data(), state->n_points}, momentum);
+  return momentum;
+}
+
+}  // namespace harveyx

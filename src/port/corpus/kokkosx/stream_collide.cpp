@@ -1,0 +1,29 @@
+// HARVEY mini-corpus, Kokkos dialect: fused stream-collide with the same
+// three-pass schedule as the CUDA original (bulk + two boundary slabs).
+
+#include <algorithm>
+#include <utility>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_stream_collide(DeviceState* state) {
+  StreamCollideKernel kernel{kernel_args(*state)};
+  kx::parallel_for("stream_collide_bulk",
+                   kx::RangePolicy(0, state->n_points), kernel);
+
+  // Touch-up passes over the head slab after the halo has arrived;
+  // idempotent because the pull gather reads f_old only.
+  const std::int64_t slab = std::max<std::int64_t>(state->n_points / 8, 1);
+  kx::parallel_for("stream_collide_head1", kx::RangePolicy(0, slab), kernel);
+  kx::parallel_for("stream_collide_head2", kx::RangePolicy(0, slab), kernel);
+  kx::fence();
+}
+
+void swap_distributions(DeviceState* state) {
+  std::swap(state->f_old, state->f_new);
+}
+
+}  // namespace harveyx

@@ -1,0 +1,14 @@
+// HARVEY mini-corpus, Kokkos dialect: standalone streaming pass.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_streaming_only(DeviceState* state) {
+  kx::parallel_for("stream_only", kx::RangePolicy(0, state->n_points),
+                   StreamOnlyKernel{kernel_args(*state)});
+  kx::fence();
+}
+
+}  // namespace harveyx

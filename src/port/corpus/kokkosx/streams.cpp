@@ -1,0 +1,17 @@
+// HARVEY mini-corpus, Kokkos dialect: explicit streams have no direct
+// equivalent; execution spaces plus fences replace the overlap plumbing.
+
+#include "common.h"
+
+namespace harveyx {
+
+void setup_execution_spaces() {
+  if (!kx::is_initialized()) {
+    std::fprintf(stderr, "execution spaces require the Kokkos runtime\n");
+    std::abort();
+  }
+}
+
+void teardown_execution_spaces() { kx::fence(); }
+
+}  // namespace harveyx

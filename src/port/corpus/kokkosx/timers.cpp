@@ -1,0 +1,9 @@
+// HARVEY mini-corpus, Kokkos dialect: fences bracket timed regions.
+
+#include "common.h"
+
+namespace harveyx {
+
+void synchronize_for_timing() { kx::fence(); }
+
+}  // namespace harveyx

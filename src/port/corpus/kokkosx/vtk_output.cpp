@@ -1,0 +1,18 @@
+// HARVEY mini-corpus, Kokkos dialect: density-slice export.
+
+#include <cstring>
+
+#include "common.h"
+
+namespace harveyx {
+
+void export_density_slice(DeviceState* state, double* host_slice,
+                          std::int64_t slice_points) {
+  if (slice_points > state->n_points) slice_points = state->n_points;
+  auto mirror = kx::create_mirror_view(state->reduce_scratch);
+  kx::deep_copy(mirror, state->reduce_scratch);
+  std::memcpy(host_slice, mirror.data(),
+              static_cast<std::size_t>(slice_points) * sizeof(double));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,29 @@
+// HARVEY mini-corpus, Kokkos dialect: pulsatile wall-shear accumulation.
+// The waveform factor keeps the standard-library formulation; Kokkos has
+// no sincospi intrinsic, so the fused call was unrolled by hand.
+
+#include <cmath>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double pulsatile_scale(double phase) {
+  constexpr double kPi = 3.14159265358979323846;
+  const double sin_part = std::sin(kPi * phase);
+  const double cos_part = std::cos(kPi * phase);
+  // Systolic-weighted waveform: positive lobe plus a diastolic offset.
+  return 0.75 + 0.5 * sin_part + 0.1 * cos_part;
+}
+
+void accumulate_wall_shear(DeviceState* state, double phase,
+                           double* shear_out) {
+  double shear = 0.0;
+  kx::parallel_reduce(
+      "wall_shear", kx::RangePolicy(0, state->n_points),
+      WallShearKernel{kernel_args(*state), pulsatile_scale(phase)}, shear);
+  *shear_out = shear;
+}
+
+}  // namespace harveyx

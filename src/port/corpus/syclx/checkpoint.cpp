@@ -1,0 +1,26 @@
+// HARVEY mini-corpus: checkpoint save/restore of the distribution state.
+
+#include "common.h"
+
+namespace harveyx {
+
+void write_checkpoint(DeviceState* state, double* host_scratch) {
+  const std::size_t bytes = static_cast<std::size_t>(kQ) *
+                            static_cast<std::size_t>(state->n_points) *
+                            sizeof(double);
+  DPCTX_CHECK(dpctx::device_synchronize());
+  DPCTX_CHECK(dpctx::memcpy(host_scratch, state->f_old, bytes,
+                          dpctx::device_to_host));
+}
+
+void read_checkpoint(DeviceState* state, const double* host_data) {
+  const std::size_t bytes = static_cast<std::size_t>(kQ) *
+                            static_cast<std::size_t>(state->n_points) *
+                            sizeof(double);
+  DPCTX_CHECK(dpctx::memcpy(state->f_old, host_data, bytes,
+                          dpctx::host_to_device));
+  DPCTX_CHECK(dpctx::memcpy(state->f_new, host_data, bytes,
+                          dpctx::host_to_device));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,22 @@
+// HARVEY mini-corpus: standalone BGK collision pass (two-pass pipeline).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_collision_only(DeviceState* state) {
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 128;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 127) / 128);
+
+  CollideOnlyKernel kernel{kernel_args(*state)};
+  dpctx::parallel_for(grid_dim, block_dim, kernel);
+  DPCTX_CHECK(dpctx::get_last_error());
+  DPCTX_CHECK(dpctx::device_synchronize());
+  // Collision operates in place on f_new; mark completion for profiling.
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,18 @@
+// HARVEY mini-corpus: device configuration at startup.  The heap-limit
+// call is CUDA-specific (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void configure_device() {
+  // Sparse geometries allocate adjacency lists from the device heap.
+  /* DPCTX1007 removed: cudaxDeviceSetLimit(cudaxLimitMallocHeapSize, 1ull << 30); */
+
+  DPCTX_CHECK(dpctx::device_synchronize());
+  void* probe = nullptr;
+  DPCTX_CHECK(dpctx::malloc_device(&probe, 256));
+  DPCTX_CHECK(dpctx::free(probe));
+}
+
+}  // namespace harveyx

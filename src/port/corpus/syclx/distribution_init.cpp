@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: initialize distributions to the rest equilibrium
+// and clear the reduction scratch field.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void initialize_distributions(DeviceState* state, double rho0) {
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  InitEquilibriumKernel init{state->f_old, state->n_points, rho0};
+  dpctx::parallel_for(grid_dim, block_dim, init);
+  DPCTX_CHECK(dpctx::get_last_error());
+
+  ZeroFieldKernel zero{state->reduce_scratch, state->n_points};
+  dpctx::parallel_for(grid_dim, block_dim, zero);
+  DPCTX_CHECK(dpctx::get_last_error());
+
+  // Both buffers start from the same state so the first pull step reads
+  // valid upstream values.
+  DPCTX_CHECK(dpctx::memcpy(state->f_new, state->f_old,
+                          static_cast<std::size_t>(kQ) * state->n_points *
+                              sizeof(double),
+                          dpctx::device_to_device));
+  DPCTX_CHECK(dpctx::device_synchronize());
+}
+
+}  // namespace harveyx

@@ -1,0 +1,26 @@
+// HARVEY mini-corpus: body-force configuration (Guo forcing is applied
+// inside the collision kernel; this module stages the force field).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void apply_body_force(DeviceState* state, double gz) {
+  state->force_z = gz;
+
+  // Warm the kernel pipeline once so the new force constant reaches every
+  // cached launch configuration.
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 64;
+  grid_dim.x = 1;
+
+  ZeroFieldKernel probe{state->reduce_scratch, 1};
+  dpctx::parallel_for(grid_dim, block_dim, probe);
+  DPCTX_CHECK(dpctx::get_last_error());
+  DPCTX_CHECK(dpctx::device_synchronize());
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,30 @@
+// HARVEY mini-corpus: node-type upload from the host-side geometry
+// pipeline.
+
+#include <vector>
+
+#include "common.h"
+
+namespace harveyx {
+
+void upload_node_types(DeviceState* state, const std::uint8_t* host_types) {
+  DPCTX_CHECK(dpctx::memcpy(state->node_type, host_types,
+                          static_cast<std::size_t>(state->n_points),
+                          dpctx::host_to_device));
+  DPCTX_CHECK(dpctx::device_synchronize());
+
+  // Round-trip verification: geometry corruption at upload time is far
+  // cheaper to catch here than as NaNs a thousand steps later.
+  std::vector<std::uint8_t> verify(static_cast<std::size_t>(state->n_points));
+  DPCTX_CHECK(dpctx::memcpy(verify.data(), state->node_type, verify.size(),
+                          dpctx::device_to_host));
+  for (std::size_t i = 0; i < verify.size(); ++i) {
+    if (verify[i] != host_types[i]) {
+      std::fprintf(stderr, "node type upload mismatch at %zu\n", i);
+      std::abort();
+    }
+  }
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+}
+
+}  // namespace harveyx

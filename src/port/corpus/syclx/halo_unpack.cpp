@@ -1,0 +1,38 @@
+// HARVEY mini-corpus: halo unpacking (receive side of the exchange).
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void unpack_halo(DeviceState* state, const std::int64_t* indices_device) {
+  if (state->halo_values == 0) return;
+
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 256;
+
+  const std::int64_t bulk = (state->halo_values * 3) / 4;
+  const std::int64_t tail = state->halo_values - bulk;
+
+  UnpackHaloKernel head{state->f_old, indices_device, state->recv_buffer,
+                        bulk};
+  grid_dim.x = static_cast<unsigned int>((bulk + 255) / 256);
+  dpctx::parallel_for(grid_dim, block_dim, head);
+  DPCTX_CHECK(dpctx::get_last_error());
+
+  UnpackHaloKernel rest{state->f_old, indices_device + bulk,
+                        state->recv_buffer + bulk, tail};
+  grid_dim.x = static_cast<unsigned int>((tail + 255) / 256);
+  if (tail > 0) {
+    dpctx::parallel_for(grid_dim, block_dim, rest);
+    DPCTX_CHECK(dpctx::get_last_error());
+  }
+
+  DPCTX_CHECK(dpctx::device_synchronize());
+  // The unpack must land before the boundary touch-up passes read it.
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+  DPCTX_CHECK(dpctx::get_last_error());
+}
+
+}  // namespace harveyx

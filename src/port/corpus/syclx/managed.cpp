@@ -1,0 +1,25 @@
+// HARVEY mini-corpus: managed (unified) memory for the monitor fields,
+// with prefetch hints (DPCT: performance-improvement suggestions).
+
+#include "common.h"
+
+namespace harveyx {
+
+double* allocate_managed_field(std::int64_t n_points) {
+  void* field = nullptr;
+  const std::size_t bytes =
+      static_cast<std::size_t>(n_points) * sizeof(double);
+  DPCTX_CHECK(dpctx::malloc_shared(&field, bytes));
+  DPCTX_CHECK(dpctx::memset(field, 0, bytes));
+  dpctx::prefetch(field, bytes, 0, 0);
+  DPCTX_CHECK(dpctx::device_synchronize());
+  return static_cast<double*>(field);
+}
+
+void release_managed_field(double* field) {
+  if (field == nullptr) return;
+  dpctx::prefetch(field, 0, -1, 0);  // migrate back before the free
+  DPCTX_CHECK(dpctx::free(field));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,41 @@
+// HARVEY mini-corpus: device memory management.
+
+#include "common.h"
+
+namespace harveyx {
+
+void allocate_state(DeviceState* state, std::int64_t n_points,
+                    std::int64_t halo_values) {
+  state->n_points = n_points;
+  const std::size_t f_bytes =
+      static_cast<std::size_t>(kQ) * n_points * sizeof(double);
+  DPCTX_CHECK(dpctx::malloc_device(reinterpret_cast<void**>(&state->f_old), f_bytes));
+  DPCTX_CHECK(dpctx::malloc_device(reinterpret_cast<void**>(&state->f_new), f_bytes));
+  DPCTX_CHECK(dpctx::malloc_device(reinterpret_cast<void**>(&state->adjacency),
+                          static_cast<std::size_t>(kQ) * n_points *
+                              sizeof(std::int64_t)));
+  DPCTX_CHECK(dpctx::malloc_device(reinterpret_cast<void**>(&state->node_type),
+                          static_cast<std::size_t>(n_points)));
+  DPCTX_CHECK(dpctx::malloc_device(reinterpret_cast<void**>(&state->reduce_scratch),
+                          n_points * sizeof(double)));
+  DPCTX_CHECK(dpctx::memset(state->node_type, 0,
+                          static_cast<std::size_t>(n_points)));
+  allocate_comm_buffers(state, halo_values);
+}
+
+void free_state(DeviceState* state) {
+  DPCTX_CHECK(dpctx::free(state->f_old));
+  DPCTX_CHECK(dpctx::free(state->f_new));
+  // Adjacency, node types and scratch share one cleanup path; any error
+  // here is fatal to the run.
+  if (dpctx::free(state->adjacency) != 0 ||
+      dpctx::free(state->node_type) != 0 ||
+      dpctx::free(state->reduce_scratch) != 0) {
+    std::fprintf(stderr, "teardown failed\n");
+    std::abort();
+  }
+  release_comm_buffers(state);
+  *state = DeviceState{};
+}
+
+}  // namespace harveyx

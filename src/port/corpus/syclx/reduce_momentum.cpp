@@ -1,0 +1,32 @@
+// HARVEY mini-corpus: axial-momentum reduction (flow-rate monitor).
+
+#include <vector>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double total_momentum_z(DeviceState* state) {
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 256;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  PointMomentumZKernel kernel{state->f_old, state->reduce_scratch,
+                              state->n_points};
+  dpctx::parallel_for(grid_dim, block_dim, kernel);
+  DPCTX_CHECK(dpctx::get_last_error());
+  DPCTX_CHECK(dpctx::device_synchronize());
+
+  std::vector<double> host(static_cast<std::size_t>(state->n_points));
+  DPCTX_CHECK(dpctx::memcpy(host.data(), state->reduce_scratch,
+                          host.size() * sizeof(double),
+                          dpctx::device_to_host));
+  double momentum = 0.0;
+  for (double m : host) momentum += m;
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+  return momentum;
+}
+
+}  // namespace harveyx

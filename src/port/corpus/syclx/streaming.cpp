@@ -1,0 +1,21 @@
+// HARVEY mini-corpus: standalone streaming (gather) pass.
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+void run_streaming_only(DeviceState* state) {
+  dpctx::range grid_dim(0);
+  dpctx::range block_dim(0);
+  block_dim.x = 128;
+  grid_dim.x = static_cast<unsigned int>((state->n_points + 127) / 128);
+
+  StreamOnlyKernel kernel{kernel_args(*state)};
+  dpctx::parallel_for(grid_dim, block_dim, kernel);
+  DPCTX_CHECK(dpctx::get_last_error());
+  DPCTX_CHECK(dpctx::device_synchronize());
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+}
+
+}  // namespace harveyx

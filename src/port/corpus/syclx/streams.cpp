@@ -1,0 +1,21 @@
+// HARVEY mini-corpus: stream management for compute/copy overlap.  The
+// stream-attach call is a CUDA managed-memory knob with no DPC++
+// equivalent (DPCT: unsupported feature).
+
+#include "common.h"
+
+namespace harveyx {
+
+void setup_streams(dpctx::stream* compute, dpctx::stream* copy) {
+  DPCTX_CHECK(dpctx::stream_create(compute));
+  DPCTX_CHECK(dpctx::stream_create(copy));
+  /* DPCTX1007 removed: cudaxStreamAttachMemAsync(*copy, compute, sizeof *compute); */
+  DPCTX_CHECK(dpctx::stream_synchronize(*compute));
+}
+
+void teardown_streams(dpctx::stream compute, dpctx::stream copy) {
+  DPCTX_CHECK(dpctx::stream_destroy(compute));
+  DPCTX_CHECK(dpctx::stream_destroy(copy));
+}
+
+}  // namespace harveyx

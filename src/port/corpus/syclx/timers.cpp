@@ -1,0 +1,12 @@
+// HARVEY mini-corpus: synchronization points bracketing timed regions.
+
+#include "common.h"
+
+namespace harveyx {
+
+void synchronize_for_timing() {
+  DPCTX_CHECK(dpctx::device_synchronize());
+  DPCTX_CHECK(dpctx::get_last_error());
+}
+
+}  // namespace harveyx

@@ -1,0 +1,41 @@
+// HARVEY mini-corpus: wall-shear-stress accumulation under a pulsatile
+// inflow waveform.  The waveform factor uses the CUDA math-library
+// sincospi intrinsic, the call DPCT can only replace with a functional
+// (not bit-identical) equivalent.
+
+#include <vector>
+
+#include "common.h"
+#include "kernels.h"
+
+namespace harveyx {
+
+double pulsatile_scale(double phase) {
+  double cos_part = 0.0;
+  const double sin_part = dpctx::sincospi(phase, &cos_part);
+  // Systolic-weighted waveform: positive lobe plus a diastolic offset.
+  return 0.75 + 0.5 * sin_part + 0.1 * cos_part;
+}
+
+void accumulate_wall_shear(DeviceState* state, double phase,
+                           double* shear_out) {
+  dpctx::range launch_dim(0);
+  launch_dim.x = static_cast<unsigned int>((state->n_points + 255) / 256);
+
+  WallShearKernel kernel{kernel_args(*state), pulsatile_scale(phase),
+                         state->reduce_scratch};
+  dpctx::parallel_for(launch_dim, dpctx::range(256), kernel);
+  DPCTX_CHECK(dpctx::get_last_error());
+  DPCTX_CHECK(dpctx::device_synchronize());
+
+  std::vector<double> host(static_cast<std::size_t>(state->n_points));
+  DPCTX_CHECK(dpctx::memcpy(host.data(), state->reduce_scratch,
+                          host.size() * sizeof(double),
+                          dpctx::device_to_host));
+  double shear = 0.0;
+  for (double s : host) shear += s;
+  *shear_out = shear;
+  DPCTX_CHECK(dpctx::stream_synchronize(0));
+}
+
+}  // namespace harveyx

@@ -1,0 +1,36 @@
+#pragma once
+// Mini-DPCT: the cudax -> syclx (DPC++-style) translator, reproducing the
+// role of Intel's DPC++ Compatibility Tool in the paper (Section 7.1).
+// Like the real tool it performs a mechanical API mapping onto a compat
+// layer ("port/dpctx.hpp", standing in for dpct/dpct.hpp), and emits
+// categorized warnings wherever the translation is not a perfect
+// equivalent — the five categories of Table 2:
+//
+//   Error handling:        CUDA reports by error code, SYCL by exception.
+//   Unsupported feature:   CUDA APIs with no DPC++ equivalent (removed).
+//   Functional equivalence: replacements that differ in detail (sincospi).
+//   Kernel invocation:     auto-chosen work-group geometry may not fit.
+//   Performance improvement: suggestions (prefetch hints).
+//
+// One deliberate imperfection mirrors the paper's experience: CUDA's dim3
+// is default-constructible but dpctx::range is not, so translated
+// *uninitialized* dim3x declarations do not compile until a human
+// zero-initializes them — the manual lines counted in Table 3.
+
+#include <string>
+#include <vector>
+
+#include "port/warnings.hpp"
+
+namespace hemo::port {
+
+struct DpctResult {
+  std::string output;
+  std::vector<Warning> warnings;
+};
+
+/// Translates one cudax source file; `file_name` labels the warnings.
+DpctResult dpct_translate(const std::string& cudax_source,
+                          const std::string& file_name);
+
+}  // namespace hemo::port

@@ -1,0 +1,129 @@
+#pragma once
+// dpctx: the compatibility layer emitted by the mini-DPCT translator,
+// standing in for the dpct/dpct.hpp helper header that DPCT-generated
+// code depends on (the paper had to build it from SYCLomatic sources on
+// Polaris and Crusher, Sections 7.1.1-7.1.2).  Implemented over the syclx
+// dialect.  Functions return int error codes (always 0) so that migrated
+// CUDA error-code plumbing still compiles — exactly the style of the real
+// dpct helpers.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "hal/syclx.hpp"
+
+namespace dpctx {
+
+/// Default in-order queue, as dpct::get_default_queue().
+inline hemo::hal::syclx::queue& queue() {
+  static hemo::hal::syclx::queue q;
+  return q;
+}
+
+/// SYCL ranges are not default-constructible; translated *uninitialized*
+/// dim3 declarations therefore fail to compile until a human initializes
+/// them (Table 3's manual DPCT lines).
+struct range {
+  explicit range(unsigned int x_) : x(x_) {}
+  unsigned int x;
+};
+
+inline int malloc_device(void** ptr, std::size_t bytes) {
+  *ptr = hemo::hal::syclx::malloc_device<std::byte>(bytes, queue());
+  return 0;
+}
+
+inline int malloc_shared(void** ptr, std::size_t bytes) {
+  *ptr = hemo::hal::syclx::malloc_shared<std::byte>(bytes, queue());
+  return 0;
+}
+
+inline int free(void* ptr) {
+  hemo::hal::syclx::free(ptr, queue());
+  return 0;
+}
+
+/// Transfer directions, as dpct::memcpy_direction; the USM queue infers
+/// the real direction from pointer ownership, so the tag is advisory.
+enum direction {
+  host_to_device = 0,
+  device_to_host = 1,
+  device_to_device = 2,
+  automatic = 3,
+};
+
+inline int memcpy(void* dst, const void* src, std::size_t bytes,
+                  direction /*dir*/ = automatic) {
+  queue().memcpy(dst, src, bytes).wait();
+  return 0;
+}
+
+using stream = std::uint64_t;
+
+inline int memcpy_async(void* dst, const void* src, std::size_t bytes,
+                        direction /*dir*/ = automatic, stream /*s*/ = 0) {
+  queue().memcpy(dst, src, bytes);
+  return 0;
+}
+
+inline int memcpy_to_symbol(void* symbol, const void* src,
+                            std::size_t bytes) {
+  return memcpy(symbol, src, bytes);
+}
+
+inline int memset(void* dst, int value, std::size_t bytes) {
+  queue().memset(dst, value, bytes).wait();
+  return 0;
+}
+
+inline int prefetch(const void* /*ptr*/, std::size_t /*bytes*/,
+                    int /*device*/ = 0, stream /*s*/ = 0) {
+  return 0;  // advisory
+}
+
+inline int device_synchronize() {
+  queue().wait_and_throw();
+  return 0;
+}
+
+inline int get_last_error() { return 0; }  // SYCL reports via exceptions
+
+inline int stream_create(stream* s) {
+  static stream next = 1;
+  *s = next++;
+  return 0;
+}
+
+inline int stream_destroy(stream /*s*/) { return 0; }
+inline int stream_synchronize(stream /*s*/) { return 0; }
+
+/// Launches kernel(i) over grid.x * block.x work items via an nd_range,
+/// preserving the CUDA launch geometry.
+template <typename Kernel>
+int parallel_for(range grid, range block, Kernel kernel) {
+  namespace sx = hemo::hal::syclx;
+  const std::size_t global =
+      static_cast<std::size_t>(grid.x) * static_cast<std::size_t>(block.x);
+  queue().submit([&](sx::handler& h) {
+    h.parallel_for(sx::nd_range(sx::range<1>(global),
+                                sx::range<1>(block.x)),
+                   [kernel](sx::nd_item item) {
+                     kernel(static_cast<std::int64_t>(item.get_global_id(0)));
+                   });
+  });
+  queue().wait();
+  return 0;
+}
+
+/// Functional-equivalence case of Table 2: not bit-identical to the CUDA
+/// intrinsic (computed via the standard library, not a fused pi-scaled
+/// polynomial).
+inline double sincospi(double x, double* cos_out) {
+  constexpr double kPi = 3.14159265358979323846;
+  *cos_out = std::cos(kPi * x);
+  return std::sin(kPi * x);
+}
+
+}  // namespace dpctx

@@ -1,0 +1,75 @@
+#include "port/hipify.hpp"
+
+#include <cctype>
+
+namespace hemo::port {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replaces `from` with `to` wherever `from` starts an identifier (the
+/// character before it is not an identifier character).  This is the
+/// whole trick behind HIPify-perl: the APIs differ only in prefix.
+std::string replace_prefix(const std::string& text, const std::string& from,
+                           const std::string& to) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const bool at_ident_start = i == 0 || !is_ident_char(text[i - 1]);
+    if (at_ident_start && text.compare(i, from.size(), from) == 0) {
+      out += to;
+      i += from.size();
+    } else {
+      out += text[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HipifyResult hipify(const std::string& cudax_source) {
+  HipifyResult result;
+  std::string text = cudax_source;
+
+  // Include path: the only non-identifier rewrite.
+  {
+    const std::string from = "hal/cudax.hpp";
+    const std::string to = "hal/hipx.hpp";
+    std::size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+      text.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  }
+
+  // API identifiers: cudaxFoo -> hipxFoo; the corpus error-check macro
+  // follows the same convention (CUDAX_CHECK -> HIPX_CHECK).
+  text = replace_prefix(text, "cudax", "hipx");
+  text = replace_prefix(text, "CUDAX_", "HIPX_");
+
+  // Count rewritten lines by comparing against the input line by line.
+  std::size_t a = 0, b = 0;
+  while (a < cudax_source.size() || b < text.size()) {
+    const std::size_t ae = cudax_source.find('\n', a);
+    const std::size_t be = text.find('\n', b);
+    const std::string la = cudax_source.substr(
+        a, (ae == std::string::npos ? cudax_source.size() : ae) - a);
+    const std::string lb =
+        text.substr(b, (be == std::string::npos ? text.size() : be) - b);
+    if (la != lb) ++result.lines_touched;
+    if (ae == std::string::npos || be == std::string::npos) break;
+    a = ae + 1;
+    b = be + 1;
+  }
+
+  result.output = std::move(text);
+  return result;
+}
+
+}  // namespace hemo::port

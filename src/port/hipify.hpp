@@ -1,0 +1,21 @@
+#pragma once
+// Mini-HIPify: the regex-style cudax -> hipx translator, reproducing
+// HIPify-perl (Section 7.2).  Because the hipx API mirrors cudax name for
+// name — exactly as HIP mirrors CUDA — the conversion is a prefix rewrite
+// plus an include switch, and the output needs zero manual lines (the
+// paper's Table 3 HIPify row).
+
+#include <string>
+
+namespace hemo::port {
+
+struct HipifyResult {
+  std::string output;
+  int lines_touched = 0;  // lines the tool rewrote (automatic, not manual)
+};
+
+/// Translates one cudax source to hipx.  Identifier-aware: replaces the
+/// `cudax` prefix only at identifier starts, so e.g. "mycudax" survives.
+HipifyResult hipify(const std::string& cudax_source);
+
+}  // namespace hemo::port

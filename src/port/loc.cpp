@@ -1,0 +1,78 @@
+#include "port/loc.hpp"
+
+#include <algorithm>
+
+namespace hemo::port {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+LocDelta loc_diff(const std::string& old_text, const std::string& new_text) {
+  const std::vector<std::string> a = split_lines(old_text);
+  const std::vector<std::string> b = split_lines(new_text);
+  const std::size_t n = a.size(), m = b.size();
+
+  // LCS table; corpus files are small (hundreds of lines), so the
+  // quadratic table is fine.
+  std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;)
+    for (std::size_t j = m; j-- > 0;)
+      lcs[i][j] = (a[i] == b[j]) ? lcs[i + 1][j + 1] + 1
+                                 : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+
+  // Backtrace into an edit script, then pair removals with additions in
+  // each divergent run: pairs are "changed", the surplus is added/removed.
+  LocDelta delta;
+  std::size_t i = 0, j = 0;
+  int run_removed = 0, run_added = 0;
+  auto flush_run = [&] {
+    const int paired = std::min(run_removed, run_added);
+    delta.changed += paired;
+    delta.added += run_added - paired;
+    delta.removed += run_removed - paired;
+    run_removed = run_added = 0;
+  };
+  while (i < n || j < m) {
+    if (i < n && j < m && a[i] == b[j]) {
+      flush_run();
+      ++i;
+      ++j;
+    } else if (j >= m || (i < n && lcs[i + 1][j] >= lcs[i][j + 1])) {
+      ++run_removed;
+      ++i;
+    } else {
+      ++run_added;
+      ++j;
+    }
+  }
+  flush_run();
+  return delta;
+}
+
+int count_sloc(const std::string& text) {
+  int sloc = 0;
+  for (const std::string& line : split_lines(text)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 2, "//") == 0) continue;
+    if (line.compare(first, 2, "/*") == 0 &&
+        line.find("*/") == line.size() - 2)
+      continue;
+    ++sloc;
+  }
+  return sloc;
+}
+
+}  // namespace hemo::port

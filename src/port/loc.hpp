@@ -1,0 +1,34 @@
+#pragma once
+// Line-of-code accounting for the porting study (Table 3): diff two
+// versions of a source file and report lines added/changed/removed, the
+// measure the paper uses to quantify porting effort.
+
+#include <string>
+#include <vector>
+
+namespace hemo::port {
+
+struct LocDelta {
+  int added = 0;
+  int changed = 0;
+  int removed = 0;
+
+  LocDelta& operator+=(const LocDelta& o) {
+    added += o.added;
+    changed += o.changed;
+    removed += o.removed;
+    return *this;
+  }
+};
+
+/// Longest-common-subsequence line diff.  Within each divergent region,
+/// paired old/new lines count as "changed"; surplus new lines as "added";
+/// surplus old lines as "removed".
+LocDelta loc_diff(const std::string& old_text, const std::string& new_text);
+
+/// Source lines of code: non-blank, non-comment-only lines.
+int count_sloc(const std::string& text);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+}  // namespace hemo::port

@@ -1,0 +1,50 @@
+#pragma once
+// Warning taxonomy of the mini-DPCT tool, mirroring the five categories
+// the paper reports in Table 2 for Intel's DPC++ Compatibility Tool.
+
+#include <string>
+#include <vector>
+
+namespace hemo::port {
+
+enum class WarningCategory {
+  kErrorHandling,       // CUDA error codes vs SYCL exceptions
+  kUnsupportedFeature,  // CUDA API with no DPC++ equivalent
+  kFunctionalEquivalence,  // replacement differs from an exact equivalent
+  kKernelInvocation,    // auto-generated work-group sizes may need tuning
+  kPerformanceImprovement,  // optional suggestions
+};
+
+constexpr const char* category_name(WarningCategory c) {
+  switch (c) {
+    case WarningCategory::kErrorHandling: return "Error handling";
+    case WarningCategory::kUnsupportedFeature: return "Unsupported feature";
+    case WarningCategory::kFunctionalEquivalence:
+      return "Functional equivalence";
+    case WarningCategory::kKernelInvocation: return "Kernel invocation";
+    case WarningCategory::kPerformanceImprovement:
+      return "Performance improvement";
+  }
+  return "?";
+}
+
+inline constexpr WarningCategory kAllWarningCategories[] = {
+    WarningCategory::kErrorHandling,
+    WarningCategory::kUnsupportedFeature,
+    WarningCategory::kFunctionalEquivalence,
+    WarningCategory::kKernelInvocation,
+    WarningCategory::kPerformanceImprovement,
+};
+
+struct Warning {
+  std::string file;
+  int line = 0;  // 1-based line in the source file
+  WarningCategory category = WarningCategory::kErrorHandling;
+  std::string id;       // e.g. "DPCTX1003"
+  std::string message;
+};
+
+/// Count warnings per category (indexed like kAllWarningCategories).
+std::vector<int> warning_histogram(const std::vector<Warning>& warnings);
+
+}  // namespace hemo::port

@@ -1,0 +1,82 @@
+#include "proxy/proxy_app.hpp"
+
+#include <chrono>
+
+#include "base/contracts.hpp"
+#include "decomp/partition.hpp"
+
+namespace hemo::proxy {
+
+namespace {
+
+lbm::SolverOptions solver_options(const ProxyConfig& config) {
+  lbm::SolverOptions o;
+  o.tau = config.tau;
+  o.inlet_velocity = config.inlet_velocity;
+  o.outlet_density = config.outlet_density;
+  return o;
+}
+
+}  // namespace
+
+ProxyApp::ProxyApp(const ProxyConfig& config) : config_(config) {
+  HEMO_EXPECTS(config.scale > 0.0);
+  HEMO_EXPECTS(config.ranks >= 1);
+
+  geom::CylinderSpec spec;
+  spec.scale = config.scale;
+  lattice_ = geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+
+  solver_ = std::make_unique<harvey::DistributedSolver>(
+      lattice_, decomp::slab_partition(*lattice_, config.ranks),
+      solver_options(config));
+}
+
+ProxyMeasurement ProxyApp::run(int steps) {
+  HEMO_EXPECTS(steps > 0);
+  const auto start = std::chrono::steady_clock::now();
+  solver_->run(steps);
+  const auto stop = std::chrono::steady_clock::now();
+
+  ProxyMeasurement m;
+  m.fluid_points = lattice_->size();
+  m.steps = steps;
+  m.seconds = std::chrono::duration<double>(stop - start).count();
+  m.mflups = static_cast<double>(m.fluid_points) * steps / m.seconds / 1e6;
+  return m;
+}
+
+ProxyMeasurement ProxyApp::run_on_model(hal::Model model, int steps) {
+  HEMO_EXPECTS(steps > 0);
+  harvey::DeviceSolver device(lattice_, solver_options(config_), model);
+  const auto start = std::chrono::steady_clock::now();
+  device.run(steps);
+  const auto stop = std::chrono::steady_clock::now();
+
+  ProxyMeasurement m;
+  m.fluid_points = lattice_->size();
+  m.steps = steps;
+  m.seconds = std::chrono::duration<double>(stop - start).count();
+  m.mflups = static_cast<double>(m.fluid_points) * steps / m.seconds / 1e6;
+  return m;
+}
+
+double ProxyApp::expected_peak_velocity() const {
+  // Poiseuille: the mean velocity over the disk is half the peak, and the
+  // inlet prescribes a plug profile carrying the mean flux.
+  return 2.0 * config_.inlet_velocity;
+}
+
+double ProxyApp::mean_axial_velocity(std::int32_t z_slice) const {
+  double sum = 0.0;
+  std::int64_t count = 0;
+  for (PointIndex i = 0; i < lattice_->size(); ++i) {
+    if (lattice_->coord(i).z != z_slice) continue;
+    sum += solver_->global_moments(i).uz;
+    ++count;
+  }
+  HEMO_EXPECTS(count > 0);
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace hemo::proxy

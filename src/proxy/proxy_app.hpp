@@ -1,0 +1,66 @@
+#pragma once
+// The LBM proxy application (Section 3.2): a cylindrical channel flow of
+// axial length 84x and radius 8x, with the simple slab decomposition that
+// gives perfect load balance on this geometry.  The proxy exists to gauge
+// the performance bounds of the full application and to exercise new
+// systems/models quickly; MFLUPS (millions of fluid lattice updates per
+// second) is its performance measure.
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/cylinder.hpp"
+#include "hal/model.hpp"
+#include "harvey/device_solver.hpp"
+#include "harvey/distributed_solver.hpp"
+#include "lbm/solver.hpp"
+
+namespace hemo::proxy {
+
+struct ProxyConfig {
+  double scale = 1.0;             // the paper's "x": length 84x, radius 8x
+  int ranks = 1;                  // slab decomposition when > 1
+  double tau = 0.9;
+  double inlet_velocity = 0.01;   // Zou-He caps drive the channel flow
+  double outlet_density = 1.0;
+};
+
+/// Result of a timed proxy run on the host engine.
+struct ProxyMeasurement {
+  std::int64_t fluid_points = 0;
+  int steps = 0;
+  double seconds = 0.0;
+  double mflups = 0.0;  // fluid points * steps / seconds / 1e6
+};
+
+class ProxyApp {
+ public:
+  explicit ProxyApp(const ProxyConfig& config);
+
+  /// Runs `steps` iterations through the distributed (slab) solver and
+  /// measures host MFLUPS.
+  ProxyMeasurement run(int steps);
+
+  /// Runs `steps` iterations through one programming-model dialect on a
+  /// single device (used for cross-model comparisons and examples).
+  ProxyMeasurement run_on_model(hal::Model model, int steps);
+
+  std::int64_t fluid_points() const { return lattice_->size(); }
+  const lbm::SparseLattice& lattice() const { return *lattice_; }
+  const ProxyConfig& config() const { return config_; }
+
+  /// The steady-state centerline velocity the channel should approach
+  /// (Poiseuille with the configured inlet flux).
+  double expected_peak_velocity() const;
+
+  /// Mean axial velocity over a cross-section slice, from the current
+  /// distributed solver state.
+  double mean_axial_velocity(std::int32_t z_slice) const;
+
+ private:
+  ProxyConfig config_;
+  std::shared_ptr<lbm::SparseLattice> lattice_;
+  std::unique_ptr<harvey::DistributedSolver> solver_;
+};
+
+}  // namespace hemo::proxy

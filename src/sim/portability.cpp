@@ -1,0 +1,72 @@
+#include "sim/portability.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::sim {
+
+double performance_portability(const std::vector<double>& efficiencies,
+                               std::size_t platform_count) {
+  HEMO_EXPECTS(platform_count >= 1);
+  if (efficiencies.size() < platform_count) return 0.0;
+  double inverse_sum = 0.0;
+  for (const double e : efficiencies) {
+    if (e <= 0.0) return 0.0;
+    inverse_sum += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / inverse_sum;
+}
+
+std::vector<PortabilityRow> portability_table(App app, Workload& workload,
+                                              int device_count,
+                                              int size_multiplier,
+                                              EfficiencyKind kind) {
+  HEMO_EXPECTS(device_count >= 1);
+
+  // Best observed MFLUPS per system at this point (for application
+  // efficiency) and per-model measurements.
+  std::map<sys::SystemId, double> best;
+  std::map<hal::Model, std::map<sys::SystemId, double>> mflups;
+  std::map<hal::Model, std::map<sys::SystemId, double>> predicted;
+
+  for (const sys::SystemId id : sys::kAllSystems) {
+    const sys::SystemSpec& spec = sys::system_spec(id);
+    if (device_count > spec.max_devices) continue;
+    for (const hal::Model m : spec.harvey_models) {
+      const ClusterSimulator cs(id, m, app);
+      const SimPoint p = cs.simulate(workload, device_count, size_multiplier);
+      mflups[m][id] = p.mflups;
+      predicted[m][id] =
+          cs.predict(workload, device_count, size_multiplier).mflups;
+      best[id] = std::max(best[id], p.mflups);
+    }
+  }
+
+  std::vector<PortabilityRow> rows;
+  for (const hal::Model m : hal::kAllModels) {
+    auto it = mflups.find(m);
+    if (it == mflups.end()) continue;
+    PortabilityRow row;
+    row.model = m;
+    std::vector<double> efficiencies;
+    for (const auto& [id, value] : it->second) {
+      const double e = kind == EfficiencyKind::kApplication
+                           ? value / best.at(id)
+                           : value / predicted.at(m).at(id);
+      row.efficiency[id] = e;
+      efficiencies.push_back(e);
+    }
+    row.platforms = static_cast<int>(efficiencies.size());
+    std::size_t all = 0;
+    for (const sys::SystemId id : sys::kAllSystems)
+      if (device_count <= sys::system_spec(id).max_devices) ++all;
+    row.pp_all = performance_portability(efficiencies, all);
+    row.pp_supported =
+        performance_portability(efficiencies, efficiencies.size());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hemo::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Performance-portability metric (Pennycook, Sewall, Lee — the standard
+// P3HPC measure the paper's venue is built around): for an application a,
+// problem p and platform set H,
+//
+//   PP(a, p, H) = |H| / sum_{i in H} 1 / e_i(a, p)    if a runs on all of H,
+//                 0                                    otherwise,
+//
+// the harmonic mean of the per-platform efficiencies e_i.  Both efficiency
+// flavors of the paper's Section 8.1 plug in: application efficiency
+// (vs the best observed model per platform) and architectural efficiency
+// (vs the performance-model bound).
+
+#include <map>
+#include <vector>
+
+#include "hal/model.hpp"
+#include "sim/simulator.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::sim {
+
+/// Harmonic mean of efficiencies; 0 if any platform is missing (the
+/// metric's definition for non-portable applications) or any efficiency
+/// is non-positive.
+double performance_portability(const std::vector<double>& efficiencies,
+                               std::size_t platform_count);
+
+enum class EfficiencyKind { kApplication, kArchitectural };
+
+struct PortabilityRow {
+  hal::Model model;
+  /// Efficiency per system the model runs on (system order follows
+  /// sys::kAllSystems, absent systems skipped).
+  std::map<sys::SystemId, double> efficiency;
+  /// PP over the full four-system set (0 when the model does not run
+  /// everywhere — only Kokkos backends can score here, and of those only
+  /// Kokkos-SYCL actually covers all four systems in the study).
+  double pp_all = 0.0;
+  /// PP over the systems the model does support (coverage in the name of
+  /// the paper's "trade-off between portability and performance").
+  double pp_supported = 0.0;
+  int platforms = 0;
+};
+
+/// Computes the PP table for one app/workload at a given schedule point,
+/// using either efficiency definition.  `device_count` selects the
+/// schedule point (must appear in the piecewise schedule).
+std::vector<PortabilityRow> portability_table(App app, Workload& workload,
+                                              int device_count,
+                                              int size_multiplier,
+                                              EfficiencyKind kind);
+
+}  // namespace hemo::sim

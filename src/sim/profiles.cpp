@@ -1,0 +1,178 @@
+#include "sim/profiles.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::sim {
+
+namespace {
+
+using hal::Model;
+using sys::SystemId;
+
+BackendProfile summit_profile(Model m) {
+  BackendProfile p;
+  p.occupancy_half_points = 3e4;  // V100: modest device, saturates early
+  switch (m) {
+    case Model::kCuda:
+      p = {.proxy_efficiency = 0.97, .harvey_efficiency = 0.51,
+           .occupancy_half_points = 3e4, .launch_overhead_us = 8.0,
+           .comm_efficiency = 0.90};
+      break;
+    case Model::kHip:
+      // hipcc over the CUDA backend generates marginally better HARVEY
+      // code (it wins at the lowest task count, Section 9.2) but cannot
+      // use GPU-aware MPI on Summit (Section 7.2.2).
+      p = {.proxy_efficiency = 0.97, .harvey_efficiency = 0.54,
+           .occupancy_half_points = 3e4, .launch_overhead_us = 10.0,
+           .comm_efficiency = 0.88, .host_staged_mpi = true};
+      break;
+    case Model::kKokkosCuda:
+      p = {.proxy_efficiency = 0.80, .harvey_efficiency = 0.42,
+           .occupancy_half_points = 3.5e4, .launch_overhead_us = 14.0,
+           .comm_efficiency = 0.88};
+      break;
+    case Model::kKokkosOpenAcc:
+      // Consistently outperforms Kokkos-CUDA on Summit (Section 9.2).
+      p = {.proxy_efficiency = 0.88, .harvey_efficiency = 0.46,
+           .occupancy_half_points = 3.2e4, .launch_overhead_us = 12.0,
+           .comm_efficiency = 0.88};
+      break;
+    default:
+      HEMO_EXPECTS(false && "model not evaluated on Summit");
+  }
+  return p;
+}
+
+BackendProfile polaris_profile(Model m) {
+  BackendProfile p;
+  switch (m) {
+    case Model::kCuda:
+      // Compute efficiency slightly above 1: caching effects the
+      // performance model does not account for push a few architectural
+      // efficiencies past unity (Section 9.2).
+      p = {.proxy_efficiency = 1.04, .harvey_efficiency = 0.55,
+           .occupancy_half_points = 6e4, .launch_overhead_us = 8.0,
+           .comm_efficiency = 0.75};
+      break;
+    case Model::kSycl:
+      // Marginally slower kernels than native CUDA but a better halo
+      // path: matches native closely and exceeds it at 1024 GPUs.
+      p = {.proxy_efficiency = 1.00, .harvey_efficiency = 0.53,
+           .occupancy_half_points = 6e4, .launch_overhead_us = 6.0,
+           .comm_efficiency = 0.88};
+      break;
+    case Model::kKokkosCuda:
+      p = {.proxy_efficiency = 0.85, .harvey_efficiency = 0.45,
+           .occupancy_half_points = 6.5e4, .launch_overhead_us = 14.0,
+           .comm_efficiency = 0.72};
+      break;
+    case Model::kKokkosSycl:
+      // Worst proxy among the Kokkos backends on Polaris, yet on par with
+      // Kokkos-CUDA for HARVEY (Section 9.2).
+      p = {.proxy_efficiency = 0.70, .harvey_efficiency = 0.44,
+           .occupancy_half_points = 6.5e4, .launch_overhead_us = 14.0,
+           .comm_efficiency = 0.72};
+      break;
+    case Model::kKokkosOpenAcc:
+      // Proxy on par with Kokkos-CUDA; HARVEY clearly the worst, most
+      // pronounced on the aorta (Section 9.2).
+      p = {.proxy_efficiency = 0.85, .harvey_efficiency = 0.33,
+           .occupancy_half_points = 6.5e4, .launch_overhead_us = 16.0,
+           .comm_efficiency = 0.72};
+      break;
+    default:
+      HEMO_EXPECTS(false && "model not evaluated on Polaris");
+  }
+  return p;
+}
+
+BackendProfile crusher_profile(Model m) {
+  BackendProfile p;
+  switch (m) {
+    case Model::kHip:
+      // Native HIP: architectural efficiency notably low (Fig. 5(g)), so
+      // HARVEY trails every other system at small device counts, but the
+      // four-NIC Slingshot fabric carries it past Summit/Sunspot at scale.
+      p = {.proxy_efficiency = 0.60, .harvey_efficiency = 0.22,
+           .occupancy_half_points = 8e4, .launch_overhead_us = 12.0,
+           .comm_efficiency = 1.00};
+      break;
+    case Model::kSycl:
+      // Early-development SYCL stack on Crusher (Section 9.2): kernels
+      // comparable to Kokkos-HIP on the cylinder, but a poor halo path
+      // that collapses on the comm-heavier aorta after the first point.
+      p = {.proxy_efficiency = 0.45, .harvey_efficiency = 0.22,
+           .occupancy_half_points = 9e4, .launch_overhead_us = 20.0,
+           .comm_efficiency = 0.45};
+      break;
+    case Model::kKokkosHip:
+      p = {.proxy_efficiency = 0.52, .harvey_efficiency = 0.22,
+           .occupancy_half_points = 8.5e4, .launch_overhead_us = 16.0,
+           .comm_efficiency = 0.95};
+      break;
+    case Model::kKokkosSycl:
+      p = {.proxy_efficiency = 0.42, .harvey_efficiency = 0.20,
+           .occupancy_half_points = 9e4, .launch_overhead_us = 18.0,
+           .comm_efficiency = 0.80};
+      break;
+    default:
+      HEMO_EXPECTS(false && "model not evaluated on Crusher");
+  }
+  return p;
+}
+
+BackendProfile sunspot_profile(Model m) {
+  BackendProfile p;
+  switch (m) {
+    case Model::kSycl:
+      // Native DPC++ on PVC.  Tiles need far more resident parallelism to
+      // hide latency (4x the memory of V100, Section 9.1), hence the
+      // large occupancy half point and the pronounced weak-scaling jumps.
+      p = {.proxy_efficiency = 0.62, .harvey_efficiency = 0.36,
+           .occupancy_half_points = 1.5e6, .launch_overhead_us = 10.0,
+           .comm_efficiency = 0.90};
+      break;
+    case Model::kKokkosSycl:
+      // Manually tuned for Sunspot: outperforms native SYCL nearly across
+      // the board (Section 9.2).
+      p = {.proxy_efficiency = 0.65, .harvey_efficiency = 0.38,
+           .occupancy_half_points = 1.4e6, .launch_overhead_us = 11.0,
+           .comm_efficiency = 0.92};
+      break;
+    case Model::kHip:
+      // chipStar: functionality over performance.  HARVEY lands close to
+      // native SYCL, but the proxy — compiled with prefetching disabled
+      // and argument-passing warnings — is the worst code on the system
+      // (Sections 7.2.3 and 9.2).
+      p = {.proxy_efficiency = 0.30, .harvey_efficiency = 0.35,
+           .occupancy_half_points = 1.6e6, .launch_overhead_us = 25.0,
+           .comm_efficiency = 0.85};
+      break;
+    default:
+      HEMO_EXPECTS(false && "model not evaluated on Sunspot");
+  }
+  return p;
+}
+
+}  // namespace
+
+bool model_available(sys::SystemId system, hal::Model model) {
+  const sys::SystemSpec& spec = sys::system_spec(system);
+  return std::find(spec.harvey_models.begin(), spec.harvey_models.end(),
+                   model) != spec.harvey_models.end();
+}
+
+BackendProfile profile_for(sys::SystemId system, hal::Model model) {
+  HEMO_EXPECTS(model_available(system, model));
+  switch (system) {
+    case SystemId::kSummit: return summit_profile(model);
+    case SystemId::kPolaris: return polaris_profile(model);
+    case SystemId::kCrusher: return crusher_profile(model);
+    case SystemId::kSunspot: return sunspot_profile(model);
+  }
+  return {};
+}
+
+}  // namespace hemo::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Per-(system, programming model) performance profiles for the cluster
+// simulator.  These are the calibration layer of the reproduction: with no
+// physical V100/A100/MI250X/PVC available, each profile encodes how far a
+// given model's generated code falls short of the device's BabelStream
+// bandwidth, how much parallelism the device needs to hide latency, and
+// how efficiently the model's runtime drives the interconnect.  Values are
+// chosen so the simulator reproduces the qualitative findings of the
+// paper's Section 9 (see DESIGN.md for the target shape list and
+// EXPERIMENTS.md for the resulting curves).
+
+#include "hal/model.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::sim {
+
+struct BackendProfile {
+  /// Fraction of BabelStream bandwidth the fused stream-collide kernel
+  /// achieves at full occupancy, for the proxy app and for HARVEY (the
+  /// production code does roughly 2x the per-point work: boundary
+  /// handling, indirection, extra fields).
+  double proxy_efficiency = 0.9;
+  double harvey_efficiency = 0.47;
+
+  /// Points per device at which the effective bandwidth halves; models
+  /// the occupancy / latency-hiding loss at the end of each strong-scaling
+  /// segment (largest on PVC, Section 9.1).
+  double occupancy_half_points = 5e4;
+
+  /// Fixed per-iteration cost: kernel launch + synchronization.
+  double launch_overhead_us = 10.0;
+
+  /// Multiplier on link bandwidth achieved by this model's halo path.
+  double comm_efficiency = 0.9;
+
+  /// GPU-aware MPI unavailable: halo bytes bounce through host memory
+  /// (HIP on Summit, Section 7.2.2).
+  bool host_staged_mpi = false;
+};
+
+/// Profile lookup; aborts if the model was not evaluated on that system
+/// (mirrors Table 1 / Section 8.1 availability).
+BackendProfile profile_for(sys::SystemId system, hal::Model model);
+
+/// True if the paper ran this model on this system (for HARVEY; the proxy
+/// availability is identical).
+bool model_available(sys::SystemId system, hal::Model model);
+
+}  // namespace hemo::sim

@@ -1,0 +1,87 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+#include "base/contracts.hpp"
+#include "geom/aorta.hpp"
+#include "geom/cylinder.hpp"
+
+namespace hemo::sim {
+
+Workload::Workload(std::string name,
+                   std::shared_ptr<lbm::SparseLattice> lattice,
+                   DecompositionKind kind, double base_linear_ratio)
+    : name_(std::move(name)),
+      lattice_(std::move(lattice)),
+      kind_(kind),
+      base_linear_ratio_(base_linear_ratio) {
+  HEMO_EXPECTS(lattice_ != nullptr);
+  HEMO_EXPECTS(base_linear_ratio_ >= 1.0);
+}
+
+Workload Workload::cylinder(DecompositionKind kind, double measure_scale,
+                            double target_base_scale) {
+  HEMO_EXPECTS(measure_scale > 0.0);
+  HEMO_EXPECTS(target_base_scale >= measure_scale);
+  geom::CylinderSpec spec;
+  spec.scale = measure_scale;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  const char* kind_name =
+      kind == DecompositionKind::kSlab ? "slab" : "bisection";
+  Workload w("cylinder-" + std::string(kind_name), std::move(lattice), kind,
+             target_base_scale / measure_scale);
+  w.set_surface_shape(20.0);  // compact chunks inside the wide cylinder
+  return w;
+}
+
+Workload Workload::aorta(double measure_spacing_mm,
+                         double target_base_spacing_mm) {
+  HEMO_EXPECTS(measure_spacing_mm > 0.0);
+  HEMO_EXPECTS(target_base_spacing_mm <= measure_spacing_mm);
+  geom::AortaSpec spec;
+  spec.spacing_mm = measure_spacing_mm;
+  auto lattice = geom::make_aorta_lattice(spec);
+  // HARVEY decomposes complex geometries with the bisection balancer.
+  Workload w("aorta", std::move(lattice), DecompositionKind::kBisection,
+             measure_spacing_mm / target_base_spacing_mm);
+  w.set_surface_shape(55.0);  // elongated vessel chunks (see header)
+  return w;
+}
+
+const RankStats& Workload::stats(int n_ranks) {
+  HEMO_EXPECTS(n_ranks >= 1);
+  auto it = cache_.find(n_ranks);
+  if (it != cache_.end()) return it->second;
+
+  const decomp::Partition partition =
+      kind_ == DecompositionKind::kSlab
+          ? decomp::slab_partition(*lattice_, n_ranks)
+          : decomp::bisection_partition(*lattice_, n_ranks);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice_, partition);
+
+  RankStats stats;
+  stats.n_ranks = n_ranks;
+  stats.points = partition.rank_counts();
+  stats.halos = plan.messages;
+  stats.imbalance = partition.imbalance();
+  return cache_.emplace(n_ranks, std::move(stats)).first->second;
+}
+
+double Workload::point_scale(int size_multiplier) const {
+  HEMO_EXPECTS(size_multiplier >= 1);
+  const double r = base_linear_ratio_ * size_multiplier;
+  return r * r * r;
+}
+
+double Workload::halo_scale(int size_multiplier) const {
+  HEMO_EXPECTS(size_multiplier >= 1);
+  const double r = base_linear_ratio_ * size_multiplier;
+  return r * r;
+}
+
+double Workload::target_points(int size_multiplier) const {
+  return static_cast<double>(lattice_->size()) * point_scale(size_multiplier);
+}
+
+}  // namespace hemo::sim

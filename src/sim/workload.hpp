@@ -1,0 +1,97 @@
+#pragma once
+// Workload models for the cluster simulator.  The paper's evaluation sizes
+// (proxy scale 12/24/48; aorta at 110/55/27.5 um) reach billions of fluid
+// points — far beyond what this machine can instantiate — so the workload
+// is *measured* at a feasible resolution with the real geometry, the real
+// decomposition and the real halo plan, and then extrapolated: fluid-point
+// counts scale with the cube of the linear refinement ratio, halo volumes
+// with its square.  Per-rank imbalance and neighbor structure are taken
+// from the measured decomposition unchanged (bisection is scale-invariant
+// to leading order).  This mirrors the approximation the paper's own
+// performance model makes (Section 6), while retaining the measured load
+// imbalance and message pattern the analytic model lacks.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "decomp/partition.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace hemo::sim {
+
+/// Measured decomposition statistics for one rank count.
+struct RankStats {
+  int n_ranks = 0;
+  std::vector<std::int64_t> points;        // per rank, at measure resolution
+  std::vector<decomp::HaloMessage> halos;  // crossing values per rank pair
+  double imbalance = 1.0;                  // max/mean point count
+};
+
+enum class DecompositionKind {
+  kSlab,      // the proxy application's scheme
+  kBisection  // HARVEY's load-bisection balancer
+};
+
+class Workload {
+ public:
+  /// Cylinder workload at a feasible measurement scale (the paper's proxy
+  /// geometry with x = measure_scale).  `target_base_scale` is the paper's
+  /// base size (12); extrapolation covers the size_multiplier (1, 2, 4).
+  static Workload cylinder(DecompositionKind kind, double measure_scale = 3.0,
+                           double target_base_scale = 12.0);
+
+  /// Aorta workload measured at measure_spacing_mm; the paper's base grid
+  /// spacing is 0.110 mm.
+  static Workload aorta(double measure_spacing_mm = 0.66,
+                        double target_base_spacing_mm = 0.110);
+
+  const std::string& name() const { return name_; }
+  DecompositionKind kind() const { return kind_; }
+
+  /// Surface shape constant for the V^(2/3) saturation guard (see
+  /// hemo::sim::ClusterSimulator): halo values per rank are capped at
+  /// shape * V^(2/3) when extrapolating a bisection decomposition.  The
+  /// compact cylinder measures ~26 in its compact-chunk regime; the
+  /// aorta's thin branches keep chunks elongated, so its surfaces stay
+  /// legitimately larger.
+  double surface_shape() const { return surface_shape_; }
+  void set_surface_shape(double shape) { surface_shape_ = shape; }
+
+  /// Measured stats for a rank count (computed on first use, cached).
+  const RankStats& stats(int n_ranks);
+
+  /// Fluid points at measurement resolution.
+  std::int64_t measured_points() const { return lattice_->size(); }
+
+  /// Linear refinement ratio from the measured instance to the paper's
+  /// base problem size.
+  double base_linear_ratio() const { return base_linear_ratio_; }
+
+  /// Total fluid points of the target problem at a given size multiplier.
+  double target_points(int size_multiplier) const;
+
+  /// Scale factor applied to measured per-rank point counts (cubic).
+  double point_scale(int size_multiplier) const;
+
+  /// Scale factor applied to measured halo values (quadratic).
+  double halo_scale(int size_multiplier) const;
+
+  const lbm::SparseLattice& lattice() const { return *lattice_; }
+
+ private:
+  Workload(std::string name, std::shared_ptr<lbm::SparseLattice> lattice,
+           DecompositionKind kind, double base_linear_ratio);
+
+  std::string name_;
+  std::shared_ptr<lbm::SparseLattice> lattice_;
+  DecompositionKind kind_;
+  double base_linear_ratio_;
+  double surface_shape_ = 26.0;
+  std::map<int, RankStats> cache_;
+};
+
+}  // namespace hemo::sim

@@ -1,0 +1,199 @@
+#include "sys/hardware.hpp"
+
+#include <cmath>
+
+#include "base/contracts.hpp"
+
+namespace hemo::sys {
+
+namespace {
+
+using hal::Model;
+
+std::vector<SystemSpec> build_registry() {
+  std::vector<SystemSpec> specs;
+
+  // Summit (ORNL): IBM, 2x POWER9 + 6x V100 per node.
+  {
+    SystemSpec s;
+    s.name = "Summit";
+    s.cpu = "2x POWER9";
+    s.cores_per_cpu = 21;
+    s.cpus_per_node = 2;
+    s.gpu_label = "6x V100 GPUs";
+    s.device_label = "V100 GPUs";
+    s.devices_per_node = 6;
+    s.gpu_memory_gb = 16.0;
+    s.mem_bandwidth_tbs = 0.770;
+    s.cpu_gpu_interface = "NVLink";
+    s.cpu_gpu_gbs = 50.0;
+    s.interconnect = "IB";
+    s.internode_gbs = 25.0;
+    s.internode_latency_us = 1.6;  // lowest of the four (Section 9.1)
+    s.intranode_gbs = 50.0;        // NVLink GPU<->GPU
+    s.intranode_latency_us = 0.9;
+    s.native_model = Model::kCuda;
+    // SYCL was not run on Summit (Section 5.2); HIP runs via its CUDA
+    // backend with host-staged MPI (Section 7.2.2).
+    s.harvey_models = {Model::kCuda, Model::kHip, Model::kKokkosCuda,
+                       Model::kKokkosOpenAcc};
+    s.proxy_models = s.harvey_models;
+    specs.push_back(std::move(s));
+  }
+
+  // Polaris (ALCF): HPE Apollo, 1x EPYC Milan + 4x A100 per node.
+  {
+    SystemSpec s;
+    s.name = "Polaris";
+    s.cpu = "1x EPYC 7543P";
+    s.cores_per_cpu = 32;
+    s.cpus_per_node = 1;
+    s.gpu_label = "4x A100 GPUs";
+    s.device_label = "A100 GPUs";
+    s.devices_per_node = 4;
+    s.gpu_memory_gb = 40.0;
+    s.mem_bandwidth_tbs = 1.30;
+    s.cpu_gpu_interface = "NVLink";
+    s.cpu_gpu_gbs = 64.0;
+    s.interconnect = "Slingshot";
+    s.internode_gbs = 25.0;
+    s.internode_latency_us = 2.0;
+    s.intranode_gbs = 64.0;
+    s.intranode_latency_us = 0.9;
+    s.native_model = Model::kCuda;
+    s.harvey_models = {Model::kCuda, Model::kSycl, Model::kKokkosCuda,
+                       Model::kKokkosSycl, Model::kKokkosOpenAcc};
+    s.proxy_models = s.harvey_models;
+    specs.push_back(std::move(s));
+  }
+
+  // Crusher (OLCF, Frontier testbed): 1x EPYC 7A53 + 4x MI250X (8 GCDs).
+  {
+    SystemSpec s;
+    s.name = "Crusher";
+    s.cpu = "1x EPYC 7A53";
+    s.cores_per_cpu = 64;
+    s.cpus_per_node = 1;
+    s.gpu_label = "8x MI250X GCDs (4 GPUs)";
+    s.device_label = "MI250X GCDs";
+    s.devices_per_node = 8;
+    s.gpu_memory_gb = 64.0;
+    s.mem_bandwidth_tbs = 1.28;
+    s.cpu_gpu_interface = "Infinity Fabric CPU-GPU";
+    s.cpu_gpu_gbs = 72.0;
+    s.interconnect = "4x HPE Slingshot";
+    s.internode_gbs = 100.0;  // four NICs per node (Table 1)
+    s.internode_latency_us = 1.9;  // lower than Sunspot (Section 9.1)
+    s.intranode_gbs = 100.0;       // Infinity Fabric GCD<->GCD
+    s.intranode_latency_us = 0.8;
+    s.native_model = Model::kHip;
+    // The open-source SYCL compiler is early-stage on Crusher (Section 9.2).
+    s.harvey_models = {Model::kHip, Model::kSycl, Model::kKokkosHip,
+                       Model::kKokkosSycl};
+    s.proxy_models = s.harvey_models;
+    specs.push_back(std::move(s));
+  }
+
+  // Sunspot (ALCF, Aurora testbed): 2x Xeon Max + 6x PVC (12 tiles).
+  {
+    SystemSpec s;
+    s.name = "Sunspot";
+    s.cpu = "2x Xeon Max";
+    s.cores_per_cpu = 52;
+    s.cpus_per_node = 2;
+    s.gpu_label = "12x PVC Tiles (6 GPUs)";
+    s.device_label = "PVC Tiles";
+    s.devices_per_node = 12;
+    s.gpu_memory_gb = 64.0;
+    s.mem_bandwidth_tbs = 0.997;
+    s.cpu_gpu_interface = "PCIe Gen5";
+    s.cpu_gpu_gbs = 128.0;
+    s.interconnect = "Slingshot 11";
+    s.internode_gbs = 25.0;
+    s.internode_links = 4;         // multiple NICs per Aurora-class node
+    s.internode_latency_us = 4.5;  // highest measured latency (Section 9.1)
+    s.intranode_gbs = 50.0;        // Xe Link tile<->tile
+    s.intranode_latency_us = 1.4;
+    s.max_devices = 256;  // testbed availability limit (Section 9.2)
+    s.native_model = Model::kSycl;
+    // HIP runs via chipStar (Section 7.2.3).
+    s.harvey_models = {Model::kSycl, Model::kHip, Model::kKokkosSycl};
+    s.proxy_models = s.harvey_models;
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+const std::vector<SystemSpec>& registry() {
+  static const std::vector<SystemSpec> specs = build_registry();
+  return specs;
+}
+
+}  // namespace
+
+const SystemSpec& system_spec(SystemId id) {
+  return registry()[static_cast<std::size_t>(id)];
+}
+
+const std::vector<SystemSpec>& all_system_specs() { return registry(); }
+
+double babelstream_bandwidth_tbs(const SystemSpec& spec,
+                                 std::int64_t array_bytes) {
+  HEMO_EXPECTS(array_bytes > 0);
+  // Small arrays underutilize the memory system: model the ramp with the
+  // standard saturation curve B(s) = B_inf * s / (s + s_half), with the
+  // half-bandwidth point at 4 MiB.  At the BabelStream default of 256 MiB
+  // this recovers Table 1 to within ~2%.
+  const double s_half = 4.0 * 1024 * 1024;
+  const double s = static_cast<double>(array_bytes);
+  return spec.mem_bandwidth_tbs * s / (s + s_half);
+}
+
+double link_latency_s(const SystemSpec& spec, LinkKind link) {
+  switch (link) {
+    case LinkKind::kIntranode: return spec.intranode_latency_us * 1e-6;
+    case LinkKind::kInternode: return spec.internode_latency_us * 1e-6;
+    case LinkKind::kCpuGpu: return 0.4e-6;  // driver enqueue cost
+  }
+  return 0.0;
+}
+
+double link_bandwidth_Bps(const SystemSpec& spec, LinkKind link) {
+  switch (link) {
+    case LinkKind::kIntranode: return spec.intranode_gbs * 1e9;
+    case LinkKind::kInternode:
+      return spec.internode_gbs * spec.internode_links * 1e9;
+    case LinkKind::kCpuGpu: return spec.cpu_gpu_gbs * 1e9;
+  }
+  return 0.0;
+}
+
+double pingpong_time_s(const SystemSpec& spec, LinkKind link,
+                       std::int64_t bytes) {
+  HEMO_EXPECTS(bytes >= 0);
+  const double latency = link_latency_s(spec, link);
+  const double bandwidth = link_bandwidth_Bps(spec, link);
+  // Rendezvous handshake above the eager threshold costs one extra
+  // round-trip worth of latency, as in production MPI stacks.
+  constexpr std::int64_t kEagerLimit = 64 * 1024;
+  const double rendezvous = bytes > kEagerLimit ? 2.0 * latency : 0.0;
+  return latency + rendezvous + static_cast<double>(bytes) / bandwidth;
+}
+
+std::vector<SchedulePoint> piecewise_schedule(int max_devices) {
+  HEMO_EXPECTS(max_devices >= 2);
+  std::vector<SchedulePoint> schedule;
+  // Segment boundaries at 16 and 128 belong to both adjoining segments:
+  // the repeated device count with the doubled size is the weak-scaling
+  // jump visible in Figs. 3-6.
+  for (int d = 2; d <= 16 && d <= max_devices; d *= 2)
+    schedule.push_back({d, 1});
+  for (int d = 16; d <= 128 && d <= max_devices; d *= 2)
+    schedule.push_back({d, 2});
+  for (int d = 128; d <= 1024 && d <= max_devices; d *= 2)
+    schedule.push_back({d, 4});
+  return schedule;
+}
+
+}  // namespace hemo::sys

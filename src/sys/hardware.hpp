@@ -1,0 +1,99 @@
+#pragma once
+// Hardware registry: the four systems of the paper's Table 1 (Sunspot,
+// Crusher, Polaris, Summit) with their node characteristics, plus the
+// link/latency parameters the performance model and cluster simulator
+// consume.  Bandwidths are the paper's BabelStream-measured values; the
+// latency figures are calibration constants chosen to respect the paper's
+// qualitative statements (Summit and Crusher measured lower internodal
+// latencies than Sunspot, Section 9.1).
+
+#include <string>
+#include <vector>
+
+#include "hal/model.hpp"
+
+namespace hemo::sys {
+
+enum class SystemId { kSummit, kPolaris, kCrusher, kSunspot };
+
+inline constexpr SystemId kAllSystems[] = {
+    SystemId::kSummit, SystemId::kPolaris, SystemId::kCrusher,
+    SystemId::kSunspot};
+
+struct SystemSpec {
+  std::string name;
+  std::string cpu;
+  int cores_per_cpu = 0;
+  int cpus_per_node = 0;
+
+  std::string gpu_label;       // e.g. "12x PVC Tiles (6 GPUs)"
+  std::string device_label;    // unit of scaling: "V100 GPUs", "MI250X GCDs"...
+  int devices_per_node = 0;    // logical GPUs (tiles / GCDs / whole GPUs)
+  double gpu_memory_gb = 0.0;  // per logical device
+  double mem_bandwidth_tbs = 0.0;  // BabelStream, Table 1
+
+  std::string cpu_gpu_interface;
+  double cpu_gpu_gbs = 0.0;    // host<->device transfer bandwidth
+
+  std::string interconnect;
+  double internode_gbs = 0.0;      // injection bandwidth per NIC
+  int internode_links = 1;         // NICs per node
+  double internode_latency_us = 0.0;
+  double intranode_gbs = 0.0;      // device<->device within a node
+  double intranode_latency_us = 0.0;
+
+  int max_devices = 1024;      // testbed availability cap (Sunspot: 256)
+
+  hal::Model native_model = hal::Model::kCuda;
+  std::vector<hal::Model> harvey_models;  // models evaluated on this system
+  std::vector<hal::Model> proxy_models;
+};
+
+const SystemSpec& system_spec(SystemId id);
+const std::vector<SystemSpec>& all_system_specs();
+
+// ---------------------------------------------------------------------------
+// Measurement substrates.  The paper derives its model inputs from two
+// benchmarks: BabelStream for device memory bandwidth and an adapted
+// PingPong for link timing.  We reproduce both against the simulated node.
+// ---------------------------------------------------------------------------
+
+/// Simulated BabelStream triad: returns the measured bandwidth in TB/s for
+/// one device of the system, with a small deterministic size-dependent
+/// droop below the asymptotic Table 1 value for small arrays.
+double babelstream_bandwidth_tbs(const SystemSpec& spec,
+                                 std::int64_t array_bytes);
+
+enum class LinkKind { kIntranode, kInternode, kCpuGpu };
+
+/// Simulated PingPong: one-way message time in seconds for a message of
+/// `bytes` over the given link of the system.  Piecewise latency model
+/// with a rendezvous-protocol step at 64 KiB, as real MPI exhibits.
+double pingpong_time_s(const SystemSpec& spec, LinkKind link,
+                       std::int64_t bytes);
+
+/// Effective one-way latency (seconds) of the link at zero payload.
+double link_latency_s(const SystemSpec& spec, LinkKind link);
+
+/// Effective bandwidth (bytes/second) of the link.
+double link_bandwidth_Bps(const SystemSpec& spec, LinkKind link);
+
+// ---------------------------------------------------------------------------
+// Piecewise scaling schedule (Section 8.1): strong scale over four powers
+// of two, then grow the problem; sizes double at device counts 16 and 128,
+// producing the jump discontinuities the paper describes.
+// ---------------------------------------------------------------------------
+
+struct SchedulePoint {
+  int devices = 0;
+  /// Problem-size multiplier relative to the base size (1, 2 or 4 on the
+  /// linear dimension: proxy sizes 12/24/48, aorta spacings 110/55/27.5 um).
+  int size_multiplier = 1;
+};
+
+/// The full schedule 2..max_devices; boundary counts (16, 128) appear twice,
+/// once per adjoining segment, which is what renders as the weak-scaling
+/// jump in the figures.
+std::vector<SchedulePoint> piecewise_schedule(int max_devices = 1024);
+
+}  // namespace hemo::sys

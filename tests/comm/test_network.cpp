@@ -1,0 +1,86 @@
+// Message-passing substrate tests: matched send/receive semantics, FIFO
+// ordering per pair, the traffic ledger, and misuse detection.
+
+#include <gtest/gtest.h>
+
+#include "comm/network.hpp"
+
+namespace comm = hemo::comm;
+
+TEST(Network, SendReceiveRoundTrip) {
+  comm::Network net(2);
+  net.send(0, 1, {1.0, 2.0, 3.0});
+  const std::vector<double> got = net.receive(1, 0);
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(net.drained());
+}
+
+TEST(Network, FifoOrderPerOrderedPair) {
+  comm::Network net(2);
+  net.send(0, 1, {1.0});
+  net.send(0, 1, {2.0});
+  net.send(1, 0, {9.0});
+  EXPECT_DOUBLE_EQ(net.receive(1, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(net.receive(1, 0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(net.receive(0, 1)[0], 9.0);
+  EXPECT_TRUE(net.drained());
+}
+
+TEST(Network, PairsAreIndependentChannels) {
+  comm::Network net(3);
+  net.send(0, 2, {7.0});
+  net.send(1, 2, {8.0});
+  // Receive in the opposite order of posting.
+  EXPECT_DOUBLE_EQ(net.receive(2, 1)[0], 8.0);
+  EXPECT_DOUBLE_EQ(net.receive(2, 0)[0], 7.0);
+}
+
+TEST(Network, LedgerRecordsEveryMessageWithBytes) {
+  comm::Network net(2);
+  net.send(0, 1, std::vector<double>(10, 0.0));
+  net.send(1, 0, std::vector<double>(3, 0.0));
+  (void)net.receive(1, 0);
+  (void)net.receive(0, 1);
+
+  ASSERT_EQ(net.message_count(), 2);
+  EXPECT_EQ(net.ledger()[0].src, 0);
+  EXPECT_EQ(net.ledger()[0].dst, 1);
+  EXPECT_EQ(net.ledger()[0].bytes, 80);
+  EXPECT_EQ(net.ledger()[1].bytes, 24);
+  EXPECT_EQ(net.total_bytes(), 104);
+
+  net.clear_ledger();
+  EXPECT_EQ(net.message_count(), 0);
+}
+
+TEST(Network, DrainedReflectsInFlightMessages) {
+  comm::Network net(2);
+  EXPECT_TRUE(net.drained());
+  net.send(0, 1, {1.0});
+  EXPECT_FALSE(net.drained());
+  (void)net.receive(1, 0);
+  EXPECT_TRUE(net.drained());
+}
+
+TEST(Network, ReceiveWithoutSendAborts) {
+  comm::Network net(2);
+  EXPECT_DEATH((void)net.receive(1, 0), "Precondition");
+}
+
+TEST(Network, SelfSendAborts) {
+  comm::Network net(2);
+  EXPECT_DEATH(net.send(1, 1, {1.0}), "Precondition");
+}
+
+TEST(Network, OutOfRangeRankAborts) {
+  comm::Network net(2);
+  EXPECT_DEATH(net.send(0, 5, {1.0}), "Precondition");
+  EXPECT_DEATH(net.send(-1, 0, {1.0}), "Precondition");
+}
+
+TEST(Network, EmptyPayloadIsAValidMessage) {
+  comm::Network net(2);
+  net.send(0, 1, {});
+  EXPECT_TRUE(net.receive(1, 0).empty());
+  EXPECT_EQ(net.total_bytes(), 0);
+}

@@ -1,0 +1,96 @@
+// Randomized decomposition properties: the partitioners must behave on
+// arbitrary point clouds, not just the study geometries.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "base/rng.hpp"
+#include "decomp/partition.hpp"
+
+namespace decomp = hemo::decomp;
+namespace lbm = hemo::lbm;
+using hemo::Coord;
+using hemo::CoordHash;
+using hemo::SplitMix64;
+
+namespace {
+
+std::shared_ptr<lbm::SparseLattice> random_cloud(std::uint64_t seed,
+                                                 int count, int extent) {
+  SplitMix64 rng(seed);
+  std::unordered_set<Coord, CoordHash> unique;
+  while (static_cast<int>(unique.size()) < count) {
+    unique.insert(Coord{static_cast<std::int32_t>(rng.next_below(extent)),
+                        static_cast<std::int32_t>(rng.next_below(extent)),
+                        static_cast<std::int32_t>(rng.next_below(extent))});
+  }
+  std::vector<Coord> points(unique.begin(), unique.end());
+  std::sort(points.begin(), points.end(), [](const Coord& a, const Coord& b) {
+    if (a.z != b.z) return a.z < b.z;
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  return std::make_shared<lbm::SparseLattice>(points);
+}
+
+}  // namespace
+
+class RandomCloud
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RandomCloud, BothPartitionersCoverExactly) {
+  const auto [seed, ranks] = GetParam();
+  auto lattice = random_cloud(seed, 600, 24);
+  for (const auto& p : {decomp::slab_partition(*lattice, ranks),
+                        decomp::bisection_partition(*lattice, ranks)}) {
+    const auto counts = p.rank_counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+              lattice->size());
+    for (const std::int64_t c : counts) EXPECT_GT(c, 0);
+  }
+}
+
+TEST_P(RandomCloud, BisectionBalanceHoldsOnArbitraryClouds) {
+  const auto [seed, ranks] = GetParam();
+  auto lattice = random_cloud(seed, 600, 24);
+  const decomp::Partition p = decomp::bisection_partition(*lattice, ranks);
+  // Count-median splits keep the imbalance within integer rounding.
+  EXPECT_LT(p.imbalance(),
+            1.0 + static_cast<double>(ranks) / lattice->size() + 0.02);
+}
+
+TEST_P(RandomCloud, HaloPlanNeverCountsIntraRankLinks) {
+  const auto [seed, ranks] = GetParam();
+  auto lattice = random_cloud(seed, 400, 16);
+  const decomp::Partition p = decomp::bisection_partition(*lattice, ranks);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, p);
+  for (const decomp::HaloMessage& m : plan.messages) {
+    EXPECT_NE(m.src, m.dst);
+    EXPECT_GT(m.values, 0);
+  }
+}
+
+TEST_P(RandomCloud, HaloTotalEqualsCrossingLinkCount) {
+  const auto [seed, ranks] = GetParam();
+  auto lattice = random_cloud(seed, 400, 16);
+  const decomp::Partition p = decomp::slab_partition(*lattice, ranks);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, p);
+
+  std::int64_t crossing = 0;
+  for (hemo::PointIndex i = 0; i < lattice->size(); ++i)
+    for (int q = 1; q < lbm::kQ; ++q) {
+      const hemo::PointIndex up = lattice->neighbor(q, i);
+      if (up == hemo::kSolidNeighbor) continue;
+      if (p.owner[static_cast<std::size_t>(up)] !=
+          p.owner[static_cast<std::size_t>(i)])
+        ++crossing;
+    }
+  EXPECT_EQ(plan.total_values(), crossing);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomCloud,
+    ::testing::Combine(::testing::Values(3u, 17u, 2024u),
+                       ::testing::Values(2, 5, 9, 16)));

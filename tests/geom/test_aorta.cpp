@@ -1,0 +1,126 @@
+// Synthetic aorta tests: anatomy proportions, sparsity (the property the
+// paper's load-balance discussion hinges on), connectivity of the fluid
+// domain, and inlet/outlet marking.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "geom/aorta.hpp"
+
+namespace geom = hemo::geom;
+namespace lbm = hemo::lbm;
+
+namespace {
+
+geom::AortaSpec coarse_spec() {
+  geom::AortaSpec spec;
+  spec.spacing_mm = 1.6;  // very coarse: fast tests
+  return spec;
+}
+
+}  // namespace
+
+TEST(Aorta, CenterlineCoversFiveVessels) {
+  const auto line = geom::aorta_centerline(coarse_spec());
+  ASSERT_FALSE(line.empty());
+  for (const auto& s : line) EXPECT_GT(s.radius, 0.0);
+
+  // The centerline must span from below the arch (descending outlet) to
+  // the branch tips above it.
+  double z_min = 1e9, z_max = -1e9;
+  for (const auto& s : line) {
+    z_min = std::min(z_min, s.position.z);
+    z_max = std::max(z_max, s.position.z);
+  }
+  const geom::AortaSpec spec = coarse_spec();
+  EXPECT_LE(z_min, -spec.descending_length + 1.0);
+  EXPECT_GE(z_max, spec.ascending_length + spec.arch_radius + 30.0);
+}
+
+TEST(Aorta, FluidDomainIsSparseInBoundingBox) {
+  auto lattice = geom::make_aorta_lattice(coarse_spec());
+  const hemo::Box box = lattice->bounding_box();
+  const double fill = static_cast<double>(lattice->size()) /
+                      static_cast<double>(box.volume());
+  // The paper calls the aorta workload "sparser fluid points than the
+  // idealized cylinder": expect well under a third of the box.
+  EXPECT_LT(fill, 0.33);
+  EXPECT_GT(fill, 0.005);
+}
+
+TEST(Aorta, FluidDomainIsConnected) {
+  auto lattice = geom::make_aorta_lattice(coarse_spec());
+  const auto n = static_cast<std::size_t>(lattice->size());
+  std::vector<bool> seen(n, false);
+  std::queue<hemo::PointIndex> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const hemo::PointIndex i = frontier.front();
+    frontier.pop();
+    for (int q = 1; q < lbm::kQ; ++q) {
+      const hemo::PointIndex j = lattice->neighbor(q, i);
+      if (j == hemo::kSolidNeighbor || seen[static_cast<std::size_t>(j)])
+        continue;
+      seen[static_cast<std::size_t>(j)] = true;
+      ++reached;
+      frontier.push(j);
+    }
+  }
+  EXPECT_EQ(reached, n) << "disconnected fluid islands would break flow";
+}
+
+TEST(Aorta, HasInletAndBothOutletKinds) {
+  auto lattice = geom::make_aorta_lattice(coarse_spec());
+  std::int64_t inlet = 0, outlet_hi = 0, outlet_lo = 0;
+  for (hemo::PointIndex i = 0; i < lattice->size(); ++i) {
+    switch (lattice->node_type(i)) {
+      case lbm::NodeType::kVelocityInlet: ++inlet; break;
+      case lbm::NodeType::kPressureOutlet: ++outlet_hi; break;
+      case lbm::NodeType::kPressureOutletLow: ++outlet_lo; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(inlet, 10);      // ascending root cap
+  EXPECT_GT(outlet_hi, 10);  // three branch tips
+  EXPECT_GT(outlet_lo, 10);  // descending end
+  // Inlet area ~ pi * (14 mm / 1.6 mm)^2 ~ 240 voxels at this spacing.
+  EXPECT_LT(inlet, 400);
+}
+
+TEST(Aorta, BranchTipsFormThreeSeparateOutlets) {
+  auto lattice = geom::make_aorta_lattice(coarse_spec());
+  const hemo::Box box = lattice->bounding_box();
+  // Collect distinct x-clusters on the top plane: expect three branches.
+  std::vector<std::int32_t> xs;
+  for (hemo::PointIndex i = 0; i < lattice->size(); ++i)
+    if (lattice->coord(i).z == box.hi.z - 1)
+      xs.push_back(lattice->coord(i).x);
+  ASSERT_FALSE(xs.empty());
+  std::sort(xs.begin(), xs.end());
+  int clusters = 1;
+  for (std::size_t k = 1; k < xs.size(); ++k)
+    if (xs[k] - xs[k - 1] > 3) ++clusters;
+  EXPECT_EQ(clusters, 3);
+}
+
+TEST(Aorta, ResolutionScalingGrowsPointCountCubically) {
+  geom::AortaSpec coarse = coarse_spec();
+  geom::AortaSpec fine = coarse_spec();
+  fine.spacing_mm = coarse.spacing_mm / 2.0;
+  const auto n_coarse = geom::aorta_points(coarse).size();
+  const auto n_fine = geom::aorta_points(fine).size();
+  const double ratio =
+      static_cast<double>(n_fine) / static_cast<double>(n_coarse);
+  // Halving the spacing should multiply fluid points by ~8.
+  EXPECT_NEAR(ratio, 8.0, 1.6);
+}
+
+TEST(Aorta, DeterministicAcrossCalls) {
+  const auto a = geom::aorta_points(coarse_spec());
+  const auto b = geom::aorta_points(coarse_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}

@@ -1,0 +1,108 @@
+// Cylinder geometry tests: voxel counts vs the analytic cross-section,
+// paper parameterisation (84x axial, 8x radius), boundary marking, and
+// periodic wiring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/cylinder.hpp"
+
+namespace geom = hemo::geom;
+namespace lbm = hemo::lbm;
+
+TEST(Cylinder, PaperParameterisationDimensions) {
+  geom::CylinderSpec spec;
+  spec.scale = 2.0;
+  EXPECT_EQ(spec.length(), 168);          // 84 * x
+  EXPECT_DOUBLE_EQ(spec.radius(), 16.0);  // 8 * x
+}
+
+class CylinderVoxelCount : public ::testing::TestWithParam<double> {};
+
+TEST_P(CylinderVoxelCount, ApproachesPiR2L) {
+  geom::CylinderSpec spec;
+  spec.scale = GetParam();
+  spec.axial_per_scale = 8.0;  // shorten the axis to keep tests fast
+  const auto points = geom::cylinder_points(spec);
+  const double expected = geom::cylinder_point_estimate(spec);
+  // Voxelization error is O(perimeter/area) ~ 2/R per slice.
+  const double tolerance = 3.0 / spec.radius();
+  EXPECT_NEAR(static_cast<double>(points.size()) / expected, 1.0, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CylinderVoxelCount,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+TEST(Cylinder, AllPointsInsideRadius) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.axial_per_scale = 4.0;
+  const auto rc = static_cast<std::int32_t>(std::ceil(spec.radius()));
+  for (const hemo::Coord& c : geom::cylinder_points(spec)) {
+    const double dx = c.x - (rc - 0.5);
+    const double dy = c.y - (rc - 0.5);
+    EXPECT_LT(dx * dx + dy * dy, spec.radius() * spec.radius());
+    EXPECT_GE(c.z, 0);
+    EXPECT_LT(c.z, spec.length());
+  }
+}
+
+TEST(Cylinder, CrossSectionIsIdenticalInEverySlice) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.axial_per_scale = 6.0;
+  const auto points = geom::cylinder_points(spec);
+  std::vector<std::int64_t> per_slice(static_cast<std::size_t>(spec.length()), 0);
+  for (const hemo::Coord& c : points)
+    ++per_slice[static_cast<std::size_t>(c.z)];
+  for (std::size_t z = 1; z < per_slice.size(); ++z)
+    EXPECT_EQ(per_slice[z], per_slice[0]);
+}
+
+TEST(Cylinder, InletOutletMarkingCoversEndPlanesOnly) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 4.0;
+  spec.axial_per_scale = 10.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  for (hemo::PointIndex i = 0; i < lattice->size(); ++i) {
+    const std::int32_t z = lattice->coord(i).z;
+    const lbm::NodeType t = lattice->node_type(i);
+    if (z == 0)
+      EXPECT_EQ(t, lbm::NodeType::kVelocityInlet);
+    else if (z == spec.length() - 1)
+      EXPECT_EQ(t, lbm::NodeType::kPressureOutlet);
+    else
+      EXPECT_EQ(t, lbm::NodeType::kBulk);
+  }
+}
+
+TEST(Cylinder, PeriodicEndsHaveNoAxialWallLinks) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 3.0;
+  spec.axial_per_scale = 5.0;
+  auto periodic =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+  // Direction q = 5 (0,0,1) pulls from below; with periodic wrap, no point
+  // may lack that neighbor (the lateral wall only blocks x/y motion).
+  for (hemo::PointIndex i = 0; i < periodic->size(); ++i)
+    EXPECT_NE(periodic->neighbor(5, i), hemo::kSolidNeighbor);
+}
+
+TEST(Cylinder, NonPeriodicEndsBlockAxialNeighbors) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 3.0;
+  spec.axial_per_scale = 5.0;
+  auto capped =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  int missing = 0;
+  for (hemo::PointIndex i = 0; i < capped->size(); ++i)
+    if (capped->coord(i).z == 0 &&
+        capped->neighbor(5, i) == hemo::kSolidNeighbor)
+      ++missing;
+  EXPECT_GT(missing, 0);
+}

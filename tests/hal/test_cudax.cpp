@@ -1,0 +1,117 @@
+// cudax dialect tests: CUDA-style error-code semantics, memory API
+// behaviour, launch geometry validation, and kernel execution.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hal/cudax.hpp"
+
+TEST(Cudax, MallocMemcpyRoundTrip) {
+  void* d = nullptr;
+  ASSERT_EQ(cudaxMalloc(&d, 256), cudaxSuccess);
+  std::vector<std::uint8_t> host(256);
+  std::iota(host.begin(), host.end(), 0);
+  ASSERT_EQ(cudaxMemcpy(d, host.data(), 256, cudaxMemcpyHostToDevice),
+            cudaxSuccess);
+  std::vector<std::uint8_t> back(256, 0);
+  ASSERT_EQ(cudaxMemcpy(back.data(), d, 256, cudaxMemcpyDeviceToHost),
+            cudaxSuccess);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(cudaxFree(d), cudaxSuccess);
+}
+
+TEST(Cudax, MallocNullArgumentReturnsInvalidValue) {
+  EXPECT_EQ(cudaxMalloc(nullptr, 8), cudaxErrorInvalidValue);
+  // Error-code reporting (not exceptions) is the CUDA idiom that
+  // generates most DPCT warnings during porting.
+  EXPECT_EQ(cudaxGetLastError(), cudaxErrorInvalidValue);
+  EXPECT_EQ(cudaxGetLastError(), cudaxSuccess);  // sticky error cleared
+}
+
+TEST(Cudax, FreeingHostPointerFails) {
+  int x = 0;
+  EXPECT_EQ(cudaxFree(&x), cudaxErrorInvalidDevicePointer);
+}
+
+TEST(Cudax, FreeingNullptrIsANoOpSuccess) {
+  EXPECT_EQ(cudaxFree(nullptr), cudaxSuccess);
+}
+
+TEST(Cudax, MemcpyToNonDevicePointerFails) {
+  std::vector<double> host(4, 0.0), src(4, 1.0);
+  EXPECT_EQ(cudaxMemcpy(host.data(), src.data(), 32, cudaxMemcpyHostToDevice),
+            cudaxErrorInvalidDevicePointer);
+}
+
+TEST(Cudax, LaunchExecutesGridTimesBlockThreads) {
+  void* d = nullptr;
+  ASSERT_EQ(cudaxMalloc(&d, 1024 * sizeof(int)), cudaxSuccess);
+  auto* out = static_cast<int*>(d);
+  const std::int64_t n = 1000;
+  ASSERT_EQ(cudaxLaunchKernel(dim3x(4), dim3x(256),
+                              [out, n](std::int64_t i) {
+                                if (i >= n) return;  // CUDA-style tail guard
+                                out[i] = static_cast<int>(2 * i);
+                              }),
+            cudaxSuccess);
+  ASSERT_EQ(cudaxDeviceSynchronize(), cudaxSuccess);
+  std::vector<int> host(1000);
+  ASSERT_EQ(cudaxMemcpy(host.data(), d, 1000 * sizeof(int),
+                        cudaxMemcpyDeviceToHost),
+            cudaxSuccess);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(host[i], 2 * i);
+  cudaxFree(d);
+}
+
+TEST(Cudax, LaunchRejectsInvalidGeometry) {
+  auto noop = [](std::int64_t) {};
+  EXPECT_EQ(cudaxLaunchKernel(dim3x(0), dim3x(128), noop),
+            cudaxErrorInvalidConfiguration);
+  EXPECT_EQ(cudaxLaunchKernel(dim3x(1), dim3x(2048), noop),
+            cudaxErrorInvalidConfiguration);
+  EXPECT_EQ(cudaxGetLastError(), cudaxErrorInvalidConfiguration);
+}
+
+TEST(Cudax, ManagedMemoryBehavesLikeDeviceMemory) {
+  void* m = nullptr;
+  ASSERT_EQ(cudaxMallocManaged(&m, 64), cudaxSuccess);
+  EXPECT_EQ(cudaxMemPrefetchAsync(m, 64, 0, 0), cudaxSuccess);
+  EXPECT_EQ(cudaxMemset(m, 0xAB, 64), cudaxSuccess);
+  std::vector<std::uint8_t> host(64);
+  ASSERT_EQ(cudaxMemcpy(host.data(), m, 64, cudaxMemcpyDeviceToHost),
+            cudaxSuccess);
+  for (auto b : host) EXPECT_EQ(b, 0xAB);
+  cudaxFree(m);
+}
+
+TEST(Cudax, MemcpyToSymbolWritesDeviceConstant) {
+  // Symbols are device-resident constant blocks (lattice weights in the
+  // HARVEY corpus); cudaxMemcpyToSymbol stages host data into them.
+  void* symbol = nullptr;
+  ASSERT_EQ(cudaxMalloc(&symbol, 19 * sizeof(double)), cudaxSuccess);
+  std::vector<double> weights(19, 1.0 / 19.0);
+  ASSERT_EQ(cudaxMemcpyToSymbol(symbol, weights.data(), 19 * sizeof(double)),
+            cudaxSuccess);
+  std::vector<double> back(19, 0.0);
+  ASSERT_EQ(cudaxMemcpy(back.data(), symbol, 19 * sizeof(double),
+                        cudaxMemcpyDeviceToHost),
+            cudaxSuccess);
+  EXPECT_EQ(back, weights);
+  cudaxFree(symbol);
+}
+
+TEST(Cudax, StreamsCreateAndSynchronize) {
+  cudaxStream_t s = 0;
+  ASSERT_EQ(cudaxStreamCreate(&s), cudaxSuccess);
+  EXPECT_NE(s, 0u);
+  void* d = nullptr;
+  ASSERT_EQ(cudaxMalloc(&d, 16), cudaxSuccess);
+  std::vector<std::uint8_t> host(16, 7);
+  EXPECT_EQ(cudaxMemcpyAsync(d, host.data(), 16, cudaxMemcpyHostToDevice, s),
+            cudaxSuccess);
+  EXPECT_EQ(cudaxStreamSynchronize(s), cudaxSuccess);
+  EXPECT_EQ(cudaxStreamDestroy(s), cudaxSuccess);
+  cudaxFree(d);
+}

@@ -1,0 +1,94 @@
+// DeviceEngine tests: allocation registry, byte accounting, and the
+// parallel_for execution contract (including threaded chunking).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "hal/device.hpp"
+
+using hemo::hal::DeviceEngine;
+
+TEST(DeviceEngine, AllocateTracksOwnershipAndSize) {
+  DeviceEngine eng;
+  void* p = eng.allocate(128);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(eng.owns(p));
+  EXPECT_EQ(eng.allocation_size(p), 128u);
+  EXPECT_EQ(eng.live_allocations(), 1u);
+  EXPECT_TRUE(eng.deallocate(p));
+  EXPECT_FALSE(eng.owns(p));
+  EXPECT_EQ(eng.live_allocations(), 0u);
+}
+
+TEST(DeviceEngine, DeallocateUnknownPointerFails) {
+  DeviceEngine eng;
+  int x = 0;
+  EXPECT_FALSE(eng.deallocate(&x));
+}
+
+TEST(DeviceEngine, ZeroByteAllocationYieldsValidPointer) {
+  DeviceEngine eng;
+  void* p = eng.allocate(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(eng.deallocate(p));
+}
+
+TEST(DeviceEngine, CopiesMoveBytesAndCount) {
+  DeviceEngine eng;
+  void* d = eng.allocate(64);
+  std::vector<std::uint8_t> host(64);
+  std::iota(host.begin(), host.end(), 0);
+
+  eng.copy_h2d(d, host.data(), 64);
+  std::vector<std::uint8_t> back(64, 0);
+  eng.copy_d2h(back.data(), d, 64);
+  EXPECT_EQ(back, host);
+
+  EXPECT_EQ(eng.counters().bytes_h2d, 64);
+  EXPECT_EQ(eng.counters().bytes_d2h, 64);
+  eng.deallocate(d);
+}
+
+TEST(DeviceEngine, ParallelForVisitsEveryIndexOnce) {
+  DeviceEngine eng;
+  std::vector<int> hits(1000, 0);
+  eng.parallel_for(1000, [&](std::int64_t i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(eng.counters().kernel_launches, 1);
+  EXPECT_EQ(eng.counters().kernel_indices, 1000);
+}
+
+TEST(DeviceEngine, ThreadedChunkingVisitsEveryIndexOnce) {
+  DeviceEngine eng;
+  eng.set_threads(4);
+  std::vector<std::atomic<int>> hits(5000);
+  eng.parallel_for(5000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DeviceEngine, EmptyRangeLaunchesButExecutesNothing) {
+  DeviceEngine eng;
+  bool ran = false;
+  eng.parallel_for(0, [&](std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.counters().kernel_launches, 1);
+  EXPECT_EQ(eng.counters().kernel_indices, 0);
+}
+
+TEST(DeviceEngine, ResetCountersClearsEverything) {
+  DeviceEngine eng;
+  void* p = eng.allocate(8);
+  eng.parallel_for(10, [](std::int64_t) {});
+  eng.reset_counters();
+  EXPECT_EQ(eng.counters().allocations, 0);
+  EXPECT_EQ(eng.counters().kernel_launches, 0);
+  EXPECT_EQ(eng.counters().kernel_indices, 0);
+  eng.deallocate(p);
+}

@@ -1,0 +1,225 @@
+// DistributedSolver tests: multi-rank runs must be bit-identical to the
+// single-domain reference for both decomposition strategies and both
+// geometries, and the message traffic must match the halo plan exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "decomp/partition.hpp"
+#include "geom/aorta.hpp"
+#include "geom/cylinder.hpp"
+#include "harvey/distributed_solver.hpp"
+#include "lbm/hemodynamics.hpp"
+#include "lbm/solver.hpp"
+
+namespace decomp = hemo::decomp;
+namespace geom = hemo::geom;
+namespace lbm = hemo::lbm;
+using hemo::harvey::DistributedSolver;
+
+namespace {
+
+std::shared_ptr<lbm::SparseLattice> cylinder_workload() {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 4.0;
+  spec.axial_per_scale = 16.0;
+  return geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+}
+
+std::shared_ptr<lbm::SparseLattice> cylinder_workload_for_dialects() {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 3.0;
+  spec.axial_per_scale = 12.0;
+  return geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+}
+
+lbm::SolverOptions flow_options() {
+  lbm::SolverOptions o;
+  o.tau = 0.9;
+  o.inlet_velocity = 0.01;
+  o.outlet_density = 1.0;
+  return o;
+}
+
+}  // namespace
+
+class DistributedRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedRankSweep, SlabDecompositionMatchesReferenceBitwise) {
+  auto lattice = cylinder_workload();
+  const int ranks = GetParam();
+
+  lbm::Solver reference(lattice, flow_options());
+  DistributedSolver distributed(
+      lattice, decomp::slab_partition(*lattice, ranks), flow_options());
+
+  reference.run(15);
+  distributed.run(15);
+
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dist = distributed.global_distributions();
+  ASSERT_EQ(ref.size(), dist.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dist[k]) << ranks << " ranks diverged at index " << k;
+}
+
+TEST_P(DistributedRankSweep, BisectionDecompositionMatchesReferenceBitwise) {
+  auto lattice = cylinder_workload();
+  const int ranks = GetParam();
+
+  lbm::Solver reference(lattice, flow_options());
+  DistributedSolver distributed(
+      lattice, decomp::bisection_partition(*lattice, ranks), flow_options());
+
+  reference.run(15);
+  distributed.run(15);
+
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dist = distributed.global_distributions();
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dist[k]) << ranks << " ranks diverged at index " << k;
+}
+
+TEST_P(DistributedRankSweep, MessageTrafficMatchesHaloPlanExactly) {
+  auto lattice = cylinder_workload();
+  const int ranks = GetParam();
+  const decomp::Partition partition =
+      decomp::bisection_partition(*lattice, ranks);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, partition);
+
+  DistributedSolver distributed(lattice, partition, flow_options());
+  distributed.run(3);
+
+  // Every step sends exactly one message per plan entry, of exactly the
+  // planned byte volume.
+  const auto& ledger = distributed.network().ledger();
+  ASSERT_EQ(ledger.size(), plan.messages.size() * 3);
+  for (std::size_t k = 0; k < plan.messages.size(); ++k) {
+    const auto& expected = plan.messages[k];
+    const auto& actual = ledger[k];  // first step, same (src,dst) order
+    EXPECT_EQ(actual.src, expected.src);
+    EXPECT_EQ(actual.dst, expected.dst);
+    EXPECT_EQ(actual.bytes, expected.bytes());
+  }
+  EXPECT_EQ(distributed.network().total_bytes(),
+            3 * plan.total_values() *
+                static_cast<std::int64_t>(sizeof(double)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedRankSweep,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(DistributedSolver, AortaWithBisectionMatchesReference) {
+  geom::AortaSpec spec;
+  spec.spacing_mm = 2.4;  // tiny instance for test speed
+  auto lattice = geom::make_aorta_lattice(spec);
+
+  lbm::SolverOptions o;
+  o.tau = 0.85;
+  o.inlet_velocity = 0.008;
+  o.outlet_density = 1.0;
+
+  lbm::Solver reference(lattice, o);
+  DistributedSolver distributed(lattice,
+                                decomp::bisection_partition(*lattice, 6), o);
+  reference.run(10);
+  distributed.run(10);
+
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dist = distributed.global_distributions();
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dist[k]) << "aorta diverged at index " << k;
+}
+
+TEST(DistributedSolver, SingleRankSendsNothing) {
+  auto lattice = cylinder_workload();
+  DistributedSolver distributed(
+      lattice, decomp::slab_partition(*lattice, 1), flow_options());
+  distributed.run(5);
+  EXPECT_EQ(distributed.network().message_count(), 0);
+}
+
+TEST(DistributedSolver, OwnedCountsMatchPartition) {
+  auto lattice = cylinder_workload();
+  const decomp::Partition partition = decomp::slab_partition(*lattice, 4);
+  DistributedSolver distributed(lattice, partition, flow_options());
+  const auto counts = partition.rank_counts();
+  for (hemo::Rank r = 0; r < 4; ++r)
+    EXPECT_EQ(distributed.owned_count(r),
+              counts[static_cast<std::size_t>(r)]);
+}
+
+TEST(DistributedSolver, GlobalMomentsAgreeWithReference) {
+  auto lattice = cylinder_workload();
+  lbm::Solver reference(lattice, flow_options());
+  DistributedSolver distributed(
+      lattice, decomp::slab_partition(*lattice, 3), flow_options());
+  reference.run(8);
+  distributed.run(8);
+  for (hemo::PointIndex i = 0; i < lattice->size(); i += 37) {
+    const lbm::Moments a = reference.moments(i);
+    const lbm::Moments b = distributed.global_moments(i);
+    EXPECT_DOUBLE_EQ(a.rho, b.rho);
+    EXPECT_DOUBLE_EQ(a.uz, b.uz);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dialect-routed distributed execution: MPI ranks each driving a device
+// through a programming model, the study's actual execution mode.
+// ---------------------------------------------------------------------------
+
+class DistributedDialects : public ::testing::TestWithParam<hemo::hal::Model> {};
+
+TEST_P(DistributedDialects, DialectExecutionMatchesHostLoopBitwise) {
+  auto lattice = cylinder_workload_for_dialects();
+  lbm::Solver reference(lattice, flow_options());
+  DistributedSolver distributed(
+      lattice, decomp::bisection_partition(*lattice, 4), flow_options());
+  distributed.set_execution_model(GetParam());
+
+  reference.run(12);
+  distributed.run(12);
+
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dist = distributed.global_distributions();
+  ASSERT_EQ(ref.size(), dist.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dist[k])
+        << hemo::hal::name_of(GetParam()) << " diverged at " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, DistributedDialects,
+    ::testing::Values(hemo::hal::Model::kCuda, hemo::hal::Model::kHip,
+                      hemo::hal::Model::kSycl,
+                      hemo::hal::Model::kKokkosHip),
+    [](const ::testing::TestParamInfo<hemo::hal::Model>& info) {
+      std::string n{hemo::hal::name_of(info.param)};
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(DistributedDialects, PulsatileInflowMatchesReference) {
+  auto lattice = cylinder_workload_for_dialects();
+  lbm::Solver reference(lattice, flow_options());
+  DistributedSolver distributed(
+      lattice, decomp::slab_partition(*lattice, 3), flow_options());
+  distributed.set_execution_model(hemo::hal::Model::kSycl);
+
+  const hemo::lbm::CardiacWaveform wave(40, 0.02);
+  for (int step = 0; step < 80; ++step) {
+    reference.set_inlet_velocity(wave.at(step));
+    distributed.set_inlet_velocity(wave.at(step));
+    reference.step();
+    distributed.step();
+  }
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dist = distributed.global_distributions();
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dist[k]) << "pulsatile diverged at " << k;
+}

@@ -1,0 +1,115 @@
+// VTK writer tests: structural validity of the emitted legacy file and
+// field correctness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "geom/cylinder.hpp"
+#include "io/vtk.hpp"
+
+namespace {
+
+using namespace hemo;
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+lbm::Solver make_solver() {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 3.0;
+  spec.axial_per_scale = 5.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.body_force = {0.0, 0.0, 1e-5};
+  return lbm::Solver(lattice, options);
+}
+
+}  // namespace
+
+TEST(Vtk, EmitsAValidLegacyHeader) {
+  lbm::Solver solver = make_solver();
+  solver.run(5);
+  TempFile file("hemoflow_header.vtk");
+  const std::int64_t n = io::write_vtk(file.path, solver);
+  EXPECT_EQ(n, solver.size());
+
+  const std::string text = slurp(file.path);
+  EXPECT_EQ(text.rfind("# vtk DataFile Version 3.0\n", 0), 0u);
+  EXPECT_NE(text.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(text.find("POINTS " + std::to_string(n) + " float"),
+            std::string::npos);
+  EXPECT_NE(text.find("CELL_TYPES " + std::to_string(n)), std::string::npos);
+  EXPECT_NE(text.find("SCALARS density float 1"), std::string::npos);
+  EXPECT_NE(text.find("VECTORS velocity float"), std::string::npos);
+}
+
+TEST(Vtk, PointCountMatchesLattice) {
+  lbm::Solver solver = make_solver();
+  TempFile file("hemoflow_count.vtk");
+  io::write_vtk(file.path, solver);
+
+  // Count coordinate lines between POINTS and CELLS.
+  std::ifstream in(file.path);
+  std::string line;
+  std::int64_t coords = 0;
+  bool counting = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("POINTS", 0) == 0) {
+      counting = true;
+      continue;
+    }
+    if (line.rfind("CELLS", 0) == 0) break;
+    if (counting) ++coords;
+  }
+  EXPECT_EQ(coords, solver.size());
+}
+
+TEST(Vtk, ShearFieldIsOptional) {
+  lbm::Solver solver = make_solver();
+  solver.run(50);
+  TempFile file("hemoflow_shear.vtk");
+  io::VtkFields fields;
+  fields.shear = true;
+  io::write_vtk(file.path, solver, fields);
+  EXPECT_NE(slurp(file.path).find("SCALARS shear float 1"),
+            std::string::npos);
+}
+
+TEST(Vtk, RestStateWritesUnitDensity) {
+  lbm::Solver solver = make_solver();
+  TempFile file("hemoflow_rest.vtk");
+  io::write_vtk(file.path, solver);
+  // All densities are exactly 1 at initialization.
+  const std::string text = slurp(file.path);
+  const std::size_t start = text.find("LOOKUP_TABLE default\n");
+  ASSERT_NE(start, std::string::npos);
+  std::istringstream in(text.substr(start + 21));
+  double v = 0.0;
+  for (int k = 0; k < 10; ++k) {
+    in >> v;
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(Vtk, UnwritablePathAborts) {
+  lbm::Solver solver = make_solver();
+  EXPECT_DEATH(io::write_vtk("/nonexistent-dir/out.vtk", solver),
+               "Precondition");
+}

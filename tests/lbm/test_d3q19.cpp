@@ -1,0 +1,130 @@
+// Structural invariants of the D3Q19 lattice descriptor: weight
+// normalization, velocity-set symmetry, isotropy moments, and the
+// opposite-direction mapping.  These are the algebraic identities every
+// LBM derivation relies on.
+
+#include <gtest/gtest.h>
+
+#include "lbm/d3q19.hpp"
+
+namespace lbm = hemo::lbm;
+
+TEST(D3Q19, WeightsSumToOne) {
+  double sum = 0.0;
+  for (int q = 0; q < lbm::kQ; ++q) sum += lbm::kWeights[q];
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TEST(D3Q19, WeightsArePositive) {
+  for (int q = 0; q < lbm::kQ; ++q) EXPECT_GT(lbm::kWeights[q], 0.0);
+}
+
+TEST(D3Q19, VelocitiesSumToZero) {
+  int sx = 0, sy = 0, sz = 0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    sx += lbm::c(q, 0);
+    sy += lbm::c(q, 1);
+    sz += lbm::c(q, 2);
+  }
+  EXPECT_EQ(sx, 0);
+  EXPECT_EQ(sy, 0);
+  EXPECT_EQ(sz, 0);
+}
+
+TEST(D3Q19, FirstMomentOfWeightsVanishes) {
+  for (int a = 0; a < 3; ++a) {
+    double m = 0.0;
+    for (int q = 0; q < lbm::kQ; ++q) m += lbm::kWeights[q] * lbm::c(q, a);
+    EXPECT_NEAR(m, 0.0, 1e-15) << "axis " << a;
+  }
+}
+
+TEST(D3Q19, SecondMomentIsIsotropicCs2) {
+  // sum_q w_q c_qa c_qb = cs^2 delta_ab with cs^2 = 1/3.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (int q = 0; q < lbm::kQ; ++q)
+        m += lbm::kWeights[q] * lbm::c(q, a) * lbm::c(q, b);
+      const double expected = (a == b) ? lbm::kCs2 : 0.0;
+      EXPECT_NEAR(m, expected, 1e-15) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(D3Q19, ThirdMomentVanishes) {
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int g = 0; g < 3; ++g) {
+        double m = 0.0;
+        for (int q = 0; q < lbm::kQ; ++q)
+          m += lbm::kWeights[q] * lbm::c(q, a) * lbm::c(q, b) * lbm::c(q, g);
+        EXPECT_NEAR(m, 0.0, 1e-15);
+      }
+}
+
+TEST(D3Q19, OppositeIsAnInvolutionNegatingVelocity) {
+  for (int q = 0; q < lbm::kQ; ++q) {
+    const int o = lbm::opposite(q);
+    EXPECT_EQ(lbm::opposite(o), q);
+    for (int a = 0; a < 3; ++a) EXPECT_EQ(lbm::c(o, a), -lbm::c(q, a));
+    EXPECT_DOUBLE_EQ(lbm::kWeights[o], lbm::kWeights[q]);
+  }
+}
+
+TEST(D3Q19, SpeedsAreZeroOneOrSqrtTwo) {
+  for (int q = 0; q < lbm::kQ; ++q) {
+    const int s2 = lbm::c(q, 0) * lbm::c(q, 0) + lbm::c(q, 1) * lbm::c(q, 1) +
+                   lbm::c(q, 2) * lbm::c(q, 2);
+    if (q == 0)
+      EXPECT_EQ(s2, 0);
+    else if (q <= 6)
+      EXPECT_EQ(s2, 1);
+    else
+      EXPECT_EQ(s2, 2);
+  }
+}
+
+TEST(D3Q19, VelocitiesAreDistinct) {
+  for (int p = 0; p < lbm::kQ; ++p)
+    for (int q = p + 1; q < lbm::kQ; ++q)
+      EXPECT_FALSE(lbm::velocity(p) == lbm::velocity(q))
+          << "p=" << p << " q=" << q;
+}
+
+TEST(D3Q19, EquilibriumAtRestIsWeightTimesDensity) {
+  const double rho = 1.37;
+  for (int q = 0; q < lbm::kQ; ++q)
+    EXPECT_NEAR(lbm::equilibrium(q, rho, 0, 0, 0), lbm::kWeights[q] * rho,
+                1e-15);
+}
+
+// Equilibrium moments: sum feq = rho, sum feq c = rho u (exact for the
+// second-order polynomial equilibrium).
+class EquilibriumMoments
+    : public ::testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(EquilibriumMoments, MassAndMomentumExact) {
+  const auto [rho, ux, uy, uz] = GetParam();
+  double m0 = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    const double feq = lbm::equilibrium(q, rho, ux, uy, uz);
+    m0 += feq;
+    mx += feq * lbm::c(q, 0);
+    my += feq * lbm::c(q, 1);
+    mz += feq * lbm::c(q, 2);
+  }
+  EXPECT_NEAR(m0, rho, 1e-13 * rho);
+  EXPECT_NEAR(mx, rho * ux, 1e-13);
+  EXPECT_NEAR(my, rho * uy, 1e-13);
+  EXPECT_NEAR(mz, rho * uz, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquilibriumMoments,
+    ::testing::Values(std::make_tuple(1.0, 0.0, 0.0, 0.0),
+                      std::make_tuple(1.0, 0.05, 0.0, 0.0),
+                      std::make_tuple(0.9, 0.0, -0.08, 0.02),
+                      std::make_tuple(1.2, 0.03, 0.03, 0.03),
+                      std::make_tuple(1.05, -0.1, 0.05, -0.02),
+                      std::make_tuple(0.5, 0.0, 0.0, 0.12)));

@@ -1,0 +1,151 @@
+// Hemodynamics tests: the cardiac inflow waveform, pulsatile channel
+// response, and the deviatoric stress tensor against the analytic
+// Poiseuille shear profile.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/cylinder.hpp"
+#include "lbm/hemodynamics.hpp"
+#include "lbm/solver.hpp"
+
+namespace lbm = hemo::lbm;
+namespace geom = hemo::geom;
+
+TEST(CardiacWaveform, PeaksAtSystoleAndRestsAtBaseline) {
+  const lbm::CardiacWaveform wave(600, 0.05, 0.2);
+  EXPECT_NEAR(wave.at(100), 0.05, 1e-12);       // T/6: systolic peak
+  EXPECT_NEAR(wave.at(0), 0.01, 1e-12);         // start: baseline
+  EXPECT_NEAR(wave.at(400), 0.01, 1e-12);       // diastole: baseline
+  EXPECT_NEAR(wave.at(599), 0.01, 1e-12);
+}
+
+TEST(CardiacWaveform, IsPeriodic) {
+  const lbm::CardiacWaveform wave(500, 0.04);
+  for (const std::int64_t s : {0, 37, 123, 499})
+    EXPECT_DOUBLE_EQ(wave.at(s), wave.at(s + 500));
+}
+
+TEST(CardiacWaveform, IsContinuousAcrossTheSystolicWindow) {
+  const lbm::CardiacWaveform wave(900, 0.06);
+  for (int s = 1; s < 900; ++s)
+    EXPECT_LT(std::abs(wave.at(s) - wave.at(s - 1)), 0.002)
+        << "jump at step " << s;
+}
+
+TEST(CardiacWaveform, MeanLiesBetweenBaselineAndPeak) {
+  const lbm::CardiacWaveform wave(600, 0.05, 0.2);
+  EXPECT_GT(wave.mean(), wave.baseline());
+  EXPECT_LT(wave.mean(), wave.peak());
+}
+
+TEST(CardiacWaveform, RejectsUnphysicalParameters) {
+  EXPECT_DEATH(lbm::CardiacWaveform(0, 0.05), "Precondition");
+  EXPECT_DEATH(lbm::CardiacWaveform(100, 0.5), "Precondition");
+}
+
+TEST(PulsatileFlow, ChannelVelocityFollowsTheWaveform) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 5.0;
+  spec.axial_per_scale = 16.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.outlet_density = 1.0;
+  lbm::Solver solver(lattice, options);
+
+  const lbm::CardiacWaveform wave(400, 0.03, 0.25);
+  auto inlet_velocity = [&]() {
+    double u = 0.0;
+    int count = 0;
+    for (hemo::PointIndex i = 0; i < solver.size(); ++i) {
+      if (lattice->coord(i).z != 0) continue;
+      const hemo::Coord& c = lattice->coord(i);
+      const double dx = c.x - 4.5, dy = c.y - 4.5;
+      if (dx * dx + dy * dy > 9.0) continue;  // face interior
+      u += solver.moments(i).uz;
+      ++count;
+    }
+    return u / count;
+  };
+
+  double tracked_peak = 0.0, tracked_min = 1.0;
+  for (int step = 0; step < 800; ++step) {
+    solver.set_inlet_velocity(wave.at(step));
+    solver.step();
+    if (step > 400) {  // second cycle: transients gone at the inlet
+      const double u = inlet_velocity();
+      tracked_peak = std::max(tracked_peak, u);
+      tracked_min = std::min(tracked_min, u);
+    }
+  }
+  // The Zou-He inlet enforces the waveform exactly per step.
+  EXPECT_NEAR(tracked_peak, wave.peak(), 0.02 * wave.peak());
+  EXPECT_NEAR(tracked_min, wave.baseline(), 0.05 * wave.baseline());
+}
+
+TEST(Stress, VanishesAtEquilibrium) {
+  double f[lbm::kQ];
+  for (int q = 0; q < lbm::kQ; ++q)
+    f[q] = lbm::equilibrium(q, 1.1, 0.02, -0.01, 0.03);
+  const lbm::StressTensor sigma = lbm::deviatoric_stress(f, 1.0);
+  for (const double s : sigma) EXPECT_NEAR(s, 0.0, 1e-14);
+}
+
+TEST(Stress, PoiseuilleShearMatchesAnalyticProfile) {
+  // sigma_xz = rho nu du_z/dx = -rho g x / 2 across the pipe.
+  const double radius = 8.0;
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = radius;
+  spec.axial_per_scale = 4.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+
+  lbm::SolverOptions options;
+  options.tau = 1.0;
+  const double g = 1e-6;
+  options.body_force = {0.0, 0.0, g};
+  lbm::Solver solver(lattice, options);
+  solver.run(4000);
+
+  const auto rc = static_cast<std::int32_t>(std::ceil(radius));
+  for (std::int32_t d = 1; d < rc - 2; ++d) {
+    const hemo::PointIndex i = lattice->find(hemo::Coord{rc + d, rc, 2});
+    ASSERT_NE(i, hemo::kSolidNeighbor);
+    const double x = d + 0.5;  // distance from the axis along +x
+    const double analytic = -0.5 * g * x;  // rho ~ 1
+    const auto sigma = solver.stress(i);
+    EXPECT_NEAR(sigma[4], analytic, 0.08 * std::abs(analytic) + 1e-9)
+        << "offset " << d;
+  }
+}
+
+TEST(Stress, ShearMagnitudeGrowsTowardTheWall) {
+  const double radius = 6.0;
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = radius;
+  spec.axial_per_scale = 4.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 0.8;
+  options.body_force = {0.0, 0.0, 2e-6};
+  lbm::Solver solver(lattice, options);
+  solver.run(3000);
+
+  const auto rc = static_cast<std::int32_t>(std::ceil(radius));
+  double prev = -1.0;
+  for (std::int32_t d = 0; d < rc - 1; ++d) {
+    const hemo::PointIndex i = lattice->find(hemo::Coord{rc + d, rc, 1});
+    if (i == hemo::kSolidNeighbor) break;
+    const double mag = lbm::shear_magnitude(solver.stress(i));
+    EXPECT_GT(mag, prev) << "offset " << d;
+    prev = mag;
+  }
+}

@@ -1,0 +1,276 @@
+// Kernel-body invariants: collision conservation laws, relaxation toward
+// equilibrium, the Guo forcing discretization, and Zou-He boundary moment
+// exactness — all tested directly on the per-point kernel functions.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "base/rng.hpp"
+#include "lbm/kernels.hpp"
+
+namespace lbm = hemo::lbm;
+using hemo::SplitMix64;
+
+namespace {
+
+std::array<double, lbm::kQ> random_state(SplitMix64& rng) {
+  std::array<double, lbm::kQ> f;
+  for (int q = 0; q < lbm::kQ; ++q)
+    f[q] = lbm::kWeights[q] * rng.uniform(0.8, 1.2);
+  return f;
+}
+
+}  // namespace
+
+class CollisionConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollisionConservation, MassAndMomentumConservedWithoutForce) {
+  SplitMix64 rng(GetParam());
+  const auto f = random_state(rng);
+  const lbm::Moments m = lbm::moments_of(f.data(), 0, 0, 0);
+  const double omega = rng.uniform(0.3, 1.8);
+
+  double out[lbm::kQ];
+  lbm::bgk_collide(f.data(), m, omega, 0, 0, 0, out);
+  const lbm::Moments after = lbm::moments_of(out, 0, 0, 0);
+
+  EXPECT_NEAR(after.rho, m.rho, 1e-13);
+  EXPECT_NEAR(after.ux, m.ux, 1e-13);
+  EXPECT_NEAR(after.uy, m.uy, 1e-13);
+  EXPECT_NEAR(after.uz, m.uz, 1e-13);
+}
+
+TEST_P(CollisionConservation, ForceAddsExactlyOneImpulse) {
+  SplitMix64 rng(GetParam());
+  const auto f = random_state(rng);
+  const double fx = rng.uniform(-1e-3, 1e-3);
+  const double fy = rng.uniform(-1e-3, 1e-3);
+  const double fz = rng.uniform(-1e-3, 1e-3);
+  const double omega = rng.uniform(0.3, 1.8);
+
+  const lbm::Moments m = lbm::moments_of(f.data(), fx, fy, fz);
+  double out[lbm::kQ];
+  lbm::bgk_collide(f.data(), m, omega, fx, fy, fz, out);
+
+  // Guo scheme: raw momentum after collision = raw momentum before + F/2
+  // relaxation effect... verified via the invariant that the *corrected*
+  // velocity advances by exactly F/rho per step at steady density:
+  // sum(out * c) = sum(f * c) + F * (1 - ... ). The robust check is mass
+  // conservation plus the known total: sum(out*c) + F/2 gives the
+  // post-step velocity; for BGK+Guo, sum(out*c) = sum(f*c) + F*(1/2+...).
+  double rho_after = 0.0, mz_before = 0.0, mz_after = 0.0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    rho_after += out[q];
+    mz_before += f[q] * lbm::c(q, 2);
+    mz_after += out[q] * lbm::c(q, 2);
+  }
+  EXPECT_NEAR(rho_after, m.rho, 1e-13);
+  // BGK relaxes raw momentum toward rho*u = raw + F/2, then the source
+  // term adds (1 - omega/2) F: net change = omega*F/2 + (1-omega/2)*F = F.
+  EXPECT_NEAR(mz_after, mz_before + fz, 1e-13);
+}
+
+TEST_P(CollisionConservation, EquilibriumIsAFixedPointWithoutForce) {
+  SplitMix64 rng(GetParam());
+  const double rho = rng.uniform(0.8, 1.2);
+  const double ux = rng.uniform(-0.05, 0.05);
+  const double uy = rng.uniform(-0.05, 0.05);
+  const double uz = rng.uniform(-0.05, 0.05);
+  double f[lbm::kQ];
+  for (int q = 0; q < lbm::kQ; ++q)
+    f[q] = lbm::equilibrium(q, rho, ux, uy, uz);
+
+  const lbm::Moments m = lbm::moments_of(f, 0, 0, 0);
+  double out[lbm::kQ];
+  lbm::bgk_collide(f, m, 1.0, 0, 0, 0, out);
+  for (int q = 0; q < lbm::kQ; ++q) EXPECT_NEAR(out[q], f[q], 1e-14);
+}
+
+TEST_P(CollisionConservation, RelaxationContractsTowardEquilibrium) {
+  SplitMix64 rng(GetParam());
+  const auto f = random_state(rng);
+  const lbm::Moments m = lbm::moments_of(f.data(), 0, 0, 0);
+  const double omega = rng.uniform(0.2, 1.0);  // contraction regime
+
+  double out[lbm::kQ];
+  lbm::bgk_collide(f.data(), m, omega, 0, 0, 0, out);
+  for (int q = 0; q < lbm::kQ; ++q) {
+    const double feq = lbm::equilibrium(q, m.rho, m.ux, m.uy, m.uz);
+    EXPECT_LE(std::abs(out[q] - feq), std::abs(f[q] - feq) + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollisionConservation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------------------
+// Zou-He completion: after filling the unknowns, the distribution's moments
+// must equal the prescribed (rho, u) exactly for a face-interior point.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds a face-interior inlet state: knowns from a slightly perturbed
+/// equilibrium, unknowns zeroed.
+std::uint32_t make_inlet_state(SplitMix64& rng, double f[lbm::kQ]) {
+  std::uint32_t unknown = 0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    if (lbm::c(q, 2) > 0) {
+      unknown |= 1u << q;
+      f[q] = 0.0;
+    } else {
+      f[q] = lbm::equilibrium(q, 1.0, 0.0, 0.0, 0.01) *
+             rng.uniform(0.97, 1.03);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace
+
+class ZouHeExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZouHeExactness, VelocityInletEnforcesPrescribedMoments) {
+  SplitMix64 rng(GetParam());
+  double f[lbm::kQ];
+  const std::uint32_t unknown = make_inlet_state(rng, f);
+
+  const double w = 0.03;
+  double s0 = 0.0, sm = 0.0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    if (lbm::c(q, 2) == 0) s0 += f[q];
+    if (lbm::c(q, 2) < 0) sm += f[q];
+  }
+  const double rho = (s0 + 2.0 * sm) / (1.0 - w);
+  lbm::detail::zou_he_complete(f, unknown, rho, 0.0, 0.0, w, 11, 14, 15, 18);
+
+  const lbm::Moments m = lbm::moments_of(f, 0, 0, 0);
+  EXPECT_NEAR(m.rho, rho, 1e-13);
+  EXPECT_NEAR(m.ux, 0.0, 1e-13);
+  EXPECT_NEAR(m.uy, 0.0, 1e-13);
+  EXPECT_NEAR(m.uz, w, 1e-13);
+}
+
+TEST_P(ZouHeExactness, PressureOutletEnforcesPrescribedDensity) {
+  SplitMix64 rng(GetParam());
+  double f[lbm::kQ];
+  std::uint32_t unknown = 0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    if (lbm::c(q, 2) < 0) {
+      unknown |= 1u << q;
+      f[q] = 0.0;
+    } else {
+      f[q] = lbm::equilibrium(q, 1.0, 0.0, 0.0, 0.01) *
+             rng.uniform(0.97, 1.03);
+    }
+  }
+  const double rho_spec = 1.0;
+  double s0 = 0.0, sp = 0.0;
+  for (int q = 0; q < lbm::kQ; ++q) {
+    if (lbm::c(q, 2) == 0) s0 += f[q];
+    if (lbm::c(q, 2) > 0) sp += f[q];
+  }
+  const double uz = -1.0 + (s0 + 2.0 * sp) / rho_spec;
+  lbm::detail::zou_he_complete(f, unknown, rho_spec, 0.0, 0.0, uz, 13, 12, 17,
+                               16);
+
+  const lbm::Moments m = lbm::moments_of(f, 0, 0, 0);
+  EXPECT_NEAR(m.rho, rho_spec, 1e-13);
+  EXPECT_NEAR(m.ux, 0.0, 1e-13);
+  EXPECT_NEAR(m.uy, 0.0, 1e-13);
+  EXPECT_NEAR(m.uz, uz, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZouHeExactness,
+                         ::testing::Values(7, 11, 19, 23, 42, 77, 101, 997));
+
+// ---------------------------------------------------------------------------
+// AoS/SoA layout equivalence of the fused kernel.
+// ---------------------------------------------------------------------------
+
+TEST(LayoutEquivalence, AosMatchesSoaOnRandomBulkState) {
+  // 3x3x3 periodic block: every point is bulk with full adjacency.
+  std::vector<hemo::Coord> coords;
+  for (int z = 0; z < 3; ++z)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 3; ++x) coords.push_back({x, y, z});
+  lbm::Periodicity per;
+  for (int a = 0; a < 3; ++a) {
+    per.axis[a] = true;
+    per.period[a] = 3;
+  }
+  const lbm::SparseLattice lattice(coords, per);
+  const auto n = static_cast<std::size_t>(lattice.size());
+
+  SplitMix64 rng(1234);
+  std::vector<double> f_soa(lbm::kQ * n), f_aos(lbm::kQ * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int q = 0; q < lbm::kQ; ++q) {
+      const double v = lbm::kWeights[q] * rng.uniform(0.9, 1.1);
+      f_soa[static_cast<std::size_t>(q) * n + i] = v;
+      f_aos[i * lbm::kQ + static_cast<std::size_t>(q)] = v;
+    }
+
+  std::vector<std::uint8_t> types(n, 0);
+  std::vector<double> out_soa(lbm::kQ * n), out_aos(lbm::kQ * n);
+
+  lbm::KernelArgs a;
+  a.adjacency = lattice.adjacency().data();
+  a.node_type = types.data();
+  a.n = static_cast<std::int64_t>(n);
+  a.omega = 1.2;
+  a.force_z = 1e-5;
+
+  a.f_in = f_soa.data();
+  a.f_out = out_soa.data();
+  for (std::int64_t i = 0; i < a.n; ++i) lbm::stream_collide_point(a, i);
+
+  a.f_in = f_aos.data();
+  a.f_out = out_aos.data();
+  for (std::int64_t i = 0; i < a.n; ++i) lbm::stream_collide_point_aos(a, i);
+
+  for (std::size_t i = 0; i < n; ++i)
+    for (int q = 0; q < lbm::kQ; ++q)
+      EXPECT_DOUBLE_EQ(out_soa[static_cast<std::size_t>(q) * n + i],
+                       out_aos[i * lbm::kQ + static_cast<std::size_t>(q)]);
+}
+
+TEST(TwoPassEquivalence, StreamThenCollideMatchesFusedKernel) {
+  std::vector<hemo::Coord> coords;
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 3; ++x) coords.push_back({x, y, z});
+  lbm::Periodicity per;
+  per.axis[2] = true;
+  per.period[2] = 4;
+  const lbm::SparseLattice lattice(coords, per);
+  const auto n = static_cast<std::size_t>(lattice.size());
+
+  SplitMix64 rng(77);
+  std::vector<double> f(lbm::kQ * n);
+  for (std::size_t k = 0; k < f.size(); ++k)
+    f[k] = lbm::kWeights[static_cast<int>(k / n)] * rng.uniform(0.9, 1.1);
+
+  std::vector<std::uint8_t> types(n, 0);
+  std::vector<double> fused(lbm::kQ * n), two_pass(lbm::kQ * n);
+
+  lbm::KernelArgs a;
+  a.adjacency = lattice.adjacency().data();
+  a.node_type = types.data();
+  a.n = static_cast<std::int64_t>(n);
+  a.omega = 0.9;
+  a.force_x = 2e-5;
+
+  a.f_in = f.data();
+  a.f_out = fused.data();
+  for (std::int64_t i = 0; i < a.n; ++i) lbm::stream_collide_point(a, i);
+
+  a.f_out = two_pass.data();
+  for (std::int64_t i = 0; i < a.n; ++i) lbm::stream_point(a, i);
+  for (std::int64_t i = 0; i < a.n; ++i) lbm::collide_point(a, i);
+
+  for (std::size_t k = 0; k < f.size(); ++k)
+    EXPECT_DOUBLE_EQ(fused[k], two_pass[k]);
+}

@@ -1,0 +1,121 @@
+// Flow-probe, dimensionless-number and checkpoint tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "geom/cylinder.hpp"
+#include "lbm/probes.hpp"
+
+namespace lbm = hemo::lbm;
+namespace geom = hemo::geom;
+
+namespace {
+
+std::shared_ptr<lbm::SparseLattice> channel() {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 5.0;
+  spec.axial_per_scale = 24.0;
+  return geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+}
+
+lbm::SolverOptions driven_options() {
+  lbm::SolverOptions o;
+  o.tau = 0.9;
+  o.inlet_velocity = 0.012;
+  o.outlet_density = 1.0;
+  return o;
+}
+
+}  // namespace
+
+TEST(Probes, MassFluxIsConservedAlongTheChannelAtSteadyState) {
+  lbm::Solver solver(channel(), driven_options());
+  solver.run(4000);
+  const double upstream = lbm::slice_mass_flux(solver, 4);
+  const double mid = lbm::slice_mass_flux(solver, 12);
+  const double downstream = lbm::slice_mass_flux(solver, 20);
+  ASSERT_GT(upstream, 0.0);
+  EXPECT_NEAR(mid / upstream, 1.0, 0.02);
+  EXPECT_NEAR(downstream / upstream, 1.0, 0.02);
+}
+
+TEST(Probes, PressureDropsDownstream) {
+  lbm::Solver solver(channel(), driven_options());
+  solver.run(3000);
+  // Driving a viscous channel needs a positive pressure gradient.
+  EXPECT_GT(lbm::pressure_drop(solver, 3, 20), 0.0);
+  // And it is monotone along the channel.
+  EXPECT_GT(lbm::slice_mean_density(solver, 3),
+            lbm::slice_mean_density(solver, 12));
+  EXPECT_GT(lbm::slice_mean_density(solver, 12),
+            lbm::slice_mean_density(solver, 20));
+}
+
+TEST(Probes, ProbingAnEmptySliceAborts) {
+  lbm::Solver solver(channel(), driven_options());
+  EXPECT_DEATH((void)lbm::slice_mass_flux(solver, 999), "Precondition");
+}
+
+TEST(Dimensionless, ReynoldsNumberDefinition) {
+  EXPECT_DOUBLE_EQ(lbm::reynolds_number(0.01, 100.0, 0.1), 10.0);
+}
+
+TEST(Dimensionless, WomersleyScalesWithRadiusAndRate) {
+  const double nu = lbm::viscosity_of_tau(1.0);
+  const double a1 = lbm::womersley_number(10.0, 1000.0, nu);
+  EXPECT_DOUBLE_EQ(lbm::womersley_number(20.0, 1000.0, nu), 2.0 * a1);
+  // Quadrupling the period halves alpha.
+  EXPECT_NEAR(lbm::womersley_number(10.0, 4000.0, nu), a1 / 2.0, 1e-12);
+}
+
+TEST(Checkpoint, RestartContinuesBitwiseIdentically) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "hemoflow_ckpt.bin";
+
+  lbm::Solver original(channel(), driven_options());
+  original.run(37);
+  original.save_checkpoint(path);
+  original.run(25);
+
+  lbm::Solver restarted(channel(), driven_options());
+  restarted.restore_checkpoint(path);
+  EXPECT_EQ(restarted.step_count(), 37);
+  restarted.run(25);
+
+  const auto& fa = original.distributions();
+  const auto& fb = restarted.distributions();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t k = 0; k < fa.size(); ++k) ASSERT_EQ(fa[k], fb[k]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedLatticeIsRejected) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "hemoflow_ckpt_mismatch.bin";
+  lbm::Solver solver(channel(), driven_options());
+  solver.save_checkpoint(path);
+
+  geom::CylinderSpec other;
+  other.scale = 0.5;
+  auto small = geom::make_cylinder_lattice(other,
+                                           geom::CylinderEnds::kInletOutlet);
+  lbm::Solver wrong(small, driven_options());
+  EXPECT_DEATH(wrong.restore_checkpoint(path), "Precondition");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptFileIsRejected) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "hemoflow_ckpt_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  lbm::Solver solver(channel(), driven_options());
+  EXPECT_DEATH(solver.restore_checkpoint(path), "Precondition");
+  std::remove(path.c_str());
+}

@@ -1,0 +1,213 @@
+// Physics validation of the reference solver: Poiseuille flow in the
+// proxy cylinder (body-force driven), Zou-He driven channel flow, mass
+// conservation, and stability/symmetry properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "geom/cylinder.hpp"
+#include "lbm/solver.hpp"
+
+namespace lbm = hemo::lbm;
+namespace geom = hemo::geom;
+
+namespace {
+
+geom::CylinderSpec small_cylinder(double radius, double length) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = radius;
+  spec.axial_per_scale = length;
+  return spec;
+}
+
+}  // namespace
+
+TEST(SolverPhysics, MassConservedWithPeriodicEnds) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(5.0, 6.0),
+                                             geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 0.8;
+  options.body_force = {0.0, 0.0, 1e-5};
+  lbm::Solver solver(lattice, options);
+
+  const double mass0 = solver.total_mass();
+  solver.run(200);
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-9 * mass0);
+}
+
+TEST(SolverPhysics, RestStateStaysAtRestWithoutForcing) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(4.0, 5.0),
+                                             geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 1.0;
+  lbm::Solver solver(lattice, options);
+  solver.run(50);
+  EXPECT_LT(solver.max_speed(), 1e-14);
+  for (hemo::PointIndex i = 0; i < solver.size(); ++i)
+    EXPECT_NEAR(solver.moments(i).rho, 1.0, 1e-13);
+}
+
+TEST(SolverPhysics, PoiseuilleProfileMatchesAnalyticSolution) {
+  // Body-force-driven flow in a periodic cylinder relaxes to the
+  // Hagen-Poiseuille parabola u(r) = g (R^2 - r^2) / (4 nu).  Halfway
+  // bounce-back puts the wall ~half a cell outside the last fluid point.
+  const double radius = 8.0;
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(radius, 4.0),
+                                             geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 1.0;  // nu = 1/6
+  const double g = 1e-6;
+  options.body_force = {0.0, 0.0, g};
+  lbm::Solver solver(lattice, options);
+  solver.run(4000);  // > 10 momentum diffusion times (R^2/nu = 384)
+
+  const double nu = lbm::viscosity_of_tau(options.tau);
+  const double r_eff = radius;  // halfway wall: effective radius ~ R
+  const double u_max_analytic = g * r_eff * r_eff / (4.0 * nu);
+
+  // The axis passes through (r_cells-0.5, r_cells-0.5): between cells, so
+  // probe the four nearest points and average.
+  const auto rc = static_cast<std::int32_t>(std::ceil(radius));
+  double u_center = 0.0;
+  int found = 0;
+  for (std::int32_t dx = -1; dx <= 0; ++dx)
+    for (std::int32_t dy = -1; dy <= 0; ++dy) {
+      const hemo::PointIndex i =
+          lattice->find(hemo::Coord{rc + dx, rc + dy, 2});
+      if (i == hemo::kSolidNeighbor) continue;
+      u_center += solver.moments(i).uz;
+      ++found;
+    }
+  ASSERT_GT(found, 0);
+  u_center /= found;
+
+  EXPECT_NEAR(u_center, u_max_analytic, 0.08 * u_max_analytic);
+
+  // Parabolic shape: u(r)/u(0) = 1 - (r/R)^2 at mid-radius.
+  const hemo::PointIndex mid =
+      lattice->find(hemo::Coord{rc + 4, rc, 2});
+  ASSERT_NE(mid, hemo::kSolidNeighbor);
+  const double r_probe = std::hypot(4.5, 0.5);
+  const double expected =
+      u_max_analytic * (1.0 - (r_probe * r_probe) / (r_eff * r_eff));
+  EXPECT_NEAR(solver.moments(mid).uz, expected, 0.08 * u_max_analytic);
+
+  // Transverse velocity should vanish in fully developed flow.
+  EXPECT_LT(std::abs(solver.moments(mid).ux), 1e-9);
+  EXPECT_LT(std::abs(solver.moments(mid).uy), 1e-9);
+}
+
+TEST(SolverPhysics, PoiseuilleProfileIsAxisymmetric) {
+  const double radius = 6.0;
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(radius, 3.0),
+                                             geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.body_force = {0.0, 0.0, 2e-6};
+  lbm::Solver solver(lattice, options);
+  solver.run(2500);
+
+  // The lattice is symmetric under x <-> y reflection about the axis; the
+  // solution must be too (exactly, by symmetry of the update rule).
+  const auto rc = static_cast<std::int32_t>(std::ceil(radius));
+  for (std::int32_t d = 0; d < rc; ++d) {
+    const hemo::PointIndex a = lattice->find(hemo::Coord{rc + d, rc, 1});
+    const hemo::PointIndex b = lattice->find(hemo::Coord{rc, rc + d, 1});
+    if (a == hemo::kSolidNeighbor || b == hemo::kSolidNeighbor) continue;
+    EXPECT_NEAR(solver.moments(a).uz, solver.moments(b).uz, 1e-13);
+  }
+}
+
+TEST(SolverPhysics, ZouHeInletEnforcesVelocityExactly) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(6.0, 20.0),
+                                             geom::CylinderEnds::kInletOutlet);
+  lbm::SolverOptions options;
+  options.tau = 0.8;
+  options.inlet_velocity = 0.02;
+  options.outlet_density = 1.0;
+  lbm::Solver solver(lattice, options);
+  solver.run(50);
+
+  // Face-interior inlet points (full lateral neighborhood) carry exactly
+  // the prescribed velocity after the Zou-He completion.
+  const auto rc = static_cast<std::int32_t>(std::ceil(6.0));
+  int checked = 0;
+  for (hemo::PointIndex i = 0; i < solver.size(); ++i) {
+    const hemo::Coord& c = lattice->coord(i);
+    if (c.z != 0) continue;
+    const double dx = c.x - (rc - 0.5), dy = c.y - (rc - 0.5);
+    if (std::sqrt(dx * dx + dy * dy) > 6.0 - 2.0) continue;  // interior only
+    const lbm::Moments m = solver.moments(i);
+    EXPECT_NEAR(m.uz, options.inlet_velocity, 1e-12);
+    EXPECT_NEAR(m.ux, 0.0, 1e-12);
+    EXPECT_NEAR(m.uy, 0.0, 1e-12);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(SolverPhysics, ZouHeOutletEnforcesDensityExactly) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(6.0, 20.0),
+                                             geom::CylinderEnds::kInletOutlet);
+  lbm::SolverOptions options;
+  options.tau = 0.8;
+  options.inlet_velocity = 0.02;
+  options.outlet_density = 1.0;
+  lbm::Solver solver(lattice, options);
+  solver.run(50);
+
+  const auto rc = static_cast<std::int32_t>(std::ceil(6.0));
+  const auto z_out = static_cast<std::int32_t>(20.0) - 1;
+  int checked = 0;
+  for (hemo::PointIndex i = 0; i < solver.size(); ++i) {
+    const hemo::Coord& c = lattice->coord(i);
+    if (c.z != z_out) continue;
+    const double dx = c.x - (rc - 0.5), dy = c.y - (rc - 0.5);
+    if (std::sqrt(dx * dx + dy * dy) > 6.0 - 2.0) continue;
+    EXPECT_NEAR(solver.moments(i).rho, 1.0, 1e-12);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(SolverPhysics, ChannelFlowReachesSteadyThroughflow) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(5.0, 30.0),
+                                             geom::CylinderEnds::kInletOutlet);
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.inlet_velocity = 0.01;
+  options.outlet_density = 1.0;
+  lbm::Solver solver(lattice, options);
+  // Development needs several advective transits (L/u = 3000 steps each).
+  solver.run(9000);
+
+  // Steady state: *mass* flux (rho u) through every axial slice is equal.
+  // Volume flux is not: the axial pressure (density) gradient that drives
+  // the flow makes u rise slightly as rho falls downstream.
+  auto slice_flux = [&](std::int32_t z) {
+    double flux = 0.0;
+    for (hemo::PointIndex i = 0; i < solver.size(); ++i)
+      if (lattice->coord(i).z == z) {
+        const lbm::Moments m = solver.moments(i);
+        flux += m.rho * m.uz;
+      }
+    return flux;
+  };
+  const double f5 = slice_flux(5);
+  const double f15 = slice_flux(15);
+  const double f25 = slice_flux(25);
+  ASSERT_GT(f5, 0.0);
+  EXPECT_NEAR(f15 / f5, 1.0, 0.02);
+  EXPECT_NEAR(f25 / f5, 1.0, 0.02);
+}
+
+TEST(SolverPhysics, StabilityGuardRejectsTauAtOrBelowHalf) {
+  auto lattice = geom::make_cylinder_lattice(small_cylinder(3.0, 3.0),
+                                             geom::CylinderEnds::kPeriodic);
+  lbm::SolverOptions options;
+  options.tau = 0.5;
+  EXPECT_DEATH(lbm::Solver(lattice, options), "Precondition");
+}

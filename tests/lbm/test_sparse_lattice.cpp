@@ -1,0 +1,125 @@
+// SparseLattice structural tests: adjacency correctness under pull-scheme
+// semantics, periodic wrapping, wall-link counting and point lookup.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lbm/sparse_lattice.hpp"
+
+namespace lbm = hemo::lbm;
+using hemo::Coord;
+
+namespace {
+
+std::vector<Coord> block(int nx, int ny, int nz) {
+  std::vector<Coord> coords;
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) coords.push_back({x, y, z});
+  return coords;
+}
+
+}  // namespace
+
+TEST(SparseLattice, FindLocatesEveryPoint) {
+  const lbm::SparseLattice lattice(block(3, 4, 5));
+  for (hemo::PointIndex i = 0; i < lattice.size(); ++i)
+    EXPECT_EQ(lattice.find(lattice.coord(i)), i);
+  EXPECT_EQ(lattice.find(Coord{-1, 0, 0}), hemo::kSolidNeighbor);
+  EXPECT_EQ(lattice.find(Coord{3, 0, 0}), hemo::kSolidNeighbor);
+}
+
+TEST(SparseLattice, PullAdjacencyPointsUpstream) {
+  const lbm::SparseLattice lattice(block(3, 3, 3));
+  // Interior point (1,1,1): neighbor in direction q must be at coord - c_q.
+  const hemo::PointIndex center = lattice.find(Coord{1, 1, 1});
+  ASSERT_NE(center, hemo::kSolidNeighbor);
+  for (int q = 0; q < lbm::kQ; ++q) {
+    const hemo::PointIndex up = lattice.neighbor(q, center);
+    ASSERT_NE(up, hemo::kSolidNeighbor) << "q=" << q;
+    const Coord expected = Coord{1, 1, 1} - lbm::velocity(q);
+    EXPECT_TRUE(lattice.coord(up) == expected);
+  }
+}
+
+TEST(SparseLattice, BoundaryPointsSeeSolidOutside) {
+  const lbm::SparseLattice lattice(block(3, 3, 3));
+  const hemo::PointIndex corner = lattice.find(Coord{0, 0, 0});
+  ASSERT_NE(corner, hemo::kSolidNeighbor);
+  // Direction q = 1 is (+1,0,0); its upstream is (-1,0,0): outside.
+  EXPECT_EQ(lattice.neighbor(1, corner), hemo::kSolidNeighbor);
+  // Direction q = 2 is (-1,0,0); its upstream is (1,0,0): inside.
+  EXPECT_NE(lattice.neighbor(2, corner), hemo::kSolidNeighbor);
+}
+
+TEST(SparseLattice, PeriodicWrapConnectsFaces) {
+  lbm::Periodicity per;
+  per.axis[2] = true;
+  per.period[2] = 5;
+  const lbm::SparseLattice lattice(block(3, 3, 5), per);
+  const hemo::PointIndex bottom = lattice.find(Coord{1, 1, 0});
+  // q = 5 is (0,0,1): upstream is (1,1,-1) which wraps to (1,1,4).
+  const hemo::PointIndex up = lattice.neighbor(5, bottom);
+  ASSERT_NE(up, hemo::kSolidNeighbor);
+  EXPECT_TRUE(lattice.coord(up) == (Coord{1, 1, 4}));
+}
+
+TEST(SparseLattice, FullyPeriodicBlockHasNoWallLinks) {
+  lbm::Periodicity per;
+  for (int a = 0; a < 3; ++a) {
+    per.axis[a] = true;
+    per.period[a] = 4;
+  }
+  const lbm::SparseLattice lattice(block(4, 4, 4), per);
+  EXPECT_EQ(lattice.wall_link_count(), 0);
+}
+
+TEST(SparseLattice, WallLinkCountMatchesHandCount) {
+  // A single point: all 18 non-rest directions hit solid.
+  const lbm::SparseLattice lattice({Coord{0, 0, 0}});
+  EXPECT_EQ(lattice.wall_link_count(), lbm::kQ - 1);
+}
+
+TEST(SparseLattice, BoundingBoxIsTight) {
+  const lbm::SparseLattice lattice(
+      {Coord{2, 3, 4}, Coord{5, 3, 4}, Coord{2, 7, 9}});
+  const hemo::Box box = lattice.bounding_box();
+  EXPECT_EQ(box.lo.x, 2);
+  EXPECT_EQ(box.lo.y, 3);
+  EXPECT_EQ(box.lo.z, 4);
+  EXPECT_EQ(box.hi.x, 6);
+  EXPECT_EQ(box.hi.y, 8);
+  EXPECT_EQ(box.hi.z, 10);
+}
+
+TEST(SparseLattice, NodeTypesDefaultToBulkAndAreSettable) {
+  lbm::SparseLattice lattice(block(2, 2, 2));
+  for (hemo::PointIndex i = 0; i < lattice.size(); ++i)
+    EXPECT_EQ(lattice.node_type(i), lbm::NodeType::kBulk);
+  lattice.set_node_type(0, lbm::NodeType::kVelocityInlet);
+  EXPECT_EQ(lattice.node_type(0), lbm::NodeType::kVelocityInlet);
+}
+
+class BlockAdjacencyCount
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockAdjacencyCount, WallLinksMatchSurfaceFormula) {
+  const auto [nx, ny, nz] = GetParam();
+  const lbm::SparseLattice lattice(block(nx, ny, nz));
+  // Count by brute force against find(): definitionally correct.
+  std::int64_t expected = 0;
+  for (hemo::PointIndex i = 0; i < lattice.size(); ++i)
+    for (int q = 0; q < lbm::kQ; ++q)
+      if (lattice.find(lattice.coord(i) - lbm::velocity(q)) ==
+          hemo::kSolidNeighbor)
+        ++expected;
+  EXPECT_EQ(lattice.wall_link_count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockAdjacencyCount,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(2, 2, 2),
+                                           std::make_tuple(4, 1, 1),
+                                           std::make_tuple(3, 4, 5),
+                                           std::make_tuple(6, 2, 3)));

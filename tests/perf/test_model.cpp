@@ -1,0 +1,141 @@
+// GPU performance model tests (Eqs. 1-4 of Section 6): the face-count
+// correction, the surface law, bandwidth-bound stream-collide time, and
+// qualitative properties of the prediction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/model.hpp"
+
+namespace perf = hemo::perf;
+namespace sys = hemo::sys;
+using sys::SystemId;
+
+namespace {
+
+perf::PerformanceModel polaris_model() {
+  return perf::PerformanceModel(sys::system_spec(SystemId::kPolaris));
+}
+
+}  // namespace
+
+class FaceCorrectionSweep
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(FaceCorrectionSweep, MatchesEquationFour) {
+  const auto [n_gpus, expected] = GetParam();
+  EXPECT_DOUBLE_EQ(polaris_model().face_correction(n_gpus), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, FaceCorrectionSweep,
+    ::testing::Values(std::make_pair(1, 0.0), std::make_pair(2, 2.0),
+                      std::make_pair(4, 4.0), std::make_pair(8, 6.0),
+                      std::make_pair(16, 8.0), std::make_pair(32, 10.0),
+                      std::make_pair(64, 12.0),
+                      // Saturation: w caps at 2 * 6 = 12 faces.
+                      std::make_pair(128, 12.0), std::make_pair(1024, 12.0),
+                      std::make_pair(4096, 12.0)));
+
+TEST(PerformanceModel, SurfaceFollowsVTwoThirds) {
+  const auto model = polaris_model();
+  const double s1 = model.communication_surface(1e6, 64);
+  const double s8 = model.communication_surface(8e6, 64);
+  EXPECT_NEAR(s8 / s1, 4.0, 1e-9);  // volume x8 => surface x4
+  EXPECT_NEAR(s1, 12.0 * std::pow(1e6, 2.0 / 3.0), 1e-6);
+}
+
+TEST(PerformanceModel, SingleDeviceHasNoCommunication) {
+  const auto p = polaris_model().predict(1e7, 1);
+  EXPECT_DOUBLE_EQ(p.t_comm_s, 0.0);
+  EXPECT_EQ(p.comm_events, 0);
+  EXPECT_DOUBLE_EQ(p.t_total_s, p.t_streamcollide_s);
+}
+
+TEST(PerformanceModel, StreamCollideTimeIsBytesOverBandwidth) {
+  // Eq. 1 with the asymptotic bandwidth: large per-device volume.
+  const auto model = polaris_model();
+  const auto p = model.predict(1e9, 1);
+  const double expected_seconds =
+      1e9 * model.params().bytes_per_point / (1.30e12);
+  // Within the BabelStream droop allowance (~2% at this working set).
+  EXPECT_NEAR(p.t_streamcollide_s, expected_seconds, 0.03 * expected_seconds);
+}
+
+TEST(PerformanceModel, MflupsIsPointsOverTime) {
+  const auto p = polaris_model().predict(5e7, 16);
+  EXPECT_NEAR(p.mflups, 5e7 / p.t_total_s / 1e6, 1e-6);
+}
+
+TEST(PerformanceModel, PredictionIsMonotoneInBandwidth) {
+  sys::SystemSpec fast = sys::system_spec(SystemId::kSummit);
+  sys::SystemSpec faster = fast;
+  faster.mem_bandwidth_tbs *= 2.0;
+  const auto slow_p = perf::PerformanceModel(fast).predict(1e8, 8);
+  const auto fast_p = perf::PerformanceModel(faster).predict(1e8, 8);
+  EXPECT_GT(fast_p.mflups, slow_p.mflups);
+}
+
+TEST(PerformanceModel, MoreDevicesMeansMoreAggregateThroughput) {
+  const auto model = polaris_model();
+  double prev = 0.0;
+  for (int gpus : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto p = model.predict(1e9, gpus);
+    EXPECT_GT(p.mflups, prev) << gpus;
+    prev = p.mflups;
+  }
+}
+
+TEST(PerformanceModel, StrongScalingEfficiencyDegrades) {
+  // Per-device throughput falls as communication grows: MFLUPS at 64
+  // devices is less than 32x the 2-device value.
+  const auto model = polaris_model();
+  const double m2 = model.predict(1e9, 2).mflups;
+  const double m64 = model.predict(1e9, 64).mflups;
+  EXPECT_LT(m64, 32.0 * m2);
+  EXPECT_GT(m64, 8.0 * m2);  // but not catastrophically
+}
+
+TEST(PerformanceModel, CommTimeGrowsWithDeviceCountAtFixedProblem) {
+  const auto model = polaris_model();
+  // More devices: more faces (until saturation) but smaller per-face
+  // messages; the per-iteration comm *fraction* must rise because compute
+  // shrinks faster (V vs V^(2/3)).
+  const auto p8 = model.predict(1e9, 8);
+  const auto p512 = model.predict(1e9, 512);
+  EXPECT_GT(p512.t_comm_s / p512.t_total_s, p8.t_comm_s / p8.t_total_s);
+}
+
+TEST(PerformanceModel, HigherBandwidthSystemPredictsHigherMflups) {
+  // Predictions track Table 1 bandwidth: Polaris (1.30) > Crusher (1.28)
+  // > Sunspot (0.997) > Summit (0.770) for a single device.
+  auto mflups = [](SystemId id) {
+    return perf::PerformanceModel(sys::system_spec(id)).predict(1e8, 1).mflups;
+  };
+  EXPECT_GT(mflups(SystemId::kPolaris), mflups(SystemId::kCrusher));
+  EXPECT_GT(mflups(SystemId::kCrusher), mflups(SystemId::kSunspot));
+  EXPECT_GT(mflups(SystemId::kSunspot), mflups(SystemId::kSummit));
+}
+
+TEST(PerformanceModel, CrusherPredictedAtOrAbovePolarisAtScale) {
+  // Section 9.1: "our performance model suggests that native HIP on
+  // Crusher would perform at about the same or slightly better than CUDA
+  // on Polaris" over the full range of device counts (Crusher's fatter
+  // interconnect compensates its marginally lower bandwidth).
+  const auto crusher =
+      perf::PerformanceModel(sys::system_spec(SystemId::kCrusher));
+  const auto polaris =
+      perf::PerformanceModel(sys::system_spec(SystemId::kPolaris));
+  for (int gpus : {64, 128, 256, 512, 1024}) {
+    const double c = crusher.predict(2e9, gpus).mflups;
+    const double p = polaris.predict(2e9, gpus).mflups;
+    EXPECT_GT(c, 0.95 * p) << gpus;
+  }
+}
+
+TEST(PerformanceModel, RejectsNonPositiveInputs) {
+  const auto model = polaris_model();
+  EXPECT_DEATH(model.predict(0.0, 4), "Precondition");
+  EXPECT_DEATH(model.predict(1e6, 0), "Precondition");
+}

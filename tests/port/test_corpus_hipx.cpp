@@ -1,0 +1,6 @@
+// Functional test of the hipx corpus: the port must produce the same
+// physics as every other dialect's port.
+
+#include "common.h"
+
+#include "corpus_run_test.inc"

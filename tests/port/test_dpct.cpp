@@ -1,0 +1,163 @@
+// Mini-DPCT tests: per-rule translation behaviour, the Table 2 warning
+// census over the corpus, and the Table 3 manual-line count against the
+// checked-in (hand-fixed) syclx corpus.
+
+#include <gtest/gtest.h>
+
+#include "port/corpus.hpp"
+#include "port/dpct.hpp"
+#include "port/loc.hpp"
+
+namespace port = hemo::port;
+using port::WarningCategory;
+
+TEST(Dpct, MapsMemoryApiOntoDpctx) {
+  const auto r = port::dpct_translate(
+      "cudaxMalloc(&p, n);\ncudaxFree(p);\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::malloc_device(&p, n);"), std::string::npos);
+  EXPECT_NE(r.output.find("dpctx::free(p);"), std::string::npos);
+}
+
+TEST(Dpct, MapsMemcpyKindsToDirections) {
+  const auto r = port::dpct_translate(
+      "cudaxMemcpy(a, b, n, cudaxMemcpyHostToDevice);\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::memcpy(a, b, n, dpctx::host_to_device);"),
+            std::string::npos);
+}
+
+TEST(Dpct, RewritesErrorCheckMacroAndWarns) {
+  const std::string source =
+      "#define CUDAX_CHECK(expr) \\\n  do { (void)(expr); } while (0)\n";
+  const auto r = port::dpct_translate(source, "check.h");
+  EXPECT_NE(r.output.find("#define DPCTX_CHECK(expr)"), std::string::npos);
+  EXPECT_EQ(r.output.find("CUDAX_CHECK"), std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].category, WarningCategory::kErrorHandling);
+}
+
+TEST(Dpct, WarnsOnEveryErrorCheckedCall) {
+  const auto r = port::dpct_translate(
+      "CUDAX_CHECK(cudaxDeviceSynchronize());\n"
+      "CUDAX_CHECK(cudaxGetLastError());\n",
+      "t.cpp");
+  const auto hist = port::warning_histogram(r.warnings);
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kErrorHandling)], 2);
+}
+
+TEST(Dpct, LaunchBecomesParallelForWithWarning) {
+  const auto r = port::dpct_translate(
+      "cudaxLaunchKernel(grid_dim, block_dim, kernel);\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::parallel_for(grid_dim, block_dim, kernel);"),
+            std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].category, WarningCategory::kKernelInvocation);
+}
+
+TEST(Dpct, UnsupportedFeatureIsRemovedWithBreadcrumb) {
+  const auto r = port::dpct_translate(
+      "  cudaxDeviceSetLimit(cudaxLimitMallocHeapSize, 1024);\n", "t.cpp");
+  // The call survives only inside the breadcrumb comment.
+  EXPECT_NE(
+      r.output.find("/* DPCTX1007 removed: cudaxDeviceSetLimit("),
+      std::string::npos);
+  EXPECT_EQ(r.output.find("\n  cudaxDeviceSetLimit("), std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].category, WarningCategory::kUnsupportedFeature);
+}
+
+TEST(Dpct, TrigIntrinsicGetsFunctionalEquivalenceWarning) {
+  const auto r = port::dpct_translate(
+      "const double s = sincospi(phase, &c);\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::sincospi(phase, &c)"), std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].category, WarningCategory::kFunctionalEquivalence);
+}
+
+TEST(Dpct, PrefetchGetsPerformanceWarning) {
+  const auto r = port::dpct_translate(
+      "cudaxMemPrefetchAsync(field, bytes, 0, 0);\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::prefetch(field, bytes, 0, 0);"),
+            std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].category,
+            WarningCategory::kPerformanceImprovement);
+}
+
+TEST(Dpct, UninitializedDim3BecomesInvalidRangeDeclaration) {
+  // The deliberate imperfection behind Table 3's manual DPCT lines:
+  // dpctx::range has no default constructor, so this output does not
+  // compile until a human initializes it.
+  const auto r = port::dpct_translate("  dim3x grid_dim;\n", "t.cpp");
+  EXPECT_NE(r.output.find("dpctx::range grid_dim;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: the warning census over the full 28-file corpus.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<int> corpus_histogram() {
+  std::vector<port::Warning> all;
+  for (const std::string& name : port::corpus_files()) {
+    const auto r = port::dpct_translate(
+        port::read_corpus_file(port::CorpusDialect::kCudax, name), name);
+    all.insert(all.end(), r.warnings.begin(), r.warnings.end());
+  }
+  return port::warning_histogram(all);
+}
+
+}  // namespace
+
+TEST(DpctTable2, WarningCensusMatchesThePaperExactly) {
+  const std::vector<int> hist = corpus_histogram();
+  const int total = hist[0] + hist[1] + hist[2] + hist[3] + hist[4];
+  EXPECT_EQ(total, 133);  // "generating 133 warning messages"
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kErrorHandling)], 107);
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kUnsupportedFeature)], 3);
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kFunctionalEquivalence)],
+            1);
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kKernelInvocation)], 20);
+  EXPECT_EQ(hist[static_cast<int>(WarningCategory::kPerformanceImprovement)],
+            2);
+}
+
+TEST(DpctTable2, PercentagesMatchThePaper) {
+  const std::vector<int> hist = corpus_histogram();
+  const double total = 133.0;
+  EXPECT_NEAR(hist[static_cast<int>(WarningCategory::kErrorHandling)] /
+                  total * 100.0,
+              80.45, 0.01);
+  EXPECT_NEAR(hist[static_cast<int>(WarningCategory::kKernelInvocation)] /
+                  total * 100.0,
+              15.04, 0.01);
+  EXPECT_NEAR(hist[static_cast<int>(WarningCategory::kUnsupportedFeature)] /
+                  total * 100.0,
+              2.26, 0.01);
+  EXPECT_NEAR(
+      hist[static_cast<int>(WarningCategory::kPerformanceImprovement)] /
+          total * 100.0,
+      1.50, 0.01);
+  EXPECT_NEAR(
+      hist[static_cast<int>(WarningCategory::kFunctionalEquivalence)] /
+          total * 100.0,
+      0.75, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: manual lines for the DPCT port.
+// ---------------------------------------------------------------------------
+
+TEST(DpctTable3, ManualFixesAreExactly27ChangedLines) {
+  port::LocDelta manual;
+  for (const std::string& name : port::corpus_files()) {
+    const auto tool = port::dpct_translate(
+        port::read_corpus_file(port::CorpusDialect::kCudax, name), name);
+    const std::string shipped =
+        port::read_corpus_file(port::CorpusDialect::kSyclx, name);
+    manual += port::loc_diff(tool.output, shipped);
+  }
+  EXPECT_EQ(manual.added, 0);
+  EXPECT_EQ(manual.changed, 27);  // the dim3/range zero-initializations
+  EXPECT_EQ(manual.removed, 0);
+}

@@ -1,0 +1,77 @@
+// Mini-HIPify tests: prefix-aware rewriting, idempotence, and — the
+// paper's Table 3 headline for HIPify — the property that the tool output
+// IS the working HIP port, byte for byte, with zero manual lines.
+
+#include <gtest/gtest.h>
+
+#include "port/corpus.hpp"
+#include "port/hipify.hpp"
+#include "port/loc.hpp"
+
+namespace port = hemo::port;
+
+TEST(Hipify, RewritesApiPrefixes) {
+  const auto r = port::hipify("cudaxMalloc(&p, n); cudaxFree(p);");
+  EXPECT_EQ(r.output, "hipxMalloc(&p, n); hipxFree(p);");
+  EXPECT_EQ(r.lines_touched, 1);
+}
+
+TEST(Hipify, RewritesIncludeAndCheckMacro) {
+  const auto r = port::hipify(
+      "#include \"hal/cudax.hpp\"\nCUDAX_CHECK(cudaxDeviceSynchronize());\n");
+  EXPECT_EQ(r.output,
+            "#include \"hal/hipx.hpp\"\nHIPX_CHECK(hipxDeviceSynchronize());\n");
+  EXPECT_EQ(r.lines_touched, 2);
+}
+
+TEST(Hipify, LeavesNonIdentifierPrefixMatchesAlone) {
+  // "mycudaxThing" does not start the identifier with "cudax".
+  const auto r = port::hipify("int mycudaxThing = 0;");
+  EXPECT_EQ(r.output, "int mycudaxThing = 0;");
+  EXPECT_EQ(r.lines_touched, 0);
+}
+
+TEST(Hipify, LeavesDim3AndKernelBodiesAlone) {
+  const auto r = port::hipify("dim3x grid_dim;\ndouble x = sincospi(p, &c);\n");
+  EXPECT_EQ(r.output, "dim3x grid_dim;\ndouble x = sincospi(p, &c);\n");
+}
+
+TEST(Hipify, IsIdempotent) {
+  const std::string source =
+      port::read_corpus_file(port::CorpusDialect::kCudax, "memory.cpp");
+  const auto once = port::hipify(source);
+  const auto twice = port::hipify(once.output);
+  EXPECT_EQ(once.output, twice.output);
+  EXPECT_EQ(twice.lines_touched, 0);
+}
+
+TEST(Hipify, OutputContainsNoCudaIdentifiers) {
+  for (const std::string& name : port::corpus_files()) {
+    const auto r = port::hipify(
+        port::read_corpus_file(port::CorpusDialect::kCudax, name));
+    EXPECT_EQ(r.output.find("cudax"), std::string::npos) << name;
+    EXPECT_EQ(r.output.find("CUDAX_"), std::string::npos) << name;
+  }
+}
+
+TEST(Hipify, CheckedInHipCorpusIsExactlyTheToolOutput) {
+  // Table 3, HIPify row: 0 lines added, 0 lines changed by hand.  The
+  // shipped (and compiled!) hipx corpus must equal the translation of the
+  // cudax corpus byte for byte.
+  for (const std::string& name : port::corpus_files()) {
+    const auto tool = port::hipify(
+        port::read_corpus_file(port::CorpusDialect::kCudax, name));
+    const std::string shipped =
+        port::read_corpus_file(port::CorpusDialect::kHipx, name);
+    EXPECT_EQ(tool.output, shipped) << name;
+    const port::LocDelta manual = port::loc_diff(tool.output, shipped);
+    EXPECT_EQ(manual.added, 0) << name;
+    EXPECT_EQ(manual.changed, 0) << name;
+  }
+}
+
+TEST(Hipify, CorpusHasTwentyEightFiles) {
+  // The paper: "DPCT processed 28 source code files"; the same corpus
+  // feeds both tools.
+  EXPECT_EQ(port::corpus_files().size(), 28u);
+}

@@ -1,0 +1,74 @@
+// LoC diff/count unit tests for the Table 3 accounting.
+
+#include <gtest/gtest.h>
+
+#include "port/loc.hpp"
+
+namespace port = hemo::port;
+
+TEST(LocDiff, IdenticalTextsHaveNoDelta) {
+  const std::string text = "a\nb\nc\n";
+  const port::LocDelta d = port::loc_diff(text, text);
+  EXPECT_EQ(d.added, 0);
+  EXPECT_EQ(d.changed, 0);
+  EXPECT_EQ(d.removed, 0);
+}
+
+TEST(LocDiff, PureAddition) {
+  const port::LocDelta d = port::loc_diff("a\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(d.added, 1);
+  EXPECT_EQ(d.changed, 0);
+  EXPECT_EQ(d.removed, 0);
+}
+
+TEST(LocDiff, PureRemoval) {
+  const port::LocDelta d = port::loc_diff("a\nb\nc\n", "a\nc\n");
+  EXPECT_EQ(d.added, 0);
+  EXPECT_EQ(d.changed, 0);
+  EXPECT_EQ(d.removed, 1);
+}
+
+TEST(LocDiff, SingleLineEditCountsAsChanged) {
+  const port::LocDelta d = port::loc_diff("a\nb\nc\n", "a\nB\nc\n");
+  EXPECT_EQ(d.added, 0);
+  EXPECT_EQ(d.changed, 1);
+  EXPECT_EQ(d.removed, 0);
+}
+
+TEST(LocDiff, MixedRegionPairsChangesFirst) {
+  // Two old lines replaced by three new ones: 2 changed + 1 added.
+  const port::LocDelta d =
+      port::loc_diff("keep\nx\ny\nkeep2\n", "keep\n1\n2\n3\nkeep2\n");
+  EXPECT_EQ(d.changed, 2);
+  EXPECT_EQ(d.added, 1);
+  EXPECT_EQ(d.removed, 0);
+}
+
+TEST(LocDiff, DisjointRegionsAccumulate) {
+  const port::LocDelta d =
+      port::loc_diff("a\nb\nc\nd\n", "A\nb\nc\nD\nE\n");
+  EXPECT_EQ(d.changed, 2);  // a->A and d->D
+  EXPECT_EQ(d.added, 1);    // E
+  EXPECT_EQ(d.removed, 0);
+}
+
+TEST(LocDiff, EmptyInputs) {
+  EXPECT_EQ(port::loc_diff("", "").added, 0);
+  const port::LocDelta d = port::loc_diff("", "x\ny\n");
+  EXPECT_EQ(d.added, 2);
+  const port::LocDelta r = port::loc_diff("x\ny\n", "");
+  EXPECT_EQ(r.removed, 2);
+}
+
+TEST(CountSloc, SkipsBlanksAndCommentOnlyLines) {
+  const std::string text =
+      "// header comment\n"
+      "\n"
+      "int x = 1;  // trailing comment counts as code\n"
+      "   \t\n"
+      "// another\n"
+      "return x;\n";
+  EXPECT_EQ(port::count_sloc(text), 2);
+}
+
+TEST(CountSloc, EmptyTextIsZero) { EXPECT_EQ(port::count_sloc(""), 0); }

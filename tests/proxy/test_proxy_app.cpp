@@ -1,0 +1,86 @@
+// Proxy application tests: geometry parameterisation, perfect slab
+// balance, MFLUPS accounting, flux development, and host-dialect parity.
+
+#include <gtest/gtest.h>
+
+#include "proxy/proxy_app.hpp"
+
+namespace proxy = hemo::proxy;
+namespace hal = hemo::hal;
+
+namespace {
+
+proxy::ProxyConfig small_config(int ranks = 1) {
+  proxy::ProxyConfig c;
+  c.scale = 0.5;  // length 42, radius 4: fast tests
+  c.ranks = ranks;
+  return c;
+}
+
+}  // namespace
+
+TEST(ProxyApp, GeometryFollowsThePaperParameterisation) {
+  proxy::ProxyApp app(small_config());
+  const hemo::Box box = app.lattice().bounding_box();
+  EXPECT_EQ(box.extent(2), 42);  // 84 * 0.5
+  // Radius 4: the cross-section fits in an 8x8 square.
+  EXPECT_LE(box.extent(0), 8);
+  EXPECT_LE(box.extent(1), 8);
+}
+
+TEST(ProxyApp, MflupsAccountingIsPointsTimesStepsOverSeconds) {
+  proxy::ProxyApp app(small_config());
+  const proxy::ProxyMeasurement m = app.run(5);
+  EXPECT_EQ(m.steps, 5);
+  EXPECT_EQ(m.fluid_points, app.fluid_points());
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_NEAR(m.mflups,
+              static_cast<double>(m.fluid_points) * m.steps / m.seconds / 1e6,
+              1e-9 * m.mflups);
+}
+
+TEST(ProxyApp, MultiRankRunMatchesSingleRank) {
+  proxy::ProxyApp single(small_config(1));
+  proxy::ProxyApp multi(small_config(4));
+  single.run(30);
+  multi.run(30);
+  // Identical physics regardless of decomposition.
+  EXPECT_DOUBLE_EQ(single.mean_axial_velocity(21),
+                   multi.mean_axial_velocity(21));
+}
+
+TEST(ProxyApp, ChannelFlowDevelopsTowardTheInletFlux) {
+  proxy::ProxyConfig c = small_config();
+  c.inlet_velocity = 0.02;
+  proxy::ProxyApp app(c);
+  app.run(2500);
+  // Mass conservation: the developed mid-channel mean axial velocity
+  // matches the prescribed inlet plug, up to the slight downstream
+  // acceleration from the axial density (pressure) gradient that drives
+  // the weakly compressible LBM flow.
+  EXPECT_NEAR(app.mean_axial_velocity(21), c.inlet_velocity,
+              0.12 * c.inlet_velocity);
+  EXPECT_GT(app.mean_axial_velocity(21), c.inlet_velocity);
+}
+
+TEST(ProxyApp, ExpectedPeakVelocityIsTwiceTheMean) {
+  proxy::ProxyConfig c = small_config();
+  c.inlet_velocity = 0.015;
+  proxy::ProxyApp app(c);
+  EXPECT_DOUBLE_EQ(app.expected_peak_velocity(), 0.03);
+}
+
+TEST(ProxyApp, DialectRunsProduceConsistentThroughput) {
+  proxy::ProxyApp app(small_config());
+  const auto cuda = app.run_on_model(hal::Model::kCuda, 5);
+  const auto sycl = app.run_on_model(hal::Model::kSycl, 5);
+  EXPECT_GT(cuda.mflups, 0.0);
+  EXPECT_GT(sycl.mflups, 0.0);
+  EXPECT_EQ(cuda.fluid_points, sycl.fluid_points);
+}
+
+TEST(ProxyApp, RejectsInvalidConfiguration) {
+  proxy::ProxyConfig c = small_config();
+  c.ranks = 0;
+  EXPECT_DEATH(proxy::ProxyApp{c}, "Precondition");
+}

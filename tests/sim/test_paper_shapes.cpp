@@ -1,0 +1,359 @@
+// Regression suite for the paper's qualitative findings (Section 9): the
+// calibrated simulator must reproduce every relationship the paper
+// reports — who wins, where the crossovers fall, how the runtime is
+// composed.  These tests pin the calibration in hemo::sim::profiles so
+// future changes cannot silently break the reproduction.
+//
+// Schedule indices (piecewise_schedule(1024)):
+//   0:2  1:4  2:8  3:16(x1)  4:16(x2)  5:32  6:64  7:128(x2)
+//   8:128(x4)  9:256  10:512  11:1024      (Sunspot ends at index 9)
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sim = hemo::sim;
+namespace sys = hemo::sys;
+namespace hal = hemo::hal;
+using sim::App;
+using sys::SystemId;
+
+namespace {
+
+struct Series {
+  std::vector<sim::SimPoint> pts;
+  double at(std::size_t k) const { return pts.at(k).mflups; }
+  double comm_share(std::size_t k) const {
+    const sim::Composition& c = pts.at(k).worst_rank;
+    return c.comm_s / c.total_s();
+  }
+};
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cylinder_ = new sim::Workload(
+        sim::Workload::cylinder(sim::DecompositionKind::kBisection));
+    aorta_ = new sim::Workload(sim::Workload::aorta());
+  }
+  static void TearDownTestSuite() {
+    delete cylinder_;
+    delete aorta_;
+    cylinder_ = nullptr;
+    aorta_ = nullptr;
+  }
+
+  static Series run(SystemId id, hal::Model m, App app, sim::Workload& w) {
+    sim::ClusterSimulator cs(id, m, app);
+    Series s;
+    for (const auto& sp :
+         sys::piecewise_schedule(sys::system_spec(id).max_devices))
+      s.pts.push_back(cs.simulate(w, sp.devices, sp.size_multiplier));
+    return s;
+  }
+
+  static Series native_harvey(SystemId id, sim::Workload& w) {
+    return run(id, sys::system_spec(id).native_model, App::kHarvey, w);
+  }
+  static Series native_proxy(SystemId id, sim::Workload& w) {
+    return run(id, sys::system_spec(id).native_model, App::kProxy, w);
+  }
+
+  static sim::Workload& cylinder() { return *cylinder_; }
+  static sim::Workload& aorta() { return *aorta_; }
+
+ private:
+  static sim::Workload* cylinder_;
+  static sim::Workload* aorta_;
+};
+
+sim::Workload* PaperShapes::cylinder_ = nullptr;
+sim::Workload* PaperShapes::aorta_ = nullptr;
+
+}  // namespace
+
+// Section 9.1: "the HIP implementation of HARVEY performed worse than the
+// other programming models for small numbers of GPUs (< 8 GPUs)".
+TEST_F(PaperShapes, CrusherHarveyWorstAtSmallDeviceCounts) {
+  for (sim::Workload* w : {&cylinder(), &aorta()}) {
+    const Series crusher = native_harvey(SystemId::kCrusher, *w);
+    const Series summit = native_harvey(SystemId::kSummit, *w);
+    const Series polaris = native_harvey(SystemId::kPolaris, *w);
+    const Series sunspot = native_harvey(SystemId::kSunspot, *w);
+    for (std::size_t k : {0u, 1u}) {  // 2 and 4 devices
+      EXPECT_LT(crusher.at(k), summit.at(k)) << w->name() << " idx " << k;
+      EXPECT_LT(crusher.at(k), polaris.at(k)) << w->name() << " idx " << k;
+      EXPECT_LT(crusher.at(k), sunspot.at(k)) << w->name() << " idx " << k;
+    }
+  }
+}
+
+// Section 9.1: HIP "became competitive for multi-node runs, particularly
+// beginning at about 64 GPUs, at which point it generally outperforms the
+// native HARVEY implementations on Summit and Sunspot".
+TEST_F(PaperShapes, CrusherHarveyOvertakesSummitAndSunspotBy64) {
+  for (sim::Workload* w : {&cylinder(), &aorta()}) {
+    const Series crusher = native_harvey(SystemId::kCrusher, *w);
+    const Series summit = native_harvey(SystemId::kSummit, *w);
+    const Series sunspot = native_harvey(SystemId::kSunspot, *w);
+    for (std::size_t k : {6u, 7u}) {  // 64 and 128 devices
+      EXPECT_GT(crusher.at(k), summit.at(k)) << w->name() << " idx " << k;
+      EXPECT_GT(crusher.at(k), sunspot.at(k)) << w->name() << " idx " << k;
+    }
+  }
+}
+
+// Section 9.1 / Fig. 4: "the HIP version of HARVEY running on Crusher's
+// MI250X begins to outperform the A100 on Polaris starting at 512 GPUs"
+// (aorta workload).
+TEST_F(PaperShapes, AortaCrusherPolarisCrossoverAt512) {
+  const Series crusher = native_harvey(SystemId::kCrusher, aorta());
+  const Series polaris = native_harvey(SystemId::kPolaris, aorta());
+  EXPECT_GT(polaris.at(6), crusher.at(6));   // 64: Polaris ahead
+  EXPECT_GT(polaris.at(9), crusher.at(9));   // 256: Polaris ahead
+  EXPECT_GT(crusher.at(10), polaris.at(10)); // 512: Crusher overtakes
+  EXPECT_GT(crusher.at(11), polaris.at(11)); // 1024: stays ahead
+}
+
+// Section 9.1: "the [HIP] proxy app... performance is consistently better
+// than the other native programming models except where the CUDA proxy
+// app on A100 is concerned.  However, the HIP proxy app appears to edge
+// out the CUDA proxy app on A100 near the 1024 GPU count."
+TEST_F(PaperShapes, ProxyCrusherBeatsAllButPolarisUntil1024) {
+  const Series crusher = native_proxy(SystemId::kCrusher, cylinder());
+  const Series summit = native_proxy(SystemId::kSummit, cylinder());
+  const Series polaris = native_proxy(SystemId::kPolaris, cylinder());
+  const Series sunspot = native_proxy(SystemId::kSunspot, cylinder());
+  for (std::size_t k = 0; k < crusher.pts.size(); ++k) {
+    EXPECT_GT(crusher.at(k), summit.at(k)) << k;
+    if (k < sunspot.pts.size()) EXPECT_GT(crusher.at(k), sunspot.at(k)) << k;
+  }
+  EXPECT_GT(polaris.at(7), crusher.at(7));             // 128: A100 ahead
+  EXPECT_GT(polaris.at(9), crusher.at(9));             // 256: A100 ahead
+  EXPECT_GE(crusher.at(11), 0.95 * polaris.at(11));    // ~1024: edges out
+}
+
+// Section 9.1: "the LBM proxy application consistently outperforms
+// HARVEY, with a speedup of approximately 2 on average" (cylinder).
+TEST_F(PaperShapes, ProxyIsRoughlyTwiceHarveyOnTheCylinder) {
+  for (SystemId id : {SystemId::kSummit, SystemId::kPolaris,
+                      SystemId::kCrusher, SystemId::kSunspot}) {
+    const Series proxy = native_proxy(id, cylinder());
+    const Series harvey = native_harvey(id, cylinder());
+    double ratio_sum = 0.0;
+    for (std::size_t k = 0; k < proxy.pts.size(); ++k) {
+      EXPECT_GT(proxy.at(k), harvey.at(k))
+          << sys::system_spec(id).name << " idx " << k;
+      ratio_sum += proxy.at(k) / harvey.at(k);
+    }
+    const double mean_ratio = ratio_sum / proxy.pts.size();
+    EXPECT_GT(mean_ratio, 1.4) << sys::system_spec(id).name;
+    EXPECT_LT(mean_ratio, 3.2) << sys::system_spec(id).name;
+  }
+}
+
+// Section 9.1: "the native SYCL implementation of HARVEY running on
+// Sunspot PVC weak scales most efficiently, taken from the large jump
+// discontinuities at each of the weak scaling points (i.e., at 16 and 128
+// GPU counts)".
+TEST_F(PaperShapes, SunspotShowsTheLargestWeakScalingJumps) {
+  auto jump16 = [&](SystemId id) {
+    const Series s = native_harvey(id, cylinder());
+    return s.at(4) / s.at(3);
+  };
+  const double sunspot = jump16(SystemId::kSunspot);
+  EXPECT_GT(sunspot, jump16(SystemId::kSummit));
+  EXPECT_GT(sunspot, jump16(SystemId::kPolaris));
+  EXPECT_GT(sunspot, jump16(SystemId::kCrusher));
+  EXPECT_GT(sunspot, 1.15);  // a visible discontinuity
+}
+
+// Section 9.2 (Sunspot): "the Kokkos-SYCL implementations outperform the
+// corresponding native SYCL codes nearly across the board".
+TEST_F(PaperShapes, KokkosSyclBeatsNativeSyclOnSunspot) {
+  const Series native = native_harvey(SystemId::kSunspot, aorta());
+  const Series kokkos =
+      run(SystemId::kSunspot, hal::Model::kKokkosSycl, App::kHarvey, aorta());
+  int wins = 0;
+  for (std::size_t k = 0; k < native.pts.size(); ++k)
+    if (kokkos.at(k) > native.at(k)) ++wins;
+  EXPECT_GE(wins, static_cast<int>(native.pts.size()) - 1);
+}
+
+// Section 9.2 (Sunspot): "the HIP proxy app performs the worst among all
+// programming models considered for the platform" (chipStar).
+TEST_F(PaperShapes, ChipStarProxyIsWorstOnSunspot) {
+  const Series hip =
+      run(SystemId::kSunspot, hal::Model::kHip, App::kProxy, cylinder());
+  const Series sycl =
+      run(SystemId::kSunspot, hal::Model::kSycl, App::kProxy, cylinder());
+  const Series kokkos = run(SystemId::kSunspot, hal::Model::kKokkosSycl,
+                            App::kProxy, cylinder());
+  for (std::size_t k = 0; k < hip.pts.size(); ++k) {
+    EXPECT_LT(hip.at(k), sycl.at(k)) << k;
+    EXPECT_LT(hip.at(k), kokkos.at(k)) << k;
+  }
+}
+
+// Section 9.2 (Summit): "the performance of the HIP proxy app with CUDA
+// backend is on par with the native CUDA proxy app... with the lines
+// nearly completely overlapping", while "HARVEY HIP generally lags behind
+// native HARVEY CUDA, with a notable exception at the lowest task count".
+TEST_F(PaperShapes, SummitHipProxyOverlapsCudaButHarveyLagsExceptAtStart) {
+  const Series proxy_hip =
+      run(SystemId::kSummit, hal::Model::kHip, App::kProxy, cylinder());
+  const Series proxy_cuda = native_proxy(SystemId::kSummit, cylinder());
+  for (std::size_t k = 0; k < proxy_hip.pts.size(); ++k)
+    EXPECT_NEAR(proxy_hip.at(k) / proxy_cuda.at(k), 1.0, 0.12) << k;
+
+  const Series harvey_hip =
+      run(SystemId::kSummit, hal::Model::kHip, App::kHarvey, aorta());
+  const Series harvey_cuda = native_harvey(SystemId::kSummit, aorta());
+  EXPECT_GT(harvey_hip.at(0), harvey_cuda.at(0));  // wins at 2 devices
+  int lags = 0;
+  for (std::size_t k = 4; k < harvey_hip.pts.size(); ++k)
+    if (harvey_hip.at(k) < harvey_cuda.at(k)) ++lags;
+  EXPECT_GE(lags, 6);  // generally behind at scale
+}
+
+// Section 9.2 (Summit): "it is interesting to see Kokkos-OpenACC
+// consistently outperform Kokkos-CUDA irrespective of performance
+// measure".
+TEST_F(PaperShapes, KokkosOpenAccBeatsKokkosCudaOnSummit) {
+  for (App app : {App::kProxy, App::kHarvey}) {
+    const Series acc = run(SystemId::kSummit, hal::Model::kKokkosOpenAcc,
+                           app, cylinder());
+    const Series cuda =
+        run(SystemId::kSummit, hal::Model::kKokkosCuda, app, cylinder());
+    for (std::size_t k = 0; k < acc.pts.size(); ++k)
+      EXPECT_GT(acc.at(k), cuda.at(k)) << k;
+  }
+}
+
+// Section 9.2 (Polaris): "the SYCL implementations generally outperform
+// the other non-native languages, and closely match or even exceed native
+// CUDA performance (at the 1024 GPU count)".
+TEST_F(PaperShapes, PolarisSyclTracksAndFinallyExceedsCuda) {
+  const Series sycl =
+      run(SystemId::kPolaris, hal::Model::kSycl, App::kHarvey, cylinder());
+  const Series cuda = native_harvey(SystemId::kPolaris, cylinder());
+  const Series kcuda = run(SystemId::kPolaris, hal::Model::kKokkosCuda,
+                           App::kHarvey, cylinder());
+  const Series kacc = run(SystemId::kPolaris, hal::Model::kKokkosOpenAcc,
+                          App::kHarvey, cylinder());
+  for (std::size_t k = 0; k < sycl.pts.size(); ++k) {
+    EXPECT_GT(sycl.at(k), 0.85 * cuda.at(k)) << k;  // closely matches
+    EXPECT_GT(sycl.at(k), kcuda.at(k)) << k;        // beats other non-native
+    EXPECT_GT(sycl.at(k), kacc.at(k)) << k;
+  }
+  EXPECT_GT(sycl.at(11), cuda.at(11));  // exceeds at 1024
+}
+
+// Section 9.2 (Polaris): proxy Kokkos ordering (Kokkos-CUDA ~
+// Kokkos-OpenACC, Kokkos-SYCL worst) versus HARVEY ordering (Kokkos-CUDA
+// ~ Kokkos-SYCL, Kokkos-OpenACC worst).
+TEST_F(PaperShapes, PolarisKokkosOrderingFlipsBetweenProxyAndHarvey) {
+  const Series pk_cuda = run(SystemId::kPolaris, hal::Model::kKokkosCuda,
+                             App::kProxy, cylinder());
+  const Series pk_sycl = run(SystemId::kPolaris, hal::Model::kKokkosSycl,
+                             App::kProxy, cylinder());
+  const Series pk_acc = run(SystemId::kPolaris, hal::Model::kKokkosOpenAcc,
+                            App::kProxy, cylinder());
+  for (std::size_t k = 0; k < pk_cuda.pts.size(); ++k) {
+    EXPECT_LT(pk_sycl.at(k), pk_cuda.at(k)) << k;  // proxy: K-SYCL worst
+    EXPECT_LT(pk_sycl.at(k), pk_acc.at(k)) << k;
+    EXPECT_NEAR(pk_acc.at(k) / pk_cuda.at(k), 1.0, 0.15) << k;  // on par
+  }
+
+  const Series hk_cuda = run(SystemId::kPolaris, hal::Model::kKokkosCuda,
+                             App::kHarvey, aorta());
+  const Series hk_sycl = run(SystemId::kPolaris, hal::Model::kKokkosSycl,
+                             App::kHarvey, aorta());
+  const Series hk_acc = run(SystemId::kPolaris, hal::Model::kKokkosOpenAcc,
+                            App::kHarvey, aorta());
+  for (std::size_t k = 0; k < hk_cuda.pts.size(); ++k) {
+    EXPECT_NEAR(hk_sycl.at(k) / hk_cuda.at(k), 1.0, 0.15) << k;  // parity
+    EXPECT_LT(hk_acc.at(k), hk_sycl.at(k)) << k;  // HARVEY: K-OpenACC worst
+    EXPECT_LT(hk_acc.at(k), hk_cuda.at(k)) << k;
+  }
+}
+
+// Section 9.2 (Crusher): native HIP generally best; SYCL HARVEY is
+// comparable to Kokkos-HIP on the cylinder but drops away on the aorta
+// (early-development SYCL halo path).
+TEST_F(PaperShapes, CrusherSyclCollapsesOnTheAortaOnly) {
+  const Series hip = native_harvey(SystemId::kCrusher, cylinder());
+  const Series sycl_cyl =
+      run(SystemId::kCrusher, hal::Model::kSycl, App::kHarvey, cylinder());
+  const Series khip_cyl = run(SystemId::kCrusher, hal::Model::kKokkosHip,
+                              App::kHarvey, cylinder());
+  for (std::size_t k = 0; k < hip.pts.size(); ++k) {
+    EXPECT_GE(hip.at(k), sycl_cyl.at(k)) << k;  // native generally best
+    EXPECT_NEAR(sycl_cyl.at(k) / khip_cyl.at(k), 1.0, 0.25) << k;
+  }
+
+  // On the aorta the SYCL/Kokkos-HIP gap widens with scale.
+  const Series sycl_a =
+      run(SystemId::kCrusher, hal::Model::kSycl, App::kHarvey, aorta());
+  const Series khip_a =
+      run(SystemId::kCrusher, hal::Model::kKokkosHip, App::kHarvey, aorta());
+  const double early = sycl_a.at(1) / khip_a.at(1);
+  const double late = sycl_a.at(10) / khip_a.at(10);
+  EXPECT_LT(late, early);
+}
+
+// Section 9.3 / Fig. 7: communication share grows with device count and
+// orders Polaris > Sunspot > Crusher (GPUs per node and interconnect
+// bandwidth).
+TEST_F(PaperShapes, RuntimeCompositionOrdering) {
+  const Series polaris = native_harvey(SystemId::kPolaris, aorta());
+  const Series crusher = native_harvey(SystemId::kCrusher, aorta());
+  const Series sunspot = native_harvey(SystemId::kSunspot, aorta());
+
+  EXPECT_GT(polaris.comm_share(10), polaris.comm_share(2));
+  EXPECT_GT(sunspot.comm_share(9), sunspot.comm_share(2));
+
+  EXPECT_GT(polaris.comm_share(9), sunspot.comm_share(9));
+  EXPECT_GT(sunspot.comm_share(9), crusher.comm_share(9));
+
+  // Sanity bands: communication is visible but not yet dominant at small
+  // scale, and dominant for Polaris at 512.
+  EXPECT_LT(polaris.comm_share(2), 0.45);
+  EXPECT_GT(polaris.comm_share(10), 0.40);
+}
+
+// Section 9.2: a few Polaris CUDA proxy points exceed the model's bound
+// (caching effects), i.e. architectural efficiency > 1 somewhere.
+TEST_F(PaperShapes, PolarisProxyArchEfficiencyExceedsOneSomewhere) {
+  sim::ClusterSimulator cs(SystemId::kPolaris, hal::Model::kCuda,
+                           App::kProxy);
+  bool above_one = false;
+  for (const auto& sp : sys::piecewise_schedule(1024)) {
+    const sim::SimPoint p = cs.simulate(cylinder(), sp.devices,
+                                        sp.size_multiplier);
+    const auto pred = cs.predict(cylinder(), sp.devices, sp.size_multiplier);
+    if (sim::architectural_efficiency(p, pred) > 1.0) above_one = true;
+  }
+  EXPECT_TRUE(above_one);
+}
+
+// Section 9.1: "the gap between performance prediction and application
+// runtime is narrower for the cylinder" than for the aorta.
+TEST_F(PaperShapes, PredictionGapNarrowerForCylinderThanAorta) {
+  sim::ClusterSimulator cyl_cs(SystemId::kPolaris, hal::Model::kCuda,
+                               App::kHarvey);
+  double cyl_gap = 0.0, aorta_gap = 0.0;
+  int n = 0;
+  for (const auto& sp : sys::piecewise_schedule(1024)) {
+    const auto cp = cyl_cs.simulate(cylinder(), sp.devices, sp.size_multiplier);
+    const auto cpred = cyl_cs.predict(cylinder(), sp.devices, sp.size_multiplier);
+    const auto ap = cyl_cs.simulate(aorta(), sp.devices, sp.size_multiplier);
+    const auto apred = cyl_cs.predict(aorta(), sp.devices, sp.size_multiplier);
+    cyl_gap += cpred.mflups / cp.mflups;
+    aorta_gap += apred.mflups / ap.mflups;
+    ++n;
+  }
+  EXPECT_LT(cyl_gap / n, aorta_gap / n);
+}

@@ -1,0 +1,165 @@
+// ClusterSimulator unit tests: mechanics of the pricing model
+// (composition accounting, efficiency metrics, profile availability).
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace sim = hemo::sim;
+namespace sys = hemo::sys;
+namespace hal = hemo::hal;
+using sim::App;
+using sys::SystemId;
+
+namespace {
+
+sim::Workload& shared_cylinder() {
+  static sim::Workload w = sim::Workload::cylinder(
+      sim::DecompositionKind::kBisection, /*measure_scale=*/1.5);
+  return w;
+}
+
+}  // namespace
+
+TEST(Profiles, AvailabilityMatchesSection81) {
+  using hal::Model;
+  EXPECT_TRUE(sim::model_available(SystemId::kSummit, Model::kCuda));
+  EXPECT_TRUE(sim::model_available(SystemId::kSummit, Model::kHip));
+  EXPECT_FALSE(sim::model_available(SystemId::kSummit, Model::kSycl));
+  EXPECT_TRUE(sim::model_available(SystemId::kPolaris, Model::kSycl));
+  EXPECT_FALSE(sim::model_available(SystemId::kPolaris, Model::kHip));
+  EXPECT_TRUE(sim::model_available(SystemId::kCrusher, Model::kHip));
+  EXPECT_FALSE(sim::model_available(SystemId::kCrusher, Model::kCuda));
+  EXPECT_TRUE(sim::model_available(SystemId::kSunspot, Model::kHip));
+  EXPECT_FALSE(sim::model_available(SystemId::kSunspot, Model::kCuda));
+  EXPECT_TRUE(
+      sim::model_available(SystemId::kSunspot, Model::kKokkosSycl));
+  EXPECT_FALSE(
+      sim::model_available(SystemId::kSunspot, Model::kKokkosOpenAcc));
+}
+
+TEST(Profiles, UnavailableModelAborts) {
+  EXPECT_DEATH(sim::profile_for(SystemId::kSummit, hal::Model::kSycl),
+               "Precondition");
+}
+
+TEST(Profiles, HarveyIsSlowerThanProxyEverywhere) {
+  for (SystemId id : sys::kAllSystems)
+    for (hal::Model m : hal::kAllModels) {
+      if (!sim::model_available(id, m)) continue;
+      // The one exception in the paper: the chipStar-compiled proxy on
+      // Sunspot is worse code than its HARVEY port (Section 9.2).
+      if (id == SystemId::kSunspot && m == hal::Model::kHip) continue;
+      const sim::BackendProfile p = sim::profile_for(id, m);
+      EXPECT_LT(p.harvey_efficiency, p.proxy_efficiency)
+          << sys::system_spec(id).name << " " << hal::name_of(m);
+    }
+}
+
+TEST(Simulator, SingleDeviceHasNoCommunication) {
+  sim::ClusterSimulator cs(SystemId::kPolaris, hal::Model::kCuda,
+                           App::kHarvey);
+  const sim::SimPoint p = cs.simulate(shared_cylinder(), 1, 1);
+  EXPECT_DOUBLE_EQ(p.worst_rank.comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.worst_rank.h2d_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.worst_rank.d2h_s, 0.0);
+  EXPECT_GT(p.mflups, 0.0);
+}
+
+TEST(Simulator, CompositionComponentsSumToIterationTime) {
+  sim::ClusterSimulator cs(SystemId::kPolaris, hal::Model::kCuda,
+                           App::kHarvey);
+  const sim::SimPoint p = cs.simulate(shared_cylinder(), 32, 2);
+  EXPECT_NEAR(p.worst_rank.total_s(), p.iteration_s, 1e-12);
+  EXPECT_GT(p.worst_rank.streamcollide_s, 0.0);
+}
+
+TEST(Simulator, MflupsEqualsPointsOverIterationTime) {
+  sim::ClusterSimulator cs(SystemId::kCrusher, hal::Model::kHip,
+                           App::kProxy);
+  const sim::SimPoint p = cs.simulate(shared_cylinder(), 16, 1);
+  EXPECT_NEAR(p.mflups, p.total_points / p.iteration_s / 1e6, 1e-6);
+}
+
+TEST(Simulator, BiggerProblemsRaiseDeviceEfficiency) {
+  // Same device count, doubled size: more points per device, higher
+  // occupancy, smaller comm fraction -> more than 1x MFLUPS per point.
+  sim::ClusterSimulator cs(SystemId::kSunspot, hal::Model::kSycl,
+                           App::kHarvey);
+  const sim::SimPoint small = cs.simulate(shared_cylinder(), 16, 1);
+  const sim::SimPoint big = cs.simulate(shared_cylinder(), 16, 2);
+  // At a fixed device count, MFLUPS is devices x per-device update rate,
+  // so a higher value means each device runs more efficiently; the jump
+  // must be well clear of noise (this is the Fig. 3 discontinuity).
+  EXPECT_GT(big.mflups, 1.1 * small.mflups);
+}
+
+TEST(Simulator, ScheduleRespectsSunspotCap) {
+  sim::ClusterSimulator cs(SystemId::kSunspot, hal::Model::kSycl,
+                           App::kHarvey);
+  const auto series = cs.simulate_schedule(shared_cylinder());
+  EXPECT_EQ(series.back().devices, 256);
+}
+
+TEST(Simulator, HostStagedMpiInflatesStagingOnly) {
+  sim::BackendProfile base =
+      sim::profile_for(SystemId::kSummit, hal::Model::kHip);
+  sim::BackendProfile aware = base;
+  aware.host_staged_mpi = false;
+  sim::ClusterSimulator staged(SystemId::kSummit, hal::Model::kHip,
+                               App::kHarvey, base);
+  sim::ClusterSimulator direct(SystemId::kSummit, hal::Model::kHip,
+                               App::kHarvey, aware);
+  const sim::SimPoint a = staged.simulate(shared_cylinder(), 64, 2);
+  const sim::SimPoint b = direct.simulate(shared_cylinder(), 64, 2);
+  EXPECT_GT(a.worst_rank.h2d_s + a.worst_rank.d2h_s,
+            b.worst_rank.h2d_s + b.worst_rank.d2h_s);
+  EXPECT_DOUBLE_EQ(a.worst_rank.streamcollide_s,
+                   b.worst_rank.streamcollide_s);
+  EXPECT_LT(a.mflups, b.mflups);
+}
+
+TEST(Simulator, ApplicationEfficiencyIsOneForTheBest) {
+  sim::ClusterSimulator fast(SystemId::kPolaris, hal::Model::kCuda,
+                             App::kHarvey);
+  sim::ClusterSimulator slow(SystemId::kPolaris, hal::Model::kKokkosOpenAcc,
+                             App::kHarvey);
+  std::vector<std::vector<sim::SimPoint>> series = {
+      fast.simulate_schedule(shared_cylinder()),
+      slow.simulate_schedule(shared_cylinder())};
+  const auto eff = sim::application_efficiencies(series);
+  for (std::size_t k = 0; k < eff[0].size(); ++k) {
+    const double best = std::max(eff[0][k], eff[1][k]);
+    EXPECT_DOUBLE_EQ(best, 1.0);
+    EXPECT_LE(eff[1][k], 1.0);
+    EXPECT_GT(eff[1][k], 0.0);
+  }
+}
+
+TEST(Simulator, ArchitecturalEfficiencyIsMeasuredOverPredicted) {
+  sim::ClusterSimulator cs(SystemId::kPolaris, hal::Model::kCuda,
+                           App::kProxy);
+  const sim::SimPoint p = cs.simulate(shared_cylinder(), 8, 1);
+  const auto pred = cs.predict(shared_cylinder(), 8, 1);
+  const double eff = sim::architectural_efficiency(p, pred);
+  EXPECT_NEAR(eff, p.mflups / pred.mflups, 1e-12);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, 1.5);
+}
+
+TEST(Simulator, SurfaceGuardOnlyShrinksHalos) {
+  // With the guard disabled (huge shape constant), communication can only
+  // be larger or equal.
+  sim::Workload guarded = sim::Workload::cylinder(
+      sim::DecompositionKind::kBisection, /*measure_scale=*/1.5);
+  sim::Workload unguarded = sim::Workload::cylinder(
+      sim::DecompositionKind::kBisection, /*measure_scale=*/1.5);
+  unguarded.set_surface_shape(1e18);
+  sim::ClusterSimulator cs(SystemId::kPolaris, hal::Model::kCuda,
+                           App::kHarvey);
+  for (int devices : {8, 64, 256}) {
+    const sim::SimPoint g = cs.simulate(guarded, devices, 2);
+    const sim::SimPoint u = cs.simulate(unguarded, devices, 2);
+    EXPECT_LE(u.mflups, g.mflups + 1e-9) << devices;
+  }
+}

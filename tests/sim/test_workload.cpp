@@ -1,0 +1,85 @@
+// Workload model tests: measured statistics and the cubic/quadratic
+// extrapolation used in place of instantiating billion-point problems.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/workload.hpp"
+
+namespace sim = hemo::sim;
+
+namespace {
+
+sim::Workload small_cylinder() {
+  // Small measurement instance keeps the test fast.
+  return sim::Workload::cylinder(sim::DecompositionKind::kBisection,
+                                 /*measure_scale=*/1.5,
+                                 /*target_base_scale=*/12.0);
+}
+
+}  // namespace
+
+TEST(Workload, StatsPartitionTheMeasuredPoints) {
+  sim::Workload w = small_cylinder();
+  for (int ranks : {2, 4, 8, 16}) {
+    const sim::RankStats& stats = w.stats(ranks);
+    EXPECT_EQ(stats.n_ranks, ranks);
+    EXPECT_EQ(std::accumulate(stats.points.begin(), stats.points.end(),
+                              std::int64_t{0}),
+              w.measured_points());
+  }
+}
+
+TEST(Workload, StatsAreCachedAcrossCalls) {
+  sim::Workload w = small_cylinder();
+  const sim::RankStats& a = w.stats(8);
+  const sim::RankStats& b = w.stats(8);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Workload, ExtrapolationIsCubicInPointsQuadraticInHalos) {
+  sim::Workload w = small_cylinder();
+  const double r = w.base_linear_ratio();
+  EXPECT_DOUBLE_EQ(r, 8.0);  // 12 / 1.5
+  EXPECT_DOUBLE_EQ(w.point_scale(1), r * r * r);
+  EXPECT_DOUBLE_EQ(w.point_scale(2), 8.0 * r * r * r);  // (2r)^3
+  EXPECT_DOUBLE_EQ(w.halo_scale(1), r * r);
+  EXPECT_DOUBLE_EQ(w.halo_scale(4), 16.0 * r * r);  // (4r)^2
+}
+
+TEST(Workload, TargetPointsMatchAnalyticCylinderSize) {
+  sim::Workload w = small_cylinder();
+  // Target base problem: the paper's proxy at size 12 (radius 96,
+  // length 1008): ~pi * 96^2 * 1008 fluid points.
+  const double expected = 3.14159265 * 96.0 * 96.0 * 1008.0;
+  EXPECT_NEAR(w.target_points(1) / expected, 1.0, 0.05);
+}
+
+TEST(Workload, AortaUsesBisectionAndElevatedSurfaceShape) {
+  sim::Workload w = sim::Workload::aorta(/*measure_spacing_mm=*/2.0);
+  EXPECT_EQ(w.kind(), sim::DecompositionKind::kBisection);
+  EXPECT_GT(w.surface_shape(), 26.0);
+  EXPECT_NEAR(w.base_linear_ratio(), 2.0 / 0.110, 1e-9);
+}
+
+TEST(Workload, HaloVolumesAreSymmetricPerPair) {
+  sim::Workload w = small_cylinder();
+  const sim::RankStats& stats = w.stats(8);
+  for (const auto& m : stats.halos) {
+    bool found = false;
+    for (const auto& rev : stats.halos)
+      if (rev.src == m.dst && rev.dst == m.src) {
+        EXPECT_EQ(rev.values, m.values);
+        found = true;
+      }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Workload, ImbalanceNearOneForBothGeometries) {
+  sim::Workload cyl = small_cylinder();
+  EXPECT_LT(cyl.stats(16).imbalance, 1.01);
+  sim::Workload aorta = sim::Workload::aorta(2.2);
+  EXPECT_LT(aorta.stats(16).imbalance, 1.05);
+}

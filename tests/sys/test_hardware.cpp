@@ -1,0 +1,157 @@
+// Hardware registry tests: Table 1 fidelity, benchmark substrates
+// (BabelStream / PingPong models) and the piecewise scaling schedule.
+
+#include <gtest/gtest.h>
+
+#include "sys/hardware.hpp"
+
+namespace sys = hemo::sys;
+using sys::SystemId;
+
+TEST(Hardware, RegistryHasTheFourSystems) {
+  const auto& all = sys::all_system_specs();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(sys::system_spec(SystemId::kSummit).name, "Summit");
+  EXPECT_EQ(sys::system_spec(SystemId::kPolaris).name, "Polaris");
+  EXPECT_EQ(sys::system_spec(SystemId::kCrusher).name, "Crusher");
+  EXPECT_EQ(sys::system_spec(SystemId::kSunspot).name, "Sunspot");
+}
+
+TEST(Hardware, Table1ValuesAreEncodedExactly) {
+  const auto& summit = sys::system_spec(SystemId::kSummit);
+  EXPECT_EQ(summit.devices_per_node, 6);
+  EXPECT_DOUBLE_EQ(summit.gpu_memory_gb, 16.0);
+  EXPECT_DOUBLE_EQ(summit.mem_bandwidth_tbs, 0.770);
+  EXPECT_DOUBLE_EQ(summit.cpu_gpu_gbs, 50.0);
+  EXPECT_DOUBLE_EQ(summit.internode_gbs, 25.0);
+  EXPECT_EQ(summit.cores_per_cpu, 21);
+
+  const auto& polaris = sys::system_spec(SystemId::kPolaris);
+  EXPECT_EQ(polaris.devices_per_node, 4);
+  EXPECT_DOUBLE_EQ(polaris.gpu_memory_gb, 40.0);
+  EXPECT_DOUBLE_EQ(polaris.mem_bandwidth_tbs, 1.30);
+
+  const auto& crusher = sys::system_spec(SystemId::kCrusher);
+  EXPECT_EQ(crusher.devices_per_node, 8);  // 8 GCDs = 4 MI250X
+  EXPECT_DOUBLE_EQ(crusher.gpu_memory_gb, 64.0);
+  EXPECT_DOUBLE_EQ(crusher.mem_bandwidth_tbs, 1.28);
+  EXPECT_DOUBLE_EQ(crusher.internode_gbs, 100.0);
+
+  const auto& sunspot = sys::system_spec(SystemId::kSunspot);
+  EXPECT_EQ(sunspot.devices_per_node, 12);  // 12 tiles = 6 PVC
+  EXPECT_DOUBLE_EQ(sunspot.gpu_memory_gb, 64.0);
+  EXPECT_DOUBLE_EQ(sunspot.mem_bandwidth_tbs, 0.997);
+  EXPECT_EQ(sunspot.max_devices, 256);
+}
+
+TEST(Hardware, NativeModelsMatchThePaper) {
+  EXPECT_EQ(sys::system_spec(SystemId::kSummit).native_model,
+            hemo::hal::Model::kCuda);
+  EXPECT_EQ(sys::system_spec(SystemId::kPolaris).native_model,
+            hemo::hal::Model::kCuda);
+  EXPECT_EQ(sys::system_spec(SystemId::kCrusher).native_model,
+            hemo::hal::Model::kHip);
+  EXPECT_EQ(sys::system_spec(SystemId::kSunspot).native_model,
+            hemo::hal::Model::kSycl);
+}
+
+TEST(Hardware, BabelStreamApproachesTable1Asymptotically) {
+  for (const auto& spec : sys::all_system_specs()) {
+    const double measured =
+        sys::babelstream_bandwidth_tbs(spec, 256ll * 1024 * 1024);
+    EXPECT_NEAR(measured, spec.mem_bandwidth_tbs,
+                0.02 * spec.mem_bandwidth_tbs)
+        << spec.name;
+  }
+}
+
+TEST(Hardware, BabelStreamDroopsForSmallArrays) {
+  const auto& spec = sys::system_spec(SystemId::kPolaris);
+  const double small = sys::babelstream_bandwidth_tbs(spec, 64 * 1024);
+  const double large =
+      sys::babelstream_bandwidth_tbs(spec, 512ll * 1024 * 1024);
+  EXPECT_LT(small, 0.25 * large);
+}
+
+TEST(Hardware, BabelStreamIsMonotoneInArraySize) {
+  const auto& spec = sys::system_spec(SystemId::kSummit);
+  double prev = 0.0;
+  for (std::int64_t bytes = 1024; bytes <= (1ll << 32); bytes *= 4) {
+    const double b = sys::babelstream_bandwidth_tbs(spec, bytes);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Hardware, PingPongIsLatencyPlusBandwidth) {
+  const auto& spec = sys::system_spec(SystemId::kCrusher);
+  const double t0 = sys::pingpong_time_s(spec, sys::LinkKind::kInternode, 0);
+  EXPECT_DOUBLE_EQ(t0, spec.internode_latency_us * 1e-6);
+  const double t1m =
+      sys::pingpong_time_s(spec, sys::LinkKind::kInternode, 1 << 20);
+  EXPECT_GT(t1m, t0);
+}
+
+TEST(Hardware, PingPongRendezvousStepAtEagerLimit) {
+  const auto& spec = sys::system_spec(SystemId::kSummit);
+  const double just_below =
+      sys::pingpong_time_s(spec, sys::LinkKind::kInternode, 64 * 1024);
+  const double just_above =
+      sys::pingpong_time_s(spec, sys::LinkKind::kInternode, 64 * 1024 + 1);
+  EXPECT_GT(just_above - just_below,
+            1.5 * sys::link_latency_s(spec, sys::LinkKind::kInternode));
+}
+
+TEST(Hardware, MeasuredLatencyOrderingMatchesSection91) {
+  // The paper measured lower internodal latencies on Summit and Crusher
+  // than on Sunspot.
+  const double summit =
+      sys::link_latency_s(sys::system_spec(SystemId::kSummit),
+                          sys::LinkKind::kInternode);
+  const double crusher =
+      sys::link_latency_s(sys::system_spec(SystemId::kCrusher),
+                          sys::LinkKind::kInternode);
+  const double sunspot =
+      sys::link_latency_s(sys::system_spec(SystemId::kSunspot),
+                          sys::LinkKind::kInternode);
+  EXPECT_LT(summit, sunspot);
+  EXPECT_LT(crusher, sunspot);
+}
+
+TEST(Schedule, CoversTwoTo1024WithSizeJumpsAt16And128) {
+  const auto schedule = sys::piecewise_schedule(1024);
+  ASSERT_EQ(schedule.size(), 12u);
+  EXPECT_EQ(schedule.front().devices, 2);
+  EXPECT_EQ(schedule.front().size_multiplier, 1);
+  EXPECT_EQ(schedule.back().devices, 1024);
+  EXPECT_EQ(schedule.back().size_multiplier, 4);
+
+  // Boundary counts appear twice with both sizes (the visual "jump").
+  int sixteen = 0, one_two_eight = 0;
+  for (const auto& sp : schedule) {
+    if (sp.devices == 16) ++sixteen;
+    if (sp.devices == 128) ++one_two_eight;
+  }
+  EXPECT_EQ(sixteen, 2);
+  EXPECT_EQ(one_two_eight, 2);
+}
+
+TEST(Schedule, RespectsSunspotAvailabilityCap) {
+  const auto schedule = sys::piecewise_schedule(256);
+  for (const auto& sp : schedule) EXPECT_LE(sp.devices, 256);
+  EXPECT_EQ(schedule.back().devices, 256);
+}
+
+TEST(Schedule, EachSegmentStrongScalesFourPowersOfTwo) {
+  const auto schedule = sys::piecewise_schedule(1024);
+  // Segment sizes: 4 points at x1, 4 at x2, 4 at x4.
+  int count1 = 0, count2 = 0, count4 = 0;
+  for (const auto& sp : schedule) {
+    if (sp.size_multiplier == 1) ++count1;
+    if (sp.size_multiplier == 2) ++count2;
+    if (sp.size_multiplier == 4) ++count4;
+  }
+  EXPECT_EQ(count1, 4);
+  EXPECT_EQ(count2, 4);
+  EXPECT_EQ(count4, 4);
+}
