@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wfactor"
+  "../bench/bench_ablation_wfactor.pdb"
+  "CMakeFiles/bench_ablation_wfactor.dir/bench_ablation_wfactor.cpp.o"
+  "CMakeFiles/bench_ablation_wfactor.dir/bench_ablation_wfactor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_babelstream"
+  "../bench/bench_babelstream.pdb"
+  "CMakeFiles/bench_babelstream.dir/bench_babelstream.cpp.o"
+  "CMakeFiles/bench_babelstream.dir/bench_babelstream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_babelstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cylinder_hardware"
+  "../bench/bench_fig3_cylinder_hardware.pdb"
+  "CMakeFiles/bench_fig3_cylinder_hardware.dir/bench_fig3_cylinder_hardware.cpp.o"
+  "CMakeFiles/bench_fig3_cylinder_hardware.dir/bench_fig3_cylinder_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cylinder_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_aorta_hardware"
+  "../bench/bench_fig4_aorta_hardware.pdb"
+  "CMakeFiles/bench_fig4_aorta_hardware.dir/bench_fig4_aorta_hardware.cpp.o"
+  "CMakeFiles/bench_fig4_aorta_hardware.dir/bench_fig4_aorta_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_aorta_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cylinder_backends"
+  "../bench/bench_fig5_cylinder_backends.pdb"
+  "CMakeFiles/bench_fig5_cylinder_backends.dir/bench_fig5_cylinder_backends.cpp.o"
+  "CMakeFiles/bench_fig5_cylinder_backends.dir/bench_fig5_cylinder_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cylinder_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

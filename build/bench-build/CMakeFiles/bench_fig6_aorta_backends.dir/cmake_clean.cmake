@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_aorta_backends"
+  "../bench/bench_fig6_aorta_backends.pdb"
+  "CMakeFiles/bench_fig6_aorta_backends.dir/bench_fig6_aorta_backends.cpp.o"
+  "CMakeFiles/bench_fig6_aorta_backends.dir/bench_fig6_aorta_backends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_aorta_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_runtime_composition"
+  "../bench/bench_fig7_runtime_composition.pdb"
+  "CMakeFiles/bench_fig7_runtime_composition.dir/bench_fig7_runtime_composition.cpp.o"
+  "CMakeFiles/bench_fig7_runtime_composition.dir/bench_fig7_runtime_composition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_runtime_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

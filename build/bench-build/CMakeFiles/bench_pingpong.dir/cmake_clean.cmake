@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pingpong"
+  "../bench/bench_pingpong.pdb"
+  "CMakeFiles/bench_pingpong.dir/bench_pingpong.cpp.o"
+  "CMakeFiles/bench_pingpong.dir/bench_pingpong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_portability_metric"
+  "../bench/bench_portability_metric.pdb"
+  "CMakeFiles/bench_portability_metric.dir/bench_portability_metric.cpp.o"
+  "CMakeFiles/bench_portability_metric.dir/bench_portability_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portability_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

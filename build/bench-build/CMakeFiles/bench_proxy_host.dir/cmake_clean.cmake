@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_proxy_host"
+  "../bench/bench_proxy_host.pdb"
+  "CMakeFiles/bench_proxy_host.dir/bench_proxy_host.cpp.o"
+  "CMakeFiles/bench_proxy_host.dir/bench_proxy_host.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_dpct_warnings.cpp" "bench-build/CMakeFiles/bench_table2_dpct_warnings.dir/bench_table2_dpct_warnings.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table2_dpct_warnings.dir/bench_table2_dpct_warnings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/hemo_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/port/CMakeFiles/hemo_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hemo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hemo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/hemo_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hemo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

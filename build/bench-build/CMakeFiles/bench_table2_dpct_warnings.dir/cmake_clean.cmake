@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_dpct_warnings"
+  "../bench/bench_table2_dpct_warnings.pdb"
+  "CMakeFiles/bench_table2_dpct_warnings.dir/bench_table2_dpct_warnings.cpp.o"
+  "CMakeFiles/bench_table2_dpct_warnings.dir/bench_table2_dpct_warnings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dpct_warnings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hemo_bench_common.dir/bench_common.cpp.o.d"
+  "libhemo_bench_common.a"
+  "libhemo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/aorta_simulation.cpp" "examples-build/CMakeFiles/aorta_simulation.dir/aorta_simulation.cpp.o" "gcc" "examples-build/CMakeFiles/aorta_simulation.dir/aorta_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hemo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvey/CMakeFiles/hemo_harvey.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/aorta_simulation"
+  "../examples/aorta_simulation.pdb"
+  "CMakeFiles/aorta_simulation.dir/aorta_simulation.cpp.o"
+  "CMakeFiles/aorta_simulation.dir/aorta_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aorta_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

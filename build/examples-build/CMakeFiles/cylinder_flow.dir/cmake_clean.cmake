@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cylinder_flow"
+  "../examples/cylinder_flow.pdb"
+  "CMakeFiles/cylinder_flow.dir/cylinder_flow.cpp.o"
+  "CMakeFiles/cylinder_flow.dir/cylinder_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/porting_workflow"
+  "../examples/porting_workflow.pdb"
+  "CMakeFiles/porting_workflow.dir/porting_workflow.cpp.o"
+  "CMakeFiles/porting_workflow.dir/porting_workflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

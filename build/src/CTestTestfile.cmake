@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("lbm")
+subdirs("geom")
+subdirs("decomp")
+subdirs("hal")
+subdirs("comm")
+subdirs("harvey")
+subdirs("sys")
+subdirs("perf")
+subdirs("sim")
+subdirs("port")
+subdirs("proxy")
+subdirs("io")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_base.dir/table.cpp.o"
+  "CMakeFiles/hemo_base.dir/table.cpp.o.d"
+  "libhemo_base.a"
+  "libhemo_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

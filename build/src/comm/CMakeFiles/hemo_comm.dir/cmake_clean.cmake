@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_comm.dir/network.cpp.o"
+  "CMakeFiles/hemo_comm.dir/network.cpp.o.d"
+  "libhemo_comm.a"
+  "libhemo_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_geom.dir/aorta.cpp.o"
+  "CMakeFiles/hemo_geom.dir/aorta.cpp.o.d"
+  "CMakeFiles/hemo_geom.dir/cylinder.cpp.o"
+  "CMakeFiles/hemo_geom.dir/cylinder.cpp.o.d"
+  "libhemo_geom.a"
+  "libhemo_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

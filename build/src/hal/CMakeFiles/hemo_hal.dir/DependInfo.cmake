@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/cudax.cpp" "src/hal/CMakeFiles/hemo_hal.dir/cudax.cpp.o" "gcc" "src/hal/CMakeFiles/hemo_hal.dir/cudax.cpp.o.d"
+  "/root/repo/src/hal/device.cpp" "src/hal/CMakeFiles/hemo_hal.dir/device.cpp.o" "gcc" "src/hal/CMakeFiles/hemo_hal.dir/device.cpp.o.d"
+  "/root/repo/src/hal/hipx.cpp" "src/hal/CMakeFiles/hemo_hal.dir/hipx.cpp.o" "gcc" "src/hal/CMakeFiles/hemo_hal.dir/hipx.cpp.o.d"
+  "/root/repo/src/hal/kokkosx.cpp" "src/hal/CMakeFiles/hemo_hal.dir/kokkosx.cpp.o" "gcc" "src/hal/CMakeFiles/hemo_hal.dir/kokkosx.cpp.o.d"
+  "/root/repo/src/hal/syclx.cpp" "src/hal/CMakeFiles/hemo_hal.dir/syclx.cpp.o" "gcc" "src/hal/CMakeFiles/hemo_hal.dir/syclx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

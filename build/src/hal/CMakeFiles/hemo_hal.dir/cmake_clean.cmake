@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_hal.dir/cudax.cpp.o"
+  "CMakeFiles/hemo_hal.dir/cudax.cpp.o.d"
+  "CMakeFiles/hemo_hal.dir/device.cpp.o"
+  "CMakeFiles/hemo_hal.dir/device.cpp.o.d"
+  "CMakeFiles/hemo_hal.dir/hipx.cpp.o"
+  "CMakeFiles/hemo_hal.dir/hipx.cpp.o.d"
+  "CMakeFiles/hemo_hal.dir/kokkosx.cpp.o"
+  "CMakeFiles/hemo_hal.dir/kokkosx.cpp.o.d"
+  "CMakeFiles/hemo_hal.dir/syclx.cpp.o"
+  "CMakeFiles/hemo_hal.dir/syclx.cpp.o.d"
+  "libhemo_hal.a"
+  "libhemo_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

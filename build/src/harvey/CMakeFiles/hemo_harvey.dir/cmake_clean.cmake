@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_harvey.dir/device_solver.cpp.o"
+  "CMakeFiles/hemo_harvey.dir/device_solver.cpp.o.d"
+  "CMakeFiles/hemo_harvey.dir/distributed_solver.cpp.o"
+  "CMakeFiles/hemo_harvey.dir/distributed_solver.cpp.o.d"
+  "libhemo_harvey.a"
+  "libhemo_harvey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_harvey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_io.dir/vtk.cpp.o"
+  "CMakeFiles/hemo_io.dir/vtk.cpp.o.d"
+  "libhemo_io.a"
+  "libhemo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

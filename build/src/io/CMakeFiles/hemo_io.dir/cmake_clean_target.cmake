@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemo_io.a"
+)

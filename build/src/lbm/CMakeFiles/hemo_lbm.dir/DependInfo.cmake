@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbm/probes.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/probes.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/probes.cpp.o.d"
+  "/root/repo/src/lbm/solver.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/solver.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/solver.cpp.o.d"
+  "/root/repo/src/lbm/sparse_lattice.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/sparse_lattice.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/sparse_lattice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

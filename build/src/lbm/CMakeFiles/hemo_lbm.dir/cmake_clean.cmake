@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_lbm.dir/probes.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/probes.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/solver.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/solver.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/sparse_lattice.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/sparse_lattice.cpp.o.d"
+  "libhemo_lbm.a"
+  "libhemo_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_perf.dir/model.cpp.o"
+  "CMakeFiles/hemo_perf.dir/model.cpp.o.d"
+  "libhemo_perf.a"
+  "libhemo_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/corpus/cudax/adjacency.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/adjacency.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/adjacency.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/bounce_back.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/bounce_back.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/bounce_back.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/checkpoint.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/checkpoint.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/checkpoint.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/collision.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/collision.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/collision.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/comm_buffers.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/comm_buffers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/comm_buffers.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/constants.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/constants.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/constants.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/device_query.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/device_query.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/device_query.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/distribution_init.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/distribution_init.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/distribution_init.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/forcing.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/forcing.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/forcing.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/geometry_io.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/geometry_io.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/geometry_io.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/halo_pack.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/halo_pack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/halo_pack.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/halo_unpack.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/halo_unpack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/halo_unpack.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/inlet.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/inlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/inlet.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/macroscopic.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/macroscopic.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/macroscopic.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/main.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/main.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/main.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/managed.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/managed.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/managed.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/memory.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/memory.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/memory.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/outlet.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/outlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/outlet.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/reduce_mass.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/reduce_mass.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/reduce_mass.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/reduce_momentum.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/reduce_momentum.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/reduce_momentum.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/stream_collide.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/stream_collide.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/stream_collide.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/streaming.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/streaming.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/streaming.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/streams.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/streams.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/streams.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/timers.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/timers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/timers.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/vtk_output.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/vtk_output.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/vtk_output.cpp.o.d"
+  "/root/repo/src/port/corpus/cudax/wall_shear.cpp" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/wall_shear.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_cudax.dir/corpus/cudax/wall_shear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

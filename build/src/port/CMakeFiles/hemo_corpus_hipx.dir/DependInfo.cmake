@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/corpus/hipx/adjacency.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/adjacency.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/adjacency.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/bounce_back.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/bounce_back.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/bounce_back.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/checkpoint.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/checkpoint.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/checkpoint.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/collision.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/collision.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/collision.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/comm_buffers.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/comm_buffers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/comm_buffers.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/constants.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/constants.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/constants.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/device_query.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/device_query.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/device_query.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/distribution_init.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/distribution_init.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/distribution_init.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/forcing.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/forcing.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/forcing.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/geometry_io.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/geometry_io.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/geometry_io.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/halo_pack.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/halo_pack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/halo_pack.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/halo_unpack.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/halo_unpack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/halo_unpack.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/inlet.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/inlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/inlet.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/macroscopic.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/macroscopic.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/macroscopic.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/main.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/main.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/main.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/managed.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/managed.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/managed.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/memory.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/memory.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/memory.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/outlet.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/outlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/outlet.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/reduce_mass.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/reduce_mass.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/reduce_mass.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/reduce_momentum.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/reduce_momentum.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/reduce_momentum.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/stream_collide.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/stream_collide.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/stream_collide.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/streaming.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/streaming.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/streaming.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/streams.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/streams.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/streams.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/timers.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/timers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/timers.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/vtk_output.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/vtk_output.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/vtk_output.cpp.o.d"
+  "/root/repo/src/port/corpus/hipx/wall_shear.cpp" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/wall_shear.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_hipx.dir/corpus/hipx/wall_shear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hemo_corpus_hipx.
+# This may be replaced when dependencies are built.

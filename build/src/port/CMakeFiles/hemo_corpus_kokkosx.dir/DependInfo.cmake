@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/corpus/kokkosx/adjacency.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/adjacency.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/adjacency.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/bounce_back.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/bounce_back.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/bounce_back.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/checkpoint.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/checkpoint.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/checkpoint.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/collision.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/collision.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/collision.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/comm_buffers.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/comm_buffers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/comm_buffers.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/constants.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/constants.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/constants.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/device_query.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/device_query.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/device_query.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/distribution_init.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/distribution_init.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/distribution_init.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/forcing.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/forcing.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/forcing.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/geometry_io.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/geometry_io.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/geometry_io.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/halo_pack.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/halo_pack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/halo_pack.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/halo_unpack.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/halo_unpack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/halo_unpack.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/inlet.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/inlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/inlet.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/macroscopic.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/macroscopic.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/macroscopic.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/main.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/main.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/main.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/managed.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/managed.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/managed.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/memory.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/memory.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/memory.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/outlet.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/outlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/outlet.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/reduce_mass.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/reduce_mass.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/reduce_mass.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/reduce_momentum.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/reduce_momentum.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/reduce_momentum.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/stream_collide.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/stream_collide.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/stream_collide.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/streaming.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/streaming.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/streaming.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/streams.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/streams.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/streams.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/timers.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/timers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/timers.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/vtk_output.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/vtk_output.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/vtk_output.cpp.o.d"
+  "/root/repo/src/port/corpus/kokkosx/wall_shear.cpp" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/wall_shear.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_kokkosx.dir/corpus/kokkosx/wall_shear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/corpus/syclx/adjacency.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/adjacency.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/adjacency.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/bounce_back.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/bounce_back.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/bounce_back.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/checkpoint.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/checkpoint.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/checkpoint.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/collision.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/collision.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/collision.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/comm_buffers.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/comm_buffers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/comm_buffers.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/constants.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/constants.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/constants.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/device_query.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/device_query.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/device_query.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/distribution_init.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/distribution_init.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/distribution_init.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/forcing.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/forcing.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/forcing.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/geometry_io.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/geometry_io.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/geometry_io.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/halo_pack.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/halo_pack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/halo_pack.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/halo_unpack.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/halo_unpack.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/halo_unpack.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/inlet.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/inlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/inlet.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/macroscopic.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/macroscopic.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/macroscopic.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/main.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/main.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/main.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/managed.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/managed.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/managed.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/memory.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/memory.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/memory.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/outlet.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/outlet.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/outlet.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/reduce_mass.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/reduce_mass.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/reduce_mass.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/reduce_momentum.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/reduce_momentum.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/reduce_momentum.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/stream_collide.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/stream_collide.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/stream_collide.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/streaming.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/streaming.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/streaming.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/streams.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/streams.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/streams.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/timers.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/timers.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/timers.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/vtk_output.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/vtk_output.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/vtk_output.cpp.o.d"
+  "/root/repo/src/port/corpus/syclx/wall_shear.cpp" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/wall_shear.cpp.o" "gcc" "src/port/CMakeFiles/hemo_corpus_syclx.dir/corpus/syclx/wall_shear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

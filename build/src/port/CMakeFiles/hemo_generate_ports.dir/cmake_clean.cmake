@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_generate_ports.dir/tools/generate_ports.cpp.o"
+  "CMakeFiles/hemo_generate_ports.dir/tools/generate_ports.cpp.o.d"
+  "hemo_generate_ports"
+  "hemo_generate_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_generate_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/corpus.cpp" "src/port/CMakeFiles/hemo_port.dir/corpus.cpp.o" "gcc" "src/port/CMakeFiles/hemo_port.dir/corpus.cpp.o.d"
+  "/root/repo/src/port/dpct.cpp" "src/port/CMakeFiles/hemo_port.dir/dpct.cpp.o" "gcc" "src/port/CMakeFiles/hemo_port.dir/dpct.cpp.o.d"
+  "/root/repo/src/port/hipify.cpp" "src/port/CMakeFiles/hemo_port.dir/hipify.cpp.o" "gcc" "src/port/CMakeFiles/hemo_port.dir/hipify.cpp.o.d"
+  "/root/repo/src/port/loc.cpp" "src/port/CMakeFiles/hemo_port.dir/loc.cpp.o" "gcc" "src/port/CMakeFiles/hemo_port.dir/loc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

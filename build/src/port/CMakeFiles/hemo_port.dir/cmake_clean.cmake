@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_port.dir/corpus.cpp.o"
+  "CMakeFiles/hemo_port.dir/corpus.cpp.o.d"
+  "CMakeFiles/hemo_port.dir/dpct.cpp.o"
+  "CMakeFiles/hemo_port.dir/dpct.cpp.o.d"
+  "CMakeFiles/hemo_port.dir/hipify.cpp.o"
+  "CMakeFiles/hemo_port.dir/hipify.cpp.o.d"
+  "CMakeFiles/hemo_port.dir/loc.cpp.o"
+  "CMakeFiles/hemo_port.dir/loc.cpp.o.d"
+  "libhemo_port.a"
+  "libhemo_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_proxy.dir/proxy_app.cpp.o"
+  "CMakeFiles/hemo_proxy.dir/proxy_app.cpp.o.d"
+  "libhemo_proxy.a"
+  "libhemo_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/portability.cpp" "src/sim/CMakeFiles/hemo_sim.dir/portability.cpp.o" "gcc" "src/sim/CMakeFiles/hemo_sim.dir/portability.cpp.o.d"
+  "/root/repo/src/sim/profiles.cpp" "src/sim/CMakeFiles/hemo_sim.dir/profiles.cpp.o" "gcc" "src/sim/CMakeFiles/hemo_sim.dir/profiles.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hemo_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hemo_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/hemo_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/hemo_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/hemo_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hemo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hemo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_sim.dir/portability.cpp.o"
+  "CMakeFiles/hemo_sim.dir/portability.cpp.o.d"
+  "CMakeFiles/hemo_sim.dir/profiles.cpp.o"
+  "CMakeFiles/hemo_sim.dir/profiles.cpp.o.d"
+  "CMakeFiles/hemo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hemo_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hemo_sim.dir/workload.cpp.o"
+  "CMakeFiles/hemo_sim.dir/workload.cpp.o.d"
+  "libhemo_sim.a"
+  "libhemo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

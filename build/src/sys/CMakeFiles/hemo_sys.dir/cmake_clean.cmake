@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_sys.dir/hardware.cpp.o"
+  "CMakeFiles/hemo_sys.dir/hardware.cpp.o.d"
+  "libhemo_sys.a"
+  "libhemo_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

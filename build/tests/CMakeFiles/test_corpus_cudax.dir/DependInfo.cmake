@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/port/test_corpus_cudax.cpp" "tests/CMakeFiles/test_corpus_cudax.dir/port/test_corpus_cudax.cpp.o" "gcc" "tests/CMakeFiles/test_corpus_cudax.dir/port/test_corpus_cudax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/port/CMakeFiles/hemo_corpus_cudax.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_cudax.dir/port/test_corpus_cudax.cpp.o"
+  "CMakeFiles/test_corpus_cudax.dir/port/test_corpus_cudax.cpp.o.d"
+  "test_corpus_cudax"
+  "test_corpus_cudax.pdb"
+  "test_corpus_cudax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_cudax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

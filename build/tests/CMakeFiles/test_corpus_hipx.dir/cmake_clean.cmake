@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_hipx.dir/port/test_corpus_hipx.cpp.o"
+  "CMakeFiles/test_corpus_hipx.dir/port/test_corpus_hipx.cpp.o.d"
+  "test_corpus_hipx"
+  "test_corpus_hipx.pdb"
+  "test_corpus_hipx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_hipx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

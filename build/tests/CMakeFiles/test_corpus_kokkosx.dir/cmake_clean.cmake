@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_kokkosx.dir/port/test_corpus_kokkosx.cpp.o"
+  "CMakeFiles/test_corpus_kokkosx.dir/port/test_corpus_kokkosx.cpp.o.d"
+  "test_corpus_kokkosx"
+  "test_corpus_kokkosx.pdb"
+  "test_corpus_kokkosx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_kokkosx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

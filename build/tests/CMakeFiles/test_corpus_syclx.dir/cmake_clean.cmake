@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_syclx.dir/port/test_corpus_syclx.cpp.o"
+  "CMakeFiles/test_corpus_syclx.dir/port/test_corpus_syclx.cpp.o.d"
+  "test_corpus_syclx"
+  "test_corpus_syclx.pdb"
+  "test_corpus_syclx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_syclx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hal.dir/hal/test_cudax.cpp.o"
+  "CMakeFiles/test_hal.dir/hal/test_cudax.cpp.o.d"
+  "CMakeFiles/test_hal.dir/hal/test_device.cpp.o"
+  "CMakeFiles/test_hal.dir/hal/test_device.cpp.o.d"
+  "CMakeFiles/test_hal.dir/hal/test_hipx.cpp.o"
+  "CMakeFiles/test_hal.dir/hal/test_hipx.cpp.o.d"
+  "CMakeFiles/test_hal.dir/hal/test_kokkosx.cpp.o"
+  "CMakeFiles/test_hal.dir/hal/test_kokkosx.cpp.o.d"
+  "CMakeFiles/test_hal.dir/hal/test_syclx.cpp.o"
+  "CMakeFiles/test_hal.dir/hal/test_syclx.cpp.o.d"
+  "test_hal"
+  "test_hal.pdb"
+  "test_hal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harvey/test_device_solver.cpp" "tests/CMakeFiles/test_harvey.dir/harvey/test_device_solver.cpp.o" "gcc" "tests/CMakeFiles/test_harvey.dir/harvey/test_device_solver.cpp.o.d"
+  "/root/repo/tests/harvey/test_distributed_solver.cpp" "tests/CMakeFiles/test_harvey.dir/harvey/test_distributed_solver.cpp.o" "gcc" "tests/CMakeFiles/test_harvey.dir/harvey/test_distributed_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hemo_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hemo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/hemo_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvey/CMakeFiles/hemo_harvey.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/hemo_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hemo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hemo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

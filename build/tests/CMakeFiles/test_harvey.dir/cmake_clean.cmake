@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvey.dir/harvey/test_device_solver.cpp.o"
+  "CMakeFiles/test_harvey.dir/harvey/test_device_solver.cpp.o.d"
+  "CMakeFiles/test_harvey.dir/harvey/test_distributed_solver.cpp.o"
+  "CMakeFiles/test_harvey.dir/harvey/test_distributed_solver.cpp.o.d"
+  "test_harvey"
+  "test_harvey.pdb"
+  "test_harvey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_d3q19.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_hemodynamics.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_hemodynamics.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_invariance.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_invariance.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_kernels.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_kernels.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_probes.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_probes.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_solver_physics.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_solver_physics.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/lbm/test_sparse_lattice.cpp.o"
+  "CMakeFiles/test_lbm.dir/lbm/test_sparse_lattice.cpp.o.d"
+  "test_lbm"
+  "test_lbm.pdb"
+  "test_lbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

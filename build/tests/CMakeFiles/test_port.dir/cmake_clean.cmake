@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port.dir/port/test_dpct.cpp.o"
+  "CMakeFiles/test_port.dir/port/test_dpct.cpp.o.d"
+  "CMakeFiles/test_port.dir/port/test_hipify.cpp.o"
+  "CMakeFiles/test_port.dir/port/test_hipify.cpp.o.d"
+  "CMakeFiles/test_port.dir/port/test_loc.cpp.o"
+  "CMakeFiles/test_port.dir/port/test_loc.cpp.o.d"
+  "test_port"
+  "test_port.pdb"
+  "test_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

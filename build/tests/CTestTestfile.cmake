@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_lbm[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_decomp[1]_include.cmake")
+include("/root/repo/build/tests/test_hal[1]_include.cmake")
+include("/root/repo/build/tests/test_sys[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_harvey[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_port[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_cudax[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_hipx[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_syclx[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_kokkosx[1]_include.cmake")
