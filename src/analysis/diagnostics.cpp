@@ -1,0 +1,41 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hemo::analysis {
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule_id, a.message) <
+                     std::tie(b.file, b.line, b.rule_id, b.message);
+            });
+}
+
+std::map<std::string, int> count_by_rule(const std::vector<Diagnostic>& ds) {
+  std::map<std::string, int> counts;
+  for (const Diagnostic& d : ds) ++counts[d.rule_id];
+  return counts;
+}
+
+std::map<std::string, int> count_by_file(const std::vector<Diagnostic>& ds) {
+  std::map<std::string, int> counts;
+  for (const Diagnostic& d : ds) ++counts[d.file];
+  return counts;
+}
+
+std::map<Severity, int> count_by_severity(const std::vector<Diagnostic>& ds) {
+  std::map<Severity, int> counts;
+  for (const Diagnostic& d : ds) ++counts[d.severity];
+  return counts;
+}
+
+int count_at(const std::vector<Diagnostic>& ds, Severity s) {
+  int n = 0;
+  for (const Diagnostic& d : ds)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+}  // namespace hemo::analysis

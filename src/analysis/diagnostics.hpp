@@ -1,0 +1,51 @@
+#pragma once
+// Diagnostic framework shared by the two hemo-lint engines: the
+// portability linter over the porting-study corpus (rules.hpp) and the
+// sparse-lattice consistency checker (lattice_check.hpp).  It generalizes
+// the Table-2 warning taxonomy of src/port/warnings.hpp into a standalone
+// structure that reporters (report.hpp) can render as text or JSON.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hemo::analysis {
+
+enum class Severity {
+  kNote = 0,     // stylistic / informational
+  kWarning = 1,  // likely to need manual attention when porting
+  kError = 2,    // correctness hazard (race, OOB, dropped functionality)
+};
+
+constexpr const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+struct Diagnostic {
+  std::string rule_id;    // "HL###" (portability) or "LC###" (lattice)
+  Severity severity = Severity::kWarning;
+  std::string file;       // source file, or a lattice element description
+  int line = 0;           // 1-based source line; 0 when not line-oriented
+  std::string message;
+  std::string fixit_hint; // optional suggested remediation
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Stable presentation order: (file, line, rule_id, message).
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
+
+/// Aggregations used by the reporters and the CLI.
+std::map<std::string, int> count_by_rule(const std::vector<Diagnostic>& ds);
+std::map<std::string, int> count_by_file(const std::vector<Diagnostic>& ds);
+std::map<Severity, int> count_by_severity(const std::vector<Diagnostic>& ds);
+
+/// Number of diagnostics at exactly the given severity.
+int count_at(const std::vector<Diagnostic>& ds, Severity s);
+
+}  // namespace hemo::analysis

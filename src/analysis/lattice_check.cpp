@@ -1,0 +1,328 @@
+#include "analysis/lattice_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "base/contracts.hpp"
+#include "lbm/d3q19.hpp"
+
+namespace hemo::analysis {
+
+namespace {
+
+// Flooded output helps nobody: a corrupted build tends to break thousands
+// of links the same way, so each rule reports the first few sites and then
+// one summary line.
+constexpr int kMaxPerRule = 16;
+
+class RuleEmitter {
+ public:
+  RuleEmitter(std::vector<Diagnostic>& out, const char* rule_id,
+              Severity severity, const char* pseudo_file)
+      : out_(out), rule_id_(rule_id), severity_(severity),
+        file_(pseudo_file) {}
+
+  ~RuleEmitter() {
+    if (suppressed_ > 0) {
+      std::ostringstream msg;
+      msg << suppressed_ << " additional " << rule_id_
+          << " diagnostics suppressed";
+      out_.push_back(Diagnostic{rule_id_, severity_, file_, 0, msg.str(), ""});
+    }
+  }
+
+  void emit(const std::string& message, const std::string& fixit = "") {
+    if (emitted_ >= kMaxPerRule) {
+      ++suppressed_;
+      return;
+    }
+    ++emitted_;
+    out_.push_back(Diagnostic{rule_id_, severity_, file_, 0, message, fixit});
+  }
+
+  int emitted() const { return emitted_; }
+
+ private:
+  std::vector<Diagnostic>& out_;
+  std::string rule_id_;
+  Severity severity_;
+  std::string file_;
+  int emitted_ = 0;
+  int suppressed_ = 0;
+};
+
+std::string link_name(int q, std::int64_t i) {
+  std::ostringstream s;
+  s << "point " << i << ", direction " << q;
+  return s.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_lattice(const LatticeView& view) {
+  HEMO_EXPECTS(view.n >= 0);
+  HEMO_EXPECTS(view.n == 0 || view.adjacency != nullptr);
+  std::vector<Diagnostic> out;
+  const std::int64_t n = view.n;
+  auto adj = [&](int q, std::int64_t i) {
+    return view.adjacency[static_cast<std::size_t>(q) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(i)];
+  };
+
+  // Link slots already reported by an earlier rule; later rules skip them
+  // so one corruption maps to exactly one rule id (no cascades).
+  std::set<std::pair<int, std::int64_t>> faulted;
+
+  {
+    RuleEmitter oob(out, "LC001", Severity::kError, "lattice");
+    for (int q = 0; q < lbm::kQ; ++q) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const PointIndex a = adj(q, i);
+        if (a == kSolidNeighbor || (a >= 0 && a < n)) continue;
+        faulted.emplace(q, i);
+        std::ostringstream msg;
+        msg << "out-of-bounds neighbor index " << a << " at " << link_name(q, i)
+            << " (valid range [0, " << n << ") or solid)";
+        oob.emit(msg.str(), "rebuild the adjacency map; streaming through "
+                            "this link reads unowned memory");
+      }
+    }
+  }
+
+  {
+    RuleEmitter rest(out, "LC002", Severity::kError, "lattice");
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (faulted.contains({0, i})) continue;
+      if (adj(0, i) != i) {
+        faulted.emplace(0, i);
+        std::ostringstream msg;
+        msg << "rest-direction link of point " << i << " is " << adj(0, i)
+            << ", expected the point itself";
+        rest.emit(msg.str(), "the q=0 adjacency entry must be the identity");
+      }
+    }
+  }
+
+  {
+    // Pull-scheme adjacency must be injective per direction: two points
+    // with the same upstream neighbor correspond, in push streaming, to
+    // two threads writing the same slot — a write-write race.
+    RuleEmitter dup(out, "LC003", Severity::kError, "lattice");
+    std::vector<std::int64_t> first_reader(static_cast<std::size_t>(n));
+    for (int q = 1; q < lbm::kQ; ++q) {
+      std::fill(first_reader.begin(), first_reader.end(),
+                std::int64_t{-1});
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (faulted.contains({q, i})) continue;
+        const PointIndex a = adj(q, i);
+        if (a == kSolidNeighbor) continue;
+        auto& owner = first_reader[static_cast<std::size_t>(a)];
+        if (owner < 0) {
+          owner = i;
+          continue;
+        }
+        faulted.emplace(q, i);
+        std::ostringstream msg;
+        msg << "duplicate streaming target: points " << owner << " and " << i
+            << " both link to point " << a << " in direction " << q
+            << " (write-write race in push streaming)";
+        dup.emit(msg.str(),
+                 "adjacency per direction must be injective over fluid "
+                 "points");
+      }
+    }
+  }
+
+  {
+    // Every pull link i <- j in direction q implies the reverse link
+    // j <- i in the opposite direction; bounce-back relies on this
+    // involution, and a one-sided link is a corrupted wall map.
+    RuleEmitter inv(out, "LC004", Severity::kError, "lattice");
+    for (int q = 1; q < lbm::kQ; ++q) {
+      const int opp = lbm::opposite(q);
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (faulted.contains({q, i})) continue;
+        const PointIndex j = adj(q, i);
+        if (j == kSolidNeighbor) continue;
+        if (faulted.contains({opp, static_cast<std::int64_t>(j)})) continue;
+        if (adj(opp, j) != i) {
+          std::ostringstream msg;
+          msg << "non-involutive link: " << link_name(q, i) << " reaches point "
+              << j << " but " << link_name(opp, j) << " is "
+              << adj(opp, j) << " instead of " << i;
+          inv.emit(msg.str(),
+                   "bounce-back requires neighbor(opp(q), neighbor(q, i)) "
+                   "== i");
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+std::vector<Diagnostic> check_lattice(const lbm::SparseLattice& lattice) {
+  LatticeView view;
+  view.n = lattice.size();
+  view.adjacency = lattice.adjacency().data();
+  view.node_types = lattice.node_types().data();
+  std::vector<Diagnostic> out = check_lattice(view);
+
+  // Inlet reachability: every fluid cell must be connected (through fluid
+  // links, in either direction) to an inlet node, or it simulates a
+  // stagnant pocket the inflow can never feed.  Lattices without inlet
+  // nodes (periodic validation geometries) skip the check.
+  const std::int64_t n = lattice.size();
+  std::vector<std::int64_t> frontier;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (lattice.node_type(i) == lbm::NodeType::kVelocityInlet) {
+      visited[static_cast<std::size_t>(i)] = 1;
+      frontier.push_back(i);
+    }
+  }
+  if (!frontier.empty()) {
+    while (!frontier.empty()) {
+      const std::int64_t i = frontier.back();
+      frontier.pop_back();
+      for (int q = 1; q < lbm::kQ; ++q) {
+        const PointIndex j = lattice.neighbor(q, i);
+        if (j == kSolidNeighbor || j < 0 || j >= n) continue;
+        if (!visited[static_cast<std::size_t>(j)]) {
+          visited[static_cast<std::size_t>(j)] = 1;
+          frontier.push_back(j);
+        }
+      }
+    }
+    std::int64_t unreachable = 0;
+    std::int64_t example = -1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!visited[static_cast<std::size_t>(i)]) {
+        if (example < 0) example = i;
+        ++unreachable;
+      }
+    }
+    if (unreachable > 0) {
+      const Coord c = lattice.coord(example);
+      std::ostringstream msg;
+      msg << unreachable << " fluid cells are unreachable from the inlet "
+          << "(first: point " << example << " at (" << c.x << ", " << c.y
+          << ", " << c.z << "))";
+      out.push_back(Diagnostic{"LC005", Severity::kWarning, "lattice", 0,
+                               msg.str(),
+                               "check the voxelization; disconnected pockets "
+                               "never see the inflow"});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_partition(const lbm::SparseLattice& lattice,
+                                        const decomp::Partition& partition) {
+  std::vector<Diagnostic> out;
+  const std::int64_t n = lattice.size();
+
+  if (partition.owner.size() != static_cast<std::size_t>(n)) {
+    std::ostringstream msg;
+    msg << "owner array covers " << partition.owner.size() << " points but "
+        << "the lattice has " << n;
+    out.push_back(Diagnostic{"LC006", Severity::kError, "partition", 0,
+                             msg.str(), "repartition after geometry changes"});
+    return out;  // counts below would index out of bounds
+  }
+
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(std::max(partition.n_ranks, 0)), 0);
+  {
+    RuleEmitter range(out, "LC006", Severity::kError, "partition");
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Rank r = partition.owner[static_cast<std::size_t>(i)];
+      if (r < 0 || r >= partition.n_ranks) {
+        std::ostringstream msg;
+        msg << "point " << i << " is owned by rank " << r
+            << ", outside [0, " << partition.n_ranks << ")";
+        range.emit(msg.str());
+        continue;
+      }
+      ++counts[static_cast<std::size_t>(r)];
+    }
+  }
+  for (Rank r = 0; r < partition.n_ranks; ++r) {
+    if (counts[static_cast<std::size_t>(r)] == 0) {
+      std::ostringstream msg;
+      msg << "rank " << r << " owns zero points (idle device)";
+      out.push_back(Diagnostic{"LC007", Severity::kWarning, "partition", 0,
+                               msg.str(),
+                               "reduce the rank count or rebalance"});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_halo_plan(const lbm::SparseLattice& lattice,
+                                        const decomp::Partition& partition,
+                                        const decomp::HaloPlan& plan) {
+  std::vector<Diagnostic> out;
+  const decomp::HaloPlan truth = decomp::build_halo_plan(lattice, partition);
+
+  using Key = std::pair<Rank, Rank>;
+  std::map<Key, std::int64_t> claimed;
+  {
+    RuleEmitter shape(out, "LC008", Severity::kError, "halo-plan");
+    for (const decomp::HaloMessage& m : plan.messages) {
+      if (m.src == m.dst) {
+        std::ostringstream msg;
+        msg << "self-message on rank " << m.src
+            << ": halo pack/unpack would overlap the rank's own interior "
+               "updates";
+        shape.emit(msg.str());
+        continue;
+      }
+      auto [it, inserted] = claimed.emplace(Key{m.src, m.dst}, m.values);
+      if (!inserted) {
+        std::ostringstream msg;
+        msg << "duplicate message " << m.src << " -> " << m.dst
+            << ": the second unpack overwrites the first";
+        shape.emit(msg.str());
+        it->second += m.values;
+      }
+    }
+  }
+
+  RuleEmitter diff(out, "LC008", Severity::kError, "halo-plan");
+  for (const decomp::HaloMessage& t : truth.messages) {
+    const auto it = claimed.find(Key{t.src, t.dst});
+    if (it == claimed.end()) {
+      std::ostringstream msg;
+      msg << "missing message " << t.src << " -> " << t.dst << " ("
+          << t.values << " values): ghosts on rank " << t.dst
+          << " would keep stale data";
+      diff.emit(msg.str(), "rebuild the halo plan from the current "
+                           "partition");
+      continue;
+    }
+    if (it->second != t.values) {
+      std::ostringstream msg;
+      msg << "message " << t.src << " -> " << t.dst << " carries "
+          << it->second << " values, lattice requires " << t.values
+          << (it->second < t.values ? " (truncated halo map)"
+                                    : " (overfull halo map)");
+      diff.emit(msg.str(), "rebuild the halo plan from the current "
+                           "partition");
+    }
+    claimed.erase(it);
+  }
+  for (const auto& [key, values] : claimed) {
+    std::ostringstream msg;
+    msg << "spurious message " << key.first << " -> " << key.second << " ("
+        << values << " values) not implied by any crossing lattice link";
+    diff.emit(msg.str());
+  }
+  return out;
+}
+
+}  // namespace hemo::analysis

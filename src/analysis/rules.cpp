@@ -1,0 +1,338 @@
+#include "analysis/rules.hpp"
+
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace hemo::analysis {
+
+namespace {
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// The line with comments removed: everything after "//" and any
+/// single-line "/* ... */" spans.  Rules that diagnose live code scan
+/// this; rules about translator breadcrumbs scan the raw line.
+std::string code_text(const std::string& line) {
+  std::string out = line;
+  std::size_t pos = 0;
+  while ((pos = out.find("/*")) != std::string::npos) {
+    const std::size_t end = out.find("*/", pos + 2);
+    if (end == std::string::npos) {
+      out.erase(pos);
+      break;
+    }
+    out.erase(pos, end + 2 - pos);
+  }
+  if ((pos = out.find("//")) != std::string::npos) out.erase(pos);
+  return out;
+}
+
+void add(std::vector<Diagnostic>& out, const LintRule& rule,
+         const LintSource& src, int line, std::string message,
+         std::string fixit) {
+  out.push_back(Diagnostic{rule.id, rule.severity, src.file, line,
+                           std::move(message), std::move(fixit)});
+}
+
+// --- HL001: warp-size-32 assumptions -----------------------------------
+// A literal 32 baked into sizes or shuffles assumes NVIDIA's warp width;
+// AMD wavefronts are 64 lanes wide, so reductions and probe allocations
+// sized this way silently under-cover half the wavefront after a port.
+const std::regex kWarp32(
+    R"((warp|__shfl|__ballot|lane)|((^|[^\w.])32([^\w.]|$)))");
+
+void check_warp32(const LintRule& rule, const LintSource& src,
+                  std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string code = code_text(src.lines[i]);
+    if (std::regex_search(code, kWarp32)) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "literal 32 (or warp intrinsic) assumes a 32-lane warp; AMD "
+          "wavefronts have 64 lanes",
+          "query the sub-group/wavefront size from the device at runtime");
+    }
+  }
+}
+
+// --- HL002: uninitialized dim3 declaration ------------------------------
+// "dim3x g;" relies on dim3's default constructor.  DPCT translates the
+// type to sycl::range, which has no default constructor, so every such
+// declaration becomes a compile error in the SYCL port (the paper's main
+// manual-fix category, Section 7).
+const std::regex kUninitDim3(R"(^\s*dim3x\s+\w+\s*;)");
+
+void check_uninit_dim3(const LintRule& rule, const LintSource& src,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    if (std::regex_search(code_text(src.lines[i]), kUninitDim3)) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "uninitialized dim3 declaration; sycl::range has no default "
+          "constructor, so DPCT output will not compile",
+          "initialize at the declaration, e.g. dim3x grid_dim(1)");
+    }
+  }
+}
+
+// --- HL003: raw-pointer kernel captures ---------------------------------
+// Kernel functors that carry raw device pointers defeat the accessor /
+// View dependence tracking of SYCL and Kokkos: the runtime cannot order
+// kernels or migrate memory for them, which is exactly where the ports'
+// silent data races came from.
+const std::regex kKernelStruct(R"(struct\s+\w*Kernel\b)");
+const std::regex kPointerMember(R"(^\s*(const\s+)?[\w:]+\s*\*\s*\w+;)");
+
+void check_raw_pointer_capture(const LintRule& rule, const LintSource& src,
+                               std::vector<Diagnostic>& out) {
+  bool in_kernel = false;
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string code = code_text(src.lines[i]);
+    if (std::regex_search(code, kKernelStruct)) {
+      in_kernel = true;
+      continue;
+    }
+    if (in_kernel && contains(code, "};")) {
+      in_kernel = false;
+      continue;
+    }
+    if (in_kernel && std::regex_search(code, kPointerMember)) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "kernel functor captures a raw device pointer; the runtime "
+          "cannot track dependences or migrate the allocation",
+          "carry an accessor/View (or mark the USM pointer dependence "
+          "explicitly)");
+    }
+  }
+}
+
+// --- HL004: mixed synchronization APIs ----------------------------------
+// Mixing device-wide and stream-scoped synchronization in one file makes
+// the port ambiguous: translators map the two onto different constructs
+// (queue.wait vs. device barrier) whose ordering guarantees differ.
+void check_sync_mixing(const LintRule& rule, const LintSource& src,
+                       std::vector<Diagnostic>& out) {
+  int device_sync_line = 0;
+  int stream_sync_line = 0;
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string code = code_text(src.lines[i]);
+    if (device_sync_line == 0 && (contains(code, "DeviceSynchronize(") ||
+                                  contains(code, "device_synchronize(")))
+      device_sync_line = static_cast<int>(i) + 1;
+    if (stream_sync_line == 0 && (contains(code, "StreamSynchronize(") ||
+                                  contains(code, "stream_synchronize(")))
+      stream_sync_line = static_cast<int>(i) + 1;
+  }
+  if (device_sync_line != 0 && stream_sync_line != 0) {
+    std::ostringstream msg;
+    msg << "file mixes device-wide (line " << device_sync_line
+        << ") and stream-scoped (line " << stream_sync_line
+        << ") synchronization; translated ports inherit different "
+           "ordering guarantees for each";
+    add(out, rule, src, std::max(device_sync_line, stream_sync_line),
+        msg.str(), "standardize on one synchronization granularity");
+  }
+}
+
+// --- HL005: unchecked device call ---------------------------------------
+// A device API call whose status is discarded.  The launch-then-
+// GetLastError idiom is recognized and not flagged.
+const std::regex kDeviceCall(R"(\b((cudax|hipx)[A-Z]\w*|dpctx::\w+)\s*\()");
+const std::set<std::string> kStatusExempt = {
+    "cudaxGetErrorString", "hipxGetErrorString",  // returns a string
+};
+
+bool is_blank(const std::string& s) {
+  return s.find_first_not_of(" \t") == std::string::npos;
+}
+
+void check_unchecked_call(const LintRule& rule, const LintSource& src,
+                          std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string code = code_text(src.lines[i]);
+    std::smatch m;
+    if (!std::regex_search(code, m, kDeviceCall)) continue;
+    const std::string callee = m[1].str();
+    if (kStatusExempt.contains(callee)) continue;
+    // Already consumed: wrapped in a check macro, assigned, or branched on.
+    if (contains(code, "CHECK") || contains(code, "EXPECTS") ||
+        contains(code, "ENSURES") || contains(code, "ASSERT") ||
+        contains(code, "=") || contains(code, "if ") ||
+        contains(code, "return ") || contains(code, "#define"))
+      continue;
+    // Launch idiom: the next statement polls GetLastError under a check.
+    std::size_t j = i + 1;
+    while (j < src.lines.size() && is_blank(src.lines[j])) ++j;
+    if (j < src.lines.size()) {
+      const std::string next = code_text(src.lines[j]);
+      if (contains(next, "GetLastError") || contains(next, "get_last_error"))
+        continue;
+    }
+    add(out, rule, src, static_cast<int>(i) + 1,
+        "status of device call " + callee + " is discarded",
+        "wrap the call in the file's CHECK macro");
+  }
+}
+
+// --- HL006: hard-coded work-group geometry ------------------------------
+// Literal block sizes and the "(n + 255) / 256" rounding bake one
+// device's preference into every backend; Table 2's kernel-invocation
+// warnings (15% of DPCT output) are exactly these sites.
+const std::regex kBlockLiteral(
+    R"((\b(block|launch)\w*\.\w\s*=\s*\d+)|(\+\s*255\)\s*/\s*256)|(dim3x\(\s*\d+\s*\)))");
+
+void check_hard_coded_geometry(const LintRule& rule, const LintSource& src,
+                               std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    if (std::regex_search(code_text(src.lines[i]), kBlockLiteral)) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "hard-coded work-group geometry; the preferred block size "
+          "differs across backends and devices",
+          "derive the block size from a device query or a tunable");
+    }
+  }
+}
+
+// --- HL007: API with no portable equivalent -----------------------------
+// The calls mini-DPCT classifies as unsupported features (Table 2): the
+// translated port silently loses this functionality.
+const std::regex kNonPortable(
+    R"(\b(cudax|hipx)(DeviceSetLimit|FuncSetCacheConfig|StreamAttachMemAsync)\s*\()");
+
+void check_nonportable_api(const LintRule& rule, const LintSource& src,
+                           std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    std::smatch m;
+    const std::string code = code_text(src.lines[i]);
+    if (std::regex_search(code, m, kNonPortable)) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "call has no equivalent in SYCL/Kokkos; automatic translation "
+          "drops it (DPCT unsupported-feature category)",
+          "guard the call behind a backend #ifdef or remove the "
+          "dependence on it");
+    }
+  }
+}
+
+// --- HL008: translation residue -----------------------------------------
+// "/* DPCTX1007 removed: ... */" breadcrumbs mark functionality the
+// translator dropped; shipping them unresolved means the port never
+// reinstated the behavior.
+void check_translation_residue(const LintRule& rule, const LintSource& src,
+                               std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    if (contains(src.lines[i], " removed: ")) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "unresolved translator breadcrumb: functionality removed by "
+          "automatic translation was never reinstated",
+          "port the dropped call manually or delete the breadcrumb "
+          "after confirming it is unneeded");
+    }
+  }
+}
+
+// --- HL009: null-stream synchronization ---------------------------------
+// Synchronizing stream 0 pins the legacy default-stream semantics, which
+// HIP and per-thread-default-stream builds do not reproduce.
+void check_null_stream_sync(const LintRule& rule, const LintSource& src,
+                            std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string code = code_text(src.lines[i]);
+    if (contains(code, "StreamSynchronize(0)") ||
+        contains(code, "stream_synchronize(0)")) {
+      add(out, rule, src, static_cast<int>(i) + 1,
+          "synchronizes the legacy null stream; default-stream semantics "
+          "differ across backends",
+          "synchronize the explicit stream the work was submitted to");
+    }
+  }
+}
+
+std::vector<LintRule> build_rules() {
+  std::vector<LintRule> rules;
+  auto reg = [&rules](const char* id, const char* name, Severity sev,
+                      const char* summary, auto fn) {
+    LintRule r{id, name, sev, summary, nullptr};
+    const LintRule meta = r;  // id/severity snapshot for the closure
+    r.check = [meta, fn](const LintSource& src,
+                         std::vector<Diagnostic>& out) { fn(meta, src, out); };
+    rules.push_back(std::move(r));
+  };
+  reg("HL001", "warp-size-assumption", Severity::kWarning,
+      "literal 32 / warp intrinsics assume 32-lane warps", check_warp32);
+  reg("HL002", "uninitialized-dim3", Severity::kError,
+      "dim3 declared without initializer breaks the SYCL translation",
+      check_uninit_dim3);
+  reg("HL003", "raw-pointer-kernel-capture", Severity::kWarning,
+      "kernel functor members are raw device pointers", check_raw_pointer_capture);
+  reg("HL004", "sync-api-mixing", Severity::kWarning,
+      "device-wide and stream-scoped synchronization mixed in one file",
+      check_sync_mixing);
+  reg("HL005", "unchecked-device-call", Severity::kError,
+      "device call status discarded (no CHECK macro)", check_unchecked_call);
+  reg("HL006", "hard-coded-work-group", Severity::kWarning,
+      "literal block sizes / grid rounding bake in one device's geometry",
+      check_hard_coded_geometry);
+  reg("HL007", "nonportable-api", Severity::kError,
+      "CUDA/HIP-only API that automatic translation drops",
+      check_nonportable_api);
+  reg("HL008", "translation-residue", Severity::kWarning,
+      "unresolved 'removed:' breadcrumb from a translator",
+      check_translation_residue);
+  reg("HL009", "null-stream-sync", Severity::kNote,
+      "legacy null-stream synchronization semantics", check_null_stream_sync);
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<LintRule>& lint_rules() {
+  static const std::vector<LintRule> rules = build_rules();
+  return rules;
+}
+
+LintSource make_lint_source(const std::string& file,
+                            const std::string& content) {
+  LintSource src;
+  src.file = file;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) src.lines.push_back(line);
+  return src;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& file,
+                                    const std::string& content) {
+  const LintSource src = make_lint_source(file, content);
+  std::vector<Diagnostic> out;
+  for (const LintRule& rule : lint_rules()) rule.check(src, out);
+  sort_diagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> lint_corpus(port::CorpusDialect dialect) {
+  const char* prefix = "";
+  switch (dialect) {
+    case port::CorpusDialect::kCudax: prefix = "cudax/"; break;
+    case port::CorpusDialect::kHipx: prefix = "hipx/"; break;
+    case port::CorpusDialect::kSyclx: prefix = "syclx/"; break;
+    case port::CorpusDialect::kKokkosx: prefix = "kokkosx/"; break;
+  }
+  std::vector<Diagnostic> out;
+  for (const std::string& name : port::corpus_files()) {
+    const std::string content = port::read_corpus_file(dialect, name);
+    std::vector<Diagnostic> file_diags = lint_source(prefix + name, content);
+    out.insert(out.end(), file_diags.begin(), file_diags.end());
+  }
+  sort_diagnostics(out);
+  return out;
+}
+
+int distinct_rule_count(const std::vector<Diagnostic>& ds) {
+  std::set<std::string> ids;
+  for (const Diagnostic& d : ds) ids.insert(d.rule_id);
+  return static_cast<int>(ids.size());
+}
+
+}  // namespace hemo::analysis

@@ -1,0 +1,54 @@
+#pragma once
+// Portability linter: rule-based scanning of backend/corpus sources for
+// the hazards that made the paper's ports expensive (Section 7, Tables
+// 2-3).  Where mini-DPCT warns while translating, this linter diagnoses
+// the *input* (and the checked-in ports) without rewriting anything, so
+// CI can diff lint baselines across PRs.
+//
+// Every rule is line-oriented and text-based by design: the corpus
+// dialects share one syntax (plain C++ over the hal shims), which keeps
+// the rules symmetric across CUDA/HIP/SYCL/Kokkos spellings.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "port/corpus.hpp"
+
+namespace hemo::analysis {
+
+/// One source file split into lines, as seen by the rule callbacks.
+struct LintSource {
+  std::string file;                // display name, e.g. "cudax/streams.cpp"
+  std::vector<std::string> lines;  // 1-based via lines[line - 1]
+};
+
+struct LintRule {
+  std::string id;        // "HL001"...
+  std::string name;      // kebab-case slug, e.g. "uninitialized-dim3"
+  Severity severity = Severity::kWarning;
+  std::string summary;   // one-line description for --list-rules
+  std::function<void(const LintSource&, std::vector<Diagnostic>&)> check;
+};
+
+/// The fixed registry of portability rules, in id order.
+const std::vector<LintRule>& lint_rules();
+
+/// Splits a source buffer into a LintSource (handles trailing newline).
+LintSource make_lint_source(const std::string& file,
+                            const std::string& content);
+
+/// Runs every rule over one source buffer.  Diagnostics come back in
+/// (file, line, rule) order.
+std::vector<Diagnostic> lint_source(const std::string& file,
+                                    const std::string& content);
+
+/// Lints every file of one corpus dialect; file names are prefixed with
+/// the dialect directory ("hipx/streams.cpp").
+std::vector<Diagnostic> lint_corpus(port::CorpusDialect dialect);
+
+/// Number of distinct rule ids present in a diagnostic set.
+int distinct_rule_count(const std::vector<Diagnostic>& ds);
+
+}  // namespace hemo::analysis

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
 #include <unordered_map>
 
+#include "analysis/lattice_check.hpp"
 #include "base/contracts.hpp"
 #include "hal/cudax.hpp"
 #include "hal/hipx.hpp"
@@ -254,6 +258,55 @@ void DistributedSolver::step() {
 void DistributedSolver::run(int steps) {
   HEMO_EXPECTS(steps >= 0);
   for (int s = 0; s < steps; ++s) step();
+}
+
+std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
+  std::vector<analysis::Diagnostic> out = analysis::check_lattice(*global_);
+  {
+    std::vector<analysis::Diagnostic> part =
+        analysis::check_partition(*global_, partition_);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+
+  // Exchange-level invariants: every pack slot reads an interior (owned)
+  // value, every unpack slot writes a ghost slot, and no (q, slot) pair is
+  // unpacked twice.  A violation means the halo exchange overlaps the
+  // interior update of the same step — the distributed analogue of the
+  // push-streaming write-write race.
+  auto emit = [&out](const std::string& message) {
+    out.push_back(analysis::Diagnostic{
+        "LC009", analysis::Severity::kError, "halo-exchange", 0, message,
+        "rebuild the exchange lists from the current partition"});
+  };
+  std::set<std::tuple<Rank, int, std::int64_t>> unpack_slots;
+  for (const Exchange& e : exchanges_) {
+    if (e.src < 0 || e.src >= partition_.n_ranks || e.dst < 0 ||
+        e.dst >= partition_.n_ranks || e.src == e.dst) {
+      std::ostringstream msg;
+      msg << "malformed exchange " << e.src << " -> " << e.dst;
+      emit(msg.str());
+      continue;
+    }
+    const RankState& src = ranks_[static_cast<std::size_t>(e.src)];
+    const RankState& dst = ranks_[static_cast<std::size_t>(e.dst)];
+    for (std::size_t k = 0; k < e.q.size(); ++k) {
+      std::ostringstream at;
+      at << "exchange " << e.src << " -> " << e.dst << ", entry " << k;
+      if (e.q[k] < 1 || e.q[k] >= lbm::kQ) {
+        emit(at.str() + ": direction out of range");
+        continue;
+      }
+      if (e.src_local[k] < 0 || e.src_local[k] >= src.owned)
+        emit(at.str() + ": pack slot is not an interior point of the "
+                        "sending rank");
+      if (e.dst_local[k] < dst.owned || e.dst_local[k] >= dst.local)
+        emit(at.str() + ": unpack slot overlaps the receiving rank's "
+                        "interior update");
+      else if (!unpack_slots.emplace(e.dst, e.q[k], e.dst_local[k]).second)
+        emit(at.str() + ": ghost slot unpacked twice");
+    }
+  }
+  return out;
 }
 
 void DistributedSolver::set_inlet_velocity(double velocity) {

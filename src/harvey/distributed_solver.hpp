@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "comm/network.hpp"
 #include "hal/model.hpp"
 #include "decomp/partition.hpp"
@@ -31,6 +32,14 @@ class DistributedSolver {
 
   void step();
   void run(int steps);
+
+  /// Debug hook: statically validates the decomposed state before any
+  /// time-stepping — global lattice consistency (hemo::analysis lattice
+  /// checker), the partition, and the precomputed halo exchanges (pack
+  /// slots must be interior, unpack slots must be ghost slots, no slot
+  /// unpacked twice; rule LC009).  Returns every diagnostic found; an
+  /// empty vector means the solver state is safe to step.
+  std::vector<analysis::Diagnostic> validate() const;
 
   int n_ranks() const { return partition_.n_ranks; }
   std::int64_t step_count() const { return steps_done_; }

@@ -92,9 +92,10 @@ std::array<double, 6> Solver::stress(PointIndex i) const {
   HEMO_EXPECTS(i >= 0 && i < lattice_->size());
   // The stress lives in the non-equilibrium part of the *pre-collision*
   // distributions (collision relaxes it away — entirely so at tau = 1),
-  // so re-gather the incoming populations of the next step.
-  const KernelArgs a =
-      args(*current_, *const_cast<std::vector<double>*>(next_));
+  // so re-gather the incoming populations of the next step.  The gather
+  // never writes f_out, and next_ points at non-const storage even in a
+  // const method, so no const_cast is needed.
+  const KernelArgs a = args(*current_, *next_);
   double f[kQ];
   gather_pre_collision(a, i, f);
   return deviatoric_stress(f, 1.0 / options_.tau, options_.body_force.x,

@@ -39,9 +39,9 @@ std::vector<std::string> corpus_files() {
   HEMO_EXPECTS(fs::is_directory(dir));
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
+    std::string name = entry.path().filename().string();
     if (name.ends_with(".cpp") || name.ends_with(".h"))
-      names.push_back(name);
+      names.push_back(std::move(name));
   }
   std::sort(names.begin(), names.end());
   return names;

@@ -1,6 +1,7 @@
 #include "port/hipify.hpp"
 
 #include <cctype>
+#include <string_view>
 
 namespace hemo::port {
 
@@ -54,14 +55,17 @@ HipifyResult hipify(const std::string& cudax_source) {
   text = replace_prefix(text, "CUDAX_", "HIPX_");
 
   // Count rewritten lines by comparing against the input line by line.
+  // string_view slices: the comparison must not allocate per line.
+  const std::string_view src_view = cudax_source;
+  const std::string_view out_view = text;
   std::size_t a = 0, b = 0;
-  while (a < cudax_source.size() || b < text.size()) {
-    const std::size_t ae = cudax_source.find('\n', a);
-    const std::size_t be = text.find('\n', b);
-    const std::string la = cudax_source.substr(
-        a, (ae == std::string::npos ? cudax_source.size() : ae) - a);
-    const std::string lb =
-        text.substr(b, (be == std::string::npos ? text.size() : be) - b);
+  while (a < src_view.size() || b < out_view.size()) {
+    const std::size_t ae = src_view.find('\n', a);
+    const std::size_t be = out_view.find('\n', b);
+    const std::string_view la = src_view.substr(
+        a, (ae == std::string::npos ? src_view.size() : ae) - a);
+    const std::string_view lb = out_view.substr(
+        b, (be == std::string::npos ? out_view.size() : be) - b);
     if (la != lb) ++result.lines_touched;
     if (ae == std::string::npos || be == std::string::npos) break;
     a = ae + 1;

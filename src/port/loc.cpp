@@ -6,6 +6,9 @@ namespace hemo::port {
 
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(
+                    std::count(text.begin(), text.end(), '\n')) +
+                1);
   std::size_t start = 0;
   while (start <= text.size()) {
     const std::size_t end = text.find('\n', start);

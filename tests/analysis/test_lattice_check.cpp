@@ -1,0 +1,234 @@
+// Lattice-checker seeded-fault suite: a clean geometry is silent, and
+// each injected corruption (OOB neighbor, duplicated streaming target,
+// broken rest link, one-sided bounce-back link, truncated halo map,
+// corrupt partition) yields exactly the expected diagnostic and severity
+// — zero false negatives, zero cascades.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/lattice_check.hpp"
+#include "decomp/partition.hpp"
+#include "geom/cylinder.hpp"
+#include "harvey/distributed_solver.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace analysis = hemo::analysis;
+namespace decomp = hemo::decomp;
+namespace geom = hemo::geom;
+namespace lbm = hemo::lbm;
+using hemo::Coord;
+using hemo::PointIndex;
+
+namespace {
+
+std::vector<Coord> block(int nx, int ny, int nz) {
+  std::vector<Coord> coords;
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) coords.push_back({x, y, z});
+  return coords;
+}
+
+/// A 5^3 box plus a mutable copy of its adjacency for fault injection.
+struct Fixture {
+  lbm::SparseLattice lattice{block(5, 5, 5)};
+  std::vector<PointIndex> adjacency{lattice.adjacency()};
+
+  analysis::LatticeView view() const {
+    return analysis::LatticeView{lattice.size(), adjacency.data(),
+                                 lattice.node_types().data()};
+  }
+  std::size_t slot(int q, PointIndex i) const {
+    return static_cast<std::size_t>(q) *
+               static_cast<std::size_t>(lattice.size()) +
+           static_cast<std::size_t>(i);
+  }
+};
+
+}  // namespace
+
+TEST(LatticeCheck, CleanBoxIsSilent) {
+  const Fixture f;
+  EXPECT_TRUE(analysis::check_lattice(f.view()).empty());
+}
+
+TEST(LatticeCheck, CleanCylinderIsSilent) {
+  for (const geom::CylinderEnds ends :
+       {geom::CylinderEnds::kPeriodic, geom::CylinderEnds::kInletOutlet}) {
+    const auto lattice = geom::make_cylinder_lattice(geom::CylinderSpec{}, ends);
+    EXPECT_TRUE(analysis::check_lattice(*lattice).empty());
+  }
+}
+
+TEST(LatticeCheck, OutOfBoundsNeighborYieldsExactlyLC001) {
+  Fixture f;
+  const PointIndex center = f.lattice.find(Coord{2, 2, 2});
+  f.adjacency[f.slot(1, center)] = f.lattice.size() + 7;
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC001");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+}
+
+TEST(LatticeCheck, NegativeGarbageNeighborYieldsExactlyLC001) {
+  Fixture f;
+  const PointIndex center = f.lattice.find(Coord{2, 2, 2});
+  f.adjacency[f.slot(5, center)] = -42;  // not the solid sentinel
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC001");
+}
+
+TEST(LatticeCheck, BrokenRestLinkYieldsExactlyLC002) {
+  Fixture f;
+  const PointIndex center = f.lattice.find(Coord{2, 2, 2});
+  f.adjacency[f.slot(0, center)] = center + 1;
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC002");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+}
+
+TEST(LatticeCheck, DuplicatedWriteTargetYieldsExactlyLC003) {
+  Fixture f;
+  const PointIndex i1 = f.lattice.find(Coord{2, 2, 2});
+  const PointIndex i2 = f.lattice.find(Coord{2, 2, 3});
+  // Redirect i2's direction-1 link onto i1's upstream: in push streaming
+  // both points would now write the same slot.
+  f.adjacency[f.slot(1, i2)] = f.adjacency[f.slot(1, i1)];
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC003");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+}
+
+TEST(LatticeCheck, OneSidedLinkYieldsExactlyLC004) {
+  Fixture f;
+  // Carve a spurious wall into one side of an interior link; the reverse
+  // link still exists, so the bounce-back map is no longer involutive.
+  const PointIndex center = f.lattice.find(Coord{2, 2, 2});
+  f.adjacency[f.slot(1, center)] = hemo::kSolidNeighbor;
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC004");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+}
+
+TEST(LatticeCheck, FloodedCorruptionIsSummarized) {
+  Fixture f;
+  // Corrupt every direction-1 link: the checker caps per-rule output and
+  // appends one summary diagnostic instead of flooding.
+  for (PointIndex i = 0; i < f.lattice.size(); ++i)
+    f.adjacency[f.slot(1, i)] = f.lattice.size() + i;
+  const auto ds = analysis::check_lattice(f.view());
+  ASSERT_FALSE(ds.empty());
+  for (const analysis::Diagnostic& d : ds) EXPECT_EQ(d.rule_id, "LC001");
+  EXPECT_LT(ds.size(), static_cast<std::size_t>(f.lattice.size()));
+  EXPECT_NE(ds.back().message.find("suppressed"), std::string::npos);
+}
+
+TEST(LatticeCheck, UnreachablePocketYieldsLC005) {
+  // Two 3^3 blocks with a gap in z: the far block never sees the inlet.
+  std::vector<Coord> coords = block(3, 3, 3);
+  for (const Coord& c : block(3, 3, 3))
+    coords.push_back(Coord{c.x, c.y, c.z + 5});
+  lbm::SparseLattice lattice(std::move(coords));
+  for (PointIndex i = 0; i < lattice.size(); ++i)
+    if (lattice.coord(i).z == 0)
+      lattice.set_node_type(i, lbm::NodeType::kVelocityInlet);
+  const auto ds = analysis::check_lattice(lattice);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC005");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kWarning);
+  EXPECT_NE(ds[0].message.find("27"), std::string::npos);  // 3^3 cells
+}
+
+TEST(LatticeCheck, PartitionOwnerOutOfRangeYieldsLC006) {
+  const Fixture f;
+  decomp::Partition partition = decomp::slab_partition(f.lattice, 2);
+  partition.owner[0] = 5;
+  const auto ds = analysis::check_partition(f.lattice, partition);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC006");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+}
+
+TEST(LatticeCheck, TruncatedOwnerArrayYieldsLC006) {
+  const Fixture f;
+  decomp::Partition partition = decomp::slab_partition(f.lattice, 2);
+  partition.owner.pop_back();
+  const auto ds = analysis::check_partition(f.lattice, partition);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC006");
+}
+
+TEST(LatticeCheck, EmptyRankYieldsLC007) {
+  const Fixture f;
+  decomp::Partition partition = decomp::slab_partition(f.lattice, 2);
+  for (auto& owner : partition.owner) owner = 0;  // rank 1 starves
+  const auto ds = analysis::check_partition(f.lattice, partition);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC007");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kWarning);
+}
+
+TEST(LatticeCheck, IntactHaloPlanIsSilent) {
+  const Fixture f;
+  const decomp::Partition partition = decomp::slab_partition(f.lattice, 3);
+  const decomp::HaloPlan plan = decomp::build_halo_plan(f.lattice, partition);
+  EXPECT_TRUE(analysis::check_halo_plan(f.lattice, partition, plan).empty());
+}
+
+TEST(LatticeCheck, TruncatedHaloMapYieldsLC008) {
+  const Fixture f;
+  const decomp::Partition partition = decomp::slab_partition(f.lattice, 3);
+  decomp::HaloPlan plan = decomp::build_halo_plan(f.lattice, partition);
+  ASSERT_FALSE(plan.messages.empty());
+
+  // Truncation flavor 1: a whole message dropped.
+  decomp::HaloPlan missing = plan;
+  missing.messages.pop_back();
+  auto ds = analysis::check_halo_plan(f.lattice, partition, missing);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC008");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+  EXPECT_NE(ds[0].message.find("missing message"), std::string::npos);
+
+  // Truncation flavor 2: a message shortened by a few values.
+  decomp::HaloPlan shortened = plan;
+  shortened.messages.front().values -= 3;
+  ds = analysis::check_halo_plan(f.lattice, partition, shortened);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC008");
+  EXPECT_NE(ds[0].message.find("truncated halo map"), std::string::npos);
+}
+
+TEST(LatticeCheck, SelfMessageYieldsLC008) {
+  const Fixture f;
+  const decomp::Partition partition = decomp::slab_partition(f.lattice, 3);
+  decomp::HaloPlan plan = decomp::build_halo_plan(f.lattice, partition);
+  ASSERT_FALSE(plan.messages.empty());
+  plan.messages.push_back(decomp::HaloMessage{1, 1, 4});
+  const auto ds = analysis::check_halo_plan(f.lattice, partition, plan);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC008");
+  EXPECT_NE(ds[0].message.find("overlap"), std::string::npos);
+}
+
+TEST(LatticeCheck, DistributedSolverValidateIsCleanOnCylinder) {
+  const auto lattice = geom::make_cylinder_lattice(
+      geom::CylinderSpec{}, geom::CylinderEnds::kInletOutlet);
+  const decomp::Partition partition = decomp::slab_partition(*lattice, 4);
+  lbm::SolverOptions options;
+  options.inlet_velocity = 0.01;
+  hemo::harvey::DistributedSolver solver(lattice, partition, options);
+  const auto ds = solver.validate();
+  EXPECT_TRUE(ds.empty());
+  // The hook is pre-flight: validating must not advance the simulation.
+  EXPECT_EQ(solver.step_count(), 0);
+  solver.run(2);
+  EXPECT_EQ(solver.step_count(), 2);
+}

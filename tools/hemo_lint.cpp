@@ -1,0 +1,199 @@
+// hemo_lint: CLI driver for the hemo::analysis subsystem.
+//
+//   hemo_lint --corpus [cudax|hipx|syclx|kokkosx|all] [--json] [--werror]
+//             [--min-rules N]
+//       Lint the porting-study corpus.  Exits nonzero if --werror and any
+//       error-severity diagnostic fired, or if fewer than N distinct
+//       rules fired (regression guard used by ctest).
+//
+//   hemo_lint --lattice [periodic|inletoutlet] [--scale S] [--ranks R]
+//             [--json]
+//       Build a cylinder geometry, run the lattice consistency checker
+//       (plus partition/halo-plan checks when --ranks > 1) and exit
+//       nonzero if any diagnostic fired: a clean geometry must be silent.
+//
+//   hemo_lint --list-rules
+//       Print the portability rule registry.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lattice_check.hpp"
+#include "analysis/report.hpp"
+#include "analysis/rules.hpp"
+#include "decomp/partition.hpp"
+#include "geom/cylinder.hpp"
+#include "port/corpus.hpp"
+
+namespace {
+
+using namespace hemo;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --corpus [cudax|hipx|syclx|kokkosx|all] [--json] "
+               "[--werror] [--min-rules N]\n"
+               "       %s --lattice [periodic|inletoutlet] [--scale S] "
+               "[--ranks R] [--json]\n"
+               "       %s --list-rules\n",
+               argv0, argv0, argv0);
+  return 1;
+}
+
+bool parse_int(const char* text, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int bad_number(const std::string& flag, const char* value, const char* argv0) {
+  std::fprintf(stderr, "%s requires a valid number, got '%s'\n", flag.c_str(),
+               value == nullptr ? "" : value);
+  return usage(argv0);
+}
+
+void print(const std::vector<analysis::Diagnostic>& diagnostics, bool json) {
+  std::cout << (json ? analysis::json_report(diagnostics)
+                     : analysis::text_report(diagnostics));
+}
+
+int run_corpus(const std::string& which, bool json, bool werror,
+               int min_rules) {
+  std::vector<port::CorpusDialect> dialects;
+  if (which == "all" || which.empty()) {
+    dialects = {port::CorpusDialect::kCudax, port::CorpusDialect::kHipx,
+                port::CorpusDialect::kSyclx, port::CorpusDialect::kKokkosx};
+  } else if (which == "cudax") {
+    dialects = {port::CorpusDialect::kCudax};
+  } else if (which == "hipx") {
+    dialects = {port::CorpusDialect::kHipx};
+  } else if (which == "syclx") {
+    dialects = {port::CorpusDialect::kSyclx};
+  } else if (which == "kokkosx") {
+    dialects = {port::CorpusDialect::kKokkosx};
+  } else {
+    std::fprintf(stderr, "unknown corpus dialect '%s'\n", which.c_str());
+    return 1;
+  }
+
+  std::vector<analysis::Diagnostic> all;
+  for (const port::CorpusDialect d : dialects) {
+    std::vector<analysis::Diagnostic> ds = analysis::lint_corpus(d);
+    all.insert(all.end(), ds.begin(), ds.end());
+  }
+  analysis::sort_diagnostics(all);
+  print(all, json);
+
+  const int distinct = analysis::distinct_rule_count(all);
+  if (distinct < min_rules) {
+    std::fprintf(stderr,
+                 "hemo_lint: only %d distinct rules fired, expected >= %d "
+                 "(lint regression?)\n",
+                 distinct, min_rules);
+    return 2;
+  }
+  if (werror && analysis::count_at(all, analysis::Severity::kError) > 0)
+    return 2;
+  return 0;
+}
+
+int run_lattice(const std::string& ends_name, double scale, int ranks,
+                bool json) {
+  if (ends_name != "periodic" && ends_name != "inletoutlet") {
+    std::fprintf(stderr, "unknown lattice ends '%s'\n", ends_name.c_str());
+    return 1;
+  }
+  geom::CylinderSpec spec;
+  spec.scale = scale;
+  const geom::CylinderEnds ends = (ends_name == "periodic")
+                                      ? geom::CylinderEnds::kPeriodic
+                                      : geom::CylinderEnds::kInletOutlet;
+  const auto lattice = geom::make_cylinder_lattice(spec, ends);
+
+  std::vector<analysis::Diagnostic> all = analysis::check_lattice(*lattice);
+  if (ranks > 1) {
+    const decomp::Partition partition =
+        decomp::bisection_partition(*lattice, ranks);
+    std::vector<analysis::Diagnostic> ds =
+        analysis::check_partition(*lattice, partition);
+    all.insert(all.end(), ds.begin(), ds.end());
+    const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice, partition);
+    ds = analysis::check_halo_plan(*lattice, partition, plan);
+    all.insert(all.end(), ds.begin(), ds.end());
+  }
+  analysis::sort_diagnostics(all);
+  print(all, json);
+  return all.empty() ? 0 : 2;
+}
+
+int list_rules() {
+  for (const analysis::LintRule& r : analysis::lint_rules())
+    std::printf("%s  %-26s  %-7s  %s\n", r.id.c_str(), r.name.c_str(),
+                analysis::severity_name(r.severity), r.summary.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode;
+  std::string mode_arg;
+  bool json = false;
+  bool werror = false;
+  int min_rules = 0;
+  double scale = 1.0;
+  int ranks = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpus" || arg == "--lattice") {
+      mode = arg;
+      // Optional positional operand (dialect / end treatment).
+      if (i + 1 < argc && argv[i + 1][0] != '-') mode_arg = argv[++i];
+    } else if (arg == "--list-rules") {
+      mode = arg;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--min-rules") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, &min_rules) || min_rules < 0)
+        return bad_number(arg, v, argv[0]);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, &scale) || scale <= 0.0)
+        return bad_number(arg, v, argv[0]);
+    } else if (arg == "--ranks") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, &ranks) || ranks < 1)
+        return bad_number(arg, v, argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (mode == "--corpus") return run_corpus(mode_arg, json, werror, min_rules);
+  if (mode == "--lattice")
+    return run_lattice(mode_arg.empty() ? "inletoutlet" : mode_arg, scale,
+                       ranks, json);
+  if (mode == "--list-rules") return list_rules();
+  return usage(argv[0]);
+}
