@@ -2,33 +2,92 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "base/contracts.hpp"
+#include "rt/job.hpp"
 
 namespace hemo::bench {
 
+rt::ArtifactCache& artifact_cache() {
+  static rt::ArtifactCache cache(256);
+  return cache;
+}
+
+int rt_workers() {
+  if (const char* env = std::getenv("HEMO_RT_WORKERS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1)
+      return static_cast<int>(std::min<long>(parsed, 64));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+}
+
 sim::Workload& cylinder_workload() {
-  static sim::Workload w =
-      sim::Workload::cylinder(sim::DecompositionKind::kBisection);
-  return w;
+  static std::shared_ptr<sim::Workload> w = rt::shared_workload(
+      artifact_cache(), rt::WorkloadKind::kCylinderBisection);
+  return *w;
 }
 
 sim::Workload& aorta_workload() {
-  static sim::Workload w = sim::Workload::aorta();
-  return w;
+  static std::shared_ptr<sim::Workload> w =
+      rt::shared_workload(artifact_cache(), rt::WorkloadKind::kAorta);
+  return *w;
+}
+
+namespace {
+
+/// Converts campaign results to bench series; every point must have
+/// priced successfully (the tables have no way to render a hole).
+std::vector<std::vector<SeriesPoint>> to_series(
+    const rt::CampaignResult& result) {
+  std::vector<std::vector<SeriesPoint>> out;
+  out.reserve(result.series.size());
+  for (const rt::SeriesResult& series : result.series) {
+    std::vector<SeriesPoint> points;
+    points.reserve(series.points.size());
+    for (const rt::PointResult& p : series.points) {
+      if (!p.ok()) {
+        std::cerr << "bench: " << rt::describe(*p.failure) << "\n";
+        std::exit(1);
+      }
+      points.push_back(SeriesPoint{p.schedule, p.sim, p.prediction});
+    }
+    out.push_back(std::move(points));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<SeriesPoint>> run_matrix(
+    const std::vector<rt::SeriesSpec>& specs) {
+  rt::CampaignSpec campaign;
+  campaign.name = "bench-matrix";
+  campaign.series = specs;
+  campaign.workers = rt_workers();
+  return to_series(rt::run_campaign(campaign, artifact_cache()));
 }
 
 std::vector<SeriesPoint> run_series(sys::SystemId system, hal::Model model,
                                     sim::App app, sim::Workload& workload) {
-  const sim::ClusterSimulator cs(system, model, app);
-  std::vector<SeriesPoint> series;
-  for (const sys::SchedulePoint& sp :
-       sys::piecewise_schedule(sys::system_spec(system).max_devices)) {
-    SeriesPoint point;
-    point.schedule = sp;
-    point.sim = cs.simulate(workload, sp.devices, sp.size_multiplier);
-    point.prediction = cs.predict(workload, sp.devices, sp.size_multiplier);
-    series.push_back(point);
-  }
-  return series;
+  rt::CampaignSpec campaign;
+  campaign.name = "bench-series";
+  campaign.series = {rt::SeriesSpec{system, model, app,
+                                    rt::WorkloadKind::kCylinderBisection}};
+  campaign.workers = rt_workers();
+  // The caller owns the workload (one of the shared statics above, or an
+  // ablation variant); hand the runtime a non-owning view of it.
+  campaign.workload_provider =
+      [&workload](const rt::SeriesSpec&) -> std::shared_ptr<sim::Workload> {
+    return std::shared_ptr<sim::Workload>(&workload, [](sim::Workload*) {});
+  };
+  return to_series(rt::run_campaign(campaign, artifact_cache())).front();
 }
 
 std::string device_label(const sys::SchedulePoint& sp) {
@@ -41,12 +100,49 @@ std::string device_label(const sys::SchedulePoint& sp) {
   return label;
 }
 
+namespace {
+
+/// Filesystem-safe spelling of a table title: runs of anything outside
+/// [A-Za-z0-9._-] collapse to one underscore.
+std::string sanitize_filename(const std::string& title) {
+  std::string name;
+  for (const char c : title) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (safe)
+      name += c;
+    else if (name.empty() || name.back() != '_')
+      name += '_';
+  }
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  return name.empty() ? "table" : name;
+}
+
+void write_csv_artifact(const char* dir, const std::string& title,
+                        const Table& table) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (sanitize_filename(title) + ".csv");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench: cannot write CSV artifact " << path << "\n";
+    return;
+  }
+  table.print_csv(out);
+}
+
+}  // namespace
+
 void emit(const std::string& title, const Table& table) {
   std::cout << "== " << title << " ==\n";
   table.print_aligned(std::cout);
   std::cout << "-- csv --\n";
   table.print_csv(std::cout);
   std::cout << "\n";
+  if (const char* dir = std::getenv("HEMO_BENCH_CSV_DIR"))
+    write_csv_artifact(dir, title, table);
 }
 
 void emit_ascii_plot(const std::string& title,

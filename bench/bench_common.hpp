@@ -1,20 +1,37 @@
 #pragma once
 // Shared plumbing for the table/figure benchmark binaries: workload
 // construction, schedule series, and consistent text/CSV output.
+//
+// Since the hemo-rt campaign runtime landed, every series is priced as a
+// job graph on the work-stealing executor (HEMO_RT_WORKERS workers, one
+// process-wide artifact cache), and run_matrix() lets a binary submit its
+// whole evaluation matrix at once.  Results are bit-identical to the old
+// serial loop at any worker count.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "base/table.hpp"
+#include "rt/campaign.hpp"
 #include "sim/simulator.hpp"
 #include "sys/hardware.hpp"
 
 namespace hemo::bench {
 
-/// Lazily constructed, shared across one binary's sections.
+/// Lazily constructed, shared across one binary's sections.  Routed
+/// through artifact_cache(), so a binary that also runs campaigns shares
+/// the voxelization with them.
 sim::Workload& cylinder_workload();
 sim::Workload& aorta_workload();
+
+/// Process-wide artifact cache (voxelizations, decompositions, halo
+/// plans) behind every series of this binary.
+rt::ArtifactCache& artifact_cache();
+
+/// Campaign worker count: HEMO_RT_WORKERS if set (clamped to [1, 64]),
+/// otherwise the hardware concurrency.
+int rt_workers();
 
 struct SeriesPoint {
   sys::SchedulePoint schedule;
@@ -22,16 +39,26 @@ struct SeriesPoint {
   perf::Prediction prediction;
 };
 
-/// Simulates the full piecewise schedule for one (system, model, app).
+/// Simulates the full piecewise schedule for one (system, model, app),
+/// executed as schedule-point jobs on the campaign runtime.
 std::vector<SeriesPoint> run_series(sys::SystemId system, hal::Model model,
                                     sim::App app, sim::Workload& workload);
+
+/// Prices many series concurrently on the campaign runtime.  Results are
+/// in spec order with points in schedule order; any failed point aborts
+/// the binary (bench tables must be complete).
+std::vector<std::vector<SeriesPoint>> run_matrix(
+    const std::vector<rt::SeriesSpec>& specs);
 
 /// Device-count label ("2", "4", ... with the size multiplier suffixed at
 /// the weak-scaling duplicates, e.g. "16*").
 std::string device_label(const sys::SchedulePoint& sp);
 
 /// Prints a titled table as aligned text followed by CSV, the format all
-/// bench binaries share so results can be both read and parsed.
+/// bench binaries share so results can be both read and parsed.  When
+/// HEMO_BENCH_CSV_DIR is set, the CSV block is also written to
+/// <dir>/<sanitized title>.csv so campaign and CI runs get machine-
+/// readable artifacts without scraping stdout.
 void emit(const std::string& title, const Table& table);
 
 /// One curve of an ASCII plot.

@@ -1,7 +1,8 @@
 // Fig. 3 reproduction: hardware comparison on the idealized cylinder.
 // Piecewise strong scaling of each system's *native* programming model —
 // HARVEY, the LBM proxy app, and the ideal performance-model prediction —
-// in raw MFLUPS over 2..1024 devices (256 on Sunspot).
+// in raw MFLUPS over 2..1024 devices (256 on Sunspot).  The whole matrix
+// is submitted to the campaign runtime in one run_matrix() call.
 
 #include "bench_common.hpp"
 
@@ -12,17 +13,16 @@ int main() {
   Table table({"System (native model)", "Series", "Devices", "Size",
                "MFLUPS"});
 
+  const auto matrix = bench::run_matrix(rt::figure_matrix("fig3"));
+
+  std::size_t next = 0;
   for (const sys::SystemId id : sys::kAllSystems) {
     const sys::SystemSpec& spec = sys::system_spec(id);
     const std::string label =
         spec.name + " (" + std::string(hal::name_of(spec.native_model)) + ")";
 
-    const auto harvey = bench::run_series(id, spec.native_model,
-                                          sim::App::kHarvey,
-                                          bench::cylinder_workload());
-    const auto proxy = bench::run_series(id, spec.native_model,
-                                         sim::App::kProxy,
-                                         bench::cylinder_workload());
+    const auto& harvey = matrix[next++];
+    const auto& proxy = matrix[next++];
 
     for (const auto& p : harvey)
       table.add_row({label, "HARVEY", bench::device_label(p.schedule),

@@ -18,17 +18,20 @@ int main() {
     return Table::num(110.0 / multiplier, multiplier == 4 ? 1 : 0);
   };
 
+  // One campaign over the four native-model HARVEY aorta series.
+  const auto matrix = bench::run_matrix(rt::figure_matrix("fig4"));
+
   std::vector<std::string> x_labels;
   std::vector<bench::PlotSeries> curves;
   const char glyphs[] = {'S', 'P', 'C', 'U'};
   int glyph_index = 0;
+  std::size_t next = 0;
   for (const sys::SystemId id : sys::kAllSystems) {
     const sys::SystemSpec& spec = sys::system_spec(id);
     const std::string label =
         spec.name + " (" + std::string(hal::name_of(spec.native_model)) + ")";
 
-    const auto harvey = bench::run_series(
-        id, spec.native_model, sim::App::kHarvey, bench::aorta_workload());
+    const auto& harvey = matrix[next++];
 
     bench::PlotSeries curve{spec.name, glyphs[glyph_index++], {}};
     for (const auto& p : harvey) {

@@ -3,6 +3,7 @@
 // the proxy app over the piecewise schedule; the first block reports
 // application efficiency (vs the best observed model at each count), the
 // second architectural efficiency (vs the performance-model prediction).
+// The full {system} x {model} x {app} matrix is priced in one campaign.
 
 #include "bench_common.hpp"
 
@@ -11,17 +12,13 @@ namespace {
 using namespace hemo;
 namespace bench = hemo::bench;
 
-void backend_block(sys::SystemId id, sim::App app, Table& app_eff_table,
-                   Table& arch_eff_table) {
+void backend_block(sys::SystemId id, sim::App app,
+                   const std::vector<std::vector<bench::SeriesPoint>>& all,
+                   Table& app_eff_table, Table& arch_eff_table) {
   const sys::SystemSpec& spec = sys::system_spec(id);
   const char* app_name = app == sim::App::kHarvey ? "HARVEY" : "ProxyApp";
 
-  std::vector<hal::Model> models = spec.harvey_models;
-  std::vector<std::vector<bench::SeriesPoint>> all;
-  for (const hal::Model m : models)
-    all.push_back(
-        bench::run_series(id, m, app, bench::cylinder_workload()));
-
+  const std::vector<hal::Model>& models = spec.harvey_models;
   const std::size_t n_points = all.front().size();
   for (std::size_t k = 0; k < n_points; ++k) {
     double best = 0.0;
@@ -47,9 +44,20 @@ int main() {
   Table app_eff({"System", "App", "Model", "Devices", "App efficiency"});
   Table arch_eff({"System", "App", "Model", "Devices", "Arch efficiency"});
 
+  // figure_matrix("fig5") orders series (system, app, model), matching
+  // the consumption order below.
+  const auto matrix = bench::run_matrix(rt::figure_matrix("fig5"));
+
+  std::size_t next = 0;
   for (const sys::SystemId id : sys::kAllSystems) {
-    backend_block(id, sim::App::kHarvey, app_eff, arch_eff);
-    backend_block(id, sim::App::kProxy, app_eff, arch_eff);
+    const std::size_t n_models = sys::system_spec(id).harvey_models.size();
+    for (const sim::App app : {sim::App::kHarvey, sim::App::kProxy}) {
+      const std::vector<std::vector<bench::SeriesPoint>> all(
+          matrix.begin() + static_cast<std::ptrdiff_t>(next),
+          matrix.begin() + static_cast<std::ptrdiff_t>(next + n_models));
+      next += n_models;
+      backend_block(id, app, all, app_eff, arch_eff);
+    }
   }
 
   bench::emit(

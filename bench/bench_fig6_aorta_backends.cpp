@@ -1,7 +1,7 @@
 // Fig. 6 reproduction: software backend comparison on the aorta.  HARVEY
 // only (the proxy was not designed for this load balancing, Section 8.1):
 // application and architectural efficiencies for every backend on every
-// system.
+// system, priced as one campaign on the runtime.
 
 #include "bench_common.hpp"
 
@@ -12,13 +12,17 @@ int main() {
   Table app_eff({"System", "Model", "Devices", "App efficiency"});
   Table arch_eff({"System", "Model", "Devices", "Arch efficiency"});
 
+  const auto matrix = bench::run_matrix(rt::figure_matrix("fig6"));
+
+  std::size_t next = 0;
   for (const sys::SystemId id : sys::kAllSystems) {
     const sys::SystemSpec& spec = sys::system_spec(id);
 
-    std::vector<std::vector<bench::SeriesPoint>> all;
-    for (const hal::Model m : spec.harvey_models)
-      all.push_back(bench::run_series(id, m, sim::App::kHarvey,
-                                      bench::aorta_workload()));
+    const std::vector<std::vector<bench::SeriesPoint>> all(
+        matrix.begin() + static_cast<std::ptrdiff_t>(next),
+        matrix.begin() +
+            static_cast<std::ptrdiff_t>(next + spec.harvey_models.size()));
+    next += spec.harvey_models.size();
 
     const std::size_t n_points = all.front().size();
     for (std::size_t k = 0; k < n_points; ++k) {

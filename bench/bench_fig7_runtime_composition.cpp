@@ -12,13 +12,16 @@ int main() {
   Table table({"System", "Devices", "Streamcollide %", "Communication %",
                "CPU-to-GPU %", "GPU-to-CPU %"});
 
+  // figure_matrix("fig7") is exactly these three series, in this order.
+  const auto matrix = bench::run_matrix(rt::figure_matrix("fig7"));
+
   const sys::SystemId systems[] = {sys::SystemId::kPolaris,
                                    sys::SystemId::kCrusher,
                                    sys::SystemId::kSunspot};
-  for (const sys::SystemId id : systems) {
+  for (std::size_t i = 0; i < std::size(systems); ++i) {
+    const sys::SystemId id = systems[i];
     const sys::SystemSpec& spec = sys::system_spec(id);
-    const auto series = bench::run_series(
-        id, spec.native_model, sim::App::kHarvey, bench::aorta_workload());
+    const auto& series = matrix[i];
     for (const auto& p : series) {
       const sim::Composition& c = p.sim.worst_rank;
       const double total = c.total_s();

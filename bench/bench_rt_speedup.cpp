@@ -1,0 +1,144 @@
+// hemo-rt acceptance bench: wall-clock of a Fig. 5-sized campaign on the
+// campaign runtime versus the pre-runtime serial path, plus the proof that
+// the outputs are bit-identical.
+//
+// The serial baseline reproduces the status quo this runtime replaces:
+// every series voxelizes its workload and builds its decompositions and
+// halo plans from scratch (fresh sim::Workload per series, nothing shared
+// between series).  The runtime path prices the same matrix as one
+// campaign per worker count, sharing those artifacts through a fresh
+// ArtifactCache each time — so on a single-core container the speedup is
+// dominated by artifact reuse, and on multi-core machines work stealing
+// compounds it.  Results are compared with exact double equality: any
+// drift from the serial path is a failure, not a tolerance.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hemo;
+namespace bench = hemo::bench;
+
+struct SerialPoint {
+  sys::SchedulePoint schedule;
+  sim::SimPoint sim;
+  perf::Prediction prediction;
+};
+
+/// The pre-runtime path: one fresh workload per series, schedule points
+/// priced in order on the calling thread.
+std::vector<std::vector<SerialPoint>> run_serial(
+    const std::vector<rt::SeriesSpec>& specs) {
+  std::vector<std::vector<SerialPoint>> out;
+  out.reserve(specs.size());
+  for (const rt::SeriesSpec& spec : specs) {
+    sim::Workload workload = rt::make_workload(spec.workload);
+    const sim::ClusterSimulator simulator(spec.system, spec.model, spec.app);
+    const std::vector<sys::SchedulePoint> schedule = sys::piecewise_schedule(
+        sys::system_spec(spec.system).max_devices);
+    std::vector<SerialPoint> series;
+    series.reserve(schedule.size());
+    for (const sys::SchedulePoint& sp : schedule) {
+      SerialPoint point;
+      point.schedule = sp;
+      point.sim = simulator.simulate(workload, sp.devices, sp.size_multiplier);
+      point.prediction =
+          simulator.predict(workload, sp.devices, sp.size_multiplier);
+      series.push_back(point);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+bool bit_identical(const std::vector<std::vector<SerialPoint>>& serial,
+                   const rt::CampaignResult& campaign) {
+  if (campaign.series.size() != serial.size()) return false;
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    const auto& points = campaign.series[s].points;
+    if (points.size() != serial[s].size()) return false;
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      const SerialPoint& a = serial[s][k];
+      const rt::PointResult& b = points[k];
+      if (!b.ok()) return false;
+      if (a.schedule.devices != b.schedule.devices ||
+          a.schedule.size_multiplier != b.schedule.size_multiplier)
+        return false;
+      // Exact comparisons on purpose: determinism means the same bits.
+      if (a.sim.mflups != b.sim.mflups ||
+          a.sim.iteration_s != b.sim.iteration_s ||
+          a.sim.total_points != b.sim.total_points ||
+          a.sim.worst_rank.streamcollide_s != b.sim.worst_rank.streamcollide_s ||
+          a.sim.worst_rank.comm_s != b.sim.worst_rank.comm_s ||
+          a.sim.worst_rank.h2d_s != b.sim.worst_rank.h2d_s ||
+          a.sim.worst_rank.d2h_s != b.sim.worst_rank.d2h_s ||
+          a.prediction.mflups != b.prediction.mflups)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<rt::SeriesSpec> matrix = rt::figure_matrix("fig5");
+  using clock = std::chrono::steady_clock;
+
+  Table table({"Path", "Workers", "Wall s", "Speedup", "Cache hits",
+               "Cache misses", "Hit rate %", "Steals", "Bit-identical"});
+
+  const clock::time_point serial_start = clock::now();
+  const auto serial = run_serial(matrix);
+  const double serial_s =
+      std::chrono::duration<double>(clock::now() - serial_start).count();
+  table.add_row({"serial (per-series rebuild)", "1", Table::num(serial_s, 3),
+                 Table::num(1.0, 2), "-", "-", "-", "-", "-"});
+
+  bool all_identical = true;
+  bool fast_enough = false;
+  bool cache_effective = false;
+  for (const int workers : {1, 2, 4, 8}) {
+    rt::CampaignSpec spec;
+    spec.name = "rt-speedup-fig5";
+    spec.series = matrix;
+    spec.workers = workers;
+
+    rt::ArtifactCache cache;  // fresh per run: cold start every time
+    const rt::CampaignResult result = rt::run_campaign(spec, cache);
+
+    const bool identical = bit_identical(serial, result);
+    all_identical = all_identical && identical;
+    const double speedup = serial_s / result.wall_s;
+    if (workers >= 4 && speedup >= 2.0) fast_enough = true;
+    if (result.cache.hit_rate() > 0.5) cache_effective = true;
+
+    table.add_row({"hemo-rt campaign", std::to_string(result.workers),
+                   Table::num(result.wall_s, 3), Table::num(speedup, 2),
+                   std::to_string(result.cache.hits),
+                   std::to_string(result.cache.misses),
+                   Table::num(100.0 * result.cache.hit_rate(), 1),
+                   std::to_string(result.executor.stolen),
+                   identical ? "yes" : "NO"});
+  }
+
+  hemo::bench::emit(
+      "hemo-rt speedup: Fig. 5 campaign (" + std::to_string(matrix.size()) +
+          " series), runtime vs per-series serial rebuild",
+      table);
+
+  if (!all_identical) {
+    std::cerr << "FAIL: campaign results differ from the serial path\n";
+    return 1;
+  }
+  if (!fast_enough)
+    std::cerr << "WARN: <2x speedup at 4+ workers on this machine\n";
+  if (!cache_effective)
+    std::cerr << "WARN: cache hit rate never exceeded 50%\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "rt/cache.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::rt {
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::shared_ptr<void> ArtifactCache::lookup(
+    const std::string& key, std::type_index type,
+    const std::function<std::shared_ptr<void>()>& make) {
+  std::promise<std::shared_ptr<void>> promise;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      HEMO_EXPECTS(it->second.type == type);
+      it->second.last_used = ++tick_;
+      ++stats_.hits;
+      std::shared_future<std::shared_ptr<void>> value = it->second.value;
+      lock.unlock();
+      return value.get();  // blocks while the producer is still computing
+    }
+    ++stats_.misses;
+    map_.emplace(key,
+                 Entry{promise.get_future().share(), type, ++tick_, false});
+  }
+
+  // Compute outside the lock so distinct keys build concurrently.
+  std::shared_ptr<void> value;
+  try {
+    value = make();
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.erase(key);  // failed computes are not cached
+    throw;
+  }
+
+  promise.set_value(value);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) it->second.ready = true;
+  evict_excess_locked();
+  return value;
+}
+
+void ArtifactCache::evict_excess_locked() {
+  while (map_.size() > capacity_) {
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (!it->second.ready) continue;  // never drop an in-flight compute
+      if (victim == map_.end() || it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == map_.end()) return;  // everything resident is in flight
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = map_.size();
+  return out;
+}
+
+void ArtifactCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = Stats{};
+  tick_ = 0;
+}
+
+std::string canonical_key(std::initializer_list<std::string> parts) {
+  std::string key;
+  for (const std::string& part : parts) {
+    if (!key.empty()) key += '/';
+    key += part;
+  }
+  return key;
+}
+
+}  // namespace hemo::rt

@@ -1,0 +1,96 @@
+#pragma once
+// ArtifactCache: a memoizing, thread-safe cache for the expensive
+// intermediates of a campaign — geometry voxelizations (sim::Workload),
+// decompositions and halo-exchange plans (sim::RankStats) — keyed by
+// canonical parameter strings.
+//
+// Semantics:
+//   - get_or_compute<T>(key, make) returns the cached artifact for `key`,
+//     computing it with `make` on first use.  Concurrent callers of the
+//     same key share one in-flight computation (the others block on it);
+//     callers of distinct keys compute in parallel.
+//   - Every call is counted as a hit (entry present or in flight) or a
+//     miss (this caller computed it); completed entries beyond the
+//     capacity are dropped least-recently-used and counted as evictions.
+//   - A compute that throws is not cached: in-flight waiters observe the
+//     same exception, later callers recompute.
+//
+// Artifacts are shared_ptrs, so an evicted artifact stays alive for the
+// jobs still holding it.  Type safety across callers of one key is
+// enforced with a type_index check (mixing types on a key is a contract
+// violation, not a silent cast).
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+namespace hemo::rt {
+
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  // resident entries when stats() was taken
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit ArtifactCache(std::size_t capacity = 256);
+
+  /// Returns the artifact for `key`, computing it with `make` (which must
+  /// return std::shared_ptr<T>) if absent.  Blocks if another thread is
+  /// already computing the same key.
+  template <class T, class Make>
+  std::shared_ptr<T> get_or_compute(const std::string& key, Make&& make) {
+    // const is stripped at the type-erasure boundary only; the typed
+    // pointer handed back re-applies the caller's T (const included).
+    std::shared_ptr<void> erased =
+        lookup(key, std::type_index(typeid(T)), [&]() -> std::shared_ptr<void> {
+          return std::static_pointer_cast<void>(
+              std::const_pointer_cast<std::remove_const_t<T>>(
+                  std::shared_ptr<T>(std::forward<Make>(make)())));
+        });
+    return std::static_pointer_cast<T>(std::move(erased));
+  }
+
+  Stats stats() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<void>> value;
+    std::type_index type;
+    std::uint64_t last_used = 0;
+    bool ready = false;  // producing future has resolved successfully
+  };
+
+  std::shared_ptr<void> lookup(
+      const std::string& key, std::type_index type,
+      const std::function<std::shared_ptr<void>()>& make);
+  void evict_excess_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+/// Joins key parts with '/' into the canonical "a/b/c" cache-key spelling.
+std::string canonical_key(std::initializer_list<std::string> parts);
+
+}  // namespace hemo::rt

@@ -1,0 +1,458 @@
+#include "rt/campaign.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "base/contracts.hpp"
+#include "base/table.hpp"
+#include "sim/profiles.hpp"
+
+namespace hemo::rt {
+
+namespace {
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Shortest-round-trip double formatting for the machine-readable sinks
+/// (Table::num's fixed precision would truncate iteration times).
+std::string fmt_double(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view system_token(sys::SystemId id) {
+  switch (id) {
+    case sys::SystemId::kSummit: return "summit";
+    case sys::SystemId::kPolaris: return "polaris";
+    case sys::SystemId::kCrusher: return "crusher";
+    case sys::SystemId::kSunspot: return "sunspot";
+  }
+  return "?";
+}
+
+std::string_view app_name(sim::App app) {
+  return app == sim::App::kHarvey ? "HARVEY" : "ProxyApp";
+}
+
+struct Priced {
+  sim::SimPoint sim;
+  perf::Prediction prediction;
+};
+
+}  // namespace
+
+std::string_view workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCylinderSlab: return "cylinder-slab";
+    case WorkloadKind::kCylinderBisection: return "cylinder-bisection";
+    case WorkloadKind::kAorta: return "aorta";
+  }
+  return "?";
+}
+
+sim::Workload make_workload(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCylinderSlab:
+      return sim::Workload::cylinder(sim::DecompositionKind::kSlab);
+    case WorkloadKind::kCylinderBisection:
+      return sim::Workload::cylinder(sim::DecompositionKind::kBisection);
+    case WorkloadKind::kAorta:
+      return sim::Workload::aorta();
+  }
+  HEMO_ASSERT(false);  // unreachable
+  return sim::Workload::aorta();
+}
+
+std::shared_ptr<sim::Workload> shared_workload(ArtifactCache& cache,
+                                               WorkloadKind kind) {
+  const std::string key =
+      canonical_key({"workload", std::string(workload_name(kind))});
+  return cache.get_or_compute<sim::Workload>(key, [kind] {
+    return std::make_shared<sim::Workload>(make_workload(kind));
+  });
+}
+
+std::shared_ptr<const sim::RankStats> shared_rank_stats(
+    ArtifactCache& cache, const std::shared_ptr<sim::Workload>& workload,
+    int n_ranks) {
+  HEMO_EXPECTS(workload != nullptr);
+  // measured_points disambiguates workloads that share a name but were
+  // built at different measurement resolutions within one process.
+  const std::string key = canonical_key(
+      {"stats", workload->name(),
+       "points=" + std::to_string(workload->measured_points()),
+       "ranks=" + std::to_string(n_ranks)});
+  return cache.get_or_compute<const sim::RankStats>(key, [&] {
+    // Aliasing: the artifact points into the workload's own stats memo
+    // and shares ownership of the workload.
+    return std::shared_ptr<const sim::RankStats>(workload,
+                                                 &workload->stats(n_ranks));
+  });
+}
+
+std::string series_label(const SeriesSpec& spec) {
+  std::string label = sys::system_spec(spec.system).name;
+  label += '/';
+  label += hal::name_of(spec.model);
+  label += '/';
+  label += app_name(spec.app);
+  label += '/';
+  label += workload_name(spec.workload);
+  return label;
+}
+
+std::size_t CampaignResult::total_points() const {
+  std::size_t n = 0;
+  for (const SeriesResult& s : series) n += s.points.size();
+  return n;
+}
+
+std::size_t CampaignResult::failed_points() const {
+  std::size_t n = 0;
+  for (const SeriesResult& s : series)
+    for (const PointResult& p : s.points)
+      if (!p.ok()) ++n;
+  return n;
+}
+
+std::vector<JobFailure> CampaignResult::failures() const {
+  std::vector<JobFailure> out;
+  for (const SeriesResult& s : series)
+    for (const PointResult& p : s.points)
+      if (p.failure) out.push_back(*p.failure);
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  ArtifactCache cache;
+  return run_campaign(spec, cache);
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
+
+  CampaignResult out;
+  out.name = spec.name;
+
+  // Pre-assign every result slot so the output layout is fixed before any
+  // job runs: ordering is (series, schedule point), independent of worker
+  // count and steal pattern.
+  out.series.resize(spec.series.size());
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    out.series[s].spec = spec.series[s];
+    const std::vector<sys::SchedulePoint> schedule = sys::piecewise_schedule(
+        sys::system_spec(spec.series[s].system).max_devices);
+    out.series[s].points.resize(schedule.size());
+    for (std::size_t k = 0; k < schedule.size(); ++k)
+      out.series[s].points[k].schedule = schedule[k];
+  }
+
+  Executor executor({spec.workers, /*queue_capacity=*/4096});
+  out.workers = executor.workers();
+
+  for (std::size_t s = 0; s < out.series.size(); ++s) {
+    const SeriesSpec& series = out.series[s].spec;
+
+    // A model the study never ran on this system is a structured failure
+    // of the whole series, not an abort (profile_for's contract would
+    // otherwise kill the process).
+    if (!sim::model_available(series.system, series.model)) {
+      for (PointResult& point : out.series[s].points)
+        point.failure = JobFailure{
+            series_label(series), 0, false,
+            std::string(hal::name_of(series.model)) +
+                " was not evaluated on " +
+                sys::system_spec(series.system).name + " in the study"};
+      continue;
+    }
+
+    for (PointResult& point : out.series[s].points) {
+      PointResult* slot = &point;
+      executor.submit([&spec, &cache, &series, slot] {
+        JobOptions options = spec.job;
+        options.name = series_label(series) +
+                       "/devices=" + std::to_string(slot->schedule.devices) +
+                       "/size=" +
+                       std::to_string(slot->schedule.size_multiplier);
+
+        JobOutcome<Priced> outcome =
+            run_job<Priced>(options, [&](int attempt) -> Priced {
+              if (spec.fault_injector)
+                spec.fault_injector(series, slot->schedule, attempt);
+              const std::shared_ptr<sim::Workload> workload =
+                  spec.workload_provider ? spec.workload_provider(series)
+                                         : shared_workload(cache, series.workload);
+              // Warm the shared decomposition/halo artifact through the
+              // instrumented cache; simulate() then hits the workload's
+              // own memo for the same rank count.
+              shared_rank_stats(cache, workload, slot->schedule.devices);
+              const sim::ClusterSimulator simulator(series.system,
+                                                    series.model, series.app);
+              Priced priced;
+              priced.sim =
+                  simulator.simulate(*workload, slot->schedule.devices,
+                                     slot->schedule.size_multiplier);
+              priced.prediction =
+                  simulator.predict(*workload, slot->schedule.devices,
+                                    slot->schedule.size_multiplier);
+              return priced;
+            });
+
+        slot->attempts = outcome.attempts;
+        if (outcome.ok()) {
+          slot->sim = outcome.value->sim;
+          slot->prediction = outcome.value->prediction;
+        } else {
+          slot->failure = std::move(outcome.failure);
+        }
+      });
+    }
+  }
+
+  executor.wait_idle();
+  out.executor = executor.stats();
+  executor.shutdown();
+  out.cache = cache.stats();
+  out.wall_s = std::chrono::duration<double>(clock::now() - start).count();
+  return out;
+}
+
+std::vector<SeriesSpec> figure_matrix(std::string_view figure) {
+  const std::string name = lower(figure);
+  std::vector<SeriesSpec> specs;
+
+  if (name == "all") {
+    for (const std::string& f : known_figures()) {
+      if (f == "all") continue;
+      const std::vector<SeriesSpec> part = figure_matrix(f);
+      specs.insert(specs.end(), part.begin(), part.end());
+    }
+    return specs;
+  }
+
+  if (name == "fig3") {
+    // Native models on the cylinder, HARVEY and proxy (hardware panels).
+    for (const sys::SystemId id : sys::kAllSystems) {
+      const sys::SystemSpec& spec = sys::system_spec(id);
+      specs.push_back({id, spec.native_model, sim::App::kHarvey,
+                       WorkloadKind::kCylinderBisection});
+      specs.push_back({id, spec.native_model, sim::App::kProxy,
+                       WorkloadKind::kCylinderBisection});
+    }
+    return specs;
+  }
+  if (name == "fig4") {
+    // Native models on the aorta, HARVEY only.
+    for (const sys::SystemId id : sys::kAllSystems)
+      specs.push_back({id, sys::system_spec(id).native_model,
+                       sim::App::kHarvey, WorkloadKind::kAorta});
+    return specs;
+  }
+  if (name == "fig5") {
+    // Every backend on the cylinder, both apps (software panels).
+    for (const sys::SystemId id : sys::kAllSystems)
+      for (const sim::App app : {sim::App::kHarvey, sim::App::kProxy})
+        for (const hal::Model model : sys::system_spec(id).harvey_models)
+          specs.push_back({id, model, app, WorkloadKind::kCylinderBisection});
+    return specs;
+  }
+  if (name == "fig6") {
+    // Every backend on the aorta, HARVEY only.
+    for (const sys::SystemId id : sys::kAllSystems)
+      for (const hal::Model model : sys::system_spec(id).harvey_models)
+        specs.push_back({id, model, sim::App::kHarvey, WorkloadKind::kAorta});
+    return specs;
+  }
+  if (name == "fig7") {
+    // Runtime composition: native HARVEY aorta on the Fig. 7 systems.
+    for (const sys::SystemId id :
+         {sys::SystemId::kPolaris, sys::SystemId::kCrusher,
+          sys::SystemId::kSunspot})
+      specs.push_back({id, sys::system_spec(id).native_model,
+                       sim::App::kHarvey, WorkloadKind::kAorta});
+    return specs;
+  }
+
+  HEMO_EXPECTS(false && "unknown figure name");
+  return specs;
+}
+
+std::vector<std::string> known_figures() {
+  return {"fig3", "fig4", "fig5", "fig6", "fig7", "all"};
+}
+
+bool parse_system(std::string_view text, sys::SystemId* out) {
+  const std::string name = lower(text);
+  for (const sys::SystemId id : sys::kAllSystems)
+    if (name == system_token(id)) {
+      *out = id;
+      return true;
+    }
+  return false;
+}
+
+bool parse_model(std::string_view text, hal::Model* out) {
+  const std::string name = lower(text);
+  for (const hal::Model m : hal::kAllModels)
+    if (name == lower(hal::name_of(m))) {
+      *out = m;
+      return true;
+    }
+  return false;
+}
+
+bool parse_app(std::string_view text, sim::App* out) {
+  const std::string name = lower(text);
+  if (name == "harvey") {
+    *out = sim::App::kHarvey;
+    return true;
+  }
+  if (name == "proxy" || name == "proxyapp") {
+    *out = sim::App::kProxy;
+    return true;
+  }
+  return false;
+}
+
+bool parse_workload(std::string_view text, WorkloadKind* out) {
+  const std::string name = lower(text);
+  if (name == "cylinder" || name == "cylinder-bisection") {
+    *out = WorkloadKind::kCylinderBisection;
+    return true;
+  }
+  if (name == "cylinder-slab") {
+    *out = WorkloadKind::kCylinderSlab;
+    return true;
+  }
+  if (name == "aorta") {
+    *out = WorkloadKind::kAorta;
+    return true;
+  }
+  return false;
+}
+
+bool parse_series(std::string_view text, SeriesSpec* out) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == ':') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  if (parts.size() < 2 || parts.size() > 4) return false;
+
+  SeriesSpec spec;
+  if (!parse_system(parts[0], &spec.system)) return false;
+  if (!parse_model(parts[1], &spec.model)) return false;
+  if (parts.size() >= 3 && !parse_app(parts[2], &spec.app)) return false;
+  if (parts.size() >= 4 && !parse_workload(parts[3], &spec.workload))
+    return false;
+  *out = spec;
+  return true;
+}
+
+void write_campaign_csv(const CampaignResult& result, std::ostream& os) {
+  Table table({"campaign", "system", "model", "app", "workload", "devices",
+               "size_multiplier", "status", "attempts", "mflups",
+               "iteration_s", "predicted_mflups", "error"});
+  for (const SeriesResult& series : result.series) {
+    const sys::SystemSpec& sys_spec = sys::system_spec(series.spec.system);
+    for (const PointResult& p : series.points) {
+      const bool ok = p.ok();
+      table.add_row(
+          {result.name, sys_spec.name, std::string(hal::name_of(series.spec.model)),
+           std::string(app_name(series.spec.app)),
+           std::string(workload_name(series.spec.workload)),
+           std::to_string(p.schedule.devices),
+           std::to_string(p.schedule.size_multiplier),
+           ok ? "ok" : (p.failure->timed_out ? "timeout" : "failed"),
+           std::to_string(p.attempts), ok ? fmt_double(p.sim.mflups) : "",
+           ok ? fmt_double(p.sim.iteration_s) : "",
+           ok ? fmt_double(p.prediction.mflups) : "",
+           ok ? "" : p.failure->message});
+    }
+  }
+  table.print_csv(os);
+}
+
+void write_campaign_json(const CampaignResult& result, std::ostream& os) {
+  os << "{\n";
+  os << "  \"campaign\": \"" << json_escape(result.name) << "\",\n";
+  os << "  \"workers\": " << result.workers << ",\n";
+  os << "  \"wall_s\": " << fmt_double(result.wall_s) << ",\n";
+  os << "  \"points\": " << result.total_points() << ",\n";
+  os << "  \"failed_points\": " << result.failed_points() << ",\n";
+  os << "  \"cache\": {\"hits\": " << result.cache.hits
+     << ", \"misses\": " << result.cache.misses
+     << ", \"evictions\": " << result.cache.evictions
+     << ", \"hit_rate\": " << fmt_double(result.cache.hit_rate()) << "},\n";
+  os << "  \"executor\": {\"submitted\": " << result.executor.submitted
+     << ", \"executed\": " << result.executor.executed
+     << ", \"stolen\": " << result.executor.stolen << "},\n";
+  os << "  \"series\": [\n";
+  for (std::size_t s = 0; s < result.series.size(); ++s) {
+    const SeriesResult& series = result.series[s];
+    os << "    {\"system\": \""
+       << json_escape(sys::system_spec(series.spec.system).name)
+       << "\", \"model\": \"" << hal::name_of(series.spec.model)
+       << "\", \"app\": \"" << app_name(series.spec.app)
+       << "\", \"workload\": \"" << workload_name(series.spec.workload)
+       << "\",\n     \"points\": [\n";
+    for (std::size_t k = 0; k < series.points.size(); ++k) {
+      const PointResult& p = series.points[k];
+      os << "      {\"devices\": " << p.schedule.devices
+         << ", \"size_multiplier\": " << p.schedule.size_multiplier
+         << ", \"attempts\": " << p.attempts;
+      if (p.ok()) {
+        os << ", \"status\": \"ok\", \"mflups\": " << fmt_double(p.sim.mflups)
+           << ", \"iteration_s\": " << fmt_double(p.sim.iteration_s)
+           << ", \"predicted_mflups\": " << fmt_double(p.prediction.mflups);
+      } else {
+        os << ", \"status\": \""
+           << (p.failure->timed_out ? "timeout" : "failed")
+           << "\", \"error\": \"" << json_escape(p.failure->message) << "\"";
+      }
+      os << "}" << (k + 1 < series.points.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (s + 1 < result.series.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace hemo::rt

@@ -1,0 +1,117 @@
+#include "rt/executor.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::rt {
+
+namespace {
+
+// Identifies the executor whose worker is running on this thread, so
+// worker-submitted tasks can bypass the queue bound (see header).
+thread_local const Executor* tls_executor = nullptr;
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options)
+    : capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+  int workers = options.workers;
+  if (workers <= 0)
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+
+  deques_.resize(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(workers); ++i)
+    threads_.emplace_back([this, i] {
+      tls_executor = this;
+      worker_loop(i);
+    });
+}
+
+Executor::~Executor() { shutdown(); }
+
+void Executor::submit(Task task) {
+  HEMO_EXPECTS(task != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  HEMO_EXPECTS(!stop_);
+  if (tls_executor != this)
+    cv_space_.wait(lock, [&] { return queued_ < capacity_ || stop_; });
+  HEMO_EXPECTS(!stop_);
+
+  deques_[next_deque_].push_back(std::move(task));
+  next_deque_ = (next_deque_ + 1) % deques_.size();
+  ++queued_;
+  ++pending_;
+  ++stats_.submitted;
+  cv_work_.notify_one();
+}
+
+bool Executor::pop_task(std::size_t self, Task* out) {
+  std::deque<Task>& own = deques_[self];
+  if (!own.empty()) {
+    *out = std::move(own.back());  // newest of our own work
+    own.pop_back();
+  } else {
+    // Steal path: oldest task of the longest other deque.
+    std::size_t victim = deques_.size();
+    std::size_t longest = 0;
+    for (std::size_t i = 0; i < deques_.size(); ++i) {
+      if (i == self) continue;
+      if (deques_[i].size() > longest) {
+        longest = deques_[i].size();
+        victim = i;
+      }
+    }
+    if (victim == deques_.size()) return false;
+    *out = std::move(deques_[victim].front());
+    deques_[victim].pop_front();
+    ++stats_.stolen;
+  }
+  --queued_;
+  cv_space_.notify_one();
+  return true;
+}
+
+void Executor::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (pop_task(self, &task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // release captures before reporting completion
+      lock.lock();
+      ++stats_.executed;
+      --pending_;
+      if (pending_ == 0) cv_idle_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    cv_work_.wait(lock);
+  }
+}
+
+void Executor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void Executor::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+Executor::Stats Executor::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hemo::rt

@@ -1,0 +1,88 @@
+#pragma once
+// Work-stealing thread-pool executor for the campaign runtime.
+//
+// Shape: one deque per worker.  submit() places tasks round-robin across
+// the deques; a worker pops the newest task from its own deque (LIFO, the
+// cache-warm end) and, when its deque is empty, steals the *oldest* task
+// from the longest other deque (FIFO steal).  The deques hang off a single
+// pool mutex — jobs here are millisecond-scale simulator pricings, so lock
+// traffic is noise compared to the work, and a lock-based pool keeps the
+// drain/shutdown semantics easy to reason about.
+//
+// The queue is bounded: submit() from outside the pool blocks while
+// `queue_capacity` tasks are already waiting (backpressure for huge
+// campaigns).  A task that submits from inside a worker bypasses the
+// bound, because blocking a worker on a full queue would deadlock the
+// pool.
+//
+// Shutdown is graceful: shutdown() (and the destructor) stop intake,
+// finish every queued task, then join the workers.
+//
+// The executor itself imposes no completion order; deterministic result
+// ordering is the caller's job (the campaign layer writes each result
+// into a pre-assigned slot, so output is independent of worker count).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hemo::rt {
+
+struct ExecutorOptions {
+  int workers = 0;                    // <= 0: hardware concurrency
+  std::size_t queue_capacity = 4096;  // bound on queued (not yet running) tasks
+};
+
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;  // tasks a worker took from another's deque
+  };
+
+  explicit Executor(ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a task.  Blocks while the queue is at capacity (unless
+  /// called from a worker thread of this executor).  Precondition: the
+  /// executor has not been shut down.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Stops intake, drains the queue, joins the workers.  Idempotent.
+  void shutdown();
+
+  int workers() const { return static_cast<int>(deques_.size()); }
+  Stats stats() const;
+
+ private:
+  void worker_loop(std::size_t self);
+  bool pop_task(std::size_t self, Task* out);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // workers: a task or stop arrived
+  std::condition_variable cv_space_;  // producers: queue has room
+  std::condition_variable cv_idle_;   // waiters: pending dropped to zero
+  std::vector<std::deque<Task>> deques_;
+  std::vector<std::thread> threads_;
+  std::size_t next_deque_ = 0;  // round-robin placement cursor
+  std::size_t queued_ = 0;      // tasks sitting in deques
+  std::size_t pending_ = 0;     // queued + currently running
+  std::size_t capacity_;
+  bool stop_ = false;
+  Stats stats_;
+};
+
+}  // namespace hemo::rt

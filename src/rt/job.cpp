@@ -1,0 +1,32 @@
+#include "rt/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemo::rt {
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt) {
+  if (policy.initial_backoff.count() <= 0)
+    return std::chrono::milliseconds{0};
+  const double scale =
+      std::pow(std::max(1.0, policy.backoff_multiplier),
+               static_cast<double>(std::max(0, attempt - 1)));
+  const double delay_ms =
+      static_cast<double>(policy.initial_backoff.count()) * scale;
+  const auto capped = std::min<double>(
+      delay_ms, static_cast<double>(policy.max_backoff.count()));
+  return std::chrono::milliseconds{
+      static_cast<std::chrono::milliseconds::rep>(capped)};
+}
+
+std::string describe(const JobFailure& failure) {
+  std::string out = "job '" + failure.job + "' ";
+  out += failure.timed_out ? "timed out" : "failed";
+  out += " after " + std::to_string(failure.attempts) + " attempt";
+  if (failure.attempts != 1) out += "s";
+  if (!failure.message.empty()) out += ": " + failure.message;
+  return out;
+}
+
+}  // namespace hemo::rt

@@ -1,0 +1,113 @@
+#pragma once
+// Fault-tolerant job wrapper for the campaign runtime: bounded retry with
+// exponential backoff, a per-job wall-clock timeout, and structured
+// failure capture so one faulted job degrades a campaign report instead
+// of aborting it.
+//
+// Timeout model: jobs run in-process and cannot be killed mid-flight, so
+// the timeout is cooperative — an attempt that returns after its deadline
+// is discarded and classified as timed out (and retried like any other
+// failure).  This matches the runtime's jobs, which are short pure
+// computations; a timeout here means "this parameter point is pathological,
+// keep the campaign moving", not "reclaim a wedged thread".
+
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace hemo::rt {
+
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{1};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{100};
+};
+
+/// Delay before the retry that follows failed attempt number `attempt`
+/// (1-based): initial_backoff * multiplier^(attempt-1), capped.
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt);
+
+struct JobOptions {
+  std::string name = "job";
+  std::chrono::milliseconds timeout{0};  // 0 = unlimited
+  RetryPolicy retry;
+};
+
+struct JobFailure {
+  std::string job;
+  int attempts = 0;
+  bool timed_out = false;
+  std::string message;
+};
+
+/// "job 'name' failed after N attempts: message" (or "timed out ...").
+std::string describe(const JobFailure& failure);
+
+template <class T>
+struct JobOutcome {
+  std::optional<T> value;
+  std::optional<JobFailure> failure;
+  int attempts = 0;
+  double elapsed_s = 0.0;  // all attempts + backoff sleeps
+
+  bool ok() const { return value.has_value(); }
+};
+
+/// Runs `body(attempt)` (attempt is 1-based) up to retry.max_attempts
+/// times, sleeping backoff_delay() between attempts.  An attempt fails by
+/// throwing or by exceeding options.timeout; the last failure is captured
+/// in the outcome.  Exceptions never escape.
+template <class T, class Body>
+JobOutcome<T> run_job(const JobOptions& options, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  const int max_attempts = options.retry.max_attempts > 0
+                               ? options.retry.max_attempts
+                               : 1;
+  JobOutcome<T> out;
+  const clock::time_point start = clock::now();
+  std::string last_message;
+  bool last_timed_out = false;
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const clock::time_point attempt_start = clock::now();
+    try {
+      T value = body(attempt);
+      const auto attempt_elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              clock::now() - attempt_start);
+      if (options.timeout.count() > 0 && attempt_elapsed > options.timeout) {
+        last_timed_out = true;
+        last_message = "attempt took " + std::to_string(attempt_elapsed.count()) +
+                       " ms, timeout " + std::to_string(options.timeout.count()) +
+                       " ms";
+      } else {
+        out.value = std::move(value);
+        break;
+      }
+    } catch (const std::exception& e) {
+      last_timed_out = false;
+      last_message = e.what();
+    } catch (...) {
+      last_timed_out = false;
+      last_message = "unknown exception";
+    }
+    if (attempt < max_attempts)
+      std::this_thread::sleep_for(backoff_delay(options.retry, attempt));
+  }
+
+  if (!out.value)
+    out.failure =
+        JobFailure{options.name, out.attempts, last_timed_out, last_message};
+  out.elapsed_s =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return out;
+}
+
+}  // namespace hemo::rt

@@ -1,6 +1,8 @@
 #include "sim/workload.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "base/contracts.hpp"
 #include "geom/aorta.hpp"
@@ -8,13 +10,27 @@
 
 namespace hemo::sim {
 
+// One slot per rank count.  The map lock only guards slot acquisition; the
+// expensive partition + halo-plan build runs under the slot's once_flag, so
+// distinct rank counts decompose concurrently while a shared rank count is
+// computed exactly once and every waiter blocks on that one computation.
+struct Workload::StatsCache {
+  struct Slot {
+    std::once_flag once;
+    RankStats stats;
+  };
+  std::mutex mu;
+  std::map<int, std::shared_ptr<Slot>> slots;
+};
+
 Workload::Workload(std::string name,
                    std::shared_ptr<lbm::SparseLattice> lattice,
                    DecompositionKind kind, double base_linear_ratio)
     : name_(std::move(name)),
       lattice_(std::move(lattice)),
       kind_(kind),
-      base_linear_ratio_(base_linear_ratio) {
+      base_linear_ratio_(base_linear_ratio),
+      stats_cache_(std::make_shared<StatsCache>()) {
   HEMO_EXPECTS(lattice_ != nullptr);
   HEMO_EXPECTS(base_linear_ratio_ >= 1.0);
 }
@@ -51,21 +67,28 @@ Workload Workload::aorta(double measure_spacing_mm,
 
 const RankStats& Workload::stats(int n_ranks) {
   HEMO_EXPECTS(n_ranks >= 1);
-  auto it = cache_.find(n_ranks);
-  if (it != cache_.end()) return it->second;
+  std::shared_ptr<StatsCache::Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_cache_->mu);
+    std::shared_ptr<StatsCache::Slot>& entry = stats_cache_->slots[n_ranks];
+    if (!entry) entry = std::make_shared<StatsCache::Slot>();
+    slot = entry;
+  }
 
-  const decomp::Partition partition =
-      kind_ == DecompositionKind::kSlab
-          ? decomp::slab_partition(*lattice_, n_ranks)
-          : decomp::bisection_partition(*lattice_, n_ranks);
-  const decomp::HaloPlan plan = decomp::build_halo_plan(*lattice_, partition);
+  std::call_once(slot->once, [&] {
+    const decomp::Partition partition =
+        kind_ == DecompositionKind::kSlab
+            ? decomp::slab_partition(*lattice_, n_ranks)
+            : decomp::bisection_partition(*lattice_, n_ranks);
+    const decomp::HaloPlan plan =
+        decomp::build_halo_plan(*lattice_, partition);
 
-  RankStats stats;
-  stats.n_ranks = n_ranks;
-  stats.points = partition.rank_counts();
-  stats.halos = plan.messages;
-  stats.imbalance = partition.imbalance();
-  return cache_.emplace(n_ranks, std::move(stats)).first->second;
+    slot->stats.n_ranks = n_ranks;
+    slot->stats.points = partition.rank_counts();
+    slot->stats.halos = plan.messages;
+    slot->stats.imbalance = partition.imbalance();
+  });
+  return slot->stats;
 }
 
 double Workload::point_scale(int size_multiplier) const {

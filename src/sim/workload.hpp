@@ -12,7 +12,6 @@
 // imbalance and message pattern the analytic model lacks.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +61,11 @@ class Workload {
   void set_surface_shape(double shape) { surface_shape_ = shape; }
 
   /// Measured stats for a rank count (computed on first use, cached).
+  /// Thread-safe: concurrent callers asking for distinct rank counts build
+  /// their decompositions in parallel; callers sharing a rank count block
+  /// until the single computation finishes.  The campaign runtime
+  /// (hemo::rt) relies on this to price many schedule points of one
+  /// workload concurrently.
   const RankStats& stats(int n_ranks);
 
   /// Fluid points at measurement resolution.
@@ -83,6 +87,8 @@ class Workload {
   const lbm::SparseLattice& lattice() const { return *lattice_; }
 
  private:
+  struct StatsCache;  // thread-safe per-rank-count memo (workload.cpp)
+
   Workload(std::string name, std::shared_ptr<lbm::SparseLattice> lattice,
            DecompositionKind kind, double base_linear_ratio);
 
@@ -91,7 +97,7 @@ class Workload {
   DecompositionKind kind_;
   double base_linear_ratio_;
   double surface_shape_ = 26.0;
-  std::map<int, RankStats> cache_;
+  std::shared_ptr<StatsCache> stats_cache_;
 };
 
 }  // namespace hemo::sim

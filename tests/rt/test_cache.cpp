@@ -1,0 +1,139 @@
+// ArtifactCache: hit/miss counting, LRU eviction, in-flight dedup of
+// concurrent computes, and failure (non-)caching.
+
+#include "rt/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hemo::rt {
+namespace {
+
+TEST(ArtifactCache, MissThenHitReturnsTheSameArtifact) {
+  ArtifactCache cache;
+  int computes = 0;
+  auto make = [&computes] {
+    ++computes;
+    return std::make_shared<int>(42);
+  };
+  const std::shared_ptr<int> first = cache.get_or_compute<int>("k", make);
+  const std::shared_ptr<int> second = cache.get_or_compute<int>("k", make);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*second, 42);
+
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
+  ArtifactCache cache(/*capacity=*/2);
+  int computes = 0;
+  auto value = [&computes](int v) {
+    return [&computes, v] {
+      ++computes;
+      return std::make_shared<int>(v);
+    };
+  };
+  cache.get_or_compute<int>("a", value(1));
+  cache.get_or_compute<int>("b", value(2));
+  cache.get_or_compute<int>("a", value(1));  // refresh a: b is now LRU
+  cache.get_or_compute<int>("c", value(3));  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.get_or_compute<int>("a", value(1));  // still resident
+  EXPECT_EQ(computes, 3);
+  cache.get_or_compute<int>("b", value(2));  // evicted: recomputed
+  EXPECT_EQ(computes, 4);
+}
+
+TEST(ArtifactCache, ConcurrentCallersShareOneCompute) {
+  ArtifactCache cache;
+  std::atomic<int> computes{0};
+  auto slow_make = [&computes] {
+    ++computes;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::make_shared<int>(7);
+  };
+
+  std::vector<std::shared_ptr<int>> results(4);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    threads.emplace_back([&, i] {
+      results[i] = cache.get_or_compute<int>("shared", slow_make);
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST(ArtifactCache, FailedComputeIsNotCached) {
+  ArtifactCache cache;
+  int computes = 0;
+  EXPECT_THROW(cache.get_or_compute<int>("k",
+                                         [&computes]() -> std::shared_ptr<int> {
+                                           ++computes;
+                                           throw std::runtime_error("boom");
+                                         }),
+               std::runtime_error);
+  // The failure was not memoized; the next caller recomputes and succeeds.
+  const std::shared_ptr<int> ok = cache.get_or_compute<int>("k", [&computes] {
+    ++computes;
+    return std::make_shared<int>(9);
+  });
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(*ok, 9);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ArtifactCache, EvictedArtifactStaysAliveForHolders) {
+  ArtifactCache cache(/*capacity=*/1);
+  const std::shared_ptr<int> held =
+      cache.get_or_compute<int>("a", [] { return std::make_shared<int>(5); });
+  cache.get_or_compute<int>("b", [] { return std::make_shared<int>(6); });
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(*held, 5);  // shared_ptr semantics keep the artifact valid
+}
+
+TEST(ArtifactCache, ClearResetsEntriesAndCounters) {
+  ArtifactCache cache;
+  cache.get_or_compute<int>("a", [] { return std::make_shared<int>(1); });
+  cache.get_or_compute<int>("a", [] { return std::make_shared<int>(1); });
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);  // clear() starts a fresh measurement
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  // The artifact is gone: the next lookup recomputes.
+  int computes = 0;
+  cache.get_or_compute<int>("a", [&computes] {
+    ++computes;
+    return std::make_shared<int>(1);
+  });
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(ArtifactCache, CanonicalKeyJoinsWithSlashes) {
+  EXPECT_EQ(canonical_key({"workload", "aorta"}), "workload/aorta");
+  EXPECT_EQ(canonical_key({"stats", "cyl", "ranks=4"}), "stats/cyl/ranks=4");
+}
+
+}  // namespace
+}  // namespace hemo::rt

@@ -1,0 +1,142 @@
+// Work-stealing executor: completion, steal path, bounded-queue
+// backpressure, worker-submit bypass, and graceful shutdown drain.
+
+#include "rt/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hemo::rt {
+namespace {
+
+/// A manually released gate that a task can park on, with a flag that
+/// reports when the task has actually started running on a worker.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<bool> started{false};
+
+  void wait() {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait_started() {
+    while (!started) std::this_thread::yield();
+  }
+};
+
+TEST(Executor, RunsEverySubmittedTask) {
+  Executor executor({4, 1024});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i)
+    executor.submit([&count] { ++count; });
+  executor.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  const Executor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_EQ(stats.executed, 200u);
+}
+
+TEST(Executor, DefaultsToAtLeastOneWorker) {
+  Executor executor;
+  EXPECT_GE(executor.workers(), 1);
+}
+
+TEST(Executor, StealsFromABusyWorkersDeque) {
+  // Two workers.  Park worker A on a gate, then submit a burst: round-robin
+  // placement lands half the burst in A's deque, and the only way those
+  // tasks can run while A is parked is for B to steal them.
+  Executor executor({2, 1024});
+  Gate gate;
+  executor.submit([&gate] { gate.wait(); });
+  gate.wait_started();
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i)
+    executor.submit([&count] { ++count; });
+
+  // The 20 quick tasks finish while one worker is still parked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (count.load() < 20 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(count.load(), 20);
+  EXPECT_GE(executor.stats().stolen, 1u);
+
+  gate.release();
+  executor.wait_idle();
+}
+
+TEST(Executor, BoundedQueueBlocksExternalSubmit) {
+  // One worker parked on a gate, capacity 2: two fillers saturate the
+  // queue, so a third external submit must block until the gate opens.
+  Executor executor({1, 2});
+  Gate gate;
+  executor.submit([&gate] { gate.wait(); });
+  gate.wait_started();
+  executor.submit([] {});
+  executor.submit([] {});
+
+  std::atomic<bool> third_submitted{false};
+  std::thread producer([&] {
+    executor.submit([] {});
+    third_submitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load());
+
+  gate.release();
+  producer.join();
+  EXPECT_TRUE(third_submitted.load());
+  executor.wait_idle();
+  EXPECT_EQ(executor.stats().executed, 4u);
+}
+
+TEST(Executor, WorkerSubmitBypassesTheBound) {
+  // A task fanning out from inside a worker would deadlock if its submits
+  // honored the bound; they bypass it instead.
+  Executor executor({1, 1});
+  std::atomic<int> count{0};
+  executor.submit([&] {
+    for (int i = 0; i < 8; ++i)
+      executor.submit([&count] { ++count; });
+  });
+  executor.wait_idle();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Executor, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    Executor executor({2, 1024});
+    for (int i = 0; i < 100; ++i)
+      executor.submit([&count] { ++count; });
+    executor.shutdown();  // must finish everything already accepted
+    EXPECT_EQ(count.load(), 100);
+    executor.shutdown();  // idempotent
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Executor, WaitIdleReturnsImmediatelyWhenEmpty) {
+  Executor executor({2, 16});
+  executor.wait_idle();
+  EXPECT_EQ(executor.stats().submitted, 0u);
+}
+
+}  // namespace
+}  // namespace hemo::rt
