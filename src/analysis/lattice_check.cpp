@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "base/contracts.hpp"
@@ -321,6 +322,38 @@ std::vector<Diagnostic> check_halo_plan(const lbm::SparseLattice& lattice,
     msg << "spurious message " << key.first << " -> " << key.second << " ("
         << values << " values) not implied by any crossing lattice link";
     diff.emit(msg.str());
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_exchange_auditability(
+    const std::vector<ExchangeSlots>& exchanges) {
+  std::vector<Diagnostic> out;
+  RuleEmitter dup(out, "LC010", Severity::kWarning, "halo-exchange");
+  // (dst, q, slot) -> index of the exchange that first claimed it.
+  std::map<std::tuple<Rank, int, std::int64_t>, std::size_t> first_claim;
+  for (std::size_t x = 0; x < exchanges.size(); ++x) {
+    const ExchangeSlots& e = exchanges[x];
+    HEMO_EXPECTS(e.count == 0 || (e.q != nullptr && e.dst_local != nullptr));
+    for (std::int64_t k = 0; k < e.count; ++k) {
+      const auto key = std::make_tuple(
+          e.dst, e.q[static_cast<std::size_t>(k)],
+          e.dst_local[static_cast<std::size_t>(k)]);
+      auto [it, inserted] = first_claim.emplace(key, x);
+      if (inserted) continue;
+      const ExchangeSlots& other = exchanges[it->second];
+      if (other.src == e.src && other.dst == e.dst)
+        continue;  // within-exchange duplicate: that is LC009's finding
+      std::ostringstream msg;
+      msg << "ghost slot (q " << e.q[static_cast<std::size_t>(k)] << ", slot "
+          << e.dst_local[static_cast<std::size_t>(k)] << ") on rank " << e.dst
+          << " is unpacked by exchanges " << other.src << " -> " << other.dst
+          << " and " << e.src << " -> " << e.dst
+          << "; a CRC frame failure there cannot be attributed to a sender";
+      dup.emit(msg.str(),
+               "give each ghost slot a single producing exchange so "
+               "retransmission can name the faulty edge");
+    }
   }
   return out;
 }

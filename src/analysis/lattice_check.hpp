@@ -17,6 +17,14 @@
 //   LC007 empty-rank              (warning) a rank owns zero points
 //   LC008 halo-plan-mismatch      (error)  plan disagrees with the lattice
 //                                          (truncated / stale halo map)
+//   LC009 exchange-slot-overlap   (error)  halo pack/unpack slots overlap an
+//                                          interior update (emitted by
+//                                          DistributedSolver::validate)
+//   LC010 unauditable-unpack-slot (warning) a (q, slot) pair is unpacked by
+//                                          more than one exchange, so CRC
+//                                          frame failures cannot be pinned
+//                                          on a sender and the final value
+//                                          is arrival-order dependent
 
 #include <cstdint>
 #include <vector>
@@ -55,5 +63,24 @@ std::vector<Diagnostic> check_partition(const lbm::SparseLattice& lattice,
 std::vector<Diagnostic> check_halo_plan(const lbm::SparseLattice& lattice,
                                         const decomp::Partition& partition,
                                         const decomp::HaloPlan& plan);
+
+/// Raw view of one directed halo exchange's unpack side, so callers (the
+/// distributed solver, tests with hand-built fixtures) can expose their
+/// exchange lists without a shared type.
+struct ExchangeSlots {
+  Rank src = 0;
+  Rank dst = 0;
+  const int* q = nullptr;                 // count entries
+  const std::int64_t* dst_local = nullptr;  // count entries
+  std::int64_t count = 0;
+};
+
+/// CRC-auditability check (rule LC010): flags (dst, q, slot) targets that
+/// are unpacked by more than one exchange.  Such a slot makes per-message
+/// CRC frame failures unattributable to a sender (a retransmission cannot
+/// name the faulty edge) and leaves the final ghost value dependent on
+/// message arrival order.
+std::vector<Diagnostic> check_exchange_auditability(
+    const std::vector<ExchangeSlots>& exchanges);
 
 }  // namespace hemo::analysis

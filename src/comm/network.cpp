@@ -1,8 +1,35 @@
 #include "comm/network.hpp"
 
+#include <sstream>
+
 #include "base/contracts.hpp"
 
 namespace hemo::comm {
+
+namespace {
+
+std::string describe_recv_error(RecvError::Kind kind, Rank src, Rank dst,
+                                std::size_t expected, std::size_t got) {
+  std::ostringstream msg;
+  if (kind == RecvError::Kind::kMissing) {
+    msg << "no message pending from rank " << src << " to rank " << dst;
+  } else {
+    msg << "message from rank " << src << " to rank " << dst << " carries "
+        << got << " values, expected " << expected;
+  }
+  return msg.str();
+}
+
+}  // namespace
+
+RecvError::RecvError(Kind kind, Rank src, Rank dst, std::size_t expected,
+                     std::size_t got)
+    : std::runtime_error(describe_recv_error(kind, src, dst, expected, got)),
+      kind_(kind),
+      src_(src),
+      dst_(dst),
+      expected_(expected),
+      got_(got) {}
 
 Network::Network(int n_ranks) : n_ranks_(n_ranks) {
   HEMO_EXPECTS(n_ranks >= 1);
@@ -20,14 +47,32 @@ void Network::send(Rank src, Rank dst, std::vector<double> payload) {
 
 std::vector<double> Network::receive(Rank dst, Rank src) {
   auto it = in_flight_.find({src, dst});
-  HEMO_EXPECTS(it != in_flight_.end() && !it->second.empty());
+  if (it == in_flight_.end() || it->second.empty())
+    throw RecvError(RecvError::Kind::kMissing, src, dst, 0, 0);
   std::vector<double> payload = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) in_flight_.erase(it);
   return payload;
 }
 
+std::vector<double> Network::receive(Rank dst, Rank src,
+                                     std::size_t expected_values) {
+  std::vector<double> payload = receive(dst, src);
+  if (payload.size() != expected_values)
+    throw RecvError(RecvError::Kind::kWrongSize, src, dst, expected_values,
+                    payload.size());
+  return payload;
+}
+
+std::int64_t Network::pending(Rank dst, Rank src) const {
+  const auto it = in_flight_.find({src, dst});
+  return it == in_flight_.end() ? 0
+                                : static_cast<std::int64_t>(it->second.size());
+}
+
 bool Network::drained() const { return in_flight_.empty(); }
+
+void Network::reset() { in_flight_.clear(); }
 
 std::int64_t Network::total_bytes() const {
   std::int64_t total = 0;

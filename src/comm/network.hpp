@@ -4,10 +4,22 @@
 // for the distributed solver, plus a ledger of every message so the
 // cluster simulator and the tests can audit communication volumes against
 // the halo plan.
+//
+// Receive failures are *recoverable*: a missing or mis-sized message is a
+// communication fault, not a programmer error, so receive() throws a typed
+// RecvError that callers (the resilient halo exchange, the chaos harness)
+// can catch and react to — retransmit, roll back, or fail structurally —
+// instead of aborting the process.
+//
+// The class is polymorphic so fault-injection decorators
+// (hemo::resilience::FaultyNetwork) can interpose on the wire.
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.hpp"
@@ -20,22 +32,74 @@ struct MessageRecord {
   std::int64_t bytes = 0;
 };
 
+/// A receive that could not be satisfied: either no message is pending on
+/// the (src, dst) channel (dropped, delayed, or stalled sender) or the
+/// message that arrived does not carry the expected number of values
+/// (truncated or overfull frame).  Thrown instead of aborting so the halo
+/// exchange can retransmit or roll back.
+class RecvError : public std::runtime_error {
+ public:
+  enum class Kind { kMissing, kWrongSize };
+
+  RecvError(Kind kind, Rank src, Rank dst, std::size_t expected,
+            std::size_t got);
+
+  Kind kind() const { return kind_; }
+  Rank src() const { return src_; }
+  Rank dst() const { return dst_; }
+  std::size_t expected() const { return expected_; }
+  std::size_t got() const { return got_; }
+
+ private:
+  Kind kind_;
+  Rank src_;
+  Rank dst_;
+  std::size_t expected_;
+  std::size_t got_;
+};
+
 class Network {
  public:
   explicit Network(int n_ranks);
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   int n_ranks() const { return n_ranks_; }
 
   /// Posts a message; payloads are doubles, as all halo traffic is
   /// distribution values.
-  void send(Rank src, Rank dst, std::vector<double> payload);
+  virtual void send(Rank src, Rank dst, std::vector<double> payload);
 
-  /// Pops the oldest pending message from src to dst.  Precondition: one
-  /// is pending (the halo plan guarantees matched pairs).
-  std::vector<double> receive(Rank dst, Rank src);
+  /// Pops the oldest pending message from src to dst.  Throws RecvError
+  /// (kMissing) when none is pending — a dropped or late message must be
+  /// recoverable, not fatal.
+  virtual std::vector<double> receive(Rank dst, Rank src);
+
+  /// Receive with a size contract: the popped message must carry exactly
+  /// `expected_values` doubles, or RecvError (kWrongSize) is thrown.  The
+  /// mis-sized message is consumed (it arrived; it is just unusable), so
+  /// the caller can request a retransmission on a clean channel.
+  std::vector<double> receive(Rank dst, Rank src, std::size_t expected_values);
+
+  /// Messages currently queued from src to dst (decorators may include
+  /// delayed or stalled traffic that has not yet reached the channel).
+  virtual std::int64_t pending(Rank dst, Rank src) const;
 
   /// True when no messages are in flight (every send was received).
-  bool drained() const;
+  virtual bool drained() const;
+
+  /// Called by the solver at the top of every halo exchange with the
+  /// current step number.  A plain network ignores it; fault-injecting
+  /// decorators key their schedules on it.
+  virtual void begin_step(std::int64_t step) { (void)step; }
+
+  /// Discards all in-flight traffic (decorators also drop any held or
+  /// delayed messages).  Used when rolling back to a checkpoint: traffic
+  /// from the abandoned step must not leak into the replay.  The ledger is
+  /// preserved — it is a record of what the wire carried, not solver state.
+  virtual void reset();
 
   const std::vector<MessageRecord>& ledger() const { return ledger_; }
   std::int64_t total_bytes() const;

@@ -14,8 +14,42 @@
 #include "hal/hipx.hpp"
 #include "hal/kokkosx.hpp"
 #include "hal/syclx.hpp"
+#include "io/blob.hpp"
 
 namespace hemo::harvey {
+
+namespace {
+
+// Checkpoint blob format: "HEMODCKP" v1.  Record 0 is the metadata, then
+// one record per rank carrying its full distribution array (owned + ghost
+// slots), so a restore reproduces the stepping bit-for-bit.
+constexpr std::uint64_t kCkptMagic = 0x48454D4F44434B50ull;  // "HEMODCKP"
+constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kMetaTag = 0;
+constexpr std::uint32_t kRankTagBase = 1;
+
+struct CkptMeta {
+  std::int64_t step = 0;
+  std::int64_t global_size = 0;
+  std::int32_t n_ranks = 0;
+  std::int32_t q = 0;
+};
+
+/// Validates the CRC frame word a resilient sender appended to a halo
+/// payload.  The frame is a crc32 of the data bytes stored as a double
+/// (exact: crc < 2^32 < 2^53); corruption of either the data or the frame
+/// itself fails the comparison.  NaN-safe: a damaged frame word that is no
+/// longer a valid integral double simply reads as "mismatch".
+bool frame_ok(const std::vector<double>& payload) {
+  const double tail = payload.back();
+  if (!(tail >= 0.0 && tail < 4294967296.0)) return false;
+  const auto stored = static_cast<std::uint32_t>(tail);
+  const std::uint32_t actual =
+      io::crc32(payload.data(), (payload.size() - 1) * sizeof(double));
+  return stored == actual;
+}
+
+}  // namespace
 
 DistributedSolver::~DistributedSolver() {
   if (owns_kokkos_runtime_) hal::kokkosx::finalize();
@@ -27,7 +61,7 @@ DistributedSolver::DistributedSolver(
     : global_(std::move(global)),
       partition_(std::move(partition)),
       options_(options),
-      network_(partition_.n_ranks) {
+      network_(std::make_unique<comm::Network>(partition_.n_ranks)) {
   HEMO_EXPECTS(global_ != nullptr);
   HEMO_EXPECTS(partition_.owner.size() ==
                static_cast<std::size_t>(global_->size()));
@@ -130,6 +164,8 @@ DistributedSolver::DistributedSolver(
   }
   exchanges_.reserve(pairs.size());
   for (auto& [key, e] : pairs) exchanges_.push_back(std::move(e));
+
+  initial_mass_ = prev_mass_ = total_mass();
 }
 
 lbm::KernelArgs DistributedSolver::rank_args(RankState& rs) const {
@@ -148,6 +184,20 @@ lbm::KernelArgs DistributedSolver::rank_args(RankState& rs) const {
   return a;
 }
 
+void DistributedSolver::set_network(std::unique_ptr<comm::Network> network) {
+  HEMO_EXPECTS(network != nullptr);
+  HEMO_EXPECTS(network->n_ranks() == partition_.n_ranks);
+  HEMO_EXPECTS(steps_done_ == 0);
+  network_ = std::move(network);
+}
+
+std::vector<std::pair<Rank, Rank>> DistributedSolver::exchange_pairs() const {
+  std::vector<std::pair<Rank, Rank>> pairs;
+  pairs.reserve(exchanges_.size());
+  for (const Exchange& e : exchanges_) pairs.emplace_back(e.src, e.dst);
+  return pairs;
+}
+
 void DistributedSolver::exchange_halos() {
   // Post every send, then drain every receive: the classic halo-exchange
   // schedule (non-blocking sends + receives in MPI terms).
@@ -158,18 +208,18 @@ void DistributedSolver::exchange_halos() {
       payload[k] = src.current[static_cast<std::size_t>(e.q[k]) *
                                    static_cast<std::size_t>(src.local) +
                                static_cast<std::size_t>(e.src_local[k])];
-    network_.send(e.src, e.dst, std::move(payload));
+    network_->send(e.src, e.dst, std::move(payload));
   }
   for (const Exchange& e : exchanges_) {
     RankState& dst = ranks_[static_cast<std::size_t>(e.dst)];
-    const std::vector<double> payload = network_.receive(e.dst, e.src);
-    HEMO_ASSERT(payload.size() == e.q.size());
+    const std::vector<double> payload =
+        network_->receive(e.dst, e.src, e.q.size());
     for (std::size_t k = 0; k < e.q.size(); ++k)
       dst.current[static_cast<std::size_t>(e.q[k]) *
                       static_cast<std::size_t>(dst.local) +
                   static_cast<std::size_t>(e.dst_local[k])] = payload[k];
   }
-  HEMO_ASSERT(network_.drained());
+  HEMO_ASSERT(network_->drained());
 }
 
 void DistributedSolver::set_execution_model(hal::Model model) {
@@ -246,8 +296,7 @@ void DistributedSolver::execute_rank_kernel(RankState& rs) {
   }
 }
 
-void DistributedSolver::step() {
-  exchange_halos();
+void DistributedSolver::advance_state() {
   for (RankState& rs : ranks_) {
     execute_rank_kernel(rs);
     std::swap(rs.current, rs.next);
@@ -255,10 +304,430 @@ void DistributedSolver::step() {
   ++steps_done_;
 }
 
+void DistributedSolver::step() {
+  if (resilience_.has_value()) {
+    resilient_step();
+    return;
+  }
+  network_->begin_step(steps_done_);
+  exchange_halos();
+  advance_state();
+}
+
 void DistributedSolver::run(int steps) {
   HEMO_EXPECTS(steps >= 0);
-  for (int s = 0; s < steps; ++s) step();
+  // A rollback moves steps_done_ backwards, so count net progress rather
+  // than loop iterations.
+  const std::int64_t target = steps_done_ + steps;
+  while (steps_done_ < target) step();
 }
+
+// ---------------------------------------------------------------------------
+// Resilience: CRC frames, retransmission, health guards, rollback.
+// ---------------------------------------------------------------------------
+
+void DistributedSolver::enable_resilience(const resilience::Options& options) {
+  HEMO_EXPECTS(options.recovery.max_retransmits >= 0);
+  HEMO_EXPECTS(options.recovery.checkpoint_interval >= 1);
+  HEMO_EXPECTS(options.recovery.max_rollbacks >= 0);
+  resilience_ = options;
+  stats_ = resilience::RunStats{};
+  rollbacks_used_ = 0;
+  snapshot_ = Snapshot{};
+  initial_mass_ = prev_mass_ = total_mass();
+}
+
+std::int64_t DistributedSolver::total_values() const {
+  return static_cast<std::int64_t>(lbm::kQ) * global_->size();
+}
+
+void DistributedSolver::record(const char* rule, analysis::Severity severity,
+                               const std::string& where,
+                               const std::string& message) {
+  stats_.diagnostics.push_back(
+      analysis::Diagnostic{rule, severity, where, 0, message, ""});
+}
+
+std::vector<double> DistributedSolver::pack_payload(const Exchange& e) const {
+  const RankState& src = ranks_[static_cast<std::size_t>(e.src)];
+  std::vector<double> payload(e.q.size());
+  for (std::size_t k = 0; k < e.q.size(); ++k)
+    payload[k] = src.current[static_cast<std::size_t>(e.q[k]) *
+                                 static_cast<std::size_t>(src.local) +
+                             static_cast<std::size_t>(e.src_local[k])];
+  if (resilience_->recovery.checksum_frames) {
+    const std::uint32_t crc =
+        io::crc32(payload.data(), payload.size() * sizeof(double));
+    payload.push_back(static_cast<double>(crc));
+  }
+  return payload;
+}
+
+void DistributedSolver::post_all_halos() {
+  for (const Exchange& e : exchanges_)
+    network_->send(e.src, e.dst, pack_payload(e));
+}
+
+bool DistributedSolver::receive_exchange(const Exchange& e) {
+  const bool frames = resilience_->recovery.checksum_frames;
+  const std::size_t expected = e.q.size() + (frames ? 1 : 0);
+  const int budget = resilience_->recovery.max_retransmits;
+  int used = 0;
+  for (;;) {
+    bool have_payload = false;
+    std::vector<double> payload;
+    try {
+      payload = network_->receive(e.dst, e.src, expected);
+      have_payload = true;
+    } catch (const comm::RecvError& err) {
+      if (err.kind() == comm::RecvError::Kind::kMissing)
+        ++stats_.recv_missing;
+      else
+        ++stats_.recv_wrong_size;
+    }
+    if (have_payload) {
+      if (!frames || frame_ok(payload)) {
+        RankState& dst = ranks_[static_cast<std::size_t>(e.dst)];
+        for (std::size_t k = 0; k < e.q.size(); ++k)
+          dst.current[static_cast<std::size_t>(e.q[k]) *
+                          static_cast<std::size_t>(dst.local) +
+                      static_cast<std::size_t>(e.dst_local[k])] = payload[k];
+        return true;
+      }
+      ++stats_.crc_mismatch;  // corrupted in flight; retransmit replaces it
+    }
+    if (used >= budget) return false;
+    ++used;
+    ++stats_.retransmits;
+    // Repack from the sender's intact owned state: the fault hit the wire,
+    // not the source data.
+    network_->send(e.src, e.dst, pack_payload(e));
+  }
+}
+
+void DistributedSolver::drain_stragglers() {
+  // Duplicates, surviving retransmissions and late-released delayed
+  // messages are still in flight after every exchange unpacked once.
+  // Consume and discard them so they cannot alias next step's traffic.
+  for (const Exchange& e : exchanges_) {
+    int guard = 0;
+    while (network_->pending(e.dst, e.src) > 0 && guard++ < 64) {
+      try {
+        network_->receive(e.dst, e.src);
+        ++stats_.stragglers_drained;
+      } catch (const comm::RecvError&) {
+        // A delayed or held message only reached the channel during this
+        // poll; the next iteration consumes it.
+      }
+    }
+  }
+}
+
+bool DistributedSolver::resilient_exchange() {
+  post_all_halos();
+  const std::int64_t stray_before = stats_.stragglers_drained;
+  for (const Exchange& e : exchanges_)
+    if (!receive_exchange(e)) return false;
+  drain_stragglers();
+
+  if (resilience_->health.audit_halo) {
+    // Audit the wire against the exchange plan: every plan message was
+    // delivered exactly once; anything beyond that is off-plan traffic.
+    const std::int64_t stray = stats_.stragglers_drained - stray_before;
+    if (stray > 0 || !network_->drained()) {
+      ++stats_.halo_audit_mismatches;
+      std::ostringstream msg;
+      msg << "step " << steps_done_ << ": halo traffic off plan (expected "
+          << exchanges_.size() << " messages, observed "
+          << exchanges_.size() + stray << "; " << stray
+          << " strays drained" << (network_->drained() ? ")" : ", wire dirty)");
+      record("RS004", analysis::Severity::kWarning, "halo-exchange",
+             msg.str());
+    }
+  }
+  return true;
+}
+
+std::vector<analysis::Diagnostic> DistributedSolver::check_health() const {
+  const resilience::HealthPolicy health =
+      resilience_.has_value() ? resilience_->health
+                              : resilience::HealthPolicy{};
+  std::vector<analysis::Diagnostic> out;
+
+  if (health.scan_nonfinite || health.check_velocity) {
+    for (Rank r = 0; r < partition_.n_ranks; ++r) {
+      const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+      std::int64_t bad = 0;
+      std::int64_t first_bad = -1;
+      double max_speed2 = 0.0;
+      for (std::int64_t li = 0; li < rs.owned; ++li) {
+        double f[lbm::kQ];
+        bool finite = true;
+        for (int q = 0; q < lbm::kQ; ++q) {
+          f[q] = rs.current[static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(rs.local) +
+                            static_cast<std::size_t>(li)];
+          if (!std::isfinite(f[q])) finite = false;
+        }
+        if (!finite) {
+          ++bad;
+          if (first_bad < 0) first_bad = li;
+          continue;  // moments of a non-finite set are meaningless
+        }
+        if (health.check_velocity) {
+          const lbm::Moments m =
+              lbm::moments_of(f, options_.body_force.x, options_.body_force.y,
+                              options_.body_force.z);
+          const double s2 = m.ux * m.ux + m.uy * m.uy + m.uz * m.uz;
+          max_speed2 = std::max(max_speed2, s2);
+        }
+      }
+      std::ostringstream where;
+      where << "rank " << r;
+      if (health.scan_nonfinite && bad > 0) {
+        std::ostringstream msg;
+        msg << "step " << steps_done_ << ": " << bad
+            << " point(s) with non-finite distributions (first local index "
+            << first_bad << ")";
+        out.push_back(analysis::Diagnostic{
+            "RS001", analysis::Severity::kError, where.str(), 0, msg.str(),
+            "roll back to the last checkpoint"});
+      }
+      if (health.check_velocity &&
+          max_speed2 > health.max_velocity * health.max_velocity) {
+        std::ostringstream msg;
+        msg << "step " << steps_done_ << ": velocity magnitude "
+            << std::sqrt(max_speed2) << " exceeds ceiling "
+            << health.max_velocity
+            << " (lattice Mach limit; state is blowing up)";
+        out.push_back(analysis::Diagnostic{
+            "RS003", analysis::Severity::kError, where.str(), 0, msg.str(),
+            "roll back to the last checkpoint"});
+      }
+    }
+  }
+
+  if (health.check_mass) {
+    const double mass = total_mass();
+    if (!std::isfinite(mass)) {
+      // Covered point-wise by RS001; skip the drift arithmetic.
+    } else if (health.closed_system) {
+      const double tol =
+          resilience::conserved_mass_tolerance(total_values(), steps_done_);
+      const double drift = std::abs(mass - initial_mass_);
+      if (drift > tol) {
+        std::ostringstream msg;
+        msg << "step " << steps_done_ << ": closed-system mass drift "
+            << drift << " exceeds tolerance " << tol << " (initial "
+            << initial_mass_ << ", current " << mass << ")";
+        out.push_back(analysis::Diagnostic{
+            "RS002", analysis::Severity::kError, "global", 0, msg.str(),
+            "roll back to the last checkpoint"});
+      }
+    } else {
+      const double base = std::max(std::abs(prev_mass_), 1e-300);
+      const double jump = std::abs(mass - prev_mass_) / base;
+      if (jump > health.mass_step_rel) {
+        std::ostringstream msg;
+        msg << "step " << steps_done_ << ": global mass jumped "
+            << jump * 100.0 << "% in one step (limit "
+            << health.mass_step_rel * 100.0
+            << "%); boundary fluxes cannot move mass that fast";
+        out.push_back(analysis::Diagnostic{
+            "RS002", analysis::Severity::kError, "global", 0, msg.str(),
+            "roll back to the last checkpoint"});
+      }
+    }
+  }
+  return out;
+}
+
+void DistributedSolver::take_snapshot() {
+  snapshot_.step = steps_done_;
+  snapshot_.prev_mass = prev_mass_;
+  snapshot_.state.resize(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rs = ranks_[r];
+    snapshot_.state[r].assign(
+        rs.current, rs.current + static_cast<std::size_t>(lbm::kQ) *
+                                     static_cast<std::size_t>(rs.local));
+  }
+  ++stats_.snapshots;
+}
+
+void DistributedSolver::rollback_or_fault(const std::string& why) {
+  if (snapshot_.step < 0 ||
+      rollbacks_used_ >= resilience_->recovery.max_rollbacks) {
+    std::ostringstream msg;
+    msg << why << " — recovery budget exhausted (retransmits per exchange "
+        << resilience_->recovery.max_retransmits << ", rollbacks "
+        << rollbacks_used_ << "/" << resilience_->recovery.max_rollbacks
+        << ") at step " << steps_done_;
+    throw resilience::SolverFault(msg.str(), stats_.diagnostics);
+  }
+  ++rollbacks_used_;
+  ++stats_.rollbacks;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankState& rs = ranks_[r];
+    std::copy(snapshot_.state[r].begin(), snapshot_.state[r].end(),
+              rs.current);
+  }
+  steps_done_ = snapshot_.step;
+  prev_mass_ = snapshot_.prev_mass;
+  // Traffic of the abandoned step must not leak into the replay.
+  network_->reset();
+}
+
+void DistributedSolver::resilient_step() {
+  const resilience::RecoveryPolicy& rec = resilience_->recovery;
+  if (steps_done_ % rec.checkpoint_interval == 0 &&
+      snapshot_.step != steps_done_)
+    take_snapshot();
+
+  network_->begin_step(steps_done_);
+  if (!resilient_exchange()) {
+    std::ostringstream why;
+    why << "halo exchange failed beyond the retransmission budget at step "
+        << steps_done_;
+    rollback_or_fault(why.str());
+    return;
+  }
+  advance_state();
+
+  std::vector<analysis::Diagnostic> health = check_health();
+  if (!health.empty()) {
+    stats_.health_errors += static_cast<std::int64_t>(health.size());
+    stats_.diagnostics.insert(stats_.diagnostics.end(), health.begin(),
+                              health.end());
+    std::ostringstream why;
+    why << "numerical-health guard tripped after step " << steps_done_ - 1;
+    rollback_or_fault(why.str());
+    return;
+  }
+  prev_mass_ = total_mass();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restart.
+// ---------------------------------------------------------------------------
+
+void DistributedSolver::save_checkpoint(const std::string& path) const {
+  io::BlobWriter writer(path, kCkptMagic, kCkptVersion);
+  CkptMeta meta{steps_done_, global_->size(), partition_.n_ranks, lbm::kQ};
+  writer.add_record(kMetaTag, &meta, sizeof meta);
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rs = ranks_[r];
+    writer.add_record(kRankTagBase + static_cast<std::uint32_t>(r),
+                      rs.current,
+                      static_cast<std::uint64_t>(lbm::kQ) *
+                          static_cast<std::uint64_t>(rs.local) *
+                          sizeof(double));
+  }
+  writer.finish();
+}
+
+void DistributedSolver::save_rank_checkpoint(const std::string& path,
+                                             Rank r) const {
+  HEMO_EXPECTS(r >= 0 && r < partition_.n_ranks);
+  io::BlobWriter writer(path, kCkptMagic, kCkptVersion);
+  CkptMeta meta{steps_done_, global_->size(), partition_.n_ranks, lbm::kQ};
+  writer.add_record(kMetaTag, &meta, sizeof meta);
+  const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+  writer.add_record(kRankTagBase + static_cast<std::uint32_t>(r), rs.current,
+                    static_cast<std::uint64_t>(lbm::kQ) *
+                        static_cast<std::uint64_t>(rs.local) *
+                        sizeof(double));
+  writer.finish();
+}
+
+namespace {
+
+CkptMeta read_meta(io::BlobReader& reader, const std::string& path,
+                   std::int64_t global_size, int n_ranks) {
+  if (reader.at_end())
+    throw io::BlobError("checkpoint '" + path + "' has no metadata record");
+  const io::BlobRecord rec = reader.next();
+  if (rec.tag != kMetaTag || rec.bytes.size() != sizeof(CkptMeta))
+    throw io::BlobError("checkpoint '" + path +
+                        "': first record is not valid metadata");
+  CkptMeta meta;
+  std::copy(rec.bytes.begin(), rec.bytes.end(),
+            reinterpret_cast<char*>(&meta));
+  if (meta.global_size != global_size || meta.n_ranks != n_ranks ||
+      meta.q != lbm::kQ)
+    throw io::BlobError("checkpoint '" + path +
+                        "' was taken for a different solver configuration");
+  if (meta.step < 0)
+    throw io::BlobError("checkpoint '" + path + "': negative step counter");
+  return meta;
+}
+
+}  // namespace
+
+void DistributedSolver::restore_checkpoint(const std::string& path) {
+  io::BlobReader reader(path, kCkptMagic, kCkptVersion);
+  const CkptMeta meta =
+      read_meta(reader, path, global_->size(), partition_.n_ranks);
+
+  std::vector<bool> seen(ranks_.size(), false);
+  while (!reader.at_end()) {
+    const io::BlobRecord rec = reader.next();
+    if (rec.tag < kRankTagBase ||
+        rec.tag >= kRankTagBase + ranks_.size())
+      throw io::BlobError("checkpoint '" + path + "': unknown record tag");
+    const std::size_t r = rec.tag - kRankTagBase;
+    RankState& rs = ranks_[r];
+    const std::size_t expected_bytes = static_cast<std::size_t>(lbm::kQ) *
+                                       static_cast<std::size_t>(rs.local) *
+                                       sizeof(double);
+    if (rec.bytes.size() != expected_bytes)
+      throw io::BlobError("checkpoint '" + path + "': rank record size " +
+                          std::to_string(rec.bytes.size()) +
+                          " does not match this decomposition");
+    std::copy(rec.bytes.begin(), rec.bytes.end(),
+              reinterpret_cast<char*>(rs.current));
+    seen[r] = true;
+  }
+  for (std::size_t r = 0; r < seen.size(); ++r)
+    if (!seen[r])
+      throw io::BlobError("checkpoint '" + path + "': no record for rank " +
+                          std::to_string(r));
+
+  steps_done_ = meta.step;
+  snapshot_ = Snapshot{};  // pre-restore snapshots are no longer valid
+  initial_mass_ = prev_mass_ = total_mass();
+}
+
+std::int64_t DistributedSolver::restore_rank_checkpoint(
+    const std::string& path, Rank r) {
+  HEMO_EXPECTS(r >= 0 && r < partition_.n_ranks);
+  io::BlobReader reader(path, kCkptMagic, kCkptVersion);
+  const CkptMeta meta =
+      read_meta(reader, path, global_->size(), partition_.n_ranks);
+  const std::uint32_t want = kRankTagBase + static_cast<std::uint32_t>(r);
+  while (!reader.at_end()) {
+    const io::BlobRecord rec = reader.next();
+    if (rec.tag != want) continue;
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const std::size_t expected_bytes = static_cast<std::size_t>(lbm::kQ) *
+                                       static_cast<std::size_t>(rs.local) *
+                                       sizeof(double);
+    if (rec.bytes.size() != expected_bytes)
+      throw io::BlobError("checkpoint '" + path + "': rank record size " +
+                          std::to_string(rec.bytes.size()) +
+                          " does not match this decomposition");
+    std::copy(rec.bytes.begin(), rec.bytes.end(),
+              reinterpret_cast<char*>(rs.current));
+    steps_done_ = meta.step;
+    snapshot_ = Snapshot{};
+    initial_mass_ = prev_mass_ = total_mass();
+    return meta.step;
+  }
+  throw io::BlobError("checkpoint '" + path + "': no record for rank " +
+                      std::to_string(r));
+}
+
+// ---------------------------------------------------------------------------
 
 std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
   std::vector<analysis::Diagnostic> out = analysis::check_lattice(*global_);
@@ -270,15 +739,14 @@ std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
 
   // Exchange-level invariants: every pack slot reads an interior (owned)
   // value, every unpack slot writes a ghost slot, and no (q, slot) pair is
-  // unpacked twice.  A violation means the halo exchange overlaps the
-  // interior update of the same step — the distributed analogue of the
-  // push-streaming write-write race.
+  // unpacked twice within one exchange.  A violation means the halo
+  // exchange overlaps the interior update of the same step — the
+  // distributed analogue of the push-streaming write-write race.
   auto emit = [&out](const std::string& message) {
     out.push_back(analysis::Diagnostic{
         "LC009", analysis::Severity::kError, "halo-exchange", 0, message,
         "rebuild the exchange lists from the current partition"});
   };
-  std::set<std::tuple<Rank, int, std::int64_t>> unpack_slots;
   for (const Exchange& e : exchanges_) {
     if (e.src < 0 || e.src >= partition_.n_ranks || e.dst < 0 ||
         e.dst >= partition_.n_ranks || e.src == e.dst) {
@@ -289,6 +757,7 @@ std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
     }
     const RankState& src = ranks_[static_cast<std::size_t>(e.src)];
     const RankState& dst = ranks_[static_cast<std::size_t>(e.dst)];
+    std::set<std::pair<int, std::int64_t>> unpack_slots;
     for (std::size_t k = 0; k < e.q.size(); ++k) {
       std::ostringstream at;
       at << "exchange " << e.src << " -> " << e.dst << ", entry " << k;
@@ -302,10 +771,28 @@ std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
       if (e.dst_local[k] < dst.owned || e.dst_local[k] >= dst.local)
         emit(at.str() + ": unpack slot overlaps the receiving rank's "
                         "interior update");
-      else if (!unpack_slots.emplace(e.dst, e.q[k], e.dst_local[k]).second)
+      else if (!unpack_slots.emplace(e.q[k], e.dst_local[k]).second)
         emit(at.str() + ": ghost slot unpacked twice");
     }
   }
+
+  // Cross-exchange auditability (LC010): a (q, slot) unpacked by two
+  // different exchanges makes CRC frame failures unattributable to a
+  // sender and the final ghost value order-dependent.
+  std::vector<analysis::ExchangeSlots> views;
+  views.reserve(exchanges_.size());
+  for (const Exchange& e : exchanges_) {
+    analysis::ExchangeSlots v;
+    v.src = e.src;
+    v.dst = e.dst;
+    v.q = e.q.data();
+    v.dst_local = e.dst_local.data();
+    v.count = static_cast<std::int64_t>(e.q.size());
+    views.push_back(v);
+  }
+  std::vector<analysis::Diagnostic> audit =
+      analysis::check_exchange_auditability(views);
+  out.insert(out.end(), audit.begin(), audit.end());
   return out;
 }
 

@@ -8,10 +8,21 @@
 // The implementation is bit-identical to the single-domain reference
 // Solver, which the tests verify for a range of rank counts; the message
 // ledger it produces is what the cluster simulator prices.
+//
+// Resilience (opt-in via enable_resilience): halo messages carry CRC-32
+// frames, failed or corrupted receives are answered by retransmission from
+// the sender's intact state, per-step numerical-health guards (RS001-RS004)
+// watch the state, and a bounded rollback ladder restores an in-memory
+// snapshot when retransmission cannot help.  When every rung is exhausted
+// the solver raises a structured resilience::SolverFault instead of
+// aborting.  On-disk checkpoints (CRC-checked io::Blob files) let a
+// campaign resume a failed point from its last good step.
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -21,6 +32,7 @@
 #include "lbm/kernels.hpp"
 #include "lbm/solver.hpp"
 #include "lbm/sparse_lattice.hpp"
+#include "resilience/policy.hpp"
 
 namespace hemo::harvey {
 
@@ -31,20 +43,66 @@ class DistributedSolver {
   ~DistributedSolver();
 
   void step();
+
+  /// Advances `steps` net steps.  Under resilience a step may be undone by
+  /// a rollback and replayed, so this loops until the step counter has
+  /// actually advanced by `steps`.
   void run(int steps);
 
   /// Debug hook: statically validates the decomposed state before any
   /// time-stepping — global lattice consistency (hemo::analysis lattice
   /// checker), the partition, and the precomputed halo exchanges (pack
   /// slots must be interior, unpack slots must be ghost slots, no slot
-  /// unpacked twice; rule LC009).  Returns every diagnostic found; an
-  /// empty vector means the solver state is safe to step.
+  /// unpacked twice within an exchange; rule LC009), plus the cross-
+  /// exchange CRC-auditability check (rule LC010).  Returns every
+  /// diagnostic found; an empty vector means the solver state is safe to
+  /// step.
   std::vector<analysis::Diagnostic> validate() const;
 
   int n_ranks() const { return partition_.n_ranks; }
   std::int64_t step_count() const { return steps_done_; }
-  const comm::Network& network() const { return network_; }
+  const comm::Network& network() const { return *network_; }
   const decomp::Partition& partition() const { return partition_; }
+
+  /// Replaces the message-passing substrate, e.g. with a fault-injecting
+  /// resilience::FaultyNetwork.  Only allowed before the first step; the
+  /// replacement must be sized for the same rank count.
+  void set_network(std::unique_ptr<comm::Network> network);
+
+  /// The communicating (src, dst) rank pairs of the halo plan, in
+  /// deterministic order — the edge set fault plans draw from.
+  std::vector<std::pair<Rank, Rank>> exchange_pairs() const;
+
+  // -- Resilience -----------------------------------------------------------
+
+  /// Turns on CRC halo frames, retransmission, health guards and rollback
+  /// per `options`.  Records the current mass as the conservation
+  /// reference.  May be called before any stepping only.
+  void enable_resilience(const resilience::Options& options);
+  bool resilience_enabled() const { return resilience_.has_value(); }
+  const resilience::RunStats& resilience_stats() const { return stats_; }
+
+  /// Per-step numerical-health guards (RS001 non-finite, RS002 mass drift,
+  /// RS003 velocity ceiling) evaluated against the current state.  Run
+  /// automatically after every resilient step; callable directly for
+  /// diagnostics.  Does not advance the mass-drift reference.
+  std::vector<analysis::Diagnostic> check_health() const;
+
+  // -- Checkpoint / restart -------------------------------------------------
+
+  /// Writes a versioned, CRC-checked binary checkpoint of the full solver
+  /// state (every rank's distributions + the step counter) through
+  /// io::BlobWriter.  restore_checkpoint() of the file reproduces the run
+  /// bit-identically.
+  void save_checkpoint(const std::string& path) const;
+  void restore_checkpoint(const std::string& path);
+
+  /// Per-rank variant: a checkpoint holding one rank's state only.  The
+  /// restore returns the step the record was taken at; the caller is
+  /// responsible for restoring every rank to the same step before
+  /// stepping again.
+  void save_rank_checkpoint(const std::string& path, Rank r) const;
+  std::int64_t restore_rank_checkpoint(const std::string& path, Rank r);
 
   /// Post-collision distributions reassembled into the global point
   /// ordering (q-major SoA over the global lattice).
@@ -91,19 +149,48 @@ class DistributedSolver {
     std::vector<std::int64_t> dst_local;
   };
 
+  /// In-memory rollback target: the distribution state of every rank plus
+  /// the counters needed to replay from it.
+  struct Snapshot {
+    std::int64_t step = -1;
+    double prev_mass = 0.0;
+    std::vector<std::vector<double>> state;  // per rank, kQ * local values
+  };
+
   void exchange_halos();
   void execute_rank_kernel(RankState& rs);
   lbm::KernelArgs rank_args(RankState& rs) const;
+  void advance_state();
+
+  // Resilient halo machinery.
+  std::vector<double> pack_payload(const Exchange& e) const;
+  void post_all_halos();
+  bool receive_exchange(const Exchange& e);
+  bool resilient_exchange();
+  void drain_stragglers();
+  void record(const char* rule, analysis::Severity severity,
+              const std::string& where, const std::string& message);
+  void take_snapshot();
+  void rollback_or_fault(const std::string& why);
+  std::int64_t total_values() const;
+  void resilient_step();
 
   std::shared_ptr<const lbm::SparseLattice> global_;
   decomp::Partition partition_;
   lbm::SolverOptions options_;
-  comm::Network network_;
+  std::unique_ptr<comm::Network> network_;
   std::vector<RankState> ranks_;
   std::vector<Exchange> exchanges_;  // sorted by (src, dst)
   std::int64_t steps_done_ = 0;
   std::optional<hal::Model> model_;
   bool owns_kokkos_runtime_ = false;
+
+  std::optional<resilience::Options> resilience_;
+  resilience::RunStats stats_;
+  Snapshot snapshot_;
+  int rollbacks_used_ = 0;
+  double initial_mass_ = 0.0;
+  double prev_mass_ = 0.0;
 };
 
 }  // namespace hemo::harvey

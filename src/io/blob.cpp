@@ -1,0 +1,112 @@
+#include "io/blob.hpp"
+
+#include <array>
+
+namespace hemo::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+template <class T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <class T>
+bool read_pod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof *value);
+  return in.gcount() == static_cast<std::streamsize>(sizeof *value);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+BlobWriter::BlobWriter(const std::string& path, std::uint64_t magic,
+                       std::uint32_t version)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_.good())
+    throw BlobError("cannot open blob file '" + path + "' for writing");
+  write_pod(out_, magic);
+  write_pod(out_, version);
+}
+
+void BlobWriter::add_record(std::uint32_t tag, const void* data,
+                            std::uint64_t bytes) {
+  write_pod(out_, tag);
+  write_pod(out_, bytes);
+  write_pod(out_, crc32(data, static_cast<std::size_t>(bytes)));
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_.good())
+    throw BlobError("write failed on blob file '" + path_ + "'");
+}
+
+void BlobWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+  if (!out_.good())
+    throw BlobError("flush failed on blob file '" + path_ + "'");
+  out_.close();
+}
+
+BlobWriter::~BlobWriter() {
+  try {
+    finish();
+  } catch (const BlobError&) {
+    // Destructors must not throw; explicit finish() reports durably.
+  }
+}
+
+BlobReader::BlobReader(const std::string& path, std::uint64_t magic,
+                       std::uint32_t max_version)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_.good()) throw BlobError("cannot open blob file '" + path + "'");
+  std::uint64_t got_magic = 0;
+  if (!read_pod(in_, &got_magic) || got_magic != magic)
+    throw BlobError("blob file '" + path + "' has the wrong magic number");
+  if (!read_pod(in_, &version_) || version_ == 0 || version_ > max_version)
+    throw BlobError("blob file '" + path + "' has unsupported version " +
+                    std::to_string(version_));
+}
+
+bool BlobReader::at_end() {
+  return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+BlobRecord BlobReader::next() {
+  BlobRecord record;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+  if (!read_pod(in_, &record.tag) || !read_pod(in_, &bytes) ||
+      !read_pod(in_, &crc))
+    throw BlobError("blob file '" + path_ + "' is truncated (record header)");
+  record.bytes.resize(static_cast<std::size_t>(bytes));
+  in_.read(record.bytes.data(), static_cast<std::streamsize>(bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(bytes))
+    throw BlobError("blob file '" + path_ + "' is truncated (record payload)");
+  if (crc32(record.bytes.data(), record.bytes.size()) != crc)
+    throw BlobError("CRC mismatch in blob file '" + path_ +
+                    "': the record is corrupted");
+  return record;
+}
+
+}  // namespace hemo::io

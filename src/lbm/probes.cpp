@@ -32,4 +32,15 @@ double pressure_drop(const Solver& solver, std::int32_t z0, std::int32_t z1) {
          (slice_mean_density(solver, z0) - slice_mean_density(solver, z1));
 }
 
+Vec3 total_momentum(const Solver& solver) {
+  Vec3 p;
+  for (PointIndex i = 0; i < solver.size(); ++i) {
+    const Moments m = solver.moments(i);
+    p.x += m.rho * m.ux;
+    p.y += m.rho * m.uy;
+    p.z += m.rho * m.uz;
+  }
+  return p;
+}
+
 }  // namespace hemo::lbm

@@ -22,6 +22,14 @@ double slice_mean_density(const Solver& solver, std::int32_t z);
 /// (cs^2 * (rho(z0) - rho(z1))).
 double pressure_drop(const Solver& solver, std::int32_t z0, std::int32_t z1);
 
+/// Total momentum: sum over fluid points of rho * u, with the Guo
+/// half-force correction included in u.  Under body-force driving in a
+/// closed (periodic) geometry, the z-component grows by one force impulse
+/// per bulk point per step until wall friction balances it, while mass
+/// stays constant to rounding — the invariants the resilience subsystem's
+/// mass-drift guard (RS002) is calibrated against.
+Vec3 total_momentum(const Solver& solver);
+
 /// Reynolds number Re = U L / nu.
 constexpr double reynolds_number(double velocity, double length,
                                  double viscosity) {

@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic fault schedules for chaos testing the distributed solver.
+// A FaultPlan is a list of FaultEvents keyed by (step, src rank, dst rank);
+// the FaultyNetwork decorator consults it on every send/receive and marks
+// events as fired when applied.  Events are one-shot: a rollback that
+// replays a step does not re-trigger the fault it recovered from, exactly
+// like a transient soft fault in a real interconnect.
+//
+// Plans are seeded and fully deterministic (SplitMix64), so a chaos run is
+// reproducible bit-for-bit from its seed — the property the hemo_chaos
+// survival report and the CI chaos-smoke gate rely on.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace hemo::resilience {
+
+enum class FaultKind {
+  kDrop = 0,   // message vanishes on the wire
+  kDuplicate,  // message is delivered twice
+  kCorrupt,    // one payload double gets its bits flipped
+  kDelay,      // message arrives one receive-poll late (reordering)
+  kTruncate,   // message loses its tail values
+  kStall,      // a rank stops sending for several polls
+};
+
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kDrop,     FaultKind::kDuplicate, FaultKind::kCorrupt,
+    FaultKind::kDelay,    FaultKind::kTruncate,  FaultKind::kStall};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Parses "drop", "corrupt", ... back into a kind; returns false on an
+/// unknown name.
+bool parse_fault_kind(std::string_view name, FaultKind* out);
+
+struct FaultEvent {
+  std::int64_t step = 0;  // solver step the event triggers on
+  Rank src = 0;           // sending rank (the stalled rank for kStall)
+  Rank dst = 0;           // receiving rank (ignored for kStall)
+  FaultKind kind = FaultKind::kDrop;
+
+  // Kind-specific parameters.
+  int payload_index = 0;                       // kCorrupt: value to damage
+  std::uint64_t xor_mask = 0x7FF0000000000000ull;  // kCorrupt: bit flips
+  int truncate_by = 1;                         // kTruncate: values removed
+  int stall_polls = 1;  // kStall: receive polls the rank stays silent for
+
+  bool fired = false;  // set by the network when the event is applied
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Seeded random plan: `events_per_kind` events of each requested kind,
+  /// spread over steps [0, steps) and the given communicating (src, dst)
+  /// edges.  Deterministic in all arguments.
+  static FaultPlan random(std::uint64_t seed, std::int64_t steps,
+                          const std::vector<std::pair<Rank, Rank>>& edges,
+                          const std::vector<FaultKind>& kinds,
+                          int events_per_kind);
+
+  void add(const FaultEvent& event) { events_.push_back(event); }
+
+  /// First unfired non-stall event matching a send on (step, src, dst), or
+  /// nullptr.  Does not mark the event fired — the network does, once the
+  /// fault is actually applied.
+  FaultEvent* match_send(std::int64_t step, Rank src, Rank dst);
+
+  /// First unfired stall event for the sending rank at this step.
+  FaultEvent* match_stall(std::int64_t step, Rank src);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent>& events() { return events_; }
+
+  int total() const { return static_cast<int>(events_.size()); }
+  int count(FaultKind kind) const;
+  int fired_count() const;
+  int fired_count(FaultKind kind) const;
+  /// Events that never triggered (their step/edge saw no traffic).
+  int unfired_count() const { return total() - fired_count(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hemo::resilience

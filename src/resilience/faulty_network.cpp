@@ -1,0 +1,134 @@
+#include "resilience/faulty_network.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hemo::resilience {
+
+FaultyNetwork::FaultyNetwork(int n_ranks, FaultPlan plan)
+    : comm::Network(n_ranks), plan_(std::move(plan)) {}
+
+void FaultyNetwork::send(Rank src, Rank dst, std::vector<double> payload) {
+  // A silent rank enqueues locally instead of reaching the wire.  This
+  // also swallows retransmissions issued on the stalled rank's behalf —
+  // the rank is down, nobody can repack for it — which is what eventually
+  // escalates the receiver to a rollback.
+  if (stall_.active && stall_.rank == src) {
+    stall_.held.emplace_back(dst, std::move(payload));
+    ++log_.stall_held;
+    return;
+  }
+  if (FaultEvent* stall = plan_.match_stall(step_, src)) {
+    stall->fired = true;
+    stall_.active = true;
+    stall_.rank = src;
+    stall_.polls_left = stall->stall_polls;
+    stall_.held.emplace_back(dst, std::move(payload));
+    ++log_.stall_held;
+    return;
+  }
+
+  FaultEvent* e = plan_.match_send(step_, src, dst);
+  if (e == nullptr) {
+    Network::send(src, dst, std::move(payload));
+    return;
+  }
+  e->fired = true;
+  switch (e->kind) {
+    case FaultKind::kDrop:
+      ++log_.dropped;
+      return;  // lost on the wire
+    case FaultKind::kDuplicate: {
+      ++log_.duplicated;
+      std::vector<double> copy = payload;
+      Network::send(src, dst, std::move(copy));
+      Network::send(src, dst, std::move(payload));
+      return;
+    }
+    case FaultKind::kCorrupt: {
+      ++log_.corrupted;
+      if (!payload.empty()) {
+        auto& slot = payload[static_cast<std::size_t>(e->payload_index) %
+                             payload.size()];
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &slot, sizeof bits);
+        bits ^= e->xor_mask;
+        std::memcpy(&slot, &bits, sizeof slot);
+      }
+      Network::send(src, dst, std::move(payload));
+      return;
+    }
+    case FaultKind::kDelay:
+      ++log_.delayed;
+      delayed_[{src, dst}].push_back(std::move(payload));
+      return;
+    case FaultKind::kTruncate: {
+      ++log_.truncated;
+      const std::size_t cut =
+          std::min(payload.size(), static_cast<std::size_t>(e->truncate_by));
+      payload.resize(payload.size() - cut);
+      Network::send(src, dst, std::move(payload));
+      return;
+    }
+    case FaultKind::kStall:
+      break;  // handled above; unreachable through match_send
+  }
+}
+
+void FaultyNetwork::maybe_clear_stall(Rank src) {
+  if (!stall_.active || stall_.rank != src) return;
+  ++log_.stall_polls;
+  if (--stall_.polls_left > 0) return;
+  // The rank comes back: its NIC queue drains onto the wire in order.
+  stall_.active = false;
+  while (!stall_.held.empty()) {
+    auto [dst, payload] = std::move(stall_.held.front());
+    stall_.held.pop_front();
+    Network::send(stall_.rank, dst, std::move(payload));
+  }
+}
+
+std::vector<double> FaultyNetwork::receive(Rank dst, Rank src) {
+  if (stall_.active && stall_.rank == src) {
+    maybe_clear_stall(src);
+    if (stall_.active)
+      throw comm::RecvError(comm::RecvError::Kind::kMissing, src, dst, 0, 0);
+  }
+  if (Network::pending(dst, src) == 0) {
+    const auto it = delayed_.find({src, dst});
+    if (it != delayed_.end() && !it->second.empty()) {
+      // The late message hits the wire now but is only *visible* on the
+      // next poll, after any retransmission was already posted: classic
+      // reordering.
+      std::vector<double> payload = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) delayed_.erase(it);
+      Network::send(src, dst, std::move(payload));
+      throw comm::RecvError(comm::RecvError::Kind::kMissing, src, dst, 0, 0);
+    }
+  }
+  return Network::receive(dst, src);
+}
+
+std::int64_t FaultyNetwork::pending(Rank dst, Rank src) const {
+  std::int64_t n = Network::pending(dst, src);
+  const auto it = delayed_.find({src, dst});
+  if (it != delayed_.end()) n += static_cast<std::int64_t>(it->second.size());
+  if (stall_.active && stall_.rank == src)
+    for (const auto& [held_dst, payload] : stall_.held)
+      if (held_dst == dst) ++n;
+  return n;
+}
+
+bool FaultyNetwork::drained() const {
+  return Network::drained() && delayed_.empty() &&
+         (!stall_.active || stall_.held.empty());
+}
+
+void FaultyNetwork::reset() {
+  Network::reset();
+  delayed_.clear();
+  stall_ = Stall{};
+}
+
+}  // namespace hemo::resilience

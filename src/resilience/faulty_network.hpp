@@ -1,0 +1,82 @@
+#pragma once
+// FaultyNetwork: a fault-injecting decorator over comm::Network.  It sits
+// between the distributed solver and the wire, consulting a FaultPlan on
+// every send and receive:
+//
+//   drop       the message never reaches the channel
+//   duplicate  the message is delivered twice (stale straggler)
+//   corrupt    one payload double gets bits flipped in flight
+//   delay      the message is released only after one failed poll
+//              (arrives late, after any retransmission — reordering)
+//   truncate   the message loses its tail values
+//   stall      the sending rank goes silent: its messages are held and
+//              every receive from it fails for `stall_polls` polls
+//
+// Faults are one-shot (the plan marks them fired), so a rollback/replay
+// does not re-encounter the fault it just recovered from — the semantics
+// of a transient soft error.  All bookkeeping is deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "comm/network.hpp"
+#include "resilience/fault.hpp"
+
+namespace hemo::resilience {
+
+/// Counters of what the decorator actually did to the wire.
+struct FaultLog {
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t corrupted = 0;
+  std::int64_t delayed = 0;
+  std::int64_t truncated = 0;
+  std::int64_t stall_held = 0;   // messages held while a rank was silent
+  std::int64_t stall_polls = 0;  // receive polls answered with "missing"
+
+  std::int64_t total_injected() const {
+    return dropped + duplicated + corrupted + delayed + truncated +
+           stall_held;
+  }
+};
+
+class FaultyNetwork final : public comm::Network {
+ public:
+  FaultyNetwork(int n_ranks, FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultPlan& plan() { return plan_; }
+  const FaultLog& log() const { return log_; }
+  std::int64_t current_step() const { return step_; }
+
+  void begin_step(std::int64_t step) override { step_ = step; }
+  void send(Rank src, Rank dst, std::vector<double> payload) override;
+  using comm::Network::receive;  // keep the size-checked overload visible
+  std::vector<double> receive(Rank dst, Rank src) override;
+  std::int64_t pending(Rank dst, Rank src) const override;
+  bool drained() const override;
+  void reset() override;
+
+ private:
+  struct Stall {
+    bool active = false;
+    Rank rank = -1;
+    int polls_left = 0;
+    // Messages the silent rank "sent" but that are still in its NIC queue;
+    // flushed in order when the stall clears.
+    std::deque<std::pair<Rank, std::vector<double>>> held;  // (dst, payload)
+  };
+
+  void maybe_clear_stall(Rank src);
+
+  std::int64_t step_ = 0;
+  FaultPlan plan_;
+  FaultLog log_;
+  std::map<std::pair<Rank, Rank>, std::deque<std::vector<double>>> delayed_;
+  Stall stall_;
+};
+
+}  // namespace hemo::resilience

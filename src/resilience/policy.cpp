@@ -1,0 +1,11 @@
+#include "resilience/policy.hpp"
+
+#include <utility>
+
+namespace hemo::resilience {
+
+SolverFault::SolverFault(const std::string& what,
+                         std::vector<analysis::Diagnostic> diagnostics)
+    : std::runtime_error(what), diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace hemo::resilience

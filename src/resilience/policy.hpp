@@ -1,0 +1,149 @@
+#pragma once
+// Detection and recovery policies for the resilient distributed solver.
+//
+// Detection (HealthPolicy): per-step numerical-health guards — non-finite
+// scan, mass-drift tolerance, velocity-magnitude ceiling, halo traffic
+// audit — surfaced as analysis::Diagnostic records with RS### rule ids.
+//
+// Recovery (RecoveryPolicy): the escalation ladder the solver walks when a
+// step goes wrong:
+//     retransmit the halo  ->  roll back to a checkpoint  ->  SolverFault.
+// Every rung is bounded, so a persistent fault degrades into a *structured*
+// failure the campaign layer can retry or resume from a checkpoint —
+// never an abort.
+//
+// Threshold scaling: tolerances are functions of lattice size and step
+// count, not constants — see DESIGN.md ("Why detection thresholds scale
+// with lattice size and step count").
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace hemo::resilience {
+
+// ---------------------------------------------------------------------------
+// Detection.
+// ---------------------------------------------------------------------------
+
+/// Rule ids used by the health guards (same Diagnostic plumbing as the
+/// hemo-lint LC/HL rules):
+///   RS001 non-finite distribution value        (error)
+///   RS002 global mass drift beyond tolerance   (error)
+///   RS003 velocity-magnitude ceiling exceeded  (error)
+///   RS004 halo traffic disagrees with the plan (warning; auto-recovered)
+struct HealthPolicy {
+  bool scan_nonfinite = true;
+
+  /// Mass guard.  For open systems (inlet/outlet), mass changes physically
+  /// every step by the boundary fluxes, so the guard bounds the *relative
+  /// per-step jump*: a blow-up or an exponent-flip corruption moves total
+  /// mass by orders of magnitude in one step, physics moves it by ~u*A/V.
+  bool check_mass = true;
+  double mass_step_rel = 0.05;
+
+  /// For closed systems (periodic ends, body-force driven) collisions and
+  /// bounce-back conserve mass to rounding, so the guard can instead hold
+  /// total mass to the accumulated-rounding tolerance of
+  /// conserved_mass_tolerance() — drift beyond it is corruption.
+  bool closed_system = false;
+
+  /// Compressibility ceiling: |u| must stay well below the lattice speed
+  /// of sound (1/sqrt(3) ~ 0.577); production LBM keeps |u| < ~0.1, so
+  /// 0.4 only fires on genuine blow-up.
+  bool check_velocity = true;
+  double max_velocity = 0.4;
+
+  /// Audit each step's delivered halo messages (count and bytes) against
+  /// the precomputed exchange plan; mismatches are recorded (RS004) and
+  /// stragglers drained.
+  bool audit_halo = true;
+};
+
+/// Absolute tolerance on |mass(t) - mass(0)| for a *closed* system of
+/// `n_values` summed distribution values after `steps` steps.  Each of the
+/// n_values additions in the mass reduction carries O(eps) relative error
+/// and the per-step collision error accumulates as a random walk, hence
+/// the sqrt(steps) factor; the leading constant absorbs the kQ-term
+/// dot-products inside the kernel.  See DESIGN.md for the derivation.
+inline double conserved_mass_tolerance(std::int64_t n_values,
+                                       std::int64_t steps) {
+  return 16.0 * std::numeric_limits<double>::epsilon() *
+         static_cast<double>(n_values) *
+         std::sqrt(static_cast<double>(steps + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+struct RecoveryPolicy {
+  /// Halo-level: failed receives (missing, wrong size, CRC mismatch) are
+  /// answered by repacking from the sender's intact state, up to this many
+  /// times per exchange per step.
+  int max_retransmits = 3;
+
+  /// Step-level: how often to snapshot the full distribution state in
+  /// memory, and how many rollbacks to grant before giving up.  A rollback
+  /// restores the snapshot, resets the network, and replays.
+  int checkpoint_interval = 8;
+  int max_rollbacks = 4;
+
+  /// Append a CRC-32 frame word to every halo message so in-flight
+  /// corruption is detected at unpack time (and fixed by retransmission).
+  /// Without frames, corruption is only caught by the numerical-health
+  /// guards after it has entered the state — recoverable via rollback.
+  bool checksum_frames = true;
+};
+
+struct Options {
+  HealthPolicy health;
+  RecoveryPolicy recovery;
+};
+
+/// Counters and detection records of a resilient run.
+struct RunStats {
+  std::int64_t recv_missing = 0;     // RecvError kMissing observed
+  std::int64_t recv_wrong_size = 0;  // RecvError kWrongSize observed
+  std::int64_t crc_mismatch = 0;     // frame checksum failures
+  std::int64_t retransmits = 0;      // halo repack+resend actions
+  std::int64_t stragglers_drained = 0;  // duplicate/late messages discarded
+  std::int64_t halo_audit_mismatches = 0;  // RS004 detections
+  std::int64_t health_errors = 0;    // RS001-RS003 detections
+  std::int64_t rollbacks = 0;        // checkpoint restorations
+  std::int64_t snapshots = 0;        // in-memory checkpoints taken
+  /// Detection records (RS### diagnostics), in occurrence order.
+  std::vector<analysis::Diagnostic> diagnostics;
+
+  std::int64_t faults_detected() const {
+    return recv_missing + recv_wrong_size + crc_mismatch +
+           halo_audit_mismatches + health_errors;
+  }
+  std::int64_t recoveries() const {
+    return retransmits + stragglers_drained + rollbacks;
+  }
+};
+
+/// Structured failure of a resilient run: every rung of the recovery
+/// ladder was exhausted.  Carries the diagnostics that condemned the step,
+/// so the campaign layer can report *why* a point failed and decide to
+/// resume it from its last on-disk checkpoint.
+class SolverFault : public std::runtime_error {
+ public:
+  SolverFault(const std::string& what,
+              std::vector<analysis::Diagnostic> diagnostics);
+
+  const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<analysis::Diagnostic> diagnostics_;
+};
+
+}  // namespace hemo::resilience

@@ -6,8 +6,11 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "analysis/diagnostics.hpp"
 #include "base/contracts.hpp"
 #include "base/table.hpp"
+#include "decomp/partition.hpp"
+#include "harvey/distributed_solver.hpp"
 #include "sim/profiles.hpp"
 
 namespace hemo::rt {
@@ -69,6 +72,36 @@ struct Priced {
   sim::SimPoint sim;
   perf::Prediction prediction;
 };
+
+/// Preflight validation: decomposes the measured lattice the way the
+/// workload itself would and runs the distributed solver's static
+/// validators.  Returns "" when clean, else a one-line summary of the
+/// error diagnostics (warnings do not fail a series).
+std::string preflight_errors(const sim::Workload& workload, int ranks) {
+  const std::shared_ptr<const lbm::SparseLattice> lattice =
+      workload.lattice_ptr();
+  const int r = std::max<int>(
+      1, std::min<std::int64_t>(ranks, lattice->size()));
+  decomp::Partition partition =
+      workload.kind() == sim::DecompositionKind::kSlab
+          ? decomp::slab_partition(*lattice, r)
+          : decomp::bisection_partition(*lattice, r);
+  const harvey::DistributedSolver solver(lattice, std::move(partition),
+                                         lbm::SolverOptions{});
+  const std::vector<analysis::Diagnostic> diagnostics = solver.validate();
+  const int errors =
+      analysis::count_at(diagnostics, analysis::Severity::kError);
+  if (errors == 0) return "";
+  std::string msg = "preflight: " + std::to_string(errors) +
+                    " validation error(s) on workload '" + workload.name() +
+                    "' at " + std::to_string(r) + " ranks";
+  for (const analysis::Diagnostic& d : diagnostics) {
+    if (d.severity != analysis::Severity::kError) continue;
+    msg += "; first: [" + d.rule_id + "] " + d.message;
+    break;
+  }
+  return msg;
+}
 
 }  // namespace
 
@@ -196,6 +229,25 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
                 " was not evaluated on " +
                 sys::system_spec(series.system).name + " in the study"};
       continue;
+    }
+
+    if (spec.preflight) {
+      // Validation failures are structured, per-series, and non-fatal to
+      // the rest of the campaign — exactly like any other point failure.
+      std::string error;
+      try {
+        const std::shared_ptr<sim::Workload> workload =
+            spec.workload_provider ? spec.workload_provider(series)
+                                   : shared_workload(cache, series.workload);
+        error = preflight_errors(*workload, spec.preflight_ranks);
+      } catch (const std::exception& ex) {
+        error = std::string("preflight: ") + ex.what();
+      }
+      if (!error.empty()) {
+        for (PointResult& point : out.series[s].points)
+          point.failure = JobFailure{series_label(series), 0, false, error};
+        continue;
+      }
     }
 
     for (PointResult& point : out.series[s].points) {

@@ -95,6 +95,14 @@ struct CampaignSpec {
   std::function<void(const SeriesSpec&, const sys::SchedulePoint&,
                      int attempt)>
       fault_injector;
+  /// Statically validates every series' workload before pricing it: a
+  /// small decomposition of the measured lattice is built and run through
+  /// DistributedSolver::validate() (lattice, partition and halo-exchange
+  /// checkers, rules LC001-LC010).  Error diagnostics become structured
+  /// failures on every point of the offending series — the campaign
+  /// completes and reports them instead of pricing a corrupted geometry.
+  bool preflight = false;
+  int preflight_ranks = 4;
 };
 
 // ---------------------------------------------------------------------------

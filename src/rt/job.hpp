@@ -12,6 +12,7 @@
 // keep the campaign moving", not "reclaim a wedged thread".
 
 #include <chrono>
+#include <cstdint>
 #include <exception>
 #include <optional>
 #include <stdexcept>
@@ -48,6 +49,28 @@ struct JobFailure {
 
 /// "job 'name' failed after N attempts: message" (or "timed out ...").
 std::string describe(const JobFailure& failure);
+
+/// Cross-attempt checkpoint handle for resumable jobs.  A body that
+/// periodically checkpoints (e.g. DistributedSolver::save_checkpoint)
+/// record()s the file here; when a later attempt of the same job starts,
+/// has_checkpoint() tells it whether to restore and resume instead of
+/// recomputing from step zero.  The slot is plain bookkeeping shared
+/// across the attempts of one run_job call — the checkpoint files
+/// themselves are written and validated by the caller.
+struct CheckpointSlot {
+  std::string path;        // last recorded checkpoint file
+  std::int64_t step = -1;  // step it was taken at; -1 = none recorded
+
+  bool has_checkpoint() const { return step >= 0; }
+  void record(std::string checkpoint_path, std::int64_t at_step) {
+    path = std::move(checkpoint_path);
+    step = at_step;
+  }
+  void clear() {
+    path.clear();
+    step = -1;
+  }
+};
 
 template <class T>
 struct JobOutcome {

@@ -86,6 +86,13 @@ class Workload {
 
   const lbm::SparseLattice& lattice() const { return *lattice_; }
 
+  /// Shared handle to the measured lattice, for consumers that need shared
+  /// ownership (e.g. the campaign preflight builds a DistributedSolver on
+  /// it to run the static validators before pricing).
+  std::shared_ptr<const lbm::SparseLattice> lattice_ptr() const {
+    return lattice_;
+  }
+
  private:
   struct StatsCache;  // thread-safe per-rank-count memo (workload.cpp)
 

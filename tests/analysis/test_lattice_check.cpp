@@ -232,3 +232,70 @@ TEST(LatticeCheck, DistributedSolverValidateIsCleanOnCylinder) {
   solver.run(2);
   EXPECT_EQ(solver.step_count(), 2);
 }
+
+// ---------------------------------------------------------------------------
+// LC010: cross-exchange CRC auditability.
+
+namespace {
+
+analysis::ExchangeSlots make_slots(hemo::Rank src, hemo::Rank dst,
+                                   const std::vector<int>& q,
+                                   const std::vector<std::int64_t>& slots) {
+  analysis::ExchangeSlots e;
+  e.src = src;
+  e.dst = dst;
+  e.q = q.data();
+  e.dst_local = slots.data();
+  e.count = static_cast<std::int64_t>(q.size());
+  return e;
+}
+
+}  // namespace
+
+TEST(ExchangeAuditability, DisjointUnpackTargetsAreSilent) {
+  const std::vector<int> qa = {1, 2};
+  const std::vector<std::int64_t> sa = {10, 11};
+  const std::vector<int> qb = {1, 2};
+  const std::vector<std::int64_t> sb = {20, 21};
+  const std::vector<analysis::ExchangeSlots> exchanges = {
+      make_slots(0, 1, qa, sa), make_slots(2, 1, qb, sb)};
+  EXPECT_TRUE(analysis::check_exchange_auditability(exchanges).empty());
+}
+
+TEST(ExchangeAuditability, CrossExchangeDuplicateYieldsLC010) {
+  // Two different senders unpack into the same (dst, q, slot): a CRC frame
+  // failure on that slot cannot be attributed to an edge.
+  const std::vector<int> qa = {1, 2};
+  const std::vector<std::int64_t> sa = {10, 11};
+  const std::vector<int> qb = {3, 2};
+  const std::vector<std::int64_t> sb = {20, 11};  // (q=2, slot=11) again
+  const std::vector<analysis::ExchangeSlots> exchanges = {
+      make_slots(0, 1, qa, sa), make_slots(2, 1, qb, sb)};
+  const auto ds = analysis::check_exchange_auditability(exchanges);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC010");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kWarning);
+  EXPECT_NE(ds[0].message.find("CRC"), std::string::npos);
+}
+
+TEST(ExchangeAuditability, SamePairDuplicateIsLeftToLC009) {
+  // A duplicate within one (src, dst) exchange is LC009's finding — the
+  // auditability rule must not double-report it.
+  const std::vector<int> qa = {1, 1};
+  const std::vector<std::int64_t> sa = {10, 10};
+  const std::vector<int> qb = {1};
+  const std::vector<std::int64_t> sb = {10};
+  const std::vector<analysis::ExchangeSlots> exchanges = {
+      make_slots(0, 1, qa, sa), make_slots(0, 1, qb, sb)};
+  EXPECT_TRUE(analysis::check_exchange_auditability(exchanges).empty());
+}
+
+TEST(ExchangeAuditability, DifferentDstRanksDoNotCollide) {
+  const std::vector<int> qa = {4};
+  const std::vector<std::int64_t> sa = {10};
+  const std::vector<int> qb = {4};
+  const std::vector<std::int64_t> sb = {10};
+  const std::vector<analysis::ExchangeSlots> exchanges = {
+      make_slots(0, 1, qa, sa), make_slots(0, 2, qb, sb)};
+  EXPECT_TRUE(analysis::check_exchange_auditability(exchanges).empty());
+}

@@ -62,9 +62,44 @@ TEST(Network, DrainedReflectsInFlightMessages) {
   EXPECT_TRUE(net.drained());
 }
 
-TEST(Network, ReceiveWithoutSendAborts) {
+// A missing message is a communication fault, not a programmer error: it
+// must surface as a typed, recoverable exception so the resilient halo
+// exchange can retransmit — never terminate the process.
+TEST(Network, ReceiveWithoutSendThrowsRecvError) {
   comm::Network net(2);
-  EXPECT_DEATH((void)net.receive(1, 0), "Precondition");
+  try {
+    (void)net.receive(1, 0);
+    FAIL() << "receive of a missing message must throw";
+  } catch (const comm::RecvError& err) {
+    EXPECT_EQ(err.kind(), comm::RecvError::Kind::kMissing);
+    EXPECT_EQ(err.src(), 0);
+    EXPECT_EQ(err.dst(), 1);
+  }
+  EXPECT_TRUE(net.drained());  // the failed receive did not corrupt state
+}
+
+TEST(Network, ReceiveWithSizeContractAcceptsMatchingMessage) {
+  comm::Network net(2);
+  net.send(0, 1, {1.0, 2.0});
+  EXPECT_EQ(net.receive(1, 0, 2), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Network, MismatchedReceiveThrowsInsteadOfTerminating) {
+  comm::Network net(2);
+  net.send(0, 1, {1.0, 2.0, 3.0});
+  try {
+    (void)net.receive(1, 0, 5);
+    FAIL() << "mis-sized message must throw";
+  } catch (const comm::RecvError& err) {
+    EXPECT_EQ(err.kind(), comm::RecvError::Kind::kWrongSize);
+    EXPECT_EQ(err.expected(), 5u);
+    EXPECT_EQ(err.got(), 3u);
+  }
+  // The unusable message was consumed, so a retransmission arrives on a
+  // clean channel.
+  EXPECT_EQ(net.pending(1, 0), 0);
+  net.send(0, 1, std::vector<double>(5, 4.0));
+  EXPECT_EQ(net.receive(1, 0, 5).size(), 5u);
 }
 
 TEST(Network, SelfSendAborts) {

@@ -6,6 +6,7 @@
 
 #include "geom/cylinder.hpp"
 #include "lbm/probes.hpp"
+#include "resilience/policy.hpp"
 
 namespace lbm = hemo::lbm;
 namespace geom = hemo::geom;
@@ -56,6 +57,50 @@ TEST(Probes, PressureDropsDownstream) {
 TEST(Probes, ProbingAnEmptySliceAborts) {
   lbm::Solver solver(channel(), driven_options());
   EXPECT_DEATH((void)lbm::slice_mass_flux(solver, 999), "Precondition");
+}
+
+// Body-force-driven periodic cylinder: the closed system whose invariants
+// calibrate the resilience mass-drift guard (RS002).  Collisions and
+// bounce-back conserve mass exactly up to rounding, so total mass must
+// stay within the guard's own accumulated-rounding tolerance; the body
+// force injects exactly one impulse per bulk point per step into the axial
+// momentum, and none transversally.
+TEST(Probes, MassAndMomentumConservationUnderBodyForce) {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 5.0;
+  spec.axial_per_scale = 16.0;
+  auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+
+  lbm::SolverOptions o;
+  o.tau = 0.8;
+  o.body_force = {0.0, 0.0, 1e-6};
+  lbm::Solver solver(lattice, o);
+  const auto n = static_cast<double>(solver.size());
+
+  const double m0 = solver.total_mass();
+  const hemo::Vec3 p0 = lbm::total_momentum(solver);
+  // At rest the only momentum is the Guo half-force correction.
+  EXPECT_NEAR(p0.z, 0.5 * n * o.body_force.z, 1e-12 * n);
+
+  solver.step();
+  const hemo::Vec3 p1 = lbm::total_momentum(solver);
+  // One step adds close to one impulse per point; bounce-back at the wall
+  // absorbs a little of it from the boundary layer.
+  EXPECT_NEAR((p1.z - p0.z) / (n * o.body_force.z), 1.0, 0.25);
+
+  const int steps = 200;
+  solver.run(steps - 1);
+  const double drift = std::abs(solver.total_mass() - m0);
+  const double tol = hemo::resilience::conserved_mass_tolerance(
+      lbm::kQ * solver.size(), steps);
+  EXPECT_LE(drift, tol) << "drift " << drift << " vs tolerance " << tol;
+
+  const hemo::Vec3 p = lbm::total_momentum(solver);
+  EXPECT_GT(p.z, p1.z);                    // the force keeps driving
+  EXPECT_NEAR(p.x, 0.0, 1e-9 * n);         // no transverse forcing
+  EXPECT_NEAR(p.y, 0.0, 1e-9 * n);
 }
 
 TEST(Dimensionless, ReynoldsNumberDefinition) {

@@ -1,0 +1,134 @@
+// FaultPlan: seeded determinism, matching semantics, one-shot firing.
+
+#include "resilience/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace hemo::resilience {
+namespace {
+
+const std::vector<std::pair<Rank, Rank>> kEdges = {
+    {0, 1}, {1, 0}, {1, 2}, {2, 1}};
+
+std::vector<FaultKind> all_kinds() {
+  return {std::begin(kAllFaultKinds), std::end(kAllFaultKinds)};
+}
+
+TEST(FaultPlan, RandomIsDeterministicInSeed) {
+  const FaultPlan a = FaultPlan::random(42, 50, kEdges, all_kinds(), 3);
+  const FaultPlan b = FaultPlan::random(42, 50, kEdges, all_kinds(), 3);
+  ASSERT_EQ(a.total(), b.total());
+  for (int i = 0; i < a.total(); ++i) {
+    const FaultEvent& ea = a.events()[static_cast<std::size_t>(i)];
+    const FaultEvent& eb = b.events()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ea.step, eb.step);
+    EXPECT_EQ(ea.src, eb.src);
+    EXPECT_EQ(ea.dst, eb.dst);
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.payload_index, eb.payload_index);
+    EXPECT_EQ(ea.xor_mask, eb.xor_mask);
+    EXPECT_EQ(ea.truncate_by, eb.truncate_by);
+    EXPECT_EQ(ea.stall_polls, eb.stall_polls);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  const FaultPlan a = FaultPlan::random(1, 50, kEdges, all_kinds(), 4);
+  const FaultPlan b = FaultPlan::random(2, 50, kEdges, all_kinds(), 4);
+  bool any_difference = false;
+  for (int i = 0; i < a.total(); ++i) {
+    const FaultEvent& ea = a.events()[static_cast<std::size_t>(i)];
+    const FaultEvent& eb = b.events()[static_cast<std::size_t>(i)];
+    any_difference |= (ea.step != eb.step || ea.src != eb.src ||
+                       ea.dst != eb.dst);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, RandomRespectsBoundsAndCounts) {
+  const FaultPlan plan = FaultPlan::random(7, 20, kEdges, all_kinds(), 2);
+  EXPECT_EQ(plan.total(), 12);
+  for (const FaultKind kind : kAllFaultKinds) EXPECT_EQ(plan.count(kind), 2);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.step, 0);
+    EXPECT_LT(e.step, 20);
+    bool on_edge = false;
+    for (const auto& [src, dst] : kEdges)
+      on_edge |= (e.src == src && e.dst == dst);
+    EXPECT_TRUE(on_edge);
+    EXPECT_FALSE(e.fired);
+    if (e.kind == FaultKind::kStall) {
+      EXPECT_GE(e.stall_polls, 1);
+      EXPECT_LE(e.stall_polls, 6);
+    }
+    if (e.kind == FaultKind::kTruncate) {
+      EXPECT_GE(e.truncate_by, 1);
+      EXPECT_LE(e.truncate_by, 4);
+    }
+  }
+}
+
+TEST(FaultPlan, MatchSendIsKeyedAndOneShot) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.step = 3;
+  e.src = 1;
+  e.dst = 2;
+  e.kind = FaultKind::kDrop;
+  plan.add(e);
+
+  EXPECT_EQ(plan.match_send(2, 1, 2), nullptr);  // wrong step
+  EXPECT_EQ(plan.match_send(3, 2, 1), nullptr);  // wrong direction
+  FaultEvent* hit = plan.match_send(3, 1, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kind, FaultKind::kDrop);
+
+  // Matching does not consume; firing does.
+  EXPECT_NE(plan.match_send(3, 1, 2), nullptr);
+  hit->fired = true;
+  EXPECT_EQ(plan.match_send(3, 1, 2), nullptr);
+  EXPECT_EQ(plan.fired_count(), 1);
+  EXPECT_EQ(plan.unfired_count(), 0);
+}
+
+TEST(FaultPlan, MatchStallIgnoresDstAndNonStallEvents) {
+  FaultPlan plan;
+  FaultEvent drop;
+  drop.step = 5;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.kind = FaultKind::kDrop;
+  plan.add(drop);
+  FaultEvent stall;
+  stall.step = 5;
+  stall.src = 0;
+  stall.dst = 3;  // ignored for stalls
+  stall.kind = FaultKind::kStall;
+  plan.add(stall);
+
+  FaultEvent* hit = plan.match_stall(5, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kind, FaultKind::kStall);
+  EXPECT_EQ(plan.match_stall(5, 1), nullptr);
+  // match_send never returns stall events.
+  FaultEvent* send_hit = plan.match_send(5, 0, 1);
+  ASSERT_NE(send_hit, nullptr);
+  EXPECT_EQ(send_hit->kind, FaultKind::kDrop);
+}
+
+TEST(FaultKinds, NameParseRoundTrip) {
+  for (const FaultKind kind : kAllFaultKinds) {
+    FaultKind parsed;
+    ASSERT_TRUE(parse_fault_kind(fault_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind parsed;
+  EXPECT_FALSE(parse_fault_kind("segfault", &parsed));
+  EXPECT_FALSE(parse_fault_kind("", &parsed));
+}
+
+}  // namespace
+}  // namespace hemo::resilience

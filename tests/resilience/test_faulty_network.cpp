@@ -1,0 +1,214 @@
+// FaultyNetwork wire semantics: every fault kind's observable behavior,
+// stall hold/flush ordering, pending/drained accounting, reset.
+
+#include "resilience/faulty_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "comm/network.hpp"
+
+namespace hemo::resilience {
+namespace {
+
+FaultPlan one_event(FaultKind kind, std::int64_t step, Rank src, Rank dst) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = kind;
+  e.step = step;
+  e.src = src;
+  e.dst = dst;
+  plan.add(e);
+  return plan;
+}
+
+TEST(FaultyNetwork, CleanTrafficPassesThrough) {
+  FaultyNetwork net(2, FaultPlan{});
+  net.begin_step(0);
+  net.send(0, 1, {1.0, 2.0});
+  EXPECT_EQ(net.pending(1, 0), 1);
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.log().total_injected(), 0);
+}
+
+TEST(FaultyNetwork, DropSwallowsTheMessage) {
+  FaultyNetwork net(2, one_event(FaultKind::kDrop, 0, 0, 1));
+  net.begin_step(0);
+  net.send(0, 1, {1.0});
+  EXPECT_EQ(net.pending(1, 0), 0);
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  EXPECT_EQ(net.log().dropped, 1);
+  EXPECT_TRUE(net.plan().events()[0].fired);
+  // One-shot: a replayed send goes through untouched.
+  net.send(0, 1, {2.0});
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{2.0}));
+}
+
+TEST(FaultyNetwork, DuplicateDeliversTwice) {
+  FaultyNetwork net(2, one_event(FaultKind::kDuplicate, 0, 0, 1));
+  net.begin_step(0);
+  net.send(0, 1, {3.0, 4.0});
+  EXPECT_EQ(net.pending(1, 0), 2);
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.log().duplicated, 1);
+}
+
+TEST(FaultyNetwork, CorruptFlipsExactlyTheMaskedBits) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kCorrupt;
+  e.step = 0;
+  e.src = 0;
+  e.dst = 1;
+  e.payload_index = 1;
+  e.xor_mask = 1ull;  // flip the lowest mantissa bit of payload[1]
+  plan.add(e);
+  FaultyNetwork net(2, plan);
+  net.begin_step(0);
+  net.send(0, 1, {1.0, 2.0, 3.0});
+  const std::vector<double> got = net.receive(1, 0);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 1.0);
+  EXPECT_EQ(got[2], 3.0);
+  std::uint64_t expected_bits = 0, got_bits = 0;
+  const double two = 2.0;
+  std::memcpy(&expected_bits, &two, sizeof two);
+  std::memcpy(&got_bits, &got[1], sizeof got_bits);
+  EXPECT_EQ(got_bits, expected_bits ^ 1ull);
+  EXPECT_EQ(net.log().corrupted, 1);
+}
+
+TEST(FaultyNetwork, DelayReleasesAfterOneFailedPoll) {
+  FaultyNetwork net(2, one_event(FaultKind::kDelay, 0, 0, 1));
+  net.begin_step(0);
+  net.send(0, 1, {5.0});
+  // In flight but not yet visible.
+  EXPECT_EQ(net.pending(1, 0), 1);
+  EXPECT_FALSE(net.drained());
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  // The failed poll released it onto the wire.
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{5.0}));
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.log().delayed, 1);
+}
+
+TEST(FaultyNetwork, DelayedMessageArrivesAfterARetransmit) {
+  // The reordering that matters for the solver: the retransmission posted
+  // between the failed poll and the retry is consumed first; the original
+  // becomes a straggler.
+  FaultyNetwork net(2, one_event(FaultKind::kDelay, 0, 0, 1));
+  net.begin_step(0);
+  net.send(0, 1, {5.0});
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  net.send(0, 1, {5.0});  // retransmit, same data
+  EXPECT_EQ(net.pending(1, 0), 2);
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{5.0}));
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{5.0}));
+  EXPECT_TRUE(net.drained());
+}
+
+TEST(FaultyNetwork, TruncateShortensThePayload) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kTruncate;
+  e.step = 2;
+  e.src = 1;
+  e.dst = 0;
+  e.truncate_by = 2;
+  plan.add(e);
+  FaultyNetwork net(2, plan);
+  net.begin_step(2);
+  net.send(1, 0, {1.0, 2.0, 3.0});
+  EXPECT_EQ(net.receive(0, 1), (std::vector<double>{1.0}));
+  EXPECT_EQ(net.log().truncated, 1);
+}
+
+TEST(FaultyNetwork, StallHoldsSendsAndFlushesInOrder) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kStall;
+  e.step = 0;
+  e.src = 0;
+  e.stall_polls = 3;  // the third poll clears the stall and delivers
+  plan.add(e);
+  FaultyNetwork net(3, plan);
+  net.begin_step(0);
+  net.send(0, 1, {1.0});  // activates the stall, held
+  net.send(0, 2, {2.0});  // held too
+  net.send(1, 2, {9.0});  // other ranks unaffected
+  EXPECT_EQ(net.pending(1, 0), 1);  // held messages still count as in flight
+  EXPECT_EQ(net.pending(2, 0), 1);
+  EXPECT_FALSE(net.drained());
+  EXPECT_EQ(net.receive(2, 1), (std::vector<double>{9.0}));
+
+  // Two silent polls, then the NIC queue drains in order.
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{1.0}));
+  EXPECT_EQ(net.receive(2, 0), (std::vector<double>{2.0}));
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.log().stall_held, 2);
+  EXPECT_EQ(net.log().stall_polls, 3);
+}
+
+TEST(FaultyNetwork, StallSwallowsRetransmitsFromTheSilentRank) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kStall;
+  e.step = 0;
+  e.src = 0;
+  e.stall_polls = 5;
+  plan.add(e);
+  FaultyNetwork net(2, plan);
+  net.begin_step(0);
+  net.send(0, 1, {1.0});
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  net.send(0, 1, {1.0});  // retransmit while down: held, not delivered
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+  EXPECT_EQ(net.log().stall_held, 2);
+}
+
+TEST(FaultyNetwork, SizeContractStillEnforcedThroughDecorator) {
+  FaultyNetwork net(2, one_event(FaultKind::kTruncate, 0, 0, 1));
+  net.begin_step(0);
+  net.send(0, 1, {1.0, 2.0, 3.0});
+  try {
+    (void)net.receive(1, 0, 3);  // truncated to 2 values
+    FAIL() << "expected RecvError";
+  } catch (const comm::RecvError& err) {
+    EXPECT_EQ(err.kind(), comm::RecvError::Kind::kWrongSize);
+    EXPECT_EQ(err.expected(), 3u);
+    EXPECT_EQ(err.got(), 2u);
+  }
+}
+
+TEST(FaultyNetwork, ResetClearsDelayedAndStallState) {
+  FaultPlan plan = one_event(FaultKind::kDelay, 0, 0, 1);
+  FaultEvent stall;
+  stall.kind = FaultKind::kStall;
+  stall.step = 0;
+  stall.src = 1;
+  stall.stall_polls = 100;
+  plan.add(stall);
+  FaultyNetwork net(2, plan);
+  net.begin_step(0);
+  net.send(0, 1, {1.0});  // delayed
+  net.send(1, 0, {2.0});  // stall activates, held
+  EXPECT_FALSE(net.drained());
+  net.reset();
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.pending(1, 0), 0);
+  EXPECT_EQ(net.pending(0, 1), 0);
+  // Post-reset traffic flows normally (the stall is gone and its event
+  // already fired).
+  net.send(1, 0, {7.0});
+  EXPECT_EQ(net.receive(0, 1), (std::vector<double>{7.0}));
+}
+
+}  // namespace
+}  // namespace hemo::resilience

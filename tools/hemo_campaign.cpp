@@ -4,12 +4,15 @@
 //                 [--series system:model[:app[:workload]]]...
 //                 [--workers N] [--retries N] [--timeout-ms N]
 //                 [--name NAME] [--csv FILE|-] [--json FILE|-]
-//                 [--quiet] [--strict]
+//                 [--preflight [RANKS]] [--quiet] [--strict]
 //       Price an evaluation matrix concurrently on the work-stealing
 //       executor with artifact caching and per-point retry.  --figure and
 //       --series compose (figure matrix first, then extra series).  A
 //       failed point is reported, not fatal; --strict exits nonzero when
-//       any point failed.
+//       any point failed.  --preflight statically validates each series'
+//       workload (DistributedSolver::validate, rules LC001-LC010) before
+//       pricing; validation errors become structured failures on the
+//       series' points.
 //
 //   hemo_campaign --list
 //       Print the known figures, systems, models, apps and workloads.
@@ -43,7 +46,7 @@ int usage(const char* argv0) {
       "       %*s [--series system:model[:app[:workload]]]...\n"
       "       %*s [--workers N] [--retries N] [--timeout-ms N]\n"
       "       %*s [--name NAME] [--csv FILE|-] [--json FILE|-]\n"
-      "       %*s [--quiet] [--strict]\n"
+      "       %*s [--preflight [RANKS]] [--quiet] [--strict]\n"
       "       %s --list\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
@@ -147,6 +150,8 @@ int main(int argc, char** argv) {
   int timeout_ms = -1;
   bool quiet = false;
   bool strict = false;
+  bool preflight = false;
+  int preflight_ranks = 4;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,6 +204,15 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr || !parse_int(v, &retries) || retries < 0)
         return usage(argv[0]);
+    } else if (arg == "--preflight") {
+      preflight = true;
+      // Optional rank-count operand; leave it for the next iteration when
+      // the following token is another flag.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const char* v = value();
+        if (!parse_int(v, &preflight_ranks) || preflight_ranks < 1)
+          return usage(argv[0]);
+      }
     } else if (arg == "--timeout-ms") {
       const char* v = value();
       if (v == nullptr || !parse_int(v, &timeout_ms) || timeout_ms < 0)
@@ -218,6 +232,8 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   spec.workers = workers;
+  spec.preflight = preflight;
+  spec.preflight_ranks = preflight_ranks;
   if (retries >= 0) spec.job.retry.max_attempts = retries + 1;
   if (timeout_ms >= 0)
     spec.job.timeout = std::chrono::milliseconds(timeout_ms);
