@@ -270,11 +270,42 @@ std::vector<Diagnostic> check_halo_plan(const lbm::SparseLattice& lattice,
   std::vector<Diagnostic> out;
   const decomp::HaloPlan truth = decomp::build_halo_plan(lattice, partition);
 
+  // Per-rank occupancy, so LC011 can tell a live endpoint from a retired
+  // one.  Out-of-range owner entries are LC006's finding, not ours; they
+  // simply do not contribute occupancy here.
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(std::max(partition.n_ranks, 0)), 0);
+  for (const Rank r : partition.owner)
+    if (r >= 0 && r < partition.n_ranks)
+      ++counts[static_cast<std::size_t>(r)];
+  const auto endpoint_missing = [&](Rank r) {
+    return r < 0 || r >= partition.n_ranks ||
+           counts[static_cast<std::size_t>(r)] == 0;
+  };
+
   using Key = std::pair<Rank, Rank>;
   std::map<Key, std::int64_t> claimed;
   {
     RuleEmitter shape(out, "LC008", Severity::kError, "halo-plan");
+    RuleEmitter ghost(out, "LC011", Severity::kError, "halo-plan");
     for (const decomp::HaloMessage& m : plan.messages) {
+      if (endpoint_missing(m.src) || endpoint_missing(m.dst)) {
+        const Rank bad = endpoint_missing(m.src) ? m.src : m.dst;
+        std::ostringstream msg;
+        msg << "message " << m.src << " -> " << m.dst << " (" << m.values
+            << " values) references rank " << bad << ", which ";
+        if (bad < 0 || bad >= partition.n_ranks)
+          msg << "is outside the partition's [0, " << partition.n_ranks
+              << ") rank range";
+        else
+          msg << "owns zero points in this partition (retired by a shrink "
+                 "or never populated)";
+        ghost.emit(msg.str(),
+                   "rebuild the halo plan from the current partition; "
+                   "traffic routed through a missing rank is never "
+                   "delivered");
+        continue;  // exclude from LC008 so one stale message = one finding
+      }
       if (m.src == m.dst) {
         std::ostringstream msg;
         msg << "self-message on rank " << m.src

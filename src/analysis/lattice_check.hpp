@@ -25,6 +25,12 @@
 //                                          frame failures cannot be pinned
 //                                          on a sender and the final value
 //                                          is arrival-order dependent
+//   LC011 halo-endpoint-not-in-partition (error) a halo message names a rank
+//                                          the partition does not know: id
+//                                          outside [0, R), or a rank owning
+//                                          zero points (post-shrink, a plan
+//                                          still routing traffic through a
+//                                          dead rank is stale)
 
 #include <cstdint>
 #include <vector>
@@ -59,7 +65,11 @@ std::vector<Diagnostic> check_partition(const lbm::SparseLattice& lattice,
 
 /// Validates a halo plan against the ground truth recomputed from the
 /// lattice + partition: catches truncated, stale or duplicated halo maps
-/// before they become pack/unpack overlaps with interior updates.
+/// before they become pack/unpack overlaps with interior updates.  Also
+/// flags messages whose endpoints the partition does not contain (LC011):
+/// rank ids outside [0, n_ranks), or ranks owning zero points — the
+/// signature of a plan that was not rebuilt after a shrink re-decomposition
+/// retired a rank.
 std::vector<Diagnostic> check_halo_plan(const lbm::SparseLattice& lattice,
                                         const decomp::Partition& partition,
                                         const decomp::HaloPlan& plan);

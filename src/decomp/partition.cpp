@@ -14,11 +14,23 @@ std::vector<std::int64_t> Partition::rank_counts() const {
   return counts;
 }
 
+std::vector<Rank> Partition::active_ranks() const {
+  const auto counts = rank_counts();
+  std::vector<Rank> out;
+  for (Rank r = 0; r < n_ranks; ++r)
+    if (counts[static_cast<std::size_t>(r)] > 0) out.push_back(r);
+  return out;
+}
+
 double Partition::imbalance() const {
   const auto counts = rank_counts();
   const std::int64_t max =
       *std::max_element(counts.begin(), counts.end());
-  const double mean = static_cast<double>(owner.size()) / n_ranks;
+  std::int64_t active = 0;
+  for (const std::int64_t c : counts)
+    if (c > 0) ++active;
+  const double mean =
+      static_cast<double>(owner.size()) / std::max<std::int64_t>(active, 1);
   return static_cast<double>(max) / mean;
 }
 
@@ -127,6 +139,31 @@ Partition bisection_partition(const lbm::SparseLattice& lattice, int n_ranks) {
   p.n_ranks = n_ranks;
   p.owner.assign(n, 0);
   bisect(lattice, order, 0, n, 0, n_ranks, p.owner);
+  return p;
+}
+
+Partition bisection_partition(const lbm::SparseLattice& lattice,
+                              int n_ranks_total,
+                              const std::vector<Rank>& survivors) {
+  HEMO_EXPECTS(n_ranks_total >= 1);
+  HEMO_EXPECTS(!survivors.empty());
+  HEMO_EXPECTS(survivors.size() <= static_cast<std::size_t>(n_ranks_total));
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    HEMO_EXPECTS(survivors[k] >= 0 && survivors[k] < n_ranks_total);
+    HEMO_EXPECTS(k == 0 || survivors[k - 1] < survivors[k]);
+  }
+
+  // Bisect into survivors.size() dense parts, then relabel part k with the
+  // k-th survivor's original rank id.  Identical point geometry to a plain
+  // bisection over the survivor count, so determinism and balance carry
+  // over unchanged.
+  Partition dense = bisection_partition(
+      lattice, static_cast<int>(survivors.size()));
+  Partition p;
+  p.n_ranks = n_ranks_total;
+  p.owner.resize(dense.owner.size());
+  for (std::size_t i = 0; i < dense.owner.size(); ++i)
+    p.owner[i] = survivors[static_cast<std::size_t>(dense.owner[i])];
   return p;
 }
 

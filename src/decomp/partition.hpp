@@ -22,7 +22,15 @@ struct Partition {
   /// Number of points owned by each rank.
   std::vector<std::int64_t> rank_counts() const;
 
-  /// max(count) / mean(count); 1.0 means perfect balance.
+  /// Ranks that own at least one point, ascending.  A full partition is
+  /// active on every rank; a post-shrink partition keeps its original
+  /// rank numbering and simply leaves dead ranks empty.
+  std::vector<Rank> active_ranks() const;
+
+  /// max(count) / mean(count) over the *active* (non-empty) ranks; 1.0
+  /// means perfect balance.  Averaging over active ranks keeps the metric
+  /// meaningful for shrunken partitions, and is identical to the plain
+  /// mean for full partitions.
   double imbalance() const;
 
   /// Owned point indices of one rank, in ascending order.
@@ -40,6 +48,19 @@ Partition slab_partition(const lbm::SparseLattice& lattice, int n_ranks);
 /// holds one rank's points.  Handles non-power-of-two rank counts by
 /// splitting ranks (and target point shares) proportionally.
 Partition bisection_partition(const lbm::SparseLattice& lattice, int n_ranks);
+
+/// Shrink-to-survivors re-decomposition: bisects the *whole* lattice over
+/// the `survivors` subset of an `n_ranks_total`-rank configuration.  The
+/// returned partition keeps the original rank numbering (n_ranks =
+/// n_ranks_total; owner values are drawn from `survivors` only), so rank
+/// identities — and with them fault plans, ledgers and provenance records
+/// — stay stable across a shrink; dead ranks simply own zero points.
+/// `survivors` must be non-empty, strictly ascending and within
+/// [0, n_ranks_total).  Deterministic in all arguments, including
+/// non-power-of-two survivor counts.
+Partition bisection_partition(const lbm::SparseLattice& lattice,
+                              int n_ranks_total,
+                              const std::vector<Rank>& survivors);
 
 /// One direction of a halo exchange: how many distribution values rank
 /// `src` must send to rank `dst` each iteration.

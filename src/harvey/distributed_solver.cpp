@@ -67,8 +67,15 @@ DistributedSolver::DistributedSolver(
                static_cast<std::size_t>(global_->size()));
   HEMO_EXPECTS(options_.tau > 0.5);
 
+  alive_.assign(static_cast<std::size_t>(partition_.n_ranks), 1);
+  build_decomposition();
+  initial_mass_ = prev_mass_ = total_mass();
+}
+
+void DistributedSolver::build_decomposition() {
   const int R = partition_.n_ranks;
-  ranks_.resize(static_cast<std::size_t>(R));
+  ranks_.assign(static_cast<std::size_t>(R), RankState{});
+  exchanges_.clear();
 
   // Local index maps: global point -> (rank-local index) per rank.
   std::vector<std::unordered_map<PointIndex, std::int64_t>> local_of(
@@ -77,7 +84,10 @@ DistributedSolver::DistributedSolver(
   for (Rank r = 0; r < R; ++r) {
     RankState& rs = ranks_[static_cast<std::size_t>(r)];
     rs.owned_global = partition_.points_of(r);
-    HEMO_EXPECTS(!rs.owned_global.empty());
+    // A dead rank legitimately owns nothing after a shrink; an *alive*
+    // rank with no points means the partition is broken.
+    HEMO_EXPECTS(!rs.owned_global.empty() ||
+                 !alive_[static_cast<std::size_t>(r)]);
     rs.owned = static_cast<std::int64_t>(rs.owned_global.size());
     auto& map = local_of[static_cast<std::size_t>(r)];
     map.reserve(rs.owned_global.size() * 2);
@@ -164,8 +174,6 @@ DistributedSolver::DistributedSolver(
   }
   exchanges_.reserve(pairs.size());
   for (auto& [key, e] : pairs) exchanges_.push_back(std::move(e));
-
-  initial_mass_ = prev_mass_ = total_mass();
 }
 
 lbm::KernelArgs DistributedSolver::rank_args(RankState& rs) const {
@@ -237,6 +245,7 @@ void DistributedSolver::set_execution_model(hal::Model model) {
 }
 
 void DistributedSolver::execute_rank_kernel(RankState& rs) {
+  if (rs.owned == 0) return;  // dead rank post-shrink: nothing to launch
   const lbm::KernelArgs a = rank_args(rs);
   const std::int64_t owned = rs.owned;
   auto body = [a, owned](std::int64_t i) {
@@ -368,10 +377,12 @@ void DistributedSolver::post_all_halos() {
     network_->send(e.src, e.dst, pack_payload(e));
 }
 
-bool DistributedSolver::receive_exchange(const Exchange& e) {
+bool DistributedSolver::receive_exchange(const Exchange& e,
+                                         bool* missing_only) {
   const bool frames = resilience_->recovery.checksum_frames;
   const std::size_t expected = e.q.size() + (frames ? 1 : 0);
   const int budget = resilience_->recovery.max_retransmits;
+  if (missing_only) *missing_only = true;
   int used = 0;
   for (;;) {
     bool have_payload = false;
@@ -380,10 +391,12 @@ bool DistributedSolver::receive_exchange(const Exchange& e) {
       payload = network_->receive(e.dst, e.src, expected);
       have_payload = true;
     } catch (const comm::RecvError& err) {
-      if (err.kind() == comm::RecvError::Kind::kMissing)
+      if (err.kind() == comm::RecvError::Kind::kMissing) {
         ++stats_.recv_missing;
-      else
+      } else {
         ++stats_.recv_wrong_size;
+        if (missing_only) *missing_only = false;
+      }
     }
     if (have_payload) {
       if (!frames || frame_ok(payload)) {
@@ -395,6 +408,7 @@ bool DistributedSolver::receive_exchange(const Exchange& e) {
         return true;
       }
       ++stats_.crc_mismatch;  // corrupted in flight; retransmit replaces it
+      if (missing_only) *missing_only = false;
     }
     if (used >= budget) return false;
     ++used;
@@ -423,11 +437,57 @@ void DistributedSolver::drain_stragglers() {
   }
 }
 
-bool DistributedSolver::resilient_exchange() {
+Rank DistributedSolver::diagnose_dead_rank(
+    const std::vector<FailedEdge>& failed) const {
+  // A permanently dead rank is *totally* silent: nothing it sends reaches
+  // the wire and nothing sent to it is accepted, so every one of its
+  // planned halo edges — both directions — fails with pure absence.  A
+  // transient fault (drop, corrupt, stall) either recovers within the
+  // retransmit budget or fails with a non-missing signature.  The suspect
+  // must therefore (a) have every planned edge among the failures, and
+  // (b) account for every failure; it must also be (c) unique — in a
+  // 2-rank run both ranks satisfy (a) and (b) symmetrically, so detection
+  // abstains and the ordinary rollback ladder decides.
+  for (const FailedEdge& f : failed)
+    if (!f.missing_only) return -1;
+
+  std::vector<Rank> candidates;
+  for (Rank c = 0; c < partition_.n_ranks; ++c) {
+    if (!alive_[static_cast<std::size_t>(c)]) continue;
+    std::size_t planned = 0;
+    for (const Exchange& e : exchanges_)
+      if (e.src == c || e.dst == c) ++planned;
+    if (planned == 0) continue;
+    std::size_t touching = 0;
+    bool all_touch = true;
+    for (const FailedEdge& f : failed) {
+      if (f.src == c || f.dst == c)
+        ++touching;
+      else
+        all_touch = false;
+    }
+    if (all_touch && touching == planned) candidates.push_back(c);
+  }
+  return candidates.size() == 1 ? candidates.front() : -1;
+}
+
+bool DistributedSolver::resilient_exchange(Rank* suspect) {
+  if (suspect) *suspect = -1;
   post_all_halos();
   const std::int64_t stray_before = stats_.stragglers_drained;
-  for (const Exchange& e : exchanges_)
-    if (!receive_exchange(e)) return false;
+  // Attempt every exchange even after one fails: the failure *pattern*
+  // across the whole plan is what distinguishes a dead rank (all of its
+  // edges silent) from a transient fault (an isolated edge).
+  std::vector<FailedEdge> failed;
+  for (const Exchange& e : exchanges_) {
+    bool missing_only = true;
+    if (!receive_exchange(e, &missing_only))
+      failed.push_back(FailedEdge{e.src, e.dst, missing_only});
+  }
+  if (!failed.empty()) {
+    if (suspect) *suspect = diagnose_dead_rank(failed);
+    return false;
+  }
   drain_stragglers();
 
   if (resilience_->health.audit_halo) {
@@ -578,6 +638,102 @@ void DistributedSolver::rollback_or_fault(const std::string& why) {
   network_->reset();
 }
 
+bool DistributedSolver::can_shrink() const {
+  return resilience_->shrink.enabled && snapshot_.step >= 0 &&
+         survivor_count() - 1 >= resilience_->shrink.min_survivors;
+}
+
+std::vector<double> DistributedSolver::snapshot_global_state() const {
+  // Reassemble the snapshot into global q-major ordering using the
+  // *current* (pre-shrink) ownership.  The snapshot holds every rank's
+  // state from before the death, so the dead rank's points are recovered
+  // from it — this is the redistribution source for the shrink.
+  HEMO_EXPECTS(snapshot_.step >= 0);
+  const auto n = static_cast<std::size_t>(global_->size());
+  std::vector<double> f(static_cast<std::size_t>(lbm::kQ) * n);
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rs = ranks_[r];
+    const std::vector<double>& state = snapshot_.state[r];
+    for (std::int64_t li = 0; li < rs.owned; ++li) {
+      const auto gi = static_cast<std::size_t>(
+          rs.owned_global[static_cast<std::size_t>(li)]);
+      for (int q = 0; q < lbm::kQ; ++q)
+        f[static_cast<std::size_t>(q) * n + gi] =
+            state[static_cast<std::size_t>(q) *
+                      static_cast<std::size_t>(rs.local) +
+                  static_cast<std::size_t>(li)];
+    }
+  }
+  return f;
+}
+
+void DistributedSolver::scatter_global_state(const std::vector<double>& f) {
+  // Owned slots only: every ghost (q, slot) the kernel will read is
+  // overwritten by the first halo exchange after resumption, so ghosts can
+  // stay at the equilibrium fill build_decomposition() gave them.
+  const auto n = static_cast<std::size_t>(global_->size());
+  for (RankState& rs : ranks_) {
+    for (std::int64_t li = 0; li < rs.owned; ++li) {
+      const auto gi = static_cast<std::size_t>(
+          rs.owned_global[static_cast<std::size_t>(li)]);
+      for (int q = 0; q < lbm::kQ; ++q)
+        rs.current[static_cast<std::size_t>(q) *
+                       static_cast<std::size_t>(rs.local) +
+                   static_cast<std::size_t>(li)] =
+            f[static_cast<std::size_t>(q) * n + gi];
+    }
+  }
+}
+
+void DistributedSolver::shrink_to_survivors(Rank dead) {
+  HEMO_EXPECTS(dead >= 0 && dead < partition_.n_ranks);
+  HEMO_EXPECTS(alive_[static_cast<std::size_t>(dead)]);
+
+  // Recover the last consistent global state while the old decomposition
+  // is still in place, then retire the rank.
+  const std::vector<double> f = snapshot_global_state();
+  const std::int64_t resume_step = snapshot_.step;
+  const double resume_prev_mass = snapshot_.prev_mass;
+
+  alive_[static_cast<std::size_t>(dead)] = 0;
+  ++stats_.rank_deaths;
+  stats_.dead_ranks.push_back(dead);
+
+  std::vector<Rank> survivors;
+  survivors.reserve(alive_.size());
+  for (Rank r = 0; r < partition_.n_ranks; ++r)
+    if (alive_[static_cast<std::size_t>(r)]) survivors.push_back(r);
+
+  // Re-bisect over the survivors (original rank ids kept; the dead ranks
+  // own zero points), rebuild the halo plan, redistribute the state.
+  partition_ =
+      decomp::bisection_partition(*global_, partition_.n_ranks, survivors);
+  build_decomposition();
+  scatter_global_state(f);
+  steps_done_ = resume_step;
+  prev_mass_ = resume_prev_mass;
+
+  // New epoch: the abandoned step's traffic and the rollback spend belong
+  // to the dead decomposition.  The network keeps its permanent state (a
+  // FaultyNetwork's dead ranks stay dead — they just no longer carry
+  // traffic), and the fresh snapshot anchors future rollbacks to a state
+  // that exists on the new decomposition.
+  network_->reset();
+  rollbacks_used_ = 0;
+  suspect_rank_ = -1;
+  suspect_count_ = 0;
+  snapshot_ = Snapshot{};
+  take_snapshot();
+
+  ++stats_.shrinks;
+  stats_.last_recovery_step = resume_step;
+  std::ostringstream msg;
+  msg << "rank " << dead << " declared dead; re-bisected onto "
+      << survivors.size() << " survivor(s), resuming at step " << resume_step
+      << " (imbalance " << partition_.imbalance() << ")";
+  record("RS005", analysis::Severity::kWarning, "shrink-recovery", msg.str());
+}
+
 void DistributedSolver::resilient_step() {
   const resilience::RecoveryPolicy& rec = resilience_->recovery;
   if (steps_done_ % rec.checkpoint_interval == 0 &&
@@ -585,13 +741,34 @@ void DistributedSolver::resilient_step() {
     take_snapshot();
 
   network_->begin_step(steps_done_);
-  if (!resilient_exchange()) {
+  Rank suspect = -1;
+  if (!resilient_exchange(&suspect)) {
+    // Deadline failure detector: consecutive failed attempts blamed on the
+    // same unique totally-silent rank escalate it from transient to dead.
+    if (suspect >= 0 && suspect == suspect_rank_) {
+      ++suspect_count_;
+    } else {
+      suspect_rank_ = suspect;
+      suspect_count_ = suspect >= 0 ? 1 : 0;
+    }
+    if (suspect >= 0 && can_shrink()) {
+      const bool deadline_hit =
+          suspect_count_ >= resilience_->shrink.death_deadline;
+      const bool rollbacks_exhausted =
+          rollbacks_used_ >= rec.max_rollbacks;
+      if (deadline_hit || rollbacks_exhausted) {
+        shrink_to_survivors(suspect);
+        return;
+      }
+    }
     std::ostringstream why;
     why << "halo exchange failed beyond the retransmission budget at step "
         << steps_done_;
     rollback_or_fault(why.str());
     return;
   }
+  suspect_rank_ = -1;
+  suspect_count_ = 0;
   advance_state();
 
   std::vector<analysis::Diagnostic> health = check_health();
@@ -737,6 +914,21 @@ std::vector<analysis::Diagnostic> DistributedSolver::validate() const {
     out.insert(out.end(), part.begin(), part.end());
   }
 
+  // The live exchange lists, viewed as a halo plan, must agree with the
+  // plan recomputed from the current partition (LC008) and must not route
+  // traffic through ranks the partition does not populate (LC011) — the
+  // stale-plan hazard of a shrink that forgot to rebuild its exchanges.
+  {
+    decomp::HaloPlan as_plan;
+    as_plan.messages.reserve(exchanges_.size());
+    for (const Exchange& e : exchanges_)
+      as_plan.messages.push_back(decomp::HaloMessage{
+          e.src, e.dst, static_cast<std::int64_t>(e.q.size())});
+    std::vector<analysis::Diagnostic> plan_diags =
+        analysis::check_halo_plan(*global_, partition_, as_plan);
+    out.insert(out.end(), plan_diags.begin(), plan_diags.end());
+  }
+
   // Exchange-level invariants: every pack slot reads an interior (owned)
   // value, every unpack slot writes a ghost slot, and no (q, slot) pair is
   // unpacked twice within one exchange.  A violation means the halo
@@ -849,6 +1041,17 @@ double DistributedSolver::total_mass() const {
 std::int64_t DistributedSolver::owned_count(Rank r) const {
   HEMO_EXPECTS(r >= 0 && r < partition_.n_ranks);
   return ranks_[static_cast<std::size_t>(r)].owned;
+}
+
+int DistributedSolver::survivor_count() const {
+  int n = 0;
+  for (char a : alive_) n += (a != 0);
+  return n;
+}
+
+bool DistributedSolver::rank_alive(Rank r) const {
+  HEMO_EXPECTS(r >= 0 && r < partition_.n_ranks);
+  return alive_[static_cast<std::size_t>(r)] != 0;
 }
 
 }  // namespace hemo::harvey

@@ -11,12 +11,24 @@
 //
 // Resilience (opt-in via enable_resilience): halo messages carry CRC-32
 // frames, failed or corrupted receives are answered by retransmission from
-// the sender's intact state, per-step numerical-health guards (RS001-RS004)
+// the sender's intact state, per-step numerical-health guards (RS001-RS005)
 // watch the state, and a bounded rollback ladder restores an in-memory
 // snapshot when retransmission cannot help.  When every rung is exhausted
 // the solver raises a structured resilience::SolverFault instead of
 // aborting.  On-disk checkpoints (CRC-checked io::Blob files) let a
 // campaign resume a failed point from its last good step.
+//
+// Elastic shrink-recovery (opt-in via ShrinkPolicy): when a rank's
+// outbound traffic goes permanently silent — every receive from it
+// exhausts the retransmit budget with *nothing* arriving, step after
+// rolled-back step — the deadline failure detector escalates it from
+// "transient" to "dead".  The solver then re-runs the recursive load
+// bisection over the surviving rank set (original rank ids are kept; dead
+// ranks simply own zero points), rebuilds the halo exchanges, scatters the
+// last CRC-checked checkpoint state onto the new decomposition, and
+// resumes stepping.  Because replayed steps recompute the identical
+// lattice update on the survivors, the final state is bit-identical to an
+// unfaulted run — and therefore to any rerun with the same kill schedule.
 
 #include <cstdint>
 #include <memory>
@@ -60,6 +72,12 @@ class DistributedSolver {
   std::vector<analysis::Diagnostic> validate() const;
 
   int n_ranks() const { return partition_.n_ranks; }
+
+  /// Live ranks: n_ranks() minus those declared permanently dead by the
+  /// shrink rung.  Degraded-mode efficiency is computed against this.
+  int survivor_count() const;
+  bool rank_alive(Rank r) const;
+
   std::int64_t step_count() const { return steps_done_; }
   const comm::Network& network() const { return *network_; }
   const decomp::Partition& partition() const { return partition_; }
@@ -157,16 +175,31 @@ class DistributedSolver {
     std::vector<std::vector<double>> state;  // per rank, kQ * local values
   };
 
+  /// One halo edge that failed past the retransmit budget, and whether
+  /// every failure was pure absence (kMissing) — the signature of a silent
+  /// rank, as opposed to corruption or truncation.
+  struct FailedEdge {
+    Rank src = -1;
+    Rank dst = -1;
+    bool missing_only = true;
+  };
+
   void exchange_halos();
   void execute_rank_kernel(RankState& rs);
   lbm::KernelArgs rank_args(RankState& rs) const;
   void advance_state();
 
+  /// Builds ranks_ and exchanges_ from the current partition_.  Called by
+  /// the constructor and again by shrink_to_survivors() after the
+  /// partition was re-bisected over the survivors.  Dead ranks own zero
+  /// points and take part in no exchange.
+  void build_decomposition();
+
   // Resilient halo machinery.
   std::vector<double> pack_payload(const Exchange& e) const;
   void post_all_halos();
-  bool receive_exchange(const Exchange& e);
-  bool resilient_exchange();
+  bool receive_exchange(const Exchange& e, bool* missing_only);
+  bool resilient_exchange(Rank* suspect);
   void drain_stragglers();
   void record(const char* rule, analysis::Severity severity,
               const std::string& where, const std::string& message);
@@ -174,6 +207,13 @@ class DistributedSolver {
   void rollback_or_fault(const std::string& why);
   std::int64_t total_values() const;
   void resilient_step();
+
+  // Elastic shrink-recovery.
+  Rank diagnose_dead_rank(const std::vector<FailedEdge>& failed) const;
+  bool can_shrink() const;
+  void shrink_to_survivors(Rank dead);
+  std::vector<double> snapshot_global_state() const;
+  void scatter_global_state(const std::vector<double>& f);
 
   std::shared_ptr<const lbm::SparseLattice> global_;
   decomp::Partition partition_;
@@ -191,6 +231,13 @@ class DistributedSolver {
   int rollbacks_used_ = 0;
   double initial_mass_ = 0.0;
   double prev_mass_ = 0.0;
+
+  // Failure detector: alive_[r] is cleared forever when rank r is declared
+  // dead; suspect_rank_/suspect_count_ track the deadline escalation (how
+  // many consecutive failed step attempts blamed the same unique rank).
+  std::vector<char> alive_;
+  Rank suspect_rank_ = -1;
+  int suspect_count_ = 0;
 };
 
 }  // namespace hemo::harvey

@@ -13,6 +13,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kTruncate: return "truncate";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kRankDeath: return "rank-death";
   }
   return "?";
 }
@@ -24,7 +25,19 @@ bool parse_fault_kind(std::string_view name, FaultKind* out) {
       return true;
     }
   }
+  if (name == fault_kind_name(FaultKind::kRankDeath)) {
+    *out = FaultKind::kRankDeath;
+    return true;
+  }
   return false;
+}
+
+void FaultPlan::kill_rank(Rank rank, std::int64_t step) {
+  FaultEvent e;
+  e.kind = FaultKind::kRankDeath;
+  e.step = step;
+  e.src = rank;
+  events_.push_back(e);
 }
 
 FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t steps,
@@ -73,8 +86,18 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t steps,
 
 FaultEvent* FaultPlan::match_send(std::int64_t step, Rank src, Rank dst) {
   for (FaultEvent& e : events_) {
-    if (e.fired || e.kind == FaultKind::kStall) continue;
+    if (e.fired || e.kind == FaultKind::kStall ||
+        e.kind == FaultKind::kRankDeath)
+      continue;
     if (e.step == step && e.src == src && e.dst == dst) return &e;
+  }
+  return nullptr;
+}
+
+FaultEvent* FaultPlan::match_rank_death(std::int64_t step) {
+  for (FaultEvent& e : events_) {
+    if (e.fired || e.kind != FaultKind::kRankDeath) continue;
+    if (e.step <= step) return &e;
   }
   return nullptr;
 }

@@ -25,8 +25,15 @@ enum class FaultKind {
   kDelay,      // message arrives one receive-poll late (reordering)
   kTruncate,   // message loses its tail values
   kStall,      // a rank stops sending for several polls
+  kRankDeath,  // a rank dies PERMANENTLY: all of its traffic black-holed
+               // from the event step onward (never clears, survives
+               // rollbacks) — the failure mode shrink-recovery targets
 };
 
+/// The transient (one-shot) kinds: what "--kinds all" and random chaos
+/// plans draw from.  kRankDeath is deliberately excluded — a permanent
+/// kill changes the run's decomposition and is opted into explicitly
+/// (hemo_chaos --kill-rank, FaultPlan::kill_rank).
 inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kDrop,     FaultKind::kDuplicate, FaultKind::kCorrupt,
     FaultKind::kDelay,    FaultKind::kTruncate,  FaultKind::kStall};
@@ -66,13 +73,21 @@ class FaultPlan {
 
   void add(const FaultEvent& event) { events_.push_back(event); }
 
-  /// First unfired non-stall event matching a send on (step, src, dst), or
-  /// nullptr.  Does not mark the event fired — the network does, once the
-  /// fault is actually applied.
+  /// Convenience: schedules a permanent kRankDeath of `rank` at `step`.
+  void kill_rank(Rank rank, std::int64_t step);
+
+  /// First unfired non-stall transient event matching a send on
+  /// (step, src, dst), or nullptr.  Does not mark the event fired — the
+  /// network does, once the fault is actually applied.
   FaultEvent* match_send(std::int64_t step, Rank src, Rank dst);
 
   /// First unfired stall event for the sending rank at this step.
   FaultEvent* match_stall(std::int64_t step, Rank src);
+
+  /// First unfired kRankDeath event whose step has been reached (event
+  /// step <= `step` — a permanent kill does not need traffic on its exact
+  /// step to take effect).  nullptr when no rank is due to die.
+  FaultEvent* match_rank_death(std::int64_t step);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   std::vector<FaultEvent>& events() { return events_; }

@@ -1,5 +1,6 @@
 #include "resilience/faulty_network.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -8,7 +9,48 @@ namespace hemo::resilience {
 FaultyNetwork::FaultyNetwork(int n_ranks, FaultPlan plan)
     : comm::Network(n_ranks), plan_(std::move(plan)) {}
 
+bool FaultyNetwork::is_dead(Rank r) const {
+  return std::find(dead_.begin(), dead_.end(), r) != dead_.end();
+}
+
+void FaultyNetwork::begin_step(std::int64_t step) {
+  step_ = step;
+  apply_due_deaths();
+}
+
+void FaultyNetwork::apply_due_deaths() {
+  while (FaultEvent* death = plan_.match_rank_death(step_)) {
+    death->fired = true;
+    const Rank r = death->src;
+    if (is_dead(r)) continue;
+    dead_.push_back(r);
+    // The dead device's NIC queues die with it: anything it was holding
+    // (stalled or delayed) is gone.  Traffic it sent earlier that already
+    // reached the wire stays deliverable, like a real in-flight packet.
+    if (stall_.active && stall_.rank == r) {
+      log_.death_swallowed += static_cast<std::int64_t>(stall_.held.size());
+      stall_ = Stall{};
+    }
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+      if (it->first.first == r) {
+        log_.death_swallowed += static_cast<std::int64_t>(it->second.size());
+        it = delayed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 void FaultyNetwork::send(Rank src, Rank dst, std::vector<double> payload) {
+  // A permanently dead rank neither sends nor listens: traffic from it
+  // never reaches the wire, and traffic to it lands in a void.  Unlike a
+  // stall there is no held queue — the device is gone.
+  apply_due_deaths();
+  if (is_dead(src) || is_dead(dst)) {
+    ++log_.death_swallowed;
+    return;
+  }
   // A silent rank enqueues locally instead of reaching the wire.  This
   // also swallows retransmissions issued on the stalled rank's behalf —
   // the rank is down, nobody can repack for it — which is what eventually
@@ -71,6 +113,7 @@ void FaultyNetwork::send(Rank src, Rank dst, std::vector<double> payload) {
       return;
     }
     case FaultKind::kStall:
+    case FaultKind::kRankDeath:
       break;  // handled above; unreachable through match_send
   }
 }
@@ -89,6 +132,13 @@ void FaultyNetwork::maybe_clear_stall(Rank src) {
 }
 
 std::vector<double> FaultyNetwork::receive(Rank dst, Rank src) {
+  apply_due_deaths();
+  if (is_dead(src) && Network::pending(dst, src) == 0) {
+    // Nothing will ever arrive from a dead rank again; only traffic that
+    // reached the wire before death remains deliverable.
+    ++log_.death_polls;
+    throw comm::RecvError(comm::RecvError::Kind::kMissing, src, dst, 0, 0);
+  }
   if (stall_.active && stall_.rank == src) {
     maybe_clear_stall(src);
     if (stall_.active)
@@ -126,6 +176,9 @@ bool FaultyNetwork::drained() const {
 }
 
 void FaultyNetwork::reset() {
+  // Deliberately does NOT clear dead_: a rollback replays the step, but a
+  // permanently dead rank stays dead through the replay — that is exactly
+  // the persistence that distinguishes kRankDeath from a transient stall.
   Network::reset();
   delayed_.clear();
   stall_ = Stall{};

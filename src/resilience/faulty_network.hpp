@@ -11,10 +11,16 @@
 //   truncate   the message loses its tail values
 //   stall      the sending rank goes silent: its messages are held and
 //              every receive from it fails for `stall_polls` polls
+//   rank-death the rank dies PERMANENTLY: every send from or to it is
+//              black-holed and every receive from it fails, forever —
+//              death survives rollbacks and network resets
 //
-// Faults are one-shot (the plan marks them fired), so a rollback/replay
-// does not re-encounter the fault it just recovered from — the semantics
-// of a transient soft error.  All bookkeeping is deterministic.
+// Transient faults are one-shot (the plan marks them fired), so a
+// rollback/replay does not re-encounter the fault it just recovered from —
+// the semantics of a transient soft error.  A kRankDeath event is the
+// opposite: once its step is reached the rank never comes back, which is
+// what escalates the solver's recovery ladder into shrink-to-survivors
+// re-decomposition.  All bookkeeping is deterministic.
 
 #include <cstdint>
 #include <deque>
@@ -36,7 +42,12 @@ struct FaultLog {
   std::int64_t truncated = 0;
   std::int64_t stall_held = 0;   // messages held while a rank was silent
   std::int64_t stall_polls = 0;  // receive polls answered with "missing"
+  std::int64_t death_swallowed = 0;  // messages black-holed by a dead rank
+  std::int64_t death_polls = 0;  // receives from a dead rank denied
 
+  /// Transient injections only: permanent-death traffic loss is accounted
+  /// separately (death_swallowed) because it is unbounded by design — a
+  /// dead rank swallows traffic until the solver shrinks around it.
   std::int64_t total_injected() const {
     return dropped + duplicated + corrupted + delayed + truncated +
            stall_held;
@@ -52,7 +63,12 @@ class FaultyNetwork final : public comm::Network {
   const FaultLog& log() const { return log_; }
   std::int64_t current_step() const { return step_; }
 
-  void begin_step(std::int64_t step) override { step_ = step; }
+  /// Permanently dead ranks, in death order.  Populated when kRankDeath
+  /// events reach their step; never shrinks (death is forever).
+  const std::vector<Rank>& dead_ranks() const { return dead_; }
+  bool is_dead(Rank r) const;
+
+  void begin_step(std::int64_t step) override;
   void send(Rank src, Rank dst, std::vector<double> payload) override;
   using comm::Network::receive;  // keep the size-checked overload visible
   std::vector<double> receive(Rank dst, Rank src) override;
@@ -71,12 +87,14 @@ class FaultyNetwork final : public comm::Network {
   };
 
   void maybe_clear_stall(Rank src);
+  void apply_due_deaths();
 
   std::int64_t step_ = 0;
   FaultPlan plan_;
   FaultLog log_;
   std::map<std::pair<Rank, Rank>, std::deque<std::vector<double>>> delayed_;
   Stall stall_;
+  std::vector<Rank> dead_;  // permanent; survives reset()
 };
 
 }  // namespace hemo::resilience

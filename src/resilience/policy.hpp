@@ -5,12 +5,15 @@
 // scan, mass-drift tolerance, velocity-magnitude ceiling, halo traffic
 // audit — surfaced as analysis::Diagnostic records with RS### rule ids.
 //
-// Recovery (RecoveryPolicy): the escalation ladder the solver walks when a
-// step goes wrong:
-//     retransmit the halo  ->  roll back to a checkpoint  ->  SolverFault.
+// Recovery (RecoveryPolicy + ShrinkPolicy): the escalation ladder the
+// solver walks when a step goes wrong:
+//     retransmit the halo  ->  roll back to a checkpoint
+//       ->  declare the silent rank dead and shrink onto the survivors
+//       ->  SolverFault.
 // Every rung is bounded, so a persistent fault degrades into a *structured*
 // failure the campaign layer can retry or resume from a checkpoint —
-// never an abort.
+// never an abort.  The shrink rung (opt-in) handles the one fault the
+// transient ladder cannot: a device that is permanently gone.
 //
 // Threshold scaling: tolerances are functions of lattice size and step
 // count, not constants — see DESIGN.md ("Why detection thresholds scale
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "base/types.hpp"
 
 namespace hemo::resilience {
 
@@ -37,6 +41,8 @@ namespace hemo::resilience {
 ///   RS002 global mass drift beyond tolerance   (error)
 ///   RS003 velocity-magnitude ceiling exceeded  (error)
 ///   RS004 halo traffic disagrees with the plan (warning; auto-recovered)
+///   RS005 rank declared dead; domain shrunk    (warning; auto-recovered
+///                                               onto the survivors)
 struct HealthPolicy {
   bool scan_nonfinite = true;
 
@@ -101,9 +107,35 @@ struct RecoveryPolicy {
   bool checksum_frames = true;
 };
 
+/// Elastic shrink-recovery: the rung above rollback.  A deadline-based
+/// failure detector watches for a rank whose outbound traffic has gone
+/// completely silent (every receive from it exhausts the retransmit
+/// budget with nothing arriving — not corruption, absence).  A rank that
+/// stays uniquely suspect for `death_deadline` consecutive failed step
+/// attempts — or that is still suspect when the rollback budget runs
+/// out — is escalated from "transient" to "dead": the solver re-bisects
+/// the domain over the survivors, redistributes the last checkpointed
+/// state, and resumes.  Recovery is deterministic: the same kill schedule
+/// produces bit-identical final state across reruns.
+struct ShrinkPolicy {
+  bool enabled = false;
+
+  /// Consecutive failed attempts (original + rollback replays) blamed on
+  /// the same unique rank before it is declared dead.  The first failure
+  /// is always treated as transient (rollback + replay); a permanent
+  /// death re-fails the replay immediately and hits the deadline.
+  int death_deadline = 2;
+
+  /// The solver refuses to shrink below this many live ranks and raises a
+  /// SolverFault instead (a campaign may consider a 1-device "parallel"
+  /// run meaningless, or keep going to the bitter end).
+  int min_survivors = 1;
+};
+
 struct Options {
   HealthPolicy health;
   RecoveryPolicy recovery;
+  ShrinkPolicy shrink;
 };
 
 /// Counters and detection records of a resilient run.
@@ -117,15 +149,23 @@ struct RunStats {
   std::int64_t health_errors = 0;    // RS001-RS003 detections
   std::int64_t rollbacks = 0;        // checkpoint restorations
   std::int64_t snapshots = 0;        // in-memory checkpoints taken
+
+  // Shrink provenance (RS005): which ranks were declared permanently dead,
+  // in death order, and where the run last re-decomposed and resumed.
+  std::int64_t rank_deaths = 0;           // ranks escalated to dead
+  std::int64_t shrinks = 0;               // successful re-decompositions
+  std::vector<Rank> dead_ranks;           // death order
+  std::int64_t last_recovery_step = -1;   // step the last shrink resumed at
+
   /// Detection records (RS### diagnostics), in occurrence order.
   std::vector<analysis::Diagnostic> diagnostics;
 
   std::int64_t faults_detected() const {
     return recv_missing + recv_wrong_size + crc_mismatch +
-           halo_audit_mismatches + health_errors;
+           halo_audit_mismatches + health_errors + rank_deaths;
   }
   std::int64_t recoveries() const {
-    return retransmits + stragglers_drained + rollbacks;
+    return retransmits + stragglers_drained + rollbacks + shrinks;
   }
 };
 

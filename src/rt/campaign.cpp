@@ -32,6 +32,17 @@ std::string fmt_double(double v) {
   return buffer;
 }
 
+/// Death-order rank list for one CSV cell; ';'-separated so the cell
+/// survives comma-splitting CSV consumers.
+std::string join_ranks(const std::vector<Rank>& ranks) {
+  std::string out;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i) out += ';';
+    out += std::to_string(ranks[i]);
+  }
+  return out;
+}
+
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -71,6 +82,7 @@ std::string_view app_name(sim::App app) {
 struct Priced {
   sim::SimPoint sim;
   perf::Prediction prediction;
+  std::optional<ShrinkProvenance> shrink;
 };
 
 /// Preflight validation: decomposes the measured lattice the way the
@@ -179,6 +191,14 @@ std::size_t CampaignResult::failed_points() const {
   return n;
 }
 
+std::size_t CampaignResult::degraded_points() const {
+  std::size_t n = 0;
+  for (const SeriesResult& s : series)
+    for (const PointResult& p : s.points)
+      if (p.degraded()) ++n;
+  return n;
+}
+
 std::vector<JobFailure> CampaignResult::failures() const {
   std::vector<JobFailure> out;
   for (const SeriesResult& s : series)
@@ -279,6 +299,28 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
               priced.prediction =
                   simulator.predict(*workload, slot->schedule.devices,
                                     slot->schedule.size_multiplier);
+
+              // A rank death mid-run never fails the point: the solver
+              // shrinks onto the survivors and the point completes
+              // degraded, priced — measured and predicted both — against
+              // the devices that finished the work.
+              if (spec.rank_failure_injector) {
+                std::optional<ShrinkProvenance> shrink =
+                    spec.rank_failure_injector(series, slot->schedule);
+                if (shrink.has_value()) {
+                  HEMO_EXPECTS(shrink->survivor_count >= 1);
+                  HEMO_EXPECTS(shrink->survivor_count <=
+                               slot->schedule.devices);
+                  priced.sim = simulator.simulate(
+                      *workload, shrink->survivor_count,
+                      slot->schedule.size_multiplier);
+                  priced.prediction = simulator.predict_degraded(
+                      *workload, slot->schedule.devices,
+                      shrink->survivor_count,
+                      slot->schedule.size_multiplier);
+                  priced.shrink = std::move(shrink);
+                }
+              }
               return priced;
             });
 
@@ -286,6 +328,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
         if (outcome.ok()) {
           slot->sim = outcome.value->sim;
           slot->prediction = outcome.value->prediction;
+          slot->shrink = std::move(outcome.value->shrink);
         } else {
           slot->failure = std::move(outcome.failure);
         }
@@ -442,21 +485,31 @@ bool parse_series(std::string_view text, SeriesSpec* out) {
 void write_campaign_csv(const CampaignResult& result, std::ostream& os) {
   Table table({"campaign", "system", "model", "app", "workload", "devices",
                "size_multiplier", "status", "attempts", "mflups",
-               "iteration_s", "predicted_mflups", "error"});
+               "iteration_s", "predicted_mflups", "survivors",
+               "failed_ranks", "recovery_step", "error"});
   for (const SeriesResult& series : result.series) {
     const sys::SystemSpec& sys_spec = sys::system_spec(series.spec.system);
     for (const PointResult& p : series.points) {
       const bool ok = p.ok();
+      const bool degraded = p.degraded();
+      // Degraded points report the devices that finished the work; clean
+      // points finished on everything they started with.
+      const int survivors =
+          degraded ? p.shrink->survivor_count : p.schedule.devices;
       table.add_row(
           {result.name, sys_spec.name, std::string(hal::name_of(series.spec.model)),
            std::string(app_name(series.spec.app)),
            std::string(workload_name(series.spec.workload)),
            std::to_string(p.schedule.devices),
            std::to_string(p.schedule.size_multiplier),
-           ok ? "ok" : (p.failure->timed_out ? "timeout" : "failed"),
+           !ok ? (p.failure->timed_out ? "timeout" : "failed")
+               : (degraded ? "degraded" : "ok"),
            std::to_string(p.attempts), ok ? fmt_double(p.sim.mflups) : "",
            ok ? fmt_double(p.sim.iteration_s) : "",
            ok ? fmt_double(p.prediction.mflups) : "",
+           ok ? std::to_string(survivors) : "",
+           degraded ? join_ranks(p.shrink->failed_ranks) : "",
+           degraded ? std::to_string(p.shrink->recovery_step) : "",
            ok ? "" : p.failure->message});
     }
   }
@@ -470,6 +523,7 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
   os << "  \"wall_s\": " << fmt_double(result.wall_s) << ",\n";
   os << "  \"points\": " << result.total_points() << ",\n";
   os << "  \"failed_points\": " << result.failed_points() << ",\n";
+  os << "  \"degraded_points\": " << result.degraded_points() << ",\n";
   os << "  \"cache\": {\"hits\": " << result.cache.hits
      << ", \"misses\": " << result.cache.misses
      << ", \"evictions\": " << result.cache.evictions
@@ -492,9 +546,17 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
          << ", \"size_multiplier\": " << p.schedule.size_multiplier
          << ", \"attempts\": " << p.attempts;
       if (p.ok()) {
-        os << ", \"status\": \"ok\", \"mflups\": " << fmt_double(p.sim.mflups)
+        os << ", \"status\": \"" << (p.degraded() ? "degraded" : "ok")
+           << "\", \"mflups\": " << fmt_double(p.sim.mflups)
            << ", \"iteration_s\": " << fmt_double(p.sim.iteration_s)
            << ", \"predicted_mflups\": " << fmt_double(p.prediction.mflups);
+        if (p.degraded()) {
+          os << ", \"shrink\": {\"failed_ranks\": [";
+          for (std::size_t r = 0; r < p.shrink->failed_ranks.size(); ++r)
+            os << (r ? ", " : "") << p.shrink->failed_ranks[r];
+          os << "], \"recovery_step\": " << p.shrink->recovery_step
+             << ", \"survivor_count\": " << p.shrink->survivor_count << "}";
+        }
       } else {
         os << ", \"status\": \""
            << (p.failure->timed_out ? "timeout" : "failed")

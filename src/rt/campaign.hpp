@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/types.hpp"
 #include "hal/model.hpp"
 #include "perf/model.hpp"
 #include "rt/cache.hpp"
@@ -74,6 +75,17 @@ struct SeriesSpec {
   WorkloadKind workload = WorkloadKind::kCylinderBisection;
 };
 
+/// Shrink provenance of one degraded point: which ranks died, where the
+/// solver re-decomposed and resumed, and how many devices finished the
+/// work (the count MFLUPS/efficiency are reported against).  Mirrors
+/// resilience::RunStats' {dead_ranks, last_recovery_step} plus the
+/// survivor count.
+struct ShrinkProvenance {
+  std::vector<Rank> failed_ranks;       // death order
+  std::int64_t recovery_step = -1;      // step the last shrink resumed at
+  int survivor_count = 0;               // devices that finished the point
+};
+
 /// "Summit/CUDA/HARVEY/cylinder-bisection" — job names and report rows.
 std::string series_label(const SeriesSpec& spec);
 
@@ -95,6 +107,16 @@ struct CampaignSpec {
   std::function<void(const SeriesSpec&, const sys::SchedulePoint&,
                      int attempt)>
       fault_injector;
+  /// Rank-death hook: called once per point after it priced cleanly; a
+  /// returned provenance means the point lost ranks mid-run and finished
+  /// in degraded mode on the survivors.  The point is then re-priced —
+  /// measured MFLUPS and the ideal prediction both — against the
+  /// post-shrink device count (ClusterSimulator::predict_degraded), its
+  /// status becomes "degraded" in every sink, and the campaign continues;
+  /// a rank death never aborts a campaign.
+  std::function<std::optional<ShrinkProvenance>(const SeriesSpec&,
+                                                const sys::SchedulePoint&)>
+      rank_failure_injector;
   /// Statically validates every series' workload before pricing it: a
   /// small decomposition of the measured lattice is built and run through
   /// DistributedSolver::validate() (lattice, partition and halo-exchange
@@ -115,8 +137,13 @@ struct PointResult {
   perf::Prediction prediction;  // valid iff ok()
   int attempts = 0;
   std::optional<JobFailure> failure;
+  /// Present when the point lost ranks and completed on the survivors;
+  /// sim/prediction are then priced against shrink->survivor_count
+  /// devices, not schedule.devices.
+  std::optional<ShrinkProvenance> shrink;
 
   bool ok() const { return !failure.has_value(); }
+  bool degraded() const { return ok() && shrink.has_value(); }
 };
 
 struct SeriesResult {
@@ -134,6 +161,8 @@ struct CampaignResult {
 
   std::size_t total_points() const;
   std::size_t failed_points() const;
+  /// Points that lost ranks but completed on the survivors.
+  std::size_t degraded_points() const;
   /// The captured failures, in deterministic (series, point) order.
   std::vector<JobFailure> failures() const;
 };

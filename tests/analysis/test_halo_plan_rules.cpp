@@ -1,0 +1,133 @@
+// LC011 (halo-endpoint-not-in-partition): a halo plan that routes traffic
+// through a rank the partition does not know — out of range, or owning
+// zero points after a shrink — is a correctness hazard: that traffic is
+// never delivered.  Positive fixtures (tampered endpoint, stale pre-shrink
+// plan), negative fixtures (clean full and survivor partitions), and the
+// text-report golden the hemo_lint CLI prints for the finding.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/lattice_check.hpp"
+#include "analysis/report.hpp"
+#include "decomp/partition.hpp"
+#include "lbm/sparse_lattice.hpp"
+
+namespace analysis = hemo::analysis;
+namespace decomp = hemo::decomp;
+namespace lbm = hemo::lbm;
+using hemo::Coord;
+using hemo::Rank;
+
+namespace {
+
+lbm::SparseLattice box_lattice(int nx, int ny, int nz) {
+  std::vector<Coord> coords;
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) coords.push_back({x, y, z});
+  return lbm::SparseLattice(coords);
+}
+
+int count_rule(const std::vector<analysis::Diagnostic>& ds,
+               const std::string& rule) {
+  int n = 0;
+  for (const analysis::Diagnostic& d : ds) n += (d.rule_id == rule);
+  return n;
+}
+
+}  // namespace
+
+TEST(HaloPlanRules, CleanSurvivorPartitionPlanIsSilent) {
+  const lbm::SparseLattice lattice = box_lattice(6, 5, 5);
+  // Rank 2 of 4 is dead; the plan is rebuilt from the shrunken partition,
+  // exactly what DistributedSolver::shrink_to_survivors does.
+  const decomp::Partition partition =
+      decomp::bisection_partition(lattice, 4, {0, 1, 3});
+  const decomp::HaloPlan plan = decomp::build_halo_plan(lattice, partition);
+  EXPECT_TRUE(analysis::check_halo_plan(lattice, partition, plan).empty());
+}
+
+TEST(HaloPlanRules, OutOfRangeEndpointYieldsLC011) {
+  const lbm::SparseLattice lattice = box_lattice(5, 5, 5);
+  const decomp::Partition partition = decomp::slab_partition(lattice, 3);
+  decomp::HaloPlan plan = decomp::build_halo_plan(lattice, partition);
+  plan.messages.push_back(decomp::HaloMessage{7, 0, 4});
+
+  const auto ds = analysis::check_halo_plan(lattice, partition, plan);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC011");
+  EXPECT_EQ(ds[0].severity, analysis::Severity::kError);
+  EXPECT_NE(ds[0].message.find("outside the partition's [0, 3) rank range"),
+            std::string::npos);
+}
+
+TEST(HaloPlanRules, RetiredRankEndpointYieldsLC011) {
+  const lbm::SparseLattice lattice = box_lattice(6, 5, 5);
+  const decomp::Partition partition =
+      decomp::bisection_partition(lattice, 4, {0, 1, 3});
+  decomp::HaloPlan plan = decomp::build_halo_plan(lattice, partition);
+  // A message still addressing the retired rank, as a plan that survived
+  // the shrink un-rebuilt would.
+  plan.messages.push_back(decomp::HaloMessage{2, 0, 4});
+
+  const auto ds = analysis::check_halo_plan(lattice, partition, plan);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule_id, "LC011");
+  EXPECT_NE(ds[0].message.find("owns zero points"), std::string::npos);
+}
+
+TEST(HaloPlanRules, OneStaleMessageIsOneFindingNotACascade) {
+  const lbm::SparseLattice lattice = box_lattice(5, 5, 5);
+  const decomp::Partition partition = decomp::slab_partition(lattice, 3);
+  decomp::HaloPlan plan = decomp::build_halo_plan(lattice, partition);
+  plan.messages.push_back(decomp::HaloMessage{0, 9, 16});
+
+  // The flagged message is excluded from the LC008 volume reconciliation,
+  // so the single stale entry yields exactly one diagnostic.
+  const auto ds = analysis::check_halo_plan(lattice, partition, plan);
+  EXPECT_EQ(count_rule(ds, "LC011"), 1);
+  EXPECT_EQ(count_rule(ds, "LC008"), 0);
+}
+
+TEST(HaloPlanRules, StalePreShrinkPlanFlagsEveryDeadEndpointMessage) {
+  const lbm::SparseLattice lattice = box_lattice(6, 5, 5);
+  const decomp::Partition full = decomp::bisection_partition(lattice, 4);
+  const decomp::HaloPlan stale = decomp::build_halo_plan(lattice, full);
+
+  const decomp::Partition shrunk =
+      decomp::bisection_partition(lattice, 4, {0, 1, 3});
+  int touching_dead = 0;
+  for (const decomp::HaloMessage& m : stale.messages)
+    touching_dead += (m.src == 2 || m.dst == 2);
+  ASSERT_GT(touching_dead, 0);
+
+  // Checking the pre-shrink plan against the post-shrink partition: every
+  // message through the dead rank is an LC011; survivor-to-survivor
+  // volume drift is LC008's (the shrink moved ownership around).
+  const auto ds = analysis::check_halo_plan(lattice, shrunk, stale);
+  EXPECT_EQ(count_rule(ds, "LC011"), touching_dead);
+  for (const analysis::Diagnostic& d : ds)
+    EXPECT_TRUE(d.rule_id == "LC011" || d.rule_id == "LC008") << d.rule_id;
+}
+
+TEST(HaloPlanRules, TextReportGolden) {
+  const lbm::SparseLattice lattice = box_lattice(5, 5, 5);
+  const decomp::Partition partition = decomp::slab_partition(lattice, 3);
+  decomp::HaloPlan plan = decomp::build_halo_plan(lattice, partition);
+  plan.messages.push_back(decomp::HaloMessage{7, 0, 4});
+
+  auto ds = analysis::check_halo_plan(lattice, partition, plan);
+  analysis::sort_diagnostics(ds);
+  const std::string report = analysis::text_report(ds);
+  EXPECT_EQ(report,
+            "halo-plan: error: [LC011] message 7 -> 0 (4 values) references "
+            "rank 7, which is outside the partition's [0, 3) rank range\n"
+            "    fixit: rebuild the halo plan from the current partition; "
+            "traffic routed through a missing rank is never delivered\n"
+            "\n"
+            "1 diagnostic (1 error)\n"
+            "  LC011: 1\n");
+}

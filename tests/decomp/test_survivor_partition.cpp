@@ -1,0 +1,129 @@
+// Survivor-subset bisection: the shrink-to-survivors re-decomposition the
+// elastic recovery path runs after a rank death.  The returned partition
+// must keep the original rank numbering (dead ranks own zero points),
+// cover the lattice exactly, stay deterministic (recovery must be
+// bit-reproducible), handle non-power-of-two survivor counts, and not
+// degrade balance beyond a small factor of the pre-shrink partition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "geom/cylinder.hpp"
+
+namespace decomp = hemo::decomp;
+namespace geom = hemo::geom;
+namespace lbm = hemo::lbm;
+using hemo::Rank;
+
+namespace {
+
+std::shared_ptr<lbm::SparseLattice> test_cylinder() {
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 6.0;
+  spec.axial_per_scale = 48.0;
+  return geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+}
+
+/// [0, total) minus the listed dead ranks, ascending.
+std::vector<Rank> survivors_of(int total, const std::vector<Rank>& dead) {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < total; ++r)
+    if (std::find(dead.begin(), dead.end(), r) == dead.end())
+      out.push_back(r);
+  return out;
+}
+
+}  // namespace
+
+TEST(SurvivorPartition, ExactCoverOnSurvivorsOnly) {
+  auto lattice = test_cylinder();
+  const std::vector<Rank> survivors = survivors_of(8, {2, 5});
+  const decomp::Partition p =
+      decomp::bisection_partition(*lattice, 8, survivors);
+
+  ASSERT_EQ(p.n_ranks, 8);
+  ASSERT_EQ(p.owner.size(), static_cast<std::size_t>(lattice->size()));
+  const auto counts = p.rank_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            lattice->size());
+  // Original numbering: dead ranks own zero points, survivors own > 0.
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[5], 0);
+  for (Rank r : survivors)
+    EXPECT_GT(counts[static_cast<std::size_t>(r)], 0) << "rank " << r;
+  EXPECT_EQ(p.active_ranks(), survivors);
+}
+
+TEST(SurvivorPartition, DeterministicAcrossReruns) {
+  auto lattice = test_cylinder();
+  const std::vector<Rank> survivors = survivors_of(8, {0, 3, 7});
+  const decomp::Partition a =
+      decomp::bisection_partition(*lattice, 8, survivors);
+  const decomp::Partition b =
+      decomp::bisection_partition(*lattice, 8, survivors);
+  // Bit-identical reruns are what make shrink recovery reproducible.
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(SurvivorPartition, FullSurvivorSetMatchesPlainBisection) {
+  auto lattice = test_cylinder();
+  const decomp::Partition plain = decomp::bisection_partition(*lattice, 8);
+  const decomp::Partition full =
+      decomp::bisection_partition(*lattice, 8, survivors_of(8, {}));
+  EXPECT_EQ(full.owner, plain.owner);
+}
+
+class SurvivorCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurvivorCountSweep, NonPowerOfTwoSurvivorCountsCoverExactly) {
+  auto lattice = test_cylinder();
+  constexpr int kTotal = 8;
+  const int n_dead = kTotal - GetParam();
+  std::vector<Rank> dead;
+  for (int k = 0; k < n_dead; ++k) dead.push_back(static_cast<Rank>(k));
+  const std::vector<Rank> survivors = survivors_of(kTotal, dead);
+  ASSERT_EQ(static_cast<int>(survivors.size()), GetParam());
+
+  const decomp::Partition p =
+      decomp::bisection_partition(*lattice, kTotal, survivors);
+  const auto counts = p.rank_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            lattice->size());
+  EXPECT_EQ(p.active_ranks(), survivors);
+}
+
+TEST_P(SurvivorCountSweep, ImbalanceStaysWithinShrinkBudget) {
+  auto lattice = test_cylinder();
+  constexpr int kTotal = 8;
+  const decomp::Partition pre = decomp::bisection_partition(*lattice, kTotal);
+
+  const int n_dead = kTotal - GetParam();
+  std::vector<Rank> dead;
+  for (int k = 0; k < n_dead; ++k) dead.push_back(static_cast<Rank>(k));
+  const decomp::Partition post = decomp::bisection_partition(
+      *lattice, kTotal, survivors_of(kTotal, dead));
+
+  // The post-shrink split is a fresh bisection of the whole lattice, so
+  // its balance should be comparable to the pre-shrink one — the budget
+  // the RS005 diagnostic reports against.
+  EXPECT_LE(post.imbalance(), pre.imbalance() * 1.25)
+      << "survivors=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SurvivorCounts, SurvivorCountSweep,
+                         ::testing::Values(7, 6, 5, 3));
+
+TEST(SurvivorPartition, SingleSurvivorOwnsEverything) {
+  auto lattice = test_cylinder();
+  const decomp::Partition p =
+      decomp::bisection_partition(*lattice, 4, {static_cast<Rank>(2)});
+  const auto counts = p.rank_counts();
+  EXPECT_EQ(counts[2], lattice->size());
+  EXPECT_EQ(p.active_ranks(), std::vector<Rank>{static_cast<Rank>(2)});
+  EXPECT_DOUBLE_EQ(p.imbalance(), 1.0);
+}

@@ -1,0 +1,126 @@
+// kRankDeath semantics: a permanent kill, unlike every transient kind.
+// From the event step onward the dead rank's traffic is black-holed in
+// both directions, death survives network resets (a rollback cannot
+// resurrect hardware), pre-death in-flight messages stay deliverable, and
+// the death counters are excluded from total_injected() — a dead rank
+// swallows traffic without bound by design.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/network.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/faulty_network.hpp"
+
+namespace hemo::resilience {
+namespace {
+
+FaultPlan kill_plan(Rank rank, std::int64_t step) {
+  FaultPlan plan;
+  plan.kill_rank(rank, step);
+  return plan;
+}
+
+}  // namespace
+
+TEST(RankDeathPlan, KillRankSchedulesAPermanentDeathEvent) {
+  const FaultPlan plan = kill_plan(2, 5);
+  ASSERT_EQ(plan.total(), 1);
+  EXPECT_EQ(plan.count(FaultKind::kRankDeath), 1);
+  const FaultEvent& e = plan.events().front();
+  EXPECT_EQ(e.kind, FaultKind::kRankDeath);
+  EXPECT_EQ(e.src, 2);
+  EXPECT_EQ(e.step, 5);
+}
+
+TEST(RankDeathPlan, MatchFiresAtOrAfterItsStep) {
+  FaultPlan plan = kill_plan(1, 10);
+  EXPECT_EQ(plan.match_rank_death(9), nullptr);
+  // A permanent kill does not need traffic on its exact step: any step at
+  // or past the deadline matches.
+  EXPECT_NE(plan.match_rank_death(10), nullptr);
+  EXPECT_NE(plan.match_rank_death(17), nullptr);
+}
+
+TEST(RankDeathPlan, KindNameRoundTrips) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kRankDeath), "rank-death");
+  FaultKind kind = FaultKind::kDrop;
+  ASSERT_TRUE(parse_fault_kind("rank-death", &kind));
+  EXPECT_EQ(kind, FaultKind::kRankDeath);
+}
+
+TEST(RankDeathPlan, RandomPlansNeverDrawRankDeath) {
+  // kAllFaultKinds is the transient catalogue; a permanent kill must be
+  // opted into explicitly, never sampled into a "--kinds all" chaos plan.
+  for (const FaultKind kind : kAllFaultKinds)
+    EXPECT_NE(kind, FaultKind::kRankDeath);
+}
+
+TEST(RankDeathNetwork, BlackHolesBothDirectionsFromTheEventStep) {
+  FaultyNetwork net(3, kill_plan(1, 2));
+  net.begin_step(1);
+  net.send(1, 0, {1.0});
+  EXPECT_EQ(net.receive(0, 1), (std::vector<double>{1.0}));
+  EXPECT_FALSE(net.is_dead(1));
+
+  net.begin_step(2);
+  EXPECT_TRUE(net.is_dead(1));
+  ASSERT_EQ(net.dead_ranks().size(), 1u);
+  EXPECT_EQ(net.dead_ranks().front(), 1);
+
+  // Sends from and to the dead rank are swallowed.
+  net.send(1, 0, {2.0});
+  net.send(0, 1, {3.0});
+  EXPECT_EQ(net.pending(0, 1), 0);
+  EXPECT_EQ(net.log().death_swallowed, 2);
+
+  // Receives from the dead rank are denied.
+  EXPECT_THROW(net.receive(0, 1), comm::RecvError);
+  EXPECT_EQ(net.log().death_polls, 1);
+
+  // Traffic between live ranks is untouched.
+  net.send(0, 2, {4.0});
+  EXPECT_EQ(net.receive(2, 0), (std::vector<double>{4.0}));
+}
+
+TEST(RankDeathNetwork, PreDeathInFlightTrafficStaysDeliverable) {
+  FaultyNetwork net(2, kill_plan(0, 3));
+  net.begin_step(2);
+  net.send(0, 1, {5.0});
+  net.begin_step(3);
+  // The message left the NIC before the death step; the wire still holds
+  // it, so the receiver may drain it even though the sender is now dead.
+  EXPECT_EQ(net.receive(1, 0), (std::vector<double>{5.0}));
+  EXPECT_THROW(net.receive(1, 0), comm::RecvError);
+}
+
+TEST(RankDeathNetwork, DeathSurvivesReset) {
+  FaultyNetwork net(2, kill_plan(1, 0));
+  net.begin_step(0);
+  EXPECT_TRUE(net.is_dead(1));
+
+  // A rollback resets the wire; it cannot resurrect hardware.
+  net.reset();
+  EXPECT_TRUE(net.is_dead(1));
+  net.begin_step(0);
+  net.send(1, 0, {1.0});
+  EXPECT_EQ(net.pending(0, 1), 0);
+  EXPECT_THROW(net.receive(0, 1), comm::RecvError);
+}
+
+TEST(RankDeathNetwork, DeathCountersAreNotTransientInjections) {
+  FaultyNetwork net(2, kill_plan(1, 0));
+  net.begin_step(0);
+  net.send(1, 0, {1.0});
+  net.send(0, 1, {2.0});
+  EXPECT_THROW(net.receive(0, 1), comm::RecvError);
+
+  // Unbounded-by-design black-holing must not pollute the transient
+  // injection count the chaos report totals.
+  EXPECT_EQ(net.log().death_swallowed, 2);
+  EXPECT_EQ(net.log().death_polls, 1);
+  EXPECT_EQ(net.log().total_injected(), 0);
+}
+
+}  // namespace hemo::resilience

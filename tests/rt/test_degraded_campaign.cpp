@@ -1,0 +1,176 @@
+// Degraded-mode campaigns: a point whose solver lost ranks mid-run
+// completes as "degraded" — re-priced against the survivor count, with
+// {failed_ranks, recovery_step, survivor_count} provenance in the CSV and
+// JSON sinks — and never aborts the campaign.  Efficiency bookkeeping is
+// the key property: measured MFLUPS and the ideal prediction are both
+// judged against the post-shrink device count, so a hardware loss does
+// not masquerade as a framework inefficiency.
+
+#include "rt/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hemo::rt {
+namespace {
+
+SeriesSpec summit_series() {
+  return {sys::SystemId::kSummit, hal::Model::kCuda, sim::App::kHarvey,
+          WorkloadKind::kCylinderBisection};
+}
+
+/// Kills rank 5 of every 8-device point; the run finishes on 7 survivors
+/// after a shrink that resumed at step 12.
+std::optional<ShrinkProvenance> kill_at_eight(const SeriesSpec&,
+                                              const sys::SchedulePoint& p) {
+  if (p.devices != 8) return std::nullopt;
+  ShrinkProvenance shrink;
+  shrink.failed_ranks = {5};
+  shrink.recovery_step = 12;
+  shrink.survivor_count = 7;
+  return shrink;
+}
+
+CampaignResult run_degraded(int workers) {
+  CampaignSpec spec;
+  spec.name = "degraded-test";
+  spec.series = {summit_series()};
+  spec.workers = workers;
+  spec.rank_failure_injector = kill_at_eight;
+  ArtifactCache cache;
+  return run_campaign(spec, cache);
+}
+
+const PointResult* find_devices(const CampaignResult& result, int devices) {
+  for (const PointResult& p : result.series.front().points)
+    if (p.schedule.devices == devices) return &p;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(DegradedCampaign, RankDeathDegradesThePointNotTheCampaign) {
+  const CampaignResult result = run_degraded(1);
+
+  // Every point completed; exactly one is degraded.
+  EXPECT_EQ(result.failed_points(), 0u);
+  EXPECT_EQ(result.degraded_points(), 1u);
+
+  const PointResult* p = find_devices(result, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->ok());
+  EXPECT_TRUE(p->degraded());
+  ASSERT_TRUE(p->shrink.has_value());
+  EXPECT_EQ(p->shrink->failed_ranks, std::vector<Rank>{5});
+  EXPECT_EQ(p->shrink->recovery_step, 12);
+  EXPECT_EQ(p->shrink->survivor_count, 7);
+
+  // Undegraded neighbours are untouched.
+  const PointResult* clean = find_devices(result, 4);
+  ASSERT_NE(clean, nullptr);
+  EXPECT_FALSE(clean->degraded());
+  EXPECT_FALSE(clean->shrink.has_value());
+}
+
+TEST(DegradedCampaign, DegradedPointIsPricedAgainstSurvivors) {
+  const CampaignResult result = run_degraded(1);
+  const PointResult* p = find_devices(result, 8);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->degraded());
+
+  // The measured side runs the 7-survivor decomposition...
+  EXPECT_EQ(p->sim.devices, 7);
+
+  // ...and the ideal side is the survivor-count prediction, so the
+  // efficiency ratio compares like with like.
+  sim::Workload workload = make_workload(WorkloadKind::kCylinderBisection);
+  const sim::ClusterSimulator simulator(sys::SystemId::kSummit,
+                                        hal::Model::kCuda, sim::App::kHarvey);
+  const sim::SimPoint expected_sim =
+      simulator.simulate(workload, 7, p->schedule.size_multiplier);
+  const perf::Prediction expected_pred = simulator.predict_degraded(
+      workload, 8, 7, p->schedule.size_multiplier);
+  EXPECT_EQ(p->sim.mflups, expected_sim.mflups);
+  EXPECT_EQ(p->prediction.mflups, expected_pred.mflups);
+}
+
+TEST(DegradedCampaign, DeterministicAtAnyWorkerCount) {
+  const CampaignResult serial = run_degraded(1);
+  const CampaignResult concurrent = run_degraded(4);
+  const PointResult* a = find_devices(serial, 8);
+  const PointResult* b = find_devices(concurrent, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->sim.mflups, b->sim.mflups);
+  EXPECT_EQ(a->prediction.mflups, b->prediction.mflups);
+  EXPECT_EQ(concurrent.degraded_points(), 1u);
+}
+
+TEST(DegradedCampaign, CsvRowCarriesShrinkProvenance) {
+  const CampaignResult result = run_degraded(1);
+  std::ostringstream csv;
+  write_campaign_csv(result, csv);
+  const std::string text = csv.str();
+
+  // Header declares the provenance columns.
+  EXPECT_NE(text.find("survivors"), std::string::npos);
+  EXPECT_NE(text.find("failed_ranks"), std::string::npos);
+  EXPECT_NE(text.find("recovery_step"), std::string::npos);
+
+  // The degraded row: status + survivor count + dead rank + resume step.
+  std::istringstream lines(text);
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (line.find(",degraded,") == std::string::npos) continue;
+    found = true;
+    // survivors, failed_ranks, recovery_step are adjacent columns.
+    EXPECT_NE(line.find(",7,5,12,"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << "no degraded row in:\n" << text;
+}
+
+TEST(DegradedCampaign, JsonCarriesShrinkProvenance) {
+  const CampaignResult result = run_degraded(1);
+  std::ostringstream json;
+  write_campaign_json(result, json);
+  const std::string text = json.str();
+
+  EXPECT_NE(text.find("\"degraded_points\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(text.find("\"failed_ranks\": [5]"), std::string::npos);
+  EXPECT_NE(text.find("\"recovery_step\": 12"), std::string::npos);
+  EXPECT_NE(text.find("\"survivor_count\": 7"), std::string::npos);
+}
+
+TEST(DegradedCampaign, EveryPointDegradedStillCompletes) {
+  CampaignSpec spec;
+  spec.series = {summit_series()};
+  spec.workers = 2;
+  // Worst case: every multi-device point loses a rank.  The campaign must
+  // still complete every point — a rank death never aborts a campaign.
+  spec.rank_failure_injector =
+      [](const SeriesSpec&,
+         const sys::SchedulePoint& p) -> std::optional<ShrinkProvenance> {
+    if (p.devices < 2) return std::nullopt;
+    ShrinkProvenance shrink;
+    shrink.failed_ranks = {0};
+    shrink.recovery_step = 0;
+    shrink.survivor_count = p.devices - 1;
+    return shrink;
+  };
+  const CampaignResult result = run_campaign(spec);
+
+  EXPECT_EQ(result.failed_points(), 0u);
+  std::size_t multi = 0;
+  for (const PointResult& p : result.series.front().points)
+    multi += (p.schedule.devices >= 2);
+  EXPECT_EQ(result.degraded_points(), multi);
+  EXPECT_GT(multi, 0u);
+}
+
+}  // namespace hemo::rt

@@ -4,24 +4,37 @@
 //              [--kinds all|k1,k2,...] [--events N] [--periodic]
 //              [--decomp slab|bisection] [--max-retransmits N]
 //              [--max-rollbacks N] [--snapshot-interval N] [--no-frames]
-//              [--report FILE|-] [--quiet]
+//              [--kill-rank R@S ...] [--death-deadline N]
+//              [--min-survivors N] [--report FILE|-] [--json FILE|-]
+//              [--quiet]
 //       Runs the distributed cylinder solver twice — once clean, once with
 //       a seeded deterministic fault schedule injected into its network —
-//       and emits a survival/recovery report.  Exit 0 iff every injected
-//       fault was recovered AND the final distributions are bit-identical
-//       to the clean run.
+//       and emits a survival/recovery report.  --kill-rank R@S injects a
+//       PERMANENT rank death (repeatable); the solver must then shrink
+//       onto the survivors.  Kill runs are executed twice with the same
+//       schedule and the two final states compared, so the report also
+//       certifies that recovery is deterministic.
 //
 //   hemo_chaos --campaign [common flags above] [--ckpt-interval N]
 //       Demonstrates checkpoint/restart through the hemo-rt job layer: the
 //       job checkpoints periodically, attempt 1 dies on an unrecoverable
 //       injected stall (structured SolverFault), and the retry resumes
-//       from the last on-disk checkpoint.  Exit 0 iff the resumed result
-//       is bit-identical to an uninterrupted run.
+//       from the last on-disk checkpoint.
 //
-// Fault kinds: drop duplicate corrupt delay truncate stall.
+// Fault kinds: drop duplicate corrupt delay truncate stall (transient,
+// one-shot) and rank-death (permanent; via --kill-rank).
+//
+// Exit codes (consumed by the ctest gates and the CI chaos-smoke matrix):
+//   0  survived: every fault recovered, final state bit-identical to the
+//      clean reference (and, for kill runs, across reruns)
+//   2  structural fault: the recovery ladder was exhausted (SolverFault),
+//      or the command line was malformed
+//   3  divergence: the run survived but its final state differs from the
+//      clean reference, or a kill-run rerun did not reproduce it
 //
 // Examples:
 //   hemo_chaos --ranks 4 --steps 40 --seed 7 --kinds all --report chaos.csv
+//   hemo_chaos --ranks 8 --steps 40 --events 0 --kill-rank 5@17 --json -
 //   hemo_chaos --campaign --ranks 4 --steps 60 --seed 11
 
 #include <algorithm>
@@ -46,6 +59,12 @@ namespace {
 
 using namespace hemo;
 
+/// One --kill-rank R@S: rank R dies permanently at step S.
+struct KillSpec {
+  int rank = 0;
+  int step = 0;
+};
+
 struct Config {
   double scale = 1.0;
   int ranks = 4;
@@ -62,9 +81,18 @@ struct Config {
   bool frames = true;
   bool campaign = false;
   int ckpt_interval = 10;
+  std::vector<KillSpec> kills;
+  int death_deadline = 2;
+  int min_survivors = 1;
   std::string report_path;
+  std::string json_path;
   bool quiet = false;
 };
+
+// Exit codes, documented in the header comment above.
+constexpr int kExitSurvived = 0;
+constexpr int kExitStructural = 2;
+constexpr int kExitDivergence = 3;
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -74,15 +102,31 @@ int usage(const char* argv0) {
       "       %*s [--events N] [--periodic] [--decomp slab|bisection]\n"
       "       %*s [--max-retransmits N] [--max-rollbacks N]\n"
       "       %*s [--snapshot-interval N] [--no-frames]\n"
+      "       %*s [--kill-rank R@S] [--death-deadline N] [--min-survivors N]\n"
       "       %*s [--campaign] [--ckpt-interval N] [--report FILE|-]\n"
-      "       %*s [--quiet]\n",
+      "       %*s [--json FILE|-] [--quiet]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "");
-  return 2;
+  return kExitStructural;
+}
+
+/// "R@S" -> {rank R, step S}.
+bool parse_kill(const char* text, KillSpec* out) {
+  const char* at = std::strchr(text, '@');
+  if (at == nullptr || at == text || at[1] == '\0') return false;
+  char* end = nullptr;
+  const long rank = std::strtol(text, &end, 10);
+  if (end != at || rank < 0) return false;
+  const long step = std::strtol(at + 1, &end, 10);
+  if (*end != '\0' || step < 0) return false;
+  out->rank = static_cast<int>(rank);
+  out->step = static_cast<int>(step);
+  return true;
 }
 
 bool parse_int(const char* text, int* out) {
@@ -149,6 +193,11 @@ resilience::Options resilience_options(const Config& cfg) {
   o.recovery.max_rollbacks = cfg.max_rollbacks;
   o.recovery.checkpoint_interval = cfg.snapshot_interval;
   o.recovery.checksum_frames = cfg.frames;
+  // A permanent kill is unrecoverable by the transient ladder; arm the
+  // shrink rung whenever one is scheduled.
+  o.shrink.enabled = !cfg.kills.empty();
+  o.shrink.death_deadline = cfg.death_deadline;
+  o.shrink.min_survivors = cfg.min_survivors;
   return o;
 }
 
@@ -182,49 +231,188 @@ void write_report(const Config& cfg, const std::vector<Table>& tables) {
 
 const char* yes_no(bool v) { return v ? "yes" : "no"; }
 
-int run_solver_chaos(const Config& cfg) {
-  const SolverSetup setup = make_setup(cfg);
-  const std::vector<double> reference = clean_reference(setup, cfg.steps);
+/// Everything observed in one faulted run, detached from the solver so
+/// that a rerun with the same schedule can be compared against it.
+struct ChaosRun {
+  bool survived = false;
+  std::string fault_message;
+  std::vector<double> state;  // valid iff survived
+  double final_mass = 0.0;
+  resilience::RunStats stats;
+  resilience::FaultLog log;
+  std::vector<std::pair<std::string, std::pair<int, int>>>
+      events;  // kind -> (planned, fired)
+  std::vector<Rank> dead_ranks;
+  int survivor_count = 0;
+};
 
+ChaosRun run_once(const Config& cfg, const SolverSetup& setup,
+                  const resilience::FaultPlan& plan) {
   harvey::DistributedSolver solver(setup.lattice, setup.partition,
                                    setup.options);
-  const resilience::FaultPlan plan = resilience::FaultPlan::random(
-      cfg.seed, cfg.steps, solver.exchange_pairs(), cfg.kinds,
-      cfg.events_per_kind);
   solver.set_network(std::make_unique<resilience::FaultyNetwork>(
       solver.n_ranks(), plan));
   solver.enable_resilience(resilience_options(cfg));
 
-  bool survived = true;
-  std::string fault_message;
+  ChaosRun run;
+  run.survived = true;
   try {
     solver.run(cfg.steps);
   } catch (const resilience::SolverFault& fault) {
-    survived = false;
-    fault_message = fault.what();
+    run.survived = false;
+    run.fault_message = fault.what();
   }
 
   const auto* net =
       dynamic_cast<const resilience::FaultyNetwork*>(&solver.network());
-  const resilience::RunStats& stats = solver.resilience_stats();
-  const bool identical =
-      survived && bit_identical(solver.global_distributions(), reference);
+  run.stats = solver.resilience_stats();
+  run.log = net->log();
+  std::vector<resilience::FaultKind> kinds = cfg.kinds;
+  if (!cfg.kills.empty()) kinds.push_back(resilience::FaultKind::kRankDeath);
+  for (const resilience::FaultKind kind : kinds)
+    run.events.emplace_back(
+        std::string(resilience::fault_kind_name(kind)),
+        std::make_pair(net->plan().count(kind),
+                       net->plan().fired_count(kind)));
+  run.dead_ranks = run.stats.dead_ranks;
+  run.survivor_count = solver.survivor_count();
+  run.final_mass = solver.total_mass();
+  if (run.survived) run.state = solver.global_distributions();
+  return run;
+}
 
-  Table injection({"Fault kind", "Planned", "Fired", "Recovered"});
-  for (const resilience::FaultKind kind : cfg.kinds) {
-    const int planned = net->plan().count(kind);
-    const int fired = net->plan().fired_count(kind);
-    injection.add_row({std::string(resilience::fault_kind_name(kind)),
-                       std::to_string(planned), std::to_string(fired),
-                       survived ? std::to_string(fired) : "?"});
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Machine-readable single-object report: configuration, per-kind event
+/// counts, recovery counters, shrink provenance, and the verdict with the
+/// exit code the process is about to return.
+void write_json(const Config& cfg, const ChaosRun& run, double reference_mass,
+                bool identical, bool rerun_identical, int exit_code) {
+  if (cfg.json_path.empty()) return;
+  std::ofstream file;
+  if (cfg.json_path != "-") {
+    file.open(cfg.json_path);
+    if (!file) {
+      std::fprintf(stderr, "hemo_chaos: cannot open json file '%s'\n",
+                   cfg.json_path.c_str());
+      return;
+    }
+  }
+  std::ostream& os = cfg.json_path == "-" ? std::cout : file;
+
+  os << "{\n";
+  os << "  \"config\": {\"ranks\": " << cfg.ranks << ", \"steps\": "
+     << cfg.steps << ", \"seed\": " << cfg.seed << ", \"decomp\": \""
+     << (cfg.bisection ? "bisection" : "slab") << "\", \"kills\": [";
+  for (std::size_t k = 0; k < cfg.kills.size(); ++k)
+    os << (k ? ", " : "") << "{\"rank\": " << cfg.kills[k].rank
+       << ", \"step\": " << cfg.kills[k].step << "}";
+  os << "]},\n";
+
+  os << "  \"events\": [";
+  for (std::size_t k = 0; k < run.events.size(); ++k)
+    os << (k ? ", " : "") << "{\"kind\": \"" << run.events[k].first
+       << "\", \"planned\": " << run.events[k].second.first
+       << ", \"fired\": " << run.events[k].second.second << "}";
+  os << "],\n";
+
+  const resilience::RunStats& s = run.stats;
+  os << "  \"recovery\": {\"recv_missing\": " << s.recv_missing
+     << ", \"recv_wrong_size\": " << s.recv_wrong_size
+     << ", \"crc_mismatches\": " << s.crc_mismatch
+     << ", \"retransmits\": " << s.retransmits
+     << ", \"stragglers_drained\": " << s.stragglers_drained
+     << ", \"halo_audit_mismatches\": " << s.halo_audit_mismatches
+     << ", \"health_errors\": " << s.health_errors
+     << ", \"rollbacks\": " << s.rollbacks
+     << ", \"snapshots\": " << s.snapshots << "},\n";
+
+  os << "  \"shrink\": {\"rank_deaths\": " << s.rank_deaths
+     << ", \"shrinks\": " << s.shrinks << ", \"dead_ranks\": [";
+  for (std::size_t k = 0; k < run.dead_ranks.size(); ++k)
+    os << (k ? ", " : "") << run.dead_ranks[k];
+  os << "], \"recovery_step\": " << s.last_recovery_step
+     << ", \"survivor_count\": " << run.survivor_count << "},\n";
+
+  char mass[64];
+  std::snprintf(mass, sizeof(mass), "%.17g", run.final_mass);
+  char ref_mass[64];
+  std::snprintf(ref_mass, sizeof(ref_mass), "%.17g", reference_mass);
+  os << "  \"verdict\": {\"survived\": " << (run.survived ? "true" : "false")
+     << ", \"bit_identical\": " << (identical ? "true" : "false")
+     << ", \"rerun_identical\": " << (rerun_identical ? "true" : "false")
+     << ", \"final_mass\": " << mass << ", \"reference_mass\": " << ref_mass
+     << ", \"fault\": \"" << json_escape(run.fault_message)
+     << "\", \"exit_code\": " << exit_code << "}\n";
+  os << "}\n";
+}
+
+int run_solver_chaos(const Config& cfg) {
+  const SolverSetup setup = make_setup(cfg);
+  const std::vector<double> reference = clean_reference(setup, cfg.steps);
+  double reference_mass = 0.0;
+  for (const double v : reference) reference_mass += v;
+
+  resilience::FaultPlan plan;
+  {
+    harvey::DistributedSolver probe(setup.lattice, setup.partition,
+                                    setup.options);
+    plan = resilience::FaultPlan::random(cfg.seed, cfg.steps,
+                                         probe.exchange_pairs(), cfg.kinds,
+                                         cfg.events_per_kind);
+  }
+  for (const KillSpec& kill : cfg.kills) {
+    if (kill.rank >= cfg.ranks) {
+      std::fprintf(stderr, "hemo_chaos: --kill-rank %d@%d: rank out of "
+                           "range for --ranks %d\n",
+                   kill.rank, kill.step, cfg.ranks);
+      return kExitStructural;
+    }
+    plan.kill_rank(kill.rank, kill.step);
   }
 
+  const ChaosRun run = run_once(cfg, setup, plan);
+  const bool identical =
+      run.survived && bit_identical(run.state, reference);
+
+  // Determinism gate for permanent kills: the same seed + kill schedule
+  // must reproduce the recovery — and the final state — bit for bit.
+  bool rerun_identical = true;
+  if (!cfg.kills.empty()) {
+    const ChaosRun rerun = run_once(cfg, setup, plan);
+    rerun_identical = run.survived == rerun.survived &&
+                      (!run.survived ||
+                       bit_identical(run.state, rerun.state));
+  }
+
+  const int exit_code = !run.survived ? kExitStructural
+                        : (identical && rerun_identical) ? kExitSurvived
+                                                         : kExitDivergence;
+
+  Table injection({"Fault kind", "Planned", "Fired", "Recovered"});
+  for (const auto& [kind, counts] : run.events)
+    injection.add_row({kind, std::to_string(counts.first),
+                       std::to_string(counts.second),
+                       run.survived ? std::to_string(counts.second) : "?"});
+
+  const resilience::RunStats& stats = run.stats;
   Table recovery({"Metric", "Value"});
   recovery.add_row({"steps", std::to_string(cfg.steps)});
   recovery.add_row({"ranks", std::to_string(cfg.ranks)});
   recovery.add_row({"seed", std::to_string(cfg.seed)});
   recovery.add_row({"faults_injected",
-                    std::to_string(net->log().total_injected())});
+                    std::to_string(run.log.total_injected())});
   recovery.add_row({"recv_missing", std::to_string(stats.recv_missing)});
   recovery.add_row({"recv_wrong_size",
                     std::to_string(stats.recv_wrong_size)});
@@ -237,18 +425,26 @@ int run_solver_chaos(const Config& cfg) {
   recovery.add_row({"health_errors", std::to_string(stats.health_errors)});
   recovery.add_row({"rollbacks", std::to_string(stats.rollbacks)});
   recovery.add_row({"snapshots", std::to_string(stats.snapshots)});
-  recovery.add_row({"survived", yes_no(survived)});
+  recovery.add_row({"rank_deaths", std::to_string(stats.rank_deaths)});
+  recovery.add_row({"shrinks", std::to_string(stats.shrinks)});
+  recovery.add_row({"survivors", std::to_string(run.survivor_count)});
+  recovery.add_row({"survived", yes_no(run.survived)});
   recovery.add_row({"bit_identical", yes_no(identical)});
+  if (!cfg.kills.empty())
+    recovery.add_row({"rerun_identical", yes_no(rerun_identical)});
 
   if (!cfg.quiet) {
     injection.print_aligned(std::cout);
     std::cout << '\n';
     recovery.print_aligned(std::cout);
-    if (!survived)
-      std::cout << "\nUNRECOVERED: " << fault_message << '\n';
+    if (!run.survived)
+      std::cout << "\nUNRECOVERED: " << run.fault_message << '\n';
     else if (!identical)
       std::cout << "\nMISMATCH: recovered run diverged from the clean "
                    "reference\n";
+    else if (!rerun_identical)
+      std::cout << "\nMISMATCH: rerun with the same kill schedule did not "
+                   "reproduce the recovery\n";
     else
       std::cout << "\nall injected faults recovered; final state "
                    "bit-identical to the clean run\n";
@@ -257,13 +453,14 @@ int run_solver_chaos(const Config& cfg) {
                 << '\n';
   }
   write_report(cfg, {injection, recovery});
-  return (survived && identical) ? 0 : 1;
+  write_json(cfg, run, reference_mass, identical, rerun_identical, exit_code);
+  return exit_code;
 }
 
 int run_campaign_chaos(const Config& cfg) {
   if (cfg.ranks < 2) {
     std::fprintf(stderr, "--campaign needs at least 2 ranks\n");
-    return 2;
+    return kExitStructural;
   }
   const SolverSetup setup = make_setup(cfg);
   const std::vector<double> reference = clean_reference(setup, cfg.steps);
@@ -349,7 +546,11 @@ int run_campaign_chaos(const Config& cfg) {
       std::cout << "\ncampaign resume FAILED\n";
   }
   write_report(cfg, {table});
-  return (survived && identical && outcome.attempts > 1) ? 0 : 1;
+  // Structural (2): the job never completed, or the seeded fault never
+  // forced a retry, so the scenario did not exercise checkpoint/restart.
+  // Divergence (3): it resumed but did not reproduce the clean run.
+  if (!survived || outcome.attempts <= 1) return kExitStructural;
+  return identical ? kExitSurvived : kExitDivergence;
 }
 
 }  // namespace
@@ -420,10 +621,29 @@ int main(int argc, char** argv) {
       if (v == nullptr || !parse_int(v, &cfg.ckpt_interval) ||
           cfg.ckpt_interval < 1)
         return usage(argv[0]);
+    } else if (arg == "--kill-rank") {
+      const char* v = value();
+      KillSpec kill;
+      if (v == nullptr || !parse_kill(v, &kill)) return usage(argv[0]);
+      cfg.kills.push_back(kill);
+    } else if (arg == "--death-deadline") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.death_deadline) ||
+          cfg.death_deadline < 1)
+        return usage(argv[0]);
+    } else if (arg == "--min-survivors") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.min_survivors) ||
+          cfg.min_survivors < 1)
+        return usage(argv[0]);
     } else if (arg == "--report") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       cfg.report_path = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.json_path = v;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return usage(argv[0]);
