@@ -1,0 +1,79 @@
+#include "analysis/baseline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace hemo::analysis {
+
+namespace {
+
+using Key = std::tuple<std::string, std::string, std::string>;
+
+/// Baseline lines are single-line records; a message containing a tab or
+/// newline (none do today) is flattened so the format stays parseable.
+std::string flatten(std::string s) {
+  for (char& c : s)
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
+/// Both sides of the match go through flatten() so a finding whose
+/// message was flattened on write still cancels on read.
+Key key_of(const Diagnostic& d) {
+  return {flatten(d.rule_id), flatten(d.file), flatten(d.message)};
+}
+
+}  // namespace
+
+std::string write_baseline(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> lines;
+  lines.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics)
+    lines.push_back(flatten(d.rule_id) + "\t" + flatten(d.file) + "\t" +
+                    flatten(d.message));
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  out << "# hemo-lint baseline v1: rule<TAB>file<TAB>message, one "
+         "suppressed finding per line\n";
+  for (const std::string& line : lines) out << line << "\n";
+  return out.str();
+}
+
+std::vector<Diagnostic> parse_baseline(const std::string& text) {
+  std::vector<Diagnostic> entries;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) continue;
+    const std::size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;
+    Diagnostic d;
+    d.rule_id = line.substr(0, tab1);
+    d.file = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    d.message = line.substr(tab2 + 1);
+    entries.push_back(std::move(d));
+  }
+  return entries;
+}
+
+std::vector<Diagnostic> apply_baseline(
+    const std::vector<Diagnostic>& diagnostics,
+    const std::vector<Diagnostic>& baseline) {
+  std::map<Key, int> budget;
+  for (const Diagnostic& d : baseline) ++budget[key_of(d)];
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    const auto it = budget.find(key_of(d));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace hemo::analysis

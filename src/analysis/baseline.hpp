@@ -1,0 +1,38 @@
+#pragma once
+// Baseline suppression for hemo-lint: adopt a new rule family on a
+// legacy tree without fixing (or silencing) every existing finding at
+// once.  `hemo_lint --emit-baseline f` writes the current findings to
+// `f`; later runs with `--baseline f` subtract them and report only new
+// findings, so CI can gate on "no regressions" immediately and the
+// baseline can be burned down over time.
+//
+// Matching is structural, not positional: a baseline entry is
+// (rule_id, file, message), and suppression is multiset subtraction —
+// line numbers are deliberately ignored so unrelated edits above a
+// finding do not resurrect it.  The file format is one
+// tab-separated "rule\tfile\tmessage" line per finding, sorted,
+// with '#' comments; stable under re-emission (round-trip emits a
+// byte-identical file when findings have not changed).
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace hemo::analysis {
+
+/// Serializes findings as baseline text (sorted, deduplicated to
+/// per-entry counts by repetition).
+std::string write_baseline(const std::vector<Diagnostic>& diagnostics);
+
+/// Parses baseline text; unparseable lines are ignored.
+/// Returned entries are Diagnostics carrying only rule_id/file/message.
+std::vector<Diagnostic> parse_baseline(const std::string& text);
+
+/// Multiset subtraction: each baseline entry cancels at most one
+/// matching finding (match on rule_id + file + message; line ignored).
+std::vector<Diagnostic> apply_baseline(
+    const std::vector<Diagnostic>& diagnostics,
+    const std::vector<Diagnostic>& baseline);
+
+}  // namespace hemo::analysis

@@ -1,0 +1,565 @@
+#include "analysis/concurrency.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "base/contracts.hpp"
+
+#ifndef HEMO_REPO_DIR
+#error "HEMO_REPO_DIR must be defined by the build system"
+#endif
+
+namespace hemo::analysis {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared text utilities (kept local: the flux extractor's are private too,
+// and the two scanners evolve independently).
+// ---------------------------------------------------------------------------
+
+std::string strip_comments(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') state = State::kLine;
+        else if (c == '/' && next == '*') state = State::kBlock;
+        else if (c == '"') state = State::kString;
+        else if (c == '\'') state = State::kChar;
+        if (state != State::kCode && c != '\n') out[i] = ' ';
+        break;
+      case State::kLine:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') { out[i + 1] = ' '; ++i; }
+        } else if (c == quote) {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int line_at(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(pos, text.size())),
+                            '\n'));
+}
+
+std::size_t match_delim(const std::string& text, std::size_t pos) {
+  const char open = text[pos];
+  const char close = open == '(' ? ')' : open == '{' ? '}' : ']';
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    else if (text[i] == close && --depth == 0) return i + 1;
+  }
+  return text.size();
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool is_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignof", "decltype", "static_cast", "const_cast", "dynamic_cast",
+      "reinterpret_cast", "assert", "HEMO_EXPECTS", "HEMO_ENSURES",
+      "defined", "throw", "noexcept", "new", "delete"};
+  return kKeywords.contains(name);
+}
+
+Diagnostic make(const std::string& rule, const std::string& file, int line,
+                std::string message, std::string fixit) {
+  Diagnostic d;
+  d.rule_id = rule;
+  for (const RuleInfo& info : concurrency_rules())
+    if (info.id == rule) d.severity = info.severity;
+  d.file = file;
+  d.line = line;
+  d.message = std::move(message);
+  d.fixit_hint = std::move(fixit);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Program model.
+// ---------------------------------------------------------------------------
+
+struct GuardedClass {
+  std::string name;
+  std::set<std::string> mutexes;       // mutex member names ("mu_")
+  std::set<std::string> atomics;       // std::atomic members: lock-free
+  std::string file;
+  std::size_t body_begin = 0;          // span in that file's stripped text
+  std::size_t body_end = 0;
+};
+
+struct Function {
+  std::string qualified;   // "Executor::pop_task" or "workers"
+  std::string name;        // unqualified
+  std::string class_name;  // owning guarded class, empty otherwise
+  std::string file;
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  const std::string* text = nullptr;  // stripped source the spans index
+};
+
+struct Program {
+  std::vector<GuardedClass> classes;
+  std::vector<Function> functions;
+  std::set<std::string> annotated;  // method names with a lock annotation
+  std::vector<std::string> stripped;  // parallel to sources
+};
+
+bool annotation_comment(const std::string& raw_line) {
+  return raw_line.find("//") != std::string::npos &&
+         (raw_line.find("held") != std::string::npos ||
+          raw_line.find("guarded by") != std::string::npos ||
+          raw_line.find("immutable after construction") != std::string::npos ||
+          raw_line.find("single-threaded") != std::string::npos);
+}
+
+/// Every "name(" on an annotated line registers `name`; an annotation
+/// line with no call-ish token annotates the first "name(" of the next
+/// line (comment-above style).
+void collect_annotations(const std::string& raw, std::set<std::string>* out) {
+  std::vector<std::string> lines;
+  std::istringstream in(raw);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  static const std::regex kIdentParen(R"(([A-Za-z_]\w*)\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!annotation_comment(lines[i])) continue;
+    const std::string code = lines[i].substr(0, lines[i].find("//"));
+    bool found = false;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kIdentParen);
+         it != std::sregex_iterator(); ++it) {
+      if (is_keyword((*it)[1].str())) continue;
+      out->insert((*it)[1].str());
+      found = true;
+    }
+    if (!found && i + 1 < lines.size()) {
+      std::smatch m;
+      if (std::regex_search(lines[i + 1], m, kIdentParen) &&
+          !is_keyword(m[1].str()))
+        out->insert(m[1].str());
+    }
+  }
+}
+
+void collect_classes(const std::string& stripped, const std::string& file,
+                     std::vector<GuardedClass>* out) {
+  static const std::regex kClass(R"(\b(?:class|struct)\s+(\w+)\s*(?::[^{;]*)?\{)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kClass);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position(0)) + it->length(0) - 1;
+    const std::size_t close = match_delim(stripped, open);
+    const std::string body = stripped.substr(open + 1, close - open - 2);
+    GuardedClass cls;
+    cls.name = (*it)[1].str();
+    cls.file = file;
+    cls.body_begin = open + 1;
+    cls.body_end = close - 1;
+    static const std::regex kMutex(R"(std::mutex\s+(\w+))");
+    for (auto m = std::sregex_iterator(body.begin(), body.end(), kMutex);
+         m != std::sregex_iterator(); ++m)
+      cls.mutexes.insert((*m)[1].str());
+    static const std::regex kAtomic(R"(std::atomic\s*<[^>]*>\s+(\w+))");
+    for (auto m = std::sregex_iterator(body.begin(), body.end(), kAtomic);
+         m != std::sregex_iterator(); ++m)
+      cls.atomics.insert((*m)[1].str());
+    if (!cls.mutexes.empty()) out->push_back(std::move(cls));
+  }
+}
+
+void collect_functions(const std::string& stripped, const std::string& file,
+                       const std::vector<GuardedClass>& classes,
+                       const std::string* text_owner,
+                       std::vector<Function>* out) {
+  static const std::regex kFn(R"(([A-Za-z_][\w]*(?:::~?\w+)*)\s*\()");
+  std::size_t pos = 0;
+  while (pos < stripped.size()) {
+    const std::string window = stripped.substr(pos);
+    std::smatch m;
+    if (!std::regex_search(window, m, kFn)) return;
+    const std::size_t name_pos = pos + static_cast<std::size_t>(m.position(1));
+    const std::size_t open = pos + static_cast<std::size_t>(m.position(0)) +
+                             static_cast<std::size_t>(m.length(0)) - 1;
+    const std::string qualified = m[1].str();
+    // Member calls (x.f(), p->f()) are not definitions.
+    std::size_t before = name_pos;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(stripped[before - 1])))
+      --before;
+    const bool member_call =
+        before > 0 && (stripped[before - 1] == '.' ||
+                       (before > 1 && stripped[before - 2] == '-' &&
+                        stripped[before - 1] == '>'));
+    const std::size_t params_close = match_delim(stripped, open);
+    std::size_t cursor = params_close;
+    if (member_call || is_keyword(qualified)) {
+      pos = params_close;
+      continue;
+    }
+    // Skip qualifiers; accept "{", or ": init-list ... {" for ctors.
+    bool is_def = false;
+    while (cursor < stripped.size()) {
+      while (cursor < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[cursor])))
+        ++cursor;
+      if (cursor >= stripped.size()) break;
+      const char c = stripped[cursor];
+      if (c == '{') { is_def = true; break; }
+      if (c == ':') {  // constructor initializer list
+        while (cursor < stripped.size() && stripped[cursor] != '{') {
+          if (stripped[cursor] == '(')
+            cursor = match_delim(stripped, cursor);
+          else
+            ++cursor;
+        }
+        continue;
+      }
+      if (stripped.compare(cursor, 5, "const") == 0 ||
+          stripped.compare(cursor, 8, "noexcept") == 0 ||
+          stripped.compare(cursor, 8, "override") == 0) {
+        cursor += stripped[cursor] == 'c' ? 5 : 8;
+        continue;
+      }
+      break;  // declaration, call statement, ...
+    }
+    if (!is_def) {
+      pos = params_close;
+      continue;
+    }
+    Function fn;
+    fn.qualified = qualified;
+    const std::size_t sep = qualified.rfind("::");
+    fn.name = sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+    if (sep != std::string::npos) {
+      const std::string owner = qualified.substr(0, qualified.find("::"));
+      for (const GuardedClass& cls : classes)
+        if (cls.name == owner) fn.class_name = owner;
+    } else {
+      for (const GuardedClass& cls : classes)
+        if (cls.file == file && name_pos > cls.body_begin &&
+            name_pos < cls.body_end)
+          fn.class_name = cls.name;
+    }
+    fn.file = file;
+    fn.line = line_at(stripped, name_pos);
+    fn.body_begin = cursor + 1;
+    fn.body_end = match_delim(stripped, cursor) - 1;
+    fn.text = text_owner;
+    const std::size_t resume_at = fn.body_end + 1;
+    out->push_back(std::move(fn));
+    pos = resume_at;  // bodies are not re-scanned for definitions
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks.
+// ---------------------------------------------------------------------------
+
+const GuardedClass* find_class(const Program& program,
+                               const std::string& name) {
+  for (const GuardedClass& cls : program.classes)
+    if (cls.name == name) return &cls;
+  return nullptr;
+}
+
+bool exempt(const Function& fn, const Program& program) {
+  if (fn.name == fn.class_name) return true;            // constructor
+  if (!fn.name.empty() && fn.qualified.find('~') != std::string::npos)
+    return true;                                        // destructor
+  if (fn.name.ends_with("_locked")) return true;        // caller locks
+  return program.annotated.contains(fn.name);
+}
+
+/// Position of the first lock construction in the body, or npos.
+std::size_t first_lock(const std::string& body) {
+  static const std::regex kLock(R"(\b(?:lock_guard|unique_lock|scoped_lock)\b)");
+  std::smatch m;
+  if (std::regex_search(body, m, kLock))
+    return static_cast<std::size_t>(m.position(0));
+  return std::string::npos;
+}
+
+/// Ordered distinct mutex names this body locks, with positions.
+std::vector<std::pair<std::string, std::size_t>> lock_sequence(
+    const std::string& body) {
+  std::vector<std::pair<std::string, std::size_t>> seq;
+  static const std::regex kLock(
+      R"(\b(?:lock_guard|unique_lock|scoped_lock)\s*(?:<[^>]*>)?\s*\w*\s*\(([^()]*)\))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kLock);
+       it != std::sregex_iterator(); ++it) {
+    for (const std::string& arg : [&] {
+           std::vector<std::string> parts;
+           std::string current;
+           for (const char c : (*it)[1].str()) {
+             if (c == ',') { parts.push_back(current); current.clear(); }
+             else current += c;
+           }
+           parts.push_back(current);
+           return parts;
+         }()) {
+      // Last dotted component, trimmed: "state.mu_" -> "mu_".
+      std::string name = arg;
+      const std::size_t dot = name.find_last_of(".>");
+      if (dot != std::string::npos) name = name.substr(dot + 1);
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](unsigned char c) {
+                                  return std::isspace(c) || c == '&' ||
+                                         c == '*';
+                                }),
+                 name.end());
+      if (name.empty()) continue;
+      bool seen = false;
+      for (const auto& [existing, pos] : seq) seen = seen || existing == name;
+      if (!seen)
+        seq.emplace_back(name, static_cast<std::size_t>(it->position(0)));
+    }
+  }
+  return seq;
+}
+
+void check_guarded_access(const Program& program, const Function& fn,
+                          std::vector<Diagnostic>* out) {
+  if (fn.class_name.empty() || exempt(fn, program)) return;
+  const GuardedClass* cls = find_class(program, fn.class_name);
+  if (cls == nullptr) return;
+  const std::string body =
+      fn.text->substr(fn.body_begin, fn.body_end - fn.body_begin);
+  const std::size_t lock_pos = first_lock(body);
+  const std::string mutex = cls->mutexes.contains("mu_")
+                                ? std::string("mu_")
+                                : *cls->mutexes.begin();
+
+  const auto reported_line = [&](std::size_t body_pos) {
+    return line_at(*fn.text, fn.body_begin + body_pos);
+  };
+  const auto unprotected = [&](std::size_t body_pos) {
+    return lock_pos == std::string::npos || body_pos < lock_pos;
+  };
+  const auto is_member = [&](const std::string& name) {
+    return name.ends_with('_') && !cls->atomics.contains(name) &&
+           !cls->mutexes.contains(name);
+  };
+
+  // CC001: member writes.
+  static const std::regex kWrite(
+      R"(([A-Za-z_]\w*)((?:\.\w+|\[[^\]]*\])*)\s*(?:=(?![=])|\+=|-=|\*=|/=|\|=|&=|\^=|\.(?:push_back|pop_back|pop_front|erase|clear|emplace|emplace_back|insert|resize|reset|assign)\s*\()|(?:\+\+|--)\s*([A-Za-z_]\w*))");
+  std::set<std::pair<std::string, int>> seen;
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kWrite);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name =
+        (*it)[3].matched ? (*it)[3].str() : (*it)[1].str();
+    const std::size_t at = static_cast<std::size_t>(it->position(0));
+    if (!is_member(name) || !unprotected(at)) continue;
+    const int line = reported_line(at);
+    if (!seen.insert({name, line}).second) continue;
+    out->push_back(make(
+        "CC001", fn.file, line,
+        "member '" + name + "' of guarded class '" + cls->name +
+            "' written in '" + fn.qualified + "' without holding '" + mutex +
+            "'",
+        "lock " + mutex + " first, rename the method *_locked, or annotate "
+        "the declaration '// requires " + mutex + " held'"));
+  }
+
+  // CC003: members handed out of the class by an unlocked read.
+  static const std::regex kReturn(R"(return\b([^;]*);)");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kReturn);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position(0));
+    if (!unprotected(at)) continue;
+    const std::string expr = (*it)[1].str();
+    static const std::regex kIdent(R"([A-Za-z_]\w*)");
+    for (auto id = std::sregex_iterator(expr.begin(), expr.end(), kIdent);
+         id != std::sregex_iterator(); ++id) {
+      const std::string name = id->str();
+      if (!is_member(name)) continue;
+      const int line = reported_line(at);
+      if (!seen.insert({name, line}).second) continue;
+      out->push_back(make(
+          "CC003", fn.file, line,
+          "non-atomic member '" + name + "' of guarded class '" + cls->name +
+              "' returned from '" + fn.qualified + "' without holding '" +
+              mutex + "'",
+          "take the lock, make the member std::atomic, or annotate the "
+          "accessor '// immutable after construction'"));
+    }
+  }
+}
+
+void check_lock_order(const Program& program, std::vector<Diagnostic>* out) {
+  struct Acquisition {
+    std::string fn;
+    std::string file;
+    int line = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Acquisition> order;
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const Function& fn : program.functions) {
+    const std::string body =
+        fn.text->substr(fn.body_begin, fn.body_end - fn.body_begin);
+    const auto seq = lock_sequence(body);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        const std::string& a = seq[i].first;
+        const std::string& b = seq[j].first;
+        const int line = line_at(*fn.text, fn.body_begin + seq[j].second);
+        order.try_emplace({a, b}, Acquisition{fn.qualified, fn.file, line});
+        const auto inverse = order.find({b, a});
+        if (inverse == order.end()) continue;
+        const auto key = std::minmax(a, b);
+        if (!reported.insert({key.first, key.second}).second) continue;
+        out->push_back(make(
+            "CC002", fn.file, line,
+            "lock-order inversion: '" + fn.qualified + "' acquires '" + a +
+                "' then '" + b + "' but '" + inverse->second.fn +
+                "' (" + inverse->second.file + ":" +
+                std::to_string(inverse->second.line) + ") acquires them in "
+                "the opposite order",
+            "pick one global acquisition order for the two mutexes"));
+      }
+    }
+  }
+}
+
+void check_checkpoint_mutation(const Program& program,
+                               std::vector<Diagnostic>* out) {
+  static const std::regex kMutation(
+      R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*(record|clear)\s*\()");
+  for (const Function& fn : program.functions) {
+    const std::string name = lower(fn.name);
+    const bool recovery_path =
+        name.find("recover") != std::string::npos ||
+        name.find("restore") != std::string::npos ||
+        name.find("resume") != std::string::npos ||
+        name.find("rollback") != std::string::npos;
+    if (!recovery_path) continue;
+    const std::string body =
+        fn.text->substr(fn.body_begin, fn.body_end - fn.body_begin);
+    for (auto it = std::sregex_iterator(body.begin(), body.end(), kMutation);
+         it != std::sregex_iterator(); ++it) {
+      const std::string var = lower((*it)[1].str());
+      if (var.find("slot") == std::string::npos &&
+          var.find("checkpoint") == std::string::npos)
+        continue;
+      out->push_back(make(
+          "CC004", fn.file,
+          line_at(*fn.text,
+                  fn.body_begin + static_cast<std::size_t>(it->position(0))),
+          "checkpoint slot '" + (*it)[1].str() + "' mutated by " +
+              (*it)[2].str() + "() inside recovery path '" + fn.qualified +
+              "': a concurrent retry reading the slot observes a torn "
+              "restore point",
+          "defer record()/clear() until the recovery attempt completes"));
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& concurrency_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"CC001", "unlocked-member-write", Severity::kError,
+       "member of a mutex-guarded class written without the owning lock"},
+      {"CC002", "lock-order-inversion", Severity::kError,
+       "two functions acquire the same two mutexes in opposite orders"},
+      {"CC003", "unlocked-member-read", Severity::kWarning,
+       "non-atomic member returned without the owning lock"},
+      {"CC004", "checkpoint-mutation-in-recovery", Severity::kError,
+       "checkpoint slot mutated while a recovery attempt is in flight"},
+  };
+  return rules;
+}
+
+std::vector<Diagnostic> check_concurrency(
+    const std::vector<FluxSource>& sources) {
+  Program program;
+  program.stripped.reserve(sources.size());
+  for (const FluxSource& source : sources) {
+    program.stripped.push_back(strip_comments(source.content));
+    collect_annotations(source.content, &program.annotated);
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    collect_classes(program.stripped[i], sources[i].file, &program.classes);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    collect_functions(program.stripped[i], sources[i].file, program.classes,
+                      &program.stripped[i], &program.functions);
+
+  std::vector<Diagnostic> out;
+  for (const Function& fn : program.functions)
+    check_guarded_access(program, fn, &out);
+  check_lock_order(program, &out);
+  check_checkpoint_mutation(program, &out);
+  sort_diagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> check_runtime_concurrency() {
+  namespace fs = std::filesystem;
+  std::vector<FluxSource> sources;
+  for (const char* dir : {"src/rt", "src/resilience"}) {
+    const fs::path root = fs::path(HEMO_REPO_DIR) / dir;
+    HEMO_EXPECTS(fs::is_directory(root));
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(root)) {
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+      std::ifstream in(path);
+      HEMO_EXPECTS(in.good());
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      sources.push_back(FluxSource{
+          std::string(dir) + "/" + path.filename().string(), buffer.str()});
+    }
+  }
+  return check_concurrency(sources);
+}
+
+}  // namespace hemo::analysis

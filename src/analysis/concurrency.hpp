@@ -1,0 +1,49 @@
+#pragma once
+// hemo-flux CC rule family: a static concurrency audit of the campaign
+// runtime (src/rt) and the resilience layer (src/resilience).  The
+// scanner is convention-driven — it understands this repository's
+// idioms, not C++ in general:
+//
+//   - a class declaring a std::mutex member is a *guarded class*; its
+//     trailing-underscore identifiers are members owned by that mutex
+//   - a lock is std::lock_guard / std::unique_lock / std::scoped_lock;
+//     accesses after the first lock construction in a body are treated
+//     as protected (the runtime's methods lock at the top)
+//   - exemptions: constructors/destructors, methods named *_locked
+//     (callers hold the lock), and methods carrying an annotation
+//     comment — "requires <mu> held", "guarded by", or "immutable
+//     after construction" — on their declaration or definition line
+//
+// Rules:
+//   CC001  member of a guarded class written without the owning lock
+//   CC002  lock-order inversion: two functions acquire the same two
+//          mutexes in opposite orders
+//   CC003  non-atomic member returned (read) without the owning lock
+//   CC004  checkpoint-slot mutation (record()/clear()) inside an
+//          in-flight recovery path (function named recover*/restore*/
+//          resume*/rollback*)
+//
+// The checked-in runtime is clean; each rule has seeded-defect fixtures
+// under tests/analysis/.  The CI ThreadSanitizer job cross-checks CC001
+// and CC003 dynamically over the tests/rt executor suite.
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/flux_extract.hpp"
+
+namespace hemo::analysis {
+
+/// CC001..CC004, in id order.
+const std::vector<RuleInfo>& concurrency_rules();
+
+/// Scans the given sources as one program (guarded classes declared in
+/// one source govern method bodies found in another).
+std::vector<Diagnostic> check_concurrency(
+    const std::vector<FluxSource>& sources);
+
+/// Scans the checked-in src/rt + src/resilience trees.
+std::vector<Diagnostic> check_runtime_concurrency();
+
+}  // namespace hemo::analysis

@@ -26,6 +26,16 @@ constexpr const char* severity_name(Severity s) {
   return "?";
 }
 
+/// Catalog metadata for one rule, shared by every rule family (HL, LC,
+/// RS, MT, CC) so the registry (registry.hpp) can enumerate them
+/// uniformly.
+struct RuleInfo {
+  std::string id;        // "MT001", "CC003", ...
+  std::string name;      // short kebab-case handle
+  Severity severity = Severity::kWarning;
+  std::string summary;   // one-line description for --list-rules
+};
+
 struct Diagnostic {
   std::string rule_id;    // "HL###" (portability) or "LC###" (lattice)
   Severity severity = Severity::kWarning;

@@ -1,0 +1,55 @@
+#pragma once
+// hemo-flux extractor: derives the access IR (flux_ir.hpp) from kernel
+// sources by symbolic walk, not by execution.  The corpus dialects share
+// one constrained syntax (plain C++ functors over the hal shims, bodies
+// delegating to the inline kernels of src/lbm/kernels.hpp), which is what
+// makes a static byte count exact rather than heuristic:
+//
+//   - `for (int q = 0; q < kQ; ++q)` loops multiply enclosed accesses
+//     by 19; literal bounds multiply by their value.
+//   - if / else-if / else alternatives contribute the per-array MAXIMUM
+//     of their branches (the bound the bandwidth model charges); an
+//     if-block ending in `continue` or `return` turns the remainder of
+//     its enclosing block into the implicit else branch.
+//   - calls into the shared inline kernel bodies (gather, moments_of,
+//     bgk_collide, zou_he_complete, stream_collide_point, ...) are
+//     resolved by inlining the callee's walk with formal->actual array
+//     bindings, so stack arrays stay register-class across calls.
+//
+// Subscript expressions are classified by layout (unit / SoA / AoS /
+// gather) and arrays by role (distribution, adjacency, halo buffer,
+// ...), giving the MT rules exactly the quantities Section 6's model
+// asserts: 2*19*8 distribution bytes per point for stream-collide, one
+// 8-byte payload per halo value for pack/unpack.
+
+#include <string>
+#include <vector>
+
+#include "analysis/flux_ir.hpp"
+#include "port/corpus.hpp"
+
+namespace hemo::analysis {
+
+/// One source buffer fed to the extractor (display name + content).
+struct FluxSource {
+  std::string file;
+  std::string content;
+};
+
+/// Extracts a profile for every kernel functor (struct with operator())
+/// found in `sources`.  Inline free functions defined in any source are
+/// available for call resolution from any other.  Profiles come back in
+/// (file, kernel) order.
+std::vector<KernelProfile> extract_kernel_profiles(
+    const std::vector<FluxSource>& sources);
+
+/// Profiles of one corpus dialect's kernels.h, resolved against the
+/// shared kernel bodies of src/lbm/kernels.hpp.  File names are prefixed
+/// with the dialect directory ("cudax/kernels.h").
+std::vector<KernelProfile> extract_dialect_profiles(
+    port::CorpusDialect dialect);
+
+/// The hot kernels whose traffic the Section 6 model constrains.
+bool is_hot_loop_kernel(const std::string& kernel);
+
+}  // namespace hemo::analysis

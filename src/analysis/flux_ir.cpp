@@ -1,0 +1,102 @@
+#include "analysis/flux_ir.hpp"
+
+#include <algorithm>
+
+namespace hemo::analysis {
+
+const char* dir_name(AccessDir dir) {
+  switch (dir) {
+    case AccessDir::kLoad: return "load";
+    case AccessDir::kStore: return "store";
+  }
+  return "?";
+}
+
+const char* stride_name(StrideClass stride) {
+  switch (stride) {
+    case StrideClass::kUnit: return "unit";
+    case StrideClass::kSoA: return "soa";
+    case StrideClass::kAoS: return "aos";
+    case StrideClass::kGather: return "gather";
+  }
+  return "?";
+}
+
+const char* role_name(ArrayRole role) {
+  switch (role) {
+    case ArrayRole::kDistribution: return "distribution";
+    case ArrayRole::kAdjacency: return "adjacency";
+    case ArrayRole::kNodeType: return "node_type";
+    case ArrayRole::kHaloBuffer: return "halo_buffer";
+    case ArrayRole::kIndexList: return "index_list";
+    case ArrayRole::kScratch: return "scratch";
+    case ArrayRole::kConstantTable: return "constant";
+    case ArrayRole::kLocal: return "local";
+  }
+  return "?";
+}
+
+namespace {
+
+bool streamed(ArrayRole role) {
+  return role != ArrayRole::kConstantTable && role != ArrayRole::kLocal;
+}
+
+}  // namespace
+
+double KernelProfile::bytes_per_point(ArrayRole role, AccessDir dir) const {
+  double bytes = 0.0;
+  for (const ArrayAccess& a : accesses)
+    if (a.role == role && a.dir == dir && streamed(role))
+      bytes += a.bytes_per_point();
+  return bytes;
+}
+
+double KernelProfile::bytes_per_point(ArrayRole role) const {
+  return bytes_per_point(role, AccessDir::kLoad) +
+         bytes_per_point(role, AccessDir::kStore);
+}
+
+double KernelProfile::distribution_bytes_per_point() const {
+  return bytes_per_point(ArrayRole::kDistribution);
+}
+
+double KernelProfile::total_bytes_per_point() const {
+  double bytes = 0.0;
+  for (const ArrayAccess& a : accesses)
+    if (streamed(a.role)) bytes += a.bytes_per_point();
+  return bytes;
+}
+
+double KernelProfile::loads_per_point(const std::string& array) const {
+  double count = 0.0;
+  for (const ArrayAccess& a : accesses)
+    if (a.array == array && a.dir == AccessDir::kLoad)
+      count += a.count_per_point;
+  return count;
+}
+
+double KernelProfile::stores_per_point(const std::string& array) const {
+  double count = 0.0;
+  for (const ArrayAccess& a : accesses)
+    if (a.array == array && a.dir == AccessDir::kStore)
+      count += a.count_per_point;
+  return count;
+}
+
+bool KernelProfile::touches_stride(ArrayRole role, StrideClass stride) const {
+  for (const ArrayAccess& a : accesses)
+    if (a.role == role && a.stride == stride && a.count_per_point > 0.0)
+      return true;
+  return false;
+}
+
+void sort_profiles(std::vector<KernelProfile>& profiles) {
+  std::sort(profiles.begin(), profiles.end(),
+            [](const KernelProfile& a, const KernelProfile& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.kernel < b.kernel;
+            });
+}
+
+}  // namespace hemo::analysis

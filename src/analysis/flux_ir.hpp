@@ -1,0 +1,89 @@
+#pragma once
+// hemo-flux access IR: the per-kernel memory-access summary the static
+// traffic analyzer (flux_extract.hpp) derives from the HAL dialect
+// corpora, and that the MT rule family (flux_rules.hpp) audits against
+// the Section 6 performance model.
+//
+// The IR is deliberately small: one kernel is a bag of array accesses,
+// each with a direction, a stride/layout class, and an expected count
+// per lattice point (branch alternatives contribute their maximum, so
+// counts are the upper bound the bandwidth model charges).  Everything
+// the rules need — bytes per point by role, layout hazards, redundant
+// re-loads — is a fold over this structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hemo::analysis {
+
+enum class AccessDir { kLoad, kStore };
+
+/// Layout class of one subscript expression.
+enum class StrideClass {
+  kUnit,     // f[i]: consecutive threads touch consecutive elements
+  kSoA,      // f[q * n + i]: structure-of-arrays, coalesced per direction
+  kAoS,      // f[i * kQ + q]: array-of-structures, 19-element thread stride
+  kGather,   // f[indices[i]]: data-dependent indirection
+};
+
+/// What an array means to the traffic model.  Only distribution and halo
+/// payload traffic enter the Section 6 byte counts; adjacency/node-type
+/// metadata is reported separately, and locals are register-resident.
+enum class ArrayRole {
+  kDistribution,   // f_in / f_out / f: the D3Q19 populations
+  kAdjacency,      // pull-scheme neighbor indices
+  kNodeType,       // per-point boundary classification
+  kHaloBuffer,     // send / recv staging buffers
+  kIndexList,      // halo gather/scatter index lists
+  kScratch,        // reduction scratch, output slices, generic fields
+  kConstantTable,  // lattice constants (kWeights, kC): cached, not streamed
+  kLocal,          // stack arrays inside the kernel: registers, no traffic
+};
+
+const char* dir_name(AccessDir dir);
+const char* stride_name(StrideClass stride);
+const char* role_name(ArrayRole role);
+
+/// One (array, direction) access pattern of a kernel.
+struct ArrayAccess {
+  std::string array;            // canonical name: "f_in", "adjacency", ...
+  ArrayRole role = ArrayRole::kScratch;
+  AccessDir dir = AccessDir::kLoad;
+  StrideClass stride = StrideClass::kUnit;
+  double count_per_point = 0.0;  // expected accesses per lattice point
+  int elem_bytes = 8;
+
+  double bytes_per_point() const { return count_per_point * elem_bytes; }
+
+  friend bool operator==(const ArrayAccess&, const ArrayAccess&) = default;
+};
+
+/// The access IR of one kernel functor in one dialect.
+struct KernelProfile {
+  std::string kernel;  // functor name, e.g. "StreamCollideKernel"
+  std::string file;    // source it was extracted from, e.g. "cudax/kernels.h"
+  int line = 0;        // 1-based line of the functor definition
+  std::vector<ArrayAccess> accesses;  // sorted by (array, dir)
+  double flops_per_point = 0.0;
+
+  /// Sum of count*elem over accesses matching the filters.  Roles
+  /// kConstantTable and kLocal never contribute (no streamed traffic).
+  double bytes_per_point(ArrayRole role, AccessDir dir) const;
+  double bytes_per_point(ArrayRole role) const;
+
+  /// Distribution payload only: the quantity Eq. 1 charges per point.
+  double distribution_bytes_per_point() const;
+
+  /// All streamed device traffic (distribution + metadata + buffers).
+  double total_bytes_per_point() const;
+
+  double loads_per_point(const std::string& array) const;
+  double stores_per_point(const std::string& array) const;
+  bool touches_stride(ArrayRole role, StrideClass stride) const;
+};
+
+/// Stable presentation order for profiles: (file, kernel).
+void sort_profiles(std::vector<KernelProfile>& profiles);
+
+}  // namespace hemo::analysis

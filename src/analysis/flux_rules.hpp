@@ -1,0 +1,74 @@
+#pragma once
+// hemo-flux MT rule family: memory-traffic audits of the extracted access
+// IR (flux_ir.hpp) against the Section 6 performance model.  The rules
+// exist so the SoA / swap-pattern refactor cannot silently change the
+// bytes-per-point the Fig. 5-6 efficiency numbers divide by:
+//
+//   MT001  hot-loop distribution bytes/point disagree with
+//          perf::ModelParams::bytes_per_point (2*19*8 = 304 B)
+//   MT002  non-coalesced AoS distribution access on a hot-loop kernel
+//   MT003  redundant distribution re-loads (> 19 loads of one array
+//          per point in a hot-loop kernel)
+//   MT004  non-fused stream/collide launch sequence: one translation
+//          unit drives StreamOnlyKernel and CollideOnlyKernel
+//          back-to-back, doubling write-allocate traffic
+//   MT005  halo pack/unpack payload disagrees with
+//          halo_bytes_per_surface_point (5 crossing values * 8 B)
+//   MT006  dialect-vs-dialect divergence in distribution bytes/point
+//          for the same kernel name
+//
+// Clean corpora report zero MT findings; each rule has a seeded-defect
+// fixture under tests/analysis/.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/flux_extract.hpp"
+#include "perf/model.hpp"
+#include "port/corpus.hpp"
+
+namespace hemo::analysis {
+
+/// MT001..MT006, in id order.
+const std::vector<RuleInfo>& flux_rules();
+
+/// Distributions crossing one subdomain face in D3Q19 (the "5" of the
+/// model's halo_bytes_per_surface_point = 5 * 8).
+inline constexpr int kHaloValuesPerSurfacePoint = 5;
+
+/// MT001 + MT002 + MT003 + MT005 over one dialect's profiles.
+/// `dialect_label` prefixes diagnostics ("cudax") for readable reports.
+std::vector<Diagnostic> audit_traffic(const std::string& dialect_label,
+                                      const std::vector<KernelProfile>& profiles,
+                                      const perf::ModelParams& params);
+
+/// MT004 over launch-site sources: flags any source (other than the
+/// kernel definition header) referencing both StreamOnlyKernel and
+/// CollideOnlyKernel.
+std::vector<Diagnostic> audit_launch_fusion(
+    const std::vector<FluxSource>& sources);
+
+/// MT006 across dialects: same kernel name, different distribution
+/// bytes/point.  Input pairs are (dialect label, profiles).
+std::vector<Diagnostic> audit_dialect_divergence(
+    const std::vector<std::pair<std::string, std::vector<KernelProfile>>>&
+        dialects);
+
+/// Everything for one checked-in corpus dialect: extracts profiles,
+/// audits traffic, and scans its launch sites for MT004.
+std::vector<Diagnostic> audit_corpus_traffic(port::CorpusDialect dialect,
+                                             const perf::ModelParams& params);
+
+/// Full audit of all four dialect corpora, including MT006.
+std::vector<Diagnostic> audit_all_corpora(const perf::ModelParams& params);
+
+/// The machine-readable traffic report ("hemo-flux/1"): per-dialect,
+/// per-kernel byte counts and access lists, plus the model constants
+/// audited against.  Deterministic: fixed key order, no timestamps.
+/// This is the object embedded as the campaign report's traffic_audit
+/// block and emitted by `hemo_lint --flux --json`.
+std::string traffic_audit_json(const perf::ModelParams& params);
+
+}  // namespace hemo::analysis

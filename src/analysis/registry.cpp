@@ -1,0 +1,94 @@
+#include "analysis/registry.hpp"
+
+#include <set>
+
+#include "analysis/concurrency.hpp"
+#include "analysis/flux_rules.hpp"
+#include "analysis/rules.hpp"
+
+namespace hemo::analysis {
+
+namespace {
+
+/// LC and RS rules are emitted at their check sites (lattice_check.cpp,
+/// DistributedSolver::validate, the resilience health guards) rather
+/// than through a rule table, so their catalog rows live here.  Keep in
+/// sync with the doc blocks in lattice_check.hpp and resilience/policy.hpp;
+/// the registry integrity test cross-checks DESIGN.md.
+const std::vector<RuleInfo>& lattice_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"LC001", "oob-neighbor", Severity::kError,
+       "adjacency index outside [0, n)"},
+      {"LC002", "rest-link-broken", Severity::kError,
+       "neighbor(0, i) != i"},
+      {"LC003", "duplicate-write-target", Severity::kError,
+       "push-scheme write-write race"},
+      {"LC004", "non-involutive-adjacency", Severity::kError,
+       "i->j without matching j->i"},
+      {"LC005", "inlet-unreachable", Severity::kWarning,
+       "fluid cells the inlet cannot feed"},
+      {"LC006", "owner-out-of-range", Severity::kError,
+       "partition owner not in [0, R)"},
+      {"LC007", "empty-rank", Severity::kWarning,
+       "a rank owns zero points"},
+      {"LC008", "halo-plan-mismatch", Severity::kError,
+       "halo plan disagrees with the lattice"},
+      {"LC009", "exchange-slot-overlap", Severity::kError,
+       "halo pack/unpack slots overlap an interior update"},
+      {"LC010", "unauditable-unpack-slot", Severity::kWarning,
+       "a (q, slot) pair is unpacked by more than one exchange"},
+      {"LC011", "halo-endpoint-not-in-partition", Severity::kError,
+       "a halo message names a rank the partition does not know"},
+  };
+  return rules;
+}
+
+const std::vector<RuleInfo>& resilience_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"RS001", "nonfinite-distribution", Severity::kError,
+       "non-finite distribution value"},
+      {"RS002", "mass-drift", Severity::kError,
+       "global mass drift beyond tolerance"},
+      {"RS003", "velocity-ceiling", Severity::kError,
+       "velocity-magnitude ceiling exceeded"},
+      {"RS004", "halo-traffic-mismatch", Severity::kWarning,
+       "halo traffic disagrees with the plan"},
+      {"RS005", "rank-dead-domain-shrunk", Severity::kWarning,
+       "rank declared dead; domain shrunk onto the survivors"},
+  };
+  return rules;
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_registry() {
+  std::vector<RuleInfo> all;
+  for (const LintRule& rule : lint_rules())
+    all.push_back(RuleInfo{rule.id, rule.name, rule.severity, rule.summary});
+  for (const RuleInfo& rule : lattice_rules()) all.push_back(rule);
+  for (const RuleInfo& rule : resilience_rules()) all.push_back(rule);
+  for (const RuleInfo& rule : flux_rules()) all.push_back(rule);
+  for (const RuleInfo& rule : concurrency_rules()) all.push_back(rule);
+  return all;
+}
+
+std::vector<std::string> rule_ids() {
+  std::vector<std::string> ids;
+  for (const RuleInfo& rule : rule_registry()) ids.push_back(rule.id);
+  return ids;
+}
+
+bool registry_ids_unique() {
+  std::set<std::string> seen;
+  for (const std::string& id : rule_ids())
+    if (!seen.insert(id).second) return false;
+  return true;
+}
+
+RuleInfo find_rule(const std::string& id) {
+  for (const RuleInfo& rule : rule_registry())
+    if (rule.id == id) return rule;
+  return RuleInfo{};
+}
+
+}  // namespace hemo::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// Unified rule registry: one enumeration of every diagnostic rule the
+// repository can emit, across all five families —
+//
+//   HL  portability lint over the porting corpus      (rules.hpp)
+//   LC  lattice / decomposition consistency           (lattice_check.hpp,
+//                                                      DistributedSolver)
+//   RS  resilience health guards                      (resilience/policy.hpp)
+//   MT  static memory-traffic audit                   (flux_rules.hpp)
+//   CC  static concurrency audit                      (concurrency.hpp)
+//
+// HL, MT and CC entries come from their live rule tables; LC and RS
+// rules are emitted ad hoc at their check sites, so the registry carries
+// their catalog rows directly (the registry integrity test pins this
+// list against DESIGN.md's rule-catalog table and against fixture
+// coverage, so a new rule cannot land undocumented or untested).
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace hemo::analysis {
+
+/// Every known rule, in family order (HL, LC, RS, MT, CC), id-sorted
+/// within each family.
+std::vector<RuleInfo> rule_registry();
+
+/// Ids of every rule in the registry, in registry order.
+std::vector<std::string> rule_ids();
+
+/// True if every id in the registry occurs exactly once.
+bool registry_ids_unique();
+
+/// Looks a rule up by id; nullptr-free: returns an empty-id RuleInfo if
+/// unknown.
+RuleInfo find_rule(const std::string& id);
+
+}  // namespace hemo::analysis

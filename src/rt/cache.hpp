@@ -67,6 +67,7 @@ class ArtifactCache {
   }
 
   Stats stats() const;
+  // immutable after construction: capacity_ is set once in the constructor
   std::size_t capacity() const { return capacity_; }
   void clear();
 

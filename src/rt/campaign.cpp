@@ -531,6 +531,8 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
   os << "  \"executor\": {\"submitted\": " << result.executor.submitted
      << ", \"executed\": " << result.executor.executed
      << ", \"stolen\": " << result.executor.stolen << "},\n";
+  if (!result.traffic_audit_json.empty())
+    os << "  \"traffic_audit\": " << result.traffic_audit_json << ",\n";
   os << "  \"series\": [\n";
   for (std::size_t s = 0; s < result.series.size(); ++s) {
     const SeriesResult& series = result.series[s];

@@ -159,6 +159,12 @@ struct CampaignResult {
   ArtifactCache::Stats cache;
   Executor::Stats executor;
 
+  /// Optional pre-rendered JSON object from the hemo-flux static traffic
+  /// audit (analysis::traffic_audit_json).  Filled by the campaign tool,
+  /// not by run_campaign — rt stays independent of the analysis layer.
+  /// When non-empty, write_campaign_json emits it as "traffic_audit".
+  std::string traffic_audit_json;
+
   std::size_t total_points() const;
   std::size_t failed_points() const;
   /// Points that lost ranks but completed on the survivors.

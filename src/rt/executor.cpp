@@ -48,6 +48,7 @@ void Executor::submit(Task task) {
   cv_work_.notify_one();
 }
 
+// requires mu_ held (worker_loop and shutdown drain under the pool lock)
 bool Executor::pop_task(std::size_t self, Task* out) {
   std::deque<Task>& own = deques_[self];
   if (!own.empty()) {

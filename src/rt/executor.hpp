@@ -64,6 +64,7 @@ class Executor {
   /// Stops intake, drains the queue, joins the workers.  Idempotent.
   void shutdown();
 
+  // immutable after construction: deques_ is sized once, before workers run
   int workers() const { return static_cast<int>(deques_.size()); }
   Stats stats() const;
 

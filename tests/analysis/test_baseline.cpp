@@ -1,0 +1,98 @@
+// Baseline suppression tests: the emit -> rerun round trip yields zero
+// findings, matching ignores line numbers but respects multiset counts,
+// and the file format survives a parse/re-emit cycle byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace analysis = hemo::analysis;
+
+namespace {
+
+analysis::Diagnostic diag(const std::string& rule, const std::string& file,
+                          int line, const std::string& message) {
+  analysis::Diagnostic d;
+  d.rule_id = rule;
+  d.severity = analysis::Severity::kWarning;
+  d.file = file;
+  d.line = line;
+  d.message = message;
+  return d;
+}
+
+std::vector<analysis::Diagnostic> sample_findings() {
+  return {
+      diag("MT001", "cudax/kernels.h", 10, "derived 296 B, model 304"),
+      diag("CC001", "rt/executor.cpp", 42, "count_ written without mu_"),
+      diag("CC001", "rt/executor.cpp", 77, "count_ written without mu_"),
+  };
+}
+
+}  // namespace
+
+TEST(Baseline, EmitThenRerunYieldsZeroFindings) {
+  const auto findings = sample_findings();
+  const std::string baseline = analysis::write_baseline(findings);
+  const auto remaining =
+      analysis::apply_baseline(findings, analysis::parse_baseline(baseline));
+  EXPECT_TRUE(remaining.empty());
+}
+
+TEST(Baseline, NewFindingsSurviveSuppression) {
+  auto findings = sample_findings();
+  const std::string baseline = analysis::write_baseline(findings);
+  findings.push_back(diag("MT005", "hipx/kernels.h", 3, "80 B, model 40"));
+  const auto remaining =
+      analysis::apply_baseline(findings, analysis::parse_baseline(baseline));
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining.front().rule_id, "MT005");
+}
+
+TEST(Baseline, MatchingIgnoresLineNumbers) {
+  // An unrelated edit above a finding moves its line; the baseline entry
+  // must keep cancelling it.
+  const std::string baseline = analysis::write_baseline(sample_findings());
+  auto moved = sample_findings();
+  for (analysis::Diagnostic& d : moved) d.line += 100;
+  EXPECT_TRUE(
+      analysis::apply_baseline(moved, analysis::parse_baseline(baseline))
+          .empty());
+}
+
+TEST(Baseline, SuppressionIsMultisetNotSet) {
+  // Two identical findings, one baseline entry: exactly one survives.
+  const std::vector<analysis::Diagnostic> once = {
+      diag("CC001", "rt/executor.cpp", 42, "count_ written without mu_")};
+  const std::string baseline = analysis::write_baseline(once);
+  const std::vector<analysis::Diagnostic> twice = {
+      diag("CC001", "rt/executor.cpp", 42, "count_ written without mu_"),
+      diag("CC001", "rt/executor.cpp", 77, "count_ written without mu_")};
+  const auto remaining =
+      analysis::apply_baseline(twice, analysis::parse_baseline(baseline));
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining.front().line, 77);
+}
+
+TEST(Baseline, FormatRoundTripsByteIdentically) {
+  const std::string first = analysis::write_baseline(sample_findings());
+  const std::string second =
+      analysis::write_baseline(analysis::parse_baseline(first));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.front(), '#');  // self-describing header line
+}
+
+TEST(Baseline, CommentsAndGarbageLinesAreIgnored) {
+  const auto entries = analysis::parse_baseline(
+      "# comment\n"
+      "\n"
+      "not a record\n"
+      "MT001\tcudax/kernels.h\tderived 296 B, model 304\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.front().rule_id, "MT001");
+  EXPECT_EQ(entries.front().file, "cudax/kernels.h");
+}

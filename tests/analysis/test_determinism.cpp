@@ -1,0 +1,96 @@
+// Golden-file determinism: hemo_lint's machine-readable outputs must be
+// byte-stable — fixed key order, no timestamps, no iteration-order or
+// locale dependence — so diffs against the checked-in goldens are
+// meaningful and CI can gate on them.  Regenerate with
+// HEMO_UPDATE_GOLDEN=1 ./test_analysis after an intentional change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/flux_rules.hpp"
+#include "analysis/report.hpp"
+
+namespace analysis = hemo::analysis;
+
+namespace {
+
+const char* kGoldenDir = HEMO_REPO_DIR "/tests/analysis/golden";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Compares `actual` against the named golden; HEMO_UPDATE_GOLDEN=1
+/// rewrites the golden instead (and the assertion then trivially holds).
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  const std::string path = std::string(kGoldenDir) + "/" + name;
+  if (std::getenv("HEMO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << actual;
+    return;
+  }
+  EXPECT_EQ(actual, read_file(path))
+      << "golden mismatch for " << name
+      << " (intentional change? regenerate with HEMO_UPDATE_GOLDEN=1)";
+}
+
+std::vector<analysis::Diagnostic> sample_diagnostics() {
+  analysis::Diagnostic a;
+  a.rule_id = "MT001";
+  a.severity = analysis::Severity::kError;
+  a.file = "cudax/kernels.h";
+  a.line = 12;
+  a.message = "derived 296 distribution B/point, model charges 304";
+  a.fixit_hint = "make the kernel move 19 loads + 19 stores";
+  analysis::Diagnostic b;
+  b.rule_id = "CC003";
+  b.severity = analysis::Severity::kWarning;
+  b.file = "rt/executor.hpp";
+  b.line = 81;
+  b.message = "queued_ read without mu_ (\"quoted\" and \\ escaped)";
+  return {a, b};
+}
+
+}  // namespace
+
+TEST(Determinism, JsonReportIsByteStableAcrossRuns) {
+  const auto ds = sample_diagnostics();
+  EXPECT_EQ(analysis::json_report(ds), analysis::json_report(ds));
+}
+
+TEST(Determinism, JsonReportMatchesGolden) {
+  expect_matches_golden(analysis::json_report(sample_diagnostics()),
+                        "report.json");
+}
+
+TEST(Determinism, TrafficAuditJsonIsByteStableAcrossRuns) {
+  const hemo::perf::ModelParams params;
+  EXPECT_EQ(analysis::traffic_audit_json(params),
+            analysis::traffic_audit_json(params));
+}
+
+TEST(Determinism, TrafficAuditJsonMatchesGolden) {
+  // This golden doubles as the SoA-refactor gate: any change to a corpus
+  // kernel's access pattern shows up as a reviewable diff here.
+  expect_matches_golden(
+      analysis::traffic_audit_json(hemo::perf::ModelParams{}) + "\n",
+      "traffic_audit.json");
+}
+
+TEST(Determinism, ReportsCarryNoTimestamps) {
+  const std::string traffic =
+      analysis::traffic_audit_json(hemo::perf::ModelParams{});
+  for (const char* needle : {"time", "date", "stamp", "seed"})
+    EXPECT_EQ(traffic.find(needle), std::string::npos) << needle;
+}

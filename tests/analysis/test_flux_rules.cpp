@@ -1,0 +1,204 @@
+// MT rule tests: each seeded-defect fixture fires exactly its rule, the
+// matching clean fixture stays silent, and the full checked-in corpora
+// audit reports zero findings (the ctest/CI gate in unit-test form).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/flux_rules.hpp"
+
+namespace analysis = hemo::analysis;
+namespace port = hemo::port;
+using hemo::perf::ModelParams;
+
+namespace {
+
+std::set<std::string> rule_ids(const std::vector<analysis::Diagnostic>& ds) {
+  std::set<std::string> ids;
+  for (const analysis::Diagnostic& d : ds) ids.insert(d.rule_id);
+  return ids;
+}
+
+std::vector<analysis::Diagnostic> audit_fixture(const std::string& content,
+                                                const ModelParams& params) {
+  return analysis::audit_traffic(
+      "fixture",
+      analysis::extract_kernel_profiles(
+          {analysis::FluxSource{"fixture/kernels.h", content}}),
+      params);
+}
+
+// The canonical clean hot loop: 19 SoA loads + 19 SoA stores = 304 B.
+const char* kCleanStreamCollide = R"(
+struct StreamCollideKernel {
+  void operator()(int i, int n) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q) f[q] = f_in[q * n + i];
+    for (int q = 0; q < kQ; ++q) f_out[q * n + i] = f[q];
+  }
+};
+)";
+
+}  // namespace
+
+TEST(FluxRules, CleanHotLoopFixtureIsSilent) {
+  EXPECT_TRUE(audit_fixture(kCleanStreamCollide, ModelParams{}).empty());
+}
+
+TEST(FluxRules, MT001FiresOnShortWritePass) {
+  // 19 loads but only 18 stores: 296 B/point against the model's 304.
+  const auto ds = audit_fixture(R"(
+struct StreamCollideKernel {
+  void operator()(int i, int n) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q) f[q] = f_in[q * n + i];
+    for (int q = 0; q < 18; ++q) f_out[q * n + i] = f[q];
+  }
+};
+)",
+                                ModelParams{});
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT001");
+  EXPECT_EQ(ds.front().severity, analysis::Severity::kError);
+  EXPECT_NE(ds.front().message.find("296"), std::string::npos);
+  EXPECT_NE(ds.front().message.find("304"), std::string::npos);
+}
+
+TEST(FluxRules, MT002FiresOnAoSHotLoop) {
+  // Full 304 B moved (MT001 silent) but with the 19-element thread stride.
+  const auto ds = audit_fixture(R"(
+struct StreamCollideKernel {
+  void operator()(int i, int n) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q) f[q] = f_in[i * kQ + q];
+    for (int q = 0; q < kQ; ++q) f_out[i * kQ + q] = f[q];
+  }
+};
+)",
+                                ModelParams{});
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT002");
+}
+
+TEST(FluxRules, MT003FiresOnRedundantReload) {
+  // The kernel re-reads f_in instead of caching it: 38 loads/point.  The
+  // model parameter is widened so MT001 stays silent and the fixture
+  // isolates the re-load rule.
+  ModelParams params;
+  params.bytes_per_point = (38.0 + 19.0) * 8.0;
+  const auto ds = audit_fixture(R"(
+struct StreamCollideKernel {
+  void operator()(int i, int n) const {
+    for (int q = 0; q < kQ; ++q) {
+      f_out[q * n + i] = f_in[q * n + i] + f_in[q * n + i] * 0.5;
+    }
+  }
+};
+)",
+                                params);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT003");
+  EXPECT_NE(ds.front().message.find("38"), std::string::npos);
+}
+
+TEST(FluxRules, MT004FiresOnSplitLaunchSequence) {
+  const std::vector<analysis::FluxSource> sources = {
+      {"fixture/streaming.cpp", "launch(StreamOnlyKernel{}, args);\n"},
+      {"fixture/collision.cpp", "launch(CollideOnlyKernel{}, args);\n"},
+      {"fixture/driver.cpp",
+       "launch(StreamOnlyKernel{}, args);\n"
+       "launch(CollideOnlyKernel{}, args);\n"},
+  };
+  const auto ds = analysis::audit_launch_fusion(sources);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT004");
+  EXPECT_EQ(ds.front().file, "fixture/driver.cpp");
+  EXPECT_EQ(ds.front().line, 2);
+}
+
+TEST(FluxRules, MT004IgnoresTheKernelDefinitionHeader) {
+  const std::vector<analysis::FluxSource> sources = {
+      {"fixture/kernels.h",
+       "struct StreamOnlyKernel {};\nstruct CollideOnlyKernel {};\n"}};
+  EXPECT_TRUE(analysis::audit_launch_fusion(sources).empty());
+}
+
+TEST(FluxRules, MT005FiresOnOverwidePackPayload) {
+  // Two doubles per halo value: 80 B/surface point against the model's 40.
+  const auto ds = audit_fixture(R"(
+struct PackHaloKernel {
+  void operator()(int k) const {
+    send[2 * k] = f[indices[k]];
+    send[2 * k + 1] = f[indices[k]];
+  }
+};
+)",
+                                ModelParams{});
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT005");
+  EXPECT_NE(ds.front().message.find("80"), std::string::npos);
+}
+
+TEST(FluxRules, MT005CleanPackFixtureIsSilent) {
+  EXPECT_TRUE(audit_fixture(R"(
+struct PackHaloKernel {
+  void operator()(int k) const {
+    send[k] = f[indices[k]];
+  }
+};
+)",
+                            ModelParams{})
+                  .empty());
+}
+
+TEST(FluxRules, MT006FiresOnDialectDivergence) {
+  const auto profiles_of = [](const char* body) {
+    return analysis::extract_kernel_profiles(
+        {analysis::FluxSource{"fixture/kernels.h", body}});
+  };
+  const auto ds = analysis::audit_dialect_divergence(
+      {{"alpha", profiles_of(kCleanStreamCollide)},
+       {"beta", profiles_of(R"(
+struct StreamCollideKernel {
+  void operator()(int i, int n) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q) f[q] = f_in[q * n + i];
+    for (int q = 0; q < 18; ++q) f_out[q * n + i] = f[q];
+  }
+};
+)")}});
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.front().rule_id, "MT006");
+  EXPECT_NE(ds.front().message.find("beta"), std::string::npos);
+  EXPECT_NE(ds.front().message.find("alpha"), std::string::npos);
+}
+
+TEST(FluxRules, MT006AgreementIsSilent) {
+  const auto profiles_of = [](const char* body) {
+    return analysis::extract_kernel_profiles(
+        {analysis::FluxSource{"fixture/kernels.h", body}});
+  };
+  EXPECT_TRUE(analysis::audit_dialect_divergence(
+                  {{"alpha", profiles_of(kCleanStreamCollide)},
+                   {"beta", profiles_of(kCleanStreamCollide)}})
+                  .empty());
+}
+
+TEST(FluxRules, CheckedInCorporaAreTrafficClean) {
+  // The unit-test form of the `hemo_lint --flux all` gate: all four
+  // dialect corpora plus the cross-dialect comparison report nothing.
+  EXPECT_TRUE(analysis::audit_all_corpora(ModelParams{}).empty());
+}
+
+TEST(FluxRules, PerDialectAuditIsCleanToo) {
+  for (const port::CorpusDialect dialect :
+       {port::CorpusDialect::kCudax, port::CorpusDialect::kHipx,
+        port::CorpusDialect::kSyclx, port::CorpusDialect::kKokkosx}) {
+    EXPECT_TRUE(
+        analysis::audit_corpus_traffic(dialect, ModelParams{}).empty())
+        << static_cast<int>(dialect);
+  }
+}

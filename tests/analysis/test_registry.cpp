@@ -1,0 +1,91 @@
+// Registry integrity: every rule id across the five families (HL, LC,
+// RS, MT, CC) is unique, documented in DESIGN.md's rule-catalog tables,
+// and exercised by at least one test fixture.  A new rule cannot land
+// undocumented or untested without failing here.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.hpp"
+
+namespace analysis = hemo::analysis;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Concatenated content of every test source except this file (which
+/// names every id and would satisfy the coverage check vacuously).
+std::string all_test_sources() {
+  std::string all;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(HEMO_REPO_DIR "/tests")) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".cpp" && p.extension() != ".hpp") continue;
+    if (p.filename() == "test_registry.cpp") continue;
+    all += slurp(p);
+  }
+  return all;
+}
+
+}  // namespace
+
+TEST(Registry, IdsAreUnique) {
+  EXPECT_TRUE(analysis::registry_ids_unique());
+}
+
+TEST(Registry, AllFiveFamiliesArePresent) {
+  std::set<std::string> families;
+  for (const std::string& id : analysis::rule_ids()) {
+    ASSERT_GE(id.size(), 5u) << id;
+    families.insert(id.substr(0, 2));
+  }
+  EXPECT_EQ(families,
+            (std::set<std::string>{"HL", "LC", "RS", "MT", "CC"}));
+}
+
+TEST(Registry, EveryRuleIsWellFormed) {
+  for (const analysis::RuleInfo& rule : analysis::rule_registry()) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.name.empty()) << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+}
+
+TEST(Registry, LookupFindsKnownAndRejectsUnknown) {
+  EXPECT_EQ(analysis::find_rule("MT001").name, "model-bytes-mismatch");
+  EXPECT_EQ(analysis::find_rule("CC002").name, "lock-order-inversion");
+  EXPECT_TRUE(analysis::find_rule("XX999").id.empty());
+}
+
+TEST(Registry, EveryRuleIsDocumentedInDesignDoc) {
+  const std::string design = slurp(HEMO_REPO_DIR "/DESIGN.md");
+  for (const analysis::RuleInfo& rule : analysis::rule_registry()) {
+    EXPECT_NE(design.find(rule.id), std::string::npos)
+        << rule.id << " missing from DESIGN.md's rule catalog";
+    EXPECT_NE(design.find(rule.name), std::string::npos)
+        << rule.id << " (" << rule.name
+        << "): name missing from DESIGN.md's rule catalog";
+  }
+}
+
+TEST(Registry, EveryRuleHasTestFixtureCoverage) {
+  const std::string tests = all_test_sources();
+  for (const std::string& id : analysis::rule_ids())
+    EXPECT_NE(tests.find(id), std::string::npos)
+        << id << " is referenced by no test under tests/";
+}

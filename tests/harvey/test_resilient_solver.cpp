@@ -357,3 +357,63 @@ TEST(Checkpoint, MissingFileIsRejected) {
   EXPECT_THROW(solver.restore_checkpoint("no_such_checkpoint.bin"),
                hemo::io::BlobError);
 }
+
+TEST(ResilientSolver, VelocityCeilingGuardFiresRS003) {
+  // A ceiling below any physical inflow velocity makes the very first
+  // resilient step trip the compressibility guard; with no rollback
+  // budget the run must surface it as a structured fault carrying the
+  // RS003 diagnostic.
+  auto lattice = small_cylinder();
+  DistributedSolver solver(lattice, decomp::slab_partition(*lattice, 2),
+                           flow_options());
+  resilience::Options opts;
+  opts.health.scan_nonfinite = false;
+  opts.health.check_mass = false;
+  opts.health.max_velocity = 1e-9;
+  opts.recovery.max_rollbacks = 0;
+  solver.enable_resilience(opts);
+
+  try {
+    solver.run(4);
+    FAIL() << "expected SolverFault";
+  } catch (const resilience::SolverFault& fault) {
+    bool saw_rs003 = false;
+    for (const hemo::analysis::Diagnostic& d : fault.diagnostics())
+      saw_rs003 |= (d.rule_id == "RS003");
+    EXPECT_TRUE(saw_rs003);
+  }
+  EXPECT_GE(solver.resilience_stats().health_errors, 1);
+}
+
+TEST(ResilientSolver, OffPlanHaloTrafficIsRecordedAsRS004) {
+  // A duplicated halo message is a valid frame arriving twice: the halo
+  // audit must drain the straggler, record RS004, and let the run finish
+  // bit-identical to the clean reference (the audit is an observer).
+  constexpr int kRanks = 4;
+  constexpr int kSteps = 10;
+  const std::vector<double> reference = clean_run(kRanks, kSteps);
+
+  auto lattice = small_cylinder();
+  DistributedSolver solver(lattice, decomp::slab_partition(*lattice, kRanks),
+                           flow_options());
+  resilience::FaultPlan plan;
+  resilience::FaultEvent e;
+  e.kind = resilience::FaultKind::kDuplicate;
+  e.step = 4;
+  e.src = 1;
+  e.dst = 2;
+  plan.add(e);
+  solver.set_network(
+      std::make_unique<resilience::FaultyNetwork>(kRanks, plan));
+  solver.enable_resilience(resilience::Options{});
+
+  solver.run(kSteps);
+
+  EXPECT_GE(solver.resilience_stats().halo_audit_mismatches, 1);
+  bool saw_rs004 = false;
+  for (const hemo::analysis::Diagnostic& d :
+       solver.resilience_stats().diagnostics)
+    saw_rs004 |= (d.rule_id == "RS004");
+  EXPECT_TRUE(saw_rs004);
+  EXPECT_EQ(solver.global_distributions(), reference);
+}

@@ -195,5 +195,27 @@ TEST(Campaign, SeriesLabelsAreHumanReadable) {
   EXPECT_EQ(series_label(spec), "Crusher/HIP/HARVEY/aorta");
 }
 
+
+TEST(Campaign, TrafficAuditBlockIsEmittedWhenFilled) {
+  CampaignSpec spec;
+  spec.series = {{sys::SystemId::kSummit, hal::Model::kCuda,
+                  sim::App::kHarvey, WorkloadKind::kCylinderBisection}};
+  CampaignResult result = run_campaign(spec);
+
+  // Absent by default: rt does not depend on the analysis layer.
+  std::ostringstream without;
+  write_campaign_json(result, without);
+  EXPECT_EQ(without.str().find("traffic_audit"), std::string::npos);
+
+  // The campaign tool fills the field with the pre-rendered hemo-flux
+  // object; the sink must embed it verbatim under "traffic_audit".
+  result.traffic_audit_json = "{\"version\": \"hemo-flux/1\"}";
+  std::ostringstream with;
+  write_campaign_json(result, with);
+  EXPECT_NE(
+      with.str().find("\"traffic_audit\": {\"version\": \"hemo-flux/1\"}"),
+      std::string::npos);
+}
+
 }  // namespace
 }  // namespace hemo::rt

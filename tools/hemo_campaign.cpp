@@ -4,7 +4,8 @@
 //                 [--series system:model[:app[:workload]]]...
 //                 [--workers N] [--retries N] [--timeout-ms N]
 //                 [--name NAME] [--csv FILE|-] [--json FILE|-]
-//                 [--preflight [RANKS]] [--quiet] [--strict]
+//                 [--preflight [RANKS]] [--traffic-audit] [--quiet]
+//                 [--strict]
 //       Price an evaluation matrix concurrently on the work-stealing
 //       executor with artifact caching and per-point retry.  --figure and
 //       --series compose (figure matrix first, then extra series).  A
@@ -12,7 +13,9 @@
 //       any point failed.  --preflight statically validates each series'
 //       workload (DistributedSolver::validate, rules LC001-LC010) before
 //       pricing; validation errors become structured failures on the
-//       series' points.
+//       series' points.  --traffic-audit embeds the hemo-flux static
+//       memory-traffic report (per-dialect bytes/point vs the Section 6
+//       model) as a "traffic_audit" block in the --json output.
 //
 //   hemo_campaign --list
 //       Print the known figures, systems, models, apps and workloads.
@@ -31,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/flux_rules.hpp"
 #include "base/table.hpp"
+#include "perf/model.hpp"
 #include "rt/campaign.hpp"
 #include "sim/profiles.hpp"
 
@@ -46,7 +51,8 @@ int usage(const char* argv0) {
       "       %*s [--series system:model[:app[:workload]]]...\n"
       "       %*s [--workers N] [--retries N] [--timeout-ms N]\n"
       "       %*s [--name NAME] [--csv FILE|-] [--json FILE|-]\n"
-      "       %*s [--preflight [RANKS]] [--quiet] [--strict]\n"
+      "       %*s [--preflight [RANKS]] [--traffic-audit] [--quiet] "
+      "[--strict]\n"
       "       %s --list\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
@@ -151,6 +157,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool strict = false;
   bool preflight = false;
+  bool traffic_audit = false;
   int preflight_ranks = 4;
 
   for (int i = 1; i < argc; ++i) {
@@ -213,6 +220,8 @@ int main(int argc, char** argv) {
         if (!parse_int(v, &preflight_ranks) || preflight_ranks < 1)
           return usage(argv[0]);
       }
+    } else if (arg == "--traffic-audit") {
+      traffic_audit = true;
     } else if (arg == "--timeout-ms") {
       const char* v = value();
       if (v == nullptr || !parse_int(v, &timeout_ms) || timeout_ms < 0)
@@ -238,7 +247,10 @@ int main(int argc, char** argv) {
   if (timeout_ms >= 0)
     spec.job.timeout = std::chrono::milliseconds(timeout_ms);
 
-  const rt::CampaignResult result = rt::run_campaign(spec);
+  rt::CampaignResult result = rt::run_campaign(spec);
+  if (traffic_audit)
+    result.traffic_audit_json =
+        analysis::traffic_audit_json(perf::ModelParams{});
 
   if (!quiet) print_summary(result);
 
