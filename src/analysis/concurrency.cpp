@@ -541,7 +541,7 @@ std::vector<Diagnostic> check_concurrency(
 std::vector<Diagnostic> check_runtime_concurrency() {
   namespace fs = std::filesystem;
   std::vector<FluxSource> sources;
-  for (const char* dir : {"src/rt", "src/resilience"}) {
+  for (const char* dir : {"src/rt", "src/resilience", "src/serve"}) {
     const fs::path root = fs::path(HEMO_REPO_DIR) / dir;
     HEMO_EXPECTS(fs::is_directory(root));
     std::vector<fs::path> files;

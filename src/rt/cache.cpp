@@ -6,27 +6,40 @@
 
 namespace hemo::rt {
 
-ArtifactCache::ArtifactCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
+ArtifactCache::ArtifactCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t n = std::max<std::size_t>(1, shards);
+  // Per-shard slice of the requested capacity, rounded up so the total is
+  // never below what the caller asked for.
+  shard_capacity_ = std::max<std::size_t>(1, (std::max<std::size_t>(1, capacity) + n - 1) / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+// shards_ is immutable after construction; only each Shard's interior
+// state is mutable, and that is guarded by the shard's own mutex.
+ArtifactCache::Shard& ArtifactCache::shard_of(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
 
 std::shared_ptr<void> ArtifactCache::lookup(
     const std::string& key, std::type_index type,
     const std::function<std::shared_ptr<void>()>& make) {
+  Shard& shard = shard_of(key);
   std::promise<std::shared_ptr<void>> promise;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
       HEMO_EXPECTS(it->second.type == type);
-      it->second.last_used = ++tick_;
-      ++stats_.hits;
+      it->second.last_used = ++shard.tick;
+      ++shard.stats.hits;
       std::shared_future<std::shared_ptr<void>> value = it->second.value;
       lock.unlock();
       return value.get();  // blocks while the producer is still computing
     }
-    ++stats_.misses;
-    map_.emplace(key,
-                 Entry{promise.get_future().share(), type, ++tick_, false});
+    ++shard.stats.misses;
+    shard.map.emplace(
+        key, Entry{promise.get_future().share(), type, ++shard.tick, false});
   }
 
   // Compute outside the lock so distinct keys build concurrently.
@@ -35,45 +48,65 @@ std::shared_ptr<void> ArtifactCache::lookup(
     value = make();
   } catch (...) {
     promise.set_exception(std::current_exception());
-    const std::lock_guard<std::mutex> lock(mu_);
-    map_.erase(key);  // failed computes are not cached
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(key);  // failed computes are not cached
     throw;
   }
 
   promise.set_value(value);
-  const std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it != map_.end()) it->second.ready = true;
-  evict_excess_locked();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) it->second.ready = true;
+  evict_excess_locked(shard);
   return value;
 }
 
-void ArtifactCache::evict_excess_locked() {
-  while (map_.size() > capacity_) {
-    auto victim = map_.end();
-    for (auto it = map_.begin(); it != map_.end(); ++it) {
+void ArtifactCache::evict_excess_locked(Shard& shard) {
+  while (shard.map.size() > shard_capacity_) {
+    auto victim = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
       if (!it->second.ready) continue;  // never drop an in-flight compute
-      if (victim == map_.end() || it->second.last_used < victim->second.last_used)
+      if (victim == shard.map.end() ||
+          it->second.last_used < victim->second.last_used)
         victim = it;
     }
-    if (victim == map_.end()) return;  // everything resident is in flight
-    map_.erase(victim);
-    ++stats_.evictions;
+    if (victim == shard.map.end()) return;  // everything resident is in flight
+    shard.map.erase(victim);
+    ++shard.stats.evictions;
   }
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
-  out.entries = map_.size();
+  Stats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->stats.hits;
+    out.misses += shard->stats.misses;
+    out.evictions += shard->stats.evictions;
+    out.entries += shard->map.size();
+  }
+  return out;
+}
+
+std::vector<ArtifactCache::Stats> ArtifactCache::shard_stats() const {
+  std::vector<Stats> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    Stats s = shard->stats;
+    s.entries = shard->map.size();
+    out.push_back(s);
+  }
   return out;
 }
 
 void ArtifactCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  stats_ = Stats{};
-  tick_ = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->stats = Stats{};
+    shard->tick = 0;
+  }
 }
 
 std::string canonical_key(std::initializer_list<std::string> parts) {

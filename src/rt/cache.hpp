@@ -15,6 +15,16 @@
 //   - A compute that throws is not cached: in-flight waiters observe the
 //     same exception, later callers recompute.
 //
+// Sharding: the cache is split into `shards` lock-striped segments, each
+// with its own mutex, map, LRU clock and counters; a key lives in the
+// shard its hash selects.  With the default single shard the semantics
+// are exactly the original global-mutex cache (one LRU order over the
+// whole capacity).  With N > 1 shards, lookups of keys in different
+// shards never contend on a lock — the configuration the multi-tenant
+// serving tier (hemo::serve) uses so the cache stops being a global
+// choke point — at the cost of LRU eviction becoming per-shard (each
+// shard evicts over its own capacity/N slice).
+//
 // Artifacts are shared_ptrs, so an evicted artifact stays alive for the
 // jobs still holding it.  Type safety across callers of one key is
 // enforced with a type_index check (mixing types on a key is a contract
@@ -30,6 +40,7 @@
 #include <typeindex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace hemo::rt {
 
@@ -48,7 +59,7 @@ class ArtifactCache {
     }
   };
 
-  explicit ArtifactCache(std::size_t capacity = 256);
+  explicit ArtifactCache(std::size_t capacity = 256, std::size_t shards = 1);
 
   /// Returns the artifact for `key`, computing it with `make` (which must
   /// return std::shared_ptr<T>) if absent.  Blocks if another thread is
@@ -66,9 +77,15 @@ class ArtifactCache {
     return std::static_pointer_cast<T>(std::move(erased));
   }
 
+  /// Aggregate counters across every shard.
   Stats stats() const;
-  // immutable after construction: capacity_ is set once in the constructor
-  std::size_t capacity() const { return capacity_; }
+  /// Per-shard counters, in shard order (size() == shard_count()).
+  std::vector<Stats> shard_stats() const;
+
+  // immutable after construction: shard layout is fixed by the constructor
+  std::size_t capacity() const { return shard_capacity_ * shards_.size(); }
+  // immutable after construction: shard layout is fixed by the constructor
+  std::size_t shard_count() const { return shards_.size(); }
   void clear();
 
  private:
@@ -79,16 +96,22 @@ class ArtifactCache {
     bool ready = false;  // producing future has resolved successfully
   };
 
+  /// One lock stripe: an independent map with its own LRU clock.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+    std::uint64_t tick = 0;
+    Stats stats;
+  };
+
+  Shard& shard_of(const std::string& key);
   std::shared_ptr<void> lookup(
       const std::string& key, std::type_index type,
       const std::function<std::shared_ptr<void>()>& make);
-  void evict_excess_locked();
+  void evict_excess_locked(Shard& shard);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> map_;
-  std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  Stats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_capacity_;
 };
 
 /// Joins key parts with '/' into the canonical "a/b/c" cache-key spelling.

@@ -177,6 +177,84 @@ std::string series_label(const SeriesSpec& spec) {
   return label;
 }
 
+std::string point_key(const SeriesSpec& series,
+                      const sys::SchedulePoint& schedule) {
+  return canonical_key({"point", series_label(series),
+                        "devices=" + std::to_string(schedule.devices),
+                        "size=" + std::to_string(schedule.size_multiplier)});
+}
+
+std::optional<JobFailure> unavailable_failure(const SeriesSpec& series) {
+  if (sim::model_available(series.system, series.model)) return std::nullopt;
+  return JobFailure{series_label(series), 0, false,
+                    std::string(hal::name_of(series.model)) +
+                        " was not evaluated on " +
+                        sys::system_spec(series.system).name +
+                        " in the study"};
+}
+
+PointResult price_point(ArtifactCache& cache, const SeriesSpec& series,
+                        const sys::SchedulePoint& schedule,
+                        const JobOptions& job, const PointHooks& hooks) {
+  PointResult out;
+  out.schedule = schedule;
+
+  JobOptions options = job;
+  options.name = series_label(series) +
+                 "/devices=" + std::to_string(schedule.devices) +
+                 "/size=" + std::to_string(schedule.size_multiplier);
+
+  JobOutcome<Priced> outcome =
+      run_job<Priced>(options, [&](int attempt) -> Priced {
+        if (hooks.fault_injector)
+          hooks.fault_injector(series, schedule, attempt);
+        const std::shared_ptr<sim::Workload> workload =
+            hooks.workload_provider ? hooks.workload_provider(series)
+                                    : shared_workload(cache, series.workload);
+        // Warm the shared decomposition/halo artifact through the
+        // instrumented cache; simulate() then hits the workload's
+        // own memo for the same rank count.
+        shared_rank_stats(cache, workload, schedule.devices);
+        const sim::ClusterSimulator simulator(series.system, series.model,
+                                              series.app);
+        Priced priced;
+        priced.sim = simulator.simulate(*workload, schedule.devices,
+                                        schedule.size_multiplier);
+        priced.prediction = simulator.predict(*workload, schedule.devices,
+                                              schedule.size_multiplier);
+
+        // A rank death mid-run never fails the point: the solver
+        // shrinks onto the survivors and the point completes
+        // degraded, priced — measured and predicted both — against
+        // the devices that finished the work.
+        if (hooks.rank_failure_injector) {
+          std::optional<ShrinkProvenance> shrink =
+              hooks.rank_failure_injector(series, schedule);
+          if (shrink.has_value()) {
+            HEMO_EXPECTS(shrink->survivor_count >= 1);
+            HEMO_EXPECTS(shrink->survivor_count <= schedule.devices);
+            priced.sim = simulator.simulate(*workload, shrink->survivor_count,
+                                            schedule.size_multiplier);
+            priced.prediction = simulator.predict_degraded(
+                *workload, schedule.devices, shrink->survivor_count,
+                schedule.size_multiplier);
+            priced.shrink = std::move(shrink);
+          }
+        }
+        return priced;
+      });
+
+  out.attempts = outcome.attempts;
+  if (outcome.ok()) {
+    out.sim = outcome.value->sim;
+    out.prediction = outcome.value->prediction;
+    out.shrink = std::move(outcome.value->shrink);
+  } else {
+    out.failure = std::move(outcome.failure);
+  }
+  return out;
+}
+
 std::size_t CampaignResult::total_points() const {
   std::size_t n = 0;
   for (const SeriesResult& s : series) n += s.points.size();
@@ -241,13 +319,10 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
     // A model the study never ran on this system is a structured failure
     // of the whole series, not an abort (profile_for's contract would
     // otherwise kill the process).
-    if (!sim::model_available(series.system, series.model)) {
+    if (const std::optional<JobFailure> unavailable =
+            unavailable_failure(series)) {
       for (PointResult& point : out.series[s].points)
-        point.failure = JobFailure{
-            series_label(series), 0, false,
-            std::string(hal::name_of(series.model)) +
-                " was not evaluated on " +
-                sys::system_spec(series.system).name + " in the study"};
+        point.failure = unavailable;
       continue;
     }
 
@@ -273,65 +348,11 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
     for (PointResult& point : out.series[s].points) {
       PointResult* slot = &point;
       executor.submit([&spec, &cache, &series, slot] {
-        JobOptions options = spec.job;
-        options.name = series_label(series) +
-                       "/devices=" + std::to_string(slot->schedule.devices) +
-                       "/size=" +
-                       std::to_string(slot->schedule.size_multiplier);
-
-        JobOutcome<Priced> outcome =
-            run_job<Priced>(options, [&](int attempt) -> Priced {
-              if (spec.fault_injector)
-                spec.fault_injector(series, slot->schedule, attempt);
-              const std::shared_ptr<sim::Workload> workload =
-                  spec.workload_provider ? spec.workload_provider(series)
-                                         : shared_workload(cache, series.workload);
-              // Warm the shared decomposition/halo artifact through the
-              // instrumented cache; simulate() then hits the workload's
-              // own memo for the same rank count.
-              shared_rank_stats(cache, workload, slot->schedule.devices);
-              const sim::ClusterSimulator simulator(series.system,
-                                                    series.model, series.app);
-              Priced priced;
-              priced.sim =
-                  simulator.simulate(*workload, slot->schedule.devices,
-                                     slot->schedule.size_multiplier);
-              priced.prediction =
-                  simulator.predict(*workload, slot->schedule.devices,
-                                    slot->schedule.size_multiplier);
-
-              // A rank death mid-run never fails the point: the solver
-              // shrinks onto the survivors and the point completes
-              // degraded, priced — measured and predicted both — against
-              // the devices that finished the work.
-              if (spec.rank_failure_injector) {
-                std::optional<ShrinkProvenance> shrink =
-                    spec.rank_failure_injector(series, slot->schedule);
-                if (shrink.has_value()) {
-                  HEMO_EXPECTS(shrink->survivor_count >= 1);
-                  HEMO_EXPECTS(shrink->survivor_count <=
-                               slot->schedule.devices);
-                  priced.sim = simulator.simulate(
-                      *workload, shrink->survivor_count,
-                      slot->schedule.size_multiplier);
-                  priced.prediction = simulator.predict_degraded(
-                      *workload, slot->schedule.devices,
-                      shrink->survivor_count,
-                      slot->schedule.size_multiplier);
-                  priced.shrink = std::move(shrink);
-                }
-              }
-              return priced;
-            });
-
-        slot->attempts = outcome.attempts;
-        if (outcome.ok()) {
-          slot->sim = outcome.value->sim;
-          slot->prediction = outcome.value->prediction;
-          slot->shrink = std::move(outcome.value->shrink);
-        } else {
-          slot->failure = std::move(outcome.failure);
-        }
+        PointHooks hooks;
+        hooks.workload_provider = spec.workload_provider;
+        hooks.fault_injector = spec.fault_injector;
+        hooks.rank_failure_injector = spec.rank_failure_injector;
+        *slot = price_point(cache, series, slot->schedule, spec.job, hooks);
       });
     }
   }
@@ -340,6 +361,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
   out.executor = executor.stats();
   executor.shutdown();
   out.cache = cache.stats();
+  out.cache_shards = cache.shard_stats();
   out.wall_s = std::chrono::duration<double>(clock::now() - start).count();
   return out;
 }
@@ -527,10 +549,25 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
   os << "  \"cache\": {\"hits\": " << result.cache.hits
      << ", \"misses\": " << result.cache.misses
      << ", \"evictions\": " << result.cache.evictions
-     << ", \"hit_rate\": " << fmt_double(result.cache.hit_rate()) << "},\n";
+     << ", \"entries\": " << result.cache.entries
+     << ", \"hit_rate\": " << fmt_double(result.cache.hit_rate());
+  if (!result.cache_shards.empty()) {
+    os << ",\n    \"shards\": [";
+    for (std::size_t i = 0; i < result.cache_shards.size(); ++i) {
+      const ArtifactCache::Stats& shard = result.cache_shards[i];
+      os << (i ? ",\n               " : "") << "{\"hits\": " << shard.hits
+         << ", \"misses\": " << shard.misses
+         << ", \"evictions\": " << shard.evictions
+         << ", \"entries\": " << shard.entries << "}";
+    }
+    os << "]";
+  }
+  os << "},\n";
   os << "  \"executor\": {\"submitted\": " << result.executor.submitted
      << ", \"executed\": " << result.executor.executed
-     << ", \"stolen\": " << result.executor.stolen << "},\n";
+     << ", \"stolen\": " << result.executor.stolen
+     << ", \"queue_high_watermark\": "
+     << result.executor.queue_high_watermark << "},\n";
   if (!result.traffic_audit_json.empty())
     os << "  \"traffic_audit\": " << result.traffic_audit_json << ",\n";
   os << "  \"series\": [\n";

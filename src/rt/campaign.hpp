@@ -151,12 +151,52 @@ struct SeriesResult {
   std::vector<PointResult> points;  // schedule order
 };
 
+// ---------------------------------------------------------------------------
+// Point-level pricing: the unit of work both run_campaign and the
+// hemo-serve dispatcher execute.  Factored out so the serving tier prices
+// points through literally the same code path as the batch campaign —
+// the byte-identical-output guarantee between the two rests on this.
+// ---------------------------------------------------------------------------
+
+/// The optional per-point hooks of CampaignSpec, bundled so price_point
+/// can be called outside a campaign (the serving tier passes none).
+struct PointHooks {
+  std::function<std::shared_ptr<sim::Workload>(const SeriesSpec&)>
+      workload_provider;
+  std::function<void(const SeriesSpec&, const sys::SchedulePoint&,
+                     int attempt)>
+      fault_injector;
+  std::function<std::optional<ShrinkProvenance>(const SeriesSpec&,
+                                                const sys::SchedulePoint&)>
+      rank_failure_injector;
+};
+
+/// Canonical identity of one evaluation point — the coalescing and
+/// result-memo key of the serving tier:
+/// "point/Summit/CUDA/HARVEY/aorta/devices=64/size=2".
+std::string point_key(const SeriesSpec& series,
+                      const sys::SchedulePoint& schedule);
+
+/// The structured failure a series gets when the study never evaluated
+/// its model on its system (attempts = 0, one message per point);
+/// nullopt when the combination is available.
+std::optional<JobFailure> unavailable_failure(const SeriesSpec& series);
+
+/// Prices one (series, schedule point) with job-level retry/timeout and
+/// artifact sharing through `cache`.  Never throws: a failed job is
+/// captured on the returned PointResult.  Availability is NOT checked
+/// here (see unavailable_failure).
+PointResult price_point(ArtifactCache& cache, const SeriesSpec& series,
+                        const sys::SchedulePoint& schedule,
+                        const JobOptions& job, const PointHooks& hooks = {});
+
 struct CampaignResult {
   std::string name;
   int workers = 0;
   double wall_s = 0.0;
   std::vector<SeriesResult> series;  // spec order
-  ArtifactCache::Stats cache;
+  ArtifactCache::Stats cache;                 // aggregate across shards
+  std::vector<ArtifactCache::Stats> cache_shards;  // per lock stripe
   Executor::Stats executor;
 
   /// Optional pre-rendered JSON object from the hemo-flux static traffic

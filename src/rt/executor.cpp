@@ -45,6 +45,8 @@ void Executor::submit(Task task) {
   ++queued_;
   ++pending_;
   ++stats_.submitted;
+  stats_.queue_high_watermark =
+      std::max<std::uint64_t>(stats_.queue_high_watermark, queued_);
   cv_work_.notify_one();
 }
 

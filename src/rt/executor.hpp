@@ -45,6 +45,10 @@ class Executor {
     std::uint64_t submitted = 0;
     std::uint64_t executed = 0;
     std::uint64_t stolen = 0;  // tasks a worker took from another's deque
+    /// Most tasks ever waiting in the deques at once: how deep the backlog
+    /// got behind the workers.  Admission control (hemo::serve) reads this
+    /// to see how close a serving executor came to its queue bound.
+    std::uint64_t queue_high_watermark = 0;
   };
 
   explicit Executor(ExecutorOptions options = {});

@@ -1,0 +1,100 @@
+#include "serve/admission.hpp"
+
+#include <cmath>
+
+#include "base/contracts.hpp"
+#include "perf/model.hpp"
+
+namespace hemo::serve {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kBadRequest: return "bad_request";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kOverBudget: return "over_budget";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(TenantConfig defaults)
+    : defaults_(defaults) {}
+
+void AdmissionController::configure(const std::string& tenant,
+                                    const TenantConfig& config) {
+  HEMO_EXPECTS(config.weight > 0.0);
+  HEMO_EXPECTS(config.budget > 0.0);
+  HEMO_EXPECTS(config.max_pending_points >= 1);
+  tenants_[tenant].config = config;
+}
+
+AdmissionController::Decision AdmissionController::admit(
+    const std::string& tenant, double cost, int points) {
+  HEMO_EXPECTS(cost >= 0.0);
+  HEMO_EXPECTS(points >= 1);
+  TenantUsage& usage = usage_of(tenant);
+
+  Decision decision;
+  if (usage.pending_points + points > usage.config.max_pending_points) {
+    decision.reason = RejectReason::kQueueFull;
+    decision.detail = "tenant '" + tenant + "' has " +
+                      std::to_string(usage.pending_points) +
+                      " pending points; +" + std::to_string(points) +
+                      " exceeds the bound of " +
+                      std::to_string(usage.config.max_pending_points);
+    ++usage.rejected;
+    return decision;
+  }
+  if (usage.charged + cost > usage.config.budget) {
+    decision.reason = RejectReason::kOverBudget;
+    decision.detail = "predicted cost " + std::to_string(cost) +
+                      " device-seconds on top of " +
+                      std::to_string(usage.charged) +
+                      " outstanding exceeds tenant '" + tenant +
+                      "' budget " + std::to_string(usage.config.budget);
+    ++usage.rejected;
+    return decision;
+  }
+
+  usage.charged += cost;
+  usage.pending_points += points;
+  ++usage.admitted;
+  decision.admitted = true;
+  return decision;
+}
+
+void AdmissionController::release_point(const std::string& tenant,
+                                        double cost) {
+  TenantUsage& usage = usage_of(tenant);
+  HEMO_EXPECTS(usage.pending_points >= 1);
+  usage.charged = std::max(0.0, usage.charged - cost);
+  --usage.pending_points;
+  // Rounding of per-point shares must not leave a phantom charge behind.
+  if (usage.pending_points == 0 && usage.charged < 1e-9) usage.charged = 0.0;
+  ++usage.completed_points;
+}
+
+const TenantUsage& AdmissionController::usage(const std::string& tenant) {
+  return usage_of(tenant);
+}
+
+TenantUsage& AdmissionController::usage_of(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end())
+    it = tenants_.emplace(tenant, TenantUsage{defaults_, 0.0, 0, 0, 0, 0})
+             .first;
+  return it->second;
+}
+
+double predicted_point_cost(rt::ArtifactCache& cache,
+                            const rt::SeriesSpec& series,
+                            const sys::SchedulePoint& schedule) {
+  const std::shared_ptr<sim::Workload> workload =
+      rt::shared_workload(cache, series.workload);
+  const perf::PerformanceModel model(sys::system_spec(series.system));
+  const perf::Prediction prediction = model.predict(
+      workload->target_points(schedule.size_multiplier), schedule.devices);
+  return prediction.t_total_s * schedule.devices;
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,105 @@
+#pragma once
+// Admission control for the hemo-serve campaign service: every submit is
+// priced before it is accepted, and a tenant can only hold a bounded
+// amount of predicted work in the system at once.
+//
+// Pricing: the cost of a request is the sum over its points of the
+// paper's ideal iteration time (perf::PerformanceModel, Eqs. 1-4)
+// multiplied by the point's device count — predicted device-seconds, the
+// same quantity the miniLB-style per-point cost model prices (PAPERS.md).
+// A cheap interactive probe on 2 devices and a 1024-device weak-scaling
+// sweep therefore charge proportionally to the capacity they would
+// actually occupy, not per request.
+//
+// Budget model: a tenant's budget is the predicted cost it may have
+// *outstanding* (admitted but not yet completed).  Admission charges the
+// request's cost; completion releases it.  This is deliberately
+// wall-clock-free — deterministic to test, and self-correcting: a tenant
+// that floods the service is throttled until its own work drains.
+//
+// The controller is plain data guarded by its owner (the Server's one
+// mutex); it does no locking of its own.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "rt/cache.hpp"
+#include "rt/campaign.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::serve {
+
+/// Why a submit was turned away.  Wire spelling via reject_reason_name.
+enum class RejectReason {
+  kBadRequest,    // malformed JSON, unknown figure/series, no tenant
+  kQueueFull,     // tenant's pending-point bound exceeded
+  kOverBudget,    // predicted cost exceeds the tenant's remaining budget
+  kShuttingDown,  // server no longer accepts work
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+struct TenantConfig {
+  /// Fair-share weight: a tenant with weight 2 is dispatched twice as
+  /// often as a tenant with weight 1 while both have queued points.
+  double weight = 1.0;
+  /// Max predicted cost (device-seconds) admitted but not yet completed.
+  double budget = std::numeric_limits<double>::infinity();
+  /// Max points admitted but not yet completed.
+  int max_pending_points = 4096;
+};
+
+/// Live accounting for one tenant.
+struct TenantUsage {
+  TenantConfig config;
+  double charged = 0.0;      // outstanding predicted cost
+  int pending_points = 0;    // outstanding points
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed_points = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantConfig defaults = {});
+
+  /// Sets (or replaces) one tenant's config; existing charges carry over.
+  void configure(const std::string& tenant, const TenantConfig& config);
+
+  struct Decision {
+    bool admitted = false;
+    RejectReason reason = RejectReason::kBadRequest;
+    std::string detail;
+  };
+
+  /// Decides one request of `points` points with predicted cost `cost`,
+  /// charging the tenant on admission.
+  Decision admit(const std::string& tenant, double cost, int points);
+
+  /// Releases one completed point's share; `cost` must be the per-point
+  /// cost charged at admission (the server tracks it per request).
+  void release_point(const std::string& tenant, double cost);
+
+  const TenantUsage& usage(const std::string& tenant);
+  const std::map<std::string, TenantUsage>& tenants() const {
+    return tenants_;
+  }
+
+ private:
+  TenantUsage& usage_of(const std::string& tenant);  // creates on first use
+
+  TenantConfig defaults_;
+  std::map<std::string, TenantUsage> tenants_;  // ordered: stable reports
+};
+
+/// Predicted cost of one evaluation point in device-seconds: the paper's
+/// ideal iteration time (Eqs. 1-4) for the point's workload at its device
+/// count, times the devices it occupies.  The workload is resolved
+/// through `cache`, so pricing shares the voxelization with execution.
+double predicted_point_cost(rt::ArtifactCache& cache,
+                            const rt::SeriesSpec& series,
+                            const sys::SchedulePoint& schedule);
+
+}  // namespace hemo::serve

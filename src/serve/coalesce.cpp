@@ -1,0 +1,65 @@
+#include "serve/coalesce.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::serve {
+
+CoalescingBoard::CoalescingBoard(std::size_t memo_capacity)
+    : memo_capacity_(std::max<std::size_t>(1, memo_capacity)) {}
+
+CoalescingBoard::Claim CoalescingBoard::claim(
+    const std::string& key, const PointSubscriber& subscriber,
+    rt::PointResult* memoized) {
+  auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    flight->second.subscribers.push_back(subscriber);
+    ++stats_.coalesced;
+    return Claim::kCoalesced;
+  }
+  auto memo = memo_.find(key);
+  if (memo != memo_.end()) {
+    memo->second.last_used = ++tick_;
+    *memoized = memo->second.result;
+    ++stats_.memo_hits;
+    return Claim::kMemoized;
+  }
+  inflight_.emplace(key, InFlight{{subscriber}});
+  ++stats_.executions;
+  return Claim::kExecute;
+}
+
+std::vector<PointSubscriber> CoalescingBoard::complete(
+    const std::string& key, const rt::PointResult& result) {
+  auto flight = inflight_.find(key);
+  HEMO_EXPECTS(flight != inflight_.end());
+  std::vector<PointSubscriber> subscribers =
+      std::move(flight->second.subscribers);
+  inflight_.erase(flight);
+
+  if (result.ok()) {  // failures are not memoized: later requests retry
+    memo_[key] = MemoEntry{result, ++tick_};
+    evict_memo_excess();
+  }
+  return subscribers;
+}
+
+void CoalescingBoard::evict_memo_excess() {
+  while (memo_.size() > memo_capacity_) {
+    auto victim = memo_.begin();
+    for (auto it = memo_.begin(); it != memo_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    memo_.erase(victim);
+    ++stats_.memo_evictions;
+  }
+}
+
+CoalescingBoard::Stats CoalescingBoard::stats() const {
+  Stats out = stats_;
+  out.memo_entries = memo_.size();
+  out.inflight = inflight_.size();
+  return out;
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,91 @@
+#pragma once
+// Request coalescing for the hemo-serve campaign service: identical
+// evaluation points — same (system, model, app, workload, devices, size)
+// key, from any tenant — are computed once and fanned out to every
+// subscriber.
+//
+// Two layers:
+//   - In-flight coalescing: while a point is executing, a second request
+//     for the same key subscribes to the running execution instead of
+//     starting its own (it also does not consume a dispatch slot).
+//   - Result memo: a completed point's result is retained (bounded,
+//     LRU-evicted) so an identical point submitted *after* completion is
+//     answered immediately with zero executions — the serving-tier
+//     analogue of the ArtifactCache, one level up: it memoizes priced
+//     points, not intermediates.  Points are pure functions of their key,
+//     so memoized delivery is byte-identical to re-execution.
+//
+// Only clean results are memoized: a failed point (e.g. a timeout) is
+// fanned out to its subscribers but NOT retained, so later requests retry
+// it — the same "failures are not cached" rule the ArtifactCache follows.
+//
+// The board is plain data guarded by its owner (the Server's one mutex);
+// it does no locking of its own.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/campaign.hpp"
+
+namespace hemo::serve {
+
+/// One (request, slot) waiting for a point's result.
+struct PointSubscriber {
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  std::size_t series_index = 0;
+  std::size_t point_index = 0;
+};
+
+class CoalescingBoard {
+ public:
+  explicit CoalescingBoard(std::size_t memo_capacity = 4096);
+
+  enum class Claim {
+    kExecute,    // caller must execute; subscriber registered as first
+    kCoalesced,  // an identical point is in flight; subscriber attached
+    kMemoized,   // completed result copied to *memoized; no execution
+  };
+
+  /// Routes one dispatched point: start an execution, join the in-flight
+  /// one, or answer from the memo.
+  Claim claim(const std::string& key, const PointSubscriber& subscriber,
+              rt::PointResult* memoized);
+
+  /// Completes the in-flight execution of `key`, returning its
+  /// subscribers (first = the executor) and memoizing clean results.
+  std::vector<PointSubscriber> complete(const std::string& key,
+                                        const rt::PointResult& result);
+
+  struct Stats {
+    std::uint64_t executions = 0;      // claims that started an execution
+    std::uint64_t coalesced = 0;       // claims joined to an in-flight one
+    std::uint64_t memo_hits = 0;       // claims answered from the memo
+    std::uint64_t memo_evictions = 0;
+    std::uint64_t memo_entries = 0;    // resident when stats() was taken
+    std::uint64_t inflight = 0;        // executing when stats() was taken
+  };
+  Stats stats() const;
+
+ private:
+  struct InFlight {
+    std::vector<PointSubscriber> subscribers;
+  };
+  struct MemoEntry {
+    rt::PointResult result;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_memo_excess();
+
+  std::size_t memo_capacity_;
+  std::unordered_map<std::string, InFlight> inflight_;
+  std::unordered_map<std::string, MemoEntry> memo_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hemo::serve

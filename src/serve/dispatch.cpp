@@ -1,0 +1,69 @@
+#include "serve/dispatch.hpp"
+
+#include <algorithm>
+
+#include "base/contracts.hpp"
+
+namespace hemo::serve {
+
+namespace {
+// Floor on weights so a full ring pass always accumulates credit on some
+// nonempty tenant (termination of pop()'s scan).
+constexpr double kMinWeight = 0.01;
+}  // namespace
+
+void FairShareDispatcher::set_weight(const std::string& tenant,
+                                     double weight) {
+  tenant_of(tenant).weight = std::max(kMinWeight, weight);
+}
+
+void FairShareDispatcher::enqueue(PointTask task) {
+  HEMO_EXPECTS(!task.tenant.empty());
+  tenant_of(task.tenant).points.push_back(std::move(task));
+  ++queued_;
+}
+
+bool FairShareDispatcher::pop(PointTask* out) {
+  if (queued_ == 0) return false;
+  // Bounded scan: each full ring pass adds >= kMinWeight of credit to the
+  // first nonempty tenant it visits, so some tenant reaches credit >= 1
+  // within ceil(1/kMinWeight) passes.
+  for (;;) {
+    TenantQueue& tenant = ring_[cursor_];
+    if (tenant.points.empty()) {
+      // No stockpiling: an empty tenant re-earns credit from zero when
+      // its next burst arrives, instead of draining it all at once.
+      tenant.credit = 0.0;
+      cursor_ = (cursor_ + 1) % ring_.size();
+      continue;
+    }
+    // Earn once per visit; a tenant mid-burst (credit still >= 1 from the
+    // last visit) keeps spending before the ring moves on.
+    if (tenant.credit < 1.0) tenant.credit += tenant.weight;
+    if (tenant.credit >= 1.0) {
+      tenant.credit -= 1.0;
+      *out = std::move(tenant.points.front());
+      tenant.points.pop_front();
+      --queued_;
+      ++dispatched_;
+      if (tenant.points.empty()) {
+        tenant.credit = 0.0;
+        cursor_ = (cursor_ + 1) % ring_.size();
+      } else if (tenant.credit < 1.0) {
+        cursor_ = (cursor_ + 1) % ring_.size();  // burst spent
+      }
+      return true;
+    }
+    cursor_ = (cursor_ + 1) % ring_.size();  // weight < 1: keep earning
+  }
+}
+
+FairShareDispatcher::TenantQueue& FairShareDispatcher::tenant_of(
+    const std::string& name) {
+  for (TenantQueue& tenant : ring_)
+    if (tenant.name == name) return tenant;
+  ring_.push_back(TenantQueue{name, 1.0, 0.0, {}});
+  return ring_.back();
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,82 @@
+#pragma once
+// Weighted fair-share dispatcher for the hemo-serve campaign service: a
+// deficit-round-robin scheduler over per-tenant FIFO point queues, sitting
+// between admission control and the shared rt::Executor.
+//
+// Why not just submit everything to the executor?  The executor drains
+// its deques in submit order (modulo stealing), so a 10k-point bulk
+// campaign submitted first would finish before an interactive tenant's
+// 10 points even start.  The dispatcher instead holds the backlog in
+// per-tenant queues and releases points into a bounded executor window,
+// choosing tenants by weighted round robin — so an interactive tenant's
+// completion time is bounded by the number of *tenants* ahead of each of
+// its points, never by another tenant's backlog depth.
+//
+// Scheduling rule (deficit round robin, quantum = weight): the dispatcher
+// cycles a stable tenant ring (first-enqueue order).  Visiting a tenant
+// with queued work adds its weight to the tenant's credit; while the
+// credit is >= 1 and work remains, points are popped (1 credit each)
+// before the ring advances.  Equal weights therefore alternate strictly;
+// weight 2 vs 1 yields A A B A A B.  A tenant's credit is cleared when
+// its queue empties, so later bursts cannot cash in hoarded credit.
+//
+// The dispatcher is plain data guarded by its owner (the Server's one
+// mutex); it does no locking of its own and is fully deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "rt/campaign.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::serve {
+
+/// One queued evaluation point of one admitted request.
+struct PointTask {
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  std::size_t series_index = 0;
+  std::size_t point_index = 0;
+  rt::SeriesSpec series;
+  sys::SchedulePoint schedule;
+  std::string key;  // rt::point_key(series, schedule)
+};
+
+class FairShareDispatcher {
+ public:
+  /// Sets the weight used for a tenant's future scheduling decisions
+  /// (default 1.0).  May be called before or after the tenant has work.
+  void set_weight(const std::string& tenant, double weight);
+
+  /// Appends a point to its tenant's FIFO queue.
+  void enqueue(PointTask task);
+
+  /// Pops the next point by weighted round robin.  False when empty.
+  bool pop(PointTask* out);
+
+  std::size_t queued() const { return queued_; }
+  bool empty() const { return queued_ == 0; }
+  /// Points handed out so far; the dispatch sequence number of the next
+  /// pop.  The fairness tests bound an interactive tenant's last point's
+  /// sequence number independent of the bulk backlog.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct TenantQueue {
+    std::string name;
+    double weight = 1.0;
+    double credit = 0.0;
+    std::deque<PointTask> points;
+  };
+
+  TenantQueue& tenant_of(const std::string& name);  // creates on first use
+
+  std::vector<TenantQueue> ring_;  // stable first-enqueue order
+  std::size_t cursor_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace hemo::serve

@@ -1,0 +1,529 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "base/contracts.hpp"
+#include "serve/protocol.hpp"
+
+namespace hemo::serve {
+
+namespace {
+
+// %.9g, matching the campaign sinks, so the wire stream round-trips the
+// same digits the CSV/JSON files carry.
+std::string fmt_double(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+rt::ExecutorOptions executor_options(const ServeOptions& options) {
+  rt::ExecutorOptions eo;
+  eo.workers = options.workers;
+  // The in-flight window must never hit the executor's queue bound:
+  // pump_locked submits while holding the server mutex, and blocking
+  // there on backpressure would stall every completion.
+  eo.queue_capacity = std::max<std::size_t>(4096, options.max_inflight + 1);
+  return eo;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      executor_(executor_options(options_)),
+      max_inflight_(options_.max_inflight
+                        ? options_.max_inflight
+                        : 2 * static_cast<std::size_t>(executor_.workers())),
+      admission_(options_.tenant_defaults),
+      board_(options_.memo_capacity) {}
+
+Server::~Server() {
+  begin_shutdown();
+  wait_idle();
+  executor_.shutdown();
+}
+
+void Server::configure_tenant(const std::string& tenant,
+                              const TenantConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_.configure(tenant, config);
+  dispatcher_.set_weight(tenant, config.weight);
+}
+
+Server::SubmitOutcome Server::submit(const std::string& tenant,
+                                     const std::string& name,
+                                     const std::vector<rt::SeriesSpec>& series,
+                                     EventSink sink) {
+  HEMO_EXPECTS(sink != nullptr);
+
+  SubmitOutcome outcome;
+  if (tenant.empty() || series.empty()) {
+    outcome.reason = RejectReason::kBadRequest;
+    outcome.detail = tenant.empty() ? "missing tenant" : "empty series list";
+    reject_bad_request(outcome.detail, sink);
+    return outcome;
+  }
+
+  // Phase 1, unlocked: lay out and price every point.  Pricing resolves
+  // workloads through the shared cache, so a first-seen geometry is
+  // voxelized here, outside the scheduling lock, and reused by execution.
+  struct SeriesLayout {
+    std::vector<sys::SchedulePoint> schedule;
+    std::optional<rt::JobFailure> unavailable;
+  };
+  std::vector<SeriesLayout> layout(series.size());
+  std::vector<std::vector<double>> point_costs(series.size());
+  std::size_t total_points = 0;
+  double total_cost = 0.0;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    layout[s].schedule = sys::piecewise_schedule(
+        sys::system_spec(series[s].system).max_devices);
+    layout[s].unavailable = rt::unavailable_failure(series[s]);
+    point_costs[s].resize(layout[s].schedule.size(), 0.0);
+    total_points += layout[s].schedule.size();
+    if (layout[s].unavailable) continue;  // never priced, never executed
+    for (std::size_t k = 0; k < layout[s].schedule.size(); ++k) {
+      point_costs[s][k] =
+          predicted_point_cost(cache_, series[s], layout[s].schedule[k]);
+      total_cost += point_costs[s][k];
+    }
+  }
+
+  // Phase 2, locked: admit, register, queue, pump.
+  std::vector<Delivery> deliveries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      ++counters_.rejected_shutting_down;
+      outcome.reason = RejectReason::kShuttingDown;
+      outcome.detail = "server is shutting down";
+    } else {
+      const AdmissionController::Decision decision = admission_.admit(
+          tenant, total_cost, static_cast<int>(total_points));
+      if (!decision.admitted) {
+        switch (decision.reason) {
+          case RejectReason::kQueueFull: ++counters_.rejected_queue_full; break;
+          case RejectReason::kOverBudget: ++counters_.rejected_over_budget; break;
+          default: ++counters_.rejected_bad_request; break;
+        }
+        outcome.reason = decision.reason;
+        outcome.detail = decision.detail;
+      } else {
+        auto request = std::make_shared<RequestState>();
+        request->id = ++next_request_id_;
+        request->tenant = tenant;
+        request->name = name.empty() ? "campaign" : name;
+        request->series = series;
+        request->point_costs = std::move(point_costs);
+        request->total_points = total_points;
+        request->cost = total_cost;
+        request->start = std::chrono::steady_clock::now();
+        request->sink = std::move(sink);
+        requests_.emplace(request->id, request);
+        ++counters_.requests_admitted;
+        counters_.points_admitted += total_points;
+
+        outcome.admitted = true;
+        outcome.request_id = request->id;
+
+        Event accepted;
+        accepted.kind = Event::Kind::kAccepted;
+        accepted.request_id = request->id;
+        accepted.tenant = tenant;
+        accepted.name = request->name;
+        accepted.points = total_points;
+        accepted.cost = total_cost;
+        deliveries.push_back({request->sink, accepted});
+
+        for (std::size_t s = 0; s < series.size(); ++s) {
+          for (std::size_t k = 0; k < layout[s].schedule.size(); ++k) {
+            if (layout[s].unavailable) {
+              // The study never evaluated this combination: deliver the
+              // same structured failure run_campaign records, with no
+              // dispatch (attempts stays 0).
+              rt::PointResult failed;
+              failed.schedule = layout[s].schedule[k];
+              failed.failure = layout[s].unavailable;
+              record_point_locked({request->id, tenant, s, k}, failed,
+                                  /*coalesced=*/false, &deliveries);
+              continue;
+            }
+            PointTask task;
+            task.request_id = request->id;
+            task.tenant = tenant;
+            task.series_index = s;
+            task.point_index = k;
+            task.series = series[s];
+            task.schedule = layout[s].schedule[k];
+            task.key = rt::point_key(series[s], layout[s].schedule[k]);
+            dispatcher_.enqueue(std::move(task));
+          }
+        }
+        pump_locked(&deliveries);
+      }
+    }
+  }
+
+  if (!outcome.admitted && sink) {
+    Event rejected;
+    rejected.kind = Event::Kind::kRejected;
+    rejected.tenant = tenant;
+    rejected.name = name;
+    rejected.reason = outcome.reason;
+    rejected.detail = outcome.detail;
+    deliveries.push_back({std::move(sink), rejected});
+  }
+  emit(deliveries);
+  return outcome;
+}
+
+void Server::reject_bad_request(const std::string& detail,
+                                const EventSink& sink) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected_bad_request;
+  }
+  if (!sink) return;
+  Event rejected;
+  rejected.kind = Event::Kind::kRejected;
+  rejected.reason = RejectReason::kBadRequest;
+  rejected.detail = detail;
+  sink(rejected);
+}
+
+void Server::pump_locked(std::vector<Delivery>* deliveries) {
+  // requires mu_ held
+  PointTask task;
+  while (inflight_ < max_inflight_ && dispatcher_.pop(&task)) {
+    ++counters_.dispatched;
+    const PointSubscriber subscriber{task.request_id, task.tenant,
+                                     task.series_index, task.point_index};
+    rt::PointResult memoized;
+    const CoalescingBoard::Claim claim =
+        board_.claim(task.key, subscriber, &memoized);
+    switch (claim) {
+      case CoalescingBoard::Claim::kExecute:
+        ++inflight_;
+        executor_.submit([this, task] {
+          if (options_.execution_hook)
+            options_.execution_hook(task.series, task.schedule);
+          const rt::PointResult result = rt::price_point(
+              cache_, task.series, task.schedule, options_.job);
+          on_point_complete(task, result);
+        });
+        break;
+      case CoalescingBoard::Claim::kMemoized:
+        record_point_locked(subscriber, memoized, /*coalesced=*/true,
+                            deliveries);
+        break;
+      case CoalescingBoard::Claim::kCoalesced:
+        // Attached to the in-flight execution; delivered on completion.
+        // No in-flight slot consumed: the window bounds executions.
+        break;
+    }
+  }
+}
+
+void Server::record_point_locked(const PointSubscriber& subscriber,
+                                 const rt::PointResult& result,
+                                 bool coalesced,
+                                 std::vector<Delivery>* deliveries) {
+  // requires mu_ held
+  auto it = requests_.find(subscriber.request_id);
+  HEMO_EXPECTS(it != requests_.end());
+  const std::shared_ptr<RequestState> request = it->second;
+
+  admission_.release_point(
+      request->tenant,
+      request->point_costs[subscriber.series_index][subscriber.point_index]);
+  ++counters_.points_completed;
+  ++request->done_points;
+  if (!result.ok()) ++request->failed_points;
+
+  Event point;
+  point.kind = Event::Kind::kPoint;
+  point.request_id = request->id;
+  point.tenant = request->tenant;
+  point.name = request->name;
+  point.series_index = subscriber.series_index;
+  point.point_index = subscriber.point_index;
+  point.series = request->series[subscriber.series_index];
+  point.result = result;
+  point.coalesced = coalesced;
+  deliveries->push_back({request->sink, std::move(point)});
+
+  if (request->done_points == request->total_points) {
+    Event done;
+    done.kind = Event::Kind::kDone;
+    done.request_id = request->id;
+    done.tenant = request->tenant;
+    done.name = request->name;
+    done.points = request->total_points;
+    done.cost = request->cost;
+    done.failed = request->failed_points;
+    done.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - request->start)
+                      .count();
+    deliveries->push_back({request->sink, std::move(done)});
+    requests_.erase(it);
+    if (requests_.empty()) cv_idle_.notify_all();
+  }
+}
+
+void Server::on_point_complete(const PointTask& task,
+                               const rt::PointResult& result) {
+  std::vector<Delivery> deliveries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    const std::vector<PointSubscriber> subscribers =
+        board_.complete(task.key, result);
+    // The first subscriber claimed the execution; the rest coalesced
+    // onto it and are marked as such in their events.
+    for (std::size_t i = 0; i < subscribers.size(); ++i)
+      record_point_locked(subscribers[i], result, /*coalesced=*/i > 0,
+                          &deliveries);
+    pump_locked(&deliveries);
+  }
+  emit(deliveries);
+}
+
+void Server::emit(std::vector<Delivery>& deliveries) {
+  for (Delivery& delivery : deliveries) delivery.sink(delivery.event);
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats out = counters_;
+  out.queued = dispatcher_.queued();
+  out.dispatched = dispatcher_.dispatched();
+  out.board = board_.stats();
+  out.cache = cache_.stats();
+  out.cache_shards = cache_.shard_stats();
+  out.executor = executor_.stats();
+  for (const auto& [name, usage] : admission_.tenants())
+    out.tenants.emplace_back(name, usage);
+  return out;
+}
+
+void Server::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return requests_.empty(); });
+}
+
+void Server::begin_shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutting_down_ = true;
+}
+
+bool Server::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutting_down_;
+}
+
+// ---------------------------------------------------------------------------
+// ServeHandle
+// ---------------------------------------------------------------------------
+
+ServeHandle::ServeHandle(Server& server, std::string tenant)
+    : server_(server), tenant_(std::move(tenant)) {}
+
+Server::SubmitOutcome ServeHandle::submit(
+    const std::string& name, const std::vector<rt::SeriesSpec>& series) {
+  const Server::SubmitOutcome outcome =
+      server_.submit(tenant_, name, series, [this](const Event& event) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          events_.push_back(event);
+        }
+        cv_.notify_all();
+      });
+  if (outcome.admitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_[outcome.request_id] =
+        Submitted{name.empty() ? "campaign" : name, series};
+  }
+  return outcome;
+}
+
+std::optional<Event> ServeHandle::next_event(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !events_.empty(); }))
+    return std::nullopt;
+  Event event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+Event ServeHandle::pop_event_of_locked(std::unique_lock<std::mutex>& lock,
+                                       std::uint64_t request_id) {
+  // requires `lock` held on mu_
+  for (;;) {
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->request_id != request_id) continue;
+      Event event = std::move(*it);
+      events_.erase(it);
+      return event;
+    }
+    cv_.wait(lock);
+  }
+}
+
+rt::CampaignResult ServeHandle::wait(std::uint64_t request_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto submitted = submitted_.find(request_id);
+  HEMO_EXPECTS(submitted != submitted_.end() &&
+               "wait() is only valid for an admitted request of this handle");
+
+  // Pre-assign the slot layout exactly as run_campaign does, then fill
+  // slots from point events as they arrive (any completion order).
+  rt::CampaignResult result;
+  result.name = submitted->second.name;
+  result.workers = server_.workers();
+  result.series.resize(submitted->second.series.size());
+  for (std::size_t s = 0; s < result.series.size(); ++s) {
+    result.series[s].spec = submitted->second.series[s];
+    const std::vector<sys::SchedulePoint> schedule = sys::piecewise_schedule(
+        sys::system_spec(submitted->second.series[s].system).max_devices);
+    result.series[s].points.resize(schedule.size());
+    for (std::size_t k = 0; k < schedule.size(); ++k)
+      result.series[s].points[k].schedule = schedule[k];
+  }
+  submitted_.erase(submitted);
+
+  for (;;) {
+    const Event event = pop_event_of_locked(lock, request_id);
+    if (event.kind == Event::Kind::kPoint) {
+      result.series[event.series_index].points[event.point_index] =
+          event.result;
+    } else if (event.kind == Event::Kind::kDone) {
+      result.wall_s = event.wall_s;
+      break;
+    }
+  }
+  lock.unlock();
+
+  // Runtime metadata is the server's, shared across every tenant.
+  const ServeStats stats = server_.stats();
+  result.cache = stats.cache;
+  result.cache_shards = stats.cache_shards;
+  result.executor = stats.executor;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Wire serialization
+// ---------------------------------------------------------------------------
+
+std::string event_json(const Event& event) {
+  std::ostringstream os;
+  switch (event.kind) {
+    case Event::Kind::kAccepted:
+      os << "{\"event\": \"accepted\", \"request\": " << event.request_id
+         << ", \"tenant\": \"" << json_escape(event.tenant)
+         << "\", \"name\": \"" << json_escape(event.name)
+         << "\", \"points\": " << event.points
+         << ", \"cost\": " << fmt_double(event.cost) << "}";
+      break;
+    case Event::Kind::kRejected:
+      os << "{\"event\": \"rejected\", \"tenant\": \""
+         << json_escape(event.tenant) << "\", \"reason\": \""
+         << reject_reason_name(event.reason) << "\", \"detail\": \""
+         << json_escape(event.detail) << "\"}";
+      break;
+    case Event::Kind::kPoint: {
+      const rt::PointResult& p = event.result;
+      os << "{\"event\": \"point\", \"request\": " << event.request_id
+         << ", \"tenant\": \"" << json_escape(event.tenant)
+         << "\", \"series\": " << event.series_index
+         << ", \"point\": " << event.point_index << ", \"label\": \""
+         << json_escape(rt::series_label(event.series))
+         << "\", \"devices\": " << p.schedule.devices
+         << ", \"size_multiplier\": " << p.schedule.size_multiplier
+         << ", \"attempts\": " << p.attempts;
+      if (p.ok()) {
+        os << ", \"status\": \"" << (p.degraded() ? "degraded" : "ok")
+           << "\", \"mflups\": " << fmt_double(p.sim.mflups)
+           << ", \"iteration_s\": " << fmt_double(p.sim.iteration_s)
+           << ", \"predicted_mflups\": " << fmt_double(p.prediction.mflups);
+      } else {
+        os << ", \"status\": \""
+           << (p.failure->timed_out ? "timeout" : "failed")
+           << "\", \"error\": \"" << json_escape(p.failure->message) << "\"";
+      }
+      os << ", \"coalesced\": " << (event.coalesced ? "true" : "false")
+         << "}";
+      break;
+    }
+    case Event::Kind::kDone:
+      os << "{\"event\": \"done\", \"request\": " << event.request_id
+         << ", \"tenant\": \"" << json_escape(event.tenant)
+         << "\", \"points\": " << event.points
+         << ", \"failed\": " << event.failed
+         << ", \"wall_s\": " << fmt_double(event.wall_s) << "}";
+      break;
+  }
+  return os.str();
+}
+
+std::string stats_json(const ServeStats& stats) {
+  std::ostringstream os;
+  os << "{\"event\": \"stats\", \"requests\": {\"admitted\": "
+     << stats.requests_admitted
+     << ", \"rejected\": " << stats.requests_rejected()
+     << ", \"rejected_bad_request\": " << stats.rejected_bad_request
+     << ", \"rejected_queue_full\": " << stats.rejected_queue_full
+     << ", \"rejected_over_budget\": " << stats.rejected_over_budget
+     << ", \"rejected_shutting_down\": " << stats.rejected_shutting_down
+     << "}, \"points\": {\"admitted\": " << stats.points_admitted
+     << ", \"completed\": " << stats.points_completed
+     << ", \"queued\": " << stats.queued
+     << ", \"dispatched\": " << stats.dispatched
+     << "}, \"coalescing\": {\"executions\": " << stats.board.executions
+     << ", \"coalesced\": " << stats.board.coalesced
+     << ", \"memo_hits\": " << stats.board.memo_hits
+     << ", \"memo_evictions\": " << stats.board.memo_evictions
+     << ", \"memo_entries\": " << stats.board.memo_entries
+     << ", \"inflight\": " << stats.board.inflight
+     << "}, \"cache\": {\"hits\": " << stats.cache.hits
+     << ", \"misses\": " << stats.cache.misses
+     << ", \"evictions\": " << stats.cache.evictions
+     << ", \"entries\": " << stats.cache.entries
+     << ", \"hit_rate\": " << fmt_double(stats.cache.hit_rate())
+     << ", \"shards\": [";
+  for (std::size_t i = 0; i < stats.cache_shards.size(); ++i) {
+    const rt::ArtifactCache::Stats& shard = stats.cache_shards[i];
+    os << (i ? ", " : "") << "{\"hits\": " << shard.hits
+       << ", \"misses\": " << shard.misses
+       << ", \"evictions\": " << shard.evictions
+       << ", \"entries\": " << shard.entries << "}";
+  }
+  os << "]}, \"executor\": {\"submitted\": " << stats.executor.submitted
+     << ", \"executed\": " << stats.executor.executed
+     << ", \"stolen\": " << stats.executor.stolen
+     << ", \"queue_high_watermark\": " << stats.executor.queue_high_watermark
+     << "}, \"tenants\": [";
+  for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+    const TenantUsage& usage = stats.tenants[i].second;
+    os << (i ? ", " : "") << "{\"tenant\": \""
+       << json_escape(stats.tenants[i].first)
+       << "\", \"weight\": " << fmt_double(usage.config.weight);
+    if (usage.config.budget !=
+        std::numeric_limits<double>::infinity())  // JSON has no inf
+      os << ", \"budget\": " << fmt_double(usage.config.budget);
+    os << ", \"charged\": " << fmt_double(usage.charged)
+       << ", \"pending_points\": " << usage.pending_points
+       << ", \"admitted\": " << usage.admitted
+       << ", \"rejected\": " << usage.rejected
+       << ", \"completed_points\": " << usage.completed_points << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,276 @@
+#pragma once
+// The hemo-serve campaign service core: one long-running engine that
+// multiplexes many tenants' campaign requests onto a single shared
+// rt::Executor and a single sharded rt::ArtifactCache.
+//
+//   submit ─► admission control (perf-priced budget, pending bound)
+//          ─► per-tenant fair-share queues (FairShareDispatcher)
+//          ─► coalescing board (identical points computed once)
+//          ─► bounded in-flight window on the shared executor
+//          ─► per-point events streamed back as they complete
+//
+// Every point is priced by rt::price_point — the same function
+// run_campaign calls — so a campaign served here is byte-identical to
+// the same campaign run by the hemo_campaign CLI (the determinism gate
+// in tests/serve asserts this).
+//
+// Threading: one mutex guards all scheduling state (admission,
+// dispatcher, board, request table).  Point execution and event sinks
+// run outside it: a worker prices a point, takes the lock to record the
+// completion and pull the next dispatches, then emits events unlocked.
+// Sinks may therefore be called concurrently from several workers, but
+// events of one request are delivered in a consistent order: accepted
+// first, then points as they complete, then done.
+//
+// The in-process ServeHandle below is the no-socket client used by tests
+// and embedders; the wire front-end lives in serve/socket.hpp.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rt/cache.hpp"
+#include "rt/campaign.hpp"
+#include "rt/executor.hpp"
+#include "serve/admission.hpp"
+#include "serve/coalesce.hpp"
+#include "serve/dispatch.hpp"
+
+namespace hemo::serve {
+
+struct ServeOptions {
+  int workers = 0;                  // <= 0: hardware concurrency
+  std::size_t cache_capacity = 256;
+  /// Lock stripes of the shared ArtifactCache.  16 keeps cross-tenant
+  /// contention negligible at every worker count this serves (see
+  /// DESIGN.md, "Shard count") while costing nothing when idle.
+  std::size_t cache_shards = 16;
+  /// Points allowed in/on the executor at once; 0 = 2x workers.  The gap
+  /// between this and the backlog is what the fair-share dispatcher
+  /// schedules over.
+  std::size_t max_inflight = 0;
+  /// Completed-point memo capacity (CoalescingBoard).
+  std::size_t memo_capacity = 4096;
+  TenantConfig tenant_defaults;
+  /// Per-point timeout/retry, forwarded to rt::price_point.
+  rt::JobOptions job;
+  /// Test hook, called on the worker at the start of every *execution*
+  /// (never for coalesced or memoized deliveries).  The coalescing tests
+  /// park executions here to force an in-flight overlap.
+  std::function<void(const rt::SeriesSpec&, const sys::SchedulePoint&)>
+      execution_hook;
+};
+
+/// One streamed server-to-client notification.
+struct Event {
+  enum class Kind { kAccepted, kRejected, kPoint, kDone };
+
+  Kind kind = Kind::kAccepted;
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  std::string name;  // campaign name as submitted
+
+  // kAccepted / kDone
+  std::size_t points = 0;
+  double cost = 0.0;  // predicted device-seconds charged at admission
+
+  // kRejected
+  RejectReason reason = RejectReason::kBadRequest;
+  std::string detail;
+
+  // kPoint
+  std::size_t series_index = 0;
+  std::size_t point_index = 0;
+  rt::SeriesSpec series;
+  rt::PointResult result;
+  /// True when this delivery did not run its own execution: it joined an
+  /// in-flight identical point or was answered from the result memo.
+  bool coalesced = false;
+
+  // kDone
+  std::size_t failed = 0;
+  double wall_s = 0.0;
+};
+
+struct ServeStats {
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_over_budget = 0;
+  std::uint64_t rejected_shutting_down = 0;
+  std::uint64_t points_admitted = 0;
+  std::uint64_t points_completed = 0;
+  std::uint64_t queued = 0;      // backlog in the fair-share queues
+  std::uint64_t dispatched = 0;  // points handed to the coalescing board
+  CoalescingBoard::Stats board;
+  rt::ArtifactCache::Stats cache;
+  std::vector<rt::ArtifactCache::Stats> cache_shards;
+  rt::Executor::Stats executor;
+  std::vector<std::pair<std::string, TenantUsage>> tenants;  // name order
+
+  std::uint64_t requests_rejected() const {
+    return rejected_bad_request + rejected_queue_full +
+           rejected_over_budget + rejected_shutting_down;
+  }
+};
+
+class Server {
+ public:
+  /// Receives one request's events; called from worker threads and from
+  /// inside submit().  Must not call back into this Server.
+  using EventSink = std::function<void(const Event&)>;
+
+  explicit Server(ServeOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void configure_tenant(const std::string& tenant,
+                        const TenantConfig& config);
+
+  struct SubmitOutcome {
+    bool admitted = false;
+    std::uint64_t request_id = 0;  // valid iff admitted
+    RejectReason reason = RejectReason::kBadRequest;
+    std::string detail;
+  };
+
+  /// Admits or rejects one campaign request.  On admission the request's
+  /// points are queued and `sink` will receive its accepted/point/done
+  /// events (the accepted event is emitted before this returns); on
+  /// rejection `sink` receives the rejected event and nothing else.  The
+  /// sink must stay callable until the done event has been delivered.
+  SubmitOutcome submit(const std::string& tenant, const std::string& name,
+                       const std::vector<rt::SeriesSpec>& series,
+                       EventSink sink);
+
+  /// Counts and emits a bad_request rejection for a request that never
+  /// reached submit() — the wire front-end routes parse errors here so
+  /// stats() stays a complete account of intake.
+  void reject_bad_request(const std::string& detail, const EventSink& sink);
+
+  ServeStats stats() const;
+
+  /// Blocks until every admitted request has completed.
+  void wait_idle();
+
+  /// Stops intake: every later submit is rejected with kShuttingDown.
+  /// Admitted work keeps running (drain with wait_idle()).
+  void begin_shutdown();
+  bool shutting_down() const;
+
+  // immutable after construction: executor worker count is fixed
+  int workers() const { return executor_.workers(); }
+  // immutable after construction: serve options are fixed at startup
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct RequestState {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string name;
+    std::vector<rt::SeriesSpec> series;
+    std::vector<std::vector<double>> point_costs;  // [series][point]
+    std::size_t total_points = 0;
+    std::size_t done_points = 0;
+    std::size_t failed_points = 0;
+    double cost = 0.0;
+    std::chrono::steady_clock::time_point start;
+    EventSink sink;
+  };
+
+  /// An event bound to its request's sink, staged under the lock and
+  /// emitted after it is released.
+  struct Delivery {
+    EventSink sink;
+    Event event;
+  };
+
+  void pump_locked(std::vector<Delivery>* deliveries);
+  void record_point_locked(const PointSubscriber& subscriber,
+                           const rt::PointResult& result, bool coalesced,
+                           std::vector<Delivery>* deliveries);
+  void on_point_complete(const PointTask& task,
+                         const rt::PointResult& result);
+  static void emit(std::vector<Delivery>& deliveries);
+
+  ServeOptions options_;
+  rt::ArtifactCache cache_;
+  rt::Executor executor_;
+  std::size_t max_inflight_;  // immutable after construction
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_idle_;  // requests_ drained to empty
+  AdmissionController admission_;
+  FairShareDispatcher dispatcher_;
+  CoalescingBoard board_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RequestState>> requests_;
+  std::uint64_t next_request_id_ = 0;
+  std::size_t inflight_ = 0;  // executions occupying the window
+  bool shutting_down_ = false;
+  ServeStats counters_;  // the plain tallies of stats(); subsystems add theirs
+};
+
+// ---------------------------------------------------------------------------
+// In-process client.
+// ---------------------------------------------------------------------------
+
+/// A no-socket client for one tenant: submits typed series lists and
+/// consumes the event stream through a thread-safe queue.  Tests and
+/// embedders use this; the wire protocol wraps the same Server API.
+class ServeHandle {
+ public:
+  ServeHandle(Server& server, std::string tenant);
+
+  /// Submits a campaign; events will arrive on this handle's queue.
+  Server::SubmitOutcome submit(const std::string& name,
+                               const std::vector<rt::SeriesSpec>& series);
+
+  /// Pops the next event, blocking up to `timeout`.
+  std::optional<Event> next_event(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Drains this request's events until done and assembles the campaign
+  /// result exactly as run_campaign lays it out (series in spec order,
+  /// points in schedule slots).  Events of other requests are left
+  /// queued.  Only valid for an admitted request_id of this handle.  The
+  /// result's runtime metadata (cache/executor stats) is the *server's*,
+  /// shared across tenants.
+  rt::CampaignResult wait(std::uint64_t request_id);
+
+ private:
+  struct Submitted {
+    std::string name;
+    std::vector<rt::SeriesSpec> series;
+  };
+
+  Event pop_event_of_locked(std::unique_lock<std::mutex>& lock,
+                            std::uint64_t request_id);
+
+  Server& server_;
+  std::string tenant_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+  std::unordered_map<std::uint64_t, Submitted> submitted_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire serialization (used by the socket front-end and the CLI).
+// ---------------------------------------------------------------------------
+
+std::string event_json(const Event& event);
+std::string stats_json(const ServeStats& stats);
+
+}  // namespace hemo::serve

@@ -1,0 +1,228 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "base/contracts.hpp"
+#include "serve/protocol.hpp"
+
+namespace hemo::serve {
+
+namespace {
+
+// MSG_NOSIGNAL: a client that vanished mid-stream must not SIGPIPE the
+// server; the failed write is simply dropped.
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void SocketServer::Connection::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (fd < 0) return;  // connection already closed: drop the event
+  write_all(fd, line + "\n");
+}
+
+void SocketServer::Connection::close_fd() {
+  std::lock_guard<std::mutex> lock(mu);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  fd = -1;
+}
+
+SocketServer::SocketServer(Server& server, SocketOptions options)
+    : server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  HEMO_EXPECTS(listen_fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  HEMO_EXPECTS(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0 &&
+               "hemo-serve: cannot bind the requested port");
+  HEMO_EXPECTS(::listen(listen_fd_, 16) == 0);
+
+  socklen_t len = sizeof(addr);
+  HEMO_EXPECTS(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed: stop() is running
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        connection->close_fd();
+        return;
+      }
+      connections_.push_back(connection);
+      threads_.emplace_back(
+          [this, connection] { serve_connection(connection); });
+    }
+  }
+}
+
+void SocketServer::serve_connection(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(connection->mu);
+      fd = connection->fd;
+    }
+    if (fd < 0) return;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // EOF or closed under us by stop()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(line, connection);
+    }
+  }
+}
+
+void SocketServer::handle_line(const std::string& line,
+                               const std::shared_ptr<Connection>& connection) {
+  const Server::EventSink sink = [connection](const Event& event) {
+    connection->write_line(event_json(event));
+  };
+
+  Request request;
+  std::string error;
+  if (!parse_request(line, &request, &error)) {
+    server_.reject_bad_request(error, sink);
+    return;
+  }
+
+  switch (request.op) {
+    case Op::kSubmit: {
+      std::vector<rt::SeriesSpec> series;
+      if (!build_series(request, &series, &error)) {
+        server_.reject_bad_request(error, sink);
+        return;
+      }
+      server_.submit(request.tenant, request.name, series, sink);
+      return;
+    }
+    case Op::kTenant: {
+      TenantConfig config = server_.options().tenant_defaults;
+      if (request.weight) config.weight = *request.weight;
+      if (request.budget) config.budget = *request.budget;
+      if (request.max_pending) config.max_pending_points = *request.max_pending;
+      server_.configure_tenant(request.tenant, config);
+      connection->write_line("{\"event\": \"ack\", \"op\": \"tenant\"}");
+      return;
+    }
+    case Op::kStats:
+      connection->write_line(stats_json(server_.stats()));
+      return;
+    case Op::kShutdown: {
+      server_.begin_shutdown();
+      connection->write_line("{\"event\": \"ack\", \"op\": \"shutdown\"}");
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
+      cv_shutdown_.notify_all();
+      return;
+    }
+  }
+}
+
+void SocketServer::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_shutdown_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void SocketServer::stop() {
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    threads.swap(threads_);
+    connections.swap(connections_);
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (const std::shared_ptr<Connection>& connection : connections)
+    connection->close_fd();
+  for (std::thread& thread : threads) thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// SocketClient
+// ---------------------------------------------------------------------------
+
+SocketClient::SocketClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;  // a refused connection is the caller's to report, not abort
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketClient::send_line(const std::string& line) {
+  write_all(fd_, line + "\n");
+}
+
+bool SocketClient::recv_line(std::string* line) {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      *line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace hemo::serve

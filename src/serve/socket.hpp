@@ -1,0 +1,108 @@
+#pragma once
+// TCP loopback front-end for the hemo-serve campaign service: accepts
+// connections, reads one JSON request per line (serve/protocol.hpp),
+// routes it to the shared Server, and streams the request's event lines
+// back on the same connection.
+//
+// One reader thread per connection; event sinks write from executor
+// worker threads concurrently, serialized per connection by a write
+// mutex so event lines never interleave.  A connection that disappears
+// mid-request is tolerated: its remaining events are dropped (writes to
+// the dead socket are ignored), the work itself completes normally and
+// stays memoized for the next asker.
+//
+// This layer holds no scheduling state — everything interesting lives in
+// serve::Server; tests exercise that directly through ServeHandle and
+// keep only a smoke-level suite here.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace hemo::serve {
+
+struct SocketOptions {
+  /// Port to listen on; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+};
+
+class SocketServer {
+ public:
+  /// Binds and starts accepting on 127.0.0.1.  `server` must outlive
+  /// this object.  Aborts if the port cannot be bound.
+  SocketServer(Server& server, SocketOptions options = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound port (the chosen one when options.port was 0).
+  std::uint16_t port() const { return port_; }  // immutable after construction
+
+  /// Blocks until a client sends {"op": "shutdown"}.
+  void wait_shutdown();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  /// Per-connection write end, shared with in-flight event sinks; keeps
+  /// the fd mutex alive until the last event of a dead connection drops.
+  struct Connection {
+    std::mutex mu;
+    int fd = -1;      // guarded by mu; -1 once closed
+    void write_line(const std::string& line);
+    void close_fd();
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> connection);
+  void handle_line(const std::string& line,
+                   const std::shared_ptr<Connection>& connection);
+
+  Server& server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_shutdown_;
+  bool shutdown_requested_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;  // accept loop + one per connection
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+};
+
+/// Minimal blocking line-oriented client for tests and the CLI: connects
+/// to 127.0.0.1:port, sends request lines, reads event lines.
+class SocketClient {
+ public:
+  /// Connects to loopback:port.  On failure the client is left
+  /// disconnected — check connected() before use; send/recv on a
+  /// disconnected client are no-ops that report EOF.
+  explicit SocketClient(std::uint16_t port);
+  ~SocketClient();
+
+  bool connected() const { return fd_ >= 0; }
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  void send_line(const std::string& line);
+
+  /// Reads the next newline-terminated line (without the newline).
+  /// False on EOF.
+  bool recv_line(std::string* line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace hemo::serve

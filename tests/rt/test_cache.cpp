@@ -135,5 +135,79 @@ TEST(ArtifactCache, CanonicalKeyJoinsWithSlashes) {
   EXPECT_EQ(canonical_key({"stats", "cyl", "ranks=4"}), "stats/cyl/ranks=4");
 }
 
+
+TEST(ArtifactCache, ShardStatsPartitionTheAggregate) {
+  ArtifactCache cache(/*capacity=*/64, /*shards=*/4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 64u);
+
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    cache.get_or_compute<int>(key, [i] { return std::make_shared<int>(i); });
+    cache.get_or_compute<int>(key, [i] { return std::make_shared<int>(i); });
+  }
+
+  const std::vector<ArtifactCache::Stats> shards = cache.shard_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  ArtifactCache::Stats sum;
+  int populated = 0;
+  for (const ArtifactCache::Stats& shard : shards) {
+    sum.hits += shard.hits;
+    sum.misses += shard.misses;
+    sum.evictions += shard.evictions;
+    sum.entries += shard.entries;
+    populated += shard.entries > 0;
+  }
+  const ArtifactCache::Stats total = cache.stats();
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+  EXPECT_EQ(sum.entries, total.entries);
+  EXPECT_EQ(total.misses, 32u);
+  EXPECT_EQ(total.hits, 32u);
+  EXPECT_GT(populated, 1);  // std::hash spreads 32 keys past one stripe
+}
+
+TEST(ArtifactCache, ShardedCapacityBoundsResidency) {
+  // ceil(8/4) = 2 entries per shard; flooding far past capacity must keep
+  // residency within the per-shard bounds and account every eviction.
+  ArtifactCache cache(/*capacity=*/8, /*shards=*/4);
+  for (int i = 0; i < 64; ++i)
+    cache.get_or_compute<int>("key-" + std::to_string(i),
+                              [i] { return std::make_shared<int>(i); });
+  const ArtifactCache::Stats total = cache.stats();
+  EXPECT_LE(total.entries, 8u);
+  EXPECT_EQ(total.evictions, total.misses - total.entries);
+  for (const ArtifactCache::Stats& shard : cache.shard_stats())
+    EXPECT_LE(shard.entries, 2u);
+}
+
+TEST(ArtifactCache, ShardCapacityRoundsUpToAMultiple) {
+  ArtifactCache cache(/*capacity=*/5, /*shards=*/4);  // ceil(5/4) = 2/shard
+  EXPECT_EQ(cache.capacity(), 8u);
+  EXPECT_EQ(ArtifactCache(/*capacity=*/256).shard_count(), 1u);
+}
+
+TEST(ArtifactCache, ShardedConcurrentCallersComputeEachKeyOnce) {
+  ArtifactCache cache(/*capacity=*/256, /*shards=*/8);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &computes] {
+      for (int i = 0; i < 64; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        const std::shared_ptr<int> value =
+            cache.get_or_compute<int>(key, [&computes, i] {
+              ++computes;
+              return std::make_shared<int>(i);
+            });
+        EXPECT_EQ(*value, i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(computes.load(), 64);  // in-flight dedup holds per shard
+}
+
 }  // namespace
 }  // namespace hemo::rt

@@ -138,5 +138,43 @@ TEST(Executor, WaitIdleReturnsImmediatelyWhenEmpty) {
   EXPECT_EQ(executor.stats().submitted, 0u);
 }
 
+
+TEST(Executor, QueueHighWatermarkStartsAtZero) {
+  Executor executor({1, 16});
+  EXPECT_EQ(executor.stats().queue_high_watermark, 0u);
+}
+
+TEST(Executor, TracksQueueHighWatermark) {
+  Executor executor({1, 64});
+  Gate gate;
+  // Park the only worker so every later submit piles up in the deques.
+  executor.submit([&gate] { gate.wait(); });
+  gate.wait_started();
+  for (int i = 0; i < 8; ++i) executor.submit([] {});
+  gate.release();
+  executor.wait_idle();
+
+  const Executor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.queue_high_watermark, 8u);  // deepest backlog reached
+  EXPECT_EQ(stats.executed, 9u);
+}
+
+TEST(Executor, QueueHighWatermarkIsAMaxNotACounter) {
+  Executor executor({1, 64});
+  Gate gate;
+  executor.submit([&gate] { gate.wait(); });
+  gate.wait_started();
+  executor.submit([] {});
+  gate.release();
+  executor.wait_idle();
+  EXPECT_EQ(executor.stats().queue_high_watermark, 1u);
+
+  // Draining does not reset the watermark, and shallower backlogs later
+  // do not lower it.
+  executor.submit([] {});
+  executor.wait_idle();
+  EXPECT_EQ(executor.stats().queue_high_watermark, 1u);
+}
+
 }  // namespace
 }  // namespace hemo::rt

@@ -1,0 +1,109 @@
+// Admission control: perf-priced budgets, pending-point bounds, charge
+// and release accounting, and the point cost model itself.
+
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/cache.hpp"
+#include "rt/campaign.hpp"
+#include "sys/hardware.hpp"
+
+namespace hemo::serve {
+namespace {
+
+TEST(Admission, AdmitsWithinDefaultsAndTracksUsage) {
+  AdmissionController admission;
+  const AdmissionController::Decision decision = admission.admit("a", 3.0, 4);
+  EXPECT_TRUE(decision.admitted);
+  const TenantUsage& usage = admission.usage("a");
+  EXPECT_DOUBLE_EQ(usage.charged, 3.0);
+  EXPECT_EQ(usage.pending_points, 4);
+  EXPECT_EQ(usage.admitted, 1u);
+}
+
+TEST(Admission, EnforcesThePendingPointBound) {
+  TenantConfig defaults;
+  defaults.max_pending_points = 10;
+  AdmissionController admission(defaults);
+  EXPECT_TRUE(admission.admit("a", 0.0, 8).admitted);
+
+  const AdmissionController::Decision decision = admission.admit("a", 0.0, 3);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.reason, RejectReason::kQueueFull);
+  EXPECT_EQ(admission.usage("a").rejected, 1u);
+
+  // Exactly filling the bound is allowed.
+  EXPECT_TRUE(admission.admit("a", 0.0, 2).admitted);
+}
+
+TEST(Admission, EnforcesTheCostBudget) {
+  TenantConfig defaults;
+  defaults.budget = 10.0;
+  AdmissionController admission(defaults);
+  EXPECT_TRUE(admission.admit("a", 7.0, 1).admitted);
+
+  const AdmissionController::Decision decision = admission.admit("a", 4.0, 1);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.reason, RejectReason::kOverBudget);
+  EXPECT_NE(decision.detail.find("budget"), std::string::npos);
+
+  // The budget bounds *outstanding* work: releasing frees headroom.
+  admission.release_point("a", 7.0);
+  EXPECT_TRUE(admission.admit("a", 4.0, 1).admitted);
+}
+
+TEST(Admission, BudgetsAreIndependentPerTenant) {
+  TenantConfig defaults;
+  defaults.budget = 5.0;
+  AdmissionController admission(defaults);
+  EXPECT_TRUE(admission.admit("a", 5.0, 1).admitted);
+  EXPECT_FALSE(admission.admit("a", 1.0, 1).admitted);
+  EXPECT_TRUE(admission.admit("b", 5.0, 1).admitted);  // b is unaffected
+}
+
+TEST(Admission, ConfigureOverridesTheDefaults) {
+  TenantConfig defaults;
+  defaults.budget = 1.0;
+  AdmissionController admission(defaults);
+
+  TenantConfig roomy;
+  roomy.budget = 100.0;
+  admission.configure("a", roomy);
+  EXPECT_TRUE(admission.admit("a", 50.0, 1).admitted);
+  EXPECT_FALSE(admission.admit("b", 50.0, 1).admitted);  // b keeps defaults
+}
+
+TEST(Admission, ReleaseClearsPhantomRoundingResidue) {
+  AdmissionController admission;
+  EXPECT_TRUE(admission.admit("a", 0.3, 3).admitted);
+  admission.release_point("a", 0.1);
+  admission.release_point("a", 0.1);
+  admission.release_point("a", 0.1);
+  const TenantUsage& usage = admission.usage("a");
+  EXPECT_EQ(usage.pending_points, 0);
+  EXPECT_DOUBLE_EQ(usage.charged, 0.0);  // not 5.5e-17
+  EXPECT_EQ(usage.completed_points, 3u);
+}
+
+TEST(Admission, PointCostScalesWithDevicesOccupied) {
+  rt::ArtifactCache cache;
+  rt::SeriesSpec series;  // Summit/CUDA/HARVEY/cylinder-bisection
+  const double small = predicted_point_cost(cache, series, {2, 1});
+  const double large = predicted_point_cost(cache, series, {1024, 4});
+  EXPECT_GT(small, 0.0);
+  // A 1024-device point occupies far more capacity than a 2-device probe,
+  // even though per-device time shrinks with scale.
+  EXPECT_GT(large, small * 10.0);
+}
+
+TEST(Admission, PointCostIsDeterministic) {
+  rt::ArtifactCache cache;
+  rt::SeriesSpec series;
+  const sys::SchedulePoint point{64, 2};
+  EXPECT_DOUBLE_EQ(predicted_point_cost(cache, series, point),
+                   predicted_point_cost(cache, series, point));
+}
+
+}  // namespace
+}  // namespace hemo::serve

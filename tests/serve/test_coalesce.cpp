@@ -1,0 +1,120 @@
+// Coalescing board: in-flight subscription, result memoization, the
+// failures-not-memoized rule, and LRU memo eviction.
+
+#include "serve/coalesce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rt/job.hpp"
+
+namespace hemo::serve {
+namespace {
+
+PointSubscriber sub_of(std::uint64_t request_id, std::size_t point_index) {
+  return PointSubscriber{request_id, "tenant", 0, point_index};
+}
+
+rt::PointResult ok_result(double mflups) {
+  rt::PointResult result;
+  result.schedule = {8, 1};
+  result.sim.mflups = mflups;
+  result.attempts = 1;
+  return result;
+}
+
+rt::PointResult failed_result() {
+  rt::PointResult result;
+  result.schedule = {8, 1};
+  result.failure = rt::JobFailure{"point", 1, false, "boom"};
+  return result;
+}
+
+TEST(Coalesce, FirstClaimExecutesLaterClaimsAttach) {
+  CoalescingBoard board;
+  rt::PointResult memoized;
+  EXPECT_EQ(board.claim("k", sub_of(1, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  EXPECT_EQ(board.claim("k", sub_of(2, 0), &memoized),
+            CoalescingBoard::Claim::kCoalesced);
+  EXPECT_EQ(board.claim("k", sub_of(3, 0), &memoized),
+            CoalescingBoard::Claim::kCoalesced);
+
+  const std::vector<PointSubscriber> subscribers =
+      board.complete("k", ok_result(100.0));
+  ASSERT_EQ(subscribers.size(), 3u);
+  EXPECT_EQ(subscribers[0].request_id, 1u);  // the executor comes first
+  EXPECT_EQ(subscribers[1].request_id, 2u);
+  EXPECT_EQ(subscribers[2].request_id, 3u);
+
+  const CoalescingBoard::Stats stats = board.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(Coalesce, CompletedResultsAnswerFromTheMemo) {
+  CoalescingBoard board;
+  rt::PointResult memoized;
+  EXPECT_EQ(board.claim("k", sub_of(1, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  board.complete("k", ok_result(123.0));
+
+  EXPECT_EQ(board.claim("k", sub_of(2, 0), &memoized),
+            CoalescingBoard::Claim::kMemoized);
+  EXPECT_DOUBLE_EQ(memoized.sim.mflups, 123.0);
+  EXPECT_EQ(board.stats().memo_hits, 1u);
+  EXPECT_EQ(board.stats().executions, 1u);  // no second execution
+}
+
+TEST(Coalesce, FailuresAreDeliveredButNotMemoized) {
+  CoalescingBoard board;
+  rt::PointResult memoized;
+  EXPECT_EQ(board.claim("k", sub_of(1, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  EXPECT_EQ(board.claim("k", sub_of(2, 0), &memoized),
+            CoalescingBoard::Claim::kCoalesced);
+  const std::vector<PointSubscriber> subscribers =
+      board.complete("k", failed_result());
+  EXPECT_EQ(subscribers.size(), 2u);  // everyone hears about the failure
+
+  // ...but the next identical request retries from scratch.
+  EXPECT_EQ(board.claim("k", sub_of(3, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  EXPECT_EQ(board.stats().memo_entries, 0u);
+}
+
+TEST(Coalesce, MemoEvictsLeastRecentlyUsed) {
+  CoalescingBoard board(/*memo_capacity=*/2);
+  rt::PointResult memoized;
+  for (const char* key : {"a", "b"}) {
+    board.claim(key, sub_of(1, 0), &memoized);
+    board.complete(key, ok_result(1.0));
+  }
+  // Touch "a" so "b" is the LRU victim when "c" lands.
+  EXPECT_EQ(board.claim("a", sub_of(2, 0), &memoized),
+            CoalescingBoard::Claim::kMemoized);
+  board.claim("c", sub_of(3, 0), &memoized);
+  board.complete("c", ok_result(3.0));
+
+  EXPECT_EQ(board.stats().memo_evictions, 1u);
+  EXPECT_EQ(board.claim("a", sub_of(4, 0), &memoized),
+            CoalescingBoard::Claim::kMemoized);
+  EXPECT_EQ(board.claim("b", sub_of(5, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);  // b was evicted
+}
+
+TEST(Coalesce, DistinctKeysDoNotCoalesce) {
+  CoalescingBoard board;
+  rt::PointResult memoized;
+  EXPECT_EQ(board.claim("k1", sub_of(1, 0), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  EXPECT_EQ(board.claim("k2", sub_of(1, 1), &memoized),
+            CoalescingBoard::Claim::kExecute);
+  EXPECT_EQ(board.stats().executions, 2u);
+  EXPECT_EQ(board.stats().inflight, 2u);
+}
+
+}  // namespace
+}  // namespace hemo::serve

@@ -1,0 +1,134 @@
+// Fair-share dispatcher: deficit-round-robin order, weight ratios, FIFO
+// within a tenant, credit clearing, and the bulk-vs-interactive bound.
+
+#include "serve/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hemo::serve {
+namespace {
+
+PointTask task_of(const std::string& tenant, std::size_t point_index) {
+  PointTask task;
+  task.tenant = tenant;
+  task.point_index = point_index;
+  return task;
+}
+
+std::vector<std::string> drain(FairShareDispatcher& dispatcher) {
+  std::vector<std::string> order;
+  PointTask task;
+  while (dispatcher.pop(&task)) order.push_back(task.tenant);
+  return order;
+}
+
+TEST(Dispatch, EqualWeightsAlternateStrictly) {
+  FairShareDispatcher dispatcher;
+  for (std::size_t i = 0; i < 3; ++i) {
+    dispatcher.enqueue(task_of("a", i));
+    dispatcher.enqueue(task_of("b", i));
+  }
+  EXPECT_EQ(drain(dispatcher),
+            (std::vector<std::string>{"a", "b", "a", "b", "a", "b"}));
+  EXPECT_TRUE(dispatcher.empty());
+  EXPECT_EQ(dispatcher.dispatched(), 6u);
+}
+
+TEST(Dispatch, WeightTwoGetsTwoPerRound) {
+  FairShareDispatcher dispatcher;
+  dispatcher.set_weight("a", 2.0);
+  for (std::size_t i = 0; i < 4; ++i) dispatcher.enqueue(task_of("a", i));
+  for (std::size_t i = 0; i < 2; ++i) dispatcher.enqueue(task_of("b", i));
+  EXPECT_EQ(drain(dispatcher),
+            (std::vector<std::string>{"a", "a", "b", "a", "a", "b"}));
+}
+
+TEST(Dispatch, FractionalWeightSkipsRounds) {
+  FairShareDispatcher dispatcher;
+  dispatcher.set_weight("b", 0.5);  // b earns a slot every second visit
+  for (std::size_t i = 0; i < 4; ++i) dispatcher.enqueue(task_of("a", i));
+  for (std::size_t i = 0; i < 2; ++i) dispatcher.enqueue(task_of("b", i));
+  // set_weight registered b first, so the ring visits b, skips it (credit
+  // 0.5), and b only spends on every second visit thereafter.
+  EXPECT_EQ(drain(dispatcher),
+            (std::vector<std::string>{"a", "b", "a", "a", "b", "a"}));
+}
+
+TEST(Dispatch, FifoWithinATenant) {
+  FairShareDispatcher dispatcher;
+  for (std::size_t i = 0; i < 5; ++i) dispatcher.enqueue(task_of("a", i));
+  PointTask task;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dispatcher.pop(&task));
+    EXPECT_EQ(task.point_index, i);
+  }
+}
+
+TEST(Dispatch, EmptyQueueCannotStockpileCredit) {
+  FairShareDispatcher dispatcher;
+  // a drains alone: its credit must not accumulate while b is absent.
+  for (std::size_t i = 0; i < 8; ++i) dispatcher.enqueue(task_of("a", i));
+  PointTask task;
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(dispatcher.pop(&task));
+
+  // A fresh burst from both: still strict alternation, no hoarded credit
+  // letting a run ahead.
+  for (std::size_t i = 0; i < 2; ++i) {
+    dispatcher.enqueue(task_of("a", i));
+    dispatcher.enqueue(task_of("b", i));
+  }
+  EXPECT_EQ(drain(dispatcher),
+            (std::vector<std::string>{"a", "b", "a", "b"}));
+}
+
+TEST(Dispatch, PopOnEmptyReturnsFalse) {
+  FairShareDispatcher dispatcher;
+  PointTask task;
+  EXPECT_FALSE(dispatcher.pop(&task));
+  EXPECT_TRUE(dispatcher.empty());
+}
+
+TEST(Dispatch, LateJoinerEntersTheRotationImmediately) {
+  FairShareDispatcher dispatcher;
+  for (std::size_t i = 0; i < 4; ++i) dispatcher.enqueue(task_of("bulk", i));
+  PointTask task;
+  ASSERT_TRUE(dispatcher.pop(&task));  // bulk gets one out first
+
+  dispatcher.enqueue(task_of("late", 0));
+  std::vector<std::string> order = drain(dispatcher);
+  // The late tenant is served within one round, not after bulk's backlog.
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[1], "late");
+}
+
+TEST(Dispatch, InteractiveCompletionIsBoundedByTenantsNotBacklog) {
+  // The satellite fairness property, stated on dispatch sequence numbers:
+  // with equal weights, the interactive tenant's k-th point is dispatched
+  // within ~2k pops, no matter how deep the bulk backlog is.
+  constexpr std::size_t kBulkBacklog = 500;
+  constexpr std::size_t kInteractive = 10;
+
+  FairShareDispatcher dispatcher;
+  for (std::size_t i = 0; i < kBulkBacklog; ++i)
+    dispatcher.enqueue(task_of("bulk", i));
+  for (std::size_t i = 0; i < kInteractive; ++i)
+    dispatcher.enqueue(task_of("interactive", i));
+
+  PointTask task;
+  std::uint64_t last_interactive_dispatch = 0;
+  std::size_t interactive_seen = 0;
+  while (dispatcher.pop(&task)) {
+    if (task.tenant == "interactive") {
+      ++interactive_seen;
+      last_interactive_dispatch = dispatcher.dispatched();
+    }
+  }
+  EXPECT_EQ(interactive_seen, kInteractive);
+  EXPECT_LE(last_interactive_dispatch, 2 * kInteractive + 1);
+}
+
+}  // namespace
+}  // namespace hemo::serve

@@ -1,0 +1,139 @@
+// The TCP loopback front-end: submit/stats/tenant/shutdown round trips,
+// streamed event lines, parse errors as typed rejections, and coalescing
+// across two client connections.
+
+#include "serve/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace hemo::serve {
+namespace {
+
+/// Reads lines until one contains `needle`; fails the test after `limit`
+/// lines.  Returns the matching line.
+std::string read_until(SocketClient& client, const std::string& needle,
+                       int limit = 64) {
+  std::string line;
+  for (int i = 0; i < limit; ++i) {
+    if (!client.recv_line(&line)) break;
+    if (line.find(needle) != std::string::npos) return line;
+  }
+  ADD_FAILURE() << "no line containing '" << needle << "'";
+  return {};
+}
+
+TEST(SocketServe, SubmitStreamsAcceptedPointsAndDone) {
+  Server server;
+  SocketServer front(server);  // ephemeral port
+  SocketClient client(front.port());
+
+  client.send_line(
+      R"({"op": "submit", "tenant": "alice", "name": "job",)"
+      R"( "series": ["sunspot:sycl:harvey:cylinder-slab"]})");
+
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"event\": \"accepted\""), std::string::npos);
+  EXPECT_NE(line.find("\"tenant\": \"alice\""), std::string::npos);
+
+  int points = 0;
+  for (;;) {
+    ASSERT_TRUE(client.recv_line(&line));
+    if (line.find("\"event\": \"done\"") != std::string::npos) break;
+    ASSERT_NE(line.find("\"event\": \"point\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"status\": \"ok\""), std::string::npos) << line;
+    ++points;
+  }
+  EXPECT_EQ(points,
+            static_cast<int>(sys::piecewise_schedule(
+                sys::system_spec(sys::SystemId::kSunspot).max_devices)
+                .size()));
+  EXPECT_NE(line.find("\"failed\": 0"), std::string::npos);
+}
+
+TEST(SocketServe, MalformedLinesGetTypedRejections) {
+  Server server;
+  SocketServer front(server);
+  SocketClient client(front.port());
+
+  client.send_line("this is not json");
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"event\": \"rejected\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\": \"bad_request\""), std::string::npos);
+
+  client.send_line(R"({"op": "submit", "tenant": "a", "figure": "fig99"})");
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("\"reason\": \"bad_request\""), std::string::npos);
+  EXPECT_NE(line.find("fig99"), std::string::npos);
+
+  EXPECT_EQ(server.stats().rejected_bad_request, 2u);
+}
+
+TEST(SocketServe, TenantConfigAppliesToAdmission) {
+  Server server;
+  SocketServer front(server);
+  SocketClient client(front.port());
+
+  client.send_line(
+      R"({"op": "tenant", "tenant": "alice", "budget": 0.000001})");
+  read_until(client, "\"event\": \"ack\"");
+
+  client.send_line(
+      R"({"op": "submit", "tenant": "alice",)"
+      R"( "series": ["polaris:cuda:harvey:cylinder-slab"]})");
+  const std::string line = read_until(client, "\"event\": \"rejected\"");
+  EXPECT_NE(line.find("\"reason\": \"over_budget\""), std::string::npos);
+}
+
+TEST(SocketServe, TwoConnectionsCoalesceOntoSharedWork) {
+  Server server;
+  SocketServer front(server);
+  SocketClient alice(front.port());
+  SocketClient bob(front.port());
+
+  const std::string submit_tail =
+      R"( "series": ["crusher:sycl:harvey:cylinder-slab"]})";
+  alice.send_line(R"({"op": "submit", "tenant": "alice",)" + submit_tail);
+  read_until(alice, "\"event\": \"done\"");
+  bob.send_line(R"({"op": "submit", "tenant": "bob",)" + submit_tail);
+  read_until(bob, "\"event\": \"done\"");
+
+  SocketClient observer(front.port());
+  observer.send_line(R"({"op": "stats"})");
+  std::string line;
+  ASSERT_TRUE(observer.recv_line(&line));
+  EXPECT_NE(line.find("\"event\": \"stats\""), std::string::npos);
+  // bob's whole campaign was answered from the memo: executions stayed
+  // at one campaign's worth while two campaigns' points completed.
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.board.memo_hits,
+            stats.board.executions);
+  EXPECT_EQ(stats.points_completed, 2 * stats.board.executions);
+}
+
+TEST(SocketServe, ShutdownOpAcksAndStopsIntake) {
+  Server server;
+  SocketServer front(server);
+  SocketClient client(front.port());
+
+  client.send_line(R"({"op": "shutdown"})");
+  read_until(client, "\"op\": \"shutdown\"");
+  front.wait_shutdown();  // returns because the op was received
+  EXPECT_TRUE(server.shutting_down());
+
+  client.send_line(
+      R"({"op": "submit", "tenant": "late",)"
+      R"( "series": ["polaris:cuda:harvey:cylinder-slab"]})");
+  const std::string line = read_until(client, "\"event\": \"rejected\"");
+  EXPECT_NE(line.find("\"reason\": \"shutting_down\""), std::string::npos);
+  front.stop();
+}
+
+}  // namespace
+}  // namespace hemo::serve

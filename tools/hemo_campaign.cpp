@@ -136,9 +136,11 @@ void print_summary(const rt::CampaignResult& result) {
   std::cout << "cache: " << result.cache.hits << " hits / "
             << result.cache.misses << " misses ("
             << Table::num(100.0 * result.cache.hit_rate(), 1)
-            << "% hit rate), " << result.cache.evictions << " evictions\n";
+            << "% hit rate), " << result.cache.evictions << " evictions, "
+            << result.cache_shards.size() << " shard(s)\n";
   std::cout << "executor: " << result.executor.executed << " jobs executed, "
-            << result.executor.stolen << " stolen\n";
+            << result.executor.stolen << " stolen, queue high watermark "
+            << result.executor.queue_high_watermark << "\n";
   for (const rt::JobFailure& failure : result.failures())
     std::cout << "  " << rt::describe(failure) << '\n';
 }
@@ -247,7 +249,10 @@ int main(int argc, char** argv) {
   if (timeout_ms >= 0)
     spec.job.timeout = std::chrono::milliseconds(timeout_ms);
 
-  rt::CampaignResult result = rt::run_campaign(spec);
+  // The CLI prices on a sharded cache — the serving-tier configuration —
+  // so the per-shard stats block in --json reflects real lock striping.
+  rt::ArtifactCache cache(/*capacity=*/256, /*shards=*/16);
+  rt::CampaignResult result = rt::run_campaign(spec, cache);
   if (traffic_audit)
     result.traffic_audit_json =
         analysis::traffic_audit_json(perf::ModelParams{});
