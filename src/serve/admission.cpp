@@ -17,14 +17,21 @@ const char* reject_reason_name(RejectReason reason) {
   return "?";
 }
 
+std::optional<std::string> tenant_config_error(const TenantConfig& config) {
+  if (!std::isfinite(config.weight) || config.weight <= 0.0)
+    return "'weight' must be a positive finite number";
+  if (std::isnan(config.budget) || config.budget <= 0.0)
+    return "'budget' must be positive";
+  if (config.max_pending_points < 1) return "'max_pending' must be >= 1";
+  return std::nullopt;
+}
+
 AdmissionController::AdmissionController(TenantConfig defaults)
     : defaults_(defaults) {}
 
 void AdmissionController::configure(const std::string& tenant,
                                     const TenantConfig& config) {
-  HEMO_EXPECTS(config.weight > 0.0);
-  HEMO_EXPECTS(config.budget > 0.0);
-  HEMO_EXPECTS(config.max_pending_points >= 1);
+  HEMO_EXPECTS(!tenant_config_error(config).has_value());
   tenants_[tenant].config = config;
 }
 

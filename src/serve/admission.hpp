@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "rt/cache.hpp"
@@ -50,6 +51,15 @@ struct TenantConfig {
   /// Max points admitted but not yet completed.
   int max_pending_points = 4096;
 };
+
+/// Validates a TenantConfig as *client input*: weight must be a positive
+/// finite number (an infinite weight would monopolize fair share),
+/// budget positive (infinity = unlimited is fine), max_pending_points at
+/// least 1.  Returns the rejection detail, or nullopt when valid.
+/// Callers holding client-supplied configs must check this instead of
+/// relying on AdmissionController::configure's contract check, which
+/// treats an invalid config as a programmer error.
+std::optional<std::string> tenant_config_error(const TenantConfig& config);
 
 /// Live accounting for one tenant.
 struct TenantUsage {

@@ -1,8 +1,10 @@
 #include "serve/protocol.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace hemo::serve {
 
@@ -76,6 +78,10 @@ struct Parser {
     char* end = nullptr;
     *out = std::strtod(begin, &end);
     if (end == begin) return fail("expected number");
+    // strtod accepts "nan"/"inf" spellings and overflows to infinity;
+    // none of those is a JSON number, and letting one through would feed
+    // non-finite limits into admission control.
+    if (!std::isfinite(*out)) return fail("expected a finite number");
     pos += static_cast<std::size_t>(end - begin);
     return true;
   }
@@ -150,7 +156,10 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
       } else if (key == "max_pending") {
         double v = 0.0;
         if (!p.parse_number(&v)) return fail(p.error);
-        if (v < 1.0) return fail("'max_pending' must be >= 1");
+        // The int cast below is UB outside int's range, so bound first.
+        if (v < 1.0 ||
+            v > static_cast<double>(std::numeric_limits<int>::max()))
+          return fail("'max_pending' must be between 1 and 2147483647");
         req.max_pending = static_cast<int>(v);
       } else {
         return fail("unknown field '" + key + "'");

@@ -48,11 +48,14 @@ Server::~Server() {
   executor_.shutdown();
 }
 
-void Server::configure_tenant(const std::string& tenant,
-                              const TenantConfig& config) {
+std::optional<std::string> Server::configure_tenant(
+    const std::string& tenant, const TenantConfig& config) {
+  if (std::optional<std::string> error = tenant_config_error(config))
+    return error;
   std::lock_guard<std::mutex> lock(mu_);
   admission_.configure(tenant, config);
   dispatcher_.set_weight(tenant, config.weight);
+  return std::nullopt;
 }
 
 Server::SubmitOutcome Server::submit(const std::string& tenant,
@@ -95,7 +98,7 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
   }
 
   // Phase 2, locked: admit, register, queue, pump.
-  std::vector<Delivery> deliveries;
+  Touched touched;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) {
@@ -131,6 +134,8 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
         outcome.admitted = true;
         outcome.request_id = request->id;
 
+        // Staged first, before any task exists: outbox sequencing then
+        // guarantees no point event can reach the sink ahead of it.
         Event accepted;
         accepted.kind = Event::Kind::kAccepted;
         accepted.request_id = request->id;
@@ -138,7 +143,7 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
         accepted.name = request->name;
         accepted.points = total_points;
         accepted.cost = total_cost;
-        deliveries.push_back({request->sink, accepted});
+        stage_locked(request, std::move(accepted), &touched);
 
         for (std::size_t s = 0; s < series.size(); ++s) {
           for (std::size_t k = 0; k < layout[s].schedule.size(); ++k) {
@@ -150,7 +155,7 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
               failed.schedule = layout[s].schedule[k];
               failed.failure = layout[s].unavailable;
               record_point_locked({request->id, tenant, s, k}, failed,
-                                  /*coalesced=*/false, &deliveries);
+                                  /*coalesced=*/false, &touched);
               continue;
             }
             PointTask task;
@@ -164,7 +169,7 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
             dispatcher_.enqueue(std::move(task));
           }
         }
-        pump_locked(&deliveries);
+        pump_locked(&touched);
       }
     }
   }
@@ -176,9 +181,9 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
     rejected.name = name;
     rejected.reason = outcome.reason;
     rejected.detail = outcome.detail;
-    deliveries.push_back({std::move(sink), rejected});
+    sink(rejected);  // no request registered: nothing to sequence against
   }
-  emit(deliveries);
+  drain(touched);
   return outcome;
 }
 
@@ -196,7 +201,7 @@ void Server::reject_bad_request(const std::string& detail,
   sink(rejected);
 }
 
-void Server::pump_locked(std::vector<Delivery>* deliveries) {
+void Server::pump_locked(Touched* touched) {
   // requires mu_ held
   PointTask task;
   while (inflight_ < max_inflight_ && dispatcher_.pop(&task)) {
@@ -219,7 +224,7 @@ void Server::pump_locked(std::vector<Delivery>* deliveries) {
         break;
       case CoalescingBoard::Claim::kMemoized:
         record_point_locked(subscriber, memoized, /*coalesced=*/true,
-                            deliveries);
+                            touched);
         break;
       case CoalescingBoard::Claim::kCoalesced:
         // Attached to the in-flight execution; delivered on completion.
@@ -231,8 +236,7 @@ void Server::pump_locked(std::vector<Delivery>* deliveries) {
 
 void Server::record_point_locked(const PointSubscriber& subscriber,
                                  const rt::PointResult& result,
-                                 bool coalesced,
-                                 std::vector<Delivery>* deliveries) {
+                                 bool coalesced, Touched* touched) {
   // requires mu_ held
   auto it = requests_.find(subscriber.request_id);
   HEMO_EXPECTS(it != requests_.end());
@@ -255,7 +259,7 @@ void Server::record_point_locked(const PointSubscriber& subscriber,
   point.series = request->series[subscriber.series_index];
   point.result = result;
   point.coalesced = coalesced;
-  deliveries->push_back({request->sink, std::move(point)});
+  stage_locked(request, std::move(point), touched);
 
   if (request->done_points == request->total_points) {
     Event done;
@@ -269,7 +273,8 @@ void Server::record_point_locked(const PointSubscriber& subscriber,
     done.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - request->start)
                       .count();
-    deliveries->push_back({request->sink, std::move(done)});
+    stage_locked(request, std::move(done), touched);
+    // The shared_ptr in *touched keeps the outbox alive through drain().
     requests_.erase(it);
     if (requests_.empty()) cv_idle_.notify_all();
   }
@@ -277,7 +282,7 @@ void Server::record_point_locked(const PointSubscriber& subscriber,
 
 void Server::on_point_complete(const PointTask& task,
                                const rt::PointResult& result) {
-  std::vector<Delivery> deliveries;
+  Touched touched;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
@@ -287,14 +292,38 @@ void Server::on_point_complete(const PointTask& task,
     // onto it and are marked as such in their events.
     for (std::size_t i = 0; i < subscribers.size(); ++i)
       record_point_locked(subscribers[i], result, /*coalesced=*/i > 0,
-                          &deliveries);
-    pump_locked(&deliveries);
+                          &touched);
+    pump_locked(&touched);
   }
-  emit(deliveries);
+  drain(touched);
 }
 
-void Server::emit(std::vector<Delivery>& deliveries) {
-  for (Delivery& delivery : deliveries) delivery.sink(delivery.event);
+void Server::stage_locked(const std::shared_ptr<RequestState>& request,
+                          Event event, Touched* touched) {
+  // requires mu_ held
+  request->outbox.push_back(std::move(event));
+  for (const std::shared_ptr<RequestState>& seen : *touched)
+    if (seen == request) return;
+  touched->push_back(request);
+}
+
+void Server::drain(const Touched& touched) {
+  for (const std::shared_ptr<RequestState>& request : touched) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // One drainer at a time per request: a second thread arriving here
+    // leaves its staged events to the active drainer's re-check below,
+    // which preserves the staging order end to end.
+    if (request->draining) continue;
+    request->draining = true;
+    while (!request->outbox.empty()) {
+      std::deque<Event> batch;
+      batch.swap(request->outbox);
+      lock.unlock();
+      for (const Event& event : batch) request->sink(event);
+      lock.lock();
+    }
+    request->draining = false;
+  }
 }
 
 ServeStats Server::stats() const {
@@ -337,10 +366,11 @@ Server::SubmitOutcome ServeHandle::submit(
     const std::string& name, const std::vector<rt::SeriesSpec>& series) {
   const Server::SubmitOutcome outcome =
       server_.submit(tenant_, name, series, [this](const Event& event) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          events_.push_back(event);
-        }
+        // Notify *under* the lock: a waiter that pops the done event may
+        // destroy this handle the moment it can reacquire mu_, so the
+        // notify must have returned by then.
+        std::lock_guard<std::mutex> lock(mu_);
+        events_.push_back(event);
         cv_.notify_all();
       });
   if (outcome.admitted) {

@@ -18,9 +18,12 @@
 // dispatcher, board, request table).  Point execution and event sinks
 // run outside it: a worker prices a point, takes the lock to record the
 // completion and pull the next dispatches, then emits events unlocked.
-// Sinks may therefore be called concurrently from several workers, but
-// events of one request are delivered in a consistent order: accepted
-// first, then points as they complete, then done.
+// Each request's events are staged under the lock into a per-request
+// outbox and drained by exactly one thread at a time in staging order,
+// so a request's sink is never called concurrently and its events
+// arrive in a guaranteed order — accepted first, then points as they
+// complete, then done last — even when a worker finishes a point before
+// the submitting thread has returned.
 //
 // The in-process ServeHandle below is the no-socket client used by tests
 // and embedders; the wire front-end lives in serve/socket.hpp.
@@ -135,8 +138,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  void configure_tenant(const std::string& tenant,
-                        const TenantConfig& config);
+  /// Applies one tenant's config.  Returns the rejection detail when the
+  /// config is invalid (see tenant_config_error) — client input must
+  /// never abort the server — or nullopt on success.
+  std::optional<std::string> configure_tenant(const std::string& tenant,
+                                              const TenantConfig& config);
 
   struct SubmitOutcome {
     bool admitted = false;
@@ -147,9 +153,10 @@ class Server {
 
   /// Admits or rejects one campaign request.  On admission the request's
   /// points are queued and `sink` will receive its accepted/point/done
-  /// events (the accepted event is emitted before this returns); on
-  /// rejection `sink` receives the rejected event and nothing else.  The
-  /// sink must stay callable until the done event has been delivered.
+  /// events (the accepted event is always delivered before any point
+  /// event, and done strictly last); on rejection `sink` receives the
+  /// rejected event before this returns and nothing else.  The sink must
+  /// stay callable until the done event has been delivered.
   SubmitOutcome submit(const std::string& tenant, const std::string& name,
                        const std::vector<rt::SeriesSpec>& series,
                        EventSink sink);
@@ -187,22 +194,26 @@ class Server {
     double cost = 0.0;
     std::chrono::steady_clock::time_point start;
     EventSink sink;
+    /// Events staged under mu_ in delivery order; drained outside the
+    /// lock by one thread at a time (see drain()).  Sequencing per
+    /// request is what guarantees accepted-first / done-last on the wire.
+    std::deque<Event> outbox;
+    bool draining = false;  // guarded by mu_: one active drainer
   };
 
-  /// An event bound to its request's sink, staged under the lock and
-  /// emitted after it is released.
-  struct Delivery {
-    EventSink sink;
-    Event event;
-  };
+  /// Requests whose outboxes a locked section touched; drained after the
+  /// lock is released.
+  using Touched = std::vector<std::shared_ptr<RequestState>>;
 
-  void pump_locked(std::vector<Delivery>* deliveries);
+  void stage_locked(const std::shared_ptr<RequestState>& request,
+                    Event event, Touched* touched);
+  void drain(const Touched& touched);
+  void pump_locked(Touched* touched);
   void record_point_locked(const PointSubscriber& subscriber,
                            const rt::PointResult& result, bool coalesced,
-                           std::vector<Delivery>* deliveries);
+                           Touched* touched);
   void on_point_complete(const PointTask& task,
                          const rt::PointResult& result);
-  static void emit(std::vector<Delivery>& deliveries);
 
   ServeOptions options_;
   rt::ArtifactCache cache_;

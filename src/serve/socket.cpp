@@ -35,6 +35,12 @@ void SocketServer::Connection::write_line(const std::string& line) {
   write_all(fd, line + "\n");
 }
 
+void SocketServer::Connection::shutdown_fd() {
+  std::lock_guard<std::mutex> lock(mu);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+}
+
 void SocketServer::Connection::close_fd() {
   std::lock_guard<std::mutex> lock(mu);
   if (fd < 0) return;
@@ -72,7 +78,7 @@ SocketServer::~SocketServer() { stop(); }
 void SocketServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // listen socket closed: stop() is running
+    if (fd < 0) return;  // listen socket shut down: stop() is running
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
     {
@@ -97,9 +103,9 @@ void SocketServer::serve_connection(std::shared_ptr<Connection> connection) {
       std::lock_guard<std::mutex> lock(connection->mu);
       fd = connection->fd;
     }
-    if (fd < 0) return;
+    if (fd < 0) break;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return;  // EOF or closed under us by stop()
+    if (n <= 0) break;  // EOF or woken by stop()'s shutdown
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t eol;
     while ((eol = buffer.find('\n')) != std::string::npos) {
@@ -110,6 +116,10 @@ void SocketServer::serve_connection(std::shared_ptr<Connection> connection) {
       handle_line(line, connection);
     }
   }
+  // The reader owns the descriptor's release: stop() only shuts the
+  // socket down, so the fd number cannot be recycled by a new accept
+  // while this thread could still pass it to recv().
+  connection->close_fd();
 }
 
 void SocketServer::handle_line(const std::string& line,
@@ -140,7 +150,11 @@ void SocketServer::handle_line(const std::string& line,
       if (request.weight) config.weight = *request.weight;
       if (request.budget) config.budget = *request.budget;
       if (request.max_pending) config.max_pending_points = *request.max_pending;
-      server_.configure_tenant(request.tenant, config);
+      if (std::optional<std::string> bad =
+              server_.configure_tenant(request.tenant, config)) {
+        server_.reject_bad_request(*bad, sink);
+        return;
+      }
       connection->write_line("{\"event\": \"ack\", \"op\": \"tenant\"}");
       return;
     }
@@ -173,14 +187,19 @@ void SocketServer::stop() {
     threads.swap(threads_);
     connections.swap(connections_);
   }
+  // Wake the accept thread but keep the descriptor (and the member)
+  // untouched until it has exited: closing or overwriting first would
+  // race the accept() call still reading listen_fd_.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // shutdown, not close: each reader recv()s EOF, exits, and closes its
+  // own fd — closing here could hand the number to a concurrent recv.
   for (const std::shared_ptr<Connection>& connection : connections)
-    connection->close_fd();
+    connection->shutdown_fd();
   for (std::thread& thread : threads) thread.join();
 }
 

@@ -58,6 +58,12 @@ class SocketServer {
     std::mutex mu;
     int fd = -1;      // guarded by mu; -1 once closed
     void write_line(const std::string& line);
+    /// Wakes a blocked reader without releasing the descriptor number,
+    /// so a concurrent recv() can never land on a recycled fd.
+    void shutdown_fd();
+    /// Releases the descriptor.  Only safe where no reader can still
+    /// hold the fd value: the reader thread's own exit path, or before
+    /// a reader thread was ever started.
     void close_fd();
   };
 

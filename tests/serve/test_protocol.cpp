@@ -89,6 +89,25 @@ TEST(Protocol, RejectsNonPositiveLimits) {
   parse_error(R"({"op": "tenant", "tenant": "a", "max_pending": 0})");
 }
 
+TEST(Protocol, RejectsNonFiniteNumbers) {
+  // strtod happily reads these spellings; admission must never see them
+  // (nan slips past a '<= 0' check, inf monopolizes fair share).
+  parse_error(R"({"op": "tenant", "tenant": "a", "weight": nan})");
+  parse_error(R"({"op": "tenant", "tenant": "a", "weight": inf})");
+  parse_error(R"({"op": "tenant", "tenant": "a", "budget": nan})");
+  parse_error(R"({"op": "tenant", "tenant": "a", "budget": 1e999})");
+  parse_error(R"({"op": "tenant", "tenant": "a", "max_pending": nan})");
+}
+
+TEST(Protocol, BoundsMaxPendingToIntRange) {
+  // Casting past INT_MAX is UB; the largest int must still round-trip.
+  parse_error(R"({"op": "tenant", "tenant": "a", "max_pending": 1e18})");
+  const Request req = parse_ok(
+      R"({"op": "tenant", "tenant": "a", "max_pending": 2147483647})");
+  ASSERT_TRUE(req.max_pending.has_value());
+  EXPECT_EQ(*req.max_pending, 2147483647);
+}
+
 TEST(Protocol, BuildSeriesExpandsFigureAndSeriesStrings) {
   Request req;
   req.op = Op::kSubmit;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -312,6 +313,31 @@ TEST(ServeAdmission, ShutdownRejectsNewWorkButDrainsAdmitted) {
   server.wait_idle();
 }
 
+TEST(ServeAdmission, InvalidTenantConfigIsReportedNotFatal) {
+  // Client-supplied configs must come back as errors; only the typed
+  // validator stands between a NaN weight and a HEMO_EXPECTS abort.
+  Server server;
+  TenantConfig bad;
+  bad.weight = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(server.configure_tenant("alice", bad).has_value());
+  bad = TenantConfig{};
+  bad.weight = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(server.configure_tenant("alice", bad).has_value());
+  bad = TenantConfig{};
+  bad.budget = 0.0;
+  EXPECT_TRUE(server.configure_tenant("alice", bad).has_value());
+  bad = TenantConfig{};
+  bad.max_pending_points = 0;
+  EXPECT_TRUE(server.configure_tenant("alice", bad).has_value());
+
+  // A rejected config leaves the tenant on its previous settings.
+  ServeHandle alice(server, "alice");
+  const Server::SubmitOutcome outcome = alice.submit(
+      "job", {series_of("polaris:cuda:harvey:cylinder-slab")});
+  ASSERT_TRUE(outcome.admitted);
+  alice.wait(outcome.request_id);
+}
+
 TEST(ServeAdmission, EmptyOrAnonymousSubmitsAreBadRequests) {
   Server server;
   ServeHandle alice(server, "alice");
@@ -356,26 +382,31 @@ TEST(ServeEvents, UnavailableSeriesDeliversStructuredFailures) {
 }
 
 TEST(ServeEvents, AcceptedComesFirstAndDoneComesLast) {
+  // Repeated rounds: every round races the workers against the
+  // submitting thread, and the per-request outbox must still deliver
+  // accepted before any point a fast worker completes, and done last.
   ServeOptions options;
-  options.workers = 2;
+  options.workers = 4;
   Server server(options);
   ServeHandle alice(server, "alice");
-  const Server::SubmitOutcome outcome =
-      alice.submit("job", {series_of("sunspot:hip:harvey:cylinder-slab")});
-  ASSERT_TRUE(outcome.admitted);
+  for (int round = 0; round < 5; ++round) {
+    const Server::SubmitOutcome outcome =
+        alice.submit("job", {series_of("sunspot:hip:harvey:cylinder-slab")});
+    ASSERT_TRUE(outcome.admitted);
 
-  std::vector<Event::Kind> kinds;
-  for (;;) {
-    const std::optional<Event> event = alice.next_event();
-    ASSERT_TRUE(event.has_value());
-    kinds.push_back(event->kind);
-    if (event->kind == Event::Kind::kDone) break;
+    std::vector<Event::Kind> kinds;
+    for (;;) {
+      const std::optional<Event> event = alice.next_event();
+      ASSERT_TRUE(event.has_value());
+      kinds.push_back(event->kind);
+      if (event->kind == Event::Kind::kDone) break;
+    }
+    ASSERT_GE(kinds.size(), 3u);
+    EXPECT_EQ(kinds.front(), Event::Kind::kAccepted);
+    EXPECT_EQ(kinds.back(), Event::Kind::kDone);
+    for (std::size_t i = 1; i + 1 < kinds.size(); ++i)
+      EXPECT_EQ(kinds[i], Event::Kind::kPoint);
   }
-  ASSERT_GE(kinds.size(), 3u);
-  EXPECT_EQ(kinds.front(), Event::Kind::kAccepted);
-  EXPECT_EQ(kinds.back(), Event::Kind::kDone);
-  for (std::size_t i = 1; i + 1 < kinds.size(); ++i)
-    EXPECT_EQ(kinds[i], Event::Kind::kPoint);
 }
 
 TEST(ServeStatsSurface, SharedRuntimeCountersAreExposed) {

@@ -91,6 +91,30 @@ TEST(SocketServe, TenantConfigAppliesToAdmission) {
   EXPECT_NE(line.find("\"reason\": \"over_budget\""), std::string::npos);
 }
 
+TEST(SocketServe, HostileTenantNumbersAreRejectedNotFatal) {
+  // One malformed line must never abort the shared server: nan/inf and
+  // out-of-int-range limits come back as bad_request rejections and the
+  // connection keeps serving.
+  Server server;
+  SocketServer front(server);
+  SocketClient client(front.port());
+
+  for (const std::string hostile : {
+           R"({"op": "tenant", "tenant": "a", "weight": nan})",
+           R"({"op": "tenant", "tenant": "a", "weight": inf})",
+           R"({"op": "tenant", "tenant": "a", "budget": nan})",
+           R"({"op": "tenant", "tenant": "a", "max_pending": 1e18})",
+       }) {
+    client.send_line(hostile);
+    const std::string line = read_until(client, "\"event\": \"rejected\"");
+    EXPECT_NE(line.find("\"reason\": \"bad_request\""), std::string::npos)
+        << hostile;
+  }
+
+  client.send_line(R"({"op": "stats"})");
+  read_until(client, "\"event\": \"stats\"");
+}
+
 TEST(SocketServe, TwoConnectionsCoalesceOntoSharedWork) {
   Server server;
   SocketServer front(server);
