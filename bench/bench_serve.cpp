@@ -1,5 +1,7 @@
 // hemo-serve acceptance bench: lock-striped ArtifactCache throughput
-// versus the single-mutex configuration under multi-tenant contention.
+// versus the single-mutex configuration under multi-tenant contention,
+// plus the durability cost of the hemo-durable write-ahead journal
+// (fsync-per-record vs group commit, raw appends and end-to-end).
 //
 // The serving tier points every tenant's campaign at one shared cache, so
 // the cache mutex is the first structure that melts when concurrent
@@ -25,6 +27,9 @@
 
 #include "bench_common.hpp"
 #include "rt/cache.hpp"
+#include "rt/campaign.hpp"
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -85,6 +90,120 @@ double hit_throughput(std::size_t shards, std::size_t threads,
   return static_cast<double>(lookups.load()) / elapsed;
 }
 
+// ---------------------------------------------------------------------------
+// Journal overhead: how much durability costs, and how group commit
+// amortizes it.
+// ---------------------------------------------------------------------------
+
+/// Raw append throughput of the WAL at a given group-commit window: a
+/// fixed record count of realistic point payloads, timed wall-clock.
+/// The fsync column is exact — one sync per full window plus the final
+/// explicit sync().
+double journal_append_seconds(const std::string& path,
+                              std::size_t group_commit,
+                              std::size_t records) {
+  std::remove(path.c_str());
+  serve::WalBuffer payload;
+  rt::PointResult result;
+  result.schedule.devices = 8;
+  result.attempts = 1;
+  result.sim.mflups = 8961.574538231;
+  serve::wal_encode_point(&payload, 1, 0, 3, result);
+
+  serve::JournalOptions options;
+  options.path = path;
+  options.group_commit = group_commit;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    serve::Journal journal(options);
+    for (std::size_t i = 0; i < records; ++i)
+      journal.append(serve::WalTag::kPoint, payload);
+    journal.sync();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::remove(path.c_str());
+  return elapsed;
+}
+
+/// End-to-end: one campaign submitted and drained through a Server, with
+/// the journal off / strict / group-committed.  group_commit = 0 means no
+/// journal at all.
+double serve_campaign_seconds(const std::string& path,
+                              std::size_t group_commit) {
+  std::remove(path.c_str());
+  serve::ServeOptions options;
+  options.workers = 4;
+  if (group_commit > 0) {
+    serve::JournalOptions journal;
+    journal.path = path;
+    journal.group_commit = group_commit;
+    options.journal = journal;
+  }
+  rt::SeriesSpec spec;
+  if (!rt::parse_series("polaris:cuda:harvey:cylinder-slab", &spec)) {
+    std::cerr << "bench_serve: series parse failed\n";
+    std::exit(EXIT_FAILURE);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  {
+    serve::Server server(options);
+    serve::ServeHandle client(server, "bench");
+    const serve::Server::SubmitOutcome outcome =
+        client.submit("journal-overhead", {spec});
+    if (!outcome.admitted) {
+      std::cerr << "bench_serve: submit rejected: " << outcome.detail << "\n";
+      std::exit(EXIT_FAILURE);
+    }
+    client.wait(outcome.request_id);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::remove(path.c_str());
+  return elapsed;
+}
+
+void journal_overhead_section() {
+  std::cout << "hemo-durable: write-ahead journal overhead\n"
+               "(group_commit = records per fsync; 1 = strict WAL)\n\n";
+
+  const std::string wal = "bench_serve_journal.wal";
+  constexpr std::size_t kRecords = 2000;
+  Table appends({"Group commit", "Records", "Fsyncs", "Wall ms",
+                 "Appends/s"});
+  for (const std::size_t group : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{32}, kRecords}) {
+    journal_append_seconds(wal, group, kRecords / 4);  // warm-up
+    const double seconds = journal_append_seconds(wal, group, kRecords);
+    const std::size_t fsyncs = kRecords / group + (kRecords % group ? 1 : 0);
+    appends.add_row({group == kRecords ? "whole log" : std::to_string(group),
+                     std::to_string(kRecords), std::to_string(fsyncs),
+                     Table::num(seconds * 1e3, 2),
+                     Table::num(static_cast<double>(kRecords) / seconds, 0)});
+  }
+  appends.print_aligned(std::cout);
+  std::cout << "\n";
+
+  // One serve round per mode: the absolute campaign times include real
+  // point execution, so the delta column is the durability cost a tenant
+  // actually observes.
+  const double none = serve_campaign_seconds(wal, 0);
+  Table campaign({"Journal", "Campaign ms", "Overhead"});
+  campaign.add_row({"off", Table::num(none * 1e3, 1), "-"});
+  for (const std::size_t group : {std::size_t{1}, std::size_t{32}}) {
+    const double seconds = serve_campaign_seconds(wal, group);
+    const double overhead = (seconds - none) / none * 100.0;
+    campaign.add_row(
+        {group == 1 ? "fsync every record" : "group commit 32",
+         Table::num(seconds * 1e3, 1),
+         (overhead >= 0 ? "+" : "") + Table::num(overhead, 1) + "%"});
+  }
+  campaign.print_aligned(std::cout);
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main() {
@@ -111,6 +230,8 @@ int main() {
   }
   table.print_aligned(std::cout);
   std::cout << "\n";
+
+  journal_overhead_section();
 
   if (!met_bar) {
     std::cout << "FAIL: sharded cache under 4x at 8+ threads\n";

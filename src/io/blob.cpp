@@ -1,6 +1,7 @@
 #include "io/blob.hpp"
 
 #include <array>
+#include <cstdio>
 
 namespace hemo::io {
 
@@ -41,7 +42,9 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
 
 BlobWriter::BlobWriter(const std::string& path, std::uint64_t magic,
                        std::uint32_t version)
-    : out_(path, std::ios::binary), path_(path) {
+    : out_(path + ".tmp", std::ios::binary),
+      path_(path),
+      tmp_path_(path + ".tmp") {
   if (!out_.good())
     throw BlobError("cannot open blob file '" + path + "' for writing");
   write_pod(out_, magic);
@@ -63,9 +66,19 @@ void BlobWriter::finish() {
   if (finished_) return;
   finished_ = true;
   out_.flush();
-  if (!out_.good())
+  if (!out_.good()) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
     throw BlobError("flush failed on blob file '" + path_ + "'");
+  }
   out_.close();
+  // The atomic publish: until this rename, `path_` still holds whatever
+  // complete blob was there before (or nothing), so a crash anywhere
+  // above leaves at worst a stale .tmp — never a torn blob.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw BlobError("cannot rename '" + tmp_path_ + "' over '" + path_ + "'");
+  }
 }
 
 BlobWriter::~BlobWriter() {

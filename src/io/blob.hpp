@@ -38,15 +38,21 @@ class BlobWriter {
   /// Opens `path` for writing and emits the header.  Throws BlobError when
   /// the file cannot be opened (a full disk is a campaign hazard, not a
   /// programmer error).
+  ///
+  /// The write is atomic: records accumulate in `path + ".tmp"` and only
+  /// finish() renames the temporary over `path`, so a crash mid-checkpoint
+  /// can never leave a torn blob behind — readers see either the previous
+  /// complete file or the new one, never a prefix of the new one.
   BlobWriter(const std::string& path, std::uint64_t magic,
              std::uint32_t version);
 
   /// Appends one tagged, CRC-protected record.
   void add_record(std::uint32_t tag, const void* data, std::uint64_t bytes);
 
-  /// Flushes and closes; throws BlobError if any write failed.  The
-  /// destructor calls this best-effort (swallowing the throw), so callers
-  /// that care about durability must call finish() explicitly.
+  /// Flushes, closes, and renames the temporary into place; throws
+  /// BlobError if any write (or the rename) failed.  The destructor calls
+  /// this best-effort (swallowing the throw), so callers that care about
+  /// durability must call finish() explicitly.
   void finish();
 
   ~BlobWriter();
@@ -54,6 +60,7 @@ class BlobWriter {
  private:
   std::ofstream out_;
   std::string path_;
+  std::string tmp_path_;
   bool finished_ = false;
 };
 

@@ -22,7 +22,8 @@ std::chrono::milliseconds backoff_delay(const RetryPolicy& policy,
 
 std::string describe(const JobFailure& failure) {
   std::string out = "job '" + failure.job + "' ";
-  out += failure.timed_out ? "timed out" : "failed";
+  out += failure.cancelled ? "was cancelled"
+                           : (failure.timed_out ? "timed out" : "failed");
   out += " after " + std::to_string(failure.attempts) + " attempt";
   if (failure.attempts != 1) out += "s";
   if (!failure.message.empty()) out += ": " + failure.message;

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -38,6 +39,12 @@ struct JobOptions {
   std::string name = "job";
   std::chrono::milliseconds timeout{0};  // 0 = unlimited
   RetryPolicy retry;
+  /// Cooperative cancellation: consulted before every attempt (so a
+  /// multi-attempt job stops retrying the moment its requester goes
+  /// away — e.g. a serve request whose deadline expired).  Returning true
+  /// fails the job with JobFailure::cancelled set; an attempt already in
+  /// flight is not interrupted, matching the cooperative timeout model.
+  std::function<bool()> cancelled;
 };
 
 struct JobFailure {
@@ -45,6 +52,7 @@ struct JobFailure {
   int attempts = 0;
   bool timed_out = false;
   std::string message;
+  bool cancelled = false;  // stopped by JobOptions::cancelled, not by error
 };
 
 /// "job 'name' failed after N attempts: message" (or "timed out ...").
@@ -96,8 +104,15 @@ JobOutcome<T> run_job(const JobOptions& options, Body&& body) {
   const clock::time_point start = clock::now();
   std::string last_message;
   bool last_timed_out = false;
+  bool was_cancelled = false;
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (options.cancelled && options.cancelled()) {
+      was_cancelled = true;
+      last_timed_out = false;
+      last_message = "cancelled before attempt " + std::to_string(attempt);
+      break;
+    }
     out.attempts = attempt;
     const clock::time_point attempt_start = clock::now();
     try {
@@ -126,8 +141,8 @@ JobOutcome<T> run_job(const JobOptions& options, Body&& body) {
   }
 
   if (!out.value)
-    out.failure =
-        JobFailure{options.name, out.attempts, last_timed_out, last_message};
+    out.failure = JobFailure{options.name, out.attempts, last_timed_out,
+                             last_message, was_cancelled};
   out.elapsed_s =
       std::chrono::duration<double>(clock::now() - start).count();
   return out;

@@ -13,8 +13,13 @@ const char* reject_reason_name(RejectReason reason) {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kOverBudget: return "over_budget";
     case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kOverloaded: return "overloaded";
   }
   return "?";
+}
+
+bool reject_retryable(RejectReason reason) {
+  return reason == RejectReason::kOverloaded;
 }
 
 std::optional<std::string> tenant_config_error(const TenantConfig& config) {
@@ -79,6 +84,21 @@ void AdmissionController::release_point(const std::string& tenant,
   // Rounding of per-point shares must not leave a phantom charge behind.
   if (usage.pending_points == 0 && usage.charged < 1e-9) usage.charged = 0.0;
   ++usage.completed_points;
+}
+
+void AdmissionController::restore(const std::string& tenant, double cost,
+                                  int points) {
+  HEMO_EXPECTS(cost >= 0.0);
+  HEMO_EXPECTS(points >= 1);
+  TenantUsage& usage = usage_of(tenant);
+  usage.charged += cost;
+  usage.pending_points += points;
+  ++usage.admitted;
+}
+
+double AdmissionController::weight(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.config.weight : defaults_.weight;
 }
 
 const TenantUsage& AdmissionController::usage(const std::string& tenant) {

@@ -38,7 +38,12 @@ enum class RejectReason {
   kQueueFull,     // tenant's pending-point bound exceeded
   kOverBudget,    // predicted cost exceeds the tenant's remaining budget
   kShuttingDown,  // server no longer accepts work
+  kOverloaded,    // load shed: backlog/journal thresholds crossed (retryable)
 };
+
+/// True when the client may simply retry the same request later (the
+/// rejection reflects transient server state, not the request itself).
+bool reject_retryable(RejectReason reason);
 
 const char* reject_reason_name(RejectReason reason);
 
@@ -91,6 +96,17 @@ class AdmissionController {
   /// Releases one completed point's share; `cost` must be the per-point
   /// cost charged at admission (the server tracks it per request).
   void release_point(const std::string& tenant, double cost);
+
+  /// Re-charges a journaled request during crash recovery, bypassing the
+  /// admit() checks: the request was already admitted (and the client
+  /// told so) by the previous process, so the resumed server must honor
+  /// it even if budgets have since been tightened.  Replayed/re-executed
+  /// completions then release the charge through release_point as usual.
+  void restore(const std::string& tenant, double cost, int points);
+
+  /// The fair-share weight in effect for `tenant` (defaults included);
+  /// read by the load shedder to exempt high-priority tenants.
+  double weight(const std::string& tenant) const;
 
   const TenantUsage& usage(const std::string& tenant);
   const std::map<std::string, TenantUsage>& tenants() const {

@@ -45,6 +45,22 @@ std::vector<PointSubscriber> CoalescingBoard::complete(
   return subscribers;
 }
 
+const std::vector<PointSubscriber>* CoalescingBoard::inflight_subscribers(
+    const std::string& key) const {
+  const auto flight = inflight_.find(key);
+  return flight != inflight_.end() ? &flight->second.subscribers : nullptr;
+}
+
+std::vector<PointSubscriber> CoalescingBoard::abandon(const std::string& key) {
+  auto flight = inflight_.find(key);
+  HEMO_EXPECTS(flight != inflight_.end());
+  std::vector<PointSubscriber> subscribers =
+      std::move(flight->second.subscribers);
+  inflight_.erase(flight);
+  ++stats_.abandoned;
+  return subscribers;
+}
+
 void CoalescingBoard::evict_memo_excess() {
   while (memo_.size() > memo_capacity_) {
     auto victim = memo_.begin();

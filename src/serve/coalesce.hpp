@@ -60,6 +60,18 @@ class CoalescingBoard {
   std::vector<PointSubscriber> complete(const std::string& key,
                                         const rt::PointResult& result);
 
+  /// The subscribers of `key`'s in-flight execution, or nullptr when the
+  /// key is not executing.  Read by the deadline layer to decide whether
+  /// an execution still has a live (non-expired) requester.
+  const std::vector<PointSubscriber>* inflight_subscribers(
+      const std::string& key) const;
+
+  /// Drops the in-flight execution of `key` without completing it,
+  /// returning its subscribers (deadline cancellation: every subscriber
+  /// expired, so the result has no recipient and is not memoized).  A
+  /// later claim of the same key starts a fresh execution.
+  std::vector<PointSubscriber> abandon(const std::string& key);
+
   struct Stats {
     std::uint64_t executions = 0;      // claims that started an execution
     std::uint64_t coalesced = 0;       // claims joined to an in-flight one
@@ -67,6 +79,7 @@ class CoalescingBoard {
     std::uint64_t memo_evictions = 0;
     std::uint64_t memo_entries = 0;    // resident when stats() was taken
     std::uint64_t inflight = 0;        // executing when stats() was taken
+    std::uint64_t abandoned = 0;       // executions dropped by deadlines
   };
   Stats stats() const;
 

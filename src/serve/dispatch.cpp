@@ -58,6 +58,28 @@ bool FairShareDispatcher::pop(PointTask* out) {
   }
 }
 
+std::size_t FairShareDispatcher::erase_request(
+    std::uint64_t request_id, std::vector<PointTask>* removed) {
+  std::size_t erased = 0;
+  for (TenantQueue& tenant : ring_) {
+    auto keep = tenant.points.begin();
+    for (auto it = tenant.points.begin(); it != tenant.points.end(); ++it) {
+      if (it->request_id == request_id) {
+        if (removed) removed->push_back(std::move(*it));
+        ++erased;
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    tenant.points.erase(keep, tenant.points.end());
+    // An emptied queue forfeits its credit, same as pop()'s drain rule.
+    if (tenant.points.empty()) tenant.credit = 0.0;
+  }
+  queued_ -= erased;
+  return erased;
+}
+
 FairShareDispatcher::TenantQueue& FairShareDispatcher::tenant_of(
     const std::string& name) {
   for (TenantQueue& tenant : ring_)

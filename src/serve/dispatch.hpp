@@ -56,6 +56,12 @@ class FairShareDispatcher {
   /// Pops the next point by weighted round robin.  False when empty.
   bool pop(PointTask* out);
 
+  /// Removes every queued point of one request (deadline cancellation),
+  /// appending the removed tasks to *removed (when non-null) so the
+  /// caller can release their admission charges.  Returns the count.
+  std::size_t erase_request(std::uint64_t request_id,
+                            std::vector<PointTask>* removed = nullptr);
+
   std::size_t queued() const { return queued_; }
   bool empty() const { return queued_ == 0; }
   /// Points handed out so far; the dispatch sequence number of the next

@@ -161,6 +161,14 @@ bool parse_request(const std::string& line, Request* out, std::string* error) {
             v > static_cast<double>(std::numeric_limits<int>::max()))
           return fail("'max_pending' must be between 1 and 2147483647");
         req.max_pending = static_cast<int>(v);
+      } else if (key == "deadline_ms") {
+        double v = 0.0;
+        if (!p.parse_number(&v)) return fail(p.error);
+        // Bounded like max_pending: the value becomes a milliseconds rep,
+        // so an absurd magnitude must not overflow the cast.
+        if (v < 0.0 || v > 1e12)
+          return fail("'deadline_ms' must be between 0 and 1e12");
+        req.deadline_ms = v;
       } else {
         return fail("unknown field '" + key + "'");
       }

@@ -8,7 +8,8 @@
 //
 // Requests:
 //   {"op": "submit", "tenant": "alice", "name": "job1",
-//    "figure": "fig7", "series": ["crusher:hip:harvey:aorta", ...]}
+//    "figure": "fig7", "series": ["crusher:hip:harvey:aorta", ...],
+//    "deadline_ms": 5000}
 //   {"op": "tenant", "tenant": "alice", "weight": 2.0,
 //    "budget": 50.0, "max_pending": 256}
 //   {"op": "stats"}
@@ -49,6 +50,9 @@ struct Request {
   std::optional<double> weight;      // tenant
   std::optional<double> budget;      // tenant
   std::optional<int> max_pending;    // tenant
+  /// submit: wall-clock budget in milliseconds; past it the request gets
+  /// one deadline_exceeded event and its undelivered points are cancelled.
+  std::optional<double> deadline_ms;
 };
 
 /// Parses one request line.  On failure returns false and sets *error to

@@ -1,0 +1,72 @@
+#pragma once
+// Journal replay for the hemo-durable serving layer: reads a write-ahead
+// journal (serve/journal.hpp) back into the serving state it encoded —
+// tenant configs in effect, every admitted request with its already-
+// completed points, and whether the previous process shut down cleanly.
+//
+// Replay is crash-shaped by construction: it stops at the first torn or
+// CRC-corrupt record (the at-most-one tail a SIGKILL can leave) and
+// reports the byte offset of the valid prefix, which the resuming Journal
+// truncates to before appending.  Records after a completed request's
+// Done marker, duplicate point records, and points for unknown requests
+// are tolerated and ignored — replay must never be the thing that keeps
+// a server from coming back up.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/campaign.hpp"
+#include "serve/journal.hpp"
+
+namespace hemo::serve {
+
+/// One point the previous process completed and journaled: replaying it
+/// delivers the stored result instead of re-executing the point.
+struct RecoveredPoint {
+  std::uint32_t series_index = 0;
+  std::uint32_t point_index = 0;
+  rt::PointResult result;
+};
+
+struct RecoveredRequest {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string name;
+  std::vector<rt::SeriesSpec> series;
+  std::vector<RecoveredPoint> completed;  // journal order, deduplicated
+  bool done = false;
+  WalDoneStatus status = WalDoneStatus::kCompleted;
+  std::uint64_t failed = 0;  // failed-point count from the Done record
+};
+
+struct RecoveredState {
+  /// Tenant configs in record order; a later record for the same tenant
+  /// wins, matching the live configure_tenant semantics.
+  std::vector<std::pair<std::string, TenantConfig>> tenants;
+  /// Admitted requests in admission order (done ones included, so the
+  /// caller can report them).
+  std::vector<RecoveredRequest> requests;
+  bool clean_shutdown = false;
+  /// Byte offset of the valid record prefix — the Journal resume_offset.
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t records = 0;
+  /// Why replay stopped early (torn tail / corrupt record); empty when the
+  /// whole file parsed.
+  std::string truncated_reason;
+
+  std::size_t unfinished_requests() const {
+    std::size_t n = 0;
+    for (const RecoveredRequest& r : requests)
+      if (!r.done) ++n;
+    return n;
+  }
+};
+
+/// Replays the journal at `path`.  A missing file yields an empty state
+/// (first boot); a file with a foreign header throws JournalError —
+/// resuming against someone else's log is operator error, not a crash
+/// artifact.  Torn/corrupt tails are absorbed into truncated_reason.
+RecoveredState replay_journal(const std::string& path);
+
+}  // namespace hemo::serve

@@ -39,13 +39,34 @@ Server::Server(ServeOptions options)
       max_inflight_(options_.max_inflight
                         ? options_.max_inflight
                         : 2 * static_cast<std::size_t>(executor_.workers())),
+      journal_(options_.journal
+                   ? std::make_unique<Journal>(*options_.journal)
+                   : nullptr),
       admission_(options_.tenant_defaults),
-      board_(options_.memo_capacity) {}
+      board_(options_.memo_capacity),
+      deadline_watcher_([this] { deadline_loop(); }) {}
 
 Server::~Server() {
   begin_shutdown();
   wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_deadline_ = true;
+    cv_deadline_.notify_all();
+  }
+  deadline_watcher_.join();
   executor_.shutdown();
+  if (journal_) {
+    // Everything drained and no thread can append anymore: mark the log
+    // cleanly terminated so a restart knows no work was in flight.
+    try {
+      journal_->append(WalTag::kCleanShutdown, WalBuffer());
+      journal_->sync();
+    } catch (const JournalError&) {
+      // Destructor: a failed terminal record degrades the next recovery
+      // to the crash path, which is correct anyway.
+    }
+  }
 }
 
 std::optional<std::string> Server::configure_tenant(
@@ -53,6 +74,13 @@ std::optional<std::string> Server::configure_tenant(
   if (std::optional<std::string> error = tenant_config_error(config))
     return error;
   std::lock_guard<std::mutex> lock(mu_);
+  // Journal before applying: a crash right after the append replays into
+  // the same config this process was about to serve under.
+  if (journal_) {
+    WalBuffer payload;
+    wal_encode_tenant(&payload, tenant, config);
+    journal_locked(WalTag::kTenantConfig, payload);
+  }
   admission_.configure(tenant, config);
   dispatcher_.set_weight(tenant, config.weight);
   return std::nullopt;
@@ -62,6 +90,14 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
                                      const std::string& name,
                                      const std::vector<rt::SeriesSpec>& series,
                                      EventSink sink) {
+  return submit(tenant, name, series, std::move(sink), SubmitOptions{});
+}
+
+Server::SubmitOutcome Server::submit(const std::string& tenant,
+                                     const std::string& name,
+                                     const std::vector<rt::SeriesSpec>& series,
+                                     EventSink sink,
+                                     const SubmitOptions& submit_options) {
   HEMO_EXPECTS(sink != nullptr);
 
   SubmitOutcome outcome;
@@ -97,14 +133,19 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
     }
   }
 
-  // Phase 2, locked: admit, register, queue, pump.
+  // Phase 2, locked: shed, admit, journal, register, queue, pump.
   Touched touched;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    std::string shed_detail;
     if (shutting_down_) {
       ++counters_.rejected_shutting_down;
       outcome.reason = RejectReason::kShuttingDown;
       outcome.detail = "server is shutting down";
+    } else if (overloaded_locked(tenant, &shed_detail)) {
+      ++counters_.rejected_overloaded;
+      outcome.reason = RejectReason::kOverloaded;
+      outcome.detail = std::move(shed_detail);
     } else {
       const AdmissionController::Decision decision = admission_.admit(
           tenant, total_cost, static_cast<int>(total_points));
@@ -126,7 +167,20 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
         request->total_points = total_points;
         request->cost = total_cost;
         request->start = std::chrono::steady_clock::now();
+        if (submit_options.deadline)
+          request->deadline = request->start + *submit_options.deadline;
         request->sink = std::move(sink);
+
+        // WAL discipline: the admission is durable before the accepted
+        // event can reach the client.  A crash before this append means
+        // the client never heard "accepted" and simply re-submits.
+        if (journal_) {
+          WalBuffer payload;
+          wal_encode_admitted(&payload, request->id, tenant, request->name,
+                              series);
+          journal_locked(WalTag::kAdmitted, payload);
+        }
+
         requests_.emplace(request->id, request);
         ++counters_.requests_admitted;
         counters_.points_admitted += total_points;
@@ -155,7 +209,8 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
               failed.schedule = layout[s].schedule[k];
               failed.failure = layout[s].unavailable;
               record_point_locked({request->id, tenant, s, k}, failed,
-                                  /*coalesced=*/false, &touched);
+                                  /*coalesced=*/false, /*recovered=*/false,
+                                  &touched);
               continue;
             }
             PointTask task;
@@ -169,7 +224,15 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
             dispatcher_.enqueue(std::move(task));
           }
         }
-        pump_locked(&touched);
+        if (request->deadline &&
+            std::chrono::steady_clock::now() >= *request->deadline) {
+          // Deterministic zero-budget semantics: an already-expired
+          // deadline cancels everything before anything can dispatch.
+          expire_locked(request, &touched);
+        } else {
+          pump_locked(&touched);
+          if (request->deadline) cv_deadline_.notify_all();
+        }
       }
     }
   }
@@ -184,6 +247,145 @@ Server::SubmitOutcome Server::submit(const std::string& tenant,
     sink(rejected);  // no request registered: nothing to sequence against
   }
   drain(touched);
+  return outcome;
+}
+
+Server::RestoreOutcome Server::restore(
+    const RecoveredState& state,
+    const std::function<EventSink(const RecoveredRequest&)>& sink_factory) {
+  HEMO_EXPECTS(sink_factory != nullptr);
+  RestoreOutcome outcome;
+
+  // Tenant configs first, in record order (later records win), so resumed
+  // requests are re-admitted under the same weights/budgets they ran
+  // under.  Configs are NOT re-journaled: the resumed log already holds
+  // them (resume_offset keeps the valid prefix).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [tenant, config] : state.tenants) {
+      if (tenant_config_error(config)) continue;  // CRC-valid garbage: skip
+      admission_.configure(tenant, config);
+      dispatcher_.set_weight(tenant, config.weight);
+    }
+  }
+
+  for (const RecoveredRequest& recovered : state.requests) {
+    {
+      // Ids must stay unique across the crash even for finished requests.
+      std::lock_guard<std::mutex> lock(mu_);
+      next_request_id_ = std::max(next_request_id_, recovered.id);
+    }
+    if (recovered.done) {
+      ++outcome.requests_already_done;
+      continue;
+    }
+
+    // Unlocked: lay out and price exactly as submit() phase 1 does.
+    struct SeriesLayout {
+      std::vector<sys::SchedulePoint> schedule;
+      std::optional<rt::JobFailure> unavailable;
+    };
+    std::vector<SeriesLayout> layout(recovered.series.size());
+    std::vector<std::vector<double>> point_costs(recovered.series.size());
+    std::size_t total_points = 0;
+    double total_cost = 0.0;
+    for (std::size_t s = 0; s < recovered.series.size(); ++s) {
+      layout[s].schedule = sys::piecewise_schedule(
+          sys::system_spec(recovered.series[s].system).max_devices);
+      layout[s].unavailable = rt::unavailable_failure(recovered.series[s]);
+      point_costs[s].resize(layout[s].schedule.size(), 0.0);
+      total_points += layout[s].schedule.size();
+      if (layout[s].unavailable) continue;
+      for (std::size_t k = 0; k < layout[s].schedule.size(); ++k) {
+        point_costs[s][k] = predicted_point_cost(cache_, recovered.series[s],
+                                                 layout[s].schedule[k]);
+        total_cost += point_costs[s][k];
+      }
+    }
+
+    // Journaled completions, indexed by slot; out-of-range ones (a log
+    // from a different schedule build) are dropped rather than trusted.
+    std::vector<std::vector<const rt::PointResult*>> replayed(
+        recovered.series.size());
+    for (std::size_t s = 0; s < recovered.series.size(); ++s)
+      replayed[s].assign(layout[s].schedule.size(), nullptr);
+    for (const RecoveredPoint& point : recovered.completed)
+      if (point.series_index < replayed.size() &&
+          point.point_index < replayed[point.series_index].size())
+        replayed[point.series_index][point.point_index] = &point.result;
+
+    Touched touched;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto request = std::make_shared<RequestState>();
+      request->id = recovered.id;
+      request->tenant = recovered.tenant;
+      request->name = recovered.name;
+      request->series = recovered.series;
+      request->point_costs = std::move(point_costs);
+      request->total_points = total_points;
+      request->cost = total_cost;
+      request->start = std::chrono::steady_clock::now();
+      request->sink = sink_factory(recovered);
+      HEMO_EXPECTS(request->sink != nullptr);
+
+      // Force-charge: this request already passed admission in the
+      // previous process and its client was told so.
+      admission_.restore(recovered.tenant, total_cost,
+                         static_cast<int>(total_points));
+      requests_.emplace(request->id, request);
+      ++counters_.requests_resumed;
+      counters_.points_admitted += total_points;
+      ++outcome.requests_resumed;
+
+      // Re-deliver the accepted event: the client of the resumed stream
+      // gets the same prologue an uninterrupted run produced.
+      Event accepted;
+      accepted.kind = Event::Kind::kAccepted;
+      accepted.request_id = request->id;
+      accepted.tenant = request->tenant;
+      accepted.name = request->name;
+      accepted.points = total_points;
+      accepted.cost = total_cost;
+      stage_locked(request, std::move(accepted), &touched);
+
+      for (std::size_t s = 0; s < recovered.series.size(); ++s) {
+        for (std::size_t k = 0; k < layout[s].schedule.size(); ++k) {
+          const PointSubscriber subscriber{request->id, request->tenant, s, k};
+          if (replayed[s][k]) {
+            // The dedup path: deliver the journaled result, no execution.
+            record_point_locked(subscriber, *replayed[s][k],
+                                /*coalesced=*/false, /*recovered=*/true,
+                                &touched);
+            ++outcome.points_replayed;
+            continue;
+          }
+          if (layout[s].unavailable) {
+            // Deterministic re-derivation, same as submit().
+            rt::PointResult failed;
+            failed.schedule = layout[s].schedule[k];
+            failed.failure = layout[s].unavailable;
+            record_point_locked(subscriber, failed, /*coalesced=*/false,
+                                /*recovered=*/false, &touched);
+            continue;
+          }
+          PointTask task;
+          task.request_id = request->id;
+          task.tenant = request->tenant;
+          task.series_index = s;
+          task.point_index = k;
+          task.series = recovered.series[s];
+          task.schedule = layout[s].schedule[k];
+          task.key = rt::point_key(recovered.series[s], layout[s].schedule[k]);
+          dispatcher_.enqueue(std::move(task));
+          ++outcome.points_requeued;
+        }
+      }
+      pump_locked(&touched);
+    }
+    drain(touched);
+  }
+
   return outcome;
 }
 
@@ -215,16 +417,31 @@ void Server::pump_locked(Touched* touched) {
       case CoalescingBoard::Claim::kExecute:
         ++inflight_;
         executor_.submit([this, task] {
+          // Deadline fast path: if every subscriber expired while this
+          // task waited for a worker, drop it without pricing.
+          if (abandon_if_expired(task.key)) return;
           if (options_.execution_hook)
             options_.execution_hook(task.series, task.schedule);
-          const rt::PointResult result = rt::price_point(
-              cache_, task.series, task.schedule, options_.job);
+          rt::JobOptions job = options_.job;
+          job.cancelled = [this, key = task.key] {
+            return execution_expired(key);
+          };
+          rt::PointResult result = rt::price_point(cache_, task.series,
+                                                   task.schedule, job);
+          if (!result.ok() && result.failure->cancelled) {
+            if (abandon_if_expired(task.key)) return;
+            // Rare race: a live subscriber coalesced on while the job was
+            // cancelling.  Re-price without the cancel hook — someone is
+            // waiting for a real result now.
+            result = rt::price_point(cache_, task.series, task.schedule,
+                                     options_.job);
+          }
           on_point_complete(task, result);
         });
         break;
       case CoalescingBoard::Claim::kMemoized:
         record_point_locked(subscriber, memoized, /*coalesced=*/true,
-                            touched);
+                            /*recovered=*/false, touched);
         break;
       case CoalescingBoard::Claim::kCoalesced:
         // Attached to the in-flight execution; delivered on completion.
@@ -236,18 +453,39 @@ void Server::pump_locked(Touched* touched) {
 
 void Server::record_point_locked(const PointSubscriber& subscriber,
                                  const rt::PointResult& result,
-                                 bool coalesced, Touched* touched) {
+                                 bool coalesced, bool recovered,
+                                 Touched* touched) {
   // requires mu_ held
   auto it = requests_.find(subscriber.request_id);
   HEMO_EXPECTS(it != requests_.end());
   const std::shared_ptr<RequestState> request = it->second;
 
+  if (request->expired) {
+    // The deadline already fired: the completion frees its budget but no
+    // further point event may follow the deadline_exceeded event.
+    drop_cancelled_point_locked(request, subscriber, touched);
+    return;
+  }
+
   admission_.release_point(
       request->tenant,
       request->point_costs[subscriber.series_index][subscriber.point_index]);
   ++counters_.points_completed;
+  if (recovered) ++counters_.points_replayed;
   ++request->done_points;
   if (!result.ok()) ++request->failed_points;
+
+  // Journal before staging: once the client sees this point event, a
+  // restart must replay the identical result instead of re-executing.
+  // Replayed deliveries are already in the resumed log.
+  if (journal_ && !recovered) {
+    WalBuffer payload;
+    wal_encode_point(&payload, request->id,
+                     static_cast<std::uint32_t>(subscriber.series_index),
+                     static_cast<std::uint32_t>(subscriber.point_index),
+                     result);
+    journal_locked(WalTag::kPoint, payload);
+  }
 
   Event point;
   point.kind = Event::Kind::kPoint;
@@ -259,25 +497,54 @@ void Server::record_point_locked(const PointSubscriber& subscriber,
   point.series = request->series[subscriber.series_index];
   point.result = result;
   point.coalesced = coalesced;
+  point.recovered = recovered;
   stage_locked(request, std::move(point), touched);
 
-  if (request->done_points == request->total_points) {
-    Event done;
-    done.kind = Event::Kind::kDone;
-    done.request_id = request->id;
-    done.tenant = request->tenant;
-    done.name = request->name;
-    done.points = request->total_points;
-    done.cost = request->cost;
-    done.failed = request->failed_points;
-    done.wall_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - request->start)
-                      .count();
-    stage_locked(request, std::move(done), touched);
-    // The shared_ptr in *touched keeps the outbox alive through drain().
-    requests_.erase(it);
-    if (requests_.empty()) cv_idle_.notify_all();
+  maybe_finish_locked(request, touched);
+}
+
+void Server::maybe_finish_locked(const std::shared_ptr<RequestState>& request,
+                                 Touched* touched) {
+  // requires mu_ held
+  if (request->done_points != request->total_points) return;
+
+  if (journal_) {
+    WalBuffer payload;
+    wal_encode_done(&payload, request->id,
+                    request->expired ? WalDoneStatus::kDeadlineExceeded
+                                     : WalDoneStatus::kCompleted,
+                    request->failed_points);
+    journal_locked(WalTag::kDone, payload);
   }
+
+  Event done;
+  done.kind = Event::Kind::kDone;
+  done.request_id = request->id;
+  done.tenant = request->tenant;
+  done.name = request->name;
+  done.points = request->total_points;
+  done.cost = request->cost;
+  done.failed = request->failed_points;
+  done.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - request->start)
+                    .count();
+  stage_locked(request, std::move(done), touched);
+  // The shared_ptr in *touched keeps the outbox alive through drain().
+  requests_.erase(request->id);
+  if (requests_.empty()) cv_idle_.notify_all();
+}
+
+void Server::drop_cancelled_point_locked(
+    const std::shared_ptr<RequestState>& request,
+    const PointSubscriber& subscriber, Touched* touched) {
+  // requires mu_ held
+  admission_.release_point(
+      request->tenant,
+      request->point_costs[subscriber.series_index][subscriber.point_index]);
+  ++counters_.points_cancelled;
+  ++request->done_points;
+  ++request->cancelled_points;
+  maybe_finish_locked(request, touched);
 }
 
 void Server::on_point_complete(const PointTask& task,
@@ -292,10 +559,166 @@ void Server::on_point_complete(const PointTask& task,
     // onto it and are marked as such in their events.
     for (std::size_t i = 0; i < subscribers.size(); ++i)
       record_point_locked(subscribers[i], result, /*coalesced=*/i > 0,
-                          &touched);
+                          /*recovered=*/false, &touched);
     pump_locked(&touched);
   }
   drain(touched);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+void Server::expire_locked(const std::shared_ptr<RequestState>& request,
+                           Touched* touched) {
+  // requires mu_ held
+  if (request->expired || !requests_.count(request->id)) return;
+  request->expired = true;
+  ++counters_.requests_expired;
+
+  // Queued points are cancelled outright; their admission shares free
+  // immediately so the tenant's budget never waits on dead work.
+  std::vector<PointTask> removed;
+  dispatcher_.erase_request(request->id, &removed);
+  const std::size_t delivered =
+      request->done_points - request->cancelled_points;
+  for (const PointTask& task : removed) {
+    admission_.release_point(
+        request->tenant,
+        request->point_costs[task.series_index][task.point_index]);
+    ++counters_.points_cancelled;
+    ++request->done_points;
+    ++request->cancelled_points;
+  }
+
+  Event expired_event;
+  expired_event.kind = Event::Kind::kDeadlineExceeded;
+  expired_event.request_id = request->id;
+  expired_event.tenant = request->tenant;
+  expired_event.name = request->name;
+  expired_event.points = request->total_points;
+  expired_event.delivered = delivered;
+  expired_event.cancelled = request->total_points - delivered;
+  stage_locked(request, std::move(expired_event), touched);
+
+  // In-flight completions (board subscriptions) account on arrival via
+  // drop_cancelled_point_locked; when none are outstanding this finishes
+  // the request right here.
+  maybe_finish_locked(request, touched);
+}
+
+void Server::deadline_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_deadline_) {
+    std::optional<std::chrono::steady_clock::time_point> next;
+    for (const auto& [id, request] : requests_)
+      if (request->deadline && !request->expired &&
+          (!next || *request->deadline < *next))
+        next = request->deadline;
+    if (!next) {
+      cv_deadline_.wait(lock);
+      continue;
+    }
+    if (cv_deadline_.wait_until(lock, *next) != std::cv_status::timeout)
+      continue;  // re-scan: new request, or shutdown
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<RequestState>> due;
+    for (const auto& [id, request] : requests_)
+      if (request->deadline && !request->expired && now >= *request->deadline)
+        due.push_back(request);
+    Touched touched;
+    for (const std::shared_ptr<RequestState>& request : due)
+      expire_locked(request, &touched);
+    if (!touched.empty()) {
+      lock.unlock();
+      drain(touched);
+      lock.lock();
+    }
+  }
+}
+
+bool Server::execution_expired(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<PointSubscriber>* subscribers =
+      board_.inflight_subscribers(key);
+  if (!subscribers || subscribers->empty()) return false;
+  for (const PointSubscriber& subscriber : *subscribers) {
+    const auto it = requests_.find(subscriber.request_id);
+    if (it != requests_.end() && !it->second->expired) return false;
+  }
+  return true;
+}
+
+bool Server::abandon_if_expired(const std::string& key) {
+  Touched touched;
+  bool abandoned = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<PointSubscriber>* subscribers =
+        board_.inflight_subscribers(key);
+    bool all_expired = subscribers && !subscribers->empty();
+    if (all_expired)
+      for (const PointSubscriber& subscriber : *subscribers) {
+        const auto it = requests_.find(subscriber.request_id);
+        if (it != requests_.end() && !it->second->expired) {
+          all_expired = false;
+          break;
+        }
+      }
+    if (all_expired) {
+      for (const PointSubscriber& subscriber : board_.abandon(key)) {
+        const auto it = requests_.find(subscriber.request_id);
+        if (it != requests_.end())
+          drop_cancelled_point_locked(it->second, subscriber, &touched);
+      }
+      --inflight_;
+      pump_locked(&touched);
+      abandoned = true;
+    }
+  }
+  drain(touched);
+  return abandoned;
+}
+
+// ---------------------------------------------------------------------------
+// Load shedding & journaling
+// ---------------------------------------------------------------------------
+
+bool Server::overloaded_locked(const std::string& tenant,
+                               std::string* detail) {
+  // requires mu_ held
+  if (options_.shed_queue_depth > 0) {
+    const std::size_t backlog = dispatcher_.queued();
+    if (backlog >= options_.shed_queue_depth) {
+      const std::size_t hard =
+          options_.shed_queue_depth *
+          std::max<std::size_t>(1, options_.shed_hard_factor);
+      const bool exempt =
+          admission_.weight(tenant) >= options_.shed_exempt_weight &&
+          backlog < hard;
+      if (!exempt) {
+        *detail = "service overloaded: " + std::to_string(backlog) +
+                  " points queued (shed threshold " +
+                  std::to_string(options_.shed_queue_depth) +
+                  "); retry later";
+        return true;
+      }
+    }
+  }
+  if (options_.shed_fsync_backlog > 0 && journal_ &&
+      journal_->unsynced() >= options_.shed_fsync_backlog) {
+    *detail = "service overloaded: " +
+              std::to_string(journal_->unsynced()) +
+              " journal records awaiting fsync (threshold " +
+              std::to_string(options_.shed_fsync_backlog) + "); retry later";
+    return true;
+  }
+  return false;
+}
+
+void Server::journal_locked(WalTag tag, const WalBuffer& payload) {
+  // requires mu_ held (record order must match event staging order)
+  journal_->append(tag, payload);
 }
 
 void Server::stage_locked(const std::shared_ptr<RequestState>& request,
@@ -329,6 +752,11 @@ void Server::drain(const Touched& touched) {
 ServeStats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats out = counters_;
+  if (journal_) {
+    out.journal_active = true;
+    out.journal_records = journal_->appended();
+    out.journal_unsynced = journal_->unsynced();
+  }
   out.queued = dispatcher_.queued();
   out.dispatched = dispatcher_.dispatched();
   out.board = board_.stats();
@@ -364,21 +792,41 @@ ServeHandle::ServeHandle(Server& server, std::string tenant)
 
 Server::SubmitOutcome ServeHandle::submit(
     const std::string& name, const std::vector<rt::SeriesSpec>& series) {
-  const Server::SubmitOutcome outcome =
-      server_.submit(tenant_, name, series, [this](const Event& event) {
+  return submit(name, series, Server::SubmitOptions{});
+}
+
+Server::SubmitOutcome ServeHandle::submit(
+    const std::string& name, const std::vector<rt::SeriesSpec>& series,
+    const Server::SubmitOptions& options) {
+  const Server::SubmitOutcome outcome = server_.submit(
+      tenant_, name, series,
+      [this](const Event& event) {
         // Notify *under* the lock: a waiter that pops the done event may
         // destroy this handle the moment it can reacquire mu_, so the
         // notify must have returned by then.
         std::lock_guard<std::mutex> lock(mu_);
         events_.push_back(event);
         cv_.notify_all();
-      });
+      },
+      options);
   if (outcome.admitted) {
     std::lock_guard<std::mutex> lock(mu_);
     submitted_[outcome.request_id] =
         Submitted{name.empty() ? "campaign" : name, series};
   }
   return outcome;
+}
+
+Server::EventSink ServeHandle::adopt(const RecoveredRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_[request.id] = Submitted{request.name, request.series};
+  }
+  return [this](const Event& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+    cv_.notify_all();
+  };
 }
 
 std::optional<Event> ServeHandle::next_event(std::chrono::milliseconds timeout) {
@@ -463,8 +911,9 @@ std::string event_json(const Event& event) {
     case Event::Kind::kRejected:
       os << "{\"event\": \"rejected\", \"tenant\": \""
          << json_escape(event.tenant) << "\", \"reason\": \""
-         << reject_reason_name(event.reason) << "\", \"detail\": \""
-         << json_escape(event.detail) << "\"}";
+         << reject_reason_name(event.reason) << "\", \"retryable\": "
+         << (reject_retryable(event.reason) ? "true" : "false")
+         << ", \"detail\": \"" << json_escape(event.detail) << "\"}";
       break;
     case Event::Kind::kPoint: {
       const rt::PointResult& p = event.result;
@@ -486,10 +935,18 @@ std::string event_json(const Event& event) {
            << (p.failure->timed_out ? "timeout" : "failed")
            << "\", \"error\": \"" << json_escape(p.failure->message) << "\"";
       }
-      os << ", \"coalesced\": " << (event.coalesced ? "true" : "false")
-         << "}";
+      os << ", \"coalesced\": " << (event.coalesced ? "true" : "false");
+      if (event.recovered) os << ", \"recovered\": true";
+      os << "}";
       break;
     }
+    case Event::Kind::kDeadlineExceeded:
+      os << "{\"event\": \"deadline_exceeded\", \"request\": "
+         << event.request_id << ", \"tenant\": \""
+         << json_escape(event.tenant) << "\", \"points\": " << event.points
+         << ", \"delivered\": " << event.delivered
+         << ", \"cancelled\": " << event.cancelled << "}";
+      break;
     case Event::Kind::kDone:
       os << "{\"event\": \"done\", \"request\": " << event.request_id
          << ", \"tenant\": \"" << json_escape(event.tenant)
@@ -510,16 +967,26 @@ std::string stats_json(const ServeStats& stats) {
      << ", \"rejected_queue_full\": " << stats.rejected_queue_full
      << ", \"rejected_over_budget\": " << stats.rejected_over_budget
      << ", \"rejected_shutting_down\": " << stats.rejected_shutting_down
+     << ", \"rejected_overloaded\": " << stats.rejected_overloaded
+     << ", \"expired\": " << stats.requests_expired
+     << ", \"resumed\": " << stats.requests_resumed
      << "}, \"points\": {\"admitted\": " << stats.points_admitted
      << ", \"completed\": " << stats.points_completed
+     << ", \"cancelled\": " << stats.points_cancelled
+     << ", \"replayed\": " << stats.points_replayed
      << ", \"queued\": " << stats.queued
      << ", \"dispatched\": " << stats.dispatched
+     << "}, \"journal\": {\"active\": "
+     << (stats.journal_active ? "true" : "false")
+     << ", \"records\": " << stats.journal_records
+     << ", \"unsynced\": " << stats.journal_unsynced
      << "}, \"coalescing\": {\"executions\": " << stats.board.executions
      << ", \"coalesced\": " << stats.board.coalesced
      << ", \"memo_hits\": " << stats.board.memo_hits
      << ", \"memo_evictions\": " << stats.board.memo_evictions
      << ", \"memo_entries\": " << stats.board.memo_entries
      << ", \"inflight\": " << stats.board.inflight
+     << ", \"abandoned\": " << stats.board.abandoned
      << "}, \"cache\": {\"hits\": " << stats.cache.hits
      << ", \"misses\": " << stats.cache.misses
      << ", \"evictions\": " << stats.cache.evictions

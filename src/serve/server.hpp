@@ -25,6 +25,22 @@
 // complete, then done last — even when a worker finishes a point before
 // the submitting thread has returned.
 //
+// Durability (hemo-durable): with ServeOptions::journal set, tenant
+// configs, admissions, point completions and terminal statuses are
+// appended to a write-ahead journal *before* the corresponding event is
+// staged for a client, so restore() can replay a crashed process's log
+// and finish its unfinished requests byte-identically (already-completed
+// points are delivered from the journal, never re-executed).
+//
+// Deadlines: a submit may carry a deadline; when it passes, the request's
+// queued points are cancelled (their admission budget freed), in-flight
+// executions every subscriber abandoned are dropped cooperatively, and
+// the client receives exactly one deadline_exceeded event before done.
+//
+// Overload shedding: past a configurable dispatcher-backlog (or unsynced-
+// journal) threshold, new work from non-exempt tenants is rejected with
+// the retryable `overloaded` reason instead of queuing unboundedly.
+//
 // The in-process ServeHandle below is the no-socket client used by tests
 // and embedders; the wire front-end lives in serve/socket.hpp.
 
@@ -37,6 +53,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -47,6 +64,8 @@
 #include "serve/admission.hpp"
 #include "serve/coalesce.hpp"
 #include "serve/dispatch.hpp"
+#include "serve/journal.hpp"
+#include "serve/recovery.hpp"
 
 namespace hemo::serve {
 
@@ -71,18 +90,37 @@ struct ServeOptions {
   /// park executions here to force an in-flight overlap.
   std::function<void(const rt::SeriesSpec&, const sys::SchedulePoint&)>
       execution_hook;
+
+  /// Write-ahead journal (serve/journal.hpp); nullopt = no durability.
+  /// Resuming an existing journal additionally requires restore() with
+  /// the replayed state (see JournalOptions::resume_offset).
+  std::optional<JournalOptions> journal;
+
+  /// Load shedding: when the fair-share backlog reaches this depth, new
+  /// submits from tenants below shed_exempt_weight are rejected with the
+  /// retryable kOverloaded reason.  0 = shedding off.
+  std::size_t shed_queue_depth = 0;
+  /// Tenants with weight >= this keep being admitted through a shed —
+  /// until the hard limit below, which protects the server itself.
+  double shed_exempt_weight = 2.0;
+  /// Even exempt tenants are shed at shed_queue_depth * this factor.
+  std::size_t shed_hard_factor = 2;
+  /// Shed every new submit while this many journal records await fsync
+  /// (group-commit backlog).  0 = off.  With group_commit == 1 the
+  /// backlog is always 0 and this never fires.
+  std::size_t shed_fsync_backlog = 0;
 };
 
 /// One streamed server-to-client notification.
 struct Event {
-  enum class Kind { kAccepted, kRejected, kPoint, kDone };
+  enum class Kind { kAccepted, kRejected, kPoint, kDeadlineExceeded, kDone };
 
   Kind kind = Kind::kAccepted;
   std::uint64_t request_id = 0;
   std::string tenant;
   std::string name;  // campaign name as submitted
 
-  // kAccepted / kDone
+  // kAccepted / kDeadlineExceeded / kDone
   std::size_t points = 0;
   double cost = 0.0;  // predicted device-seconds charged at admission
 
@@ -98,6 +136,14 @@ struct Event {
   /// True when this delivery did not run its own execution: it joined an
   /// in-flight identical point or was answered from the result memo.
   bool coalesced = false;
+  /// True when the result was replayed from the write-ahead journal
+  /// during crash recovery (no execution this process).
+  bool recovered = false;
+
+  // kDeadlineExceeded: points delivered before the deadline / cancelled by
+  // it.  Exactly one such event per expired request, before its done.
+  std::size_t delivered = 0;
+  std::size_t cancelled = 0;
 
   // kDone
   std::size_t failed = 0;
@@ -110,10 +156,26 @@ struct ServeStats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_over_budget = 0;
   std::uint64_t rejected_shutting_down = 0;
+  std::uint64_t rejected_overloaded = 0;  // load shed (retryable)
   std::uint64_t points_admitted = 0;
-  std::uint64_t points_completed = 0;
+  std::uint64_t points_completed = 0;  // delivered to a live request
   std::uint64_t queued = 0;      // backlog in the fair-share queues
   std::uint64_t dispatched = 0;  // points handed to the coalescing board
+
+  // Deadlines.
+  std::uint64_t requests_expired = 0;  // deadline_exceeded events emitted
+  std::uint64_t points_cancelled = 0;  // deliveries dropped by a deadline
+
+  // Crash recovery (restore()).
+  std::uint64_t requests_resumed = 0;  // unfinished requests re-admitted
+  std::uint64_t points_replayed = 0;   // delivered from the journal, no
+                                       // re-execution (the dedup counter)
+
+  // Journal.
+  bool journal_active = false;
+  std::uint64_t journal_records = 0;   // appended this process
+  std::uint64_t journal_unsynced = 0;  // awaiting fsync (group commit)
+
   CoalescingBoard::Stats board;
   rt::ArtifactCache::Stats cache;
   std::vector<rt::ArtifactCache::Stats> cache_shards;
@@ -122,7 +184,8 @@ struct ServeStats {
 
   std::uint64_t requests_rejected() const {
     return rejected_bad_request + rejected_queue_full +
-           rejected_over_budget + rejected_shutting_down;
+           rejected_over_budget + rejected_shutting_down +
+           rejected_overloaded;
   }
 };
 
@@ -151,6 +214,16 @@ class Server {
     std::string detail;
   };
 
+  struct SubmitOptions {
+    /// Time the request has to complete, measured from admission.  When
+    /// it passes, undelivered points are cancelled, their admission
+    /// budget freed, and the sink receives one deadline_exceeded event
+    /// followed by done.  nullopt = no deadline.  Deadlines are NOT
+    /// persisted: a request resumed from the journal runs to completion
+    /// (its original wall-clock budget is meaningless after a restart).
+    std::optional<std::chrono::milliseconds> deadline;
+  };
+
   /// Admits or rejects one campaign request.  On admission the request's
   /// points are queued and `sink` will receive its accepted/point/done
   /// events (the accepted event is always delivered before any point
@@ -160,6 +233,29 @@ class Server {
   SubmitOutcome submit(const std::string& tenant, const std::string& name,
                        const std::vector<rt::SeriesSpec>& series,
                        EventSink sink);
+  SubmitOutcome submit(const std::string& tenant, const std::string& name,
+                       const std::vector<rt::SeriesSpec>& series,
+                       EventSink sink, const SubmitOptions& options);
+
+  struct RestoreOutcome {
+    std::size_t requests_resumed = 0;       // unfinished, re-admitted
+    std::size_t requests_already_done = 0;  // terminal in the journal
+    std::size_t points_replayed = 0;        // delivered from the journal
+    std::size_t points_requeued = 0;        // will (re-)execute
+  };
+
+  /// Crash recovery: applies a replayed journal (serve/recovery.hpp) —
+  /// tenant configs first, then every unfinished request is re-admitted
+  /// under its original id, its journaled points delivered immediately
+  /// (marked recovered, never re-executed) and the remainder queued for
+  /// execution.  `sink_factory` supplies the event sink of each resumed
+  /// request (its accepted event is re-delivered, then points, then
+  /// done).  Must be called before any submit, on a Server whose
+  /// journal (if any) resumes the same log (JournalOptions::resume_offset
+  /// = state.valid_bytes), so replayed records are not re-appended.
+  RestoreOutcome restore(
+      const RecoveredState& state,
+      const std::function<EventSink(const RecoveredRequest&)>& sink_factory);
 
   /// Counts and emits a bad_request rejection for a request that never
   /// reached submit() — the wire front-end routes parse errors here so
@@ -189,10 +285,13 @@ class Server {
     std::vector<rt::SeriesSpec> series;
     std::vector<std::vector<double>> point_costs;  // [series][point]
     std::size_t total_points = 0;
-    std::size_t done_points = 0;
+    std::size_t done_points = 0;  // accounted: delivered, cancelled, dropped
     std::size_t failed_points = 0;
+    std::size_t cancelled_points = 0;  // deadline-cancelled deliveries
     double cost = 0.0;
     std::chrono::steady_clock::time_point start;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    bool expired = false;  // deadline passed; no more point events
     EventSink sink;
     /// Events staged under mu_ in delivery order; drained outside the
     /// lock by one thread at a time (see drain()).  Sequencing per
@@ -211,17 +310,45 @@ class Server {
   void pump_locked(Touched* touched);
   void record_point_locked(const PointSubscriber& subscriber,
                            const rt::PointResult& result, bool coalesced,
-                           Touched* touched);
+                           bool recovered, Touched* touched);
   void on_point_complete(const PointTask& task,
                          const rt::PointResult& result);
+  /// Stages done + journals the terminal record + erases the request once
+  /// every point is accounted for.
+  void maybe_finish_locked(const std::shared_ptr<RequestState>& request,
+                           Touched* touched);
+  /// Accounts one delivery that was cancelled by the request's deadline:
+  /// releases its admission share without staging a point event.
+  void drop_cancelled_point_locked(
+      const std::shared_ptr<RequestState>& request,
+      const PointSubscriber& subscriber, Touched* touched);
+  /// Deadline expiry of one request: erase its queued points, free their
+  /// budgets, stage the single deadline_exceeded event.
+  void expire_locked(const std::shared_ptr<RequestState>& request,
+                     Touched* touched);
+  /// The background deadline watcher (one thread, parked on cv_deadline_).
+  void deadline_loop();
+  /// True when `key`'s in-flight execution has no live subscriber left —
+  /// the rt::JobOptions::cancelled callback of serve executions.
+  bool execution_expired(const std::string& key);
+  /// Worker-side fast path: if every subscriber of `key` expired, drop
+  /// the execution (board abandon + accounting) and return true.
+  bool abandon_if_expired(const std::string& key);
+  /// Load-shed decision for one new submit (requires mu_).
+  bool overloaded_locked(const std::string& tenant, std::string* detail);
+  /// Appends one journal record iff journaling is on (requires mu_ so
+  /// record order matches staging order).
+  void journal_locked(WalTag tag, const WalBuffer& payload);
 
   ServeOptions options_;
   rt::ArtifactCache cache_;
   rt::Executor executor_;
   std::size_t max_inflight_;  // immutable after construction
+  std::unique_ptr<Journal> journal_;  // null = durability off
 
   mutable std::mutex mu_;
   std::condition_variable cv_idle_;  // requests_ drained to empty
+  std::condition_variable cv_deadline_;  // wakes the deadline watcher
   AdmissionController admission_;
   FairShareDispatcher dispatcher_;
   CoalescingBoard board_;
@@ -229,7 +356,10 @@ class Server {
   std::uint64_t next_request_id_ = 0;
   std::size_t inflight_ = 0;  // executions occupying the window
   bool shutting_down_ = false;
+  bool stop_deadline_ = false;  // tells the watcher to exit
   ServeStats counters_;  // the plain tallies of stats(); subsystems add theirs
+
+  std::thread deadline_watcher_;  // last member: joined in the destructor
 };
 
 // ---------------------------------------------------------------------------
@@ -246,6 +376,16 @@ class ServeHandle {
   /// Submits a campaign; events will arrive on this handle's queue.
   Server::SubmitOutcome submit(const std::string& name,
                                const std::vector<rt::SeriesSpec>& series);
+  Server::SubmitOutcome submit(const std::string& name,
+                               const std::vector<rt::SeriesSpec>& series,
+                               const Server::SubmitOptions& options);
+
+  /// Recovery adapter: returns the EventSink Server::restore() needs for
+  /// one resumed request and registers the request on this handle, so
+  /// wait(request.id) assembles its campaign exactly as for a request
+  /// submitted here.  The handle's tenant is not consulted — the resumed
+  /// request keeps its journaled tenant.
+  Server::EventSink adopt(const RecoveredRequest& request);
 
   /// Pops the next event, blocking up to `timeout`.
   std::optional<Event> next_event(

@@ -142,7 +142,11 @@ void SocketServer::handle_line(const std::string& line,
         server_.reject_bad_request(error, sink);
         return;
       }
-      server_.submit(request.tenant, request.name, series, sink);
+      Server::SubmitOptions options;
+      if (request.deadline_ms)
+        options.deadline = std::chrono::milliseconds(
+            static_cast<std::chrono::milliseconds::rep>(*request.deadline_ms));
+      server_.submit(request.tenant, request.name, series, sink, options);
       return;
     }
     case Op::kTenant: {
@@ -175,6 +179,13 @@ void SocketServer::handle_line(const std::string& line,
 void SocketServer::wait_shutdown() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_shutdown_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void SocketServer::request_shutdown() {
+  server_.begin_shutdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_requested_ = true;
+  cv_shutdown_.notify_all();
 }
 
 void SocketServer::stop() {

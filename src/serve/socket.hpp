@@ -44,8 +44,15 @@ class SocketServer {
   /// The bound port (the chosen one when options.port was 0).
   std::uint16_t port() const { return port_; }  // immutable after construction
 
-  /// Blocks until a client sends {"op": "shutdown"}.
+  /// Blocks until a client sends {"op": "shutdown"} or
+  /// request_shutdown() is called.
   void wait_shutdown();
+
+  /// Out-of-band shutdown trigger (the SIGINT/SIGTERM path of the CLI):
+  /// stops the Server's intake and releases wait_shutdown().  Safe from
+  /// any thread — but NOT from a signal handler directly; handlers hand
+  /// it to a watcher thread via a self-pipe (see tools/hemo_serve.cpp).
+  void request_shutdown();
 
   /// Stops accepting, closes every connection, joins all threads.
   /// Idempotent; the destructor calls it.

@@ -1,0 +1,249 @@
+// Request deadlines end to end: an expired request gets exactly one
+// deadline_exceeded event (then done), its queued points are cancelled
+// and their admission budget freed, in-flight executions are dropped
+// cooperatively, and an expiry never blocks the server's drain.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/campaign.hpp"
+#include "serve/server.hpp"
+
+namespace hemo::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+rt::SeriesSpec series_of(const std::string& text) {
+  rt::SeriesSpec spec;
+  EXPECT_TRUE(rt::parse_series(text, &spec)) << text;
+  return spec;
+}
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+struct EventTally {
+  std::size_t accepted = 0;
+  std::size_t points = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t done = 0;
+  Event accepted_event;
+  Event deadline_event;
+};
+
+/// Drains one request's events until done; the relative order asserted
+/// here (a deadline_exceeded, when present, arrives before done and
+/// after which no point events follow) is the wire contract.
+EventTally drain(ServeHandle& client) {
+  EventTally tally;
+  for (;;) {
+    const std::optional<Event> event = client.next_event();
+    EXPECT_TRUE(event.has_value());
+    if (!event) return tally;
+    switch (event->kind) {
+      case Event::Kind::kAccepted:
+        ++tally.accepted;
+        tally.accepted_event = *event;
+        break;
+      case Event::Kind::kPoint:
+        ++tally.points;
+        EXPECT_EQ(tally.deadline_exceeded, 0u)
+            << "point event after deadline_exceeded";
+        break;
+      case Event::Kind::kDeadlineExceeded:
+        ++tally.deadline_exceeded;
+        tally.deadline_event = *event;
+        break;
+      case Event::Kind::kDone: ++tally.done; return tally;
+      case Event::Kind::kRejected: ADD_FAILURE() << "rejected"; return tally;
+    }
+  }
+}
+
+const TenantUsage* usage_of(const ServeStats& stats,
+                            const std::string& tenant) {
+  for (const auto& [name, usage] : stats.tenants)
+    if (name == tenant) return &usage;
+  return nullptr;
+}
+
+// A deadline of zero is already expired at submission: deterministic
+// zero-budget semantics — admitted, then every point cancelled before
+// any executes, with the charged budget released in full.
+TEST(Deadline, ZeroDeadlineCancelsEverythingDeterministically) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  ServeHandle client(server, "alice");
+
+  Server::SubmitOptions submit;
+  submit.deadline = milliseconds(0);
+  const Server::SubmitOutcome outcome = client.submit(
+      "expired", {series_of("polaris:cuda:harvey:cylinder-slab")}, submit);
+  ASSERT_TRUE(outcome.admitted);
+
+  const EventTally tally = drain(client);
+  EXPECT_EQ(tally.accepted, 1u);
+  EXPECT_EQ(tally.points, 0u);
+  EXPECT_EQ(tally.deadline_exceeded, 1u);
+  EXPECT_EQ(tally.done, 1u);
+  EXPECT_EQ(tally.deadline_event.delivered, 0u);
+  EXPECT_EQ(tally.deadline_event.cancelled, tally.deadline_event.points);
+  EXPECT_GT(tally.deadline_event.points, 0u);
+
+  server.wait_idle();  // the expired request must not block drain
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_expired, 1u);
+  EXPECT_EQ(stats.points_cancelled, stats.points_admitted);
+  EXPECT_EQ(stats.points_completed, 0u);
+  EXPECT_EQ(stats.board.executions, 0u);
+
+  // The admission budget is fully released: the tenant can immediately
+  // hold new work again.
+  const TenantUsage* usage = usage_of(stats, "alice");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->charged, 0.0);
+  EXPECT_EQ(usage->pending_points, 0);
+}
+
+// The watcher-thread path: the deadline passes while the first point is
+// parked in flight.  The queued remainder is cancelled immediately; the
+// parked execution is dropped when it finally completes; done arrives
+// only after every point is accounted.
+TEST(Deadline, ExpiryMidFlightDropsInFlightExecutionCooperatively) {
+  Gate gate;
+  ServeOptions options;
+  options.workers = 1;
+  options.max_inflight = 1;
+  options.execution_hook = [&](const rt::SeriesSpec&,
+                               const sys::SchedulePoint&) { gate.wait(); };
+  Server server(options);
+  ServeHandle client(server, "alice");
+
+  Server::SubmitOptions submit;
+  submit.deadline = milliseconds(50);
+  const Server::SubmitOutcome outcome = client.submit(
+      "parked", {series_of("polaris:cuda:harvey:cylinder-slab")}, submit);
+  ASSERT_TRUE(outcome.admitted);
+
+  // The deadline_exceeded event arrives while the execution is still
+  // parked — expiry must not wait for the in-flight point.
+  std::optional<Event> event;
+  do {
+    event = client.next_event();
+    ASSERT_TRUE(event.has_value());
+    ASSERT_NE(event->kind, Event::Kind::kDone)
+        << "done before the parked execution was released";
+  } while (event->kind != Event::Kind::kDeadlineExceeded);
+
+  gate.release();
+  for (;;) {
+    event = client.next_event();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_NE(event->kind, Event::Kind::kPoint)
+        << "point delivered after deadline_exceeded";
+    if (event->kind == Event::Kind::kDone) break;
+  }
+
+  server.wait_idle();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_expired, 1u);
+  EXPECT_EQ(stats.points_completed, 0u);
+  EXPECT_EQ(stats.points_cancelled, stats.points_admitted);
+  const TenantUsage* usage = usage_of(stats, "alice");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->charged, 0.0);
+  EXPECT_EQ(usage->pending_points, 0);
+}
+
+// A deadline the campaign beats comfortably changes nothing: no
+// deadline_exceeded event, all points delivered.
+TEST(Deadline, GenerousDeadlineIsInert) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  ServeHandle client(server, "alice");
+
+  Server::SubmitOptions submit;
+  submit.deadline = milliseconds(60000);
+  const Server::SubmitOutcome outcome = client.submit(
+      "plenty", {series_of("polaris:cuda:harvey:cylinder-slab")}, submit);
+  ASSERT_TRUE(outcome.admitted);
+
+  const EventTally tally = drain(client);
+  EXPECT_EQ(tally.deadline_exceeded, 0u);
+  EXPECT_EQ(tally.points, tally.accepted_event.points);
+  EXPECT_GT(tally.points, 0u);
+  EXPECT_EQ(tally.done, 1u);
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_expired, 0u);
+  EXPECT_EQ(stats.points_cancelled, 0u);
+  EXPECT_EQ(stats.points_completed, stats.points_admitted);
+}
+
+// An expired request frees budget for the next one: with a budget sized
+// for a single campaign, a zero-deadline submit followed by a normal
+// submit must both be admitted.
+TEST(Deadline, ExpiryReleasesBudgetForSubsequentAdmissions) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  ServeHandle client(server, "alice");
+
+  // Find the campaign's cost from a probe admission, then configure the
+  // tenant to exactly that budget.
+  const std::vector<rt::SeriesSpec> series = {
+      series_of("polaris:cuda:harvey:cylinder-slab")};
+  const Server::SubmitOutcome probe = client.submit("probe", series);
+  ASSERT_TRUE(probe.admitted);
+  client.wait(probe.request_id);
+  double cost = 0.0;
+  {
+    const ServeStats stats = server.stats();
+    const TenantUsage* usage = usage_of(stats, "alice");
+    ASSERT_NE(usage, nullptr);
+    EXPECT_EQ(usage->charged, 0.0);
+  }
+  {
+    Server::SubmitOptions expired;
+    expired.deadline = milliseconds(0);
+    const Server::SubmitOutcome outcome =
+        client.submit("expired", series, expired);
+    ASSERT_TRUE(outcome.admitted);
+    const EventTally tally = drain(client);
+    EXPECT_EQ(tally.deadline_exceeded, 1u);
+    cost = tally.accepted_event.cost;
+  }
+  TenantConfig config;
+  config.budget = cost > 0.0 ? cost : 1.0;
+  ASSERT_FALSE(server.configure_tenant("alice", config));
+  const Server::SubmitOutcome after = client.submit("after", series);
+  EXPECT_TRUE(after.admitted) << after.detail;
+  client.wait(after.request_id);
+  server.wait_idle();
+}
+
+}  // namespace
+}  // namespace hemo::serve

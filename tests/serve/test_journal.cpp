@@ -1,0 +1,261 @@
+// The write-ahead journal in isolation: codec roundtrips (doubles must
+// survive bit-exactly — the byte-identical-CSV property hangs on it),
+// append/fsync accounting under group commit, and the open policies that
+// keep stale logs from being silently clobbered or blindly extended.
+
+#include "serve/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rt/campaign.hpp"
+
+namespace hemo::serve {
+namespace {
+
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::uint64_t file_size(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<std::uint64_t>(is.tellg()) : 0;
+}
+
+rt::SeriesSpec series_of(const std::string& text) {
+  rt::SeriesSpec spec;
+  EXPECT_TRUE(rt::parse_series(text, &spec)) << text;
+  return spec;
+}
+
+rt::PointResult sample_point(bool failed) {
+  rt::PointResult point;
+  point.schedule.devices = 16;
+  point.schedule.size_multiplier = 2;
+  point.attempts = failed ? 3 : 1;
+  if (failed) {
+    rt::JobFailure failure;
+    failure.job = "point-job";
+    failure.attempts = 3;
+    failure.timed_out = true;
+    failure.message = "injected timeout";
+    point.failure = failure;
+    return point;
+  }
+  point.sim.devices = 16;
+  point.sim.size_multiplier = 2;
+  point.sim.total_points = 123456.0;
+  point.sim.mflups = 8961.574538231;       // not representable exactly:
+  point.sim.iteration_s = 0.003246629468;  // bit-exactness is the test
+  point.sim.worst_rank.streamcollide_s = 0.25;
+  point.sim.worst_rank.comm_s = 0.0123456789;
+  point.sim.worst_rank.h2d_s = 1.25e-4;
+  point.sim.worst_rank.d2h_s = -0.0;  // signed zero must survive
+  point.prediction.t_streamcollide_s = 0.0011;
+  point.prediction.t_comm_s = 0.0007;
+  point.prediction.t_total_s = 0.0018;
+  point.prediction.mflups = 16085.09489;
+  point.prediction.surface_points = 98304.0;
+  point.prediction.comm_events = 6;
+  return point;
+}
+
+void expect_bit_equal(const rt::PointResult& a, const rt::PointResult& b) {
+  EXPECT_EQ(a.schedule.devices, b.schedule.devices);
+  EXPECT_EQ(a.schedule.size_multiplier, b.schedule.size_multiplier);
+  EXPECT_EQ(a.attempts, b.attempts);
+  ASSERT_EQ(a.failure.has_value(), b.failure.has_value());
+  if (a.failure) {
+    EXPECT_EQ(a.failure->job, b.failure->job);
+    EXPECT_EQ(a.failure->attempts, b.failure->attempts);
+    EXPECT_EQ(a.failure->timed_out, b.failure->timed_out);
+    EXPECT_EQ(a.failure->message, b.failure->message);
+  }
+  // Doubles compared through their bit patterns: == would also accept
+  // -0.0 vs 0.0 and miss NaN payload changes.
+  auto bits = [](double v) {
+    std::uint64_t out = 0;
+    std::memcpy(&out, &v, sizeof out);
+    return out;
+  };
+  EXPECT_EQ(bits(a.sim.mflups), bits(b.sim.mflups));
+  EXPECT_EQ(bits(a.sim.iteration_s), bits(b.sim.iteration_s));
+  EXPECT_EQ(bits(a.sim.total_points), bits(b.sim.total_points));
+  EXPECT_EQ(bits(a.sim.worst_rank.streamcollide_s),
+            bits(b.sim.worst_rank.streamcollide_s));
+  EXPECT_EQ(bits(a.sim.worst_rank.comm_s), bits(b.sim.worst_rank.comm_s));
+  EXPECT_EQ(bits(a.sim.worst_rank.h2d_s), bits(b.sim.worst_rank.h2d_s));
+  EXPECT_EQ(bits(a.sim.worst_rank.d2h_s), bits(b.sim.worst_rank.d2h_s));
+  EXPECT_EQ(bits(a.prediction.t_total_s), bits(b.prediction.t_total_s));
+  EXPECT_EQ(bits(a.prediction.mflups), bits(b.prediction.mflups));
+  EXPECT_EQ(bits(a.prediction.surface_points),
+            bits(b.prediction.surface_points));
+  EXPECT_EQ(a.prediction.comm_events, b.prediction.comm_events);
+}
+
+TEST(WalCodec, TenantRoundTrip) {
+  TenantConfig config;
+  config.weight = 2.5;
+  config.budget = 750.125;
+  config.max_pending_points = 37;
+  WalBuffer buffer;
+  wal_encode_tenant(&buffer, "alice", config);
+
+  WalCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+  std::string tenant;
+  TenantConfig decoded;
+  wal_decode_tenant(&cursor, &tenant, &decoded);
+  EXPECT_TRUE(cursor.at_end());
+  EXPECT_EQ(tenant, "alice");
+  EXPECT_EQ(decoded.weight, 2.5);
+  EXPECT_EQ(decoded.budget, 750.125);
+  EXPECT_EQ(decoded.max_pending_points, 37);
+}
+
+TEST(WalCodec, AdmittedRoundTrip) {
+  const std::vector<rt::SeriesSpec> series = {
+      series_of("polaris:cuda:harvey:cylinder-slab"),
+      series_of("summit:sycl:proxy:cylinder-bisection")};
+  WalBuffer buffer;
+  wal_encode_admitted(&buffer, 42, "bob", "fig7-sweep", series);
+
+  WalCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+  std::uint64_t id = 0;
+  std::string tenant, name;
+  std::vector<rt::SeriesSpec> decoded;
+  wal_decode_admitted(&cursor, &id, &tenant, &name, &decoded);
+  EXPECT_TRUE(cursor.at_end());
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(tenant, "bob");
+  EXPECT_EQ(name, "fig7-sweep");
+  ASSERT_EQ(decoded.size(), series.size());
+  for (std::size_t s = 0; s < series.size(); ++s)
+    EXPECT_EQ(rt::series_label(decoded[s]), rt::series_label(series[s]));
+}
+
+TEST(WalCodec, PointRoundTripIsBitExact) {
+  for (const bool failed : {false, true}) {
+    WalBuffer buffer;
+    wal_encode_point(&buffer, 7, 1, 9, sample_point(failed));
+
+    WalCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+    std::uint64_t id = 0;
+    std::uint32_t series_index = 0, point_index = 0;
+    rt::PointResult decoded;
+    wal_decode_point(&cursor, &id, &series_index, &point_index, &decoded);
+    EXPECT_TRUE(cursor.at_end());
+    EXPECT_EQ(id, 7u);
+    EXPECT_EQ(series_index, 1u);
+    EXPECT_EQ(point_index, 9u);
+    expect_bit_equal(decoded, sample_point(failed));
+  }
+}
+
+TEST(WalCodec, DoneRoundTripAndStatusValidation) {
+  WalBuffer buffer;
+  wal_encode_done(&buffer, 13, WalDoneStatus::kDeadlineExceeded, 4);
+  WalCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+  std::uint64_t id = 0, failed = 0;
+  WalDoneStatus status = WalDoneStatus::kCompleted;
+  wal_decode_done(&cursor, &id, &status, &failed);
+  EXPECT_EQ(id, 13u);
+  EXPECT_EQ(status, WalDoneStatus::kDeadlineExceeded);
+  EXPECT_EQ(failed, 4u);
+
+  // A CRC-valid record with an out-of-range status byte is corruption.
+  WalBuffer bad;
+  bad.u64(13);
+  bad.u8(7);
+  bad.u64(0);
+  WalCursor bad_cursor(bad.bytes().data(), bad.bytes().size());
+  EXPECT_THROW(wal_decode_done(&bad_cursor, &id, &status, &failed),
+               JournalError);
+}
+
+TEST(WalCursor, ThrowsOnUnderflow) {
+  WalBuffer buffer;
+  buffer.u32(5);
+  WalCursor cursor(buffer.bytes().data(), buffer.bytes().size());
+  EXPECT_THROW(cursor.u64(), JournalError);
+  WalCursor str_cursor(buffer.bytes().data(), buffer.bytes().size());
+  EXPECT_THROW(str_cursor.str(), JournalError);  // length 5, zero bytes left
+}
+
+TEST(Journal, AppendsAndCountsRecords) {
+  TempFile file("journal_append.wal");
+  WalBuffer payload;
+  wal_encode_done(&payload, 1, WalDoneStatus::kCompleted, 0);
+
+  Journal journal({file.path});
+  EXPECT_EQ(journal.appended(), 0u);
+  journal.append(WalTag::kDone, payload);
+  journal.append(WalTag::kDone, payload);
+  EXPECT_EQ(journal.appended(), 2u);
+  EXPECT_EQ(journal.unsynced(), 0u);  // group_commit = 1: strict WAL
+}
+
+TEST(Journal, GroupCommitBatchesFsyncs) {
+  TempFile file("journal_group.wal");
+  WalBuffer payload;
+  wal_encode_done(&payload, 1, WalDoneStatus::kCompleted, 0);
+
+  JournalOptions options;
+  options.path = file.path;
+  options.group_commit = 3;
+  Journal journal(options);
+  journal.append(WalTag::kDone, payload);
+  journal.append(WalTag::kDone, payload);
+  EXPECT_EQ(journal.unsynced(), 2u);
+  journal.append(WalTag::kDone, payload);  // third record: the batch syncs
+  EXPECT_EQ(journal.unsynced(), 0u);
+  journal.append(WalTag::kDone, payload);
+  EXPECT_EQ(journal.unsynced(), 1u);
+  journal.sync();
+  EXPECT_EQ(journal.unsynced(), 0u);
+}
+
+TEST(Journal, RefusesNonEmptyFileWithoutResumeOffset) {
+  TempFile file("journal_refuse.wal");
+  WalBuffer payload;
+  wal_encode_done(&payload, 1, WalDoneStatus::kCompleted, 0);
+  { Journal journal({file.path}); journal.append(WalTag::kDone, payload); }
+  EXPECT_THROW(Journal{JournalOptions{file.path}}, JournalError);
+}
+
+TEST(Journal, ResumeTruncatesTornTail) {
+  TempFile file("journal_resume.wal");
+  WalBuffer payload;
+  wal_encode_done(&payload, 1, WalDoneStatus::kCompleted, 0);
+  std::uint64_t valid = 0;
+  {
+    Journal journal({file.path});
+    journal.append(WalTag::kDone, payload);
+    valid = file_size(file.path);
+  }
+  {  // a SIGKILL's torn tail: half a record frame
+    std::ofstream os(file.path, std::ios::binary | std::ios::app);
+    os.write("torn", 4);
+  }
+  ASSERT_GT(file_size(file.path), valid);
+
+  JournalOptions options;
+  options.path = file.path;
+  options.resume_offset = valid;
+  Journal journal(options);
+  EXPECT_EQ(file_size(file.path), valid);  // tail discarded
+  journal.append(WalTag::kDone, payload);
+  EXPECT_GT(file_size(file.path), valid);  // appends continue after it
+}
+
+}  // namespace
+}  // namespace hemo::serve

@@ -21,6 +21,19 @@
 //       injected stall (structured SolverFault), and the retry resumes
 //       from the last on-disk checkpoint.
 //
+//   hemo_chaos --serve-crash [--series S]... [--workers N] [--seed N]
+//              [--report FILE|-] [--json FILE|-] [--quiet]
+//       Crash/recovery gate for the hemo-durable serving tier.  A golden
+//       child process serves a campaign uninterrupted; then, for each of
+//       three seeded kill points — pre-admission, mid-campaign, and
+//       pre-terminal-record — a child serves the same campaign with a
+//       write-ahead journal armed to SIGKILL-style _exit(137) after the
+//       Nth record, and a recovery child replays the journal, resumes
+//       the unfinished request, and finishes it.  The gate passes only
+//       if every recovered campaign is byte-identical to the golden CSV
+//       and the dedup counters prove journaled points were delivered
+//       from the log, never re-executed.
+//
 // Fault kinds: drop duplicate corrupt delay truncate stall (transient,
 // one-shot) and rank-death (permanent; via --kill-rank).
 //
@@ -42,10 +55,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "base/table.hpp"
 #include "decomp/partition.hpp"
@@ -53,7 +71,11 @@
 #include "harvey/distributed_solver.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/faulty_network.hpp"
+#include "rt/campaign.hpp"
 #include "rt/job.hpp"
+#include "serve/recovery.hpp"
+#include "serve/server.hpp"
+#include "sys/hardware.hpp"
 
 namespace {
 
@@ -81,6 +103,9 @@ struct Config {
   bool frames = true;
   bool campaign = false;
   int ckpt_interval = 10;
+  bool serve_crash = false;
+  int workers = 4;
+  std::vector<std::string> serve_series;  // empty: the default series
   std::vector<KillSpec> kills;
   int death_deadline = 2;
   int min_survivors = 1;
@@ -104,13 +129,16 @@ int usage(const char* argv0) {
       "       %*s [--snapshot-interval N] [--no-frames]\n"
       "       %*s [--kill-rank R@S] [--death-deadline N] [--min-survivors N]\n"
       "       %*s [--campaign] [--ckpt-interval N] [--report FILE|-]\n"
-      "       %*s [--json FILE|-] [--quiet]\n",
+      "       %*s [--json FILE|-] [--quiet]\n"
+      "       %s --serve-crash [--series S]... [--workers N] [--seed N]\n"
+      "       %*s [--report FILE|-] [--json FILE|-] [--quiet]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "", argv0,
       static_cast<int>(std::strlen(argv0)), "");
   return kExitStructural;
 }
@@ -553,6 +581,398 @@ int run_campaign_chaos(const Config& cfg) {
   return identical ? kExitSurvived : kExitDivergence;
 }
 
+// ---------------------------------------------------------------------------
+// --serve-crash: crash/recovery gate for the durable serving tier
+// ---------------------------------------------------------------------------
+
+/// Every server lives in a forked child: the parent never spawns a
+/// thread, so fork() stays safe, and the crash injection's _exit(137)
+/// takes down a whole process exactly as SIGKILL would.
+int spawn_child(const std::function<int()>& body) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = body();
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);  // skip atexit: stdio buffers belong to the parent
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+std::string serve_campaign_csv(const rt::CampaignResult& result) {
+  std::ostringstream os;
+  rt::write_campaign_csv(result, os);
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os << bytes;
+  return static_cast<bool>(os);
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream os;
+  os << is.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+/// Uninterrupted reference: serves the campaign with no journal and
+/// writes the assembled CSV.  Exit 0 on success.
+int serve_golden_child(const Config& cfg,
+                       const std::vector<rt::SeriesSpec>& series,
+                       const std::string& csv_path) {
+  serve::ServeOptions options;
+  options.workers = cfg.workers;
+  serve::Server server(options);
+  serve::ServeHandle client(server, "chaos");
+  const serve::Server::SubmitOutcome outcome =
+      client.submit("serve-crash", series);
+  if (!outcome.admitted) return 1;
+  const rt::CampaignResult result = client.wait(outcome.request_id);
+  return write_file(csv_path, serve_campaign_csv(result)) ? 0 : 1;
+}
+
+/// Crash victim: same campaign, journal armed to _exit(137) after the
+/// crash_after-th record.  Reaching the return statement means the
+/// injection never fired — reported as exit 1, which the parent treats
+/// as structural.
+int serve_crash_child(const Config& cfg,
+                      const std::vector<rt::SeriesSpec>& series,
+                      const std::string& wal_path, std::size_t crash_after) {
+  serve::ServeOptions options;
+  options.workers = cfg.workers;
+  serve::JournalOptions journal;
+  journal.path = wal_path;
+  journal.group_commit = 1;
+  journal.crash_after_records = crash_after;
+  options.journal = journal;
+  serve::Server server(options);
+  // Journaled tenant config = record 1, so every kill point's record
+  // count below is deterministic.
+  server.configure_tenant("chaos", server.options().tenant_defaults);
+  serve::ServeHandle client(server, "chaos");
+  const serve::Server::SubmitOutcome outcome =
+      client.submit("serve-crash", series);
+  if (!outcome.admitted) return 1;
+  client.wait(outcome.request_id);
+  return 1;
+}
+
+/// Recovery: replays the crashed journal, resumes its unfinished request
+/// (or, after a pre-admission crash, re-submits the campaign — the
+/// journal never made the request durable, so the retry is the client's),
+/// finishes it, and reports the dedup counters.
+int serve_recover_child(const Config& cfg,
+                        const std::vector<rt::SeriesSpec>& series,
+                        const std::string& wal_path,
+                        const std::string& csv_path,
+                        const std::string& stats_path) {
+  const serve::RecoveredState state = serve::replay_journal(wal_path);
+  serve::ServeOptions options;
+  options.workers = cfg.workers;
+  serve::JournalOptions journal;
+  journal.path = wal_path;
+  journal.group_commit = 1;
+  journal.resume_offset = state.valid_bytes;
+  options.journal = journal;
+  serve::Server server(options);
+  serve::ServeHandle client(server, "chaos");
+
+  std::vector<std::uint64_t> resumed_ids;
+  if (state.records > 0) {
+    server.restore(state, [&](const serve::RecoveredRequest& request) {
+      resumed_ids.push_back(request.id);
+      return client.adopt(request);
+    });
+  }
+  std::uint64_t request_id = 0;
+  if (resumed_ids.empty()) {
+    const serve::Server::SubmitOutcome outcome =
+        client.submit("serve-crash", series);
+    if (!outcome.admitted) return 1;
+    request_id = outcome.request_id;
+  } else {
+    request_id = resumed_ids.front();
+  }
+  const rt::CampaignResult result = client.wait(request_id);
+  const serve::ServeStats stats = server.stats();
+
+  if (!write_file(csv_path, serve_campaign_csv(result))) return 1;
+  std::ostringstream os;
+  os << "resumed=" << stats.requests_resumed << "\n"
+     << "replayed=" << stats.points_replayed << "\n"
+     << "executions=" << stats.board.executions << "\n"
+     << "completed=" << stats.points_completed << "\n";
+  return write_file(stats_path, os.str()) ? 0 : 1;
+}
+
+struct RecoverStats {
+  std::uint64_t resumed = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t completed = 0;
+};
+
+bool parse_recover_stats(const std::string& path, RecoverStats* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::uint64_t value = std::strtoull(line.c_str() + eq + 1,
+                                              nullptr, 10);
+    if (key == "resumed") out->resumed = value;
+    else if (key == "replayed") out->replayed = value;
+    else if (key == "executions") out->executions = value;
+    else if (key == "completed") out->completed = value;
+  }
+  return true;
+}
+
+struct KillPointOutcome {
+  std::string label;
+  std::size_t crash_after = 0;
+  int crash_exit = 0;
+  int recover_exit = 0;
+  RecoverStats stats;
+  std::uint64_t expected_replayed = 0;
+  bool csv_identical = false;
+  bool dedup_ok = false;
+  bool journal_terminal = false;  // post-recovery replay: done + clean
+  std::string note;
+
+  bool structural() const { return crash_exit != 137 || recover_exit != 0; }
+  bool ok() const {
+    return !structural() && csv_identical && dedup_ok && journal_terminal;
+  }
+};
+
+void write_serve_crash_json(const Config& cfg,
+                            const std::vector<std::string>& series_labels,
+                            std::size_t total_points,
+                            const std::vector<KillPointOutcome>& outcomes,
+                            int exit_code) {
+  if (cfg.json_path.empty()) return;
+  std::ofstream file;
+  if (cfg.json_path != "-") {
+    file.open(cfg.json_path);
+    if (!file) {
+      std::fprintf(stderr, "hemo_chaos: cannot open json file '%s'\n",
+                   cfg.json_path.c_str());
+      return;
+    }
+  }
+  std::ostream& os = cfg.json_path == "-" ? std::cout : file;
+
+  os << "{\n  \"config\": {\"mode\": \"serve-crash\", \"workers\": "
+     << cfg.workers << ", \"seed\": " << cfg.seed << ", \"points\": "
+     << total_points << ", \"series\": [";
+  for (std::size_t k = 0; k < series_labels.size(); ++k)
+    os << (k ? ", " : "") << "\"" << json_escape(series_labels[k]) << "\"";
+  os << "]},\n";
+
+  os << "  \"kill_points\": [";
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const KillPointOutcome& o = outcomes[k];
+    os << (k ? ",\n    " : "\n    ") << "{\"label\": \"" << o.label
+       << "\", \"crash_after_records\": " << o.crash_after
+       << ", \"crash_exit\": " << o.crash_exit
+       << ", \"recover_exit\": " << o.recover_exit
+       << ", \"resumed\": " << o.stats.resumed
+       << ", \"replayed\": " << o.stats.replayed
+       << ", \"expected_replayed\": " << o.expected_replayed
+       << ", \"executions\": " << o.stats.executions
+       << ", \"csv_identical\": " << (o.csv_identical ? "true" : "false")
+       << ", \"dedup_ok\": " << (o.dedup_ok ? "true" : "false")
+       << ", \"journal_terminal\": " << (o.journal_terminal ? "true" : "false")
+       << ", \"ok\": " << (o.ok() ? "true" : "false") << "}";
+  }
+  os << "\n  ],\n";
+
+  bool all_ok = true;
+  for (const KillPointOutcome& o : outcomes) all_ok &= o.ok();
+  os << "  \"verdict\": {\"survived\": " << (all_ok ? "true" : "false")
+     << ", \"exit_code\": " << exit_code << "}\n}\n";
+}
+
+int run_serve_crash(const Config& cfg) {
+  std::vector<std::string> series_texts = cfg.serve_series;
+  if (series_texts.empty())
+    series_texts.push_back("polaris:cuda:harvey:cylinder-slab");
+  std::vector<rt::SeriesSpec> series;
+  std::vector<std::string> series_labels;
+  std::size_t total_points = 0;
+  for (const std::string& text : series_texts) {
+    rt::SeriesSpec spec;
+    if (!rt::parse_series(text, &spec)) {
+      std::fprintf(stderr, "hemo_chaos: bad --series '%s'\n", text.c_str());
+      return kExitStructural;
+    }
+    if (rt::unavailable_failure(spec)) {
+      // An unavailable series never executes, which would skew the
+      // record-count arithmetic the kill points are derived from.
+      std::fprintf(stderr,
+                   "hemo_chaos: --serve-crash needs an available series; "
+                   "'%s' is not\n",
+                   text.c_str());
+      return kExitStructural;
+    }
+    series.push_back(spec);
+    series_labels.push_back(rt::series_label(spec));
+    total_points +=
+        sys::piecewise_schedule(sys::system_spec(spec.system).max_devices)
+            .size();
+  }
+  if (total_points < 2) {
+    std::fprintf(stderr, "hemo_chaos: --serve-crash needs >= 2 points\n");
+    return kExitStructural;
+  }
+
+  const std::string prefix = "hemo_chaos_serve_" + std::to_string(cfg.seed);
+  const std::string golden_csv = prefix + "_golden.csv";
+  const std::string wal_path = prefix + ".wal";
+  const std::string recovered_csv = prefix + "_recovered.csv";
+  const std::string stats_path = prefix + "_recover.stats";
+  auto cleanup = [&] {
+    std::remove(golden_csv.c_str());
+    std::remove(wal_path.c_str());
+    std::remove(recovered_csv.c_str());
+    std::remove(stats_path.c_str());
+  };
+
+  const int golden_exit = spawn_child(
+      [&] { return serve_golden_child(cfg, series, golden_csv); });
+  std::string golden_bytes;
+  if (golden_exit != 0 || !read_file(golden_csv, &golden_bytes)) {
+    std::fprintf(stderr, "hemo_chaos: golden serve run failed (exit %d)\n",
+                 golden_exit);
+    cleanup();
+    return kExitStructural;
+  }
+
+  // Journal records of this campaign: 1 tenant config, 1 admission,
+  // total_points point records, 1 done.  The three kill points bracket
+  // the request lifecycle: before the admission record is durable,
+  // mid-campaign, and after every point but before the terminal record.
+  struct KillPoint {
+    const char* label;
+    std::size_t crash_after;
+  };
+  const KillPoint kill_points[] = {
+      {"pre-admission", 1},
+      {"mid-campaign", 2 + total_points / 2},
+      {"pre-terminal", 2 + total_points},
+  };
+
+  std::vector<KillPointOutcome> outcomes;
+  for (const KillPoint& kill : kill_points) {
+    KillPointOutcome o;
+    o.label = kill.label;
+    o.crash_after = kill.crash_after;
+    o.expected_replayed =
+        kill.crash_after >= 2 ? kill.crash_after - 2 : 0;
+    std::remove(wal_path.c_str());
+    std::remove(recovered_csv.c_str());
+    std::remove(stats_path.c_str());
+
+    o.crash_exit = spawn_child([&] {
+      return serve_crash_child(cfg, series, wal_path, kill.crash_after);
+    });
+    if (o.crash_exit != 137) {
+      o.note = "crash injection did not fire";
+      outcomes.push_back(o);
+      continue;
+    }
+    o.recover_exit = spawn_child([&] {
+      return serve_recover_child(cfg, series, wal_path, recovered_csv,
+                                 stats_path);
+    });
+    if (o.recover_exit != 0) {
+      o.note = "recovery run failed";
+      outcomes.push_back(o);
+      continue;
+    }
+
+    std::string recovered_bytes;
+    o.csv_identical = read_file(recovered_csv, &recovered_bytes) &&
+                      recovered_bytes == golden_bytes;
+    // The dedup proof: every durable point was delivered from the
+    // journal, and only the lost remainder was (re-)executed.
+    o.dedup_ok = parse_recover_stats(stats_path, &o.stats) &&
+                 o.stats.replayed == o.expected_replayed &&
+                 o.stats.executions == total_points - o.expected_replayed;
+    try {
+      const serve::RecoveredState final_state =
+          serve::replay_journal(wal_path);
+      bool all_done = !final_state.requests.empty();
+      for (const serve::RecoveredRequest& r : final_state.requests)
+        all_done &= r.done;
+      o.journal_terminal = all_done && final_state.clean_shutdown &&
+                           final_state.truncated_reason.empty();
+    } catch (const serve::JournalError& error) {
+      o.journal_terminal = false;
+      o.note = error.what();
+    }
+    outcomes.push_back(o);
+  }
+
+  bool structural = false;
+  bool all_ok = true;
+  for (const KillPointOutcome& o : outcomes) {
+    structural |= o.structural();
+    all_ok &= o.ok();
+  }
+  const int exit_code = structural ? kExitStructural
+                        : all_ok  ? kExitSurvived
+                                  : kExitDivergence;
+
+  Table table({"Kill point", "Records", "Crash", "Replayed", "Executed",
+               "CSV identical", "Terminal"});
+  for (const KillPointOutcome& o : outcomes)
+    table.add_row({o.label, std::to_string(o.crash_after),
+                   std::to_string(o.crash_exit),
+                   std::to_string(o.stats.replayed) + "/" +
+                       std::to_string(o.expected_replayed),
+                   std::to_string(o.stats.executions),
+                   yes_no(o.csv_identical), yes_no(o.journal_terminal)});
+
+  if (!cfg.quiet) {
+    table.print_aligned(std::cout);
+    if (exit_code == kExitSurvived)
+      std::cout << "\nall " << outcomes.size()
+                << " kill points recovered byte-identically; journaled "
+                   "points were never re-executed\n";
+    else
+      for (const KillPointOutcome& o : outcomes)
+        if (!o.ok())
+          std::cout << "\nFAILED " << o.label << ": "
+                    << (o.note.empty() ? "recovered output diverged"
+                                       : o.note)
+                    << '\n';
+  }
+  write_report(cfg, {table});
+  write_serve_crash_json(cfg, series_labels, total_points, outcomes,
+                         exit_code);
+  cleanup();
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -568,6 +988,16 @@ int main(int argc, char** argv) {
       cfg.periodic = true;
     } else if (arg == "--campaign") {
       cfg.campaign = true;
+    } else if (arg == "--serve-crash") {
+      cfg.serve_crash = true;
+    } else if (arg == "--series") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.serve_series.push_back(v);
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.workers) || cfg.workers < 1)
+        return usage(argv[0]);
     } else if (arg == "--no-frames") {
       cfg.frames = false;
     } else if (arg == "--scale") {
@@ -650,5 +1080,6 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cfg.serve_crash) return run_serve_crash(cfg);
   return cfg.campaign ? run_campaign_chaos(cfg) : run_solver_chaos(cfg);
 }

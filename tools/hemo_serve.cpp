@@ -1,12 +1,27 @@
 // hemo_serve: the multi-tenant campaign service daemon and its client.
 //
 //   hemo_serve --serve [--port P] [--workers N] [--shards N]
-//              [--cache-capacity N] [--budget X] [--max-pending N] [--quiet]
+//              [--cache-capacity N] [--budget X] [--max-pending N]
+//              [--journal FILE [--recover] [--fsync-every N]]
+//              [--shed-queue N] [--quiet]
 //       Boot the service on 127.0.0.1:P (0 picks a free port, printed on
 //       stdout as "listening on <port>").  Runs until a client sends
-//       {"op": "shutdown"}, then drains admitted work and prints final
-//       stats.  --budget/--max-pending set the per-tenant admission
-//       defaults (a client can override its own via {"op": "tenant"}).
+//       {"op": "shutdown"} or the process receives SIGINT/SIGTERM, then
+//       drains admitted work and prints final stats.  --budget/
+//       --max-pending set the per-tenant admission defaults (a client
+//       can override its own via {"op": "tenant"}).
+//
+//       --journal FILE arms the write-ahead journal: admissions, point
+//       completions and terminal statuses are logged so a crashed server
+//       can finish its unfinished campaigns.  An existing non-empty
+//       journal refuses to boot without --recover, which replays the log
+//       (tolerating the torn tail a SIGKILL leaves), re-admits
+//       unfinished requests, delivers their already-completed points
+//       from the journal without re-executing them, and resumes
+//       appending.  --fsync-every N trades durability for throughput
+//       (fsync once per N records; 1 = every record).  --shed-queue N
+//       sheds new low-priority work with a retryable `overloaded`
+//       rejection once the dispatch backlog reaches N points (0 = off).
 //
 //   hemo_serve --connect P --tenant T [--figure FIG] [--series S]...
 //              [--name NAME] [--weight W] [--budget X] [--max-pending N]
@@ -32,16 +47,22 @@
 //   hemo_serve --connect 7777 --stats
 //   hemo_serve --smoke --figure fig7 --workers 4
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "rt/campaign.hpp"
 #include "serve/protocol.hpp"
+#include "serve/recovery.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
 
@@ -55,6 +76,8 @@ int usage(const char* argv0) {
       "usage: %s --serve   [--port P] [--workers N] [--shards N]\n"
       "       %*s          [--cache-capacity N] [--budget X]\n"
       "       %*s          [--max-pending N] [--quiet]\n"
+      "       %*s          [--journal FILE [--recover] [--fsync-every N]]\n"
+      "       %*s          [--shed-queue N]\n"
       "       %s --connect P --tenant T [--figure FIG] [--series S]...\n"
       "       %*s          [--name NAME] [--weight W] [--budget X]\n"
       "       %*s          [--max-pending N]\n"
@@ -62,6 +85,8 @@ int usage(const char* argv0) {
       "       %s --smoke   [--figure FIG] [--series S]... [--workers N]\n"
       "       %*s          [--quiet]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "",
+      static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "", argv0,
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "", argv0, argv0,
@@ -101,6 +126,10 @@ struct Args {
   bool stats = false;
   bool shutdown = false;
   bool quiet = false;
+  std::string journal;        // WAL path; empty = no durability
+  bool recover = false;       // replay an existing journal before serving
+  int fsync_every = 1;        // journal group-commit interval
+  int shed_queue = 0;         // overload-shed backlog threshold; 0 = off
 };
 
 serve::ServeOptions serve_options(const Args& args) {
@@ -111,6 +140,13 @@ serve::ServeOptions serve_options(const Args& args) {
   if (args.budget >= 0.0) options.tenant_defaults.budget = args.budget;
   if (args.max_pending >= 0)
     options.tenant_defaults.max_pending_points = args.max_pending;
+  if (!args.journal.empty()) {
+    serve::JournalOptions journal;
+    journal.path = args.journal;
+    journal.group_commit = static_cast<std::size_t>(args.fsync_every);
+    options.journal = journal;
+  }
+  options.shed_queue_depth = static_cast<std::size_t>(args.shed_queue);
   return options;
 }
 
@@ -163,15 +199,121 @@ void print_stats_summary(const serve::ServeStats& stats) {
 // --serve
 // ---------------------------------------------------------------------------
 
+// SIGINT/SIGTERM land on a self-pipe: the handler does the one
+// async-signal-safe thing (write a byte) and a watcher thread turns the
+// byte into SocketServer::request_shutdown(), which stops intake and
+// releases wait_shutdown() so the daemon drains and journals a clean
+// shutdown exactly as for {"op": "shutdown"}.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_terminate_signal(int) {
+  const char byte = 's';
+  // The return value is unused: if the pipe is full a wakeup is already
+  // pending, and there is nothing a handler could do about other errors.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Installs the handlers and hands shutdown requests to `front` from a
+/// watcher thread.  Destruction restores default dispositions, closes
+/// the pipe and joins the watcher.
+class SignalShutdown {
+ public:
+  explicit SignalShutdown(serve::SocketServer& front) {
+    if (::pipe(g_signal_pipe) != 0) return;
+    struct sigaction action {};
+    action.sa_handler = on_terminate_signal;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    watcher_ = std::thread([&front] {
+      char byte;
+      // One byte is one shutdown request; EOF means the daemon is
+      // exiting on its own and the watcher should too.
+      while (::read(g_signal_pipe[0], &byte, 1) > 0)
+        front.request_shutdown();
+    });
+  }
+
+  ~SignalShutdown() {
+    if (g_signal_pipe[1] < 0) return;
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::close(g_signal_pipe[1]);  // EOF wakes the watcher out of read()
+    if (watcher_.joinable()) watcher_.join();
+    ::close(g_signal_pipe[0]);
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  }
+
+ private:
+  std::thread watcher_;
+};
+
+bool journal_file_nonempty(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
 int run_serve(const Args& args) {
-  serve::Server server(serve_options(args));
+  serve::ServeOptions options = serve_options(args);
+
+  // Recovery boot: replay the journal before the server exists, resume
+  // appending after its valid prefix, and re-admit the unfinished
+  // requests.  Their clients are gone, so the resumed events are
+  // dropped; what matters is that the work completes, is journaled and
+  // stays memoized for the next asker.
+  serve::RecoveredState recovered;
+  if (!args.journal.empty() && journal_file_nonempty(args.journal)) {
+    if (!args.recover) {
+      std::fprintf(stderr,
+                   "hemo_serve: journal '%s' already exists; pass --recover "
+                   "to replay and resume it\n",
+                   args.journal.c_str());
+      return 2;
+    }
+    try {
+      recovered = serve::replay_journal(args.journal);
+    } catch (const serve::JournalError& error) {
+      std::fprintf(stderr, "hemo_serve: cannot replay journal '%s': %s\n",
+                   args.journal.c_str(), error.what());
+      return 2;
+    }
+    options.journal->resume_offset = recovered.valid_bytes;
+    if (!args.quiet) {
+      std::cout << "journal: " << recovered.records << " records, "
+                << recovered.requests.size() << " requests ("
+                << recovered.unfinished_requests() << " unfinished), "
+                << (recovered.clean_shutdown ? "clean shutdown"
+                                             : "no clean shutdown");
+      if (!recovered.truncated_reason.empty())
+        std::cout << ", tail truncated: " << recovered.truncated_reason;
+      std::cout << "\n";
+    }
+  }
+
+  serve::Server server(options);
+  if (recovered.records > 0) {
+    const serve::Server::RestoreOutcome outcome = server.restore(
+        recovered, [](const serve::RecoveredRequest&) {
+          return [](const serve::Event&) {};  // original client is gone
+        });
+    if (!args.quiet)
+      std::cout << "recovered: " << outcome.requests_resumed << " resumed, "
+                << outcome.requests_already_done << " already done, "
+                << outcome.points_replayed << " points replayed, "
+                << outcome.points_requeued << " re-queued\n";
+  }
+
   serve::SocketServer front(server,
                             {static_cast<std::uint16_t>(args.port)});
+  SignalShutdown signals(front);
   std::cout << "listening on " << front.port() << std::endl;
   front.wait_shutdown();
   server.wait_idle();  // drain admitted campaigns before going away
   if (!args.quiet) print_stats_summary(server.stats());
   front.stop();
+  // The Server destructor appends the CleanShutdown record after this
+  // return — every admitted request is already terminal in the journal.
   return 0;
 }
 
@@ -399,6 +541,22 @@ int main(int argc, char** argv) {
       if (v == nullptr || !parse_int(v, &args.max_pending) ||
           args.max_pending < 1)
         return usage(argv[0]);
+    } else if (arg == "--journal") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') return usage(argv[0]);
+      args.journal = v;
+    } else if (arg == "--recover") {
+      args.recover = true;
+    } else if (arg == "--fsync-every") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &args.fsync_every) ||
+          args.fsync_every < 1)
+        return usage(argv[0]);
+    } else if (arg == "--shed-queue") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &args.shed_queue) ||
+          args.shed_queue < 0)
+        return usage(argv[0]);
     } else if (arg == "--stats") {
       args.stats = true;
     } else if (arg == "--shutdown") {
@@ -409,6 +567,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return usage(argv[0]);
     }
+  }
+
+  if (args.recover && args.journal.empty()) {
+    std::fprintf(stderr, "--recover requires --journal\n");
+    return usage(argv[0]);
   }
 
   switch (args.mode) {
