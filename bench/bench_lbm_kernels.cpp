@@ -1,15 +1,31 @@
 // Google-benchmark microbenchmarks of the LBM kernels on the host engine:
 // the fused stream-collide versus the two-pass pipeline (ablation), the
-// SoA versus AoS storage layout (ablation), and the boundary-condition
-// cost on inlet/outlet-capped geometry.
+// SoA versus AoS storage layout (ablation), the boundary-condition cost
+// on inlet/outlet-capped geometry, and the pull versus AA (in-place)
+// propagation patterns.
+//
+// After the microbenchmarks the binary prints a pull-vs-AA MFLUPS table
+// on a memory-bound cylinder (distribution arrays far larger than cache,
+// where the AA pattern's single array pass per step — 152 B/point against
+// pull's 304 — should convert into wall-clock).  The table follows the
+// bench_common emit() convention (aligned text, "-- csv --" block, CSV
+// artifact under HEMO_BENCH_CSV_DIR) but the binary stays standalone:
+// it links only hemo_lbm + hemo_geom, not the campaign runtime.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
+#include "base/table.hpp"
 #include "geom/cylinder.hpp"
 #include "lbm/kernels.hpp"
+#include "lbm/propagation.hpp"
 #include "lbm/solver.hpp"
 
 namespace {
@@ -109,6 +125,23 @@ void BM_StreamCollideAoS(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamCollideAoS);
 
+void BM_StreamCollideAAInPlace(benchmark::State& state) {
+  // One iteration = one even + one odd step over the single array (the AA
+  // update is only meaningful as the two-step pair).
+  KernelFixture fx(geom::CylinderEnds::kPeriodic);
+  fx.args.f = fx.f_in.data();
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point_aa_even(fx.args, i);
+    for (std::int64_t i = 0; i < fx.args.n; ++i)
+      lbm::stream_collide_point_aa_odd(fx.args, i);
+    benchmark::DoNotOptimize(fx.f_in.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * fx.args.n);
+  state.SetBytesProcessed(state.iterations() * 2 * fx.args.n * 19 * 8);
+}
+BENCHMARK(BM_StreamCollideAAInPlace);
+
 void BM_StreamCollideWithZouHeCaps(benchmark::State& state) {
   KernelFixture fx(geom::CylinderEnds::kInletOutlet);
   for (auto _ : state) {
@@ -136,6 +169,101 @@ void BM_FullSolverStep(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSolverStep);
 
+// ---------------------------------------------------------------------------
+// Pull-vs-AA MFLUPS table on a memory-bound geometry.
+// ---------------------------------------------------------------------------
+
+struct MflupsResult {
+  std::int64_t steps = 0;
+  double seconds = 0.0;
+  double mflups = 0.0;
+};
+
+MflupsResult solver_mflups(
+    const std::shared_ptr<const lbm::SparseLattice>& lattice,
+    lbm::Propagation pattern) {
+  lbm::SolverOptions options;
+  options.tau = 0.9;
+  options.body_force = {0.0, 0.0, 1e-6};
+  options.propagation = pattern;
+  lbm::Solver solver(lattice, options);
+  for (int s = 0; s < 4; ++s) solver.step();  // warm-up
+
+  const auto run = [&](std::int64_t steps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t s = 0; s < steps; ++s) solver.step();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  // Pilot run sizes the measurement to ~0.4 s of wall clock.
+  const double pilot = run(5) / 5.0;
+  MflupsResult r;
+  r.steps = std::max<std::int64_t>(
+      20, std::min<std::int64_t>(400, static_cast<std::int64_t>(0.4 / pilot)));
+  r.seconds = run(r.steps);
+  r.mflups = static_cast<double>(solver.size()) *
+             static_cast<double>(r.steps) / r.seconds / 1e6;
+  return r;
+}
+
+/// bench_common emit() convention (aligned text + "-- csv --" block +
+/// HEMO_BENCH_CSV_DIR artifact) without linking the campaign runtime.
+/// The title doubles as the artifact stem, so keep it filesystem-safe.
+void emit_table(const std::string& title, const Table& table) {
+  std::cout << "== " << title << " ==\n";
+  table.print_aligned(std::cout);
+  std::cout << "-- csv --\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+  if (const char* dir = std::getenv("HEMO_BENCH_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream out(std::filesystem::path(dir) / (title + ".csv"));
+    if (out)
+      table.print_csv(out);
+    else
+      std::cerr << "bench: cannot write CSV artifact under " << dir << "\n";
+  }
+}
+
+void report_propagation_mflups() {
+  // Large enough that the distribution storage (pull: ~2*19*8 B/point,
+  // here tens of MB) cannot sit in cache: the patterns' byte counts, not
+  // their instruction counts, should dominate.
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 24.0;
+  spec.axial_per_scale = 128.0;
+  const auto lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kPeriodic);
+
+  Table table({"pattern", "points", "steps", "seconds", "mflups",
+               "model_bytes_per_point", "speedup_vs_pull"});
+  const MflupsResult pull =
+      solver_mflups(lattice, lbm::Propagation::kPullSoA);
+  const MflupsResult aa =
+      solver_mflups(lattice, lbm::Propagation::kAAInPlace);
+  for (const auto& [pattern, r] :
+       {std::pair{lbm::Propagation::kPullSoA, pull},
+        std::pair{lbm::Propagation::kAAInPlace, aa}}) {
+    table.add_row({lbm::propagation_name(pattern),
+                   std::to_string(lattice->size()), std::to_string(r.steps),
+                   Table::num(r.seconds),
+                   Table::num(r.mflups),
+                   Table::num(lbm::propagation_bytes_per_point(pattern), 0),
+                   Table::num(r.mflups / pull.mflups, 2)});
+  }
+  emit_table("lbm_propagation_mflups", table);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_propagation_mflups();
+  return 0;
+}

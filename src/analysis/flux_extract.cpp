@@ -202,6 +202,7 @@ const SymTab& kernel_args_fields() {
     SymTab t;
     t["f_in"] = Sym{SymKind::kDevice, ArrayRole::kDistribution, 8, "f_in"};
     t["f_out"] = Sym{SymKind::kDevice, ArrayRole::kDistribution, 8, "f_out"};
+    t["f"] = Sym{SymKind::kDevice, ArrayRole::kDistribution, 8, "f"};
     t["adjacency"] = Sym{SymKind::kDevice, ArrayRole::kAdjacency, 8,
                          "adjacency"};
     t["node_type"] = Sym{SymKind::kDevice, ArrayRole::kNodeType, 1,
@@ -544,20 +545,24 @@ struct AccMeta {
 };
 
 struct Counts {
-  // (array, dir, stride) -> expected accesses per point.
-  std::map<std::tuple<std::string, int, int>, double> acc;
-  std::map<std::string, AccMeta> meta;
+  // (array, role, dir, stride) -> expected accesses per point.  Role is
+  // part of the key so a stack local that shadows a device array's name
+  // (the AA kernels' `double f[kQ]` beside args.f) keeps its own bucket
+  // instead of being charged as device distribution traffic.
+  std::map<std::tuple<std::string, int, int, int>, double> acc;
+  std::map<std::pair<std::string, int>, AccMeta> meta;
   double flops = 0.0;
 
   void add(const std::string& array, AccessDir dir, StrideClass stride,
            double count, ArrayRole role, int elem_bytes) {
-    acc[{array, static_cast<int>(dir), static_cast<int>(stride)}] += count;
-    meta[array] = AccMeta{role, elem_bytes};
+    acc[{array, static_cast<int>(role), static_cast<int>(dir),
+         static_cast<int>(stride)}] += count;
+    meta[{array, static_cast<int>(role)}] = AccMeta{role, elem_bytes};
   }
 
   void merge_sum(const Counts& other) {
     for (const auto& [key, count] : other.acc) acc[key] += count;
-    for (const auto& [array, m] : other.meta) meta[array] = m;
+    for (const auto& [key, m] : other.meta) meta[key] = m;
     flops += other.flops;
   }
 
@@ -576,7 +581,7 @@ struct Counts {
         if (it == out.acc.end()) out.acc[key] = count;
         else it->second = std::max(it->second, count);
       }
-      for (const auto& [array, m] : alt.meta) out.meta[array] = m;
+      for (const auto& [key, m] : alt.meta) out.meta[key] = m;
       out.flops = std::max(out.flops, alt.flops);
     }
     return out;
@@ -867,8 +872,8 @@ KernelProfile profile_functor(const FunctorDef& functor,
 
   for (const auto& [key, count] : counts.acc) {
     if (count <= 0.0) continue;
-    const auto& [array, dir, stride] = key;
-    const AccMeta& meta = counts.meta.at(array);
+    const auto& [array, role, dir, stride] = key;
+    const AccMeta& meta = counts.meta.at({array, role});
     ArrayAccess access;
     access.array = array;
     access.role = meta.role;
@@ -880,8 +885,8 @@ KernelProfile profile_functor(const FunctorDef& functor,
   }
   std::sort(profile.accesses.begin(), profile.accesses.end(),
             [](const ArrayAccess& a, const ArrayAccess& b) {
-              return std::tie(a.array, a.dir, a.stride) <
-                     std::tie(b.array, b.dir, b.stride);
+              return std::tie(a.array, a.role, a.dir, a.stride) <
+                     std::tie(b.array, b.role, b.dir, b.stride);
             });
   profile.flops_per_point = counts.flops;
   return profile;
@@ -937,7 +942,9 @@ std::vector<KernelProfile> extract_dialect_profiles(
 
 bool is_hot_loop_kernel(const std::string& kernel) {
   return kernel == "StreamCollideKernel" || kernel == "StreamOnlyKernel" ||
-         kernel == "CollideOnlyKernel";
+         kernel == "CollideOnlyKernel" ||
+         kernel == "StreamCollideAAEvenKernel" ||
+         kernel == "StreamCollideAAOddKernel";
 }
 
 }  // namespace hemo::analysis

@@ -61,6 +61,43 @@ double KernelProfile::distribution_bytes_per_point() const {
   return bytes_per_point(ArrayRole::kDistribution);
 }
 
+bool KernelProfile::in_place_distribution_update() const {
+  bool any_store = false;
+  for (const ArrayAccess& s : accesses) {
+    if (s.role != ArrayRole::kDistribution || s.dir != AccessDir::kStore ||
+        s.count_per_point <= 0.0)
+      continue;
+    any_store = true;
+    double dist_loads = 0.0;
+    for (const ArrayAccess& l : accesses)
+      if (l.role == ArrayRole::kDistribution && l.dir == AccessDir::kLoad &&
+          l.array == s.array)
+        dist_loads += l.count_per_point;
+    if (dist_loads <= 0.0) return false;
+  }
+  return any_store;
+}
+
+double KernelProfile::streamed_distribution_bytes_per_point() const {
+  // Fold per distribution array: one pass if read-modify-write in place,
+  // separate passes (sum) otherwise.
+  double bytes = 0.0;
+  std::vector<std::string> seen;
+  for (const ArrayAccess& a : accesses) {
+    if (a.role != ArrayRole::kDistribution) continue;
+    if (std::find(seen.begin(), seen.end(), a.array) != seen.end()) continue;
+    seen.push_back(a.array);
+    double loads = 0.0, stores = 0.0;
+    for (const ArrayAccess& b : accesses) {
+      if (b.role != ArrayRole::kDistribution || b.array != a.array) continue;
+      (b.dir == AccessDir::kLoad ? loads : stores) += b.bytes_per_point();
+    }
+    bytes += loads > 0.0 && stores > 0.0 ? std::max(loads, stores)
+                                         : loads + stores;
+  }
+  return bytes;
+}
+
 double KernelProfile::total_bytes_per_point() const {
   double bytes = 0.0;
   for (const ArrayAccess& a : accesses)

@@ -75,6 +75,21 @@ struct KernelProfile {
   /// Distribution payload only: the quantity Eq. 1 charges per point.
   double distribution_bytes_per_point() const;
 
+  /// True when the kernel updates its distribution storage in place:
+  /// every distribution array it stores to is one it also loads from
+  /// (the AA propagation kernels and the collide-only ablation; the pull
+  /// kernels read f_in and write the distinct f_out).
+  bool in_place_distribution_update() const;
+
+  /// Distribution bytes per point under the Section 6 array-pass
+  /// convention: an array that is both read and written in place makes
+  /// ONE pass (charged max(load, store) bytes — the in-place line is
+  /// already resident when written back), while distinct read and write
+  /// arrays each make their own pass and sum.  This is the number the
+  /// model's propagation_bytes_per_point() mirrors: 2*19*8 for pull,
+  /// 19*8 for the AA kernels.
+  double streamed_distribution_bytes_per_point() const;
+
   /// All streamed device traffic (distribution + metadata + buffers).
   double total_bytes_per_point() const;
 

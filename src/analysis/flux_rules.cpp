@@ -7,6 +7,7 @@
 
 #include "analysis/report.hpp"
 #include "lbm/d3q19.hpp"
+#include "lbm/propagation.hpp"
 #include "port/corpus.hpp"
 
 namespace hemo::analysis {
@@ -87,18 +88,28 @@ std::vector<Diagnostic> audit_traffic(
                                   ? p.kernel
                                   : dialect_label + "/" + p.kernel;
     if (is_hot_loop_kernel(p.kernel)) {
-      // MT001: each hot pass moves exactly 2*19*8 distribution bytes per
-      // point (19 loads of f_in plus 19 stores of f_out, or the in-place
-      // equivalent for collide-only).
-      const double derived = p.distribution_bytes_per_point();
-      if (differs(derived, params.bytes_per_point)) {
+      // MT001: the hot loop's streamed distribution traffic must match
+      // the model charge for its propagation pattern.  Pull kernels make
+      // two array passes (19 loads of f_in + 19 stores of f_out =
+      // params.bytes_per_point); in-place kernels (the AA pair and the
+      // collide-only ablation) make one pass over their single array, so
+      // they are charged the single-pass fraction of the same parameter.
+      const lbm::Propagation pattern =
+          p.in_place_distribution_update() ? lbm::Propagation::kAAInPlace
+                                           : lbm::Propagation::kPullSoA;
+      const double expected =
+          params.bytes_per_point *
+          (lbm::propagation_passes(pattern) /
+           lbm::propagation_passes(lbm::Propagation::kPullSoA));
+      const double derived = p.streamed_distribution_bytes_per_point();
+      if (differs(derived, expected)) {
         out.push_back(make(
             "MT001", p.file, p.line,
             where + ": derived " + fmt(derived) +
-                " distribution B/point, model charges " +
-                fmt(params.bytes_per_point),
-            "make the kernel move exactly 19 loads + 19 stores of 8-byte "
-            "distributions per point, or update ModelParams and Figs. 5-6"));
+                " distribution B/point, model charges " + fmt(expected) +
+                " for a " + lbm::propagation_name(pattern) + " kernel",
+            "make the kernel move exactly 19 populations of 8 bytes per "
+            "array pass per point, or update ModelParams and Figs. 5-6"));
       }
       // MT002: AoS layout serializes the coalesced hot loop.
       if (p.touches_stride(ArrayRole::kDistribution, StrideClass::kAoS)) {
@@ -187,7 +198,7 @@ std::vector<Diagnostic> audit_dialect_divergence(
   std::map<std::string, std::pair<std::string, double>> reference;
   for (const auto& [label, profiles] : dialects) {
     for (const KernelProfile& p : profiles) {
-      const double bytes = p.distribution_bytes_per_point();
+      const double bytes = p.streamed_distribution_bytes_per_point();
       const auto it = reference.find(p.kernel);
       if (it == reference.end()) {
         reference[p.kernel] = {label, bytes};
@@ -242,7 +253,8 @@ std::vector<Diagnostic> audit_all_corpora(const perf::ModelParams& params) {
 std::string traffic_audit_json(const perf::ModelParams& params) {
   std::ostringstream out;
   out << "{\"version\": \"hemo-flux/1\", \"model\": {\"bytes_per_point\": "
-      << fmt(params.bytes_per_point)
+      << fmt(params.bytes_per_point) << ", \"aa_bytes_per_point\": "
+      << fmt(lbm::propagation_bytes_per_point(lbm::Propagation::kAAInPlace))
       << ", \"halo_bytes_per_surface_point\": "
       << fmt(params.halo_bytes_per_surface_point) << "}, \"dialects\": [";
   bool first_dialect = true;
@@ -263,8 +275,14 @@ std::string traffic_audit_json(const perf::ModelParams& params) {
           << json_escape(p.file) << "\", \"line\": " << p.line
           << ", \"hot_loop\": " << (is_hot_loop_kernel(p.kernel) ? "true"
                                                                  : "false")
-          << ", \"distribution_bytes_per_point\": "
+          << ", \"propagation\": \""
+          << (p.in_place_distribution_update()
+                  ? lbm::propagation_name(lbm::Propagation::kAAInPlace)
+                  : lbm::propagation_name(lbm::Propagation::kPullSoA))
+          << "\", \"distribution_bytes_per_point\": "
           << fmt(p.distribution_bytes_per_point())
+          << ", \"streamed_distribution_bytes_per_point\": "
+          << fmt(p.streamed_distribution_bytes_per_point())
           << ", \"total_bytes_per_point\": " << fmt(p.total_bytes_per_point())
           << ", \"flops_per_point\": " << fmt(p.flops_per_point)
           << ", \"accesses\": [";

@@ -4,8 +4,11 @@
 // exist so the SoA / swap-pattern refactor cannot silently change the
 // bytes-per-point the Fig. 5-6 efficiency numbers divide by:
 //
-//   MT001  hot-loop distribution bytes/point disagree with
-//          perf::ModelParams::bytes_per_point (2*19*8 = 304 B)
+//   MT001  hot-loop distribution bytes/point disagree with the model
+//          charge for the kernel's propagation pattern: double-buffered
+//          pull kernels against perf::ModelParams::bytes_per_point
+//          (2*19*8 = 304 B), in-place kernels (AA even/odd, collide-only)
+//          against the single-pass half of it (19*8 = 152 B)
 //   MT002  non-coalesced AoS distribution access on a hot-loop kernel
 //   MT003  redundant distribution re-loads (> 19 loads of one array
 //          per point in a hot-loop kernel)

@@ -7,12 +7,16 @@
 #include "hal/hipx.hpp"
 #include "hal/kokkosx.hpp"
 #include "hal/syclx.hpp"
+#include "lbm/aa_layout.hpp"
 
 namespace hemo::harvey {
 
 namespace {
 
 /// Host-side staging of lattice metadata shared by all dialect paths.
+/// For the AA pattern the initial equilibrium snapshot is decanonicalized
+/// into the even-parity in-place layout before upload, so step 1 on the
+/// device is bit-identical to the pull path from the very first gather.
 struct HostState {
   std::vector<std::uint8_t> node_type;
   std::vector<double> f_init;
@@ -32,6 +36,12 @@ struct HostState {
       std::fill_n(f_init.begin() + static_cast<std::ptrdiff_t>(q) *
                                        static_cast<std::ptrdiff_t>(n),
                   n, feq);
+    }
+    if (options.propagation == lbm::Propagation::kAAInPlace) {
+      std::vector<double> canonical = f_init;
+      lbm::aa_decanonicalize(lattice.adjacency().data(), lattice.size(),
+                             /*steps_done=*/0, canonical.data(),
+                             f_init.data());
     }
   }
 };
@@ -55,11 +65,28 @@ lbm::KernelArgs make_args(const double* f_in, double* f_out,
   return a;
 }
 
+/// Args for an AA launch: the single array is all three of f_in/f_out/f
+/// (the AA kernels only read .f, but keeping the pull fields pointed at
+/// the same storage keeps make_args-built args fully initialized).
+lbm::KernelArgs make_aa_args(double* f, const PointIndex* adjacency,
+                             const std::uint8_t* node_type, std::int64_t n,
+                             const lbm::SolverOptions& o) {
+  lbm::KernelArgs a = make_args(f, f, adjacency, node_type, n, o);
+  a.f = f;
+  return a;
+}
+
 }  // namespace
 
 struct DeviceSolver::Impl {
   virtual ~Impl() = default;
-  virtual void step(const lbm::SolverOptions& options) = 0;
+  /// One step; `steps_done` is the count completed so far — its parity
+  /// selects the even/odd AA kernel (ignored by the pull path).
+  virtual void step(const lbm::SolverOptions& options,
+                    std::int64_t steps_done) = 0;
+  /// Raw distribution array in the pattern's own layout (the pull path's
+  /// post-collision SoA, or the AA in-place array); DeviceSolver
+  /// canonicalizes on the host.
   virtual std::vector<double> distributions() const = 0;
 };
 
@@ -74,12 +101,14 @@ namespace {
 
 class CudaxImpl final : public DeviceSolver::Impl {
  public:
-  CudaxImpl(const lbm::SparseLattice& lattice, const HostState& host)
-      : n_(lattice.size()) {
+  CudaxImpl(const lbm::SparseLattice& lattice, const HostState& host,
+            lbm::Propagation pattern)
+      : n_(lattice.size()), pattern_(pattern) {
     const std::size_t fbytes =
         static_cast<std::size_t>(lbm::kQ) * n_ * sizeof(double);
     HEMO_ENSURES(cudaxMalloc(&f_a_, fbytes) == cudaxSuccess);
-    HEMO_ENSURES(cudaxMalloc(&f_b_, fbytes) == cudaxSuccess);
+    if (pattern_ == lbm::Propagation::kPullSoA)  // AA runs in place
+      HEMO_ENSURES(cudaxMalloc(&f_b_, fbytes) == cudaxSuccess);
     HEMO_ENSURES(cudaxMalloc(&adjacency_, lattice.adjacency().size() *
                                               sizeof(PointIndex)) ==
                  cudaxSuccess);
@@ -102,15 +131,39 @@ class CudaxImpl final : public DeviceSolver::Impl {
     cudaxFree(node_type_);
   }
 
-  void step(const lbm::SolverOptions& options) override {
-    const lbm::KernelArgs args = make_args(
-        static_cast<const double*>(f_a_), static_cast<double*>(f_b_),
-        static_cast<const PointIndex*>(adjacency_),
-        static_cast<const std::uint8_t*>(node_type_), n_, options);
+  void step(const lbm::SolverOptions& options,
+            std::int64_t steps_done) override {
     const unsigned block = 256;
     const auto grid =
         static_cast<unsigned>((n_ + block - 1) / static_cast<std::int64_t>(block));
     const std::int64_t n = n_;
+    if (pattern_ == lbm::Propagation::kAAInPlace) {
+      const lbm::KernelArgs args = make_aa_args(
+          static_cast<double*>(f_a_),
+          static_cast<const PointIndex*>(adjacency_),
+          static_cast<const std::uint8_t*>(node_type_), n_, options);
+      if (steps_done % 2 == 0) {
+        HEMO_ENSURES(cudaxLaunchKernel(dim3x(grid), dim3x(block),
+                                       [args, n](std::int64_t i) {
+                                         if (i >= n) return;
+                                         lbm::stream_collide_point_aa_even(
+                                             args, i);
+                                       }) == cudaxSuccess);
+      } else {
+        HEMO_ENSURES(cudaxLaunchKernel(dim3x(grid), dim3x(block),
+                                       [args, n](std::int64_t i) {
+                                         if (i >= n) return;
+                                         lbm::stream_collide_point_aa_odd(
+                                             args, i);
+                                       }) == cudaxSuccess);
+      }
+      HEMO_ENSURES(cudaxDeviceSynchronize() == cudaxSuccess);
+      return;
+    }
+    const lbm::KernelArgs args = make_args(
+        static_cast<const double*>(f_a_), static_cast<double*>(f_b_),
+        static_cast<const PointIndex*>(adjacency_),
+        static_cast<const std::uint8_t*>(node_type_), n_, options);
     HEMO_ENSURES(cudaxLaunchKernel(dim3x(grid), dim3x(block),
                                    [args, n](std::int64_t i) {
                                      if (i >= n) return;
@@ -129,6 +182,7 @@ class CudaxImpl final : public DeviceSolver::Impl {
 
  private:
   std::int64_t n_;
+  lbm::Propagation pattern_;
   void* f_a_ = nullptr;
   void* f_b_ = nullptr;
   void* adjacency_ = nullptr;
@@ -137,12 +191,14 @@ class CudaxImpl final : public DeviceSolver::Impl {
 
 class HipxImpl final : public DeviceSolver::Impl {
  public:
-  HipxImpl(const lbm::SparseLattice& lattice, const HostState& host)
-      : n_(lattice.size()) {
+  HipxImpl(const lbm::SparseLattice& lattice, const HostState& host,
+           lbm::Propagation pattern)
+      : n_(lattice.size()), pattern_(pattern) {
     const std::size_t fbytes =
         static_cast<std::size_t>(lbm::kQ) * n_ * sizeof(double);
     HEMO_ENSURES(hipxMalloc(&f_a_, fbytes) == hipxSuccess);
-    HEMO_ENSURES(hipxMalloc(&f_b_, fbytes) == hipxSuccess);
+    if (pattern_ == lbm::Propagation::kPullSoA)  // AA runs in place
+      HEMO_ENSURES(hipxMalloc(&f_b_, fbytes) == hipxSuccess);
     HEMO_ENSURES(hipxMalloc(&adjacency_, lattice.adjacency().size() *
                                              sizeof(PointIndex)) ==
                  hipxSuccess);
@@ -165,15 +221,39 @@ class HipxImpl final : public DeviceSolver::Impl {
     hipxFree(node_type_);
   }
 
-  void step(const lbm::SolverOptions& options) override {
-    const lbm::KernelArgs args = make_args(
-        static_cast<const double*>(f_a_), static_cast<double*>(f_b_),
-        static_cast<const PointIndex*>(adjacency_),
-        static_cast<const std::uint8_t*>(node_type_), n_, options);
+  void step(const lbm::SolverOptions& options,
+            std::int64_t steps_done) override {
     const unsigned block = 256;
     const auto grid =
         static_cast<unsigned>((n_ + block - 1) / static_cast<std::int64_t>(block));
     const std::int64_t n = n_;
+    if (pattern_ == lbm::Propagation::kAAInPlace) {
+      const lbm::KernelArgs args = make_aa_args(
+          static_cast<double*>(f_a_),
+          static_cast<const PointIndex*>(adjacency_),
+          static_cast<const std::uint8_t*>(node_type_), n_, options);
+      if (steps_done % 2 == 0) {
+        HEMO_ENSURES(hipxLaunchKernel(dim3x(grid), dim3x(block),
+                                      [args, n](std::int64_t i) {
+                                        if (i >= n) return;
+                                        lbm::stream_collide_point_aa_even(
+                                            args, i);
+                                      }) == hipxSuccess);
+      } else {
+        HEMO_ENSURES(hipxLaunchKernel(dim3x(grid), dim3x(block),
+                                      [args, n](std::int64_t i) {
+                                        if (i >= n) return;
+                                        lbm::stream_collide_point_aa_odd(
+                                            args, i);
+                                      }) == hipxSuccess);
+      }
+      HEMO_ENSURES(hipxDeviceSynchronize() == hipxSuccess);
+      return;
+    }
+    const lbm::KernelArgs args = make_args(
+        static_cast<const double*>(f_a_), static_cast<double*>(f_b_),
+        static_cast<const PointIndex*>(adjacency_),
+        static_cast<const std::uint8_t*>(node_type_), n_, options);
     HEMO_ENSURES(hipxLaunchKernel(dim3x(grid), dim3x(block),
                                   [args, n](std::int64_t i) {
                                     if (i >= n) return;
@@ -192,6 +272,7 @@ class HipxImpl final : public DeviceSolver::Impl {
 
  private:
   std::int64_t n_;
+  lbm::Propagation pattern_;
   void* f_a_ = nullptr;
   void* f_b_ = nullptr;
   void* adjacency_ = nullptr;
@@ -204,12 +285,14 @@ class HipxImpl final : public DeviceSolver::Impl {
 
 class SyclxImpl final : public DeviceSolver::Impl {
  public:
-  SyclxImpl(const lbm::SparseLattice& lattice, const HostState& host)
-      : n_(lattice.size()) {
+  SyclxImpl(const lbm::SparseLattice& lattice, const HostState& host,
+            lbm::Propagation pattern)
+      : n_(lattice.size()), pattern_(pattern) {
     namespace sx = hal::syclx;
     const std::size_t fcount = static_cast<std::size_t>(lbm::kQ) * n_;
     f_a_ = sx::malloc_device<double>(fcount, queue_);
-    f_b_ = sx::malloc_device<double>(fcount, queue_);
+    if (pattern_ == lbm::Propagation::kPullSoA)  // AA runs in place
+      f_b_ = sx::malloc_device<double>(fcount, queue_);
     adjacency_ = sx::malloc_device<PointIndex>(lattice.adjacency().size(),
                                                queue_);
     node_type_ = sx::malloc_device<std::uint8_t>(host.node_type.size(), queue_);
@@ -223,13 +306,32 @@ class SyclxImpl final : public DeviceSolver::Impl {
   ~SyclxImpl() override {
     namespace sx = hal::syclx;
     sx::free(f_a_, queue_);
-    sx::free(f_b_, queue_);
+    if (f_b_ != nullptr) sx::free(f_b_, queue_);
     sx::free(adjacency_, queue_);
     sx::free(node_type_, queue_);
   }
 
-  void step(const lbm::SolverOptions& options) override {
+  void step(const lbm::SolverOptions& options,
+            std::int64_t steps_done) override {
     namespace sx = hal::syclx;
+    if (pattern_ == lbm::Propagation::kAAInPlace) {
+      const lbm::KernelArgs args =
+          make_aa_args(f_a_, adjacency_, node_type_, n_, options);
+      const bool even = steps_done % 2 == 0;
+      queue_.submit([&](sx::handler& h) {
+        h.parallel_for(sx::range<1>(static_cast<std::size_t>(n_)),
+                       [args, even](sx::id<1> i) {
+                         const auto p = static_cast<std::int64_t>(i);
+                         if (even) {
+                           lbm::stream_collide_point_aa_even(args, p);
+                         } else {
+                           lbm::stream_collide_point_aa_odd(args, p);
+                         }
+                       });
+      });
+      queue_.wait();
+      return;
+    }
     const lbm::KernelArgs args =
         make_args(f_a_, f_b_, adjacency_, node_type_, n_, options);
     queue_.submit([&](sx::handler& h) {
@@ -253,6 +355,7 @@ class SyclxImpl final : public DeviceSolver::Impl {
  private:
   hal::syclx::queue queue_;
   std::int64_t n_;
+  lbm::Propagation pattern_;
   double* f_a_ = nullptr;
   double* f_b_ = nullptr;
   PointIndex* adjacency_ = nullptr;
@@ -268,14 +371,16 @@ class SyclxImpl final : public DeviceSolver::Impl {
 class KokkosxImpl final : public DeviceSolver::Impl {
  public:
   KokkosxImpl(const lbm::SparseLattice& lattice, const HostState& host,
-              hal::Backend backend)
+              hal::Backend backend, lbm::Propagation pattern)
       : n_(lattice.size()),
+        pattern_(pattern),
         f_a_("f_a", static_cast<std::size_t>(lbm::kQ) * n_),
-        f_b_("f_b", static_cast<std::size_t>(lbm::kQ) * n_),
         adjacency_("adjacency", lattice.adjacency().size()),
         node_type_("node_type", host.node_type.size()) {
     namespace kx = hal::kokkosx;
     HEMO_EXPECTS(kx::is_initialized() && kx::current_backend() == backend);
+    if (pattern_ == lbm::Propagation::kPullSoA)  // AA runs in place
+      f_b_ = kx::View<double*>("f_b", static_cast<std::size_t>(lbm::kQ) * n_);
 
     auto stage = [](auto& view, const auto* src) {
       auto mirror = kx::create_mirror_view(view);
@@ -288,8 +393,26 @@ class KokkosxImpl final : public DeviceSolver::Impl {
     stage(node_type_, host.node_type.data());
   }
 
-  void step(const lbm::SolverOptions& options) override {
+  void step(const lbm::SolverOptions& options,
+            std::int64_t steps_done) override {
     namespace kx = hal::kokkosx;
+    if (pattern_ == lbm::Propagation::kAAInPlace) {
+      const lbm::KernelArgs args = make_aa_args(
+          f_a_.data(), adjacency_.data(), node_type_.data(), n_, options);
+      if (steps_done % 2 == 0) {
+        kx::parallel_for("stream_collide_aa_even", kx::RangePolicy(0, n_),
+                         [args](std::int64_t i) {
+                           lbm::stream_collide_point_aa_even(args, i);
+                         });
+      } else {
+        kx::parallel_for("stream_collide_aa_odd", kx::RangePolicy(0, n_),
+                         [args](std::int64_t i) {
+                           lbm::stream_collide_point_aa_odd(args, i);
+                         });
+      }
+      kx::fence();
+      return;
+    }
     const lbm::KernelArgs args = make_args(f_a_.data(), f_b_.data(),
                                            adjacency_.data(),
                                            node_type_.data(), n_, options);
@@ -310,6 +433,7 @@ class KokkosxImpl final : public DeviceSolver::Impl {
 
  private:
   std::int64_t n_;
+  lbm::Propagation pattern_;
   hal::kokkosx::View<double*> f_a_;
   hal::kokkosx::View<double*> f_b_;
   hal::kokkosx::View<PointIndex*> adjacency_;
@@ -324,15 +448,16 @@ DeviceSolver::DeviceSolver(std::shared_ptr<const lbm::SparseLattice> lattice,
   HEMO_EXPECTS(lattice_ != nullptr);
   HEMO_EXPECTS(options_.tau > 0.5);
   const HostState host(*lattice_, options_);
+  const lbm::Propagation pattern = options_.propagation;
   switch (model_) {
     case hal::Model::kCuda:
-      impl_ = std::make_unique<CudaxImpl>(*lattice_, host);
+      impl_ = std::make_unique<CudaxImpl>(*lattice_, host, pattern);
       break;
     case hal::Model::kHip:
-      impl_ = std::make_unique<HipxImpl>(*lattice_, host);
+      impl_ = std::make_unique<HipxImpl>(*lattice_, host, pattern);
       break;
     case hal::Model::kSycl:
-      impl_ = std::make_unique<SyclxImpl>(*lattice_, host);
+      impl_ = std::make_unique<SyclxImpl>(*lattice_, host, pattern);
       break;
     case hal::Model::kKokkosCuda:
     case hal::Model::kKokkosHip:
@@ -347,7 +472,7 @@ DeviceSolver::DeviceSolver(std::shared_ptr<const lbm::SparseLattice> lattice,
         // One Kokkos backend per process, as with real Kokkos builds.
         HEMO_EXPECTS(kx::current_backend() == backend);
       }
-      impl_ = std::make_unique<KokkosxImpl>(*lattice_, host, backend);
+      impl_ = std::make_unique<KokkosxImpl>(*lattice_, host, backend, pattern);
       break;
     }
   }
@@ -359,7 +484,7 @@ DeviceSolver::~DeviceSolver() {
 }
 
 void DeviceSolver::step() {
-  impl_->step(options_);
+  impl_->step(options_, steps_done_);
   ++steps_done_;
 }
 
@@ -369,7 +494,12 @@ void DeviceSolver::run(int steps) {
 }
 
 std::vector<double> DeviceSolver::distributions() const {
-  return impl_->distributions();
+  std::vector<double> raw = impl_->distributions();
+  if (options_.propagation != lbm::Propagation::kAAInPlace) return raw;
+  std::vector<double> canonical(raw.size());
+  lbm::aa_canonicalize(lattice_->adjacency().data(), lattice_->size(),
+                       steps_done_, raw.data(), canonical.data());
+  return canonical;
 }
 
 lbm::Moments DeviceSolver::moments(PointIndex i) const {

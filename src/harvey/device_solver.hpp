@@ -35,7 +35,9 @@ class DeviceSolver {
   const lbm::SparseLattice& lattice() const { return *lattice_; }
 
   /// Copies the current post-collision distributions back to the host
-  /// (q-major SoA), through the dialect's transfer mechanism.
+  /// (canonical q-major SoA), through the dialect's transfer mechanism.
+  /// Under the AA pattern the in-place device array is canonicalized on
+  /// the host, so callers see the same snapshot as the pull path.
   std::vector<double> distributions() const;
 
   lbm::Moments moments(PointIndex i) const;

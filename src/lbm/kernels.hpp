@@ -6,11 +6,29 @@
 // paper does with HARVEY's kernels across CUDA/HIP/SYCL/Kokkos.
 //
 // Storage layout is structure-of-arrays (q-major): value (q, i) lives at
-// f[q * n + i].  Streaming uses the pull scheme: direction q of point i is
-// gathered from the upstream neighbor adjacency[q * n + i]; a missing
-// neighbor (kSolidNeighbor) applies halfway bounce-back.  Inlet/outlet
-// points complete their unknown populations with the Zou-He
-// (non-equilibrium bounce-back) construction before colliding.
+// f[q * n + i].  Two propagation patterns are implemented (see
+// lbm/propagation.hpp):
+//
+//   Pull (f_in/f_out): direction q of point i is gathered from the
+//   upstream neighbor adjacency[q * n + i]; a missing neighbor
+//   (kSolidNeighbor) applies halfway bounce-back.  Each step reads one
+//   full array and writes a second.
+//
+//   AA in-place (f): a single array updated in place.  Even steps are
+//   purely local — each point reads its straight slots (which hold the
+//   streamed-in pre-collision populations), collides, and writes the
+//   results to its opposite slots.  Odd steps gather direction q from the
+//   upstream neighbor's opposite slot, collide, and scatter direction q to
+//   the downstream neighbor's straight slot (or bounce it into the point's
+//   own opposite slot at walls), re-establishing the even-step invariant.
+//   Per odd step every slot is written by exactly one point and every slot
+//   a point reads is touched by no other point, so the update is race-free
+//   under any launch chunking without double buffering.
+//
+// Inlet/outlet points complete their unknown populations with the Zou-He
+// (non-equilibrium bounce-back) construction before colliding; both
+// patterns and both layouts share one boundary-completion helper so the
+// variants cannot drift.
 
 #include <cstdint>
 
@@ -23,8 +41,9 @@ namespace hemo::lbm {
 /// Everything a stream-collide launch needs, as plain pointers: this struct
 /// is the kernel ABI shared by all hal dialects.
 struct KernelArgs {
-  const double* f_in = nullptr;    // post-collision values of step t-1
-  double* f_out = nullptr;         // post-collision values of step t
+  const double* f_in = nullptr;    // pull: post-collision values of step t-1
+  double* f_out = nullptr;         // pull: post-collision values of step t
+  double* f = nullptr;             // AA: the single in-place array
   const PointIndex* adjacency = nullptr;  // kQ * n, q-major, pull neighbors
   const std::uint8_t* node_type = nullptr;  // NodeType per point
   std::int64_t n = 0;              // number of fluid points
@@ -72,31 +91,16 @@ inline void bgk_collide(const double f[kQ], const Moments& m, double omega,
 
 namespace detail {
 
-/// Gather step of the pull scheme for one point.  Returns a bitmask of the
-/// directions left unknown (only possible on inlet/outlet faces); all other
-/// missing neighbors take the halfway bounce-back value.
-inline std::uint32_t gather(const KernelArgs& a, std::int64_t i,
-                            NodeType type, double f[kQ]) {
-  std::uint32_t unknown = 0;
-  for (int q = 0; q < kQ; ++q) {
-    const PointIndex up = a.adjacency[static_cast<std::size_t>(q) * a.n + i];
-    if (up != kSolidNeighbor) {
-      f[q] = a.f_in[static_cast<std::size_t>(q) * a.n + up];
-      continue;
-    }
-    const bool zmin_unknown = (type == NodeType::kVelocityInlet ||
-                               type == NodeType::kPressureOutletLow) &&
-                              c(q, 2) > 0;
-    const bool zmax_unknown =
-        type == NodeType::kPressureOutlet && c(q, 2) < 0;
-    if (zmin_unknown || zmax_unknown) {
-      unknown |= 1u << q;
-      f[q] = 0.0;
-    } else {
-      f[q] = a.f_in[static_cast<std::size_t>(opposite(q)) * a.n + i];
-    }
-  }
-  return unknown;
+/// True when direction q at a node of this type is an unknown population
+/// when its upstream neighbor is missing: it points in through an open
+/// inlet/outlet face rather than a wall, so bounce-back does not apply and
+/// the Zou-He construction must supply it.
+inline bool boundary_unknown(NodeType type, int q) {
+  const bool zmin_unknown = (type == NodeType::kVelocityInlet ||
+                             type == NodeType::kPressureOutletLow) &&
+                            c(q, 2) > 0;
+  const bool zmax_unknown = type == NodeType::kPressureOutlet && c(q, 2) < 0;
+  return zmin_unknown || zmax_unknown;
 }
 
 /// Completes unknown populations with non-equilibrium bounce-back against
@@ -132,6 +136,81 @@ inline void zou_he_complete(double f[kQ], std::uint32_t unknown, double rho,
   }
 }
 
+/// Zou-He boundary completion dispatched by node type.  Shared by the
+/// pull-SoA, AoS-ablation and AA kernel variants — the per-face target
+/// moments (density from the z-momentum balance at velocity inlets,
+/// velocity from the prescribed density at pressure outlets, with the
+/// normal flipped on z-min faces) are written once here so the layouts
+/// cannot drift.  Node types that never produce unknown populations
+/// (boundary_unknown above) complete nothing.
+inline void complete_boundary(NodeType type, std::uint32_t unknown,
+                              double inlet_velocity, double outlet_density,
+                              double f[kQ]) {
+  if (unknown == 0) return;
+  if (type == NodeType::kVelocityInlet) {
+    // Prescribed u = (0, 0, w); unknowns have c_z > 0.  Density follows
+    // from the z-momentum balance: rho = (S_0 + 2 S_-) / (1 - w).
+    double s0 = 0.0, sm = 0.0;
+    for (int q = 0; q < kQ; ++q) {
+      if (c(q, 2) == 0) s0 += f[q];
+      if (c(q, 2) < 0) sm += f[q];
+    }
+    const double w = inlet_velocity;
+    const double rho = (s0 + 2.0 * sm) / (1.0 - w);
+    zou_he_complete(f, unknown, rho, 0.0, 0.0, w,
+                    /*+x,+z*/ 11, /*-x,+z*/ 14,
+                    /*+y,+z*/ 15, /*-y,+z*/ 18);
+  } else if (type == NodeType::kPressureOutlet) {
+    // Prescribed rho; unknowns have c_z < 0.  Outflow velocity follows
+    // from the same balance with the opposite normal.
+    double s0 = 0.0, sp = 0.0;
+    for (int q = 0; q < kQ; ++q) {
+      if (c(q, 2) == 0) s0 += f[q];
+      if (c(q, 2) > 0) sp += f[q];
+    }
+    const double rho = outlet_density;
+    const double uz = -1.0 + (s0 + 2.0 * sp) / rho;
+    zou_he_complete(f, unknown, rho, 0.0, 0.0, uz,
+                    /*+x,-z*/ 13, /*-x,-z*/ 12,
+                    /*+y,-z*/ 17, /*-y,-z*/ 16);
+  } else if (type == NodeType::kPressureOutletLow) {
+    // Pressure boundary on a z-min face (outflow toward -z); unknowns have
+    // c_z > 0 and the velocity follows with the normal flipped.
+    double s0 = 0.0, sm = 0.0;
+    for (int q = 0; q < kQ; ++q) {
+      if (c(q, 2) == 0) s0 += f[q];
+      if (c(q, 2) < 0) sm += f[q];
+    }
+    const double rho = outlet_density;
+    const double uz = 1.0 - (s0 + 2.0 * sm) / rho;
+    zou_he_complete(f, unknown, rho, 0.0, 0.0, uz,
+                    /*+x,+z*/ 11, /*-x,+z*/ 14,
+                    /*+y,+z*/ 15, /*-y,+z*/ 18);
+  }
+}
+
+/// Gather step of the pull scheme for one point.  Returns a bitmask of the
+/// directions left unknown (only possible on inlet/outlet faces); all other
+/// missing neighbors take the halfway bounce-back value.
+inline std::uint32_t gather(const KernelArgs& a, std::int64_t i,
+                            NodeType type, double f[kQ]) {
+  std::uint32_t unknown = 0;
+  for (int q = 0; q < kQ; ++q) {
+    const PointIndex up = a.adjacency[static_cast<std::size_t>(q) * a.n + i];
+    if (up != kSolidNeighbor) {
+      f[q] = a.f_in[static_cast<std::size_t>(q) * a.n + up];
+      continue;
+    }
+    if (boundary_unknown(type, q)) {
+      unknown |= 1u << q;
+      f[q] = 0.0;
+    } else {
+      f[q] = a.f_in[static_cast<std::size_t>(opposite(q)) * a.n + i];
+    }
+  }
+  return unknown;
+}
+
 }  // namespace detail
 
 /// Gather + boundary completion: reconstructs the full pre-collision
@@ -143,47 +222,8 @@ inline void gather_pre_collision(const KernelArgs& a, std::int64_t i,
                                  double f[kQ]) {
   const auto type = static_cast<NodeType>(a.node_type[i]);
   const std::uint32_t unknown = detail::gather(a, i, type, f);
-
-  if (type == NodeType::kVelocityInlet && unknown != 0) {
-    // Prescribed u = (0, 0, w); unknowns have c_z > 0.  Density follows
-    // from the z-momentum balance: rho = (S_0 + 2 S_-) / (1 - w).
-    double s0 = 0.0, sm = 0.0;
-    for (int q = 0; q < kQ; ++q) {
-      if (c(q, 2) == 0) s0 += f[q];
-      if (c(q, 2) < 0) sm += f[q];
-    }
-    const double w = a.inlet_velocity;
-    const double rho = (s0 + 2.0 * sm) / (1.0 - w);
-    detail::zou_he_complete(f, unknown, rho, 0.0, 0.0, w,
-                            /*+x,+z*/ 11, /*-x,+z*/ 14,
-                            /*+y,+z*/ 15, /*-y,+z*/ 18);
-  } else if (type == NodeType::kPressureOutlet && unknown != 0) {
-    // Prescribed rho; unknowns have c_z < 0.  Outflow velocity follows
-    // from the same balance with the opposite normal.
-    double s0 = 0.0, sp = 0.0;
-    for (int q = 0; q < kQ; ++q) {
-      if (c(q, 2) == 0) s0 += f[q];
-      if (c(q, 2) > 0) sp += f[q];
-    }
-    const double rho = a.outlet_density;
-    const double uz = -1.0 + (s0 + 2.0 * sp) / rho;
-    detail::zou_he_complete(f, unknown, rho, 0.0, 0.0, uz,
-                            /*+x,-z*/ 13, /*-x,-z*/ 12,
-                            /*+y,-z*/ 17, /*-y,-z*/ 16);
-  } else if (type == NodeType::kPressureOutletLow && unknown != 0) {
-    // Pressure boundary on a z-min face (outflow toward -z); unknowns have
-    // c_z > 0 and the velocity follows with the normal flipped.
-    double s0 = 0.0, sm = 0.0;
-    for (int q = 0; q < kQ; ++q) {
-      if (c(q, 2) == 0) s0 += f[q];
-      if (c(q, 2) < 0) sm += f[q];
-    }
-    const double rho = a.outlet_density;
-    const double uz = 1.0 - (s0 + 2.0 * sm) / rho;
-    detail::zou_he_complete(f, unknown, rho, 0.0, 0.0, uz,
-                            /*+x,+z*/ 11, /*-x,+z*/ 14,
-                            /*+y,+z*/ 15, /*-y,+z*/ 18);
-  }
+  detail::complete_boundary(type, unknown, a.inlet_velocity,
+                            a.outlet_density, f);
 }
 
 /// Fused pull-stream + boundary + BGK collide update for point i.
@@ -232,51 +272,97 @@ inline void stream_collide_point_aos(const KernelArgs& a, std::int64_t i) {
     const PointIndex up = a.adjacency[static_cast<std::size_t>(q) * a.n + i];
     if (up != kSolidNeighbor) {
       f[q] = a.f_in[static_cast<std::size_t>(up) * kQ + q];
-    } else if (((type == NodeType::kVelocityInlet ||
-                 type == NodeType::kPressureOutletLow) &&
-                c(q, 2) > 0) ||
-               (type == NodeType::kPressureOutlet && c(q, 2) < 0)) {
+    } else if (detail::boundary_unknown(type, q)) {
       unknown |= 1u << q;
       f[q] = 0.0;
     } else {
       f[q] = a.f_in[static_cast<std::size_t>(i) * kQ + opposite(q)];
     }
   }
-  if (unknown != 0) {
-    if (type == NodeType::kVelocityInlet) {
-      double s0 = 0.0, sm = 0.0;
-      for (int q = 0; q < kQ; ++q) {
-        if (c(q, 2) == 0) s0 += f[q];
-        if (c(q, 2) < 0) sm += f[q];
-      }
-      const double w = a.inlet_velocity;
-      detail::zou_he_complete(f, unknown, (s0 + 2.0 * sm) / (1.0 - w), 0.0,
-                              0.0, w, 11, 14, 15, 18);
-    } else if (type == NodeType::kPressureOutlet) {
-      double s0 = 0.0, sp = 0.0;
-      for (int q = 0; q < kQ; ++q) {
-        if (c(q, 2) == 0) s0 += f[q];
-        if (c(q, 2) > 0) sp += f[q];
-      }
-      const double rho = a.outlet_density;
-      detail::zou_he_complete(f, unknown, rho, 0.0, 0.0,
-                              -1.0 + (s0 + 2.0 * sp) / rho, 13, 12, 17, 16);
-    } else {
-      double s0 = 0.0, sm = 0.0;
-      for (int q = 0; q < kQ; ++q) {
-        if (c(q, 2) == 0) s0 += f[q];
-        if (c(q, 2) < 0) sm += f[q];
-      }
-      const double rho = a.outlet_density;
-      detail::zou_he_complete(f, unknown, rho, 0.0, 0.0,
-                              1.0 - (s0 + 2.0 * sm) / rho, 11, 14, 15, 18);
-    }
-  }
+  detail::complete_boundary(type, unknown, a.inlet_velocity,
+                            a.outlet_density, f);
   const Moments m = moments_of(f, a.force_x, a.force_y, a.force_z);
   double out[kQ];
   bgk_collide(f, m, a.omega, a.force_x, a.force_y, a.force_z, out);
   for (int q = 0; q < kQ; ++q)
     a.f_out[static_cast<std::size_t>(i) * kQ + q] = out[q];
+}
+
+/// AA pattern, even step: purely local.  Before the step, slot (q, i) of
+/// the single array a.f holds the streamed-in pre-collision population
+/// f_q(i) — bounce-back values included, because the previous odd step
+/// (or the initial decanonicalization) deposited them there.  Unknown
+/// inlet/outlet directions are the one exception: no neighbor writes
+/// them, so they are rebuilt by Zou-He exactly as the pull gather does.
+/// After colliding, result q is written to the point's own OPPOSITE slot,
+/// which is where the next odd step's gather looks for it.
+inline void stream_collide_point_aa_even(const KernelArgs& a, std::int64_t i) {
+  const auto type = static_cast<NodeType>(a.node_type[i]);
+  double f[kQ];
+  std::uint32_t unknown = 0;
+  if (type == NodeType::kBulk) {
+    for (int q = 0; q < kQ; ++q)
+      f[q] = a.f[static_cast<std::size_t>(q) * a.n + i];
+  } else {
+    for (int q = 0; q < kQ; ++q) {
+      const PointIndex up = a.adjacency[static_cast<std::size_t>(q) * a.n + i];
+      if (up == kSolidNeighbor && detail::boundary_unknown(type, q)) {
+        unknown |= 1u << q;
+        f[q] = 0.0;
+      } else {
+        f[q] = a.f[static_cast<std::size_t>(q) * a.n + i];
+      }
+    }
+  }
+  detail::complete_boundary(type, unknown, a.inlet_velocity,
+                            a.outlet_density, f);
+  const Moments m = moments_of(f, a.force_x, a.force_y, a.force_z);
+  double out[kQ];
+  bgk_collide(f, m, a.omega, a.force_x, a.force_y, a.force_z, out);
+  for (int q = 0; q < kQ; ++q)
+    a.f[static_cast<std::size_t>(opposite(q)) * a.n + i] = out[q];
+}
+
+/// AA pattern, odd step: gather, collide, scatter — all against the same
+/// single array.  Direction q is gathered from the upstream neighbor's
+/// opposite slot (where the even step left it); a missing upstream reads
+/// the bounce-back value from the point's own straight slot.  After
+/// colliding, result q is scattered to the downstream neighbor's straight
+/// slot; a missing downstream bounces it into the point's own opposite
+/// slot.  Every slot this point reads or writes is touched by this point
+/// alone, and the full gather precedes the first scatter, so the update
+/// is bit-deterministic under any parallel chunking.
+inline void stream_collide_point_aa_odd(const KernelArgs& a, std::int64_t i) {
+  const auto type = static_cast<NodeType>(a.node_type[i]);
+  std::int64_t up[kQ];
+  double f[kQ];
+  std::uint32_t unknown = 0;
+  for (int q = 0; q < kQ; ++q)
+    up[q] = a.adjacency[static_cast<std::size_t>(q) * a.n + i];
+  for (int q = 0; q < kQ; ++q) {
+    const std::int64_t u = up[q];
+    if (u != kSolidNeighbor) {
+      f[q] = a.f[static_cast<std::size_t>(opposite(q)) * a.n + u];
+    } else if (detail::boundary_unknown(type, q)) {
+      unknown |= 1u << q;
+      f[q] = 0.0;
+    } else {
+      f[q] = a.f[static_cast<std::size_t>(q) * a.n + i];
+    }
+  }
+  detail::complete_boundary(type, unknown, a.inlet_velocity,
+                            a.outlet_density, f);
+  const Moments m = moments_of(f, a.force_x, a.force_y, a.force_z);
+  double out[kQ];
+  bgk_collide(f, m, a.omega, a.force_x, a.force_y, a.force_z, out);
+  for (int q = 0; q < kQ; ++q) {
+    const std::int64_t down = up[opposite(q)];
+    if (down != kSolidNeighbor) {
+      a.f[static_cast<std::size_t>(q) * a.n + down] = out[q];
+    } else {
+      a.f[static_cast<std::size_t>(opposite(q)) * a.n + i] = out[q];
+    }
+  }
 }
 
 }  // namespace hemo::lbm

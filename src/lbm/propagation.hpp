@@ -1,0 +1,46 @@
+#pragma once
+// Propagation-pattern descriptor shared by the kernel layer, the solvers
+// and the Section 6 performance model.  Two patterns exist:
+//
+//   kPullSoA    — double-buffered pull streaming: every step reads one
+//                 full distribution array and writes a second one, so the
+//                 hot loop makes two array passes (2 * 19 * 8 B/point).
+//   kAAInPlace  — the AA (Bailey) two-step pattern: a single distribution
+//                 array updated in place.  Even steps are purely local
+//                 (read straight slots, write opposite slots); odd steps
+//                 gather from the neighbors' opposite slots and scatter to
+//                 the neighbors' straight slots.  One array pass per step
+//                 (19 * 8 B/point) — the traffic halving the ROADMAP's
+//                 hot-loop item targets.
+//
+// The byte derivation lives here (not hardcoded in perf::ModelParams or
+// the hemo-flux rules) so predicted runtimes, campaign re-pricing and the
+// static traffic audit all track the pattern a kernel actually uses.
+
+#include "lbm/d3q19.hpp"
+
+namespace hemo::lbm {
+
+enum class Propagation {
+  kPullSoA,
+  kAAInPlace,
+};
+
+/// Full distribution-array passes the hot loop makes per iteration.
+constexpr double propagation_passes(Propagation pattern) {
+  return pattern == Propagation::kPullSoA ? 2.0 : 1.0;
+}
+
+/// Distribution bytes the Section 6 model charges per fluid point per
+/// iteration (Eq. 1's n_bytes per point): one 8-byte double for each of
+/// the kQ populations, once per array pass.
+constexpr double propagation_bytes_per_point(Propagation pattern) {
+  return propagation_passes(pattern) * static_cast<double>(kQ) *
+         static_cast<double>(sizeof(double));
+}
+
+constexpr const char* propagation_name(Propagation pattern) {
+  return pattern == Propagation::kPullSoA ? "pull-soa" : "aa-in-place";
+}
+
+}  // namespace hemo::lbm

@@ -2,15 +2,23 @@
 // Single-domain reference solver: drives the fused stream-collide kernel on
 // the host over a SparseLattice.  This is the physics ground truth that the
 // hal-dialect solvers (hemo::harvey) and the proxy app are verified against.
+//
+// Two propagation patterns are supported (lbm/propagation.hpp): the
+// double-buffered pull-SoA scheme and the in-place AA scheme.  Both produce
+// bit-identical physics; every observer (distributions(), moments, probes,
+// checkpoints) reports the same canonical post-collision snapshot either
+// way, so callers never see the AA array's parity-dependent layout.
 
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "base/types.hpp"
 #include "lbm/kernels.hpp"
+#include "lbm/propagation.hpp"
 #include "lbm/sparse_lattice.hpp"
 
 namespace hemo::lbm {
@@ -22,10 +30,20 @@ struct SolverOptions {
   double outlet_density = 1.0;    // rho at kPressureOutlet points
   double initial_density = 1.0;
   Vec3 initial_velocity{};
+  Propagation propagation = Propagation::kPullSoA;
 };
 
 /// Kinematic viscosity implied by a BGK relaxation time.
 constexpr double viscosity_of_tau(double tau) { return kCs2 * (tau - 0.5); }
+
+/// A checkpoint file that cannot be opened, fails structural validation
+/// (magic, lattice shape, payload size, trailing bytes) or hits an I/O
+/// error.  Restore never aborts the process on bad input: campaigns catch
+/// this and fall back to a cold start.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Solver {
  public:
@@ -38,10 +56,12 @@ class Solver {
   PointIndex size() const { return lattice_->size(); }
   const SparseLattice& lattice() const { return *lattice_; }
   const SolverOptions& options() const { return options_; }
+  Propagation propagation() const { return options_.propagation; }
 
-  /// Post-collision distributions of the current step (q-major SoA).
-  const std::vector<double>& distributions() const { return *current_; }
-  std::vector<double>& mutable_distributions() { return *current_; }
+  /// Post-collision distributions of the current step in the canonical
+  /// q-major SoA layout, whichever propagation pattern is running (the AA
+  /// array is canonicalized lazily and cached until the next step).
+  const std::vector<double>& distributions() const;
 
   Moments moments(PointIndex i) const;
   double total_mass() const;
@@ -56,8 +76,12 @@ class Solver {
   /// Deviatoric stress tensor at one point (see lbm/hemodynamics.hpp).
   std::array<double, 6> stress(PointIndex i) const;
 
-  /// Binary checkpoint of the full state (distributions + step counter);
-  /// restore is bit-exact, so a restarted campaign continues identically.
+  /// Binary checkpoint of the full state (canonical distributions + step
+  /// counter), written atomically (.tmp + rename) so a crash mid-write
+  /// never tears the live file.  The stored snapshot is always canonical,
+  /// so checkpoints are portable across propagation patterns and AA step
+  /// parities; restore is bit-exact and throws CheckpointError (instead of
+  /// aborting) on malformed files.
   void save_checkpoint(const std::string& path) const;
   void restore_checkpoint(const std::string& path);
 
@@ -67,10 +91,14 @@ class Solver {
   std::shared_ptr<const SparseLattice> lattice_;
   SolverOptions options_;
   std::vector<std::uint8_t> node_type_;
+  // Pull: buf_a_/buf_b_ are the double buffers and current_/next_ swap
+  // between them.  AA: buf_a_ is the single in-place array, buf_b_ caches
+  // the canonical snapshot (current_ always points at the cache).
   std::vector<double> buf_a_, buf_b_;
   std::vector<double>* current_;
   std::vector<double>* next_;
   std::int64_t steps_done_ = 0;
+  mutable bool aa_canonical_fresh_ = true;
 };
 
 }  // namespace hemo::lbm

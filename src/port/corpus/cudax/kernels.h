@@ -69,6 +69,25 @@ struct CollideOnlyKernel {
   }
 };
 
+// AA in-place propagation: a single distribution array (args.f), updated
+// by alternating even/odd kernels — one array pass per step instead of
+// the pull pair's two.
+struct StreamCollideAAEvenKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    if (i >= args.n) return;
+    hemo::lbm::stream_collide_point_aa_even(args, i);
+  }
+};
+
+struct StreamCollideAAOddKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(std::int64_t i) const {
+    if (i >= args.n) return;
+    hemo::lbm::stream_collide_point_aa_odd(args, i);
+  }
+};
+
 // Pack one distribution value per halo index into the send buffer.
 struct PackHaloKernel {
   const double* f;

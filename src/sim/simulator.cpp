@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/contracts.hpp"
+#include "lbm/propagation.hpp"
 
 namespace hemo::sim {
 
@@ -41,7 +42,11 @@ SimPoint ClusterSimulator::simulate(Workload& workload, int devices,
   const double efficiency = app_ == App::kProxy
                                 ? profile_.proxy_efficiency
                                 : profile_.harvey_efficiency;
-  const double bytes_per_point = 2.0 * 19.0 * 8.0;
+  // The measured campaigns all run the pull-SoA kernels (the paper's
+  // configuration); AA-pattern runs are re-priced explicitly via
+  // perf::ModelParams::for_propagation.
+  const double bytes_per_point =
+      lbm::propagation_bytes_per_point(lbm::Propagation::kPullSoA);
 
   // The proxy packs only the distributions that actually cross a face
   // (what the measured halo plan counts); HARVEY's production halo path

@@ -15,6 +15,7 @@
 #include "analysis/flux_extract.hpp"
 #include "analysis/flux_ir.hpp"
 #include "analysis/flux_rules.hpp"
+#include "lbm/propagation.hpp"
 #include "perf/model.hpp"
 #include "port/corpus.hpp"
 
@@ -59,6 +60,65 @@ TEST(FluxExtract, HotLoopKernelsDeriveTheModel304BytesInEveryDialect) {
           << p->file << ":" << p->kernel;
     }
   }
+}
+
+TEST(FluxExtract, StreamedBytesFollowThePropagationPatternInEveryDialect) {
+  // The array-pass convention of Section 6: the double-buffered pull
+  // kernels make two passes (2*19*8 = 304 B/point), while kernels that
+  // update their distribution storage in place — the AA pair and the
+  // collide-only ablation — make one (19*8 = 152 B/point).
+  const double pull_bytes =
+      hemo::lbm::propagation_bytes_per_point(hemo::lbm::Propagation::kPullSoA);
+  const double aa_bytes = hemo::lbm::propagation_bytes_per_point(
+      hemo::lbm::Propagation::kAAInPlace);
+  ASSERT_DOUBLE_EQ(pull_bytes, 304.0);
+  ASSERT_DOUBLE_EQ(aa_bytes, 152.0);
+  for (const port::CorpusDialect dialect : kAllDialects) {
+    const auto profiles = analysis::extract_dialect_profiles(dialect);
+    for (const char* kernel : {"StreamCollideKernel", "StreamOnlyKernel"}) {
+      const analysis::KernelProfile* p = find_kernel(profiles, kernel);
+      ASSERT_NE(p, nullptr) << kernel;
+      EXPECT_FALSE(p->in_place_distribution_update())
+          << p->file << ":" << p->kernel;
+      EXPECT_DOUBLE_EQ(p->streamed_distribution_bytes_per_point(), pull_bytes)
+          << p->file << ":" << p->kernel;
+    }
+    for (const char* kernel :
+         {"StreamCollideAAEvenKernel", "StreamCollideAAOddKernel",
+          "CollideOnlyKernel"}) {
+      const analysis::KernelProfile* p = find_kernel(profiles, kernel);
+      ASSERT_NE(p, nullptr) << kernel << " missing in dialect "
+                            << static_cast<int>(dialect);
+      EXPECT_TRUE(analysis::is_hot_loop_kernel(p->kernel));
+      EXPECT_TRUE(p->in_place_distribution_update())
+          << p->file << ":" << p->kernel;
+      EXPECT_DOUBLE_EQ(p->streamed_distribution_bytes_per_point(), aa_bytes)
+          << p->file << ":" << p->kernel;
+    }
+  }
+}
+
+TEST(FluxExtract, LocalArrayShadowingADeviceNameKeepsItsOwnBucket) {
+  // The AA kernels declare a stack array `f` beside the device args.f;
+  // the accumulator must keep the two apart (role is part of the access
+  // key) or every register access would be charged as device traffic.
+  const auto profiles = extract_fixture(R"(
+struct ShadowKernel {
+  hemo::lbm::KernelArgs args;
+  void operator()(int i) const {
+    double f[kQ];
+    for (int q = 0; q < kQ; ++q) f[q] = args.f[q * args.n + i];
+    for (int q = 0; q < kQ; ++q) f[q] += f[q];
+    for (int q = 0; q < kQ; ++q) args.f[q * args.n + i] = f[q];
+  }
+};
+)");
+  const analysis::KernelProfile* p = find_kernel(profiles, "ShadowKernel");
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->distribution_bytes_per_point(), 304.0);
+  EXPECT_DOUBLE_EQ(p->streamed_distribution_bytes_per_point(), 152.0);
+  EXPECT_DOUBLE_EQ(p->total_bytes_per_point(), 304.0);
+  EXPECT_TRUE(p->in_place_distribution_update());
 }
 
 TEST(FluxExtract, HaloKernelsMoveOneDoublePerCrossingValue) {

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "geom/aorta.hpp"
 #include "geom/cylinder.hpp"
 #include "hal/device.hpp"
 #include "hal/kokkosx.hpp"
@@ -124,6 +125,90 @@ TEST(DeviceSolverLifecycle, KokkosRuntimeIsScopedToTheSolver) {
     EXPECT_EQ(kx::current_backend(), hal::Backend::kSycl);
   }
   EXPECT_FALSE(kx::is_initialized());
+}
+
+namespace {
+
+lbm::SolverOptions aa_options() {
+  lbm::SolverOptions o = options();
+  o.propagation = lbm::Propagation::kAAInPlace;
+  return o;
+}
+
+std::shared_ptr<lbm::SparseLattice> small_aorta() {
+  geom::AortaSpec spec;
+  spec.spacing_mm = 2.6;
+  return geom::make_aorta_lattice(spec);
+}
+
+void expect_aa_matches_pull_host(std::shared_ptr<lbm::SparseLattice> lattice,
+                                 hal::Model model, int steps) {
+  lbm::Solver reference(lattice, options());  // pull-SoA host ground truth
+  DeviceSolver device(lattice, aa_options(), model);
+  reference.run(steps);
+  device.run(steps);
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dev = device.distributions();
+  ASSERT_EQ(ref.size(), dev.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_EQ(ref[k], dev[k]) << "mismatch at flat index " << k << " for "
+                              << hal::name_of(model) << " after " << steps
+                              << " steps";
+}
+
+}  // namespace
+
+// The AA in-place pattern must be bit-identical to the pull-SoA host
+// reference in every dialect, at both step-count parities (the AA array's
+// layout differs between the two) and on both example geometries.
+TEST_P(DeviceSolverModels, AAPatternMatchesPullHostAtEvenParity) {
+  expect_aa_matches_pull_host(workload(), GetParam(), 20);
+}
+
+TEST_P(DeviceSolverModels, AAPatternMatchesPullHostAtOddParity) {
+  expect_aa_matches_pull_host(workload(), GetParam(), 13);
+}
+
+TEST_P(DeviceSolverModels, AAPatternMatchesPullHostOnAorta) {
+  expect_aa_matches_pull_host(small_aorta(), GetParam(), 5);
+}
+
+TEST(DeviceSolverCrossDialect, AAPatternAllSevenModelsAgreeBitwise) {
+  auto lattice = workload();
+  std::vector<double> baseline;
+  {
+    lbm::Solver host(lattice, aa_options());
+    host.run(11);
+    baseline = host.distributions();
+  }
+  for (hal::Model m : hal::kAllModels) {
+    DeviceSolver solver(lattice, aa_options(), m);
+    solver.run(11);
+    const std::vector<double> f = solver.distributions();
+    ASSERT_EQ(f.size(), baseline.size());
+    for (std::size_t k = 0; k < f.size(); ++k)
+      ASSERT_EQ(f[k], baseline[k]) << hal::name_of(m) << " diverged at " << k;
+  }
+}
+
+TEST(DeviceSolverThreading, AAChunkedExecutionIsBitwiseIdentical) {
+  // The odd AA step scatters into neighbor slots; the slot-ownership
+  // argument (each slot written by exactly one point, no point reads a
+  // slot another point writes that step) must hold under real threads.
+  auto lattice = workload();
+  lbm::Solver reference(lattice, options());
+  reference.run(11);
+
+  auto& eng = hal::DeviceEngine::instance();
+  eng.set_threads(4);
+  DeviceSolver threaded(lattice, aa_options(), hal::Model::kCuda);
+  threaded.run(11);
+  eng.set_threads(1);
+
+  const std::vector<double>& ref = reference.distributions();
+  const std::vector<double> dev = threaded.distributions();
+  ASSERT_EQ(ref.size(), dev.size());
+  for (std::size_t k = 0; k < ref.size(); ++k) ASSERT_EQ(ref[k], dev[k]);
 }
 
 TEST(DeviceSolverThreading, ChunkedExecutionIsBitwiseIdentical) {

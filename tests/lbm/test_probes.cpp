@@ -147,7 +147,7 @@ TEST(Checkpoint, MismatchedLatticeIsRejected) {
   auto small = geom::make_cylinder_lattice(other,
                                            geom::CylinderEnds::kInletOutlet);
   lbm::Solver wrong(small, driven_options());
-  EXPECT_DEATH(wrong.restore_checkpoint(path), "Precondition");
+  EXPECT_THROW(wrong.restore_checkpoint(path), lbm::CheckpointError);
   std::remove(path.c_str());
 }
 
@@ -161,6 +161,6 @@ TEST(Checkpoint, CorruptFileIsRejected) {
     std::fclose(f);
   }
   lbm::Solver solver(channel(), driven_options());
-  EXPECT_DEATH(solver.restore_checkpoint(path), "Precondition");
+  EXPECT_THROW(solver.restore_checkpoint(path), lbm::CheckpointError);
   std::remove(path.c_str());
 }
