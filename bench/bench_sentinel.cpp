@@ -1,0 +1,149 @@
+// bench_sentinel: step-time overhead of the RS006 SDC sentinel on the
+// distributed cylinder solver.  Every row runs the same resilient solve
+// (snapshots armed, no faults injected) and differs only in the sentinel
+// knobs, so "overhead_pct" isolates what the corruption detector itself
+// costs on top of the recovery substrate it rides on:
+//
+//   off            resilience enabled, sentinel disabled (the baseline)
+//   digests@K      per-tile digest record every step, verify every K steps
+//   tiles=T        digest verify with T-point tiles (localization grain)
+//   reexec=N       digests plus N sampled tiles re-executed twice per step
+//                  through the shadow-buffer vote-compare
+//
+// The headline criterion: the default configuration (256-point tiles,
+// verify every step, no re-execution) must stay within a few percent of
+// the sentinel-off step time — detection has to be cheap enough to leave
+// on.  Deeper verification (reexec) buys compute-fault coverage at a
+// visibly higher price; the table is the trade-off curve.
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/table.hpp"
+#include "bench_common.hpp"
+#include "decomp/partition.hpp"
+#include "geom/cylinder.hpp"
+#include "harvey/distributed_solver.hpp"
+#include "resilience/policy.hpp"
+
+namespace {
+
+using namespace hemo;
+
+constexpr int kRanks = 4;
+
+struct Setup {
+  std::shared_ptr<const lbm::SparseLattice> lattice;
+  decomp::Partition partition;
+  lbm::SolverOptions options;
+};
+
+Setup make_setup() {
+  // Large enough that the per-rank state does not sit in cache: the
+  // digest pass streams the same bytes the kernel does, so an in-cache
+  // toy would understate its relative cost.
+  geom::CylinderSpec spec;
+  spec.scale = 1.0;
+  spec.radius_per_scale = 12.0;
+  spec.axial_per_scale = 64.0;
+  Setup s;
+  s.lattice =
+      geom::make_cylinder_lattice(spec, geom::CylinderEnds::kInletOutlet);
+  s.partition = decomp::slab_partition(*s.lattice, kRanks);
+  s.options.tau = 0.9;
+  s.options.inlet_velocity = 0.01;
+  s.options.outlet_density = 1.0;
+  return s;
+}
+
+struct Timing {
+  std::int64_t steps = 0;
+  double seconds = 0.0;
+  double us_per_step = 0.0;
+};
+
+Timing time_config(const Setup& setup, const resilience::Options& res) {
+  harvey::DistributedSolver solver(setup.lattice, setup.partition,
+                                   setup.options);
+  solver.enable_resilience(res);
+  solver.run(4);  // warm-up: page in both buffers and the snapshot
+
+  const auto run = [&](std::int64_t steps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    solver.run(static_cast<int>(steps));
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  // Pilot run sizes the measurement to ~0.3 s of wall clock.
+  const double pilot = run(4) / 4.0;
+  Timing t;
+  t.steps = std::max<std::int64_t>(
+      16,
+      std::min<std::int64_t>(200, static_cast<std::int64_t>(0.3 / pilot)));
+  t.seconds = run(t.steps);
+  t.us_per_step = t.seconds / static_cast<double>(t.steps) * 1e6;
+  return t;
+}
+
+resilience::Options base_options() {
+  resilience::Options o;
+  o.recovery.checkpoint_interval = 8;
+  return o;
+}
+
+struct Row {
+  std::string label;
+  resilience::Options options;
+};
+
+}  // namespace
+
+int main() {
+  const Setup setup = make_setup();
+
+  std::vector<Row> rows;
+  rows.push_back({"off", base_options()});
+  for (const std::int64_t interval : {1, 2, 4}) {
+    Row r{"digests@" + std::to_string(interval), base_options()};
+    r.options.sentinel.enabled = true;
+    r.options.sentinel.check_interval = interval;
+    rows.push_back(r);
+  }
+  for (const std::int64_t tiles : {64, 1024}) {
+    Row r{"tiles=" + std::to_string(tiles), base_options()};
+    r.options.sentinel.enabled = true;
+    r.options.sentinel.tile_points = tiles;
+    rows.push_back(r);
+  }
+  for (const std::int64_t sample : {2, 8}) {
+    Row r{"reexec=" + std::to_string(sample), base_options()};
+    r.options.sentinel.enabled = true;
+    r.options.sentinel.reexec_sample = sample;
+    rows.push_back(r);
+  }
+
+  Table table({"config", "tile_points", "check_interval", "reexec_sample",
+               "points", "steps", "seconds", "us_per_step", "overhead_pct"});
+  double baseline_us = 0.0;
+  for (const Row& row : rows) {
+    const Timing t = time_config(setup, row.options);
+    if (row.label == "off") baseline_us = t.us_per_step;
+    const double overhead =
+        baseline_us > 0.0 ? (t.us_per_step / baseline_us - 1.0) * 100.0
+                          : 0.0;
+    const resilience::SentinelPolicy& sp = row.options.sentinel;
+    table.add_row({row.label,
+                   sp.enabled ? std::to_string(sp.tile_points) : "-",
+                   sp.enabled ? std::to_string(sp.check_interval) : "-",
+                   sp.enabled ? std::to_string(sp.reexec_sample) : "-",
+                   std::to_string(setup.lattice->size()),
+                   std::to_string(t.steps), Table::num(t.seconds),
+                   Table::num(t.us_per_step, 1), Table::num(overhead, 1)});
+  }
+  hemo::bench::emit("sentinel_overhead", table);
+  return 0;
+}

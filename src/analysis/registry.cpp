@@ -55,6 +55,8 @@ const std::vector<RuleInfo>& resilience_rules() {
        "halo traffic disagrees with the plan"},
       {"RS005", "rank-dead-domain-shrunk", Severity::kWarning,
        "rank declared dead; domain shrunk onto the survivors"},
+      {"RS006", "silent-data-corruption", Severity::kError,
+       "silent data corruption detected in a tile"},
   };
   return rules;
 }

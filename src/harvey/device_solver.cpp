@@ -502,6 +502,17 @@ std::vector<double> DeviceSolver::distributions() const {
   return canonical;
 }
 
+std::vector<double> DeviceSolver::live_distributions() const {
+  return impl_->distributions();
+}
+
+std::vector<lbm::TileDigest> DeviceSolver::tile_digests(
+    std::int64_t tile_points) const {
+  const std::vector<double> live = impl_->distributions();
+  return lbm::digest_tiles(live.data(), lattice_->size(), lattice_->size(),
+                           tile_points, live_layout());
+}
+
 lbm::Moments DeviceSolver::moments(PointIndex i) const {
   HEMO_EXPECTS(i >= 0 && i < lattice_->size());
   const std::vector<double> f = distributions();

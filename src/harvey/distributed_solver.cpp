@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "analysis/lattice_check.hpp"
 #include "base/contracts.hpp"
+#include "base/rng.hpp"
 #include "hal/cudax.hpp"
 #include "hal/hipx.hpp"
 #include "hal/kokkosx.hpp"
@@ -344,6 +346,18 @@ void DistributedSolver::enable_resilience(const resilience::Options& options) {
   rollbacks_used_ = 0;
   snapshot_ = Snapshot{};
   initial_mass_ = prev_mass_ = total_mass();
+
+  sentinel_.reset();
+  sdc_hits_.assign(static_cast<std::size_t>(partition_.n_ranks), 0);
+  if (options.sentinel.enabled) {
+    sentinel_.emplace(options.sentinel);
+    sentinel_->reset(partition_.n_ranks);
+    // Anchor the sentinel: digest the initial state and snapshot it, so a
+    // corruption landing before the first checkpoint boundary still has a
+    // verified-clean rollback target.
+    sentinel_record_all();
+    take_snapshot();
+  }
 }
 
 std::int64_t DistributedSolver::total_values() const {
@@ -515,55 +529,19 @@ std::vector<analysis::Diagnostic> DistributedSolver::check_health() const {
   std::vector<analysis::Diagnostic> out;
 
   if (health.scan_nonfinite || health.check_velocity) {
+    // The point-wise scan is the shared layout-aware routine (it also
+    // guards the live AA arrays of the single-domain solvers); the
+    // distributed ranks are always canonical pull-SoA.
     for (Rank r = 0; r < partition_.n_ranks; ++r) {
       const RankState& rs = ranks_[static_cast<std::size_t>(r)];
-      std::int64_t bad = 0;
-      std::int64_t first_bad = -1;
-      double max_speed2 = 0.0;
-      for (std::int64_t li = 0; li < rs.owned; ++li) {
-        double f[lbm::kQ];
-        bool finite = true;
-        for (int q = 0; q < lbm::kQ; ++q) {
-          f[q] = rs.current[static_cast<std::size_t>(q) *
-                                static_cast<std::size_t>(rs.local) +
-                            static_cast<std::size_t>(li)];
-          if (!std::isfinite(f[q])) finite = false;
-        }
-        if (!finite) {
-          ++bad;
-          if (first_bad < 0) first_bad = li;
-          continue;  // moments of a non-finite set are meaningless
-        }
-        if (health.check_velocity) {
-          const lbm::Moments m =
-              lbm::moments_of(f, options_.body_force.x, options_.body_force.y,
-                              options_.body_force.z);
-          const double s2 = m.ux * m.ux + m.uy * m.uy + m.uz * m.uz;
-          max_speed2 = std::max(max_speed2, s2);
-        }
-      }
       std::ostringstream where;
       where << "rank " << r;
-      if (health.scan_nonfinite && bad > 0) {
-        std::ostringstream msg;
-        msg << "step " << steps_done_ << ": " << bad
-            << " point(s) with non-finite distributions (first local index "
-            << first_bad << ")";
-        out.push_back(analysis::Diagnostic{
-            "RS001", analysis::Severity::kError, where.str(), 0, msg.str(),
-            "roll back to the last checkpoint"});
-      }
-      if (health.check_velocity &&
-          max_speed2 > health.max_velocity * health.max_velocity) {
-        std::ostringstream msg;
-        msg << "step " << steps_done_ << ": velocity magnitude "
-            << std::sqrt(max_speed2) << " exceeds ceiling "
-            << health.max_velocity
-            << " (lattice Mach limit; state is blowing up)";
-        out.push_back(analysis::Diagnostic{
-            "RS003", analysis::Severity::kError, where.str(), 0, msg.str(),
-            "roll back to the last checkpoint"});
-      }
+      const std::vector<analysis::Diagnostic> rank_diags =
+          resilience::scan_live_health(
+              rs.current, rs.local, rs.owned, lbm::LiveLayout::kCanonical,
+              health, options_.body_force.x, options_.body_force.y,
+              options_.body_force.z, steps_done_, where.str());
+      out.insert(out.end(), rank_diags.begin(), rank_diags.end());
     }
   }
 
@@ -636,6 +614,188 @@ void DistributedSolver::rollback_or_fault(const std::string& why) {
   prev_mass_ = snapshot_.prev_mass;
   // Traffic of the abandoned step must not leak into the replay.
   network_->reset();
+  // The digests described the abandoned state; re-anchor on the restored
+  // (verified-clean) snapshot.
+  if (sentinel_.has_value()) sentinel_record_all();
+}
+
+// ---------------------------------------------------------------------------
+// SDC sentinel (RS006): record/verify tile digests, duplicate re-execution
+// vote-compare, bit-flip chaos injection, and the escalation glue.
+// ---------------------------------------------------------------------------
+
+resilience::Sentinel::RankView DistributedSolver::rank_view(
+    const RankState& rs) const {
+  resilience::Sentinel::RankView view;
+  view.f = rs.current;
+  view.stride = rs.local;
+  view.owned = rs.owned;
+  view.layout = lbm::LiveLayout::kCanonical;
+  return view;
+}
+
+void DistributedSolver::sentinel_record_all() {
+  for (Rank r = 0; r < partition_.n_ranks; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.owned == 0) continue;  // dead rank post-shrink
+    sentinel_->record(r, rank_view(rs), steps_done_);
+  }
+}
+
+bool DistributedSolver::handle_sdc(
+    const std::vector<resilience::Sentinel::Mismatch>& found, bool reexec) {
+  if (found.empty()) return false;
+  const resilience::SentinelPolicy& pol = sentinel_->policy();
+  Rank quarantine = -1;
+  for (const resilience::Sentinel::Mismatch& m : found) {
+    ++stats_.sdc_detected;
+    ++sdc_hits_[static_cast<std::size_t>(m.rank)];
+    resilience::SdcDetection d;
+    d.rank = m.rank;
+    d.tile = m.tile;
+    d.step = steps_done_;
+    d.latency_steps = steps_done_ - m.recorded_step;
+    d.reexec = reexec;
+    stats_.sdc_detections.push_back(d);
+    std::ostringstream where, msg;
+    where << "rank " << m.rank;
+    msg << "step " << steps_done_ << ": silent data corruption in tile "
+        << m.tile
+        << (reexec ? " (duplicate re-execution vote-compare"
+                   : " (digest mismatch vs record at step ");
+    if (!reexec) msg << m.recorded_step;
+    msg << "); detection " << sdc_hits_[static_cast<std::size_t>(m.rank)]
+        << " on this rank";
+    record("RS006", analysis::Severity::kError, where.str(), msg.str());
+    if (quarantine < 0 &&
+        sdc_hits_[static_cast<std::size_t>(m.rank)] >=
+            pol.quarantine_threshold)
+      quarantine = m.rank;
+  }
+  if (quarantine >= 0 && can_shrink()) {
+    // Repeat offender: its memory keeps corrupting — retire the device.
+    ++stats_.sdc_quarantines;
+    shrink_to_survivors(quarantine);  // re-anchors the digests itself
+    return true;
+  }
+  std::ostringstream why;
+  why << "silent data corruption detected at step " << steps_done_;
+  rollback_or_fault(why.str());  // re-anchors the digests itself
+  return true;
+}
+
+bool DistributedSolver::sentinel_verify_all(bool force) {
+  const resilience::SentinelPolicy& pol = sentinel_->policy();
+  if (!force && steps_done_ % pol.check_interval != 0) return false;
+  std::vector<resilience::Sentinel::Mismatch> found;
+  for (Rank r = 0; r < partition_.n_ranks; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.owned == 0) continue;
+    sentinel_->verify(r, rank_view(rs), &found, &stats_.sdc_checks,
+                      &stats_.sdc_false_positive);
+  }
+  return handle_sdc(found, /*reexec=*/false);
+}
+
+bool DistributedSolver::reexec_vote_sample() {
+  const resilience::SentinelPolicy& pol = sentinel_->policy();
+  if (pol.reexec_sample <= 0) return false;
+  std::vector<resilience::Sentinel::Mismatch> found;
+  for (Rank r = 0; r < partition_.n_ranks; ++r) {
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.owned == 0) continue;
+    const std::int64_t tiles = sentinel_->tiles_of(rs.owned);
+    const std::size_t values = static_cast<std::size_t>(lbm::kQ) *
+                               static_cast<std::size_t>(rs.local);
+    if (reexec_scratch_a_.size() < values) reexec_scratch_a_.resize(values);
+    if (reexec_scratch_b_.size() < values) reexec_scratch_b_.resize(values);
+
+    // advance_state already swapped, so rs.next is the step's input and
+    // rs.current the output under vote.  Re-execute twice independently;
+    // the two shadows vote against the live result.
+    lbm::KernelArgs a = rank_args(rs);
+    a.f_in = rs.next;
+
+    // Deterministic per-(step, rank) tile choice — a rollback replay of
+    // the same step samples the same tiles.
+    SplitMix64 rng(0x53444353414D50ull ^
+                   (static_cast<std::uint64_t>(steps_done_) *
+                    0x9E3779B97F4A7C15ull) ^
+                   static_cast<std::uint64_t>(r));
+    const int samples = static_cast<int>(
+        std::min<std::int64_t>(pol.reexec_sample, tiles));
+    for (int s = 0; s < samples; ++s) {
+      const std::int64_t t = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(tiles)));
+      const std::int64_t begin = t * pol.tile_points;
+      const std::int64_t end =
+          std::min(begin + pol.tile_points, rs.owned);
+      a.f_out = reexec_scratch_a_.data();
+      for (std::int64_t i = begin; i < end; ++i)
+        lbm::stream_collide_point(a, i);
+      a.f_out = reexec_scratch_b_.data();
+      for (std::int64_t i = begin; i < end; ++i)
+        lbm::stream_collide_point(a, i);
+
+      bool votes_agree = true;
+      bool matches_live = true;
+      for (int q = 0; q < lbm::kQ && votes_agree; ++q) {
+        const std::size_t row = static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(rs.local);
+        for (std::int64_t i = begin; i < end; ++i) {
+          const std::size_t at = row + static_cast<std::size_t>(i);
+          std::uint64_t va = 0, vb = 0, vl = 0;
+          std::memcpy(&va, &reexec_scratch_a_[at], sizeof va);
+          std::memcpy(&vb, &reexec_scratch_b_[at], sizeof vb);
+          std::memcpy(&vl, &rs.current[at], sizeof vl);
+          if (va != vb) {
+            votes_agree = false;
+            break;
+          }
+          if (va != vl) matches_live = false;
+        }
+      }
+      ++stats_.sdc_checks;
+      if (!votes_agree) {
+        // The two shadows disagree with each other: the checker itself
+        // glitched.  Retract, never escalate.
+        ++stats_.sdc_false_positive;
+        continue;
+      }
+      if (!matches_live)
+        found.push_back(
+            resilience::Sentinel::Mismatch{r, t, steps_done_});
+    }
+  }
+  return handle_sdc(found, /*reexec=*/true);
+}
+
+void DistributedSolver::apply_due_bit_flips() {
+  while (resilience::FaultEvent* e =
+             injected_faults_->match_bit_flip(steps_done_)) {
+    // One-shot whether or not the point resolves (it may have belonged to
+    // a rank that has since been shrunk away — the global index always
+    // lands on some survivor, so in practice it resolves).
+    e->fired = true;
+    if (e->flip_point < 0 || e->flip_point >= global_->size()) continue;
+    const auto gi = static_cast<PointIndex>(e->flip_point);
+    const Rank r = partition_.owner[static_cast<std::size_t>(gi)];
+    RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    const auto it = std::lower_bound(rs.owned_global.begin(),
+                                     rs.owned_global.end(), gi);
+    HEMO_ASSERT(it != rs.owned_global.end() && *it == gi);
+    const std::int64_t li = it - rs.owned_global.begin();
+    double& v = rs.current[static_cast<std::size_t>(e->flip_q) *
+                               static_cast<std::size_t>(rs.local) +
+                           static_cast<std::size_t>(li)];
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    bits ^= 1ull << e->flip_bit;
+    std::memcpy(&v, &bits, sizeof bits);
+    e->fired_rank = r;
+    const std::int64_t tp = resilience_->sentinel.tile_points;
+    e->fired_tile = tp > 0 ? li / tp : -1;
+  }
 }
 
 bool DistributedSolver::can_shrink() const {
@@ -724,6 +884,11 @@ void DistributedSolver::shrink_to_survivors(Rank dead) {
   suspect_count_ = 0;
   snapshot_ = Snapshot{};
   take_snapshot();
+  if (sentinel_.has_value()) {
+    // New decomposition, new tile geometry: old digests are meaningless.
+    sentinel_->reset(partition_.n_ranks);
+    sentinel_record_all();
+  }
 
   ++stats_.shrinks;
   stats_.last_recovery_step = resume_step;
@@ -736,9 +901,21 @@ void DistributedSolver::shrink_to_survivors(Rank dead) {
 
 void DistributedSolver::resilient_step() {
   const resilience::RecoveryPolicy& rec = resilience_->recovery;
-  if (steps_done_ % rec.checkpoint_interval == 0 &&
-      snapshot_.step != steps_done_)
-    take_snapshot();
+
+  // In-memory chaos (kBitFlip) lands at the step boundary, inside the
+  // sentinel's record/verify window — the same place a real cosmic-ray
+  // flip in resident device memory would strike.
+  if (injected_faults_ != nullptr) apply_due_bit_flips();
+
+  const bool snapshot_due = steps_done_ % rec.checkpoint_interval == 0 &&
+                            snapshot_.step != steps_done_;
+  if (sentinel_.has_value()) {
+    // Verify BEFORE the state is consumed (packed into halos, read by the
+    // kernel) and unconditionally before a snapshot is taken, so rollback
+    // targets are always verified-clean.
+    if (sentinel_verify_all(/*force=*/snapshot_due)) return;
+  }
+  if (snapshot_due) take_snapshot();
 
   network_->begin_step(steps_done_);
   Rank suspect = -1;
@@ -771,6 +948,11 @@ void DistributedSolver::resilient_step() {
   suspect_count_ = 0;
   advance_state();
 
+  // Compute-SDC cross-check: the step's input still survives in rs.next
+  // (the swap's other half), so sampled tiles can be re-executed against
+  // the freshly written output while both exist.
+  if (sentinel_.has_value() && reexec_vote_sample()) return;
+
   std::vector<analysis::Diagnostic> health = check_health();
   if (!health.empty()) {
     stats_.health_errors += static_cast<std::int64_t>(health.size());
@@ -782,6 +964,9 @@ void DistributedSolver::resilient_step() {
     return;
   }
   prev_mass_ = total_mass();
+  // Close the record/verify window: digest the state the step produced.
+  // Anything that changes it before the next verify is corruption.
+  if (sentinel_.has_value()) sentinel_record_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -873,6 +1058,7 @@ void DistributedSolver::restore_checkpoint(const std::string& path) {
   steps_done_ = meta.step;
   snapshot_ = Snapshot{};  // pre-restore snapshots are no longer valid
   initial_mass_ = prev_mass_ = total_mass();
+  if (sentinel_.has_value()) sentinel_record_all();
 }
 
 std::int64_t DistributedSolver::restore_rank_checkpoint(
@@ -898,6 +1084,7 @@ std::int64_t DistributedSolver::restore_rank_checkpoint(
     steps_done_ = meta.step;
     snapshot_ = Snapshot{};
     initial_mass_ = prev_mass_ = total_mass();
+    if (sentinel_.has_value()) sentinel_record_all();
     return meta.step;
   }
   throw io::BlobError("checkpoint '" + path + "': no record for rank " +

@@ -44,7 +44,9 @@
 #include "lbm/kernels.hpp"
 #include "lbm/solver.hpp"
 #include "lbm/sparse_lattice.hpp"
+#include "resilience/fault.hpp"
 #include "resilience/policy.hpp"
+#include "resilience/sentinel.hpp"
 
 namespace hemo::harvey {
 
@@ -99,6 +101,20 @@ class DistributedSolver {
   void enable_resilience(const resilience::Options& options);
   bool resilience_enabled() const { return resilience_.has_value(); }
   const resilience::RunStats& resilience_stats() const { return stats_; }
+
+  /// Registers a fault plan whose kBitFlip events this solver applies to
+  /// its own live distribution state at the start of each step — in-memory
+  /// SDC injection, the fault class the FaultyNetwork cannot reach.  The
+  /// solver resolves each event's global point to its owner rank at fire
+  /// time, flips the requested bit, and records the ground truth
+  /// (fired_rank, fired_tile) on the event so a chaos harness can score
+  /// the sentinel's localization.  Non-owning — typically the same plan a
+  /// FaultyNetwork holds, so the one-shot fired flags are shared and a
+  /// rollback replay re-fires neither network nor memory faults.  Pass
+  /// nullptr to detach.
+  void set_fault_injection(resilience::FaultPlan* plan) {
+    injected_faults_ = plan;
+  }
 
   /// Per-step numerical-health guards (RS001 non-finite, RS002 mass drift,
   /// RS003 velocity ceiling) evaluated against the current state.  Run
@@ -208,6 +224,25 @@ class DistributedSolver {
   std::int64_t total_values() const;
   void resilient_step();
 
+  // SDC sentinel (RS006) machinery.
+  resilience::Sentinel::RankView rank_view(const RankState& rs) const;
+  void sentinel_record_all();
+  /// Verifies every rank's recorded digests (when due, or `force`d because
+  /// a snapshot is about to be taken).  Returns true when a confirmed
+  /// detection was escalated (rollback or quarantine) — the step attempt
+  /// is over and the caller must return.
+  bool sentinel_verify_all(bool force);
+  /// Duplicate re-execution vote-compare over sampled tiles (runs after
+  /// advance_state, when the step's input still survives in rs.next).
+  /// Same return contract as sentinel_verify_all.
+  bool reexec_vote_sample();
+  /// Shared escalation for both detection paths: records RS006 per
+  /// mismatch, then quarantines the offending rank (repeat offender +
+  /// shrink possible) or rolls back.
+  bool handle_sdc(const std::vector<resilience::Sentinel::Mismatch>& found,
+                  bool reexec);
+  void apply_due_bit_flips();
+
   // Elastic shrink-recovery.
   Rank diagnose_dead_rank(const std::vector<FailedEdge>& failed) const;
   bool can_shrink() const;
@@ -231,6 +266,15 @@ class DistributedSolver {
   int rollbacks_used_ = 0;
   double initial_mass_ = 0.0;
   double prev_mass_ = 0.0;
+
+  // SDC sentinel state.  sdc_hits_[r] accumulates RS006 detections blamed
+  // on rank r across the whole run (not per step): a device whose memory
+  // keeps flipping bits is failing, not unlucky, and crossing
+  // SentinelPolicy::quarantine_threshold escalates it to the shrink path.
+  resilience::FaultPlan* injected_faults_ = nullptr;  // non-owning
+  std::optional<resilience::Sentinel> sentinel_;
+  std::vector<int> sdc_hits_;
+  std::vector<double> reexec_scratch_a_, reexec_scratch_b_;
 
   // Failure detector: alive_[r] is cleared forever when rank r is declared
   // dead; suspect_rank_/suspect_count_ track the deadline escalation (how

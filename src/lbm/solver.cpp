@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "base/contracts.hpp"
@@ -102,6 +103,24 @@ const std::vector<double>& Solver::distributions() const {
     aa_canonical_fresh_ = true;
   }
   return *current_;
+}
+
+void Solver::corrupt_live_bit(PointIndex i, int q, int bit) {
+  HEMO_EXPECTS(i >= 0 && i < lattice_->size());
+  HEMO_EXPECTS(q >= 0 && q < kQ);
+  HEMO_EXPECTS(bit >= 0 && bit < 64);
+  std::vector<double>& live =
+      options_.propagation == Propagation::kAAInPlace ? buf_a_ : *current_;
+  const int row = live_slot_q(live_layout(), q);
+  double& v = live[static_cast<std::size_t>(row) *
+                       static_cast<std::size_t>(lattice_->size()) +
+                   static_cast<std::size_t>(i)];
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  bits ^= 1ull << bit;
+  std::memcpy(&v, &bits, sizeof bits);
+  if (options_.propagation == Propagation::kAAInPlace)
+    aa_canonical_fresh_ = false;
 }
 
 Moments Solver::moments(PointIndex i) const {

@@ -2,6 +2,7 @@
 
 #include "base/contracts.hpp"
 #include "base/rng.hpp"
+#include "lbm/d3q19.hpp"
 
 namespace hemo::resilience {
 
@@ -14,6 +15,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kTruncate: return "truncate";
     case FaultKind::kStall: return "stall";
     case FaultKind::kRankDeath: return "rank-death";
+    case FaultKind::kBitFlip: return "bit-flip";
   }
   return "?";
 }
@@ -25,9 +27,11 @@ bool parse_fault_kind(std::string_view name, FaultKind* out) {
       return true;
     }
   }
-  if (name == fault_kind_name(FaultKind::kRankDeath)) {
-    *out = FaultKind::kRankDeath;
-    return true;
+  for (const FaultKind kind : {FaultKind::kRankDeath, FaultKind::kBitFlip}) {
+    if (name == fault_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
   }
   return false;
 }
@@ -75,6 +79,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t steps,
           // long ones exhaust the budget and exercise the rollback path.
           e.stall_polls = 1 + static_cast<int>(rng.next_below(6));
           break;
+        case FaultKind::kBitFlip:
+          // random() knows the communication graph, not the lattice
+          // extent, so the flip stays on global point 0; direction and
+          // bit are drawn.  bit_flips() below is the real SDC campaign.
+          e.flip_q = static_cast<int>(rng.next_below(lbm::kQ));
+          e.flip_bit = static_cast<int>(rng.next_below(64));
+          break;
         default:
           break;
       }
@@ -84,12 +95,41 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t steps,
   return plan;
 }
 
+FaultPlan FaultPlan::bit_flips(std::uint64_t seed, std::int64_t steps,
+                               std::int64_t n_points, int count) {
+  HEMO_EXPECTS(steps >= 1);
+  HEMO_EXPECTS(n_points >= 1);
+  HEMO_EXPECTS(count >= 0);
+  SplitMix64 rng(seed);
+  FaultPlan plan;
+  for (int k = 0; k < count; ++k) {
+    FaultEvent e;
+    e.kind = FaultKind::kBitFlip;
+    e.step = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(steps)));
+    e.flip_point = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n_points)));
+    e.flip_q = static_cast<int>(rng.next_below(lbm::kQ));
+    e.flip_bit = static_cast<int>(rng.next_below(64));
+    plan.add(e);
+  }
+  return plan;
+}
+
 FaultEvent* FaultPlan::match_send(std::int64_t step, Rank src, Rank dst) {
   for (FaultEvent& e : events_) {
     if (e.fired || e.kind == FaultKind::kStall ||
-        e.kind == FaultKind::kRankDeath)
+        e.kind == FaultKind::kRankDeath || e.kind == FaultKind::kBitFlip)
       continue;
     if (e.step == step && e.src == src && e.dst == dst) return &e;
+  }
+  return nullptr;
+}
+
+FaultEvent* FaultPlan::match_bit_flip(std::int64_t step) {
+  for (FaultEvent& e : events_) {
+    if (e.fired || e.kind != FaultKind::kBitFlip) continue;
+    if (e.step == step) return &e;
   }
   return nullptr;
 }

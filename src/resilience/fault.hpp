@@ -28,12 +28,19 @@ enum class FaultKind {
   kRankDeath,  // a rank dies PERMANENTLY: all of its traffic black-holed
                // from the event step onward (never clears, survives
                // rollbacks) — the failure mode shrink-recovery targets
+  kBitFlip,    // in-memory SDC: one bit of one live distribution slot is
+               // flipped at the start of the event step.  Applied by the
+               // SOLVER (set_fault_injection), not the network — the wire
+               // never sees it; only the SDC sentinel can.  One-shot and
+               // rollback-surviving like the transient kinds.
 };
 
 /// The transient (one-shot) kinds: what "--kinds all" and random chaos
 /// plans draw from.  kRankDeath is deliberately excluded — a permanent
 /// kill changes the run's decomposition and is opted into explicitly
-/// (hemo_chaos --kill-rank, FaultPlan::kill_rank).
+/// (hemo_chaos --kill-rank, FaultPlan::kill_rank).  kBitFlip is excluded
+/// for the same reason: it is not a network fault at all, and is opted
+/// into via hemo_chaos --sdc / FaultPlan::bit_flips.
 inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kDrop,     FaultKind::kDuplicate, FaultKind::kCorrupt,
     FaultKind::kDelay,    FaultKind::kTruncate,  FaultKind::kStall};
@@ -56,6 +63,17 @@ struct FaultEvent {
   int truncate_by = 1;                         // kTruncate: values removed
   int stall_polls = 1;  // kStall: receive polls the rank stays silent for
 
+  // kBitFlip parameters: which GLOBAL lattice point, which of its kQ
+  // distribution slots, and which of the 64 bits to flip.  The injecting
+  // solver resolves the global point to (owner rank, local slot) at fire
+  // time and records the ground truth below, so a chaos harness can score
+  // the sentinel's localization against what actually happened.
+  std::int64_t flip_point = 0;  // global point index
+  int flip_q = 0;               // distribution direction [0, kQ)
+  int flip_bit = 0;             // bit position [0, 64)
+  Rank fired_rank = -1;         // owner rank the flip landed on
+  std::int64_t fired_tile = -1;  // digest tile (local index / tile_points)
+
   bool fired = false;  // set by the network when the event is applied
 };
 
@@ -76,10 +94,26 @@ class FaultPlan {
   /// Convenience: schedules a permanent kRankDeath of `rank` at `step`.
   void kill_rank(Rank rank, std::int64_t step);
 
+  /// Seeded in-memory SDC campaign: `count` kBitFlip events, each picking
+  /// a step in [0, steps), a global point in [0, n_points), a direction in
+  /// [0, kQ) and a bit in [0, 64).  Low mantissa bits through the sign bit
+  /// are all fair game — the sentinel digests exact bit patterns, so even
+  /// a flip of the lowest mantissa bit must be caught.  Deterministic in
+  /// all arguments.
+  static FaultPlan bit_flips(std::uint64_t seed, std::int64_t steps,
+                             std::int64_t n_points, int count);
+
   /// First unfired non-stall transient event matching a send on
   /// (step, src, dst), or nullptr.  Does not mark the event fired — the
-  /// network does, once the fault is actually applied.
+  /// network does, once the fault is actually applied.  kBitFlip events
+  /// are never matched here: they are solver-side, not wire-side.
   FaultEvent* match_send(std::int64_t step, Rank src, Rank dst);
+
+  /// First unfired kBitFlip event scheduled for exactly this step, or
+  /// nullptr.  The injecting solver marks it fired once the bit is
+  /// flipped; the fired flag survives rollback (the replayed step does
+  /// not re-corrupt), matching the network kinds' one-shot semantics.
+  FaultEvent* match_bit_flip(std::int64_t step);
 
   /// First unfired stall event for the sending rank at this step.
   FaultEvent* match_stall(std::int64_t step, Rank src);

@@ -114,7 +114,8 @@ void FaultyNetwork::send(Rank src, Rank dst, std::vector<double> payload) {
     }
     case FaultKind::kStall:
     case FaultKind::kRankDeath:
-      break;  // handled above; unreachable through match_send
+    case FaultKind::kBitFlip:  // solver-side, never matched on a send
+      break;  // handled elsewhere; unreachable through match_send
   }
 }
 

@@ -43,6 +43,8 @@ namespace hemo::resilience {
 ///   RS004 halo traffic disagrees with the plan (warning; auto-recovered)
 ///   RS005 rank declared dead; domain shrunk    (warning; auto-recovered
 ///                                               onto the survivors)
+///   RS006 silent data corruption in a tile     (error; rolled back, or
+///                                               the rank quarantined)
 struct HealthPolicy {
   bool scan_nonfinite = true;
 
@@ -132,10 +134,64 @@ struct ShrinkPolicy {
   int min_survivors = 1;
 };
 
+/// SDC sentinel (RS006): tile-granular detection of silent in-memory
+/// corruption — the fault class the loud guards cannot see.  A flipped
+/// mantissa bit in one distribution slot stays finite, locally plausible,
+/// and below every RS001-RS003 threshold; the sentinel catches it by
+/// digesting every tile's raw bit patterns at the end of each step and
+/// verifying the digests before the next step consumes the state (once a
+/// corrupted value streams into its neighbors it is consistent with every
+/// later digest and undetectable by hashing).  A mismatch is localized to
+/// {rank, tile, step} and escalated through the existing ladder: snapshot
+/// rollback first, rank quarantine via the RS005 shrink path after
+/// repeated hits on the same rank (a device whose memory keeps flipping
+/// bits is failing, not unlucky).
+struct SentinelPolicy {
+  bool enabled = false;
+
+  /// Points per digest tile — the localization granularity.  Smaller
+  /// tiles localize more precisely and re-execute cheaper, at more
+  /// digest-table overhead per step.
+  std::int64_t tile_points = 256;
+
+  /// Verify recorded digests every N steps.  1 (the default) checks every
+  /// record/verify window and detects a flip before anything consumes it;
+  /// larger intervals trade detection latency for overhead.  Digests are
+  /// always verified before a snapshot is taken, so rollback targets are
+  /// verified-clean at any interval.
+  int check_interval = 1;
+
+  /// Tiles per rank per step cross-checked by deterministic duplicate
+  /// re-execution of stream_collide on a shadow buffer (two independent
+  /// re-executions vote against the live result).  Catches compute SDC —
+  /// a flip inside the arithmetic — which the memory digests cannot see
+  /// because record happens after the corrupted result was written.
+  /// 0 disables sampling.
+  int reexec_sample = 0;
+
+  /// RS006 detections attributed to one rank before it is quarantined
+  /// through the shrink path (requires ShrinkPolicy::enabled and the
+  /// survivor floor; otherwise the sentinel keeps rolling back).
+  int quarantine_threshold = 3;
+};
+
 struct Options {
   HealthPolicy health;
   RecoveryPolicy recovery;
   ShrinkPolicy shrink;
+  SentinelPolicy sentinel;
+};
+
+/// Localization record of one RS006 detection: which tile of which rank
+/// mismatched its recorded digest, at which step, and how many steps the
+/// corruption sat undetected (verify step minus record step; 0 means the
+/// very next boundary caught it).
+struct SdcDetection {
+  Rank rank = -1;
+  std::int64_t tile = -1;
+  std::int64_t step = -1;          // step the mismatch was found at
+  std::int64_t latency_steps = 0;  // step - digest record step
+  bool reexec = false;  // found by duplicate re-execution, not a digest
 };
 
 /// Counters and detection records of a resilient run.
@@ -157,12 +213,23 @@ struct RunStats {
   std::vector<Rank> dead_ranks;           // death order
   std::int64_t last_recovery_step = -1;   // step the last shrink resumed at
 
+  // SDC sentinel (RS006): tile digests verified, corruptions detected,
+  // detections the sentinel itself retracted (a mismatch that did not
+  // reproduce on immediate re-digest — checker fault, not state fault;
+  // never escalated), and ranks quarantined after repeated detections.
+  std::int64_t sdc_checks = 0;
+  std::int64_t sdc_detected = 0;
+  std::int64_t sdc_false_positive = 0;
+  std::int64_t sdc_quarantines = 0;
+  std::vector<SdcDetection> sdc_detections;  // occurrence order
+
   /// Detection records (RS### diagnostics), in occurrence order.
   std::vector<analysis::Diagnostic> diagnostics;
 
   std::int64_t faults_detected() const {
     return recv_missing + recv_wrong_size + crc_mismatch +
-           halo_audit_mismatches + health_errors + rank_deaths;
+           halo_audit_mismatches + health_errors + rank_deaths +
+           sdc_detected;
   }
   std::int64_t recoveries() const {
     return retransmits + stragglers_drained + rollbacks + shrinks;

@@ -1,0 +1,108 @@
+#pragma once
+// SDC sentinel: rolling tile-digest tables over live distribution arrays
+// plus the layout-aware numerical-health scan, the detection machinery
+// behind guard RS006 (see SentinelPolicy in resilience/policy.hpp for the
+// escalation story).
+//
+// The protocol is record-then-verify: the owner records every tile's
+// digest at the end of a step, after the state passed the health guards,
+// and verifies them at the start of the next step, before anything reads
+// the state.  In-memory corruption striking between the two — the only
+// window in which the owner is not actively rewriting the slots — flips
+// the digest of exactly one tile, which localizes the damage to
+// {rank, tile, step} without any reference state.  A mismatch is
+// re-digested once before it is reported: if the second pass agrees with
+// the record after all, the *checker* glitched, not the state, and the
+// detection is retracted as a false positive instead of triggering a
+// rollback.
+//
+// The digests cover a rank's owned points only.  Ghost slots are
+// legitimately rewritten by every halo exchange (and are CRC-framed on
+// the wire already), so including them would turn every exchange into a
+// false detection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "base/types.hpp"
+#include "lbm/tile_probe.hpp"
+#include "resilience/policy.hpp"
+
+namespace hemo::resilience {
+
+class Sentinel {
+ public:
+  explicit Sentinel(SentinelPolicy policy);
+
+  const SentinelPolicy& policy() const { return policy_; }
+
+  /// One rank's live distribution array, as the digest loops see it.
+  struct RankView {
+    const double* f = nullptr;   // live SoA array (any LiveLayout)
+    std::int64_t stride = 0;     // q-row stride (owned + ghost slots)
+    std::int64_t owned = 0;      // points digested: indices [0, owned)
+    lbm::LiveLayout layout = lbm::LiveLayout::kCanonical;
+  };
+
+  /// A tile whose digest no longer matches its record (confirmed by the
+  /// second digest pass).
+  struct Mismatch {
+    Rank rank = -1;
+    std::int64_t tile = -1;
+    std::int64_t recorded_step = -1;
+  };
+
+  /// Drops every digest table and resizes for `n_ranks` ranks.  Called
+  /// whenever the recorded digests can no longer describe the live state:
+  /// enabling resilience, rollback, shrink re-decomposition, checkpoint
+  /// restore.
+  void reset(int n_ranks);
+
+  /// (Re-)digests every tile of one rank's current state.
+  void record(Rank r, const RankView& view, std::int64_t step);
+
+  bool has_record(Rank r) const;
+  std::int64_t recorded_step(Rank r) const;
+
+  /// Verifies one rank against its recorded digests.  Confirmed
+  /// mismatches are appended to `mismatches`; `checks` advances by the
+  /// number of tiles compared and `false_positives` by the number of
+  /// retracted (non-reproducing) mismatches.  A rank with no record
+  /// verifies vacuously.
+  void verify(Rank r, const RankView& view,
+              std::vector<Mismatch>* mismatches, std::int64_t* checks,
+              std::int64_t* false_positives) const;
+
+  /// Tiles covering one rank's owned points.
+  std::int64_t tiles_of(std::int64_t owned) const {
+    return lbm::tile_count(owned, policy_.tile_points);
+  }
+
+ private:
+  struct RankTable {
+    std::vector<lbm::TileDigest> digests;
+    std::int64_t step = -1;       // when the digests were recorded
+    std::int64_t owned = 0;       // coverage the digests describe
+    lbm::LiveLayout layout = lbm::LiveLayout::kCanonical;
+  };
+
+  SentinelPolicy policy_;
+  std::vector<RankTable> tables_;
+};
+
+/// Layout-aware RS001/RS003 scan over a live distribution array: reads
+/// each point's populations through the LiveLayout slot mapping, so a
+/// corrupted slot in the live AA array is caught in place — before the
+/// canonical-layout conversion (which does not read every slot) could
+/// mask it.  `where` labels the diagnostics ("rank 3", "solver"); `step`
+/// stamps the messages.  Emits the same diagnostics the distributed
+/// solver's canonical-layout guards always produced.
+std::vector<analysis::Diagnostic> scan_live_health(
+    const double* f, std::int64_t stride, std::int64_t points,
+    lbm::LiveLayout layout, const HealthPolicy& health, double force_x,
+    double force_y, double force_z, std::int64_t step,
+    const std::string& where);
+
+}  // namespace hemo::resilience

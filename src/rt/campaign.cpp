@@ -83,6 +83,7 @@ struct Priced {
   sim::SimPoint sim;
   perf::Prediction prediction;
   std::optional<ShrinkProvenance> shrink;
+  std::optional<SdcReport> sdc;
 };
 
 /// Preflight validation: decomposes the measured lattice the way the
@@ -241,6 +242,10 @@ PointResult price_point(ArtifactCache& cache, const SeriesSpec& series,
             priced.shrink = std::move(shrink);
           }
         }
+        // SDC sentinel activity annotates the point; detection + recovery
+        // is the success path, so it neither fails nor re-prices it.
+        if (hooks.sdc_injector)
+          priced.sdc = hooks.sdc_injector(series, schedule);
         return priced;
       });
 
@@ -249,6 +254,7 @@ PointResult price_point(ArtifactCache& cache, const SeriesSpec& series,
     out.sim = outcome.value->sim;
     out.prediction = outcome.value->prediction;
     out.shrink = std::move(outcome.value->shrink);
+    out.sdc = outcome.value->sdc;
   } else {
     out.failure = std::move(outcome.failure);
   }
@@ -274,6 +280,14 @@ std::size_t CampaignResult::degraded_points() const {
   for (const SeriesResult& s : series)
     for (const PointResult& p : s.points)
       if (p.degraded()) ++n;
+  return n;
+}
+
+std::int64_t CampaignResult::sdc_detected_total() const {
+  std::int64_t n = 0;
+  for (const SeriesResult& s : series)
+    for (const PointResult& p : s.points)
+      if (p.sdc.has_value()) n += p.sdc->detected;
   return n;
 }
 
@@ -352,6 +366,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, ArtifactCache& cache) {
         hooks.workload_provider = spec.workload_provider;
         hooks.fault_injector = spec.fault_injector;
         hooks.rank_failure_injector = spec.rank_failure_injector;
+        hooks.sdc_injector = spec.sdc_injector;
         *slot = price_point(cache, series, slot->schedule, spec.job, hooks);
       });
     }
@@ -508,7 +523,8 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& os) {
   Table table({"campaign", "system", "model", "app", "workload", "devices",
                "size_multiplier", "status", "attempts", "mflups",
                "iteration_s", "predicted_mflups", "survivors",
-               "failed_ranks", "recovery_step", "error"});
+               "failed_ranks", "recovery_step", "sdc_detected",
+               "sdc_false_positive", "sdc_quarantines", "error"});
   for (const SeriesResult& series : result.series) {
     const sys::SystemSpec& sys_spec = sys::system_spec(series.spec.system);
     for (const PointResult& p : series.points) {
@@ -532,6 +548,9 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& os) {
            ok ? std::to_string(survivors) : "",
            degraded ? join_ranks(p.shrink->failed_ranks) : "",
            degraded ? std::to_string(p.shrink->recovery_step) : "",
+           p.sdc ? std::to_string(p.sdc->detected) : "",
+           p.sdc ? std::to_string(p.sdc->false_positives) : "",
+           p.sdc ? std::to_string(p.sdc->quarantines) : "",
            ok ? "" : p.failure->message});
     }
   }
@@ -546,6 +565,7 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
   os << "  \"points\": " << result.total_points() << ",\n";
   os << "  \"failed_points\": " << result.failed_points() << ",\n";
   os << "  \"degraded_points\": " << result.degraded_points() << ",\n";
+  os << "  \"sdc_detected_total\": " << result.sdc_detected_total() << ",\n";
   os << "  \"cache\": {\"hits\": " << result.cache.hits
      << ", \"misses\": " << result.cache.misses
      << ", \"evictions\": " << result.cache.evictions
@@ -595,6 +615,11 @@ void write_campaign_json(const CampaignResult& result, std::ostream& os) {
             os << (r ? ", " : "") << p.shrink->failed_ranks[r];
           os << "], \"recovery_step\": " << p.shrink->recovery_step
              << ", \"survivor_count\": " << p.shrink->survivor_count << "}";
+        }
+        if (p.sdc.has_value()) {
+          os << ", \"sdc\": {\"detected\": " << p.sdc->detected
+             << ", \"false_positives\": " << p.sdc->false_positives
+             << ", \"quarantines\": " << p.sdc->quarantines << "}";
         }
       } else {
         os << ", \"status\": \""

@@ -86,6 +86,17 @@ struct ShrinkProvenance {
   int survivor_count = 0;               // devices that finished the point
 };
 
+/// SDC sentinel provenance of one point: silent-data-corruption events the
+/// solver's RS006 guard detected (and recovered from) while the point ran.
+/// Mirrors resilience::RunStats' sdc counters.  A point with detections is
+/// still "ok" — detection plus rollback IS the success path; the report
+/// makes the campaign self-auditing rather than failing.
+struct SdcReport {
+  std::int64_t detected = 0;         // confirmed RS006 detections
+  std::int64_t false_positives = 0;  // retracted (checker-fault) mismatches
+  std::int64_t quarantines = 0;      // ranks retired via the shrink path
+};
+
 /// "Summit/CUDA/HARVEY/cylinder-bisection" — job names and report rows.
 std::string series_label(const SeriesSpec& spec);
 
@@ -117,6 +128,13 @@ struct CampaignSpec {
   std::function<std::optional<ShrinkProvenance>(const SeriesSpec&,
                                                 const sys::SchedulePoint&)>
       rank_failure_injector;
+  /// SDC hook: called once per point after it priced; a returned report
+  /// means the point's solver run detected (and survived) silent data
+  /// corruption.  The report is attached to the point and surfaced in the
+  /// CSV/JSON sinks; it never fails or re-prices the point.
+  std::function<std::optional<SdcReport>(const SeriesSpec&,
+                                         const sys::SchedulePoint&)>
+      sdc_injector;
   /// Statically validates every series' workload before pricing it: a
   /// small decomposition of the measured lattice is built and run through
   /// DistributedSolver::validate() (lattice, partition and halo-exchange
@@ -141,6 +159,8 @@ struct PointResult {
   /// sim/prediction are then priced against shrink->survivor_count
   /// devices, not schedule.devices.
   std::optional<ShrinkProvenance> shrink;
+  /// Present when the point's run reported SDC sentinel activity.
+  std::optional<SdcReport> sdc;
 
   bool ok() const { return !failure.has_value(); }
   bool degraded() const { return ok() && shrink.has_value(); }
@@ -169,6 +189,9 @@ struct PointHooks {
   std::function<std::optional<ShrinkProvenance>(const SeriesSpec&,
                                                 const sys::SchedulePoint&)>
       rank_failure_injector;
+  std::function<std::optional<SdcReport>(const SeriesSpec&,
+                                         const sys::SchedulePoint&)>
+      sdc_injector;
 };
 
 /// Canonical identity of one evaluation point — the coalescing and
@@ -209,6 +232,8 @@ struct CampaignResult {
   std::size_t failed_points() const;
   /// Points that lost ranks but completed on the survivors.
   std::size_t degraded_points() const;
+  /// Confirmed SDC detections summed over every point's report.
+  std::int64_t sdc_detected_total() const;
   /// The captured failures, in deterministic (series, point) order.
   std::vector<JobFailure> failures() const;
 };

@@ -77,6 +77,12 @@ void wal_encode_result(WalBuffer* out, const rt::PointResult& result) {
     out->i64(result.shrink->recovery_step);
     out->i32(result.shrink->survivor_count);
   }
+  out->u8(result.sdc.has_value() ? 1 : 0);  // journal v2
+  if (result.sdc) {
+    out->i64(result.sdc->detected);
+    out->i64(result.sdc->false_positives);
+    out->i64(result.sdc->quarantines);
+  }
 }
 
 rt::PointResult wal_decode_result(WalCursor* in) {
@@ -109,6 +115,13 @@ rt::PointResult wal_decode_result(WalCursor* in) {
     shrink.recovery_step = in->i64();
     shrink.survivor_count = in->i32();
     result.shrink = std::move(shrink);
+  }
+  if (in->u8() != 0) {
+    rt::SdcReport sdc;
+    sdc.detected = in->i64();
+    sdc.false_positives = in->i64();
+    sdc.quarantines = in->i64();
+    result.sdc = sdc;
   }
   return result;
 }

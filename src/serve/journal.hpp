@@ -44,7 +44,11 @@ class JournalError : public std::runtime_error {
 };
 
 inline constexpr std::uint64_t kJournalMagic = 0x4c41574f4d4548ull;  // "HEMOWAL"
-inline constexpr std::uint32_t kJournalVersion = 1;
+// v2: point records carry an optional SDC sentinel report (flag + three
+// i64 counters) after the shrink block.  v1 journals are not readable by
+// v2 (the point payload grew), and recovery refuses newer-than-known
+// versions — a version bump is a clean break, not a compatibility layer.
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 enum class WalTag : std::uint32_t {
   kTenantConfig = 1,   // a configure_tenant that took effect

@@ -472,6 +472,13 @@ void Server::record_point_locked(const PointSubscriber& subscriber,
       request->point_costs[subscriber.series_index][subscriber.point_index]);
   ++counters_.points_completed;
   if (recovered) ++counters_.points_replayed;
+  if (result.sdc.has_value()) {
+    counters_.sdc_detected += static_cast<std::uint64_t>(result.sdc->detected);
+    counters_.sdc_false_positive +=
+        static_cast<std::uint64_t>(result.sdc->false_positives);
+    counters_.sdc_quarantines +=
+        static_cast<std::uint64_t>(result.sdc->quarantines);
+  }
   ++request->done_points;
   if (!result.ok()) ++request->failed_points;
 
@@ -976,6 +983,9 @@ std::string stats_json(const ServeStats& stats) {
      << ", \"replayed\": " << stats.points_replayed
      << ", \"queued\": " << stats.queued
      << ", \"dispatched\": " << stats.dispatched
+     << "}, \"sdc\": {\"detected\": " << stats.sdc_detected
+     << ", \"false_positives\": " << stats.sdc_false_positive
+     << ", \"quarantines\": " << stats.sdc_quarantines
      << "}, \"journal\": {\"active\": "
      << (stats.journal_active ? "true" : "false")
      << ", \"records\": " << stats.journal_records

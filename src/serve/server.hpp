@@ -171,6 +171,12 @@ struct ServeStats {
   std::uint64_t points_replayed = 0;   // delivered from the journal, no
                                        // re-execution (the dedup counter)
 
+  // SDC sentinel (RS006) activity aggregated over every delivered point's
+  // SdcReport — the serving tier's self-audit against silent corruption.
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t sdc_false_positive = 0;
+  std::uint64_t sdc_quarantines = 0;
+
   // Journal.
   bool journal_active = false;
   std::uint64_t journal_records = 0;   // appended this process

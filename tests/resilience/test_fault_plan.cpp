@@ -130,5 +130,115 @@ TEST(FaultKinds, NameParseRoundTrip) {
   EXPECT_FALSE(parse_fault_kind("", &parsed));
 }
 
+TEST(FaultKinds, OptInKindsParseButStayOutOfTheTransientCatalogue) {
+  for (const FaultKind kind : {FaultKind::kRankDeath, FaultKind::kBitFlip}) {
+    FaultKind parsed;
+    ASSERT_TRUE(parse_fault_kind(fault_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+    for (const FaultKind transient : kAllFaultKinds)
+      EXPECT_NE(transient, kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate random() inputs: both axes of "no events requested" must
+// yield an empty (but valid) plan, not a guard failure.
+
+TEST(FaultPlan, RandomWithNoKindsIsEmpty) {
+  const FaultPlan plan = FaultPlan::random(5, 10, kEdges, {}, 3);
+  EXPECT_EQ(plan.total(), 0);
+  EXPECT_EQ(plan.fired_count(), 0);
+}
+
+TEST(FaultPlan, RandomWithZeroEventsPerKindIsEmpty) {
+  const FaultPlan plan = FaultPlan::random(5, 10, kEdges, all_kinds(), 0);
+  EXPECT_EQ(plan.total(), 0);
+  EXPECT_EQ(plan.unfired_count(), 0);
+}
+
+TEST(FaultPlan, RandomDrawsBitFlipParameters) {
+  const FaultPlan plan =
+      FaultPlan::random(9, 20, kEdges, {FaultKind::kBitFlip}, 8);
+  EXPECT_EQ(plan.count(FaultKind::kBitFlip), 8);
+  bool any_q = false, any_bit = false;
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_EQ(e.flip_point, 0);  // random() knows no lattice extent
+    EXPECT_GE(e.flip_q, 0);
+    EXPECT_LT(e.flip_q, 19);
+    EXPECT_GE(e.flip_bit, 0);
+    EXPECT_LT(e.flip_bit, 64);
+    EXPECT_EQ(e.fired_rank, -1);  // ground truth is stamped at fire time
+    EXPECT_EQ(e.fired_tile, -1);
+    any_q |= e.flip_q != 0;
+    any_bit |= e.flip_bit != 0;
+  }
+  EXPECT_TRUE(any_q);
+  EXPECT_TRUE(any_bit);
+}
+
+// ---------------------------------------------------------------------------
+// bit_flips(): the seeded SDC campaign generator.
+
+TEST(FaultPlan, BitFlipsIsSeededDeterministicAndBounded) {
+  const FaultPlan a = FaultPlan::bit_flips(42, 30, 5000, 12);
+  const FaultPlan b = FaultPlan::bit_flips(42, 30, 5000, 12);
+  ASSERT_EQ(a.total(), 12);
+  ASSERT_EQ(b.total(), 12);
+  for (int k = 0; k < a.total(); ++k) {
+    const FaultEvent& ea = a.events()[static_cast<std::size_t>(k)];
+    const FaultEvent& eb = b.events()[static_cast<std::size_t>(k)];
+    EXPECT_EQ(ea.kind, FaultKind::kBitFlip);
+    EXPECT_EQ(ea.step, eb.step);
+    EXPECT_EQ(ea.flip_point, eb.flip_point);
+    EXPECT_EQ(ea.flip_q, eb.flip_q);
+    EXPECT_EQ(ea.flip_bit, eb.flip_bit);
+    EXPECT_GE(ea.step, 0);
+    EXPECT_LT(ea.step, 30);
+    EXPECT_GE(ea.flip_point, 0);
+    EXPECT_LT(ea.flip_point, 5000);
+    EXPECT_GE(ea.flip_q, 0);
+    EXPECT_LT(ea.flip_q, 19);
+    EXPECT_GE(ea.flip_bit, 0);
+    EXPECT_LT(ea.flip_bit, 64);
+    EXPECT_FALSE(ea.fired);
+  }
+}
+
+TEST(FaultPlan, BitFlipsWithZeroCountIsEmpty) {
+  EXPECT_EQ(FaultPlan::bit_flips(3, 10, 100, 0).total(), 0);
+}
+
+TEST(FaultPlan, MatchBitFlipIsExactStepOneShotAndInvisibleToSends) {
+  FaultPlan plan;
+  FaultEvent drop;
+  drop.step = 4;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.kind = FaultKind::kDrop;
+  plan.add(drop);
+  FaultEvent flip;
+  flip.step = 4;
+  flip.kind = FaultKind::kBitFlip;
+  flip.flip_point = 17;
+  plan.add(flip);
+
+  // Exact-step matching: neither an earlier nor a later step fires it.
+  EXPECT_EQ(plan.match_bit_flip(3), nullptr);
+  EXPECT_EQ(plan.match_bit_flip(5), nullptr);
+  FaultEvent* hit = plan.match_bit_flip(4);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kind, FaultKind::kBitFlip);
+
+  // The wire never sees a memory fault: match_send skips bit flips.
+  FaultEvent* send_hit = plan.match_send(4, 0, 1);
+  ASSERT_NE(send_hit, nullptr);
+  EXPECT_EQ(send_hit->kind, FaultKind::kDrop);
+
+  // One-shot: a rollback replaying step 4 must not re-fire the flip.
+  hit->fired = true;
+  EXPECT_EQ(plan.match_bit_flip(4), nullptr);
+  EXPECT_EQ(plan.fired_count(FaultKind::kBitFlip), 1);
+}
+
 }  // namespace
 }  // namespace hemo::resilience

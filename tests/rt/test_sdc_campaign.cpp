@@ -1,0 +1,105 @@
+// SDC-audited campaigns: a point whose solver run detected (and survived)
+// silent data corruption stays "ok" — detection plus rollback IS the
+// success path — but carries its SdcReport through PointResult into the
+// CSV and JSON sinks, so a campaign is self-auditing about the corruption
+// it absorbed rather than silently pretending nothing happened.
+
+#include "rt/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace hemo::rt {
+namespace {
+
+SeriesSpec summit_series() {
+  return {sys::SystemId::kSummit, hal::Model::kCuda, sim::App::kHarvey,
+          WorkloadKind::kCylinderBisection};
+}
+
+/// Every 8-device point reports sentinel activity: 3 detections, one
+/// retracted checker glitch, one rank quarantined.
+std::optional<SdcReport> sdc_at_eight(const SeriesSpec&,
+                                      const sys::SchedulePoint& p) {
+  if (p.devices != 8) return std::nullopt;
+  SdcReport report;
+  report.detected = 3;
+  report.false_positives = 1;
+  report.quarantines = 1;
+  return report;
+}
+
+CampaignResult run_with_sdc() {
+  CampaignSpec spec;
+  spec.name = "sdc-test";
+  spec.series = {summit_series()};
+  spec.workers = 1;
+  spec.sdc_injector = sdc_at_eight;
+  ArtifactCache cache;
+  return run_campaign(spec, cache);
+}
+
+}  // namespace
+
+TEST(SdcCampaign, ReportIsAttachedWithoutFailingOrDegradingThePoint) {
+  const CampaignResult result = run_with_sdc();
+  EXPECT_EQ(result.failed_points(), 0u);
+  EXPECT_EQ(result.degraded_points(), 0u);
+
+  std::int64_t hit_points = 0;
+  for (const PointResult& p : result.series.front().points) {
+    if (p.schedule.devices == 8) {
+      ++hit_points;
+      EXPECT_TRUE(p.ok());
+      EXPECT_FALSE(p.degraded());
+      ASSERT_TRUE(p.sdc.has_value());
+      EXPECT_EQ(p.sdc->detected, 3);
+      EXPECT_EQ(p.sdc->false_positives, 1);
+      EXPECT_EQ(p.sdc->quarantines, 1);
+    } else {
+      EXPECT_FALSE(p.sdc.has_value());
+    }
+  }
+  ASSERT_GE(hit_points, 1);
+  EXPECT_EQ(result.sdc_detected_total(), 3 * hit_points);
+}
+
+TEST(SdcCampaign, SinksCarryTheSdcColumnsAndBlocks) {
+  const CampaignResult result = run_with_sdc();
+
+  std::ostringstream csv;
+  write_campaign_csv(result, csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("sdc_detected"), std::string::npos);
+  EXPECT_NE(csv_text.find("sdc_false_positive"), std::string::npos);
+  EXPECT_NE(csv_text.find("sdc_quarantines"), std::string::npos);
+
+  std::ostringstream json;
+  write_campaign_json(result, json);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"sdc_detected_total\": "), std::string::npos);
+  EXPECT_NE(
+      json_text.find(
+          "\"sdc\": {\"detected\": 3, \"false_positives\": 1, "
+          "\"quarantines\": 1}"),
+      std::string::npos);
+}
+
+TEST(SdcCampaign, CleanCampaignsReportZeroTotalsAndNoBlocks) {
+  CampaignSpec spec;
+  spec.name = "clean";
+  spec.series = {summit_series()};
+  spec.workers = 1;
+  ArtifactCache cache;
+  const CampaignResult result = run_campaign(spec, cache);
+
+  EXPECT_EQ(result.sdc_detected_total(), 0);
+  std::ostringstream json;
+  write_campaign_json(result, json);
+  EXPECT_EQ(json.str().find("\"sdc\": {"), std::string::npos);
+}
+
+}  // namespace hemo::rt

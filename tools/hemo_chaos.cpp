@@ -15,6 +15,18 @@
 //       schedule and the two final states compared, so the report also
 //       certifies that recovery is deterministic.
 //
+//   hemo_chaos --sdc [common flags above] [--flips N] [--tile-points N]
+//              [--check-interval N] [--reexec-sample N]
+//              [--quarantine-threshold N]
+//       Silent-data-corruption gate for the RS006 sentinel: a seeded plan
+//       of in-memory bit flips (FaultPlan::bit_flips) is injected directly
+//       into live distribution slots — the wire never sees them — and the
+//       run is scored against the plan's ground truth: every fired flip
+//       must be detected by the sentinel, localized to the {rank, tile} it
+//       actually landed on within the snapshot interval, and rolled back
+//       to a final state bit-identical to the unfaulted reference, with
+//       zero spurious detections and zero false positives.
+//
 //   hemo_chaos --campaign [common flags above] [--ckpt-interval N]
 //       Demonstrates checkpoint/restart through the hemo-rt job layer: the
 //       job checkpoints periodically, attempt 1 dies on an unrecoverable
@@ -34,8 +46,11 @@
 //       and the dedup counters prove journaled points were delivered
 //       from the log, never re-executed.
 //
-// Fault kinds: drop duplicate corrupt delay truncate stall (transient,
-// one-shot) and rank-death (permanent; via --kill-rank).
+// Fault kinds (--list-kinds prints this): drop duplicate corrupt delay
+// truncate stall (transient, one-shot; what --kinds all draws from),
+// rank-death (permanent; via --kill-rank), and bit-flip (in-memory SDC;
+// via --sdc, or --kinds bit-flip to mix flips into a network chaos run —
+// either arms the sentinel).
 //
 // Exit codes (consumed by the ctest gates and the CI chaos-smoke matrix):
 //   0  survived: every fault recovered, final state bit-identical to the
@@ -103,6 +118,12 @@ struct Config {
   bool frames = true;
   bool campaign = false;
   int ckpt_interval = 10;
+  bool sdc = false;
+  int flips = 8;
+  int tile_points = 256;
+  int check_interval = 1;
+  int reexec_sample = 0;
+  int quarantine_threshold = 3;
   bool serve_crash = false;
   int workers = 4;
   std::vector<std::string> serve_series;  // empty: the default series
@@ -123,13 +144,15 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--scale S] [--ranks N] [--steps N] [--seed N]\n"
-      "       %*s [--kinds all|drop,duplicate,corrupt,delay,truncate,stall]\n"
+      "       %*s [--kinds all|k1,k2,...] [--list-kinds]\n"
       "       %*s [--events N] [--periodic] [--decomp slab|bisection]\n"
       "       %*s [--max-retransmits N] [--max-rollbacks N]\n"
       "       %*s [--snapshot-interval N] [--no-frames]\n"
       "       %*s [--kill-rank R@S] [--death-deadline N] [--min-survivors N]\n"
       "       %*s [--campaign] [--ckpt-interval N] [--report FILE|-]\n"
       "       %*s [--json FILE|-] [--quiet]\n"
+      "       %s --sdc [--flips N] [--tile-points N] [--check-interval N]\n"
+      "       %*s [--reexec-sample N] [--quarantine-threshold N]\n"
       "       %s --serve-crash [--series S]... [--workers N] [--seed N]\n"
       "       %*s [--report FILE|-] [--json FILE|-] [--quiet]\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
@@ -139,8 +162,42 @@ int usage(const char* argv0) {
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "",
       static_cast<int>(std::strlen(argv0)), "", argv0,
+      static_cast<int>(std::strlen(argv0)), "", argv0,
       static_cast<int>(std::strlen(argv0)), "");
   return kExitStructural;
+}
+
+/// Every kind --kinds accepts, in enum order: the transient set plus the
+/// two opt-in kinds (which parse_fault_kind also recognizes).
+std::vector<resilience::FaultKind> all_parseable_kinds() {
+  std::vector<resilience::FaultKind> kinds(
+      std::begin(resilience::kAllFaultKinds),
+      std::end(resilience::kAllFaultKinds));
+  kinds.push_back(resilience::FaultKind::kRankDeath);
+  kinds.push_back(resilience::FaultKind::kBitFlip);
+  return kinds;
+}
+
+std::string valid_kinds_text() {
+  std::string out = "all";
+  for (const resilience::FaultKind kind : all_parseable_kinds()) {
+    out += ", ";
+    out += resilience::fault_kind_name(kind);
+  }
+  return out;
+}
+
+/// --list-kinds: the machine-checkable catalogue of injectable faults.
+int list_kinds() {
+  std::printf("transient network faults (what --kinds all draws from):\n");
+  for (const resilience::FaultKind kind : resilience::kAllFaultKinds)
+    std::printf("  %s\n",
+                std::string(resilience::fault_kind_name(kind)).c_str());
+  std::printf(
+      "opt-in faults (accepted by --kinds, excluded from 'all'):\n"
+      "  rank-death  permanent kill; scheduled via --kill-rank R@S\n"
+      "  bit-flip    in-memory SDC; seeded via --sdc or --kinds bit-flip\n");
+  return kExitSurvived;
 }
 
 /// "R@S" -> {rank R, step S}.
@@ -165,8 +222,13 @@ bool parse_int(const char* text, int* out) {
   return true;
 }
 
+/// Parses "all" or a comma list of kind names.  On failure `*bad_token`
+/// holds the first token that did not parse (possibly empty, for a
+/// dangling comma or an empty list), so the caller can name the culprit
+/// instead of dumping the generic usage text.
 bool parse_kinds(const std::string& text,
-                 std::vector<resilience::FaultKind>* out) {
+                 std::vector<resilience::FaultKind>* out,
+                 std::string* bad_token) {
   if (text == "all") {
     out->assign(std::begin(resilience::kAllFaultKinds),
                 std::end(resilience::kAllFaultKinds));
@@ -179,12 +241,19 @@ bool parse_kinds(const std::string& text,
     const std::string token =
         text.substr(pos, comma == std::string::npos ? comma : comma - pos);
     resilience::FaultKind kind;
-    if (!resilience::parse_fault_kind(token, &kind)) return false;
+    if (!resilience::parse_fault_kind(token, &kind)) {
+      *bad_token = token;
+      return false;
+    }
     out->push_back(kind);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  return !out->empty();
+  if (out->empty()) {
+    *bad_token = "";
+    return false;
+  }
+  return true;
 }
 
 struct SolverSetup {
@@ -214,6 +283,12 @@ SolverSetup make_setup(const Config& cfg) {
   return s;
 }
 
+bool wants_bit_flips(const Config& cfg) {
+  return cfg.sdc ||
+         std::find(cfg.kinds.begin(), cfg.kinds.end(),
+                   resilience::FaultKind::kBitFlip) != cfg.kinds.end();
+}
+
 resilience::Options resilience_options(const Config& cfg) {
   resilience::Options o;
   o.health.closed_system = cfg.periodic;
@@ -226,6 +301,20 @@ resilience::Options resilience_options(const Config& cfg) {
   o.shrink.enabled = !cfg.kills.empty();
   o.shrink.death_deadline = cfg.death_deadline;
   o.shrink.min_survivors = cfg.min_survivors;
+  if (wants_bit_flips(cfg)) {
+    // Bit flips are invisible to the wire-level guards; arm the sentinel.
+    o.sentinel.enabled = true;
+    o.sentinel.tile_points = cfg.tile_points;
+    o.sentinel.check_interval = cfg.check_interval;
+    o.sentinel.reexec_sample = cfg.reexec_sample;
+    o.sentinel.quarantine_threshold = cfg.quarantine_threshold;
+    // Every detection spends one rollback; budget for the whole plan so
+    // the run is scored on coverage, not on running out of recoveries.
+    o.recovery.max_rollbacks +=
+        cfg.sdc ? cfg.flips : cfg.events_per_kind;
+    // Let repeated hits on one rank escalate to quarantine (RS005).
+    o.shrink.enabled = true;
+  }
   return o;
 }
 
@@ -278,8 +367,14 @@ ChaosRun run_once(const Config& cfg, const SolverSetup& setup,
                   const resilience::FaultPlan& plan) {
   harvey::DistributedSolver solver(setup.lattice, setup.partition,
                                    setup.options);
-  solver.set_network(std::make_unique<resilience::FaultyNetwork>(
-      solver.n_ranks(), plan));
+  auto owned_net = std::make_unique<resilience::FaultyNetwork>(
+      solver.n_ranks(), plan);
+  resilience::FaultyNetwork* net_raw = owned_net.get();
+  solver.set_network(std::move(owned_net));
+  // Bit-flip events live in the same plan but are applied by the solver,
+  // not the network; sharing the network's copy keeps the one-shot fired
+  // flags consistent across both injection paths.
+  solver.set_fault_injection(&net_raw->plan());
   solver.enable_resilience(resilience_options(cfg));
 
   ChaosRun run;
@@ -364,7 +459,10 @@ void write_json(const Config& cfg, const ChaosRun& run, double reference_mass,
      << ", \"halo_audit_mismatches\": " << s.halo_audit_mismatches
      << ", \"health_errors\": " << s.health_errors
      << ", \"rollbacks\": " << s.rollbacks
-     << ", \"snapshots\": " << s.snapshots << "},\n";
+     << ", \"snapshots\": " << s.snapshots
+     << ", \"sdc_detected\": " << s.sdc_detected
+     << ", \"sdc_false_positive\": " << s.sdc_false_positive
+     << ", \"sdc_quarantines\": " << s.sdc_quarantines << "},\n";
 
   os << "  \"shrink\": {\"rank_deaths\": " << s.rank_deaths
      << ", \"shrinks\": " << s.shrinks << ", \"dead_ranks\": [";
@@ -482,6 +580,244 @@ int run_solver_chaos(const Config& cfg) {
   }
   write_report(cfg, {injection, recovery});
   write_json(cfg, run, reference_mass, identical, rerun_identical, exit_code);
+  return exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// --sdc: silent-data-corruption gate for the RS006 sentinel
+// ---------------------------------------------------------------------------
+
+/// One injected flip, scored against the sentinel's detections.
+struct FlipOutcome {
+  const resilience::FaultEvent* event = nullptr;
+  bool detected = false;      // some detection on the rank it landed on
+  bool localized = false;     // ...naming the exact tile it landed in
+  std::int64_t latency = -1;  // steps from injection to first localization
+};
+
+struct SdcRun {
+  bool survived = false;
+  std::string fault_message;
+  resilience::RunStats stats;
+  std::vector<FlipOutcome> flips;
+  int fired = 0;
+  int detected = 0;
+  int localized = 0;
+  int spurious = 0;  // detections no fired flip explains
+  std::int64_t max_latency = 0;
+  double final_mass = 0.0;
+  int survivor_count = 0;
+  bool identical = false;
+};
+
+void write_sdc_json(const Config& cfg, const SdcRun& run, int planned,
+                    double coverage, double localization, bool latency_ok,
+                    double reference_mass, int exit_code) {
+  if (cfg.json_path.empty()) return;
+  std::ofstream file;
+  if (cfg.json_path != "-") {
+    file.open(cfg.json_path);
+    if (!file) {
+      std::fprintf(stderr, "hemo_chaos: cannot open json file '%s'\n",
+                   cfg.json_path.c_str());
+      return;
+    }
+  }
+  std::ostream& os = cfg.json_path == "-" ? std::cout : file;
+
+  os << "{\n";
+  os << "  \"config\": {\"mode\": \"sdc\", \"ranks\": " << cfg.ranks
+     << ", \"steps\": " << cfg.steps << ", \"seed\": " << cfg.seed
+     << ", \"flips\": " << cfg.flips << ", \"tile_points\": "
+     << cfg.tile_points << ", \"check_interval\": " << cfg.check_interval
+     << ", \"reexec_sample\": " << cfg.reexec_sample
+     << ", \"quarantine_threshold\": " << cfg.quarantine_threshold
+     << ", \"snapshot_interval\": " << cfg.snapshot_interval << "},\n";
+
+  os << "  \"injection\": {\"planned\": " << planned << ", \"fired\": "
+     << run.fired << "},\n";
+
+  char cov[32], loc[32];
+  std::snprintf(cov, sizeof(cov), "%.4f", coverage);
+  std::snprintf(loc, sizeof(loc), "%.4f", localization);
+  const resilience::RunStats& s = run.stats;
+  os << "  \"detection\": {\"checks\": " << s.sdc_checks
+     << ", \"detected\": " << s.sdc_detected
+     << ", \"flips_detected\": " << run.detected
+     << ", \"flips_localized\": " << run.localized
+     << ", \"coverage\": " << cov << ", \"localization\": " << loc
+     << ", \"max_latency_steps\": " << run.max_latency
+     << ", \"spurious\": " << run.spurious
+     << ", \"false_positives\": " << s.sdc_false_positive
+     << ", \"quarantines\": " << s.sdc_quarantines << "},\n";
+
+  os << "  \"recovery\": {\"rollbacks\": " << s.rollbacks
+     << ", \"snapshots\": " << s.snapshots << ", \"shrinks\": " << s.shrinks
+     << ", \"health_errors\": " << s.health_errors
+     << ", \"survivor_count\": " << run.survivor_count << "},\n";
+
+  os << "  \"flips\": [";
+  for (std::size_t k = 0; k < run.flips.size(); ++k) {
+    const FlipOutcome& o = run.flips[k];
+    const resilience::FaultEvent& e = *o.event;
+    os << (k ? ",\n    " : "\n    ") << "{\"step\": " << e.step
+       << ", \"point\": " << e.flip_point << ", \"q\": " << e.flip_q
+       << ", \"bit\": " << e.flip_bit << ", \"rank\": " << e.fired_rank
+       << ", \"tile\": " << e.fired_tile
+       << ", \"detected\": " << (o.detected ? "true" : "false")
+       << ", \"localized\": " << (o.localized ? "true" : "false")
+       << ", \"latency_steps\": " << o.latency << "}";
+  }
+  os << (run.flips.empty() ? "" : "\n  ") << "],\n";
+
+  char mass[64], ref_mass[64];
+  std::snprintf(mass, sizeof(mass), "%.17g", run.final_mass);
+  std::snprintf(ref_mass, sizeof(ref_mass), "%.17g", reference_mass);
+  os << "  \"verdict\": {\"survived\": " << (run.survived ? "true" : "false")
+     << ", \"coverage_ok\": " << (coverage >= 0.99 ? "true" : "false")
+     << ", \"localization_ok\": " << (localization >= 0.99 ? "true" : "false")
+     << ", \"latency_ok\": " << (latency_ok ? "true" : "false")
+     << ", \"clean\": "
+     << (run.spurious == 0 && s.sdc_false_positive == 0 ? "true" : "false")
+     << ", \"bit_identical\": " << (run.identical ? "true" : "false")
+     << ", \"final_mass\": " << mass << ", \"reference_mass\": " << ref_mass
+     << ", \"fault\": \"" << json_escape(run.fault_message)
+     << "\", \"exit_code\": " << exit_code << "}\n";
+  os << "}\n";
+}
+
+int run_sdc_chaos(const Config& cfg) {
+  const SolverSetup setup = make_setup(cfg);
+  const std::vector<double> reference = clean_reference(setup, cfg.steps);
+  double reference_mass = 0.0;
+  for (const double v : reference) reference_mass += v;
+
+  resilience::FaultPlan plan = resilience::FaultPlan::bit_flips(
+      cfg.seed, cfg.steps, setup.lattice->size(), cfg.flips);
+
+  harvey::DistributedSolver solver(setup.lattice, setup.partition,
+                                   setup.options);
+  solver.set_fault_injection(&plan);
+  solver.enable_resilience(resilience_options(cfg));
+
+  SdcRun run;
+  run.survived = true;
+  try {
+    solver.run(cfg.steps);
+  } catch (const resilience::SolverFault& fault) {
+    run.survived = false;
+    run.fault_message = fault.what();
+  }
+  run.stats = solver.resilience_stats();
+  run.final_mass = solver.total_mass();
+  run.survivor_count = solver.survivor_count();
+  if (run.survived)
+    run.identical = bit_identical(solver.global_distributions(), reference);
+
+  // Score detections against the plan's recorded ground truth.  A flip is
+  // detected when some detection names the rank it landed on at or after
+  // its step, localized when the detection also names the exact tile; one
+  // detection may explain several flips that struck the same tile inside
+  // one verify window.  Conversely a detection no fired flip explains is
+  // spurious — the gate demands zero.
+  const std::vector<resilience::SdcDetection>& detections =
+      run.stats.sdc_detections;
+  for (const resilience::FaultEvent& e : plan.events()) {
+    if (e.kind != resilience::FaultKind::kBitFlip || !e.fired) continue;
+    ++run.fired;
+    FlipOutcome o;
+    o.event = &e;
+    for (const resilience::SdcDetection& d : detections) {
+      if (d.step < e.step || d.rank != e.fired_rank) continue;
+      o.detected = true;
+      if (d.tile == e.fired_tile) {
+        o.localized = true;
+        const std::int64_t latency = d.step - e.step;
+        if (o.latency < 0 || latency < o.latency) o.latency = latency;
+      }
+    }
+    run.detected += o.detected ? 1 : 0;
+    run.localized += o.localized ? 1 : 0;
+    run.max_latency = std::max(run.max_latency, o.latency);
+    run.flips.push_back(o);
+  }
+  for (const resilience::SdcDetection& d : detections) {
+    bool explained = false;
+    for (const resilience::FaultEvent& e : plan.events())
+      explained |= e.kind == resilience::FaultKind::kBitFlip && e.fired &&
+                   e.fired_rank == d.rank && e.fired_tile == d.tile &&
+                   e.step <= d.step;
+    if (!explained) ++run.spurious;
+  }
+
+  const double coverage =
+      run.fired == 0 ? 1.0 : static_cast<double>(run.detected) / run.fired;
+  const double localization =
+      run.fired == 0 ? 1.0 : static_cast<double>(run.localized) / run.fired;
+  const bool latency_ok = run.max_latency <= cfg.snapshot_interval;
+  const bool clean =
+      run.spurious == 0 && run.stats.sdc_false_positive == 0;
+  const int exit_code =
+      !run.survived ? kExitStructural
+      : (coverage >= 0.99 && localization >= 0.99 && latency_ok && clean &&
+         run.identical)
+          ? kExitSurvived
+          : kExitDivergence;
+
+  char cov[32];
+  std::snprintf(cov, sizeof(cov), "%.4f", coverage);
+  Table summary({"Metric", "Value"});
+  summary.add_row({"steps", std::to_string(cfg.steps)});
+  summary.add_row({"ranks", std::to_string(cfg.ranks)});
+  summary.add_row({"seed", std::to_string(cfg.seed)});
+  summary.add_row({"flips_planned", std::to_string(plan.total())});
+  summary.add_row({"flips_fired", std::to_string(run.fired)});
+  summary.add_row({"flips_detected", std::to_string(run.detected)});
+  summary.add_row({"flips_localized", std::to_string(run.localized)});
+  summary.add_row({"coverage", cov});
+  summary.add_row({"max_latency_steps", std::to_string(run.max_latency)});
+  summary.add_row({"spurious_detections", std::to_string(run.spurious)});
+  summary.add_row({"false_positives",
+                   std::to_string(run.stats.sdc_false_positive)});
+  summary.add_row({"quarantines",
+                   std::to_string(run.stats.sdc_quarantines)});
+  summary.add_row({"rollbacks", std::to_string(run.stats.rollbacks)});
+  summary.add_row({"snapshots", std::to_string(run.stats.snapshots)});
+  summary.add_row({"survived", yes_no(run.survived)});
+  summary.add_row({"bit_identical", yes_no(run.identical)});
+
+  Table per_flip({"Step", "Point", "Q", "Bit", "Rank", "Tile", "Detected",
+                  "Latency"});
+  for (const FlipOutcome& o : run.flips) {
+    const resilience::FaultEvent& e = *o.event;
+    per_flip.add_row({std::to_string(e.step), std::to_string(e.flip_point),
+                      std::to_string(e.flip_q), std::to_string(e.flip_bit),
+                      std::to_string(e.fired_rank),
+                      std::to_string(e.fired_tile),
+                      o.localized ? "localized"
+                                  : (o.detected ? "rank-only" : "MISSED"),
+                      o.latency < 0 ? "-" : std::to_string(o.latency)});
+  }
+
+  if (!cfg.quiet) {
+    per_flip.print_aligned(std::cout);
+    std::cout << '\n';
+    summary.print_aligned(std::cout);
+    if (!run.survived)
+      std::cout << "\nUNRECOVERED: " << run.fault_message << '\n';
+    else if (exit_code == kExitSurvived)
+      std::cout << "\nall injected flips detected, localized to their "
+                   "{rank, tile}, and rolled back; final state "
+                   "bit-identical to the clean run\n";
+    else
+      std::cout << "\nSDC GATE FAILED: coverage " << cov << ", spurious "
+                << run.spurious << ", false positives "
+                << run.stats.sdc_false_positive << ", bit_identical "
+                << yes_no(run.identical) << '\n';
+  }
+  write_report(cfg, {per_flip, summary});
+  write_sdc_json(cfg, run, plan.total(), coverage, localization, latency_ok,
+                 reference_mass, exit_code);
   return exit_code;
 }
 
@@ -988,6 +1324,34 @@ int main(int argc, char** argv) {
       cfg.periodic = true;
     } else if (arg == "--campaign") {
       cfg.campaign = true;
+    } else if (arg == "--sdc") {
+      cfg.sdc = true;
+    } else if (arg == "--list-kinds") {
+      return list_kinds();
+    } else if (arg == "--flips") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.flips) || cfg.flips < 0)
+        return usage(argv[0]);
+    } else if (arg == "--tile-points") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.tile_points) ||
+          cfg.tile_points < 1)
+        return usage(argv[0]);
+    } else if (arg == "--check-interval") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.check_interval) ||
+          cfg.check_interval < 1)
+        return usage(argv[0]);
+    } else if (arg == "--reexec-sample") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.reexec_sample) ||
+          cfg.reexec_sample < 0)
+        return usage(argv[0]);
+    } else if (arg == "--quarantine-threshold") {
+      const char* v = value();
+      if (v == nullptr || !parse_int(v, &cfg.quarantine_threshold) ||
+          cfg.quarantine_threshold < 1)
+        return usage(argv[0]);
     } else if (arg == "--serve-crash") {
       cfg.serve_crash = true;
     } else if (arg == "--series") {
@@ -1019,7 +1383,15 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--kinds") {
       const char* v = value();
-      if (v == nullptr || !parse_kinds(v, &cfg.kinds)) return usage(argv[0]);
+      if (v == nullptr) return usage(argv[0]);
+      std::string bad_token;
+      if (!parse_kinds(v, &cfg.kinds, &bad_token)) {
+        std::fprintf(stderr,
+                     "hemo_chaos: --kinds: unknown fault kind '%s' "
+                     "(valid: %s)\n",
+                     bad_token.c_str(), valid_kinds_text().c_str());
+        return kExitStructural;
+      }
     } else if (arg == "--events") {
       const char* v = value();
       if (v == nullptr || !parse_int(v, &cfg.events_per_kind) ||
@@ -1081,5 +1453,6 @@ int main(int argc, char** argv) {
   }
 
   if (cfg.serve_crash) return run_serve_crash(cfg);
+  if (cfg.sdc) return run_sdc_chaos(cfg);
   return cfg.campaign ? run_campaign_chaos(cfg) : run_solver_chaos(cfg);
 }
